@@ -1,0 +1,228 @@
+//! Criterion benches: one group per paper exhibit (reduced configurations
+//! so `cargo bench` touches every experiment path), plus runtime benches
+//! for the §4.2 complexity claim ("finding the optimal configuration
+//! never took more than 20 seconds").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lamps_bench::experiments::{curves, procs, relative, slack, tables};
+use lamps_bench::run::evaluate_graph;
+use lamps_bench::{Granularity, Suite};
+use lamps_core::{solve, SchedulerConfig, Strategy};
+use lamps_power::{SleepParams, TechnologyParams};
+use lamps_sched::list::edf_schedule;
+use lamps_taskgraph::apps::mpeg;
+use lamps_taskgraph::gen::layered::stg_group;
+use std::hint::black_box;
+
+fn bench_fig02_power_curves(c: &mut Criterion) {
+    c.bench_function("fig02_power_curves", |b| {
+        b.iter(|| curves::fig02(black_box(64)))
+    });
+}
+
+fn bench_fig03_breakeven(c: &mut Criterion) {
+    let tech = TechnologyParams::seventy_nm();
+    let sleep = SleepParams::paper();
+    c.bench_function("fig03_breakeven", |b| {
+        b.iter(|| {
+            lamps_power::curves::breakeven_curve(black_box(&tech), black_box(&sleep), 64)
+        })
+    });
+}
+
+fn bench_fig06_energy_vs_procs(c: &mut Criterion) {
+    c.bench_function("fig06_energy_vs_procs", |b| {
+        b.iter(|| procs::fig06(black_box(2.0), black_box(8)))
+    });
+}
+
+fn bench_fig10_coarse(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let suite = Suite::smoke();
+    c.bench_function("fig10_coarse_cell", |b| {
+        b.iter(|| {
+            relative::relative_energy_rows(Granularity::Coarse, black_box(&suite), &cfg)
+        })
+    });
+}
+
+fn bench_fig11_fine(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let suite = Suite::smoke();
+    c.bench_function("fig11_fine_cell", |b| {
+        b.iter(|| relative::relative_energy_rows(Granularity::Fine, black_box(&suite), &cfg))
+    });
+}
+
+fn bench_fig12_scatter(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    // One small scatter graph end to end.
+    let g = lamps_taskgraph::gen::spine::with_parallelism(300, 8.0, 3);
+    c.bench_function("fig12_scatter_point", |b| {
+        b.iter(|| evaluate_graph(black_box(&g), Granularity::Coarse, 2.0, &cfg).unwrap())
+    });
+}
+
+fn bench_fig13_scatter_fine(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let g = lamps_taskgraph::gen::spine::with_parallelism(300, 8.0, 3);
+    c.bench_function("fig13_scatter_point_fine", |b| {
+        b.iter(|| evaluate_graph(black_box(&g), Granularity::Fine, 2.0, &cfg).unwrap())
+    });
+}
+
+fn bench_table2_suite(c: &mut Criterion) {
+    c.bench_function("table2_characteristics", |b| {
+        b.iter(|| tables::table2(black_box(2), 3))
+    });
+}
+
+fn bench_table3_mpeg(c: &mut Criterion) {
+    c.bench_function("table3_mpeg", |b| b.iter(tables::table3));
+}
+
+fn bench_integrated_ga(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let g = stg_group(40, 1, 13).remove(0).scale_weights(3_100_000);
+    let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+    let ga = lamps_core::genetic::GaConfig {
+        population: 8,
+        generations: 4,
+        ..lamps_core::genetic::GaConfig::default()
+    };
+    let mut group = c.benchmark_group("integrated");
+    group.sample_size(10);
+    group.bench_function("genetic_small", |b| {
+        b.iter(|| lamps_core::genetic::genetic_solve(black_box(&g), d, &cfg, &ga).unwrap())
+    });
+    group.bench_function("insertion_edf", |b| {
+        b.iter(|| {
+            lamps_sched::insertion::insertion_edf_schedule(
+                black_box(&g),
+                4,
+                cfg.deadline_cycles(d),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_abb_table(c: &mut Criterion) {
+    let tech = TechnologyParams::seventy_nm();
+    c.bench_function("abb_level_table", |b| {
+        b.iter(|| {
+            lamps_power::abb::abb_level_table(
+                black_box(&tech),
+                &lamps_power::abb::AbbGrid::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_slack_reclamation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("slack_reclamation");
+    group.sample_size(10);
+    group.bench_function("sweep_small", |b| b.iter(|| slack::slack_sweep(black_box(2), 3)));
+    group.finish();
+}
+
+/// §4.2 complexity: LAMPS(+PS) end-to-end over graph sizes. The paper's
+/// 3 GHz Pentium 4 needed up to 20 s for 5000-node graphs; this tracks
+/// what our implementation needs.
+fn bench_lamps_runtime(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let mut group = c.benchmark_group("lamps_runtime");
+    group.sample_size(10);
+    for &n in &[100usize, 500, 1000] {
+        let g = stg_group(n, 1, 7)[0].scale_weights(3_100_000);
+        let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        group.bench_with_input(BenchmarkId::new("lamps_ps", n), &n, |b, _| {
+            b.iter(|| solve(Strategy::LampsPs, black_box(&g), d, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+/// Raw LS-EDF scheduling throughput.
+fn bench_scheduler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ls_edf");
+    group.sample_size(20);
+    for &n in &[100usize, 1000, 5000] {
+        let g = stg_group(n, 1, 11).remove(0);
+        let d = 2 * g.critical_path_cycles();
+        group.bench_with_input(BenchmarkId::new("schedule", n), &n, |b, _| {
+            b.iter(|| edf_schedule(black_box(&g), 8, d))
+        });
+    }
+    group.finish();
+}
+
+/// Per-task-deadline (KPN/periodic) solving and Pareto sweeps.
+fn bench_extensions(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let g = stg_group(60, 1, 17).remove(0).scale_weights(3_100_000);
+    let dl_cycles = 2 * g.critical_path_cycles();
+    let dv = lamps_core::multi::DeadlineVector::uniform(&g, dl_cycles);
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(10);
+    group.bench_function("multi_deadline_lamps_ps", |b| {
+        b.iter(|| {
+            lamps_core::multi::solve_with_deadlines(
+                Strategy::LampsPs,
+                black_box(&g),
+                &dv,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("pareto_sweep_6", |b| {
+        b.iter(|| {
+            lamps_core::pareto::deadline_sweep(Strategy::LampsPs, black_box(&g), 1.2, 8.0, 6, &cfg)
+                .unwrap()
+        })
+    });
+    group.bench_function("cluster_chains", |b| {
+        b.iter(|| lamps_taskgraph::cluster::cluster_chains(black_box(&g)))
+    });
+    group.finish();
+}
+
+/// The MPEG-1 pipeline end to end (Table 3's workload).
+fn bench_mpeg_end_to_end(c: &mut Criterion) {
+    let cfg = SchedulerConfig::paper();
+    let g = mpeg::paper_gop();
+    c.bench_function("mpeg_lamps_ps", |b| {
+        b.iter(|| {
+            solve(
+                Strategy::LampsPs,
+                black_box(&g),
+                mpeg::GOP_DEADLINE_SECONDS,
+                &cfg,
+            )
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig02_power_curves,
+    bench_fig03_breakeven,
+    bench_fig06_energy_vs_procs,
+    bench_fig10_coarse,
+    bench_fig11_fine,
+    bench_fig12_scatter,
+    bench_fig13_scatter_fine,
+    bench_table2_suite,
+    bench_table3_mpeg,
+    bench_slack_reclamation,
+    bench_integrated_ga,
+    bench_abb_table,
+    bench_lamps_runtime,
+    bench_scheduler,
+    bench_mpeg_end_to_end,
+    bench_extensions,
+);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Ablations: list-scheduling priority policies and discrete-vs-continuous
+//! voltage.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::ablation::ablation;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out"]);
+    let graphs = opts.usize("graphs", 6);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    ablation(graphs, seed).emit(&out).expect("write results");
+}

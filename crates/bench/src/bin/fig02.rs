@@ -1,0 +1,11 @@
+//! Regenerate Fig. 2: power and energy per cycle vs normalized frequency.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::curves::fig02;
+
+fn main() {
+    let opts = Options::parse(&["samples", "out"]);
+    let samples = opts.usize("samples", 128);
+    let out = opts.string("out", "results");
+    fig02(samples).emit(&out).expect("write results");
+}

@@ -1,0 +1,11 @@
+//! Regenerate Fig. 3: break-even idle cycles for processor shutdown.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::curves::fig03;
+
+fn main() {
+    let opts = Options::parse(&["samples", "out"]);
+    let samples = opts.usize("samples", 128);
+    let out = opts.string("out", "results");
+    fig03(samples).emit(&out).expect("write results");
+}

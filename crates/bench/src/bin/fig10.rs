@@ -1,0 +1,15 @@
+//! Regenerate Fig. 10: relative energy vs S&S, coarse-grain tasks.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::relative::relative_energy;
+use lamps_bench::Granularity;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out"]);
+    let graphs = opts.usize("graphs", 10);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    relative_energy(Granularity::Coarse, graphs, seed)
+        .emit(&out)
+        .expect("write results");
+}

@@ -1,0 +1,15 @@
+//! Regenerate Fig. 13: energy/work vs parallelism, fine-grain tasks.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::scatter::scatter;
+use lamps_bench::Granularity;
+
+fn main() {
+    let opts = Options::parse(&["per-size", "seed", "out"]);
+    let per_size = opts.usize("per-size", 10);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    scatter(Granularity::Fine, per_size, seed)
+        .emit(&out)
+        .expect("write results");
+}

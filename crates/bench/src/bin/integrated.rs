@@ -1,0 +1,12 @@
+//! Extension: integrated GA and insertion scheduling vs LAMPS+PS.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::integrated::integrated;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out"]);
+    let graphs = opts.usize("graphs", 6);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    integrated(graphs, seed).emit(&out).expect("write results");
+}

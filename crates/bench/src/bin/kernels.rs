@@ -1,0 +1,10 @@
+//! Extension: structured application kernels across all strategies.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::kernels::kernels_exhibit;
+
+fn main() {
+    let opts = Options::parse(&["out"]);
+    let out = opts.string("out", "results");
+    kernels_exhibit().emit(&out).expect("write results");
+}

@@ -1,0 +1,44 @@
+//! Run every experiment of the paper's evaluation and write all CSVs.
+//!
+//! `--graphs` controls the random-group sample size (the STG set has 180
+//! graphs per group; the default keeps the full sweep to a few minutes).
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::{ablation, curves, integrated, kernels, procs, relative, scatter, sensitivity, slack, tables};
+use lamps_bench::Granularity;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "per-size", "seed", "out"]);
+    let graphs = opts.usize("graphs", 10);
+    let per_size = opts.usize("per-size", 8);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+
+    let t0 = std::time::Instant::now();
+    let sections = [
+        curves::fig02(128),
+        curves::fig03(128),
+        tables::table2(graphs, seed),
+        procs::fig06(2.0, 20),
+        relative::relative_energy(Granularity::Coarse, graphs, seed),
+        relative::relative_energy(Granularity::Fine, graphs, seed),
+        scatter::scatter(Granularity::Coarse, per_size, seed),
+        scatter::scatter(Granularity::Fine, per_size, seed),
+        tables::table3(),
+        ablation::ablation(graphs.min(8), seed),
+        slack::slack(graphs.min(8), seed),
+        integrated::integrated(graphs.min(6), seed),
+        kernels::kernels_exhibit(),
+        sensitivity::sensitivity(graphs.min(8), seed),
+    ];
+    for s in &sections {
+        s.emit(&out).expect("write results");
+        println!();
+    }
+    println!(
+        "reproduced {} exhibits in {:.1} s; CSVs under {}/",
+        sections.len(),
+        t0.elapsed().as_secs_f64(),
+        out
+    );
+}

@@ -1,0 +1,12 @@
+//! Extension: leakage scaling across technology generations.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::sensitivity::sensitivity;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out"]);
+    let graphs = opts.usize("graphs", 8);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    sensitivity(graphs, seed).emit(&out).expect("write results");
+}

@@ -1,0 +1,12 @@
+//! Extension: online slack reclamation vs static execution.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::slack::slack;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out"]);
+    let graphs = opts.usize("graphs", 8);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    slack(graphs, seed).emit(&out).expect("write results");
+}

@@ -1,0 +1,12 @@
+//! Regenerate Table 2: benchmark characteristics.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::tables::table2;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out"]);
+    let graphs = opts.usize("graphs", 10);
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    table2(graphs, seed).emit(&out).expect("write results");
+}

@@ -1,0 +1,135 @@
+//! A tiny flag parser shared by the experiment binaries.
+//!
+//! Supported syntax: `--key value` and `--flag`. Unknown flags abort with
+//! a usage message so typos do not silently fall back to defaults.
+
+use std::collections::HashMap;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    known: Vec<&'static str>,
+}
+
+impl Options {
+    /// Parse `std::env::args`, accepting only the `known` keys.
+    pub fn parse(known: &[&'static str]) -> Options {
+        Self::from_args(std::env::args().skip(1).collect(), known)
+    }
+
+    /// Parse an explicit argument vector (for tests).
+    pub fn from_args(args: Vec<String>, known: &[&'static str]) -> Options {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut it = args.into_iter().peekable();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                die(&format!("unexpected positional argument {arg:?}"), known);
+            };
+            if !known.contains(&key) {
+                die(&format!("unknown flag --{key}"), known);
+            }
+            match it.peek() {
+                Some(v) if !v.starts_with("--") => {
+                    values.insert(key.to_string(), it.next().expect("peeked"));
+                }
+                _ => flags.push(key.to_string()),
+            }
+        }
+        Options {
+            values,
+            flags,
+            known: known.to_vec(),
+        }
+    }
+
+    /// Integer option with a default.
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.assert_known(key);
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--{key} expects an integer, got {v:?}"), &self.known)),
+            None => default,
+        }
+    }
+
+    /// Integer seed with a default.
+    pub fn u64(&self, key: &str, default: u64) -> u64 {
+        self.assert_known(key);
+        match self.values.get(key) {
+            Some(v) => v
+                .parse()
+                .unwrap_or_else(|_| die(&format!("--{key} expects an integer, got {v:?}"), &self.known)),
+            None => default,
+        }
+    }
+
+    /// String option with a default.
+    pub fn string(&self, key: &str, default: &str) -> String {
+        self.assert_known(key);
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Boolean flag.
+    pub fn flag(&self, key: &str) -> bool {
+        self.assert_known(key);
+        self.flags.iter().any(|f| f == key)
+    }
+
+    fn assert_known(&self, key: &str) {
+        assert!(
+            self.known.contains(&key),
+            "binary queried undeclared flag --{key}"
+        );
+    }
+}
+
+fn die(msg: &str, known: &[&'static str]) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!(
+        "known flags: {}",
+        known
+            .iter()
+            .map(|k| format!("--{k}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(args: &[&str], known: &[&'static str]) -> Options {
+        Options::from_args(args.iter().map(|s| s.to_string()).collect(), known)
+    }
+
+    #[test]
+    fn parses_values_and_flags() {
+        let o = opts(&["--graphs", "12", "--full"], &["graphs", "full", "out"]);
+        assert_eq!(o.usize("graphs", 5), 12);
+        assert!(o.flag("full"));
+        assert_eq!(o.string("out", "results"), "results");
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = opts(&[], &["graphs", "seed"]);
+        assert_eq!(o.usize("graphs", 10), 10);
+        assert_eq!(o.u64("seed", 42), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "undeclared flag")]
+    fn querying_undeclared_flag_panics() {
+        let o = opts(&[], &["graphs"]);
+        o.flag("verbose");
+    }
+}

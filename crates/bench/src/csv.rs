@@ -1,0 +1,141 @@
+//! CSV output for the experiment binaries.
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// An in-memory CSV table with a fixed header.
+#[derive(Debug, Clone)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// New table with the given column names.
+    pub fn new(header: &[&str]) -> Csv {
+        Csv {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            let mut first = true;
+            for c in cells {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                if c.contains(',') || c.contains('"') || c.contains('\n') {
+                    out.push('"');
+                    out.push_str(&c.replace('"', "\"\""));
+                    out.push('"');
+                } else {
+                    out.push_str(c);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Write to `dir/name`, creating the directory if needed.
+    pub fn write(&self, dir: &str, name: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = Path::new(dir).join(name);
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.render().as_bytes())?;
+        Ok(path)
+    }
+}
+
+impl std::fmt::Display for Csv {
+    /// Serialize (fields quoted only when needed).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with enough precision for the result tables.
+pub fn fmt(v: f64) -> String {
+    format!("{v:.6}")
+}
+
+/// Format a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut t = Csv::new(&["a", "b"]);
+        t.row(&["1".into(), "x,y".into()]);
+        let s = t.to_string();
+        assert_eq!(s, "a,b\n1,\"x,y\"\n");
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn escapes_quotes() {
+        let mut t = Csv::new(&["a"]);
+        t.row(&["say \"hi\"".into()]);
+        assert!(t.to_string().contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Csv::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("lamps-csv-test");
+        let dir = dir.to_str().unwrap();
+        let mut t = Csv::new(&["x"]);
+        t.row(&["1".into()]);
+        let path = t.write(dir, "t.csv").unwrap();
+        let read = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read, "x\n1\n");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt(1.5), "1.500000");
+        assert_eq!(pct(0.464), "46.4");
+    }
+}

@@ -1,0 +1,44 @@
+//! One function per paper exhibit; the `src/bin/` wrappers and
+//! `reproduce_all` both call these.
+
+pub mod ablation;
+pub mod curves;
+pub mod integrated;
+pub mod kernels;
+pub mod procs;
+pub mod relative;
+pub mod scatter;
+pub mod sensitivity;
+pub mod slack;
+pub mod tables;
+
+use crate::csv::Csv;
+
+/// Output of one experiment: a human-readable report plus named CSVs.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Formatted report for stdout.
+    pub report: String,
+    /// `(file name, table)` pairs for `results/`.
+    pub csvs: Vec<(String, Csv)>,
+    /// `(file name, svg)` figure renderings for `results/`.
+    pub svgs: Vec<(String, String)>,
+}
+
+impl ExperimentOutput {
+    /// Print the report and write the CSVs under `dir`.
+    pub fn emit(&self, dir: &str) -> std::io::Result<()> {
+        print!("{}", self.report);
+        for (name, csv) in &self.csvs {
+            let path = csv.write(dir, name)?;
+            println!("wrote {}", path.display());
+        }
+        for (name, svg) in &self.svgs {
+            std::fs::create_dir_all(dir)?;
+            let path = std::path::Path::new(dir).join(name);
+            std::fs::write(&path, svg)?;
+            println!("wrote {}", path.display());
+        }
+        Ok(())
+    }
+}

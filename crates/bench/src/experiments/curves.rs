@@ -1,0 +1,214 @@
+//! Fig. 2a/b (power and energy per cycle vs normalized frequency) and
+//! Fig. 3 (PS break-even idle cycles vs normalized frequency).
+
+use super::ExperimentOutput;
+use crate::csv::{fmt, Csv};
+use lamps_power::curves::{breakeven_curve, power_curve};
+use lamps_power::{LevelTable, SleepParams, TechnologyParams};
+use std::fmt::Write as _;
+
+/// Regenerate Fig. 2: sample the analytic power/energy curves and report
+/// the critical-frequency anchors of §3.3.
+pub fn fig02(samples: usize) -> ExperimentOutput {
+    let tech = TechnologyParams::seventy_nm();
+    let levels = LevelTable::default_grid(&tech).expect("default grid");
+    let data = power_curve(&tech, samples);
+
+    let mut csv = Csv::new(&[
+        "vdd",
+        "normalized_freq",
+        "p_dynamic_w",
+        "p_static_w",
+        "p_on_w",
+        "p_total_w",
+        "energy_per_cycle_j",
+    ]);
+    for s in &data {
+        csv.row(&[
+            fmt(s.vdd),
+            fmt(s.normalized_freq),
+            fmt(s.power.dynamic),
+            fmt(s.power.static_),
+            fmt(s.power.on),
+            fmt(s.power.total()),
+            format!("{:.6e}", s.energy_per_cycle),
+        ]);
+    }
+
+    let mut report = String::new();
+    writeln!(report, "== Fig. 2: power and energy vs normalized frequency ==").unwrap();
+    writeln!(
+        report,
+        "f_max = {:.3} GHz at Vdd = {} V",
+        tech.max_frequency() / 1e9,
+        tech.table.vdd0
+    )
+    .unwrap();
+    let nominal = data.last().expect("non-empty");
+    writeln!(
+        report,
+        "P(f_max) = {:.3} W  (AC {:.3} / DC {:.3} / on {:.3})   [paper Fig. 2a: ~2.2 W]",
+        nominal.power.total(),
+        nominal.power.dynamic,
+        nominal.power.static_,
+        nominal.power.on
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "continuous f_crit = {:.3} f_max                        [paper: 0.38]",
+        tech.critical_frequency_continuous() / tech.max_frequency()
+    )
+    .unwrap();
+    let crit = levels.critical();
+    writeln!(
+        report,
+        "discrete  f_crit = {:.3} f_max at Vdd = {:.2} V        [paper: 0.41 at 0.7 V]",
+        crit.freq / tech.max_frequency(),
+        crit.vdd
+    )
+    .unwrap();
+    writeln!(report, "{} curve samples in CSV", data.len()).unwrap();
+
+    let power_svg = lamps_viz::Chart::new(
+        "Fig. 2a: power vs normalized frequency",
+        "f / f_max",
+        "power [W]",
+    )
+    .line("P_total", data.iter().map(|s| (s.normalized_freq, s.power.total())).collect())
+    .line("P_AC", data.iter().map(|s| (s.normalized_freq, s.power.dynamic)).collect())
+    .line("P_DC", data.iter().map(|s| (s.normalized_freq, s.power.static_)).collect())
+    .line("P_on", data.iter().map(|s| (s.normalized_freq, s.power.on)).collect())
+    .render();
+    let energy_svg = lamps_viz::Chart::new(
+        "Fig. 2b: energy per cycle vs normalized frequency",
+        "f / f_max",
+        "energy per cycle [nJ]",
+    )
+    .line(
+        "E_total",
+        data.iter()
+            .map(|s| (s.normalized_freq, s.energy_per_cycle * 1e9))
+            .collect(),
+    )
+    .render();
+
+    ExperimentOutput {
+        report,
+        csvs: vec![("fig02_power_energy.csv".into(), csv)],
+        svgs: vec![
+            ("fig02a_power.svg".into(), power_svg),
+            ("fig02b_energy.svg".into(), energy_svg),
+        ],
+    }
+}
+
+/// Regenerate Fig. 3: minimum idle cycles for PS to pay off.
+pub fn fig03(samples: usize) -> ExperimentOutput {
+    let tech = TechnologyParams::seventy_nm();
+    let sleep = SleepParams::paper();
+    let data = breakeven_curve(&tech, &sleep, samples);
+
+    let mut csv = Csv::new(&[
+        "vdd",
+        "normalized_freq",
+        "breakeven_cycles",
+        "breakeven_seconds",
+    ]);
+    for s in &data {
+        csv.row(&[
+            fmt(s.vdd),
+            fmt(s.normalized_freq),
+            format!("{:.1}", s.breakeven_cycles),
+            format!("{:.6e}", s.breakeven_seconds),
+        ]);
+    }
+
+    let half = data
+        .iter()
+        .min_by(|a, b| {
+            (a.normalized_freq - 0.5)
+                .abs()
+                .total_cmp(&(b.normalized_freq - 0.5).abs())
+        })
+        .expect("non-empty");
+    let mut report = String::new();
+    writeln!(report, "== Fig. 3: PS break-even idle period vs frequency ==").unwrap();
+    writeln!(
+        report,
+        "sleep power 50 uW, transition overhead 483 uJ (Jejurikar et al.)"
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "break-even at 0.5 f_max = {:.2}M cycles               [paper: ~1.7M]",
+        half.breakeven_cycles / 1e6
+    )
+    .unwrap();
+    let max = data
+        .iter()
+        .map(|s| s.breakeven_cycles)
+        .fold(0.0f64, f64::max);
+    writeln!(
+        report,
+        "maximum over the range  = {:.2}M cycles               [paper Fig. 3 tops just under 2M]",
+        max / 1e6
+    )
+    .unwrap();
+
+    let svg = lamps_viz::Chart::new(
+        "Fig. 3: minimum idle period for PS to pay off",
+        "f / f_max",
+        "break-even [Mcycles]",
+    )
+    .line(
+        "break-even",
+        data.iter()
+            .map(|s| (s.normalized_freq, s.breakeven_cycles / 1e6))
+            .collect(),
+    )
+    .render();
+
+    ExperimentOutput {
+        report,
+        csvs: vec![("fig03_breakeven.csv".into(), csv)],
+        svgs: vec![("fig03_breakeven.svg".into(), svg)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig02_report_contains_anchors() {
+        let out = fig02(64);
+        assert!(out.report.contains("f_crit"));
+        assert!(out.csvs[0].1.len() == 64);
+        // Discrete anchor at 0.70 V.
+        assert!(out.report.contains("0.70 V"));
+    }
+
+    #[test]
+    fn fig03_hits_paper_anchor() {
+        let out = fig03(512);
+        assert!(out.report.contains("[paper: ~1.7M]"));
+        let line = out
+            .report
+            .lines()
+            .find(|l| l.contains("break-even at 0.5"))
+            .unwrap();
+        // Parse the reported value and check it's within 10% of 1.7M.
+        let v: f64 = line
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .trim()
+            .split('M')
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!((v - 1.7).abs() < 0.2, "reported {v}M");
+    }
+}

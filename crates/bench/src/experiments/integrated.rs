@@ -1,0 +1,211 @@
+//! Extension experiment: how much does an *integrated* search buy over
+//! the paper's decoupled heuristic?
+//!
+//! §6 of the paper concludes that, because LAMPS+PS sits within a few
+//! percent of LIMIT-SF, little can be gained from better scheduling —
+//! and points to the integrated GA of Kianzad et al. \[18\] and to other
+//! schedulers as the ways one might try. This experiment runs both:
+//!
+//! * the CASPER-style genetic search (priorities × processor count,
+//!   PS-aware level sweep, seeded with LAMPS+PS), and
+//! * insertion-based LS-EDF in place of the paper's non-insertion
+//!   scheduler,
+//!
+//! and reports what fraction of the LAMPS+PS→LIMIT-SF residual each
+//! recovers. The paper's prediction is "almost none"; the numbers test
+//! it.
+
+use super::ExperimentOutput;
+use crate::csv::Csv;
+use crate::parallel::par_map;
+use crate::suite::Granularity;
+use lamps_core::genetic::{genetic_solve, GaConfig};
+use lamps_core::limits::limit_sf;
+use lamps_core::{solve, SchedulerConfig, Strategy};
+use lamps_energy::evaluate;
+use lamps_sched::deadlines::latest_finish_times;
+use lamps_sched::insertion::insertion_schedule;
+use lamps_taskgraph::gen::layered::stg_group;
+use lamps_taskgraph::TaskGraph;
+use std::fmt::Write as _;
+
+/// One graph's outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct IntegratedRow {
+    /// LAMPS+PS energy \[J\].
+    pub lamps_ps: f64,
+    /// GA energy \[J\] (≤ LAMPS+PS by seeding).
+    pub ga: f64,
+    /// Insertion-scheduler LAMPS+PS-style energy \[J\].
+    pub insertion: f64,
+    /// LIMIT-SF \[J\].
+    pub limit_sf: f64,
+}
+
+impl IntegratedRow {
+    /// Fraction of the LAMPS+PS→LIMIT-SF residual the GA recovers.
+    pub fn ga_recovery(&self) -> f64 {
+        let residual = self.lamps_ps - self.limit_sf;
+        if residual <= 0.0 {
+            0.0
+        } else {
+            (self.lamps_ps - self.ga) / residual
+        }
+    }
+}
+
+/// LAMPS+PS-style search but with the insertion scheduler: scan
+/// processor counts, sweep levels with PS.
+fn insertion_lamps_ps(graph: &TaskGraph, deadline_s: f64, cfg: &SchedulerConfig) -> Option<f64> {
+    let deadline_cycles = cfg.deadline_cycles(deadline_s);
+    let keys = latest_finish_times(graph, deadline_cycles);
+    let mut best: Option<f64> = None;
+    let mut prev_makespan: Option<u64> = None;
+    for n in 1..=graph.len() {
+        let schedule = insertion_schedule(graph, n, &keys);
+        let makespan = schedule.makespan_cycles();
+        if let Some(prev) = prev_makespan {
+            if makespan >= prev {
+                break;
+            }
+        }
+        prev_makespan = Some(makespan);
+        if makespan > deadline_cycles {
+            continue;
+        }
+        let required = makespan as f64 / deadline_s;
+        for level in cfg.levels.at_least(required) {
+            if let Ok(e) = evaluate(&schedule, level, deadline_s, Some(&cfg.sleep)) {
+                let e = e.total();
+                if best.is_none_or(|b| e < b) {
+                    best = Some(e);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Run the comparison on `n_graphs` seeded graphs at deadline 2×CPL.
+pub fn integrated_rows(n_graphs: usize, seed: u64) -> Vec<IntegratedRow> {
+    let cfg = SchedulerConfig::paper();
+    let graphs: Vec<TaskGraph> = stg_group(60, n_graphs, seed)
+        .into_iter()
+        .map(|g| g.scale_weights(Granularity::Coarse.cycles_per_unit()))
+        .collect();
+    let rows: Vec<Option<IntegratedRow>> = par_map(&graphs, |g| {
+        let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let lamps_ps = solve(Strategy::LampsPs, g, d, &cfg).ok()?.energy.total();
+        let ga = genetic_solve(
+            g,
+            d,
+            &cfg,
+            &GaConfig {
+                population: 16,
+                generations: 20,
+                seed,
+                ..GaConfig::default()
+            },
+        )
+        .ok()?
+        .energy_j;
+        let insertion = insertion_lamps_ps(g, d, &cfg)?;
+        let sf = limit_sf(g, d, &cfg).ok()?.energy_j;
+        Some(IntegratedRow {
+            lamps_ps,
+            ga,
+            insertion,
+            limit_sf: sf,
+        })
+    });
+    rows.into_iter().flatten().collect()
+}
+
+/// Regenerate the exhibit.
+pub fn integrated(n_graphs: usize, seed: u64) -> ExperimentOutput {
+    let rows = integrated_rows(n_graphs, seed);
+
+    let mut csv = Csv::new(&[
+        "graph",
+        "lamps_ps_j",
+        "ga_j",
+        "insertion_j",
+        "limit_sf_j",
+        "ga_recovery_pct",
+    ]);
+    let mut report = String::new();
+    writeln!(
+        report,
+        "== Extension: integrated search vs LAMPS+PS (deadline 2 x CPL, coarse) =="
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "{:>6} {:>11} {:>11} {:>11} {:>11} {:>9}",
+        "graph", "LAMPS+PS", "GA[18]", "insertion", "LIMIT-SF", "GA rec."
+    )
+    .unwrap();
+    let mut mean_rec = 0.0;
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            report,
+            "{:>6} {:>11.4} {:>11.4} {:>11.4} {:>11.4} {:>8.1}%",
+            i,
+            r.lamps_ps,
+            r.ga,
+            r.insertion,
+            r.limit_sf,
+            r.ga_recovery() * 100.0
+        )
+        .unwrap();
+        csv.row(&[
+            i.to_string(),
+            format!("{:.6}", r.lamps_ps),
+            format!("{:.6}", r.ga),
+            format!("{:.6}", r.insertion),
+            format!("{:.6}", r.limit_sf),
+            format!("{:.2}", r.ga_recovery() * 100.0),
+        ]);
+        mean_rec += r.ga_recovery();
+    }
+    if !rows.is_empty() {
+        writeln!(
+            report,
+            "mean GA recovery of the LAMPS+PS->LIMIT-SF residual: {:.1}% (paper's §6 predicts little room)",
+            mean_rec / rows.len() as f64 * 100.0
+        )
+        .unwrap();
+    }
+
+    ExperimentOutput {
+        report,
+        csvs: vec![("integrated_search.csv".into(), csv)],
+        svgs: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_ordered_correctly() {
+        let rows = integrated_rows(2, 3);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.ga <= r.lamps_ps * (1.0 + 1e-9));
+            assert!(r.limit_sf <= r.ga * (1.0 + 1e-9));
+            assert!(r.limit_sf <= r.insertion * (1.0 + 1e-9));
+            let rec = r.ga_recovery();
+            assert!((0.0..=1.0 + 1e-9).contains(&rec), "recovery {rec}");
+        }
+    }
+
+    #[test]
+    fn report_mentions_all_columns() {
+        let out = integrated(2, 5);
+        for key in ["LAMPS+PS", "GA[18]", "insertion", "LIMIT-SF"] {
+            assert!(out.report.contains(key), "missing {key}");
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Figs. 10 (coarse grain) and 11 (fine grain): relative energy
+//! consumption of every strategy and both limits, normalized to S&S, per
+//! benchmark group and deadline factor.
+
+use super::ExperimentOutput;
+use crate::csv::{pct, Csv};
+use crate::parallel::par_map;
+use crate::run::{evaluate_graph, mean_over, GraphResult};
+use crate::suite::{Granularity, Suite, DEADLINE_FACTORS};
+use lamps_core::{SchedulerConfig, Strategy};
+use std::fmt::Write as _;
+
+/// Mean relative energies of one (group, factor) cell.
+#[derive(Debug, Clone)]
+pub struct RelativeRow {
+    /// Group label.
+    pub group: String,
+    /// Deadline factor.
+    pub factor: f64,
+    /// Mean E/E_S&S for LAMPS, S&S+PS, LAMPS+PS, LIMIT-SF, LIMIT-MF.
+    pub lamps: f64,
+    /// S&S+PS relative energy.
+    pub ss_ps: f64,
+    /// LAMPS+PS relative energy.
+    pub lamps_ps: f64,
+    /// LIMIT-SF relative energy.
+    pub limit_sf: f64,
+    /// LIMIT-MF relative energy.
+    pub limit_mf: f64,
+    /// Graphs evaluated (infeasible/degenerate ones are skipped).
+    pub count: usize,
+}
+
+/// Evaluate the full relative-energy table for one granularity.
+pub fn relative_energy_rows(
+    granularity: Granularity,
+    suite: &Suite,
+    cfg: &SchedulerConfig,
+) -> Vec<RelativeRow> {
+    let mut rows = Vec::new();
+    for &factor in &DEADLINE_FACTORS {
+        for group in &suite.groups {
+            let results: Vec<Option<GraphResult>> = par_map(&group.graphs, |g| {
+                evaluate_graph(g, granularity, factor, cfg).ok()
+            });
+            let results: Vec<GraphResult> = results.into_iter().flatten().collect();
+            if results.is_empty() {
+                continue;
+            }
+            rows.push(RelativeRow {
+                group: group.name.clone(),
+                factor,
+                lamps: mean_over(&results, |r| r.relative(Strategy::Lamps)),
+                ss_ps: mean_over(&results, |r| r.relative(Strategy::ScheduleStretchPs)),
+                lamps_ps: mean_over(&results, |r| r.relative(Strategy::LampsPs)),
+                limit_sf: mean_over(&results, |r| r.relative_limit_sf()),
+                limit_mf: mean_over(&results, |r| r.relative_limit_mf()),
+                count: results.len(),
+            });
+        }
+    }
+    rows
+}
+
+/// Headline numbers in the abstract/§5.2: best LAMPS+PS saving vs S&S at
+/// tight (1.5×) and loose (8×) deadlines, and the fraction of the
+/// LIMIT-SF potential that LAMPS+PS attains.
+#[derive(Debug, Clone, Copy)]
+pub struct Headline {
+    /// Max saving (1 − relative energy) at 1.5× CPL.
+    pub max_saving_tight: f64,
+    /// Max saving at 8× CPL.
+    pub max_saving_loose: f64,
+    /// Minimum over groups of attained fraction of the possible
+    /// reduction: (1 − rel(LAMPS+PS)) / (1 − rel(LIMIT-SF)).
+    pub min_attained_fraction: f64,
+}
+
+/// Compute the headline numbers from the rows.
+pub fn headline(rows: &[RelativeRow]) -> Headline {
+    let max_saving = |factor: f64| {
+        rows.iter()
+            .filter(|r| r.factor == factor)
+            .map(|r| 1.0 - r.lamps_ps)
+            .fold(0.0f64, f64::max)
+    };
+    let min_fraction = rows
+        .iter()
+        .filter(|r| r.limit_sf < 1.0 - 1e-9)
+        .map(|r| (1.0 - r.lamps_ps) / (1.0 - r.limit_sf))
+        .fold(f64::INFINITY, f64::min);
+    Headline {
+        max_saving_tight: max_saving(1.5),
+        max_saving_loose: max_saving(8.0),
+        min_attained_fraction: min_fraction,
+    }
+}
+
+/// Regenerate Fig. 10 (coarse) or Fig. 11 (fine).
+pub fn relative_energy(
+    granularity: Granularity,
+    graphs_per_group: usize,
+    seed: u64,
+) -> ExperimentOutput {
+    let cfg = SchedulerConfig::paper();
+    let suite = Suite::paper(graphs_per_group, seed);
+    let rows = relative_energy_rows(granularity, &suite, &cfg);
+
+    let fig = match granularity {
+        Granularity::Coarse => "Fig. 10",
+        Granularity::Fine => "Fig. 11",
+    };
+    let mut csv = Csv::new(&[
+        "granularity",
+        "deadline_factor",
+        "group",
+        "graphs",
+        "lamps_pct",
+        "ss_ps_pct",
+        "lamps_ps_pct",
+        "limit_sf_pct",
+        "limit_mf_pct",
+    ]);
+    for r in &rows {
+        csv.row(&[
+            granularity.name().into(),
+            format!("{}", r.factor),
+            r.group.clone(),
+            r.count.to_string(),
+            pct(r.lamps),
+            pct(r.ss_ps),
+            pct(r.lamps_ps),
+            pct(r.limit_sf),
+            pct(r.limit_mf),
+        ]);
+    }
+
+    let mut report = String::new();
+    writeln!(
+        report,
+        "== {fig}: relative energy vs S&S, {} grain ({} graphs/group) ==",
+        granularity.name(),
+        graphs_per_group
+    )
+    .unwrap();
+    let mut current_factor = f64::NAN;
+    for r in &rows {
+        if r.factor != current_factor {
+            current_factor = r.factor;
+            writeln!(report, "-- deadline = {current_factor} x CPL --").unwrap();
+            writeln!(
+                report,
+                "{:>8} {:>8} {:>8} {:>9} {:>9} {:>9}",
+                "group", "LAMPS", "S&S+PS", "LAMPS+PS", "LIMIT-SF", "LIMIT-MF"
+            )
+            .unwrap();
+        }
+        writeln!(
+            report,
+            "{:>8} {:>7.1}% {:>7.1}% {:>8.1}% {:>8.1}% {:>8.1}%",
+            r.group,
+            r.lamps * 100.0,
+            r.ss_ps * 100.0,
+            r.lamps_ps * 100.0,
+            r.limit_sf * 100.0,
+            r.limit_mf * 100.0
+        )
+        .unwrap();
+    }
+    let h = headline(&rows);
+    writeln!(
+        report,
+        "headline: max LAMPS+PS saving {:.0}% @1.5x (paper: up to 46% coarse / 40% fine), {:.0}% @8x (paper: 73% / 71%)",
+        h.max_saving_tight * 100.0,
+        h.max_saving_loose * 100.0
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "headline: min attained fraction of LIMIT-SF potential {:.0}% (paper: >94% coarse)",
+        h.min_attained_fraction * 100.0
+    )
+    .unwrap();
+
+    let name = match granularity {
+        Granularity::Coarse => "fig10_relative_coarse.csv",
+        Granularity::Fine => "fig11_relative_fine.csv",
+    };
+    let stem = match granularity {
+        Granularity::Coarse => "fig10",
+        Granularity::Fine => "fig11",
+    };
+    let mut svgs = Vec::new();
+    for &factor in &DEADLINE_FACTORS {
+        let sub: Vec<&RelativeRow> = rows.iter().filter(|r| r.factor == factor).collect();
+        if sub.is_empty() {
+            continue;
+        }
+        let categories: Vec<String> = sub.iter().map(|r| r.group.clone()).collect();
+        let series = vec![
+            ("LAMPS".to_string(), sub.iter().map(|r| r.lamps * 100.0).collect()),
+            ("S&S+PS".to_string(), sub.iter().map(|r| r.ss_ps * 100.0).collect()),
+            ("LAMPS+PS".to_string(), sub.iter().map(|r| r.lamps_ps * 100.0).collect()),
+            ("LIMIT-SF".to_string(), sub.iter().map(|r| r.limit_sf * 100.0).collect()),
+            ("LIMIT-MF".to_string(), sub.iter().map(|r| r.limit_mf * 100.0).collect()),
+        ];
+        let svg = lamps_viz::grouped_bars(
+            &format!("{fig}: relative energy vs S&S, deadline {factor} x CPL ({} grain)", granularity.name()),
+            "% of S&S energy",
+            &categories,
+            &series,
+        );
+        svgs.push((format!("{stem}_{}x.svg", factor), svg));
+    }
+    ExperimentOutput {
+        report,
+        csvs: vec![(name.into(), csv)],
+        svgs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_rows_have_dominance() {
+        let cfg = SchedulerConfig::paper();
+        let suite = Suite::smoke();
+        let rows = relative_energy_rows(Granularity::Coarse, &suite, &cfg);
+        assert!(!rows.is_empty());
+        for r in &rows {
+            assert!(r.limit_mf <= r.limit_sf + 1e-9, "{:?}", r);
+            assert!(r.limit_sf <= r.lamps_ps + 1e-9, "{:?}", r);
+            assert!(r.lamps_ps <= r.lamps + 1e-9, "{:?}", r);
+            assert!(r.lamps_ps <= r.ss_ps + 1e-9, "{:?}", r);
+            assert!(r.lamps <= 1.0 + 1e-9, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn looser_deadline_saves_more_with_lamps() {
+        // §5.2: LAMPS improves on S&S mainly for less strict deadlines.
+        let cfg = SchedulerConfig::paper();
+        let suite = Suite::smoke();
+        let rows = relative_energy_rows(Granularity::Coarse, &suite, &cfg);
+        let mean_at = |f: f64| {
+            let v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.factor == f)
+                .map(|r| r.lamps)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(mean_at(8.0) < mean_at(1.5) + 1e-9);
+    }
+
+    #[test]
+    fn headline_extracts_max_savings() {
+        let rows = vec![
+            RelativeRow {
+                group: "a".into(),
+                factor: 1.5,
+                lamps: 0.9,
+                ss_ps: 0.8,
+                lamps_ps: 0.7,
+                limit_sf: 0.6,
+                limit_mf: 0.5,
+                count: 1,
+            },
+            RelativeRow {
+                group: "a".into(),
+                factor: 8.0,
+                lamps: 0.5,
+                ss_ps: 0.4,
+                lamps_ps: 0.3,
+                limit_sf: 0.25,
+                limit_mf: 0.2,
+                count: 1,
+            },
+        ];
+        let h = headline(&rows);
+        assert!((h.max_saving_tight - 0.3).abs() < 1e-12);
+        assert!((h.max_saving_loose - 0.7).abs() < 1e-12);
+        assert!((h.min_attained_fraction - 0.3 / 0.4).abs() < 1e-12);
+    }
+}

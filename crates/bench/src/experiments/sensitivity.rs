@@ -1,0 +1,198 @@
+//! Extension experiment: leakage scaling across technology generations.
+//!
+//! The paper's motivation (§1) cites Borkar's prediction that leakage
+//! current grows ~5× per technology generation, eventually dominating
+//! dynamic power. This exhibit makes that argument quantitative: scale
+//! the sub-threshold leakage pre-factor K3 by {0.2, 1, 5, 25} —
+//! one generation back, the paper's 70 nm baseline, and one/two
+//! generations forward — rebuild the level tables, and measure how much
+//! LAMPS+PS saves over S&S at each point. The paper's thesis predicts
+//! the savings (and the importance of processor-count selection) grow
+//! with leakage.
+
+use super::ExperimentOutput;
+use crate::csv::Csv;
+use crate::parallel::par_map;
+use crate::suite::Granularity;
+use lamps_core::{solve, SchedulerConfig, Strategy};
+use lamps_power::{LevelTable, TechnologyParams};
+use lamps_taskgraph::gen::layered::stg_group;
+use lamps_taskgraph::TaskGraph;
+use std::fmt::Write as _;
+
+/// Leakage multipliers swept (×1 is the paper's 70 nm).
+pub const LEAKAGE_FACTORS: [f64; 4] = [0.2, 1.0, 5.0, 25.0];
+
+/// A platform with the sub-threshold leakage scaled by `factor`.
+pub fn scaled_leakage_config(factor: f64) -> SchedulerConfig {
+    let base = TechnologyParams::seventy_nm();
+    let mut table = base.table;
+    table.k3 *= factor;
+    let tech = TechnologyParams { table, ..base };
+    let levels = LevelTable::default_grid(&tech).expect("grid stays valid: K3 does not move V_th");
+    SchedulerConfig {
+        tech,
+        levels,
+        sleep: lamps_power::SleepParams::paper(),
+    }
+}
+
+/// One sweep row.
+#[derive(Debug, Clone, Copy)]
+pub struct SensitivityRow {
+    /// Leakage multiplier.
+    pub factor: f64,
+    /// Static share of the total power at the nominal voltage.
+    pub static_share: f64,
+    /// Normalized critical frequency of the scaled platform.
+    pub crit_freq_norm: f64,
+    /// Mean LAMPS+PS energy relative to S&S.
+    pub lamps_ps_rel: f64,
+    /// Mean LAMPS (no shutdown) energy relative to S&S.
+    pub lamps_rel: f64,
+}
+
+/// Run the sweep at deadline 2×CPL, coarse grain.
+pub fn sensitivity_rows(n_graphs: usize, seed: u64) -> Vec<SensitivityRow> {
+    let graphs: Vec<TaskGraph> = stg_group(80, n_graphs, seed)
+        .into_iter()
+        .map(|g| g.scale_weights(Granularity::Coarse.cycles_per_unit()))
+        .collect();
+
+    LEAKAGE_FACTORS
+        .iter()
+        .map(|&factor| {
+            let cfg = scaled_leakage_config(factor);
+            let nominal = cfg
+                .tech
+                .active_breakdown(cfg.tech.table.vdd0)
+                .expect("nominal is valid");
+            let rels: Vec<Option<(f64, f64)>> = par_map(&graphs, |g| {
+                let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+                let ss = solve(Strategy::ScheduleStretch, g, d, &cfg).ok()?;
+                let lamps = solve(Strategy::Lamps, g, d, &cfg).ok()?;
+                let lamps_ps = solve(Strategy::LampsPs, g, d, &cfg).ok()?;
+                Some((
+                    lamps_ps.energy.total() / ss.energy.total(),
+                    lamps.energy.total() / ss.energy.total(),
+                ))
+            });
+            let rels: Vec<(f64, f64)> = rels.into_iter().flatten().collect();
+            let mean = |sel: fn(&(f64, f64)) -> f64| {
+                rels.iter().map(sel).sum::<f64>() / rels.len() as f64
+            };
+            SensitivityRow {
+                factor,
+                static_share: nominal.static_ / nominal.total(),
+                crit_freq_norm: cfg.levels.critical().freq / cfg.max_frequency(),
+                lamps_ps_rel: mean(|r| r.0),
+                lamps_rel: mean(|r| r.1),
+            }
+        })
+        .collect()
+}
+
+/// Regenerate the exhibit.
+pub fn sensitivity(n_graphs: usize, seed: u64) -> ExperimentOutput {
+    let rows = sensitivity_rows(n_graphs, seed);
+
+    let mut csv = Csv::new(&[
+        "leakage_factor",
+        "static_share_pct",
+        "crit_freq_norm",
+        "lamps_rel_pct",
+        "lamps_ps_rel_pct",
+    ]);
+    let mut report = String::new();
+    writeln!(
+        report,
+        "== Extension: leakage scaling across generations (deadline 2 x CPL, coarse) =="
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "{:>8} {:>13} {:>10} {:>10} {:>10}",
+        "K3 x", "static share", "f_crit", "LAMPS", "LAMPS+PS"
+    )
+    .unwrap();
+    for r in &rows {
+        writeln!(
+            report,
+            "{:>8} {:>12.1}% {:>10.2} {:>9.1}% {:>9.1}%",
+            r.factor,
+            r.static_share * 100.0,
+            r.crit_freq_norm,
+            r.lamps_rel * 100.0,
+            r.lamps_ps_rel * 100.0
+        )
+        .unwrap();
+        csv.row(&[
+            format!("{}", r.factor),
+            format!("{:.2}", r.static_share * 100.0),
+            format!("{:.3}", r.crit_freq_norm),
+            format!("{:.2}", r.lamps_rel * 100.0),
+            format!("{:.2}", r.lamps_ps_rel * 100.0),
+        ]);
+    }
+    writeln!(
+        report,
+        "paper's §1 thesis: as leakage grows (Borkar: ~5x/generation), limiting the processor\n count and shutting down matter more — the LAMPS+PS advantage over DVS-only S&S must widen."
+    )
+    .unwrap();
+
+    let svg = lamps_viz::Chart::new(
+        "Leakage scaling: relative energy vs S&S across generations",
+        "static power share at nominal voltage [%]",
+        "% of S&S energy",
+    )
+    .line(
+        "LAMPS",
+        rows.iter()
+            .map(|r| (r.static_share * 100.0, r.lamps_rel * 100.0))
+            .collect(),
+    )
+    .line(
+        "LAMPS+PS",
+        rows.iter()
+            .map(|r| (r.static_share * 100.0, r.lamps_ps_rel * 100.0))
+            .collect(),
+    )
+    .render();
+    ExperimentOutput {
+        report,
+        csvs: vec![("sensitivity_leakage.csv".into(), csv)],
+        svgs: vec![("sensitivity_leakage.svg".into(), svg)],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_share_grows_with_leakage() {
+        let rows = sensitivity_rows(2, 3);
+        assert_eq!(rows.len(), 4);
+        for w in rows.windows(2) {
+            assert!(w[1].static_share > w[0].static_share);
+            // The critical frequency climbs as leakage grows (idling at
+            // low speed gets costlier).
+            assert!(w[1].crit_freq_norm >= w[0].crit_freq_norm);
+        }
+    }
+
+    #[test]
+    fn savings_widen_with_leakage() {
+        // The headline direction of the paper's motivation: more leakage
+        // → bigger LAMPS+PS advantage over S&S.
+        let rows = sensitivity_rows(3, 7);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(
+            last.lamps_ps_rel < first.lamps_ps_rel,
+            "x0.2: {:.3}, x25: {:.3}",
+            first.lamps_ps_rel,
+            last.lamps_ps_rel
+        );
+    }
+}

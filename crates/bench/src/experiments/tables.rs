@@ -1,0 +1,200 @@
+//! Table 2 (benchmark characteristics) and Table 3 (MPEG-1 results).
+
+use super::ExperimentOutput;
+use crate::csv::Csv;
+use crate::suite::{Suite, GROUP_SIZES};
+use lamps_core::limits::{limit_mf, limit_sf};
+use lamps_core::{solve, SchedulerConfig, Strategy};
+use lamps_taskgraph::apps::{mpeg, proxies};
+use std::fmt::Write as _;
+
+/// Regenerate Table 2: characteristics of the application proxies
+/// (exact) and the random groups (ranges), next to the published values.
+pub fn table2(graphs_per_group: usize, seed: u64) -> ExperimentOutput {
+    let suite = Suite::paper(graphs_per_group, seed);
+    let mut csv = Csv::new(&[
+        "name",
+        "nodes",
+        "edges_min",
+        "edges_max",
+        "cpl_min",
+        "cpl_max",
+        "work_min",
+        "work_max",
+    ]);
+    let mut report = String::new();
+    writeln!(report, "== Table 2: benchmark characteristics ==").unwrap();
+    writeln!(
+        report,
+        "{:>8} {:>7} {:>15} {:>15} {:>15}",
+        "name", "nodes", "edges", "critical path", "total work"
+    )
+    .unwrap();
+
+    for group in &suite.groups {
+        let stats: Vec<_> = group.graphs.iter().map(|g| g.stats()).collect();
+        let min_max = |f: &dyn Fn(&lamps_taskgraph::analysis::GraphStats) -> u64| {
+            let vals: Vec<u64> = stats.iter().map(f).collect();
+            (
+                *vals.iter().min().expect("non-empty"),
+                *vals.iter().max().expect("non-empty"),
+            )
+        };
+        let nodes = stats[0].tasks;
+        let (e0, e1) = min_max(&|s| s.edges as u64);
+        let (c0, c1) = min_max(&|s| s.critical_path_cycles);
+        let (w0, w1) = min_max(&|s| s.total_work_cycles);
+        let range = |a: u64, b: u64| {
+            if a == b {
+                a.to_string()
+            } else {
+                format!("{a}-{b}")
+            }
+        };
+        writeln!(
+            report,
+            "{:>8} {:>7} {:>15} {:>15} {:>15}",
+            group.name,
+            nodes,
+            range(e0, e1),
+            range(c0, c1),
+            range(w0, w1)
+        )
+        .unwrap();
+        csv.row(&[
+            group.name.clone(),
+            nodes.to_string(),
+            e0.to_string(),
+            e1.to_string(),
+            c0.to_string(),
+            c1.to_string(),
+            w0.to_string(),
+            w1.to_string(),
+        ]);
+    }
+
+    writeln!(report, "-- published application rows (proxies match exactly) --").unwrap();
+    for row in proxies::TABLE2_APPS {
+        writeln!(
+            report,
+            "{:>8} {:>7} {:>15} {:>15} {:>15}",
+            row.name, row.nodes, row.edges, row.cpl, row.work
+        )
+        .unwrap();
+    }
+    writeln!(
+        report,
+        "(random groups are seeded regenerations with STG statistics; sizes {:?})",
+        GROUP_SIZES
+    )
+    .unwrap();
+
+    ExperimentOutput {
+        report,
+        csvs: vec![("table2_characteristics.csv".into(), csv)],
+        svgs: Vec::new(),
+    }
+}
+
+/// Regenerate Table 3: MPEG-1 energy and processor count per approach.
+pub fn table3() -> ExperimentOutput {
+    let cfg = SchedulerConfig::paper();
+    let g = mpeg::paper_gop();
+    let d = mpeg::GOP_DEADLINE_SECONDS;
+
+    let mut csv = Csv::new(&["approach", "energy_j", "n_procs", "vdd", "relative_to_ss"]);
+    let mut report = String::new();
+    writeln!(report, "== Table 3: MPEG-1 (15-frame GOP, deadline 0.5 s) ==").unwrap();
+    writeln!(
+        report,
+        "{:>10} {:>12} {:>8} {:>6} {:>10}",
+        "approach", "energy [J]", "procs", "Vdd", "vs S&S"
+    )
+    .unwrap();
+
+    let ss_energy = solve(Strategy::ScheduleStretch, &g, d, &cfg)
+        .expect("MPEG GOP is feasible")
+        .energy
+        .total();
+    for s in Strategy::all() {
+        let sol = solve(s, &g, d, &cfg).expect("MPEG GOP is feasible");
+        let e = sol.energy.total();
+        writeln!(
+            report,
+            "{:>10} {:>12.4} {:>8} {:>6.2} {:>9.1}%",
+            s.name(),
+            e,
+            sol.n_procs,
+            sol.level.vdd,
+            e / ss_energy * 100.0
+        )
+        .unwrap();
+        csv.row(&[
+            s.name().into(),
+            format!("{e:.6}"),
+            sol.n_procs.to_string(),
+            format!("{:.2}", sol.level.vdd),
+            format!("{:.4}", e / ss_energy),
+        ]);
+    }
+    let sf = limit_sf(&g, d, &cfg).expect("feasible");
+    let mf = limit_mf(&g, d, &cfg);
+    for (name, e) in [("LIMIT-SF", sf.energy_j), ("LIMIT-MF", mf.energy_j)] {
+        writeln!(
+            report,
+            "{:>10} {:>12.4} {:>8} {:>6} {:>9.1}%",
+            name,
+            e,
+            "N/A",
+            "-",
+            e / ss_energy * 100.0
+        )
+        .unwrap();
+        csv.row(&[
+            name.into(),
+            format!("{e:.6}"),
+            "N/A".into(),
+            "".into(),
+            format!("{:.4}", e / ss_energy),
+        ]);
+    }
+    writeln!(
+        report,
+        "paper: S&S 18.116/7p, LAMPS 13.290/3p (-27%), S&S+PS 10.949/7p (-40%), LAMPS+PS 10.947/6p, limits 10.940"
+    )
+    .unwrap();
+    writeln!(
+        report,
+        "(absolute joules differ — the paper's unit is not recoverable — compare the ratios and processor counts)"
+    )
+    .unwrap();
+
+    ExperimentOutput {
+        report,
+        csvs: vec![("table3_mpeg.csv".into(), csv)],
+        svgs: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_includes_all_groups() {
+        let out = table2(2, 3);
+        assert_eq!(out.csvs[0].1.len(), GROUP_SIZES.len() + 3);
+        assert!(out.report.contains("fpppp"));
+        assert!(out.report.contains("1062")); // published fpppp CPL
+    }
+
+    #[test]
+    fn table3_has_six_rows_and_sane_ratios() {
+        let out = table3();
+        let csv = &out.csvs[0].1;
+        assert_eq!(csv.len(), 6);
+        // LAMPS+PS row must be close to the limits (paper: within ~0.1%).
+        assert!(out.report.contains("LAMPS+PS"));
+        assert!(out.report.contains("LIMIT-MF"));
+    }
+}

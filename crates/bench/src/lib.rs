@@ -1,0 +1,34 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (§5).
+//!
+//! Each binary in `src/bin/` reproduces one exhibit:
+//!
+//! | binary | exhibit |
+//! |---|---|
+//! | `fig02` | Fig. 2a/b — power & energy/cycle vs normalized frequency |
+//! | `fig03` | Fig. 3 — PS break-even idle cycles vs frequency |
+//! | `fig06` | Fig. 6 — energy vs processor count (fpppp/robot/sparse) |
+//! | `fig10` | Fig. 10a–d — relative energy, coarse grain |
+//! | `fig11` | Fig. 11a–d — relative energy, fine grain |
+//! | `fig12` | Fig. 12 — energy/work vs parallelism, coarse grain |
+//! | `fig13` | Fig. 13 — energy/work vs parallelism, fine grain |
+//! | `table2` | Table 2 — benchmark characteristics |
+//! | `table3` | Table 3 — MPEG-1 energies and processor counts |
+//! | `ablation` | §4.4/§6 — priority policies & continuous voltage |
+//! | `reproduce-all` | everything above, with CSVs under `results/` |
+//!
+//! The library part holds the shared machinery: benchmark-suite
+//! construction (the STG-statistics random groups and the Table 2
+//! application proxies), per-graph strategy evaluation, aggregation into
+//! the relative-energy tables, a tiny CLI-flag parser, CSV output, and a
+//! scoped-thread parallel map.
+
+pub mod cli;
+pub mod csv;
+pub mod experiments;
+pub mod parallel;
+pub mod run;
+pub mod suite;
+
+pub use run::{evaluate_graph, GraphResult, StrategyOutcome};
+pub use suite::{BenchmarkGroup, Granularity, Suite};

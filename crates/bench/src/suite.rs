@@ -1,0 +1,135 @@
+//! Benchmark-suite construction (§5.1).
+//!
+//! The paper evaluates on the STG random groups (180 graphs per node
+//! count; we default to a seeded subset per group, adjustable with
+//! `--graphs`) and the three application graphs, at two task
+//! granularities and four deadline factors.
+
+use lamps_taskgraph::apps::proxies;
+use lamps_taskgraph::gen::layered;
+use lamps_taskgraph::TaskGraph;
+use lamps_taskgraph::{COARSE_GRAIN_CYCLES_PER_UNIT, FINE_GRAIN_CYCLES_PER_UNIT};
+
+/// Task granularity (§5.1): how many cycles one STG weight unit is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Granularity {
+    /// 3.1·10⁶ cycles/unit — 1 ms at f_max.
+    Coarse,
+    /// 3.1·10⁴ cycles/unit — 10 µs at f_max.
+    Fine,
+}
+
+impl Granularity {
+    /// Cycles per STG weight unit.
+    pub fn cycles_per_unit(&self) -> u64 {
+        match self {
+            Granularity::Coarse => COARSE_GRAIN_CYCLES_PER_UNIT,
+            Granularity::Fine => FINE_GRAIN_CYCLES_PER_UNIT,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Granularity::Coarse => "coarse",
+            Granularity::Fine => "fine",
+        }
+    }
+}
+
+/// The deadline factors of Figs. 10–11: deadline = factor × CPL at f_max.
+pub const DEADLINE_FACTORS: [f64; 4] = [1.5, 2.0, 4.0, 8.0];
+
+/// Node counts of the random groups shown in Figs. 10–11.
+pub const GROUP_SIZES: [usize; 7] = [50, 100, 500, 1000, 2000, 2500, 5000];
+
+/// One named group of benchmark graphs (weights in STG units).
+#[derive(Debug, Clone)]
+pub struct BenchmarkGroup {
+    /// Group label as it appears on the figure x-axis.
+    pub name: String,
+    /// The graphs (unscaled, STG weight units).
+    pub graphs: Vec<TaskGraph>,
+}
+
+/// The full benchmark suite of §5.1.
+#[derive(Debug, Clone)]
+pub struct Suite {
+    /// Random groups followed by the application proxies.
+    pub groups: Vec<BenchmarkGroup>,
+}
+
+impl Suite {
+    /// Build the suite: `graphs_per_group` seeded random graphs for every
+    /// size of [`GROUP_SIZES`], plus `fpppp`, `robot`, `sparse`.
+    pub fn paper(graphs_per_group: usize, seed: u64) -> Suite {
+        let mut groups = Vec::new();
+        for (i, &n) in GROUP_SIZES.iter().enumerate() {
+            groups.push(BenchmarkGroup {
+                name: n.to_string(),
+                graphs: layered::stg_group(n, graphs_per_group, seed.wrapping_add(i as u64)),
+            });
+        }
+        for (name, g) in proxies::all() {
+            groups.push(BenchmarkGroup {
+                name: name.to_string(),
+                graphs: vec![g],
+            });
+        }
+        Suite { groups }
+    }
+
+    /// A reduced suite for smoke tests and criterion benches.
+    pub fn smoke() -> Suite {
+        let mut groups = vec![
+            BenchmarkGroup {
+                name: "50".into(),
+                graphs: layered::stg_group(50, 3, 7),
+            },
+            BenchmarkGroup {
+                name: "100".into(),
+                graphs: layered::stg_group(100, 3, 8),
+            },
+        ];
+        groups.push(BenchmarkGroup {
+            name: "robot".into(),
+            graphs: vec![proxies::robot()],
+        });
+        Suite { groups }
+    }
+
+    /// Total number of graphs in the suite.
+    pub fn total_graphs(&self) -> usize {
+        self.groups.iter().map(|g| g.graphs.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_suite_has_all_groups() {
+        let s = Suite::paper(2, 1);
+        assert_eq!(s.groups.len(), GROUP_SIZES.len() + 3);
+        assert_eq!(s.total_graphs(), GROUP_SIZES.len() * 2 + 3);
+        let names: Vec<&str> = s.groups.iter().map(|g| g.name.as_str()).collect();
+        assert!(names.contains(&"fpppp"));
+        assert!(names.contains(&"5000"));
+    }
+
+    #[test]
+    fn granularity_factors() {
+        assert_eq!(Granularity::Coarse.cycles_per_unit(), 3_100_000);
+        assert_eq!(Granularity::Fine.cycles_per_unit(), 31_000);
+    }
+
+    #[test]
+    fn suite_is_deterministic() {
+        let a = Suite::paper(2, 9);
+        let b = Suite::paper(2, 9);
+        for (ga, gb) in a.groups.iter().zip(&b.groups) {
+            assert_eq!(ga.graphs, gb.graphs);
+        }
+    }
+}

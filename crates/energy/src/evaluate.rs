@@ -1,0 +1,375 @@
+//! Schedule energy evaluation at one DVS operating point.
+
+use lamps_power::{OperatingPoint, SleepParams};
+use lamps_sched::{ProcId, Schedule};
+
+/// Relative tolerance when checking that the stretched makespan fits the
+/// horizon (guards against floating-point edge cases at exact fits).
+const FIT_EPS: f64 = 1e-9;
+
+/// Errors from energy evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EnergyError {
+    /// The schedule, run at the operating point's frequency, finishes
+    /// after the horizon: this (level, deadline) pair is infeasible.
+    DeadlineMiss {
+        /// Stretched makespan \[s\].
+        makespan_s: f64,
+        /// Accounting horizon (deadline) \[s\].
+        horizon_s: f64,
+    },
+}
+
+impl std::fmt::Display for EnergyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnergyError::DeadlineMiss {
+                makespan_s,
+                horizon_s,
+            } => write!(
+                f,
+                "schedule finishes at {makespan_s} s, after the deadline {horizon_s} s"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EnergyError {}
+
+/// Total energy of a schedule, split by where it is spent.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Energy of executed cycles \[J\].
+    pub active_j: f64,
+    /// Energy of idle (on, not computing) periods \[J\].
+    pub idle_j: f64,
+    /// Energy drawn in the sleep state \[J\].
+    pub sleep_j: f64,
+    /// Shutdown/wakeup transition overheads \[J\].
+    pub transition_j: f64,
+    /// Number of sleep episodes taken.
+    pub sleep_episodes: usize,
+}
+
+impl EnergyBreakdown {
+    /// Total energy \[J\].
+    pub fn total(&self) -> f64 {
+        self.active_j + self.idle_j + self.sleep_j + self.transition_j
+    }
+
+    fn add(&mut self, other: &EnergyBreakdown) {
+        self.active_j += other.active_j;
+        self.idle_j += other.idle_j;
+        self.sleep_j += other.sleep_j;
+        self.transition_j += other.transition_j;
+        self.sleep_episodes += other.sleep_episodes;
+    }
+}
+
+/// Per-processor energy detail.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcEnergy {
+    /// The processor.
+    pub proc: ProcId,
+    /// Its breakdown.
+    pub breakdown: EnergyBreakdown,
+    /// Busy time at the operating point \[s\].
+    pub busy_s: f64,
+    /// Idle time spent awake \[s\].
+    pub idle_awake_s: f64,
+    /// Time spent asleep \[s\].
+    pub asleep_s: f64,
+}
+
+/// Evaluate the energy of `schedule` run entirely at `level`, accounted
+/// up to `horizon_s` (the application deadline).
+///
+/// With `ps = Some(sleep)`, every idle interval long enough to amortize
+/// the transition overhead is spent in the sleep state (the §4.3 rule);
+/// with `ps = None`, idle intervals burn idle power (`P_DC + P_on`), the
+/// plain S&S/LAMPS accounting.
+///
+/// Errors if the stretched makespan exceeds the horizon.
+/// # Example
+///
+/// ```
+/// use lamps_energy::evaluate;
+/// use lamps_power::{LevelTable, SleepParams, TechnologyParams};
+/// use lamps_sched::list::edf_schedule;
+/// use lamps_taskgraph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_task(3_100_000); // 1 ms of work at f_max
+/// let g = b.build().unwrap();
+/// let s = edf_schedule(&g, 1, 10_000_000);
+///
+/// let tech = TechnologyParams::seventy_nm();
+/// let levels = LevelTable::default_grid(&tech).unwrap();
+/// let crit = levels.critical();
+///
+/// // Bill the schedule at the critical level over a 10 ms window, with
+/// // processor shutdown available.
+/// let e = evaluate(&s, crit, 0.010, Some(&SleepParams::paper())).unwrap();
+/// assert!(e.total() > 0.0);
+/// assert!(e.active_j > 0.0);
+/// ```
+pub fn evaluate(
+    schedule: &Schedule,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+) -> Result<EnergyBreakdown, EnergyError> {
+    evaluate_detailed(schedule, level, horizon_s, ps).map(|d| {
+        let mut sum = EnergyBreakdown::default();
+        for p in &d {
+            sum.add(&p.breakdown);
+        }
+        sum
+    })
+}
+
+/// Like [`evaluate`], returning the per-processor detail.
+pub fn evaluate_detailed(
+    schedule: &Schedule,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+) -> Result<Vec<ProcEnergy>, EnergyError> {
+    let freq = level.freq;
+    let makespan_s = schedule.makespan_cycles() as f64 / freq;
+    if makespan_s > horizon_s * (1.0 + FIT_EPS) {
+        return Err(EnergyError::DeadlineMiss {
+            makespan_s,
+            horizon_s,
+        });
+    }
+
+    let mut out = Vec::with_capacity(schedule.n_procs());
+    for p in 0..schedule.n_procs() as u32 {
+        let p = ProcId(p);
+        let mut b = EnergyBreakdown::default();
+        let mut busy_s = 0.0;
+        let mut idle_awake_s = 0.0;
+        let mut asleep_s = 0.0;
+
+        let mut account_idle = |duration_s: f64, b: &mut EnergyBreakdown| {
+            if duration_s <= 0.0 {
+                return;
+            }
+            match ps {
+                Some(sleep) if sleep.worth_sleeping(level.idle_power, duration_s) => {
+                    b.transition_j += sleep.transition_energy;
+                    b.sleep_j += sleep.sleep_power * duration_s;
+                    b.sleep_episodes += 1;
+                    asleep_s += duration_s;
+                }
+                _ => {
+                    b.idle_j += level.idle_power * duration_s;
+                    idle_awake_s += duration_s;
+                }
+            }
+        };
+
+        let mut cursor = 0u64;
+        for &t in schedule.tasks_on(p) {
+            let s = schedule.start(t);
+            if s > cursor {
+                account_idle((s - cursor) as f64 / freq, &mut b);
+            }
+            let run = schedule.finish(t) - s;
+            b.active_j += run as f64 * level.energy_per_cycle;
+            busy_s += run as f64 / freq;
+            cursor = cursor.max(schedule.finish(t));
+        }
+        let tail_s = horizon_s - cursor as f64 / freq;
+        account_idle(tail_s, &mut b);
+
+        out.push(ProcEnergy {
+            proc: p,
+            breakdown: b,
+            busy_s,
+            idle_awake_s,
+            asleep_s,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_power::{LevelTable, TechnologyParams};
+    use lamps_sched::list::edf_schedule;
+    use lamps_taskgraph::{GraphBuilder, TaskGraph};
+
+    fn tech_levels() -> (TechnologyParams, LevelTable, SleepParams) {
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).unwrap();
+        (tech, levels, SleepParams::paper())
+    }
+
+    /// One task of a million cycles.
+    fn single_task(cycles: u64) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        b.add_task(cycles);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn active_energy_is_cycles_times_energy_per_cycle() {
+        let (_, levels, _) = tech_levels();
+        let g = single_task(1_000_000);
+        let s = edf_schedule(&g, 1, 1_000_000);
+        let lvl = levels.fastest();
+        let horizon = 1_000_000.0 / lvl.freq;
+        let e = evaluate(&s, lvl, horizon, None).unwrap();
+        assert!((e.active_j - 1.0e6 * lvl.energy_per_cycle).abs() < 1e-12);
+        assert_eq!(e.idle_j, 0.0);
+        assert_eq!(e.total(), e.active_j);
+    }
+
+    #[test]
+    fn tail_idle_burns_idle_power_without_ps() {
+        let (_, levels, _) = tech_levels();
+        let g = single_task(1_000_000);
+        let s = edf_schedule(&g, 1, 1_000_000);
+        let lvl = levels.fastest();
+        let run_s = 1.0e6 / lvl.freq;
+        let horizon = run_s + 0.010; // 10 ms of tail
+        let e = evaluate(&s, lvl, horizon, None).unwrap();
+        assert!((e.idle_j - lvl.idle_power * 0.010).abs() < 1e-9);
+        assert_eq!(e.sleep_episodes, 0);
+    }
+
+    #[test]
+    fn long_tail_sleeps_with_ps() {
+        let (_, levels, sleep) = tech_levels();
+        let g = single_task(1_000_000);
+        let s = edf_schedule(&g, 1, 1_000_000);
+        let lvl = levels.fastest();
+        let run_s = 1.0e6 / lvl.freq;
+        let horizon = run_s + 1.0; // 1 s tail, far beyond break-even
+        let e = evaluate(&s, lvl, horizon, Some(&sleep)).unwrap();
+        assert_eq!(e.sleep_episodes, 1);
+        assert!((e.transition_j - sleep.transition_energy).abs() < 1e-15);
+        assert!((e.sleep_j - sleep.sleep_power * 1.0).abs() < 1e-9);
+        assert_eq!(e.idle_j, 0.0);
+    }
+
+    #[test]
+    fn short_gap_stays_awake_with_ps() {
+        let (_, levels, sleep) = tech_levels();
+        let g = single_task(1_000_000);
+        let s = edf_schedule(&g, 1, 1_000_000);
+        let lvl = levels.fastest();
+        let run_s = 1.0e6 / lvl.freq;
+        let horizon = run_s + 100e-6; // 100 µs — far below break-even
+        let e = evaluate(&s, lvl, horizon, Some(&sleep)).unwrap();
+        assert_eq!(e.sleep_episodes, 0);
+        assert!(e.idle_j > 0.0);
+    }
+
+    #[test]
+    fn ps_never_costs_more_than_no_ps() {
+        let (_, levels, sleep) = tech_levels();
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(3_000_000);
+        let c = b.add_task(1_000_000);
+        let d = b.add_task(1_000_000);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        let g = b.build().unwrap();
+        for n in 1..=3usize {
+            let s = edf_schedule(&g, n, 10_000_000);
+            for lvl in levels.points() {
+                let horizon = s.makespan_cycles() as f64 / lvl.freq + 0.05;
+                let e_ps = evaluate(&s, lvl, horizon, Some(&sleep)).unwrap();
+                let e_no = evaluate(&s, lvl, horizon, None).unwrap();
+                assert!(
+                    e_ps.total() <= e_no.total() + 1e-12,
+                    "PS worse at vdd={}, n={n}",
+                    lvl.vdd
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deadline_miss_detected() {
+        let (_, levels, _) = tech_levels();
+        let g = single_task(1_000_000);
+        let s = edf_schedule(&g, 1, 1_000_000);
+        let lvl = levels.slowest();
+        let horizon = 1.0e6 / lvl.freq * 0.5;
+        match evaluate(&s, lvl, horizon, None) {
+            Err(EnergyError::DeadlineMiss { .. }) => {}
+            other => panic!("expected deadline miss, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exact_fit_is_feasible() {
+        let (_, levels, _) = tech_levels();
+        let g = single_task(1_000_000);
+        let s = edf_schedule(&g, 1, 1_000_000);
+        let lvl = levels.critical();
+        let horizon = 1.0e6 / lvl.freq; // exactly the makespan
+        assert!(evaluate(&s, lvl, horizon, None).is_ok());
+    }
+
+    #[test]
+    fn slower_level_cheaper_until_critical() {
+        // For a single task with horizon exactly the stretched makespan
+        // (no idle), energy is pure active energy: minimized at the
+        // critical level.
+        let (_, levels, _) = tech_levels();
+        let g = single_task(10_000_000);
+        let s = edf_schedule(&g, 1, 10_000_000);
+        let crit = levels.critical();
+        let e_crit = evaluate(&s, crit, 1.0e7 / crit.freq, None)
+            .unwrap()
+            .total();
+        for lvl in levels.points() {
+            let e = evaluate(&s, lvl, 1.0e7 / lvl.freq, None).unwrap().total();
+            assert!(e >= e_crit - 1e-12, "vdd {} beats critical", lvl.vdd);
+        }
+    }
+
+    #[test]
+    fn detailed_sums_match_total() {
+        let (_, levels, sleep) = tech_levels();
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2_000_000);
+        let c = b.add_task(2_000_000);
+        let d = b.add_task(9_000_000);
+        b.add_edge(a, c).unwrap();
+        let _ = d;
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 20_000_000);
+        let lvl = levels.critical();
+        let horizon = s.makespan_cycles() as f64 / lvl.freq + 0.01;
+        let detail = evaluate_detailed(&s, lvl, horizon, Some(&sleep)).unwrap();
+        let total_direct = evaluate(&s, lvl, horizon, Some(&sleep)).unwrap();
+        let sum: f64 = detail.iter().map(|p| p.breakdown.total()).sum();
+        assert!((sum - total_direct.total()).abs() < 1e-12);
+        // Time accounting: busy + awake idle + asleep == horizon per proc.
+        for p in &detail {
+            let t = p.busy_s + p.idle_awake_s + p.asleep_s;
+            assert!((t - horizon).abs() < 1e-9, "proc {} covers {t}", p.proc);
+        }
+    }
+
+    #[test]
+    fn unused_processor_idles_whole_horizon() {
+        let (_, levels, _) = tech_levels();
+        let g = single_task(1_000_000);
+        let s = edf_schedule(&g, 2, 1_000_000);
+        let lvl = levels.fastest();
+        let horizon = 0.01;
+        let detail = evaluate_detailed(&s, lvl, horizon, None).unwrap();
+        assert_eq!(detail.len(), 2);
+        let idle_proc = &detail[1];
+        assert_eq!(idle_proc.busy_s, 0.0);
+        assert!((idle_proc.breakdown.idle_j - lvl.idle_power * horizon).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Energy accounting for multiprocessor schedules under DVS and
+//! processor shutdown.
+//!
+//! Given a schedule (in cycles at the nominal frequency), a discrete DVS
+//! operating point, and the application deadline as the accounting
+//! horizon, this crate computes the total energy of §3–§4:
+//!
+//! * every *executed cycle* costs the operating point's energy per cycle
+//!   (dynamic + static + intrinsic power over one cycle);
+//! * every *idle interval* of an employed processor — leading gap, inner
+//!   gaps, and the tail up to the deadline — costs either idle power
+//!   (`P_DC + P_on`) for its duration, or, when processor shutdown is
+//!   enabled and the interval is longer than the break-even time of
+//!   §3.4, one 483 µJ transition plus 50 µW of sleep power;
+//! * processors outside the schedule (LAMPS turns them off for the whole
+//!   application) cost nothing.
+//!
+//! Time at an operating point is `cycles / f`, so the same schedule can
+//! be evaluated at every level of a frequency sweep without rescheduling.
+
+pub mod evaluate;
+pub mod trace;
+
+pub use evaluate::{evaluate, evaluate_detailed, EnergyBreakdown, EnergyError, ProcEnergy};
+pub use trace::{power_trace, trace_csv, trace_energy, ProcState, TraceSegment};

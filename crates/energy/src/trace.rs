@@ -1,0 +1,272 @@
+//! Power-over-time traces of a schedule — the signal an engineer would
+//! see on a power rail, and a cross-check of the energy accounting
+//! (the trace integral must equal the evaluator's breakdown).
+
+use crate::evaluate::EnergyError;
+use lamps_power::{OperatingPoint, SleepParams};
+use lamps_sched::{ProcId, Schedule};
+
+/// What a processor is doing during a trace segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcState {
+    /// Executing a task.
+    Active,
+    /// On but idle.
+    Idle,
+    /// In the deep-sleep state.
+    Asleep,
+}
+
+impl ProcState {
+    /// Short label for CSV output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ProcState::Active => "active",
+            ProcState::Idle => "idle",
+            ProcState::Asleep => "asleep",
+        }
+    }
+}
+
+/// One constant-power segment of one processor's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceSegment {
+    /// Processor.
+    pub proc: ProcId,
+    /// Segment start \[s\].
+    pub t0: f64,
+    /// Segment end \[s\].
+    pub t1: f64,
+    /// Power drawn during the segment \[W\].
+    pub power_w: f64,
+    /// State.
+    pub state: ProcState,
+    /// Energy charged at the segment boundary (sleep transitions) \[J\].
+    pub boundary_j: f64,
+}
+
+impl TraceSegment {
+    /// Segment duration \[s\].
+    pub fn duration(&self) -> f64 {
+        self.t1 - self.t0
+    }
+
+    /// Segment energy including any boundary charge \[J\].
+    pub fn energy_j(&self) -> f64 {
+        self.power_w * self.duration() + self.boundary_j
+    }
+}
+
+/// Build the power trace of `schedule` run at `level` up to `horizon_s`.
+/// With `ps = Some(sleep)`, idle intervals beyond break-even become
+/// [`ProcState::Asleep`] segments carrying the transition overhead as a
+/// boundary charge.
+///
+/// Segments are returned grouped by processor, each group gapless over
+/// `[0, horizon_s]`.
+pub fn power_trace(
+    schedule: &Schedule,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+) -> Result<Vec<Vec<TraceSegment>>, EnergyError> {
+    let freq = level.freq;
+    let makespan_s = schedule.makespan_cycles() as f64 / freq;
+    if makespan_s > horizon_s * (1.0 + 1e-9) {
+        return Err(EnergyError::DeadlineMiss {
+            makespan_s,
+            horizon_s,
+        });
+    }
+
+    let mut out = Vec::with_capacity(schedule.n_procs());
+    for p in 0..schedule.n_procs() as u32 {
+        let p = ProcId(p);
+        let mut segs: Vec<TraceSegment> = Vec::new();
+        let mut cursor = 0.0f64;
+        let push_idle = |t0: f64, t1: f64, segs: &mut Vec<TraceSegment>| {
+            if t1 <= t0 {
+                return;
+            }
+            match ps {
+                Some(sleep) if sleep.worth_sleeping(level.idle_power, t1 - t0) => {
+                    segs.push(TraceSegment {
+                        proc: p,
+                        t0,
+                        t1,
+                        power_w: sleep.sleep_power,
+                        state: ProcState::Asleep,
+                        boundary_j: sleep.transition_energy,
+                    });
+                }
+                _ => segs.push(TraceSegment {
+                    proc: p,
+                    t0,
+                    t1,
+                    power_w: level.idle_power,
+                    state: ProcState::Idle,
+                    boundary_j: 0.0,
+                }),
+            }
+        };
+        for &t in schedule.tasks_on(p) {
+            let s = schedule.start(t) as f64 / freq;
+            let f = schedule.finish(t) as f64 / freq;
+            push_idle(cursor, s, &mut segs);
+            if f > s {
+                segs.push(TraceSegment {
+                    proc: p,
+                    t0: s,
+                    t1: f,
+                    power_w: level.active_power,
+                    state: ProcState::Active,
+                    boundary_j: 0.0,
+                });
+            }
+            cursor = cursor.max(f);
+        }
+        push_idle(cursor, horizon_s, &mut segs);
+        out.push(segs);
+    }
+    Ok(out)
+}
+
+/// Total energy of a trace \[J\] — must match [`crate::evaluate::evaluate`].
+pub fn trace_energy(trace: &[Vec<TraceSegment>]) -> f64 {
+    trace.iter().flatten().map(TraceSegment::energy_j).sum()
+}
+
+/// Total platform power at time `t` \[W\] (sum over processors).
+pub fn power_at(trace: &[Vec<TraceSegment>], t: f64) -> f64 {
+    trace
+        .iter()
+        .flat_map(|segs| {
+            segs.iter()
+                .find(|s| s.t0 <= t && t < s.t1)
+                .map(|s| s.power_w)
+        })
+        .sum()
+}
+
+/// Render the trace as CSV rows (`proc,t0,t1,state,power_w`).
+pub fn trace_csv(trace: &[Vec<TraceSegment>]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::from("proc,t0_s,t1_s,state,power_w,boundary_j\n");
+    for seg in trace.iter().flatten() {
+        writeln!(
+            out,
+            "{},{:.9},{:.9},{},{:.6},{:.6}",
+            seg.proc.0,
+            seg.t0,
+            seg.t1,
+            seg.state.label(),
+            seg.power_w,
+            seg.boundary_j
+        )
+        .unwrap();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::evaluate;
+    use lamps_power::{LevelTable, TechnologyParams};
+    use lamps_sched::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn setup() -> (
+        lamps_taskgraph::TaskGraph,
+        Schedule,
+        OperatingPoint,
+        SleepParams,
+    ) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(3_000_000);
+        let c = b.add_task(1_000_000);
+        let d = b.add_task(2_000_000);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 10_000_000);
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).unwrap();
+        (g, s, *levels.critical(), SleepParams::paper())
+    }
+
+    #[test]
+    fn trace_is_gapless_and_ordered() {
+        let (_, s, level, _) = setup();
+        let horizon = s.makespan_cycles() as f64 / level.freq + 0.01;
+        let trace = power_trace(&s, &level, horizon, None).unwrap();
+        assert_eq!(trace.len(), 2);
+        for segs in &trace {
+            assert!((segs[0].t0 - 0.0).abs() < 1e-15);
+            for w in segs.windows(2) {
+                assert!((w[0].t1 - w[1].t0).abs() < 1e-12, "gap in trace");
+            }
+            assert!((segs.last().unwrap().t1 - horizon).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_integral_matches_evaluator() {
+        let (_, s, level, sleep) = setup();
+        let horizon = s.makespan_cycles() as f64 / level.freq + 0.5;
+        for ps in [None, Some(&sleep)] {
+            let trace = power_trace(&s, &level, horizon, ps).unwrap();
+            let direct = evaluate(&s, &level, horizon, ps).unwrap().total();
+            let integral = trace_energy(&trace);
+            assert!(
+                (integral - direct).abs() < direct * 1e-9,
+                "ps={:?}: {integral} vs {direct}",
+                ps.is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn power_at_samples_states() {
+        let (_, s, level, _) = setup();
+        let horizon = s.makespan_cycles() as f64 / level.freq + 0.01;
+        let trace = power_trace(&s, &level, horizon, None).unwrap();
+        // At t=0 one processor is active, the other idle.
+        let p0 = power_at(&trace, 0.0);
+        assert!((p0 - (level.active_power + level.idle_power)).abs() < 1e-9);
+        // Just before the horizon, both idle.
+        let pend = power_at(&trace, horizon - 1e-6);
+        assert!((pend - 2.0 * level.idle_power).abs() < 1e-9);
+    }
+
+    #[test]
+    fn long_tail_sleeps_in_trace() {
+        let (_, s, level, sleep) = setup();
+        let horizon = s.makespan_cycles() as f64 / level.freq + 1.0;
+        let trace = power_trace(&s, &level, horizon, Some(&sleep)).unwrap();
+        let asleep = trace
+            .iter()
+            .flatten()
+            .filter(|seg| seg.state == ProcState::Asleep)
+            .count();
+        assert!(asleep >= 2, "both tails sleep");
+    }
+
+    #[test]
+    fn csv_has_one_row_per_segment() {
+        let (_, s, level, _) = setup();
+        let horizon = s.makespan_cycles() as f64 / level.freq + 0.01;
+        let trace = power_trace(&s, &level, horizon, None).unwrap();
+        let csv = trace_csv(&trace);
+        let n_segs: usize = trace.iter().map(Vec::len).sum();
+        assert_eq!(csv.lines().count(), n_segs + 1);
+        assert!(csv.starts_with("proc,"));
+    }
+
+    #[test]
+    fn deadline_miss_propagates() {
+        let (_, s, level, _) = setup();
+        let horizon = s.makespan_cycles() as f64 / level.freq * 0.5;
+        assert!(power_trace(&s, &level, horizon, None).is_err());
+    }
+}

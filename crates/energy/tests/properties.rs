@@ -1,0 +1,107 @@
+//! Property-based tests of the energy accounting: the trace integral
+//! must equal the evaluator's bill on arbitrary schedules, levels, and
+//! horizons, with and without processor shutdown.
+
+use lamps_energy::{evaluate, evaluate_detailed, power_trace, trace_energy};
+use lamps_power::{LevelTable, SleepParams, TechnologyParams};
+use lamps_sched::list::edf_schedule;
+use lamps_taskgraph::{GraphBuilder, TaskGraph, TaskId};
+use proptest::prelude::*;
+
+fn arb_dag() -> impl Strategy<Value = TaskGraph> {
+    (2usize..16)
+        .prop_flat_map(|n| {
+            (
+                prop::collection::vec(1u64..5_000_000, n),
+                prop::collection::vec(any::<bool>(), n * (n - 1) / 2),
+            )
+        })
+        .prop_map(|(weights, edges)| {
+            let n = weights.len();
+            let mut b = GraphBuilder::new();
+            let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if edges[k] {
+                        b.add_edge(ids[i], ids[j]).expect("valid");
+                    }
+                    k += 1;
+                }
+            }
+            b.build().expect("acyclic")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trace integral == evaluator total, for every level and both PS
+    /// modes.
+    #[test]
+    fn trace_integral_equals_bill(
+        g in arb_dag(),
+        n_procs in 1usize..4,
+        level_idx in 0usize..14,
+        tail_ms in 0u64..200,
+    ) {
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).unwrap();
+        let level = levels.points()[level_idx.min(levels.len() - 1)];
+        let sleep = SleepParams::paper();
+        let s = edf_schedule(&g, n_procs, 2 * g.critical_path_cycles());
+        let horizon = s.makespan_cycles() as f64 / level.freq + tail_ms as f64 * 1e-3;
+        for ps in [None, Some(&sleep)] {
+            let bill = evaluate(&s, &level, horizon, ps).unwrap().total();
+            let trace = power_trace(&s, &level, horizon, ps).unwrap();
+            let integral = trace_energy(&trace);
+            prop_assert!(
+                (integral - bill).abs() <= bill.abs() * 1e-9 + 1e-15,
+                "ps={}: {integral} vs {bill}",
+                ps.is_some()
+            );
+        }
+    }
+
+    /// Per-processor detail sums to the total, and per-processor time
+    /// accounting tiles the horizon.
+    #[test]
+    fn detail_tiles_horizon(
+        g in arb_dag(),
+        n_procs in 1usize..4,
+        tail_ms in 1u64..100,
+    ) {
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).unwrap();
+        let level = levels.critical();
+        let sleep = SleepParams::paper();
+        let s = edf_schedule(&g, n_procs, 2 * g.critical_path_cycles());
+        let horizon = s.makespan_cycles() as f64 / level.freq + tail_ms as f64 * 1e-3;
+        let detail = evaluate_detailed(&s, level, horizon, Some(&sleep)).unwrap();
+        let total: f64 = detail.iter().map(|p| p.breakdown.total()).sum();
+        let direct = evaluate(&s, level, horizon, Some(&sleep)).unwrap().total();
+        prop_assert!((total - direct).abs() < direct * 1e-9 + 1e-15);
+        for p in &detail {
+            let covered = p.busy_s + p.idle_awake_s + p.asleep_s;
+            prop_assert!((covered - horizon).abs() < 1e-9, "{covered} vs {horizon}");
+        }
+    }
+
+    /// Energy per level is U-shaped around the critical level when there
+    /// is no idle time (single processor, horizon == makespan).
+    #[test]
+    fn active_energy_minimized_at_critical(g in arb_dag()) {
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).unwrap();
+        let s = edf_schedule(&g, 1, 2 * g.critical_path_cycles());
+        let crit = levels.critical();
+        let e_crit = evaluate(&s, crit, s.makespan_cycles() as f64 / crit.freq, None)
+            .unwrap()
+            .total();
+        for level in levels.points() {
+            let horizon = s.makespan_cycles() as f64 / level.freq;
+            let e = evaluate(&s, level, horizon, None).unwrap().total();
+            prop_assert!(e >= e_crit * (1.0 - 1e-12));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Kahn Process Networks and their translation to deadline-annotated
+//! task DAGs (§3.1, Fig. 1).
+//!
+//! A KPN is a network of processes connected by unbounded FIFO channels;
+//! each process repeatedly consumes one token from every input channel,
+//! computes, and emits one token on every output channel. Streaming
+//! applications specified this way have a *throughput* requirement rather
+//! than a single deadline. The paper converts them to DAGs by unrolling:
+//!
+//! * make `k` copies of the network; copy `j` of process `T` is the task
+//!   `T^j` handling the `j`-th firing;
+//! * a channel `A → B` becomes, for every `j`, an edge `A^j → B^j` — or
+//!   `A^j → B^{j+δ}` for a channel that B reads with a delay of `δ`
+//!   firings (initial tokens), like the `T2 → T3` channel of Fig. 1 where
+//!   `T3` combines input `J_{i+1}` with the `i`-th result of `T2`;
+//! * an edge `T^j → T^{j+1}` serializes successive firings of the same
+//!   process ("not all inputs are available at time zero");
+//! * the output process's copy 0 gets an arbitrary but reasonable
+//!   deadline `D₀`; copy `j` gets `D₀ + j / throughput`.
+//!
+//! The result is a task graph plus per-task explicit deadlines, ready for
+//! the LS-EDF deadline propagation of `lamps-sched`.
+
+pub mod network;
+pub mod periodic;
+pub mod unroll;
+
+pub use network::{Channel, KpnError, Network, ProcessId};
+pub use periodic::{PeriodicDag, PeriodicSet, PeriodicTask};
+pub use unroll::{unroll, UnrollConfig, UnrolledKpn};

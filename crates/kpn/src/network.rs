@@ -1,0 +1,232 @@
+//! The process-network model.
+
+/// Identifier of a process in a [`Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub u32);
+
+impl ProcessId {
+    /// Dense index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A FIFO channel between two processes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    /// Producing process.
+    pub from: ProcessId,
+    /// Consuming process.
+    pub to: ProcessId,
+    /// Number of initial tokens: the consumer's `j`-th firing reads the
+    /// producer's `(j − delay)`-th output. `delay = 0` is a plain data
+    /// dependence within one iteration; `delay ≥ 1` lets the consumer
+    /// run ahead (the `T2 → T3` channel of Fig. 1 has `delay = 1`).
+    pub delay: u32,
+}
+
+/// Errors raised while building a network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KpnError {
+    /// A channel references a process that does not exist.
+    UnknownProcess(u32),
+    /// The zero-delay channel relation is cyclic, so one firing of the
+    /// network can never complete (a genuine KPN may still be cyclic
+    /// through delayed channels — those unroll fine).
+    ZeroDelayCycle,
+    /// The network has no processes.
+    Empty,
+}
+
+impl std::fmt::Display for KpnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KpnError::UnknownProcess(p) => write!(f, "channel references unknown process {p}"),
+            KpnError::ZeroDelayCycle => {
+                write!(f, "zero-delay channel cycle: one network firing cannot complete")
+            }
+            KpnError::Empty => write!(f, "network has no processes"),
+        }
+    }
+}
+
+impl std::error::Error for KpnError {}
+
+/// A Kahn Process Network: processes with per-firing execution times and
+/// FIFO channels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    names: Vec<String>,
+    firing_cycles: Vec<u64>,
+    channels: Vec<Channel>,
+}
+
+impl Network {
+    /// New empty network.
+    pub fn new() -> Self {
+        Network {
+            names: Vec::new(),
+            firing_cycles: Vec::new(),
+            channels: Vec::new(),
+        }
+    }
+
+    /// Add a process whose every firing takes `firing_cycles` cycles.
+    pub fn add_process(&mut self, name: impl Into<String>, firing_cycles: u64) -> ProcessId {
+        let id = ProcessId(self.names.len() as u32);
+        self.names.push(name.into());
+        self.firing_cycles.push(firing_cycles);
+        id
+    }
+
+    /// Connect `from` to `to` with a zero-delay channel.
+    pub fn connect(&mut self, from: ProcessId, to: ProcessId) -> Result<(), KpnError> {
+        self.connect_delayed(from, to, 0)
+    }
+
+    /// Connect with `delay` initial tokens.
+    pub fn connect_delayed(
+        &mut self,
+        from: ProcessId,
+        to: ProcessId,
+        delay: u32,
+    ) -> Result<(), KpnError> {
+        let n = self.names.len() as u32;
+        if from.0 >= n {
+            return Err(KpnError::UnknownProcess(from.0));
+        }
+        if to.0 >= n {
+            return Err(KpnError::UnknownProcess(to.0));
+        }
+        self.channels.push(Channel { from, to, delay });
+        Ok(())
+    }
+
+    /// Number of processes.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether the network has no processes.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Name of a process.
+    pub fn name(&self, p: ProcessId) -> &str {
+        &self.names[p.index()]
+    }
+
+    /// Per-firing cycles of a process.
+    pub fn firing_cycles(&self, p: ProcessId) -> u64 {
+        self.firing_cycles[p.index()]
+    }
+
+    /// All channels.
+    pub fn channels(&self) -> &[Channel] {
+        &self.channels
+    }
+
+    /// Validate: non-empty and free of zero-delay cycles.
+    pub fn validate(&self) -> Result<(), KpnError> {
+        if self.is_empty() {
+            return Err(KpnError::Empty);
+        }
+        // Kahn's algorithm on the zero-delay subgraph.
+        let n = self.len();
+        let mut indeg = vec![0u32; n];
+        for c in &self.channels {
+            if c.delay == 0 {
+                indeg[c.to.index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for c in &self.channels {
+                if c.delay == 0 && c.from.index() == i {
+                    indeg[c.to.index()] -= 1;
+                    if indeg[c.to.index()] == 0 {
+                        queue.push(c.to.index());
+                    }
+                }
+            }
+        }
+        if seen != n {
+            return Err(KpnError::ZeroDelayCycle);
+        }
+        Ok(())
+    }
+
+    /// The three-process example network of Fig. 1a: `T1 → T2 → T3`, with
+    /// `T3` reading `T2`'s output delayed by one firing.
+    pub fn fig1_example(t1_cycles: u64, t2_cycles: u64, t3_cycles: u64) -> Network {
+        let mut net = Network::new();
+        let t1 = net.add_process("T1", t1_cycles);
+        let t2 = net.add_process("T2", t2_cycles);
+        let t3 = net.add_process("T3", t3_cycles);
+        net.connect(t1, t2).expect("valid");
+        net.connect_delayed(t2, t3, 1).expect("valid");
+        net
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_example_validates() {
+        let net = Network::fig1_example(10, 20, 30);
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.channels().len(), 2);
+        net.validate().unwrap();
+        assert_eq!(net.name(ProcessId(0)), "T1");
+        assert_eq!(net.firing_cycles(ProcessId(2)), 30);
+    }
+
+    #[test]
+    fn zero_delay_cycle_rejected() {
+        let mut net = Network::new();
+        let a = net.add_process("A", 1);
+        let b = net.add_process("B", 1);
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        assert_eq!(net.validate(), Err(KpnError::ZeroDelayCycle));
+    }
+
+    #[test]
+    fn delayed_cycle_accepted() {
+        // A feedback loop with an initial token is a legal streaming
+        // pattern.
+        let mut net = Network::new();
+        let a = net.add_process("A", 1);
+        let b = net.add_process("B", 1);
+        net.connect(a, b).unwrap();
+        net.connect_delayed(b, a, 1).unwrap();
+        net.validate().unwrap();
+    }
+
+    #[test]
+    fn unknown_process_rejected() {
+        let mut net = Network::new();
+        let a = net.add_process("A", 1);
+        assert_eq!(
+            net.connect(a, ProcessId(9)),
+            Err(KpnError::UnknownProcess(9))
+        );
+    }
+
+    #[test]
+    fn empty_network_rejected() {
+        assert_eq!(Network::new().validate(), Err(KpnError::Empty));
+    }
+}

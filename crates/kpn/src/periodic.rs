@@ -1,0 +1,325 @@
+//! Frame-based translation of periodic task sets to DAGs (§3.1).
+//!
+//! The paper notes (citing Liberato et al.) that "real-time applications
+//! with periodic tasks can be translated to DAGs using the frame-based
+//! scheduling paradigm": schedule one hyperperiod statically, with one
+//! DAG node per job. This module implements that translation:
+//!
+//! * task τ with period `p` contributes `H/p` jobs over the hyperperiod
+//!   `H = lcm(periods)`;
+//! * consecutive jobs of the same task are chained (job *j+1* cannot
+//!   start before job *j* finishes) — the same serialization edges the
+//!   KPN unrolling uses;
+//! * job *j* carries the explicit deadline `(j+1)·p`;
+//! * an optional precedence relation between tasks (e.g. sensor →
+//!   filter → actuator) is replicated per job index, matching periods.
+//!
+//! Release offsets are not enforced: the static schedule assumes all of
+//! a hyperperiod's inputs are buffered at frame start, which is the
+//! standard frame-based assumption (and conservative for energy: the
+//! solver may only *move work earlier*, never miss a deadline, since
+//! every job still meets its own deadline).
+
+use crate::network::KpnError;
+use lamps_taskgraph::{GraphBuilder, TaskGraph, TaskId};
+
+/// One periodic task.
+#[derive(Debug, Clone)]
+pub struct PeriodicTask {
+    /// Human-readable name.
+    pub name: String,
+    /// Worst-case execution time per job \[cycles at f_max\].
+    pub wcet_cycles: u64,
+    /// Period = relative deadline \[cycles at f_max\].
+    pub period_cycles: u64,
+}
+
+/// A set of periodic tasks plus optional inter-task precedences.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodicSet {
+    tasks: Vec<PeriodicTask>,
+    /// `(producer, consumer)` pairs: each job of the consumer depends on
+    /// the temporally matching job of the producer.
+    precedences: Vec<(usize, usize)>,
+}
+
+/// The translated hyperperiod DAG.
+#[derive(Debug, Clone)]
+pub struct PeriodicDag {
+    /// The job graph.
+    pub graph: TaskGraph,
+    /// Explicit per-job deadlines (every job has one).
+    pub deadlines: Vec<Option<u64>>,
+    /// The hyperperiod \[cycles at f_max\] — the accounting horizon.
+    pub hyperperiod_cycles: u64,
+    /// Job ↦ (task index, job index) for reporting.
+    pub job_of: Vec<(usize, u64)>,
+}
+
+impl PeriodicSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a task; returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero or the WCET exceeds the period
+    /// (single-task overload).
+    pub fn add(&mut self, name: impl Into<String>, wcet_cycles: u64, period_cycles: u64) -> usize {
+        assert!(period_cycles > 0, "period must be positive");
+        assert!(
+            wcet_cycles <= period_cycles,
+            "wcet {wcet_cycles} exceeds period {period_cycles}"
+        );
+        self.tasks.push(PeriodicTask {
+            name: name.into(),
+            wcet_cycles,
+            period_cycles,
+        });
+        self.tasks.len() - 1
+    }
+
+    /// Declare that each job of `consumer` consumes the output of the
+    /// temporally matching job of `producer` (their periods must divide
+    /// one another so the matching is well-defined).
+    pub fn depends(&mut self, producer: usize, consumer: usize) -> Result<(), KpnError> {
+        let n = self.tasks.len();
+        if producer >= n {
+            return Err(KpnError::UnknownProcess(producer as u32));
+        }
+        if consumer >= n {
+            return Err(KpnError::UnknownProcess(consumer as u32));
+        }
+        let (p, c) = (
+            self.tasks[producer].period_cycles,
+            self.tasks[consumer].period_cycles,
+        );
+        assert!(
+            p % c == 0 || c % p == 0,
+            "precedence requires harmonic periods ({p} vs {c})"
+        );
+        self.precedences.push((producer, consumer));
+        Ok(())
+    }
+
+    /// Number of tasks.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Total utilization at the maximum frequency: Σ wcet/period.
+    pub fn utilization(&self) -> f64 {
+        self.tasks
+            .iter()
+            .map(|t| t.wcet_cycles as f64 / t.period_cycles as f64)
+            .sum()
+    }
+
+    /// The hyperperiod (lcm of periods) \[cycles\].
+    pub fn hyperperiod(&self) -> u64 {
+        self.tasks
+            .iter()
+            .map(|t| t.period_cycles)
+            .fold(1, lcm)
+    }
+
+    /// Translate one hyperperiod into a deadline-annotated DAG.
+    pub fn to_frame_dag(&self) -> PeriodicDag {
+        assert!(!self.is_empty(), "empty periodic set");
+        let h = self.hyperperiod();
+        let mut b = GraphBuilder::new();
+        let mut deadlines = Vec::new();
+        let mut job_of = Vec::new();
+        // job ids per task, in job order.
+        let mut jobs: Vec<Vec<TaskId>> = Vec::with_capacity(self.tasks.len());
+
+        for (ti, t) in self.tasks.iter().enumerate() {
+            let count = h / t.period_cycles;
+            let mut ids = Vec::with_capacity(count as usize);
+            for j in 0..count {
+                let id = b.add_named_task(format!("{}#{j}", t.name), t.wcet_cycles);
+                deadlines.push(Some((j + 1) * t.period_cycles));
+                job_of.push((ti, j));
+                if j > 0 {
+                    b.add_edge(ids[j as usize - 1], id).expect("valid ids");
+                }
+                ids.push(id);
+            }
+            jobs.push(ids);
+        }
+
+        for &(prod, cons) in &self.precedences {
+            let pp = self.tasks[prod].period_cycles;
+            let pc = self.tasks[cons].period_cycles;
+            if pp <= pc {
+                // Producer at least as frequent: consumer job j reads the
+                // last producer job of its window.
+                let ratio = pc / pp;
+                for (j, &cj) in jobs[cons].iter().enumerate() {
+                    let pj = (j as u64 + 1) * ratio - 1;
+                    b.add_edge(jobs[prod][pj as usize], cj).expect("valid ids");
+                }
+            } else {
+                // Producer slower: every consumer job in a producer
+                // window reads that producer job.
+                let ratio = pp / pc;
+                for (j, &cj) in jobs[cons].iter().enumerate() {
+                    let pj = j as u64 / ratio;
+                    b.add_edge(jobs[prod][pj as usize], cj).expect("valid ids");
+                }
+            }
+        }
+
+        PeriodicDag {
+            graph: b.build().expect("frame DAGs are acyclic"),
+            deadlines,
+            hyperperiod_cycles: h,
+            job_of,
+        }
+    }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sensor_set() -> PeriodicSet {
+        let mut s = PeriodicSet::new();
+        let sensor = s.add("sensor", 10, 100);
+        let filter = s.add("filter", 30, 100);
+        let logger = s.add("logger", 50, 200);
+        s.depends(sensor, filter).unwrap();
+        s.depends(filter, logger).unwrap();
+        s
+    }
+
+    #[test]
+    fn hyperperiod_and_counts() {
+        let s = sensor_set();
+        assert_eq!(s.hyperperiod(), 200);
+        let dag = s.to_frame_dag();
+        // sensor: 2 jobs, filter: 2, logger: 1.
+        assert_eq!(dag.graph.len(), 5);
+        assert_eq!(dag.hyperperiod_cycles, 200);
+        assert!((s.utilization() - (0.1 + 0.3 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deadlines_step_by_period() {
+        let dag = sensor_set().to_frame_dag();
+        // Jobs are created task-major: sensor#0, sensor#1, filter#0,
+        // filter#1, logger#0.
+        assert_eq!(
+            dag.deadlines,
+            vec![Some(100), Some(200), Some(100), Some(200), Some(200)]
+        );
+        assert_eq!(dag.job_of[1], (0, 1));
+    }
+
+    #[test]
+    fn precedence_matching_downsamples() {
+        // filter (period 100) → logger (period 200): logger#0 reads
+        // filter#1 (the last job in its window).
+        let dag = sensor_set().to_frame_dag();
+        let logger0 = TaskId(4);
+        let preds = dag.graph.predecessors(logger0);
+        assert!(preds.contains(&TaskId(3)), "logger#0 ← filter#1");
+    }
+
+    #[test]
+    fn precedence_matching_upsamples() {
+        // slow producer (200) → fast consumer (100): both consumer jobs
+        // in the window read producer job 0.
+        let mut s = PeriodicSet::new();
+        let slow = s.add("slow", 20, 200);
+        let fast = s.add("fast", 10, 100);
+        s.depends(slow, fast).unwrap();
+        let dag = s.to_frame_dag();
+        // ids: slow#0 = 0, fast#0 = 1, fast#1 = 2.
+        assert!(dag.graph.predecessors(TaskId(1)).contains(&TaskId(0)));
+        assert!(dag.graph.predecessors(TaskId(2)).contains(&TaskId(0)));
+    }
+
+    #[test]
+    fn serialization_chains_jobs() {
+        let dag = sensor_set().to_frame_dag();
+        assert!(dag.graph.successors(TaskId(0)).contains(&TaskId(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds period")]
+    fn overloaded_task_rejected() {
+        let mut s = PeriodicSet::new();
+        s.add("hog", 200, 100);
+    }
+
+    #[test]
+    #[should_panic(expected = "harmonic")]
+    fn non_harmonic_precedence_rejected() {
+        let mut s = PeriodicSet::new();
+        let a = s.add("a", 1, 100);
+        let b = s.add("b", 1, 150);
+        s.depends(a, b).unwrap();
+    }
+
+    #[test]
+    fn unknown_task_in_precedence() {
+        let mut s = PeriodicSet::new();
+        let a = s.add("a", 1, 100);
+        assert_eq!(s.depends(a, 7), Err(KpnError::UnknownProcess(7)));
+    }
+
+    #[test]
+    fn solves_end_to_end_with_multi_deadlines() {
+        // Scaled to realistic cycle counts; two processors' worth of
+        // load at f_max/4 ⇒ comfortably feasible, and the solver must
+        // honour every job deadline.
+        let mut s = PeriodicSet::new();
+        let a = s.add("ctl", 6_000_000, 31_000_000);
+        let b = s.add("est", 9_000_000, 62_000_000);
+        let c = s.add("log", 3_000_000, 62_000_000);
+        s.depends(a, b).unwrap();
+        s.depends(b, c).unwrap();
+        let dag = s.to_frame_dag();
+
+        let cfg = lamps_core::SchedulerConfig::paper();
+        let dv = lamps_core::multi::DeadlineVector::from_kpn(
+            dag.deadlines.clone(),
+            dag.hyperperiod_cycles,
+        );
+        let sol = lamps_core::multi::solve_with_deadlines(
+            lamps_core::Strategy::LampsPs,
+            &dag.graph,
+            &dv,
+            &cfg,
+        )
+        .unwrap();
+        sol.schedule.validate(&dag.graph).unwrap();
+        let f_max = cfg.max_frequency();
+        for (i, d) in dag.deadlines.iter().enumerate() {
+            let t = TaskId(i as u32);
+            let finish_s = sol.schedule.finish(t) as f64 / sol.level.freq;
+            assert!(finish_s <= d.unwrap() as f64 / f_max * (1.0 + 1e-9), "job {i}");
+        }
+    }
+}

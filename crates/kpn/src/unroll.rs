@@ -1,0 +1,222 @@
+//! Unrolling a KPN into a deadline-annotated task DAG (Fig. 1b).
+
+use crate::network::{KpnError, Network, ProcessId};
+use lamps_taskgraph::{GraphBuilder, TaskGraph, TaskId};
+
+/// Parameters of the unrolling.
+#[derive(Debug, Clone, Copy)]
+pub struct UnrollConfig {
+    /// Number of copies of the network (iterations to schedule).
+    pub copies: usize,
+    /// Deadline of the output nodes of the first copy \[cycles at the
+    /// nominal frequency\] — "arbitrary but reasonable" (§3.1).
+    pub first_deadline_cycles: u64,
+    /// Reciprocal of the required throughput \[cycles\]: each successive
+    /// copy's outputs are due one period later.
+    pub period_cycles: u64,
+}
+
+/// The unrolled network: a task graph plus explicit per-task deadlines
+/// for the output copies.
+#[derive(Debug, Clone)]
+pub struct UnrolledKpn {
+    /// The task DAG (copy-major task numbering).
+    pub graph: TaskGraph,
+    /// Explicit deadline per task (`Some` only on output-process copies),
+    /// ready for `lamps_sched::deadlines::latest_finish_times_with`.
+    pub deadlines: Vec<Option<u64>>,
+    n_processes: usize,
+}
+
+impl UnrolledKpn {
+    /// Task id of copy `j` of process `p`.
+    pub fn task(&self, p: ProcessId, copy: usize) -> TaskId {
+        TaskId((copy * self.n_processes + p.index()) as u32)
+    }
+
+    /// The latest explicit deadline — the natural accounting horizon.
+    pub fn horizon_cycles(&self) -> u64 {
+        self.deadlines.iter().flatten().copied().max().unwrap_or(0)
+    }
+}
+
+/// Unroll `net` into `cfg.copies` copies (§3.1):
+///
+/// * channel `A → B` with delay δ ⇒ edges `A^{j−δ} → B^j`;
+/// * `T^j → T^{j+1}` serializes successive firings of each process;
+/// * output processes (no outgoing channels) of copy `j` get deadline
+///   `first_deadline + j·period`.
+/// # Example
+///
+/// ```
+/// use lamps_kpn::{unroll, Network, UnrollConfig};
+///
+/// let net = Network::fig1_example(10, 20, 30);
+/// let u = unroll(&net, &UnrollConfig {
+///     copies: 4,
+///     first_deadline_cycles: 100,
+///     period_cycles: 60,
+/// }).unwrap();
+/// assert_eq!(u.graph.len(), 12);
+/// assert_eq!(u.horizon_cycles(), 100 + 3 * 60);
+/// ```
+pub fn unroll(net: &Network, cfg: &UnrollConfig) -> Result<UnrolledKpn, KpnError> {
+    net.validate()?;
+    assert!(cfg.copies >= 1, "need at least one copy");
+    let n = net.len();
+    let mut b = GraphBuilder::with_capacity(n * cfg.copies, (net.channels().len() + n) * cfg.copies);
+
+    for j in 0..cfg.copies {
+        for p in 0..n {
+            let p = ProcessId(p as u32);
+            b.add_named_task(format!("{}#{}", net.name(p), j), net.firing_cycles(p));
+        }
+    }
+    let task = |p: ProcessId, j: usize| TaskId((j * n + p.index()) as u32);
+
+    for j in 0..cfg.copies {
+        for c in net.channels() {
+            let d = c.delay as usize;
+            if j >= d {
+                b.add_edge(task(c.from, j - d), task(c.to, j))
+                    .expect("ids are valid");
+            }
+        }
+        if j + 1 < cfg.copies {
+            for p in 0..n {
+                let p = ProcessId(p as u32);
+                b.add_edge(task(p, j), task(p, j + 1)).expect("ids are valid");
+            }
+        }
+    }
+
+    let is_output: Vec<bool> = (0..n)
+        .map(|p| {
+            !net.channels()
+                .iter()
+                .any(|c| c.from.index() == p)
+        })
+        .collect();
+
+    let mut deadlines = vec![None; n * cfg.copies];
+    for j in 0..cfg.copies {
+        for p in 0..n {
+            if is_output[p] {
+                deadlines[j * n + p] =
+                    Some(cfg.first_deadline_cycles + j as u64 * cfg.period_cycles);
+            }
+        }
+    }
+
+    let graph = b.build().expect("unrolled KPNs are DAGs");
+    Ok(UnrolledKpn {
+        graph,
+        deadlines,
+        n_processes: n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig1(copies: usize) -> UnrolledKpn {
+        let net = Network::fig1_example(10, 20, 30);
+        unroll(
+            &net,
+            &UnrollConfig {
+                copies,
+                first_deadline_cycles: 100,
+                period_cycles: 60,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unroll_counts() {
+        let u = fig1(3);
+        assert_eq!(u.graph.len(), 9);
+        // Per copy: T1→T2 (3 copies) = 3; T2→T3 delayed: copies 1,2 = 2;
+        // serialization: 3 processes × 2 transitions = 6. Total 11.
+        assert_eq!(u.graph.edge_count(), 11);
+    }
+
+    #[test]
+    fn fig1_edge_structure() {
+        // Fig. 1b: T1^j → T2^j; T2^j → T3^{j+1}; T^j → T^{j+1}.
+        let u = fig1(3);
+        let t1 = ProcessId(0);
+        let t2 = ProcessId(1);
+        let t3 = ProcessId(2);
+        for j in 0..3 {
+            let succ = u.graph.successors(u.task(t1, j));
+            assert!(succ.contains(&u.task(t2, j)), "T1^{j} → T2^{j}");
+        }
+        for j in 0..2 {
+            let succ = u.graph.successors(u.task(t2, j));
+            assert!(succ.contains(&u.task(t3, j + 1)), "T2^{j} → T3^{}", j + 1);
+            for p in [t1, t2, t3] {
+                let s = u.graph.successors(u.task(p, j));
+                assert!(s.contains(&u.task(p, j + 1)), "serialization of {p:?}");
+            }
+        }
+        // T3^0 has no channel predecessor (its first input is external).
+        assert!(u.graph.predecessors(u.task(t3, 0)).is_empty());
+    }
+
+    #[test]
+    fn output_deadlines_step_by_period() {
+        let u = fig1(4);
+        let t3 = ProcessId(2);
+        for j in 0..4 {
+            assert_eq!(
+                u.deadlines[u.task(t3, j).index()],
+                Some(100 + 60 * j as u64)
+            );
+        }
+        // Non-output processes carry no explicit deadline.
+        assert_eq!(u.deadlines[u.task(ProcessId(0), 2).index()], None);
+        assert_eq!(u.horizon_cycles(), 100 + 3 * 60);
+    }
+
+    #[test]
+    fn single_copy_has_no_serialization_edges() {
+        let u = fig1(1);
+        assert_eq!(u.graph.len(), 3);
+        // Only T1→T2 (the delayed channel contributes nothing at j=0).
+        assert_eq!(u.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn invalid_network_propagates_error() {
+        let mut net = Network::new();
+        let a = net.add_process("A", 1);
+        let b = net.add_process("B", 1);
+        net.connect(a, b).unwrap();
+        net.connect(b, a).unwrap();
+        let cfg = UnrollConfig {
+            copies: 2,
+            first_deadline_cycles: 10,
+            period_cycles: 5,
+        };
+        assert_eq!(unroll(&net, &cfg).unwrap_err(), KpnError::ZeroDelayCycle);
+    }
+
+    #[test]
+    fn deadlines_feed_edf_propagation() {
+        // End-to-end with the scheduler's deadline derivation: the
+        // per-copy deadlines must reach the inputs.
+        let u = fig1(2);
+        let lf = lamps_sched::deadlines::latest_finish_times_with(
+            &u.graph,
+            u.horizon_cycles(),
+            &u.deadlines,
+        );
+        let t2_0 = u.task(ProcessId(1), 0);
+        let t3_1 = u.task(ProcessId(2), 1);
+        // T2^0 must finish in time for T3^1 (deadline 160, weight 30):
+        // lf ≤ 130; serialization via T2^1 may tighten further.
+        assert!(lf[t2_0.index()] <= lf[t3_1.index()] - 30);
+    }
+}

@@ -1,0 +1,227 @@
+//! Memoized LS-EDF schedules per processor count, and the two
+//! processor-count searches of §4.2.
+//!
+//! Within one solve, every strategy schedules the same graph with the
+//! same EDF keys, varying only the processor count — so schedules are
+//! cached per count. On top of the cache:
+//!
+//! * [`ScheduleCache::max_useful_procs`] — scan `N = 1, 2, …` while the
+//!   makespan keeps strictly decreasing; the last improving `N` is the
+//!   count S&S employs ("as many processors as can be used to reduce the
+//!   makespan") and the scan end is LAMPS's upper limit;
+//! * [`ScheduleCache::min_feasible_procs`] — the paper's binary search on
+//!   `[N_lwb, N_upb]` for the minimal count whose makespan meets the
+//!   deadline at maximum frequency.
+
+use lamps_sched::deadlines::latest_finish_times;
+use lamps_sched::list::list_schedule;
+use lamps_sched::Schedule;
+use lamps_taskgraph::TaskGraph;
+use std::collections::HashMap;
+
+/// Schedule memo for one (graph, EDF keys) pair.
+pub struct ScheduleCache<'g> {
+    graph: &'g TaskGraph,
+    keys: Vec<u64>,
+    memo: HashMap<usize, Schedule>,
+    runs: usize,
+}
+
+impl<'g> ScheduleCache<'g> {
+    /// Build a cache with EDF keys derived from `deadline_cycles`.
+    pub fn new(graph: &'g TaskGraph, deadline_cycles: u64) -> Self {
+        ScheduleCache {
+            graph,
+            keys: latest_finish_times(graph, deadline_cycles),
+            memo: HashMap::new(),
+            runs: 0,
+        }
+    }
+
+    /// Build a cache with explicit priority keys (smaller = first).
+    pub fn with_keys(graph: &'g TaskGraph, keys: Vec<u64>) -> Self {
+        assert_eq!(keys.len(), graph.len());
+        ScheduleCache {
+            graph,
+            keys,
+            memo: HashMap::new(),
+            runs: 0,
+        }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g TaskGraph {
+        self.graph
+    }
+
+    /// The LS schedule on `n` processors (memoized).
+    pub fn schedule(&mut self, n: usize) -> &Schedule {
+        // Entry API would borrow-lock `self`; compute first.
+        if !self.memo.contains_key(&n) {
+            let s = list_schedule(self.graph, n, &self.keys);
+            self.memo.insert(n, s);
+            self.runs += 1;
+        }
+        &self.memo[&n]
+    }
+
+    /// Number of list-scheduling runs performed so far — the `T_ls`
+    /// multiplier of the paper's §4.2 complexity formula
+    /// `T_LAMPS = log₂(N_upb − N_lwb)·T_ls + M·T_ls`.
+    pub fn list_scheduling_runs(&self) -> usize {
+        self.runs
+    }
+
+    /// Makespan in cycles on `n` processors.
+    pub fn makespan(&mut self, n: usize) -> u64 {
+        self.schedule(n).makespan_cycles()
+    }
+
+    /// The processor count S&S employs: scan upward from 1 while the
+    /// makespan strictly decreases (§4.1/§4.2); capped at the task count.
+    pub fn max_useful_procs(&mut self) -> usize {
+        let cap = self.graph.len().max(1);
+        let mut best = 1usize;
+        let mut best_makespan = self.makespan(1);
+        for n in 2..=cap {
+            let m = self.makespan(n);
+            if m < best_makespan {
+                best = n;
+                best_makespan = m;
+            } else {
+                break;
+            }
+        }
+        best
+    }
+
+    /// Minimal processor count whose makespan fits `deadline_cycles`
+    /// (binary search on `[⌈work/D⌉, |V|]`, §4.2). `None` if even `|V|`
+    /// processors miss the deadline.
+    pub fn min_feasible_procs(&mut self, deadline_cycles: u64) -> Option<usize> {
+        let n_upb = self.graph.len().max(1);
+        let n_lwb = self
+            .graph
+            .min_processors_lower_bound(deadline_cycles)?
+            .min(n_upb);
+        if self.makespan(n_upb) > deadline_cycles {
+            return None;
+        }
+        let (mut lo, mut hi) = (n_lwb, n_upb);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.makespan(mid) <= deadline_cycles {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        Some(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_taskgraph::GraphBuilder;
+
+    /// Fig. 4a again: CPL 10, work 18, max parallelism 3.
+    fn fig4a() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(6);
+        let t3 = b.add_task(4);
+        let t4 = b.add_task(4);
+        let t5 = b.add_task(2);
+        b.add_edge(t1, t2).unwrap();
+        b.add_edge(t1, t3).unwrap();
+        b.add_edge(t1, t4).unwrap();
+        b.add_edge(t2, t5).unwrap();
+        b.add_edge(t3, t5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn schedules_are_memoized() {
+        let g = fig4a();
+        let mut c = ScheduleCache::new(&g, 20);
+        let m1 = c.schedule(2).clone();
+        let m2 = c.schedule(2).clone();
+        assert_eq!(m1, m2);
+        assert_eq!(c.memo.len(), 1);
+    }
+
+    #[test]
+    fn max_useful_procs_for_fig4a() {
+        // Makespans: 1 → 18, 2 → 10: two processors already reach the
+        // CPL, so a third is not useful under the strict-decrease rule.
+        let g = fig4a();
+        let mut c = ScheduleCache::new(&g, 20);
+        assert_eq!(c.makespan(1), 18);
+        assert_eq!(c.makespan(2), 10);
+        assert_eq!(c.max_useful_procs(), 2);
+    }
+
+    #[test]
+    fn min_feasible_matches_linear_scan() {
+        let g = fig4a();
+        for deadline in [10u64, 11, 14, 18, 30] {
+            let mut c = ScheduleCache::new(&g, deadline);
+            let bin = c.min_feasible_procs(deadline);
+            // Reference: smallest n in 1..=|V| with makespan ≤ deadline.
+            let mut c2 = ScheduleCache::new(&g, deadline);
+            let lin = (1..=g.len()).find(|&n| c2.makespan(n) <= deadline);
+            assert_eq!(bin, lin, "deadline {deadline}");
+        }
+    }
+
+    #[test]
+    fn min_feasible_none_when_below_cpl() {
+        let g = fig4a();
+        let mut c = ScheduleCache::new(&g, 9);
+        assert_eq!(c.min_feasible_procs(9), None);
+    }
+
+    #[test]
+    fn min_feasible_one_for_loose_deadline() {
+        let g = fig4a();
+        let mut c = ScheduleCache::new(&g, 1000);
+        assert_eq!(c.min_feasible_procs(1000), Some(1));
+    }
+
+    #[test]
+    fn run_count_matches_paper_complexity_formula() {
+        // §4.2: T_LAMPS = log₂(N_upb − N_lwb)·T_ls + M·T_ls. Verify the
+        // number of list-scheduling runs a LAMPS-style search performs
+        // stays within that budget on a larger random graph.
+        let g = lamps_taskgraph::gen::layered::stg_group(200, 1, 5).remove(0);
+        let deadline = 2 * g.critical_path_cycles();
+        let mut c = ScheduleCache::new(&g, deadline);
+        let n_min = c.min_feasible_procs(deadline).expect("feasible");
+        let binary_runs = c.list_scheduling_runs();
+        let log_bound = (g.len() as f64).log2().ceil() as usize + 2;
+        assert!(
+            binary_runs <= log_bound,
+            "binary search used {binary_runs} runs (bound {log_bound})"
+        );
+        // Second phase: linear scan while the makespan decreases.
+        let mut m = 0usize;
+        let mut prev = None;
+        for n in n_min..=g.len() {
+            let ms = c.makespan(n);
+            if let Some(p) = prev {
+                if ms >= p {
+                    break;
+                }
+            }
+            prev = Some(ms);
+            m += 1;
+        }
+        let total = c.list_scheduling_runs();
+        assert!(
+            total <= log_bound + m + 1,
+            "total {total} runs exceeds log + M = {} + {m}",
+            log_bound
+        );
+    }
+}

@@ -1,0 +1,68 @@
+//! Scheduler configuration: the technology, DVS levels, and sleep model.
+
+use lamps_power::{LevelTable, SleepParams, TechnologyParams};
+
+/// Everything the heuristics need about the platform.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Analytical power model.
+    pub tech: TechnologyParams,
+    /// Discrete DVS operating points available to the scheduler.
+    pub levels: LevelTable,
+    /// Sleep-state parameters for processor shutdown.
+    pub sleep: SleepParams,
+}
+
+impl SchedulerConfig {
+    /// The paper's platform: 70 nm technology, 0.05 V voltage grid,
+    /// 50 µW/483 µJ sleep model.
+    pub fn paper() -> Self {
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).expect("default grid is valid");
+        SchedulerConfig {
+            tech,
+            levels,
+            sleep: SleepParams::paper(),
+        }
+    }
+
+    /// Maximum frequency of the platform \[Hz\].
+    pub fn max_frequency(&self) -> f64 {
+        self.levels.max_frequency()
+    }
+
+    /// Convert a deadline in seconds to cycles at the maximum frequency
+    /// (the unit in which scheduling happens), rounding down so the
+    /// cycle-domain deadline is never optimistic.
+    pub fn deadline_cycles(&self, deadline_s: f64) -> u64 {
+        (deadline_s * self.max_frequency()).floor() as u64
+    }
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_platform() {
+        let cfg = SchedulerConfig::paper();
+        assert!((cfg.max_frequency() / 3.1e9 - 1.0).abs() < 0.01);
+        assert_eq!(cfg.levels.len(), 14);
+        assert_eq!(cfg.sleep.sleep_power, 50.0e-6);
+    }
+
+    #[test]
+    fn deadline_cycles_rounds_down() {
+        let cfg = SchedulerConfig::paper();
+        let f = cfg.max_frequency();
+        let c = cfg.deadline_cycles(1.0);
+        assert!(c as f64 <= f);
+        assert!(c as f64 > f - 2.0);
+    }
+}

@@ -1,0 +1,74 @@
+//! Continuous-voltage ablation.
+//!
+//! The paper limits voltage scaling to discrete 0.05 V steps (§1, fourth
+//! listed contribution) where earlier theoretical work (Irani et al.)
+//! assumed a continuous voltage range. This module quantifies what the
+//! discretization costs: it builds a near-continuous level table (1 mV
+//! grid by default) that plugs into the same solvers, so the discrete and
+//! "continuous" results can be compared head-to-head.
+
+use crate::config::SchedulerConfig;
+use lamps_power::{LevelTable, PowerError, TechnologyParams};
+
+/// Voltage step used to approximate a continuous DVS range \[V\].
+pub const DENSE_STEP_VOLTS: f64 = 0.001;
+
+/// A near-continuous level table from just above the threshold voltage to
+/// the nominal voltage.
+pub fn dense_levels(tech: &TechnologyParams) -> Result<LevelTable, PowerError> {
+    let lo = tech.min_positive_vdd() + 2.0 * DENSE_STEP_VOLTS;
+    LevelTable::grid(tech, lo, tech.table.vdd0, DENSE_STEP_VOLTS)
+}
+
+/// The paper's configuration with the discrete grid swapped for the
+/// near-continuous one.
+pub fn continuous_config() -> SchedulerConfig {
+    let base = SchedulerConfig::paper();
+    let levels = dense_levels(&base.tech).expect("dense grid is valid");
+    SchedulerConfig { levels, ..base }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve;
+    use crate::types::Strategy;
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+
+    #[test]
+    fn dense_grid_is_dense() {
+        let tech = TechnologyParams::seventy_nm();
+        let t = dense_levels(&tech).unwrap();
+        assert!(t.len() > 500, "{} levels", t.len());
+        // Critical level converges to the continuous critical frequency.
+        let crit = t.critical();
+        let cont = tech.critical_frequency_continuous();
+        assert!((crit.freq / cont - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn continuous_never_worse_than_discrete() {
+        // A finer grid is a superset-like relaxation: the best continuous
+        // schedule is at least as good as the discrete one (up to the
+        // 1 mV residual, covered by the tolerance).
+        let discrete = SchedulerConfig::paper();
+        let continuous = continuous_config();
+        let g = generate(
+            &LayeredConfig {
+                n_tasks: 40,
+                n_layers: 8,
+                ..LayeredConfig::default()
+            },
+            5,
+        )
+        .scale_weights(3_100_000);
+        for factor in [1.5, 4.0] {
+            let d = factor * g.critical_path_cycles() as f64 / discrete.max_frequency();
+            for s in [Strategy::ScheduleStretch, Strategy::LampsPs] {
+                let e_d = solve(s, &g, d, &discrete).unwrap().energy.total();
+                let e_c = solve(s, &g, d, &continuous).unwrap().energy.total();
+                assert!(e_c <= e_d * 1.001, "{s} at {factor}x: {e_c} > {e_d}");
+            }
+        }
+    }
+}

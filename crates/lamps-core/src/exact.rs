@@ -1,0 +1,272 @@
+//! Exact baselines for small instances.
+//!
+//! §4.4 argues via the LIMIT bounds that no list-scheduling order can
+//! meaningfully beat EDF here. For small graphs we can check that
+//! *exactly*: enumerate every topologically-valid priority list, run the
+//! list scheduler on each, and keep the best makespan per processor
+//! count. Because the no-PS energy of a feasible configuration depends
+//! only on (processor count, level) — idle time is `N·D − work/f`
+//! regardless of where the gaps fall — the best-list makespans give the
+//! exact optimum of the paper's single-frequency, no-shutdown regime
+//! over all non-delay schedules.
+//!
+//! Exponential: guarded by an explicit enumeration budget and intended
+//! for graphs of ≲10 tasks (tests, calibration, gap studies).
+
+use crate::config::SchedulerConfig;
+use crate::types::SolveError;
+use lamps_sched::list::list_schedule;
+use lamps_taskgraph::{TaskGraph, TaskId};
+
+/// Error for enumeration overruns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BudgetExceeded {
+    /// The configured maximum number of lists.
+    pub budget: usize,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "more than {} topological orders", self.budget)
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// The minimum makespan over *all* list schedules on `n_procs`
+/// processors, found by enumerating topological orders (each fed to the
+/// same deterministic list scheduler the heuristics use).
+///
+/// Errors if the graph has more than `budget` topological orders.
+pub fn best_list_makespan(
+    graph: &TaskGraph,
+    n_procs: usize,
+    budget: usize,
+) -> Result<u64, BudgetExceeded> {
+    let n = graph.len();
+    let mut indeg: Vec<u32> = graph
+        .tasks()
+        .map(|t| graph.in_degree(t) as u32)
+        .collect();
+    let mut order: Vec<TaskId> = Vec::with_capacity(n);
+    let mut best = u64::MAX;
+    let mut explored = 0usize;
+
+    // DFS over topological orders.
+    fn dfs(
+        graph: &TaskGraph,
+        n_procs: usize,
+        indeg: &mut Vec<u32>,
+        order: &mut Vec<TaskId>,
+        best: &mut u64,
+        explored: &mut usize,
+        budget: usize,
+    ) -> Result<(), BudgetExceeded> {
+        let n = graph.len();
+        if order.len() == n {
+            *explored += 1;
+            if *explored > budget {
+                return Err(BudgetExceeded { budget });
+            }
+            // Priority keys = position in the list.
+            let mut keys = vec![0u64; n];
+            for (i, t) in order.iter().enumerate() {
+                keys[t.index()] = i as u64;
+            }
+            let m = list_schedule(graph, n_procs, &keys).makespan_cycles();
+            *best = (*best).min(m);
+            return Ok(());
+        }
+        for t in graph.tasks() {
+            if indeg[t.index()] == 0 && !order.contains(&t) {
+                for &s in graph.successors(t) {
+                    indeg[s.index()] -= 1;
+                }
+                order.push(t);
+                dfs(graph, n_procs, indeg, order, best, explored, budget)?;
+                order.pop();
+                for &s in graph.successors(t) {
+                    indeg[s.index()] += 1;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    dfs(
+        graph,
+        n_procs,
+        &mut indeg,
+        &mut order,
+        &mut best,
+        &mut explored,
+        budget,
+    )?;
+    Ok(best)
+}
+
+/// Exact optimum of the no-PS single-frequency regime on a small graph:
+/// minimize over processor counts and discrete levels, using the *best
+/// list makespan* per count for feasibility. Returns the optimal energy.
+pub fn optimal_no_ps(
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    budget: usize,
+) -> Result<f64, SolveError> {
+    if !deadline_s.is_finite() || deadline_s <= 0.0 {
+        return Err(SolveError::BadDeadline(deadline_s));
+    }
+    let mut best: Option<f64> = None;
+    for n in 1..=graph.len() {
+        let Ok(makespan) = best_list_makespan(graph, n, budget) else {
+            break;
+        };
+        let required = makespan as f64 / deadline_s;
+        // Level sweep: with free processors off but employed ones on to
+        // the deadline, stretching maximally is NOT always best once
+        // below the critical level, so sweep all feasible levels.
+        for level in cfg.levels.at_least(required) {
+            // Energy is schedule-shape independent without PS.
+            let work = graph.total_work_cycles() as f64;
+            let busy_s = work / level.freq;
+            let idle_s = n as f64 * deadline_s - busy_s;
+            if idle_s < -1e-9 {
+                continue;
+            }
+            let e = work * level.energy_per_cycle + idle_s.max(0.0) * level.idle_power;
+            if best.is_none_or(|b| e < b) {
+                best = Some(e);
+            }
+        }
+        if makespan == graph.critical_path_cycles() {
+            // More processors cannot reduce the makespan further, and
+            // only add idle energy.
+            break;
+        }
+    }
+    best.ok_or(SolveError::Infeasible {
+        deadline_s,
+        best_possible_s: graph.critical_path_cycles() as f64 / cfg.max_frequency(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve;
+    use crate::types::Strategy;
+    use lamps_sched::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn tiny_random(seed: u64, n: usize) -> TaskGraph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new();
+        let ids: Vec<TaskId> = (0..n)
+            .map(|_| b.add_task(rng.gen_range(1..20) * 3_100_000))
+            .collect();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rng.gen_bool(0.25) {
+                    b.add_edge(ids[i], ids[j]).unwrap();
+                }
+            }
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn best_list_is_at_most_edf() {
+        for seed in 0..10 {
+            let g = tiny_random(seed, 7);
+            for n in 1..=3usize {
+                let best = best_list_makespan(&g, n, 100_000).unwrap();
+                let edf = edf_schedule(&g, n, 2 * g.critical_path_cycles()).makespan_cycles();
+                assert!(best <= edf, "seed {seed}, n {n}: {best} > {edf}");
+                // And never below the trivial bounds.
+                let lb = g
+                    .critical_path_cycles()
+                    .max(g.total_work_cycles().div_ceil(n as u64));
+                assert!(best >= lb);
+            }
+        }
+    }
+
+    #[test]
+    fn edf_is_nearly_optimal_on_small_graphs() {
+        // §4.4's claim, verified exactly: over a batch of small random
+        // graphs, EDF's makespan averages within a few percent of the
+        // best possible list schedule.
+        let mut worst: f64 = 1.0;
+        for seed in 0..20 {
+            let g = tiny_random(seed + 100, 7);
+            let n = 2;
+            let best = best_list_makespan(&g, n, 100_000).unwrap() as f64;
+            let edf = edf_schedule(&g, n, 2 * g.critical_path_cycles()).makespan_cycles() as f64;
+            worst = worst.max(edf / best);
+        }
+        assert!(worst < 1.25, "EDF within 25% of optimal lists, got {worst}");
+    }
+
+    #[test]
+    fn chain_makespan_is_exact() {
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_task(5);
+        for _ in 0..4 {
+            let t = b.add_task(5);
+            b.add_edge(prev, t).unwrap();
+            prev = t;
+        }
+        let g = b.build().unwrap();
+        assert_eq!(best_list_makespan(&g, 3, 10).unwrap(), 25);
+    }
+
+    #[test]
+    fn independent_tasks_pack_perfectly() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..6 {
+            b.add_task(2);
+        }
+        let g = b.build().unwrap();
+        assert_eq!(best_list_makespan(&g, 2, 100_000).unwrap(), 6);
+        assert_eq!(best_list_makespan(&g, 3, 100_000).unwrap(), 4);
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let g = tiny_random(3, 9);
+        assert!(matches!(
+            best_list_makespan(&g, 2, 5),
+            Err(BudgetExceeded { budget: 5 })
+        ));
+    }
+
+    #[test]
+    fn lamps_never_beats_and_stays_near_exact_no_ps_optimum() {
+        // LAMPS can never beat the exact optimum. The gap on *tiny*
+        // graphs can reach one discrete level (~15%): a cleverer list
+        // order occasionally shaves the makespan just enough to fit the
+        // next-slower 0.05 V step, which EDF misses. (On the realistic
+        // benchmark sizes of §5 the effect washes out — that is the
+        // paper's >94%-of-potential result; this test pins down the exact
+        // small-instance worst case instead.)
+        let cfg = SchedulerConfig::paper();
+        let mut worst: f64 = 1.0;
+        for seed in 0..10 {
+            let g = tiny_random(seed + 50, 7);
+            let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+            let lamps = solve(Strategy::Lamps, &g, d, &cfg).unwrap().energy.total();
+            let exact = optimal_no_ps(&g, d, &cfg, 100_000).unwrap();
+            assert!(
+                lamps >= exact * (1.0 - 1e-9),
+                "seed {seed}: LAMPS {lamps} beat the optimum {exact}"
+            );
+            worst = worst.max(lamps / exact);
+        }
+        assert!(worst <= 1.25, "worst LAMPS/exact ratio {worst}");
+        // The gap is real but bounded by roughly one voltage step.
+        assert!(worst > 1.0, "some instance should show a strict gap");
+    }
+}

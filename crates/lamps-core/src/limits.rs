@@ -1,0 +1,199 @@
+//! The absolute lower bounds LIMIT-SF and LIMIT-MF (§4.4).
+//!
+//! Both bounds assume idle processors consume *no* energy and one
+//! processor per task, so no schedule — by any list order, EDF or not —
+//! can beat them:
+//!
+//! * **LIMIT-SF** (single frequency): every task runs at one common,
+//!   constant frequency — the discrete critical level, or the lowest
+//!   feasible level if the deadline forces a faster one. This bounds all
+//!   four heuristics, whose schedules share that single-frequency
+//!   property.
+//! * **LIMIT-MF** (multiple frequencies): every task runs at the critical
+//!   level outright, ignoring the deadline — a lower bound even for
+//!   schedules with per-processor, time-varying frequencies, because no
+//!   cycle can ever cost less than the critical level's energy per cycle.
+
+use crate::config::SchedulerConfig;
+use crate::types::SolveError;
+use lamps_power::OperatingPoint;
+use lamps_taskgraph::TaskGraph;
+
+/// A lower-bound evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct Limit {
+    /// Total energy \[J\].
+    pub energy_j: f64,
+    /// The operating level the bound charges work at.
+    pub level: OperatingPoint,
+    /// Whether the bound's idealized schedule also meets the deadline
+    /// (LIMIT-MF may not, §4.4).
+    pub meets_deadline: bool,
+}
+
+/// LIMIT-SF: minimal energy with one common constant frequency and free
+/// idle processors.
+///
+/// The frequency is the discrete critical level when the deadline allows
+/// the critical path to fit at it, else the slowest feasible level;
+/// errors if the deadline is below the critical path at maximum
+/// frequency.
+pub fn limit_sf(
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+) -> Result<Limit, SolveError> {
+    if !deadline_s.is_finite() || deadline_s <= 0.0 {
+        return Err(SolveError::BadDeadline(deadline_s));
+    }
+    let cpl = graph.critical_path_cycles();
+    let required_freq = cpl as f64 / deadline_s;
+    let Some(lowest_feasible) = cfg.levels.lowest_at_least(required_freq) else {
+        return Err(SolveError::Infeasible {
+            deadline_s,
+            best_possible_s: cpl as f64 / cfg.max_frequency(),
+        });
+    };
+    let crit = cfg.levels.critical();
+    // Energy per cycle is U-shaped: never go below the critical level
+    // (idle is free here, so there is no reason to), and never below the
+    // feasibility frequency.
+    let level = if lowest_feasible.freq >= crit.freq {
+        *lowest_feasible
+    } else {
+        *crit
+    };
+    Ok(Limit {
+        energy_j: graph.total_work_cycles() as f64 * level.energy_per_cycle,
+        level,
+        meets_deadline: true,
+    })
+}
+
+/// LIMIT-MF: all work at the discrete critical level, deadline ignored.
+pub fn limit_mf(graph: &TaskGraph, deadline_s: f64, cfg: &SchedulerConfig) -> Limit {
+    let crit = *cfg.levels.critical();
+    let cpl_time = graph.critical_path_cycles() as f64 / crit.freq;
+    Limit {
+        energy_j: graph.total_work_cycles() as f64 * crit.energy_per_cycle,
+        level: crit,
+        meets_deadline: cpl_time <= deadline_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve;
+    use crate::types::Strategy;
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+    use lamps_taskgraph::GraphBuilder;
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::paper()
+    }
+
+    fn small_coarse_graph(seed: u64) -> lamps_taskgraph::TaskGraph {
+        let c = LayeredConfig {
+            n_tasks: 30,
+            n_layers: 6,
+            ..LayeredConfig::default()
+        };
+        generate(&c, seed).scale_weights(3_100_000)
+    }
+
+    #[test]
+    fn mf_never_exceeds_sf() {
+        for seed in 0..5 {
+            let g = small_coarse_graph(seed);
+            for factor in [1.5, 2.0, 4.0, 8.0] {
+                let d = factor * g.critical_path_cycles() as f64 / cfg().max_frequency();
+                let sf = limit_sf(&g, d, &cfg()).unwrap();
+                let mf = limit_mf(&g, d, &cfg());
+                assert!(mf.energy_j <= sf.energy_j + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn limits_bound_every_strategy() {
+        for seed in 0..5 {
+            let g = small_coarse_graph(seed);
+            for factor in [1.5, 2.0, 4.0, 8.0] {
+                let d = factor * g.critical_path_cycles() as f64 / cfg().max_frequency();
+                let sf = limit_sf(&g, d, &cfg()).unwrap();
+                for s in Strategy::all() {
+                    let sol = solve(s, &g, d, &cfg()).unwrap();
+                    assert!(
+                        sf.energy_j <= sol.energy.total() * (1.0 + 1e-9),
+                        "seed {seed}, {factor}x: LIMIT-SF above {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loose_deadline_makes_sf_equal_mf() {
+        // §6: "For loose deadlines (4× or 8× the CPL), LIMIT-MF consumes
+        // the same amount of energy as LIMIT-SF."
+        let g = small_coarse_graph(1);
+        let d = 8.0 * g.critical_path_cycles() as f64 / cfg().max_frequency();
+        let sf = limit_sf(&g, d, &cfg()).unwrap();
+        let mf = limit_mf(&g, d, &cfg());
+        assert!((sf.energy_j - mf.energy_j).abs() < 1e-12);
+        assert!((sf.level.vdd - 0.7).abs() < 1e-9, "critical level chosen");
+    }
+
+    #[test]
+    fn tight_deadline_forces_sf_above_critical() {
+        let g = small_coarse_graph(2);
+        let d = 1.05 * g.critical_path_cycles() as f64 / cfg().max_frequency();
+        let sf = limit_sf(&g, d, &cfg()).unwrap();
+        let crit = cfg().levels.critical().freq;
+        assert!(sf.level.freq > crit);
+        let mf = limit_mf(&g, d, &cfg());
+        assert!(!mf.meets_deadline || mf.energy_j <= sf.energy_j);
+    }
+
+    #[test]
+    fn mf_flags_deadline_miss() {
+        let g = small_coarse_graph(3);
+        // Deadline exactly the CPL at f_max: the critical level (≈0.41
+        // of f_max) cannot fit the critical path.
+        let d = g.critical_path_cycles() as f64 / cfg().max_frequency();
+        let mf = limit_mf(&g, d, &cfg());
+        assert!(!mf.meets_deadline);
+    }
+
+    #[test]
+    fn sf_infeasible_below_cpl() {
+        let g = small_coarse_graph(4);
+        let d = 0.5 * g.critical_path_cycles() as f64 / cfg().max_frequency();
+        assert!(matches!(
+            limit_sf(&g, d, &cfg()),
+            Err(SolveError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn single_chain_bounds_are_exact_active_energy() {
+        // A chain with deadline 8×CPL: LIMIT-SF = work at the critical
+        // level; LAMPS achieves exactly that active energy plus idle
+        // overheads, so the ratio is close to but above 1.
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_task(31_000_000);
+        for _ in 0..4 {
+            let t = b.add_task(31_000_000);
+            b.add_edge(prev, t).unwrap();
+            prev = t;
+        }
+        let g = b.build().unwrap();
+        let d = 8.0 * g.critical_path_cycles() as f64 / cfg().max_frequency();
+        let sf = limit_sf(&g, d, &cfg()).unwrap();
+        let sol = solve(Strategy::LampsPs, &g, d, &cfg()).unwrap();
+        let ratio = sol.energy.total() / sf.energy_j;
+        assert!(ratio >= 1.0 - 1e-9);
+        assert!(ratio < 1.2, "LAMPS+PS within 20% of the bound, got {ratio}");
+    }
+}

@@ -1,0 +1,172 @@
+//! Deadline–energy trade-off curves.
+//!
+//! The paper evaluates four fixed deadline factors; a system designer
+//! usually wants the whole curve — how much energy each millisecond of
+//! deadline buys, and where the curve flattens (once the critical
+//! frequency is reachable, extra deadline is worthless without
+//! re-evaluating PS). This module sweeps the deadline and reports the
+//! frontier.
+
+use crate::config::SchedulerConfig;
+use crate::solve::solve;
+use crate::types::{SolveError, Strategy};
+use lamps_taskgraph::TaskGraph;
+
+/// One point of the deadline–energy curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ParetoPoint {
+    /// Deadline as a multiple of the CPL at maximum frequency.
+    pub factor: f64,
+    /// Deadline \[s\].
+    pub deadline_s: f64,
+    /// Minimum energy at this deadline \[J\].
+    pub energy_j: f64,
+    /// Processors employed.
+    pub n_procs: usize,
+    /// Supply voltage chosen \[V\].
+    pub vdd: f64,
+}
+
+/// Sweep deadline factors from `from_factor` to `to_factor` in `steps`
+/// geometric steps, solving with `strategy` at each.
+///
+/// Returns the feasible points in deadline order; factors below 1.0 are
+/// rejected.
+/// # Example
+///
+/// ```
+/// use lamps_core::pareto::deadline_sweep;
+/// use lamps_core::{SchedulerConfig, Strategy};
+/// use lamps_taskgraph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// for _ in 0..4 { b.add_task(31_000_000); }
+/// let g = b.build().unwrap();
+/// let cfg = SchedulerConfig::paper();
+/// let pts = deadline_sweep(Strategy::LampsPs, &g, 1.2, 6.0, 4, &cfg).unwrap();
+/// assert!(!pts.is_empty());
+/// assert!(pts.last().unwrap().energy_j <= pts[0].energy_j * 1.001);
+/// ```
+pub fn deadline_sweep(
+    strategy: Strategy,
+    graph: &TaskGraph,
+    from_factor: f64,
+    to_factor: f64,
+    steps: usize,
+    cfg: &SchedulerConfig,
+) -> Result<Vec<ParetoPoint>, SolveError> {
+    if !(from_factor >= 1.0 && to_factor >= from_factor) {
+        return Err(SolveError::BadDeadline(from_factor));
+    }
+    assert!(steps >= 2, "need at least two sweep points");
+    let cpl_s = graph.critical_path_cycles() as f64 / cfg.max_frequency();
+    let ratio = (to_factor / from_factor).powf(1.0 / (steps - 1) as f64);
+    let mut out = Vec::with_capacity(steps);
+    let mut factor = from_factor;
+    for _ in 0..steps {
+        let deadline_s = factor * cpl_s;
+        if let Ok(sol) = solve(strategy, graph, deadline_s, cfg) {
+            out.push(ParetoPoint {
+                factor,
+                deadline_s,
+                energy_j: sol.energy.total(),
+                n_procs: sol.n_procs,
+                vdd: sol.level.vdd,
+            });
+        }
+        factor *= ratio;
+    }
+    Ok(out)
+}
+
+/// The knee of a sweep: the point after which relative energy gains per
+/// relative deadline growth drop below `threshold` (e.g. 0.1). Returns
+/// the index into the sweep.
+pub fn knee_index(points: &[ParetoPoint], threshold: f64) -> usize {
+    for (i, w) in points.windows(2).enumerate() {
+        let de = (w[0].energy_j - w[1].energy_j) / w[0].energy_j;
+        let dd = (w[1].deadline_s - w[0].deadline_s) / w[0].deadline_s;
+        if dd > 0.0 && de / dd < threshold {
+            return i;
+        }
+    }
+    points.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+
+    fn graph() -> TaskGraph {
+        generate(
+            &LayeredConfig {
+                n_tasks: 40,
+                n_layers: 8,
+                ..LayeredConfig::default()
+            },
+            3,
+        )
+        .scale_weights(3_100_000)
+    }
+
+    #[test]
+    fn sweep_is_nearly_monotone_decreasing_for_lamps_ps() {
+        // A longer deadline widens LAMPS+PS's search space, but the
+        // platform also stays *on* until the later deadline, so once the
+        // curve bottoms out at the critical level the only change is the
+        // sleeping tail (50 µW × Δdeadline per processor): energy may
+        // creep up by that much and no more.
+        let g = graph();
+        let cfg = SchedulerConfig::paper();
+        let pts = deadline_sweep(Strategy::LampsPs, &g, 1.1, 10.0, 12, &cfg).unwrap();
+        assert!(pts.len() >= 10);
+        for w in pts.windows(2) {
+            let tail_allowance = cfg.sleep.sleep_power
+                * (w[1].deadline_s - w[0].deadline_s)
+                * w[0].n_procs.max(w[1].n_procs) as f64
+                + w[0].energy_j * 1e-9;
+            assert!(
+                w[1].energy_j <= w[0].energy_j + tail_allowance,
+                "{} -> {}",
+                w[0].energy_j,
+                w[1].energy_j
+            );
+        }
+        // And the big picture is a large net drop.
+        assert!(pts.last().unwrap().energy_j < 0.8 * pts[0].energy_j);
+    }
+
+    #[test]
+    fn sweep_flattens_eventually() {
+        let g = graph();
+        let cfg = SchedulerConfig::paper();
+        let pts = deadline_sweep(Strategy::LampsPs, &g, 1.1, 16.0, 14, &cfg).unwrap();
+        let knee = knee_index(&pts, 0.05);
+        assert!(knee < pts.len() - 1, "curve should flatten before the end");
+        // After the knee, the energy changes slowly.
+        let e_knee = pts[knee].energy_j;
+        let e_end = pts.last().unwrap().energy_j;
+        assert!(e_end >= e_knee * 0.7);
+    }
+
+    #[test]
+    fn rejects_sub_cpl_factors() {
+        let g = graph();
+        let cfg = SchedulerConfig::paper();
+        assert!(matches!(
+            deadline_sweep(Strategy::Lamps, &g, 0.5, 2.0, 4, &cfg),
+            Err(SolveError::BadDeadline(_))
+        ));
+    }
+
+    #[test]
+    fn voltage_decreases_along_the_sweep_until_critical() {
+        let g = graph();
+        let cfg = SchedulerConfig::paper();
+        let pts = deadline_sweep(Strategy::Lamps, &g, 1.1, 8.0, 10, &cfg).unwrap();
+        let first = pts.first().unwrap();
+        let last = pts.last().unwrap();
+        assert!(last.vdd <= first.vdd);
+    }
+}

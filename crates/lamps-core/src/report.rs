@@ -1,0 +1,156 @@
+//! Human-readable solution reports.
+//!
+//! One formatted block capturing everything an engineer asks about a
+//! schedule: the chosen configuration, the energy bill and where it
+//! goes, per-processor load, and how close the result sits to the
+//! LIMIT bounds.
+
+use crate::config::SchedulerConfig;
+use crate::limits::{limit_mf, limit_sf};
+use crate::types::Solution;
+use lamps_energy::evaluate_detailed;
+use lamps_taskgraph::TaskGraph;
+use std::fmt::Write as _;
+
+/// Render a report of `solution` for `graph` under `deadline_s`.
+///
+/// The report is self-contained plain text (fixed-width friendly).
+pub fn render(
+    solution: &Solution,
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+) -> String {
+    let mut out = String::new();
+    let f_max = cfg.max_frequency();
+    writeln!(out, "=== {} solution report ===", solution.strategy.name()).unwrap();
+    writeln!(
+        out,
+        "workload : {} tasks, {} edges, CPL {:.3} ms, work {:.3} ms, parallelism {:.2}",
+        graph.len(),
+        graph.edge_count(),
+        graph.critical_path_cycles() as f64 / f_max * 1e3,
+        graph.total_work_cycles() as f64 / f_max * 1e3,
+        graph.parallelism()
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "deadline : {:.3} ms ({:.2}x CPL)",
+        deadline_s * 1e3,
+        deadline_s * f_max / graph.critical_path_cycles() as f64
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "config   : {} processors at {:.2} V ({:.2} f/fmax), makespan {:.3} ms",
+        solution.n_procs,
+        solution.level.vdd,
+        solution.level.freq / f_max,
+        solution.makespan_s * 1e3
+    )
+    .unwrap();
+    let e = &solution.energy;
+    writeln!(
+        out,
+        "energy   : {:.4} J = active {:.4} + idle {:.4} + sleep {:.4} + transitions {:.4} ({} sleeps)",
+        e.total(),
+        e.active_j,
+        e.idle_j,
+        e.sleep_j,
+        e.transition_j,
+        e.sleep_episodes
+    )
+    .unwrap();
+
+    // Bound context.
+    if let Ok(sf) = limit_sf(graph, deadline_s, cfg) {
+        let mf = limit_mf(graph, deadline_s, cfg);
+        writeln!(
+            out,
+            "bounds   : LIMIT-SF {:.4} J ({:+.1}% above), LIMIT-MF {:.4} J",
+            sf.energy_j,
+            (e.total() / sf.energy_j - 1.0) * 100.0,
+            mf.energy_j
+        )
+        .unwrap();
+    }
+
+    // Per-processor loads.
+    let sleep = solution.strategy.uses_ps().then_some(&cfg.sleep);
+    if let Ok(detail) = evaluate_detailed(&solution.schedule, &solution.level, deadline_s, sleep)
+    {
+        writeln!(
+            out,
+            "{:>6} {:>10} {:>12} {:>10} {:>11}",
+            "proc", "busy [ms]", "idle [ms]", "asleep", "energy [J]"
+        )
+        .unwrap();
+        for p in &detail {
+            writeln!(
+                out,
+                "{:>6} {:>10.2} {:>12.2} {:>10.2} {:>11.4}",
+                p.proc.0,
+                p.busy_s * 1e3,
+                p.idle_awake_s * 1e3,
+                p.asleep_s * 1e3,
+                p.breakdown.total()
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solve::solve;
+    use crate::types::Strategy;
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+
+    #[test]
+    fn report_contains_every_section() {
+        let cfg = SchedulerConfig::paper();
+        let g = generate(
+            &LayeredConfig {
+                n_tasks: 20,
+                n_layers: 5,
+                ..LayeredConfig::default()
+            },
+            1,
+        )
+        .scale_weights(3_100_000);
+        let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let sol = solve(Strategy::LampsPs, &g, d, &cfg).unwrap();
+        let r = render(&sol, &g, d, &cfg);
+        for key in ["workload", "deadline", "config", "energy", "bounds", "proc"] {
+            assert!(r.contains(key), "missing section {key}\n{r}");
+        }
+        // One row per processor.
+        let proc_rows = r
+            .lines()
+            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .count();
+        assert_eq!(proc_rows, sol.n_procs);
+    }
+
+    #[test]
+    fn report_shows_gap_to_bound() {
+        let cfg = SchedulerConfig::paper();
+        let g = generate(
+            &LayeredConfig {
+                n_tasks: 15,
+                n_layers: 5,
+                ..LayeredConfig::default()
+            },
+            2,
+        )
+        .scale_weights(3_100_000);
+        let d = 4.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let sol = solve(Strategy::ScheduleStretch, &g, d, &cfg).unwrap();
+        let r = render(&sol, &g, d, &cfg);
+        assert!(r.contains("LIMIT-SF"));
+        assert!(r.contains("% above"));
+    }
+}

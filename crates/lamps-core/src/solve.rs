@@ -1,0 +1,362 @@
+//! The solver: S&S, LAMPS, and their +PS variants (§4.1–§4.3).
+
+use crate::cache::ScheduleCache;
+use crate::config::SchedulerConfig;
+use crate::types::{Solution, SolveError, Strategy};
+use lamps_energy::{evaluate, EnergyBreakdown};
+use lamps_power::OperatingPoint;
+use lamps_sched::Schedule;
+use lamps_taskgraph::TaskGraph;
+
+/// Best (level, energy) choice for one already-scheduled processor count.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Candidate {
+    pub(crate) n_procs: usize,
+    pub(crate) level: OperatingPoint,
+    pub(crate) energy: EnergyBreakdown,
+    pub(crate) makespan_cycles: u64,
+}
+
+/// Solve `graph` with `strategy` under `deadline_s` on the platform
+/// `cfg`.
+///
+/// Returns the chosen processor count, operating level, schedule, and
+/// full energy accounting; errors if the deadline cannot be met at the
+/// maximum frequency even with one processor per task.
+pub fn solve(
+    strategy: Strategy,
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+) -> Result<Solution, SolveError> {
+    if !deadline_s.is_finite() || deadline_s <= 0.0 {
+        return Err(SolveError::BadDeadline(deadline_s));
+    }
+    let deadline_cycles = cfg.deadline_cycles(deadline_s);
+    let infeasible = |mut best_possible_cycles: u64| {
+        best_possible_cycles = best_possible_cycles.max(graph.critical_path_cycles());
+        SolveError::Infeasible {
+            deadline_s,
+            best_possible_s: best_possible_cycles as f64 / cfg.max_frequency(),
+        }
+    };
+    if graph.critical_path_cycles() > deadline_cycles {
+        return Err(infeasible(graph.critical_path_cycles()));
+    }
+
+    let mut cache = ScheduleCache::new(graph, deadline_cycles);
+    let ps = strategy.uses_ps();
+
+    let best = if strategy.searches_proc_count() {
+        // LAMPS / LAMPS+PS (§4.2–§4.3, Figs. 5 & 8): binary search for
+        // the minimal feasible count, then a linear scan upward while the
+        // makespan keeps decreasing, keeping the least-energy
+        // configuration. The scan is linear, not binary, because energy
+        // over the processor count has local minima (Fig. 6).
+        let n_min = cache
+            .min_feasible_procs(deadline_cycles)
+            .ok_or_else(|| infeasible(cache.makespan(graph.len().max(1))))?;
+        let mut best: Option<Candidate> = None;
+        let mut prev_makespan: Option<u64> = None;
+        for n in n_min..=graph.len().max(1) {
+            let makespan = cache.makespan(n);
+            if let Some(prev) = prev_makespan {
+                // "until increasing the number of processors no longer
+                // decreases the makespan" (§4.2).
+                if makespan >= prev {
+                    break;
+                }
+            }
+            prev_makespan = Some(makespan);
+            if let Some(c) = best_level_for(cache.schedule(n), n, deadline_s, cfg, ps) {
+                if best.as_ref().is_none_or(|b| c.energy.total() < b.energy.total()) {
+                    best = Some(c);
+                }
+            }
+        }
+        best.ok_or_else(|| infeasible(cache.makespan(n_min)))?
+    } else {
+        // S&S / S&S+PS (§4.1, §4.3): employ as many processors as reduce
+        // the makespan; if (anomalously) that schedule misses the
+        // deadline, fall back to the minimal feasible count.
+        let mut n = cache.max_useful_procs();
+        if cache.makespan(n) > deadline_cycles {
+            n = cache
+                .min_feasible_procs(deadline_cycles)
+                .ok_or_else(|| infeasible(cache.makespan(n)))?;
+        }
+        best_level_for(cache.schedule(n), n, deadline_s, cfg, ps)
+            .ok_or_else(|| infeasible(cache.makespan(n)))?
+    };
+
+    let schedule = cache.schedule(best.n_procs).clone();
+    Ok(Solution {
+        strategy,
+        n_procs: best.n_procs,
+        level: best.level,
+        energy: best.energy,
+        makespan_cycles: best.makespan_cycles,
+        makespan_s: best.makespan_cycles as f64 / best.level.freq,
+        schedule,
+    })
+}
+
+/// Choose the operating level for a fixed schedule.
+///
+/// Without PS: the slowest feasible level (maximal stretch, §4.1).
+/// With PS: sweep every feasible level from slowest to fastest and keep
+/// the least-energy one (§4.3) — the sweep is what trades slowdown
+/// against shutdown.
+pub(crate) fn best_level_for(
+    schedule: &Schedule,
+    n_procs: usize,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    ps: bool,
+) -> Option<Candidate> {
+    let required_freq = schedule.makespan_cycles() as f64 / deadline_s;
+    best_level_constrained(schedule, n_procs, required_freq, deadline_s, cfg, ps)
+}
+
+/// Level selection with an explicit minimum frequency (used directly by
+/// the per-task-deadline solver in [`crate::multi`], where feasibility
+/// is tighter than the makespan alone).
+pub(crate) fn best_level_constrained(
+    schedule: &Schedule,
+    n_procs: usize,
+    required_freq: f64,
+    horizon_s: f64,
+    cfg: &SchedulerConfig,
+    ps: bool,
+) -> Option<Candidate> {
+    let makespan_cycles = schedule.makespan_cycles();
+    let deadline_s = horizon_s;
+    let sleep = ps.then_some(&cfg.sleep);
+
+    let mut best: Option<Candidate> = None;
+    for level in cfg.levels.at_least(required_freq) {
+        let Ok(energy) = evaluate(schedule, level, deadline_s, sleep) else {
+            continue;
+        };
+        let candidate = Candidate {
+            n_procs,
+            level: *level,
+            energy,
+            makespan_cycles,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| energy.total() < b.energy.total())
+        {
+            best = Some(candidate);
+        }
+        if !ps {
+            // Without PS the paper stretches maximally: take the slowest
+            // feasible level and stop.
+            break;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_taskgraph::apps::mpeg;
+    use lamps_taskgraph::{GraphBuilder, TaskGraph};
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::paper()
+    }
+
+    /// Fig. 4a example scaled to milliseconds of work (coarse grain).
+    fn fig4a_coarse() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(6);
+        let t3 = b.add_task(4);
+        let t4 = b.add_task(4);
+        let t5 = b.add_task(2);
+        b.add_edge(t1, t2).unwrap();
+        b.add_edge(t1, t3).unwrap();
+        b.add_edge(t1, t4).unwrap();
+        b.add_edge(t2, t5).unwrap();
+        b.add_edge(t3, t5).unwrap();
+        b.build().unwrap().scale_weights(3_100_000)
+    }
+
+    fn deadline_x(graph: &TaskGraph, factor: f64) -> f64 {
+        factor * graph.critical_path_cycles() as f64 / cfg().max_frequency()
+    }
+
+    #[test]
+    fn all_strategies_meet_the_deadline() {
+        let g = fig4a_coarse();
+        for factor in [1.5, 2.0, 4.0, 8.0] {
+            let d = deadline_x(&g, factor);
+            for s in Strategy::all() {
+                let sol = solve(s, &g, d, &cfg()).unwrap();
+                assert!(
+                    sol.makespan_s <= d * (1.0 + 1e-9),
+                    "{s} misses deadline at {factor}x"
+                );
+                sol.schedule.validate(&g).unwrap();
+                assert_eq!(sol.schedule.n_procs(), sol.n_procs);
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_chain_holds() {
+        // LAMPS+PS ≤ {LAMPS, S&S+PS} ≤ S&S (§4: each refinement only
+        // widens the search space / applies PS where it helps).
+        let g = fig4a_coarse();
+        for factor in [1.5, 2.0, 4.0, 8.0] {
+            let d = deadline_x(&g, factor);
+            let e = |s| solve(s, &g, d, &cfg()).unwrap().energy.total();
+            let ss = e(Strategy::ScheduleStretch);
+            let lamps = e(Strategy::Lamps);
+            let ss_ps = e(Strategy::ScheduleStretchPs);
+            let lamps_ps = e(Strategy::LampsPs);
+            let eps = 1e-12;
+            assert!(lamps <= ss + eps, "{factor}x: LAMPS > S&S");
+            assert!(ss_ps <= ss + eps, "{factor}x: S&S+PS > S&S");
+            assert!(lamps_ps <= lamps + eps, "{factor}x: LAMPS+PS > LAMPS");
+            assert!(lamps_ps <= ss_ps + eps, "{factor}x: LAMPS+PS > S&S+PS");
+        }
+    }
+
+    #[test]
+    fn lamps_uses_fewer_or_equal_processors_with_loose_deadline() {
+        let g = fig4a_coarse();
+        let d = deadline_x(&g, 8.0);
+        let ss = solve(Strategy::ScheduleStretch, &g, d, &cfg()).unwrap();
+        let lamps = solve(Strategy::Lamps, &g, d, &cfg()).unwrap();
+        assert!(lamps.n_procs <= ss.n_procs);
+        assert!(lamps.energy.total() < ss.energy.total());
+    }
+
+    #[test]
+    fn mpeg_ss_employs_max_useful_processors() {
+        // Table 3 reports 7 processors for S&S; our LS-EDF tie-breaking
+        // reaches the critical-path makespan with 6 already (one fewer —
+        // scheduler tie-break noise, see EXPERIMENTS.md). The invariant
+        // that matters: S&S employs the full useful parallelism and its
+        // makespan equals the CPL.
+        let g = mpeg::paper_gop();
+        let sol = solve(
+            Strategy::ScheduleStretch,
+            &g,
+            mpeg::GOP_DEADLINE_SECONDS,
+            &cfg(),
+        )
+        .unwrap();
+        assert!(
+            (6..=7).contains(&sol.n_procs),
+            "S&S used {} processors",
+            sol.n_procs
+        );
+        assert_eq!(sol.makespan_cycles, g.critical_path_cycles());
+    }
+
+    #[test]
+    fn mpeg_lamps_uses_fewer_processors_than_ss() {
+        // Table 3: LAMPS chooses 3 processors and saves > 25% energy.
+        let g = mpeg::paper_gop();
+        let d = mpeg::GOP_DEADLINE_SECONDS;
+        let ss = solve(Strategy::ScheduleStretch, &g, d, &cfg()).unwrap();
+        let lamps = solve(Strategy::Lamps, &g, d, &cfg()).unwrap();
+        assert!(lamps.n_procs < ss.n_procs, "{} procs", lamps.n_procs);
+        let saving = 1.0 - lamps.energy.total() / ss.energy.total();
+        assert!(saving > 0.15, "LAMPS saving {saving}");
+    }
+
+    #[test]
+    fn infeasible_deadline_is_reported() {
+        let g = fig4a_coarse();
+        let d = deadline_x(&g, 0.9);
+        match solve(Strategy::Lamps, &g, d, &cfg()) {
+            Err(SolveError::Infeasible { .. }) => {}
+            other => panic!("expected Infeasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_deadlines_rejected() {
+        let g = fig4a_coarse();
+        for d in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            match solve(Strategy::ScheduleStretch, &g, d, &cfg()) {
+                Err(SolveError::BadDeadline(_)) => {}
+                other => panic!("expected BadDeadline for {d}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tight_deadline_forces_fast_level() {
+        // At exactly the CPL (feasible only at f_max for the critical
+        // path), S&S must run at the nominal voltage.
+        let g = fig4a_coarse();
+        let d = deadline_x(&g, 1.0);
+        let sol = solve(Strategy::ScheduleStretch, &g, d, &cfg()).unwrap();
+        assert!((sol.level.vdd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn loose_deadline_allows_slow_level() {
+        let g = fig4a_coarse();
+        let d = deadline_x(&g, 8.0);
+        let sol = solve(Strategy::ScheduleStretch, &g, d, &cfg()).unwrap();
+        assert!(sol.level.vdd < 0.7, "vdd = {}", sol.level.vdd);
+    }
+
+    #[test]
+    fn ps_sleeps_on_long_tails() {
+        // Coarse-grain graph with an 8× deadline: the tail is hundreds of
+        // milliseconds, far beyond break-even, so S&S+PS must sleep.
+        let g = fig4a_coarse();
+        let d = deadline_x(&g, 8.0);
+        let sol = solve(Strategy::ScheduleStretchPs, &g, d, &cfg()).unwrap();
+        assert!(sol.energy.sleep_episodes > 0);
+        let no_ps = solve(Strategy::ScheduleStretch, &g, d, &cfg()).unwrap();
+        assert!(sol.energy.total() < no_ps.energy.total());
+    }
+
+    #[test]
+    fn single_task_graph() {
+        let mut b = GraphBuilder::new();
+        b.add_task(3_100_000);
+        let g = b.build().unwrap();
+        let d = deadline_x(&g, 4.0);
+        for s in Strategy::all() {
+            let sol = solve(s, &g, d, &cfg()).unwrap();
+            assert_eq!(sol.n_procs, 1);
+        }
+    }
+
+    #[test]
+    fn fine_grain_ps_rarely_sleeps_inside() {
+        // Fine-grain weights: gaps are microseconds, below break-even, so
+        // only the end-of-schedule tail can sleep (§5.2's explanation of
+        // why fine-grain gains are smaller).
+        let g = {
+            let mut b = GraphBuilder::new();
+            let t1 = b.add_task(2);
+            let t2 = b.add_task(6);
+            let t3 = b.add_task(4);
+            let t4 = b.add_task(4);
+            let t5 = b.add_task(2);
+            b.add_edge(t1, t2).unwrap();
+            b.add_edge(t1, t3).unwrap();
+            b.add_edge(t1, t4).unwrap();
+            b.add_edge(t2, t5).unwrap();
+            b.add_edge(t3, t5).unwrap();
+            b.build().unwrap().scale_weights(31_000)
+        };
+        let d = deadline_x(&g, 1.5);
+        let sol = solve(Strategy::ScheduleStretchPs, &g, d, &cfg()).unwrap();
+        // Inner gaps are ~tens of microseconds: no sleeping pays off
+        // within such a tight, fine-grain window.
+        assert_eq!(sol.energy.sleep_episodes, 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! Combined DVS and adaptive body biasing (ABB).
+//!
+//! The paper fixes the body-bias voltage at V_bs = −0.7 V (Table 1) and
+//! scales only the supply voltage; its related-work section (§2, refs
+//! [20–23]) discusses the alternative of *also* adapting the threshold
+//! voltage via the body bias when scaling — the combined scheme of
+//! Martin et al. (ICCAD 2002), whose model this power model comes from.
+//! This module implements that extension: for every target frequency,
+//! jointly choose (V_dd, V_bs) to minimize power.
+//!
+//! The physics, all already in [`crate::model`]: a more negative V_bs
+//! raises the threshold voltage (`V_th = V_th1 − K1·V_dd − K2·V_bs`),
+//! which cuts sub-threshold leakage exponentially (`e^{K5·V_bs}`,
+//! K5 = 4.19) but slows the device (`f ∝ (V_dd − V_th)^α`) and pays a
+//! junction-current penalty (`|V_bs|·I_j`). At low frequencies leakage
+//! dominates, so deep bias wins; near f_max the frequency constraint
+//! forces the bias back up.
+
+use crate::levels::{LevelTable, OperatingPoint};
+use crate::model::TechnologyParams;
+use crate::PowerError;
+
+/// An operating point with its (jointly chosen) body bias.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AbbPoint {
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// Body-bias voltage \[V\].
+    pub vbs: f64,
+    /// Resulting operating frequency \[Hz\].
+    pub freq: f64,
+    /// Active power \[W\].
+    pub active_power: f64,
+    /// Idle power \[W\].
+    pub idle_power: f64,
+    /// Energy per cycle \[J\].
+    pub energy_per_cycle: f64,
+}
+
+impl AbbPoint {
+    /// View as a plain [`OperatingPoint`] (the solvers only need the
+    /// precomputed figures; the bias is informational).
+    pub fn as_operating_point(&self) -> OperatingPoint {
+        OperatingPoint {
+            vdd: self.vdd,
+            freq: self.freq,
+            active_power: self.active_power,
+            idle_power: self.idle_power,
+            energy_per_cycle: self.energy_per_cycle,
+        }
+    }
+}
+
+/// Search grids: V_dd as the paper's 0.05 V grid, V_bs from −1.0 V to
+/// 0 V in 0.05 V steps (Martin et al. explore the same range).
+#[derive(Debug, Clone, Copy)]
+pub struct AbbGrid {
+    /// Lowest body bias considered \[V\].
+    pub vbs_min: f64,
+    /// Highest body bias considered \[V\] (0 = no bias).
+    pub vbs_max: f64,
+    /// Bias step \[V\].
+    pub vbs_step: f64,
+}
+
+impl Default for AbbGrid {
+    fn default() -> Self {
+        AbbGrid {
+            vbs_min: -1.0,
+            vbs_max: 0.0,
+            vbs_step: 0.05,
+        }
+    }
+}
+
+/// The cheapest (V_dd, V_bs) pair delivering at least `freq_target`,
+/// minimizing energy per cycle; `None` if unattainable anywhere on the
+/// grids.
+pub fn optimal_point(
+    tech: &TechnologyParams,
+    freq_target: f64,
+    grid: &AbbGrid,
+) -> Option<AbbPoint> {
+    let mut best: Option<AbbPoint> = None;
+    let n_vbs = ((grid.vbs_max - grid.vbs_min) / grid.vbs_step).round() as usize;
+    for i in 0..=n_vbs {
+        let vbs = grid.vbs_min + grid.vbs_step * i as f64;
+        let biased = tech.with_vbs(vbs);
+        // The slowest Vdd on the paper grid that reaches the target, at
+        // this bias (lower Vdd is always cheaper at fixed bias).
+        let Ok(levels) = LevelTable::default_grid(&biased) else {
+            continue;
+        };
+        let Some(level) = levels.lowest_at_least(freq_target) else {
+            continue;
+        };
+        let cand = AbbPoint {
+            vdd: level.vdd,
+            vbs,
+            freq: level.freq,
+            active_power: level.active_power,
+            idle_power: level.idle_power,
+            energy_per_cycle: level.energy_per_cycle,
+        };
+        if best
+            .as_ref()
+            .is_none_or(|b| cand.energy_per_cycle < b.energy_per_cycle)
+        {
+            best = Some(cand);
+        }
+    }
+    best
+}
+
+/// ABB-optimized points at the same target frequencies as the fixed-bias
+/// default grid, for a one-to-one comparison.
+pub fn abb_points(tech: &TechnologyParams, grid: &AbbGrid) -> Result<Vec<AbbPoint>, PowerError> {
+    let fixed = LevelTable::default_grid(tech)?;
+    let points = fixed
+        .points()
+        .iter()
+        .filter_map(|p| optimal_point(tech, p.freq, grid))
+        .collect::<Vec<_>>();
+    if points.is_empty() {
+        return Err(PowerError::EmptyLevelGrid);
+    }
+    Ok(points)
+}
+
+/// A [`LevelTable`] of ABB-optimized operating points, pluggable into
+/// the schedulers in place of the fixed-bias grid.
+/// # Example
+///
+/// ```
+/// use lamps_power::abb::{abb_level_table, AbbGrid};
+/// use lamps_power::{LevelTable, TechnologyParams};
+///
+/// let tech = TechnologyParams::seventy_nm();
+/// let fixed = LevelTable::default_grid(&tech).unwrap();
+/// let abb = abb_level_table(&tech, &AbbGrid::default()).unwrap();
+/// // The ABB critical level is at least as cheap per cycle.
+/// assert!(abb.critical().energy_per_cycle
+///     <= fixed.critical().energy_per_cycle * (1.0 + 1e-12));
+/// ```
+pub fn abb_level_table(tech: &TechnologyParams, grid: &AbbGrid) -> Result<LevelTable, PowerError> {
+    LevelTable::from_points(
+        abb_points(tech, grid)?
+            .into_iter()
+            .map(|p| p.as_operating_point())
+            .collect(),
+    )
+}
+
+impl TechnologyParams {
+    /// A copy of the parameters with a different body-bias voltage.
+    pub fn with_vbs(&self, vbs: f64) -> TechnologyParams {
+        let mut t = *self;
+        t.table.vbs = vbs;
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::seventy_nm()
+    }
+
+    #[test]
+    fn abb_never_worse_than_fixed_bias() {
+        // The fixed bias −0.7 V is on the search grid, so ABB dominates
+        // at every target frequency.
+        let tech = tech();
+        let fixed = LevelTable::default_grid(&tech).unwrap();
+        let grid = AbbGrid::default();
+        for p in fixed.points() {
+            let abb = optimal_point(&tech, p.freq, &grid).expect("attainable");
+            assert!(
+                abb.energy_per_cycle <= p.energy_per_cycle * (1.0 + 1e-12),
+                "ABB loses at f = {:.3} GHz",
+                p.freq / 1e9
+            );
+        }
+    }
+
+    #[test]
+    fn abb_gains_most_at_low_frequency() {
+        // Leakage dominates at low f, where deeper bias pays; near f_max
+        // the constraint pins the bias and the gain shrinks (Martin et
+        // al.'s qualitative result).
+        let tech = tech();
+        let fixed = LevelTable::default_grid(&tech).unwrap();
+        let grid = AbbGrid::default();
+        let gain = |p: &OperatingPoint| {
+            let abb = optimal_point(&tech, p.freq, &grid).unwrap();
+            1.0 - abb.energy_per_cycle / p.energy_per_cycle
+        };
+        let low = gain(&fixed.points()[1]);
+        let high = gain(fixed.fastest());
+        assert!(low > high, "low-f gain {low} vs high-f gain {high}");
+        assert!(low > 0.02, "low-f gain should be substantial, got {low}");
+    }
+
+    #[test]
+    fn deep_bias_chosen_at_low_frequency() {
+        let tech = tech();
+        let grid = AbbGrid::default();
+        let slow = optimal_point(&tech, 0.1 * tech.max_frequency(), &grid).unwrap();
+        assert!(slow.vbs <= -0.7, "slow point bias {}", slow.vbs);
+    }
+
+    #[test]
+    fn table_plugs_into_level_table() {
+        let tech = tech();
+        let t = abb_level_table(&tech, &AbbGrid::default()).unwrap();
+        assert!(t.len() >= 10);
+        // Still U-shaped enough to have an interior critical level.
+        let crit = t.critical();
+        assert!(crit.freq < t.max_frequency());
+        assert!(crit.freq > t.slowest().freq);
+    }
+
+    #[test]
+    fn unattainable_frequency_is_none() {
+        let tech = tech();
+        assert!(optimal_point(&tech, 1.0e10, &AbbGrid::default()).is_none());
+    }
+
+    #[test]
+    fn with_vbs_changes_only_bias() {
+        let t = tech();
+        let t2 = t.with_vbs(-0.3);
+        assert_eq!(t2.table.vbs, -0.3);
+        assert_eq!(t2.table.vdd0, t.table.vdd0);
+        // Shallower bias → lower Vth → more leakage.
+        assert!(t2.static_power(0.7) > t.static_power(0.7));
+    }
+}

@@ -1,0 +1,135 @@
+//! Technology constants for 70 nm (Table 1 of the paper).
+//!
+//! These are the constants of Martin et al. (ICCAD 2002) as used by
+//! Jejurikar et al. (DAC 2004) and by de Langen & Juurlink. They describe
+//! a 70 nm process whose maximum frequency is ≈3.1 GHz at V_dd = 1.0 V.
+
+/// The raw constants of Table 1, exactly as printed in the paper.
+///
+/// All fields are `pub` so that downstream code (and tests) can reference
+/// individual constants; [`crate::TechnologyParams`] wraps them together
+/// with the activity factor and intrinsic power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1 {
+    /// K1 — linear V_dd coefficient in the threshold-voltage equation.
+    pub k1: f64,
+    /// K2 — body-bias coefficient in the threshold-voltage equation.
+    pub k2: f64,
+    /// K3 — pre-exponential factor of the sub-threshold leakage current \[A\].
+    pub k3: f64,
+    /// K4 — V_dd exponent coefficient of the sub-threshold leakage \[1/V\].
+    pub k4: f64,
+    /// K5 — V_bs exponent coefficient of the sub-threshold leakage \[1/V\].
+    pub k5: f64,
+    /// K6 — technology constant of the alpha-power frequency law \[s\].
+    pub k6: f64,
+    /// K7 — (listed in Table 1 for completeness; used by the adaptive
+    /// body-biasing extension of Martin et al., not by this paper's
+    /// fixed-V_bs model).
+    pub k7: f64,
+    /// V_dd0 — nominal (maximum) supply voltage \[V\].
+    pub vdd0: f64,
+    /// V_bs — body-to-source bias voltage \[V\] (fixed at −0.7 V).
+    pub vbs: f64,
+    /// α — velocity-saturation exponent of the alpha-power law.
+    pub alpha: f64,
+    /// V_th1 — zero-order threshold voltage \[V\].
+    pub vth1: f64,
+    /// I_j — reverse-bias junction current per gate \[A\].
+    pub ij: f64,
+    /// C_eff — effective switching capacitance \[F\].
+    pub ceff: f64,
+    /// L_d — logic depth (gate delays per cycle).
+    pub ld: f64,
+    /// L_g — number of logic gates contributing leakage.
+    pub lg: f64,
+}
+
+impl Table1 {
+    /// The 70 nm constants exactly as listed in Table 1 of the paper.
+    pub const SEVENTY_NM: Table1 = Table1 {
+        k1: 0.063,
+        k2: 0.153,
+        k3: 5.38e-7,
+        k4: 1.83,
+        k5: 4.19,
+        k6: 5.26e-12,
+        k7: -0.144,
+        vdd0: 1.0,
+        vbs: -0.7,
+        alpha: 1.5,
+        vth1: 0.244,
+        ij: 4.8e-10,
+        ceff: 0.43e-9,
+        ld: 37.0,
+        lg: 4.0e6,
+    };
+}
+
+impl Default for Table1 {
+    fn default() -> Self {
+        Table1::SEVENTY_NM
+    }
+}
+
+/// Intrinsic power needed to keep a processor on (§3.2): 0.1 W.
+pub const P_ON_WATTS: f64 = 0.1;
+
+/// Default activity factor `a` of the dynamic-power term.
+///
+/// The paper does not print `a` explicitly; `a = 1` reproduces Fig. 2a
+/// (P_total ≈ 2.2 W at V_dd = 1.0 V, split ≈1.33 W dynamic / ≈0.72 W
+/// static / 0.1 W intrinsic), so it is the value the authors used.
+pub const DEFAULT_ACTIVITY_FACTOR: f64 = 1.0;
+
+/// Power drawn by a processor in the deep-sleep state (§3.4): 50 µW.
+pub const SLEEP_POWER_WATTS: f64 = 50.0e-6;
+
+/// Energy overhead of one shutdown + wakeup episode (§3.4): 483 µJ.
+///
+/// Includes supply-voltage switching plus re-warming caches and
+/// predictors (estimate of Jejurikar et al.).
+pub const SLEEP_TRANSITION_JOULES: f64 = 483.0e-6;
+
+/// Granularity of the discrete supply-voltage grid (§4.3): 0.05 V.
+pub const VDD_STEP_VOLTS: f64 = 0.05;
+
+/// Lowest supply voltage on the default discrete grid \[V\].
+///
+/// 0.35 V is the lowest multiple of 0.05 V that still exceeds the
+/// threshold voltage of the 70 nm technology (V_th(0.35 V) ≈ 0.329 V),
+/// i.e. the lowest level with a positive operating frequency.
+pub const VDD_MIN_VOLTS: f64 = 0.35;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = Table1::default();
+        assert_eq!(t.k1, 0.063);
+        assert_eq!(t.k2, 0.153);
+        assert_eq!(t.k3, 5.38e-7);
+        assert_eq!(t.k4, 1.83);
+        assert_eq!(t.k5, 4.19);
+        assert_eq!(t.k6, 5.26e-12);
+        assert_eq!(t.k7, -0.144);
+        assert_eq!(t.vdd0, 1.0);
+        assert_eq!(t.vbs, -0.7);
+        assert_eq!(t.alpha, 1.5);
+        assert_eq!(t.vth1, 0.244);
+        assert_eq!(t.ij, 4.8e-10);
+        assert_eq!(t.ceff, 0.43e-9);
+        assert_eq!(t.ld, 37.0);
+        assert_eq!(t.lg, 4.0e6);
+    }
+
+    #[test]
+    fn sleep_constants_match_paper() {
+        assert_eq!(SLEEP_POWER_WATTS, 50.0e-6);
+        assert_eq!(SLEEP_TRANSITION_JOULES, 483.0e-6);
+        assert_eq!(P_ON_WATTS, 0.1);
+        assert_eq!(VDD_STEP_VOLTS, 0.05);
+    }
+}

@@ -1,0 +1,141 @@
+//! Sampling helpers that regenerate the analytic curves of the paper:
+//! Fig. 2a (power vs normalized frequency), Fig. 2b (energy per cycle vs
+//! normalized frequency) and Fig. 3 (break-even idle cycles vs normalized
+//! frequency).
+
+use crate::model::{PowerBreakdown, TechnologyParams};
+use crate::sleep::SleepParams;
+
+/// One sample of the Fig. 2 curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerSample {
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// Frequency normalized to f_max.
+    pub normalized_freq: f64,
+    /// Power breakdown while active.
+    pub power: PowerBreakdown,
+    /// Energy per cycle \[J\].
+    pub energy_per_cycle: f64,
+}
+
+/// Sample the power/energy curves of Fig. 2 at `n` evenly spaced voltages
+/// between the minimum positive voltage and the nominal voltage.
+pub fn power_curve(tech: &TechnologyParams, n: usize) -> Vec<PowerSample> {
+    assert!(n >= 2, "need at least two samples");
+    let f_max = tech.max_frequency();
+    let lo = tech.min_positive_vdd() + 1e-4;
+    let hi = tech.table.vdd0;
+    (0..n)
+        .map(|i| {
+            let vdd = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+            let power = tech
+                .active_breakdown(vdd)
+                .expect("grid voltages are above threshold");
+            let freq = tech.frequency(vdd).expect("grid voltages are valid");
+            PowerSample {
+                vdd,
+                normalized_freq: freq / f_max,
+                power,
+                energy_per_cycle: power.total() / freq,
+            }
+        })
+        .collect()
+}
+
+/// One sample of the Fig. 3 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakevenSample {
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// Frequency normalized to f_max.
+    pub normalized_freq: f64,
+    /// Minimum idle period (in cycles at this frequency) for PS to save
+    /// energy.
+    pub breakeven_cycles: f64,
+    /// The same threshold in seconds.
+    pub breakeven_seconds: f64,
+}
+
+/// Sample the break-even curve of Fig. 3 at `n` evenly spaced voltages.
+pub fn breakeven_curve(tech: &TechnologyParams, sleep: &SleepParams, n: usize) -> Vec<BreakevenSample> {
+    assert!(n >= 2, "need at least two samples");
+    let f_max = tech.max_frequency();
+    let lo = tech.min_positive_vdd() + 1e-4;
+    let hi = tech.table.vdd0;
+    (0..n)
+        .map(|i| {
+            let vdd = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+            let freq = tech.frequency(vdd).expect("grid voltages are valid");
+            let secs = sleep.breakeven_time(tech.idle_power(vdd));
+            BreakevenSample {
+                vdd,
+                normalized_freq: freq / f_max,
+                breakeven_cycles: secs * freq,
+                breakeven_seconds: secs,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_curve_shape_matches_fig2a() {
+        let tech = TechnologyParams::seventy_nm();
+        let samples = power_curve(&tech, 64);
+        assert_eq!(samples.len(), 64);
+        // Total power is strictly increasing in frequency.
+        for w in samples.windows(2) {
+            assert!(w[1].power.total() > w[0].power.total());
+            assert!(w[1].normalized_freq > w[0].normalized_freq);
+        }
+        // End point ≈ 2.1–2.2 W.
+        let last = samples.last().unwrap();
+        assert!((last.normalized_freq - 1.0).abs() < 1e-6);
+        assert!((last.power.total() - 2.14).abs() < 0.1);
+    }
+
+    #[test]
+    fn energy_curve_min_near_0_38() {
+        let tech = TechnologyParams::seventy_nm();
+        let samples = power_curve(&tech, 2048);
+        let min = samples
+            .iter()
+            .min_by(|a, b| a.energy_per_cycle.total_cmp(&b.energy_per_cycle))
+            .unwrap();
+        assert!(
+            (min.normalized_freq - 0.38).abs() < 0.01,
+            "minimum at {}",
+            min.normalized_freq
+        );
+    }
+
+    #[test]
+    fn breakeven_curve_hits_1_7m_at_half_speed() {
+        let tech = TechnologyParams::seventy_nm();
+        let sleep = SleepParams::paper();
+        let samples = breakeven_curve(&tech, &sleep, 4096);
+        let half = samples
+            .iter()
+            .min_by(|a, b| {
+                (a.normalized_freq - 0.5)
+                    .abs()
+                    .total_cmp(&(b.normalized_freq - 0.5).abs())
+            })
+            .unwrap();
+        assert!(
+            (half.breakeven_cycles / 1.7e6 - 1.0).abs() < 0.05,
+            "break-even at 0.5 f_max = {}",
+            half.breakeven_cycles
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn power_curve_needs_two_samples() {
+        power_curve(&TechnologyParams::seventy_nm(), 1);
+    }
+}

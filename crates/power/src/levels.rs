@@ -1,0 +1,279 @@
+//! Discrete DVS operating points on the 0.05 V supply-voltage grid (§4.3)
+//! and the discrete critical level of §3.3.
+
+use crate::constants::{VDD_MIN_VOLTS, VDD_STEP_VOLTS};
+use crate::model::TechnologyParams;
+use crate::PowerError;
+
+/// One discrete DVS operating point: a supply voltage with its derived
+/// frequency, power figures, and energy per cycle, all precomputed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingPoint {
+    /// Supply voltage \[V\].
+    pub vdd: f64,
+    /// Operating frequency at this voltage \[Hz\].
+    pub freq: f64,
+    /// Total power while computing \[W\].
+    pub active_power: f64,
+    /// Power while idle but on (`P_DC + P_on`) \[W\].
+    pub idle_power: f64,
+    /// Energy per executed cycle \[J\].
+    pub energy_per_cycle: f64,
+}
+
+impl OperatingPoint {
+    /// Build an operating point at `vdd` from the analytical model.
+    pub fn at(tech: &TechnologyParams, vdd: f64) -> Result<Self, PowerError> {
+        let freq = tech.frequency(vdd)?;
+        let active_power = tech.active_power(vdd)?;
+        Ok(OperatingPoint {
+            vdd,
+            freq,
+            active_power,
+            idle_power: tech.idle_power(vdd),
+            energy_per_cycle: active_power / freq,
+        })
+    }
+
+    /// Frequency normalized to `f_max` given the maximum frequency.
+    pub fn normalized_freq(&self, f_max: f64) -> f64 {
+        self.freq / f_max
+    }
+}
+
+/// The table of discrete operating points available to the scheduler,
+/// sorted by ascending frequency.
+///
+/// The paper sweeps the supply voltage in steps of 0.05 V (§4.3); for the
+/// 70 nm technology the default grid is {0.35, 0.40, …, 1.00} V, the
+/// lowest multiple of 0.05 V with a positive frequency being 0.35 V.
+///
+/// # Example
+///
+/// ```
+/// use lamps_power::{LevelTable, TechnologyParams};
+///
+/// let tech = TechnologyParams::seventy_nm();
+/// let levels = LevelTable::default_grid(&tech).unwrap();
+/// // The discrete critical level is at Vdd = 0.7 V, f ≈ 0.41 f_max (§3.3).
+/// let crit = levels.critical();
+/// assert!((crit.vdd - 0.7).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LevelTable {
+    points: Vec<OperatingPoint>,
+}
+
+impl LevelTable {
+    /// Build a table from an explicit ascending-or-not list of voltages;
+    /// voltages at or below threshold are rejected.
+    pub fn from_voltages(tech: &TechnologyParams, voltages: &[f64]) -> Result<Self, PowerError> {
+        if voltages.is_empty() {
+            return Err(PowerError::EmptyLevelGrid);
+        }
+        let mut points = voltages
+            .iter()
+            .map(|&v| OperatingPoint::at(tech, v))
+            .collect::<Result<Vec<_>, _>>()?;
+        points.sort_by(|a, b| a.freq.total_cmp(&b.freq));
+        points.dedup_by(|a, b| (a.vdd - b.vdd).abs() < 1e-12);
+        Ok(LevelTable { points })
+    }
+
+    /// Build a table from precomputed operating points (used by the
+    /// adaptive-body-biasing extension, whose points do not follow the
+    /// fixed-V_bs formulas). Points are sorted by frequency and
+    /// deduplicated on voltage.
+    pub fn from_points(points: Vec<OperatingPoint>) -> Result<Self, PowerError> {
+        if points.is_empty() {
+            return Err(PowerError::EmptyLevelGrid);
+        }
+        let mut points = points;
+        points.sort_by(|a, b| a.freq.total_cmp(&b.freq));
+        points.dedup_by(|a, b| (a.vdd - b.vdd).abs() < 1e-12 && (a.freq - b.freq).abs() < 1e-6);
+        Ok(LevelTable { points })
+    }
+
+    /// Build the default 0.05 V grid from `vdd_min` (0.35 V) up to the
+    /// nominal voltage of the technology.
+    pub fn default_grid(tech: &TechnologyParams) -> Result<Self, PowerError> {
+        Self::grid(tech, VDD_MIN_VOLTS, tech.table.vdd0, VDD_STEP_VOLTS)
+    }
+
+    /// Build a grid `{lo, lo+step, …, hi}` (inclusive, with floating-point
+    /// tolerance on the upper end).
+    pub fn grid(tech: &TechnologyParams, lo: f64, hi: f64, step: f64) -> Result<Self, PowerError> {
+        if step <= 0.0 || hi < lo {
+            return Err(PowerError::EmptyLevelGrid);
+        }
+        let mut voltages = Vec::new();
+        let n = ((hi - lo) / step + 1e-9).floor() as usize;
+        for i in 0..=n {
+            voltages.push(lo + step * i as f64);
+        }
+        Self::from_voltages(tech, &voltages)
+    }
+
+    /// All operating points, ascending by frequency.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Number of discrete levels.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The fastest operating point (nominal voltage).
+    pub fn fastest(&self) -> &OperatingPoint {
+        self.points.last().expect("table is non-empty")
+    }
+
+    /// The slowest operating point.
+    pub fn slowest(&self) -> &OperatingPoint {
+        self.points.first().expect("table is non-empty")
+    }
+
+    /// Maximum frequency of the table \[Hz\].
+    pub fn max_frequency(&self) -> f64 {
+        self.fastest().freq
+    }
+
+    /// The *discrete critical level* (§3.3): the level with the minimum
+    /// energy per cycle. For the default 70 nm grid this is V_dd = 0.7 V,
+    /// a normalized frequency of ≈0.41.
+    pub fn critical(&self) -> &OperatingPoint {
+        self.points
+            .iter()
+            .min_by(|a, b| a.energy_per_cycle.total_cmp(&b.energy_per_cycle))
+            .expect("table is non-empty")
+    }
+
+    /// The slowest level whose frequency is at least `freq`, i.e. the most
+    /// stretched level that still meets a deadline requiring `freq`.
+    /// `None` if even the fastest level is too slow.
+    pub fn lowest_at_least(&self, freq: f64) -> Option<&OperatingPoint> {
+        self.points.iter().find(|p| p.freq >= freq)
+    }
+
+    /// All levels with frequency at least `freq`, ascending (the sweep
+    /// range of the +PS heuristics: from the minimum feasible frequency up
+    /// to the maximum, §4.3).
+    pub fn at_least(&self, freq: f64) -> impl Iterator<Item = &OperatingPoint> {
+        self.points.iter().filter(move |p| p.freq >= freq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> (TechnologyParams, LevelTable) {
+        let tech = TechnologyParams::seventy_nm();
+        let t = LevelTable::default_grid(&tech).unwrap();
+        (tech, t)
+    }
+
+    #[test]
+    fn default_grid_has_14_levels() {
+        // {0.35 .. 1.00} in steps of 0.05 V.
+        let (_, t) = table();
+        assert_eq!(t.len(), 14);
+        assert!((t.slowest().vdd - 0.35).abs() < 1e-9);
+        assert!((t.fastest().vdd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn points_sorted_ascending_by_freq() {
+        let (_, t) = table();
+        for w in t.points().windows(2) {
+            assert!(w[0].freq < w[1].freq);
+            assert!(w[0].vdd < w[1].vdd);
+        }
+    }
+
+    #[test]
+    fn discrete_critical_level_matches_paper() {
+        // §3.3: "the critical frequency is reached at a supply voltage of
+        // 0.7 V, corresponding to a normalized frequency of 0.41."
+        let (_, t) = table();
+        let crit = t.critical();
+        assert!((crit.vdd - 0.7).abs() < 1e-9, "vdd = {}", crit.vdd);
+        let norm = crit.normalized_freq(t.max_frequency());
+        assert!((norm - 0.41).abs() < 0.005, "normalized f_crit = {norm}");
+    }
+
+    #[test]
+    fn lowest_at_least_picks_slowest_feasible() {
+        let (_, t) = table();
+        let fmax = t.max_frequency();
+        // Requiring slightly more than half speed must select a level at
+        // or above that frequency, and the one below must be too slow.
+        let p = t.lowest_at_least(0.5 * fmax).unwrap();
+        assert!(p.freq >= 0.5 * fmax);
+        let idx = t
+            .points()
+            .iter()
+            .position(|q| (q.vdd - p.vdd).abs() < 1e-12)
+            .unwrap();
+        if idx > 0 {
+            assert!(t.points()[idx - 1].freq < 0.5 * fmax);
+        }
+    }
+
+    #[test]
+    fn lowest_at_least_none_when_unattainable() {
+        let (_, t) = table();
+        assert!(t.lowest_at_least(t.max_frequency() * 1.01).is_none());
+    }
+
+    #[test]
+    fn at_least_iterates_feasible_sweep() {
+        let (_, t) = table();
+        let fmax = t.max_frequency();
+        let sweep: Vec<_> = t.at_least(0.5 * fmax).collect();
+        assert!(!sweep.is_empty());
+        assert!(sweep.iter().all(|p| p.freq >= 0.5 * fmax));
+        // Sweep includes the fastest level.
+        assert!((sweep.last().unwrap().vdd - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_voltages_rejects_empty_and_subthreshold() {
+        let tech = TechnologyParams::seventy_nm();
+        assert_eq!(
+            LevelTable::from_voltages(&tech, &[]).unwrap_err(),
+            PowerError::EmptyLevelGrid
+        );
+        assert!(LevelTable::from_voltages(&tech, &[0.2]).is_err());
+    }
+
+    #[test]
+    fn grid_rejects_bad_parameters() {
+        let tech = TechnologyParams::seventy_nm();
+        assert!(LevelTable::grid(&tech, 0.5, 0.4, 0.05).is_err());
+        assert!(LevelTable::grid(&tech, 0.4, 0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn energy_per_cycle_u_shape_over_grid() {
+        let (_, t) = table();
+        let crit_idx = t
+            .points()
+            .iter()
+            .position(|p| (p.vdd - 0.7).abs() < 1e-9)
+            .unwrap();
+        // Strictly decreasing down to the critical index, then increasing.
+        for i in 1..=crit_idx {
+            assert!(t.points()[i].energy_per_cycle < t.points()[i - 1].energy_per_cycle);
+        }
+        for i in crit_idx + 1..t.len() {
+            assert!(t.points()[i].energy_per_cycle > t.points()[i - 1].energy_per_cycle);
+        }
+    }
+}

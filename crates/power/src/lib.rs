@@ -1,0 +1,84 @@
+//! 70 nm power and energy model for leakage-aware multiprocessor scheduling.
+//!
+//! This crate implements the processor power model of §3.2–§3.4 of
+//! de Langen & Juurlink, *"Leakage-Aware Multiprocessor Scheduling"*
+//! (JSPS 2008; IPPS 2006), which is in turn the model of Jejurikar et al.
+//! (DAC 2004) with the 70 nm technology constants of Martin et al.
+//! (ICCAD 2002), verified there against SPICE.
+//!
+//! The total power of an active processor is
+//!
+//! ```text
+//! P = P_AC + P_DC + P_on
+//! P_AC = a · C_eff · V_dd² · f                 (dynamic, switching)
+//! P_DC = L_g · (V_dd · I_subn + |V_bs| · I_j)  (static, leakage)
+//! P_on = 0.1 W                                  (intrinsic keep-alive)
+//! ```
+//!
+//! with sub-threshold leakage `I_subn = K3·e^{K4·Vdd}·e^{K5·Vbs}`, the
+//! alpha-power frequency law `f = (V_dd − V_th)^α / (L_d · K6)` and the
+//! threshold voltage `V_th = V_th1 − K1·V_dd − K2·V_bs`.
+//!
+//! The crate provides:
+//! * [`TechnologyParams`] — the constants of Table 1 plus all derived
+//!   quantities (frequency, power breakdown, energy per cycle);
+//! * [`LevelTable`] — the discrete DVS operating points on the 0.05 V grid
+//!   used throughout the paper, including the *critical* (minimum
+//!   energy-per-cycle) level of §3.3;
+//! * [`SleepParams`] / break-even analysis — the processor-shutdown model
+//!   of §3.4 (50 µW sleep power, 483 µJ shutdown+wakeup overhead) and the
+//!   minimum idle period for which shutting down saves energy (Fig. 3).
+
+pub mod abb;
+pub mod constants;
+pub mod curves;
+pub mod levels;
+pub mod model;
+pub mod sleep;
+
+pub use constants::Table1;
+pub use levels::{LevelTable, OperatingPoint};
+pub use model::{PowerBreakdown, TechnologyParams};
+pub use sleep::SleepParams;
+
+/// Errors produced by the power model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PowerError {
+    /// The supply voltage does not exceed the threshold voltage, so the
+    /// alpha-power law yields no positive operating frequency.
+    VddBelowThreshold {
+        /// Offending supply voltage \[V\].
+        vdd: f64,
+        /// Threshold voltage at that supply voltage \[V\].
+        vth: f64,
+    },
+    /// A requested frequency exceeds the maximum frequency of the
+    /// technology (reached at `vdd_max`).
+    FrequencyUnattainable {
+        /// Requested operating frequency \[Hz\].
+        requested: f64,
+        /// Maximum attainable frequency \[Hz\].
+        max: f64,
+    },
+    /// A voltage grid was requested with a non-positive step or an empty
+    /// range.
+    EmptyLevelGrid,
+}
+
+impl std::fmt::Display for PowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PowerError::VddBelowThreshold { vdd, vth } => write!(
+                f,
+                "supply voltage {vdd} V does not exceed threshold voltage {vth} V"
+            ),
+            PowerError::FrequencyUnattainable { requested, max } => write!(
+                f,
+                "requested frequency {requested} Hz exceeds maximum {max} Hz"
+            ),
+            PowerError::EmptyLevelGrid => write!(f, "voltage grid is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PowerError {}

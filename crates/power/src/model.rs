@@ -1,0 +1,339 @@
+//! The analytical power model (§3.2): frequency law, power breakdown,
+//! energy per cycle, and the numeric inverse `vdd(f)`.
+
+use crate::constants::{Table1, DEFAULT_ACTIVITY_FACTOR, P_ON_WATTS};
+use crate::PowerError;
+
+/// Complete parameterization of the processor power model.
+///
+/// Combines the Table 1 technology constants with the activity factor of
+/// the dynamic-power term and the intrinsic keep-alive power. All derived
+/// quantities of §3.2–§3.3 are methods on this type.
+///
+/// # Example
+///
+/// ```
+/// use lamps_power::TechnologyParams;
+///
+/// let tech = TechnologyParams::seventy_nm();
+/// // Maximum frequency of the 70nm technology is ~3.1 GHz at 1.0 V.
+/// let fmax = tech.frequency(1.0).unwrap();
+/// assert!((fmax / 3.1e9 - 1.0).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechnologyParams {
+    /// Technology constants (Table 1).
+    pub table: Table1,
+    /// Activity factor `a` of the dynamic power term (default 1.0).
+    pub activity: f64,
+    /// Intrinsic power to keep the processor on \[W\] (default 0.1 W).
+    pub p_on: f64,
+}
+
+/// Instantaneous power of an active processor, split into the three terms
+/// of §3.2.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerBreakdown {
+    /// Dynamic (switching) power P_AC \[W\].
+    pub dynamic: f64,
+    /// Static (leakage) power P_DC \[W\].
+    pub static_: f64,
+    /// Intrinsic keep-alive power P_on \[W\].
+    pub on: f64,
+}
+
+impl PowerBreakdown {
+    /// Total power P = P_AC + P_DC + P_on \[W\].
+    pub fn total(&self) -> f64 {
+        self.dynamic + self.static_ + self.on
+    }
+}
+
+impl TechnologyParams {
+    /// The 70 nm model used throughout the paper.
+    pub fn seventy_nm() -> Self {
+        TechnologyParams {
+            table: Table1::SEVENTY_NM,
+            activity: DEFAULT_ACTIVITY_FACTOR,
+            p_on: P_ON_WATTS,
+        }
+    }
+
+    /// Threshold voltage `V_th = V_th1 − K1·V_dd − K2·V_bs` \[V\].
+    pub fn vth(&self, vdd: f64) -> f64 {
+        let t = &self.table;
+        t.vth1 - t.k1 * vdd - t.k2 * t.vbs
+    }
+
+    /// Operating frequency `f = (V_dd − V_th)^α / (L_d·K6)` \[Hz\].
+    ///
+    /// Returns an error if `V_dd ≤ V_th` (no positive frequency exists).
+    pub fn frequency(&self, vdd: f64) -> Result<f64, PowerError> {
+        let vth = self.vth(vdd);
+        if vdd <= vth {
+            return Err(PowerError::VddBelowThreshold { vdd, vth });
+        }
+        let t = &self.table;
+        Ok((vdd - vth).powf(t.alpha) / (t.ld * t.k6))
+    }
+
+    /// Maximum operating frequency, reached at the nominal voltage
+    /// `V_dd0` \[Hz\]. For the 70 nm technology this is ≈3.1 GHz.
+    pub fn max_frequency(&self) -> f64 {
+        self.frequency(self.table.vdd0)
+            .expect("nominal voltage must exceed threshold voltage")
+    }
+
+    /// Sub-threshold leakage current per gate
+    /// `I_subn = K3·e^{K4·V_dd}·e^{K5·V_bs}` \[A\].
+    pub fn isubn(&self, vdd: f64) -> f64 {
+        let t = &self.table;
+        t.k3 * (t.k4 * vdd).exp() * (t.k5 * t.vbs).exp()
+    }
+
+    /// Dynamic power `P_AC = a·C_eff·V_dd²·f(V_dd)` \[W\].
+    pub fn dynamic_power(&self, vdd: f64) -> Result<f64, PowerError> {
+        let f = self.frequency(vdd)?;
+        Ok(self.activity * self.table.ceff * vdd * vdd * f)
+    }
+
+    /// Static (leakage) power
+    /// `P_DC = L_g·(V_dd·I_subn + |V_bs|·I_j)` \[W\].
+    ///
+    /// Scaled by the gate count `L_g` as in Martin et al.; this reproduces
+    /// the ≈0.72 W static power of Fig. 2a at V_dd = 1.0 V.
+    pub fn static_power(&self, vdd: f64) -> f64 {
+        let t = &self.table;
+        t.lg * (vdd * self.isubn(vdd) + t.vbs.abs() * t.ij)
+    }
+
+    /// Power of an *active* processor, split into the three terms.
+    pub fn active_breakdown(&self, vdd: f64) -> Result<PowerBreakdown, PowerError> {
+        Ok(PowerBreakdown {
+            dynamic: self.dynamic_power(vdd)?,
+            static_: self.static_power(vdd),
+            on: self.p_on,
+        })
+    }
+
+    /// Total power of an *active* processor \[W\].
+    pub fn active_power(&self, vdd: f64) -> Result<f64, PowerError> {
+        Ok(self.active_breakdown(vdd)?.total())
+    }
+
+    /// Power of an *idle* (on but not computing) processor \[W\]:
+    /// `P_DC + P_on` — no switching activity, but full leakage and
+    /// intrinsic power. This is the power an employed processor burns
+    /// during slack periods unless it is shut down (§3.4, §5.2).
+    pub fn idle_power(&self, vdd: f64) -> f64 {
+        self.static_power(vdd) + self.p_on
+    }
+
+    /// Energy consumed per clock cycle by an active processor \[J\]:
+    /// `(P_AC + P_DC + P_on) / f`. Minimized at the *critical frequency*
+    /// (§3.3, Fig. 2b).
+    pub fn energy_per_cycle(&self, vdd: f64) -> Result<f64, PowerError> {
+        Ok(self.active_power(vdd)? / self.frequency(vdd)?)
+    }
+
+    /// Lowest supply voltage with a (barely) positive frequency \[V\].
+    ///
+    /// Solves `V_dd = V_th(V_dd)` in closed form: the threshold equation
+    /// is linear in `V_dd`.
+    pub fn min_positive_vdd(&self) -> f64 {
+        let t = &self.table;
+        // vdd = vth1 - k1*vdd - k2*vbs  =>  vdd = (vth1 - k2*vbs)/(1 + k1)
+        (t.vth1 - t.k2 * t.vbs) / (1.0 + t.k1)
+    }
+
+    /// Numeric inverse of [`Self::frequency`]: the supply voltage at which
+    /// the processor runs at exactly `freq` \[V\].
+    ///
+    /// `frequency(vdd)` is strictly increasing in `vdd`, so a bisection on
+    /// `[min_positive_vdd, vdd0]` converges; errors if `freq` exceeds the
+    /// technology maximum.
+    pub fn vdd_for_frequency(&self, freq: f64) -> Result<f64, PowerError> {
+        let max = self.max_frequency();
+        if freq > max {
+            return Err(PowerError::FrequencyUnattainable {
+                requested: freq,
+                max,
+            });
+        }
+        let mut lo = self.min_positive_vdd();
+        let mut hi = self.table.vdd0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let f = self.frequency(mid).unwrap_or(0.0);
+            if f < freq {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(hi)
+    }
+
+    /// The *continuous* critical frequency (§3.3): the frequency that
+    /// minimizes energy per cycle when the voltage can be set freely.
+    ///
+    /// Found by golden-section search on `energy_per_cycle` over the valid
+    /// voltage range; for 70 nm this is ≈0.38·f_max.
+    pub fn critical_frequency_continuous(&self) -> f64 {
+        let mut lo = self.min_positive_vdd() + 1e-6;
+        let mut hi = self.table.vdd0;
+        // Golden-section search; energy_per_cycle is unimodal in vdd.
+        let phi = (5.0_f64.sqrt() - 1.0) / 2.0;
+        let e = |v: f64| self.energy_per_cycle(v).unwrap_or(f64::INFINITY);
+        let mut c = hi - phi * (hi - lo);
+        let mut d = lo + phi * (hi - lo);
+        let (mut ec, mut ed) = (e(c), e(d));
+        for _ in 0..200 {
+            if ec < ed {
+                hi = d;
+                d = c;
+                ed = ec;
+                c = hi - phi * (hi - lo);
+                ec = e(c);
+            } else {
+                lo = c;
+                c = d;
+                ec = ed;
+                d = lo + phi * (hi - lo);
+                ed = e(d);
+            }
+        }
+        let v = 0.5 * (lo + hi);
+        self.frequency(v).expect("critical voltage is valid")
+    }
+}
+
+impl Default for TechnologyParams {
+    fn default() -> Self {
+        TechnologyParams::seventy_nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tech() -> TechnologyParams {
+        TechnologyParams::seventy_nm()
+    }
+
+    #[test]
+    fn max_frequency_is_3_1_ghz() {
+        // §3.2: "The maximum frequency of this processor is 3.1 GHz,
+        // which requires a supply voltage of 1 V."
+        let f = tech().max_frequency();
+        assert!((f / 3.1e9 - 1.0).abs() < 0.01, "f_max = {f}");
+    }
+
+    #[test]
+    fn vth_at_nominal() {
+        // Vth(1.0) = 0.244 - 0.063*1 - 0.153*(-0.7) = 0.2881
+        let v = tech().vth(1.0);
+        assert!((v - 0.2881).abs() < 1e-12, "vth = {v}");
+    }
+
+    #[test]
+    fn total_power_at_nominal_matches_fig2a() {
+        // Fig. 2a: P_total ≈ 2.2 W at normalized frequency 1.
+        let b = tech().active_breakdown(1.0).unwrap();
+        assert!((b.total() - 2.14).abs() < 0.1, "P = {}", b.total());
+        assert!((b.dynamic - 1.33).abs() < 0.05, "P_AC = {}", b.dynamic);
+        assert!((b.static_ - 0.72).abs() < 0.05, "P_DC = {}", b.static_);
+        assert_eq!(b.on, 0.1);
+    }
+
+    #[test]
+    fn static_power_decreases_with_vdd() {
+        let t = tech();
+        assert!(t.static_power(0.7) < t.static_power(1.0));
+        assert!(t.static_power(0.5) < t.static_power(0.7));
+    }
+
+    #[test]
+    fn frequency_monotone_in_vdd() {
+        let t = tech();
+        let mut prev = 0.0;
+        let mut v = 0.35;
+        while v <= 1.0 {
+            let f = t.frequency(v).unwrap();
+            assert!(f > prev);
+            prev = f;
+            v += 0.05;
+        }
+    }
+
+    #[test]
+    fn frequency_errors_below_threshold() {
+        let t = tech();
+        let err = t.frequency(0.30).unwrap_err();
+        match err {
+            PowerError::VddBelowThreshold { .. } => {}
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vdd_for_frequency_inverts_frequency() {
+        let t = tech();
+        for &vdd in &[0.4, 0.55, 0.7, 0.85, 1.0] {
+            let f = t.frequency(vdd).unwrap();
+            let v = t.vdd_for_frequency(f).unwrap();
+            assert!((v - vdd).abs() < 1e-9, "vdd {vdd} -> {v}");
+        }
+    }
+
+    #[test]
+    fn vdd_for_frequency_rejects_unattainable() {
+        let t = tech();
+        assert!(t.vdd_for_frequency(4.0e9).is_err());
+    }
+
+    #[test]
+    fn continuous_critical_frequency_is_0_38_fmax() {
+        // §3.3: "the optimal or critical frequency is 0.38 times the
+        // maximum."
+        let t = tech();
+        let ratio = t.critical_frequency_continuous() / t.max_frequency();
+        assert!((ratio - 0.38).abs() < 0.01, "f_crit/f_max = {ratio}");
+    }
+
+    #[test]
+    fn energy_per_cycle_is_u_shaped() {
+        let t = tech();
+        let e_crit = t.energy_per_cycle(0.7).unwrap();
+        assert!(t.energy_per_cycle(1.0).unwrap() > e_crit);
+        assert!(t.energy_per_cycle(0.45).unwrap() > e_crit);
+    }
+
+    #[test]
+    fn idle_power_below_active_power() {
+        let t = tech();
+        for &vdd in &[0.4, 0.7, 1.0] {
+            assert!(t.idle_power(vdd) < t.active_power(vdd).unwrap());
+        }
+    }
+
+    #[test]
+    fn min_positive_vdd_is_fixed_point() {
+        let t = tech();
+        let v = t.min_positive_vdd();
+        assert!((t.vth(v) - v).abs() < 1e-12);
+        // Just above it the frequency is positive.
+        assert!(t.frequency(v + 1e-6).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn breakeven_anchor_half_speed() {
+        // Cross-check used by Fig. 3 (see sleep.rs): idle power at the
+        // voltage giving f = 0.5 f_max is ≈ 0.44 W.
+        let t = tech();
+        let v = t.vdd_for_frequency(0.5 * t.max_frequency()).unwrap();
+        let p = t.idle_power(v);
+        assert!((p - 0.443).abs() < 0.02, "idle power = {p}");
+    }
+}

@@ -1,0 +1,154 @@
+//! Processor-shutdown (PS) model of §3.4: sleep-state power, transition
+//! overhead, and the break-even idle period of Fig. 3.
+
+use crate::constants::{SLEEP_POWER_WATTS, SLEEP_TRANSITION_JOULES};
+use crate::levels::OperatingPoint;
+use crate::model::TechnologyParams;
+
+/// Parameters of the deep-sleep/shutdown state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SleepParams {
+    /// Power drawn while sleeping \[W\] (paper: 50 µW).
+    pub sleep_power: f64,
+    /// Energy overhead of one shutdown + wakeup episode \[J\]
+    /// (paper: 483 µJ, including state warm-up).
+    pub transition_energy: f64,
+}
+
+impl SleepParams {
+    /// The estimates of Jejurikar et al. used by the paper.
+    pub fn paper() -> Self {
+        SleepParams {
+            sleep_power: SLEEP_POWER_WATTS,
+            transition_energy: SLEEP_TRANSITION_JOULES,
+        }
+    }
+
+    /// Minimum idle *time* \[s\] for which shutting down beats idling at
+    /// the given idle power:
+    ///
+    /// `t_be = E_transition / (P_idle − P_sleep)`
+    ///
+    /// Below this duration the 483 µJ overhead exceeds what sleeping
+    /// saves. Returns `f64::INFINITY` when the idle power does not exceed
+    /// the sleep power (sleeping can then never pay off).
+    pub fn breakeven_time(&self, idle_power: f64) -> f64 {
+        let saving_rate = idle_power - self.sleep_power;
+        if saving_rate <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.transition_energy / saving_rate
+        }
+    }
+
+    /// Minimum idle period in *cycles at the operating frequency* for PS
+    /// to be beneficial — the quantity plotted in Fig. 3. At half the
+    /// maximum frequency of the 70 nm technology this is ≈1.7 M cycles.
+    pub fn breakeven_cycles(&self, tech: &TechnologyParams, vdd: f64) -> f64 {
+        let t = self.breakeven_time(tech.idle_power(vdd));
+        match tech.frequency(vdd) {
+            Ok(f) => t * f,
+            Err(_) => f64::INFINITY,
+        }
+    }
+
+    /// Break-even time at a precomputed operating point \[s\].
+    pub fn breakeven_time_at(&self, point: &OperatingPoint) -> f64 {
+        self.breakeven_time(point.idle_power)
+    }
+
+    /// Energy of spending an idle interval of `duration` seconds in the
+    /// sleep state (including one transition) \[J\].
+    pub fn sleep_energy(&self, duration: f64) -> f64 {
+        self.transition_energy + self.sleep_power * duration
+    }
+
+    /// Whether shutting down for `duration` seconds saves energy over
+    /// idling at `idle_power`.
+    pub fn worth_sleeping(&self, idle_power: f64, duration: f64) -> bool {
+        self.sleep_energy(duration) < idle_power * duration
+    }
+}
+
+impl Default for SleepParams {
+    fn default() -> Self {
+        SleepParams::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_constants() {
+        let s = SleepParams::paper();
+        assert_eq!(s.sleep_power, 50.0e-6);
+        assert_eq!(s.transition_energy, 483.0e-6);
+    }
+
+    #[test]
+    fn breakeven_at_half_speed_is_1_7m_cycles() {
+        // §3.4: "When clocked at half the maximum frequency [...] an idle
+        // period of at least 1.7 million cycles is required."
+        let tech = TechnologyParams::seventy_nm();
+        let sleep = SleepParams::paper();
+        let vdd = tech.vdd_for_frequency(0.5 * tech.max_frequency()).unwrap();
+        let cycles = sleep.breakeven_cycles(&tech, vdd);
+        assert!(
+            (cycles / 1.7e6 - 1.0).abs() < 0.05,
+            "break-even = {cycles} cycles"
+        );
+    }
+
+    #[test]
+    fn breakeven_cycles_rise_then_flatten() {
+        // Fig. 3 rises steeply at low frequency and flattens towards
+        // f_max (leakage grows faster than frequency near V_dd0). Check
+        // strict growth up to 0.90 V and a bounded plateau above.
+        let tech = TechnologyParams::seventy_nm();
+        let sleep = SleepParams::paper();
+        let mut prev = 0.0;
+        let mut vdd = 0.40;
+        while vdd <= 0.90 + 1e-9 {
+            let c = sleep.breakeven_cycles(&tech, vdd);
+            assert!(c > prev, "vdd={vdd}: {c} !> {prev}");
+            prev = c;
+            vdd += 0.05;
+        }
+        // Plateau: within 2% of the 0.90 V value up to nominal voltage.
+        for &v in &[0.95, 1.0] {
+            let c = sleep.breakeven_cycles(&tech, v);
+            assert!((c / prev - 1.0).abs() < 0.02, "vdd={v}: {c}");
+        }
+        // And the whole curve tops out just below 2 M cycles (Fig. 3's
+        // y-axis).
+        assert!(sleep.breakeven_cycles(&tech, 1.0) < 2.0e6);
+    }
+
+    #[test]
+    fn breakeven_time_infinite_when_no_saving() {
+        let s = SleepParams::paper();
+        assert!(s.breakeven_time(40.0e-6).is_infinite());
+        assert!(s.breakeven_time(50.0e-6).is_infinite());
+    }
+
+    #[test]
+    fn worth_sleeping_consistent_with_breakeven() {
+        let tech = TechnologyParams::seventy_nm();
+        let s = SleepParams::paper();
+        let p_idle = tech.idle_power(0.7);
+        let t_be = s.breakeven_time(p_idle);
+        assert!(!s.worth_sleeping(p_idle, t_be * 0.99));
+        assert!(s.worth_sleeping(p_idle, t_be * 1.01));
+    }
+
+    #[test]
+    fn sleep_energy_is_affine() {
+        let s = SleepParams::paper();
+        let e0 = s.sleep_energy(0.0);
+        assert_eq!(e0, s.transition_energy);
+        let e1 = s.sleep_energy(2.0);
+        assert!((e1 - (s.transition_energy + 2.0 * s.sleep_power)).abs() < 1e-18);
+    }
+}

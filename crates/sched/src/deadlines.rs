@@ -1,0 +1,196 @@
+//! Per-task deadline assignment by latest-finish-time propagation.
+//!
+//! The application model (§3.1) gives a single deadline `D` for the whole
+//! DAG (or, for unrolled Kahn Process Networks, one deadline per output
+//! node). EDF needs a deadline per task; the standard derivation is the
+//! *latest finish time*: a sink must finish by its deadline, and any
+//! other task must finish early enough that every successor can still
+//! run, i.e.
+//!
+//! ```text
+//! lf(v) = min(own(v), min over successors s of lf(s) − w(s))
+//! ```
+//!
+//! computed in reverse topological order. Because `lf(v) < lf(s)`
+//! whenever `w(s) > 0`, sorting by `(lf, topo index)` yields a priority
+//! list that is also a topological order.
+
+use lamps_taskgraph::{TaskGraph, TaskId};
+
+/// Latest finish times for a uniform application deadline (in cycles at
+/// the nominal frequency).
+///
+/// Every sink gets deadline `deadline_cycles`.
+pub fn latest_finish_times(graph: &TaskGraph, deadline_cycles: u64) -> Vec<u64> {
+    let own = vec![None; graph.len()];
+    latest_finish_times_with(graph, deadline_cycles, &own)
+}
+
+/// Latest finish times with optional per-task explicit deadlines.
+///
+/// `own[t] = Some(d)` pins task `t` to finish by `d` in addition to any
+/// constraint propagated from its successors (used by the KPN unrolling,
+/// where interior copies of output processes carry their own deadlines).
+/// Tasks with no explicit deadline and no successors fall back to
+/// `default_deadline`.
+///
+/// If the deadlines are so tight that a latest finish time would go
+/// negative, it saturates at the task's own weight (the earliest finish
+/// any schedule could achieve); infeasibility then surfaces when the
+/// schedule's makespan is compared against the deadline.
+pub fn latest_finish_times_with(
+    graph: &TaskGraph,
+    default_deadline: u64,
+    own: &[Option<u64>],
+) -> Vec<u64> {
+    assert_eq!(own.len(), graph.len());
+    let mut lf = vec![u64::MAX; graph.len()];
+    for t in graph.topo_order().into_iter().rev() {
+        let mut d = match own[t.index()] {
+            Some(d) => d,
+            None if graph.out_degree(t) == 0 => default_deadline,
+            None => u64::MAX,
+        };
+        for &s in graph.successors(t) {
+            let w = graph.weight(s);
+            let latest_start_of_s = lf[s.index()].saturating_sub(w);
+            d = d.min(latest_start_of_s);
+        }
+        // Saturate at the earliest possible finish of t itself.
+        lf[t.index()] = d.max(graph.weight(t));
+    }
+    lf
+}
+
+/// The slack of each task: latest finish minus earliest finish (top
+/// level). Negative slack (reported as 0 here, with `feasible = false`
+/// detectable via [`has_negative_slack`]) means no schedule at the
+/// nominal frequency can meet the deadline.
+pub fn slack(graph: &TaskGraph, deadline_cycles: u64) -> Vec<u64> {
+    let lf = latest_finish_times(graph, deadline_cycles);
+    let tl = graph.top_levels();
+    lf.iter()
+        .zip(tl.iter())
+        .map(|(&l, &t)| l.saturating_sub(t))
+        .collect()
+}
+
+/// Whether some task cannot meet its latest finish time even on an
+/// unbounded machine — i.e. the deadline is below the critical path.
+pub fn has_negative_slack(graph: &TaskGraph, deadline_cycles: u64) -> bool {
+    let lf = latest_finish_times(graph, deadline_cycles);
+    let tl = graph.top_levels();
+    lf.iter().zip(tl.iter()).any(|(&l, &t)| l < t)
+}
+
+/// Order tasks by `(latest finish, topo index)` — the EDF priority list.
+pub fn edf_order(graph: &TaskGraph, lf: &[u64]) -> Vec<TaskId> {
+    let topo = graph.topo_order();
+    let mut rank = vec![0usize; graph.len()];
+    for (i, t) in topo.iter().enumerate() {
+        rank[t.index()] = i;
+    }
+    let mut order: Vec<TaskId> = graph.tasks().collect();
+    order.sort_by_key(|t| (lf[t.index()], rank[t.index()]));
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_taskgraph::GraphBuilder;
+
+    /// Fig. 4a: T1(2) → {T2(6), T3(4), T4(4)}; {T2,T3} → T5(2).
+    fn fig4a() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(6);
+        let t3 = b.add_task(4);
+        let t4 = b.add_task(4);
+        let t5 = b.add_task(2);
+        b.add_edge(t1, t2).unwrap();
+        b.add_edge(t1, t3).unwrap();
+        b.add_edge(t1, t4).unwrap();
+        b.add_edge(t2, t5).unwrap();
+        b.add_edge(t3, t5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_deadline_propagates() {
+        let g = fig4a();
+        let lf = latest_finish_times(&g, 12);
+        // Sinks T4, T5 get 12; T2 must finish by 12-2=10; T3 by 10;
+        // T1 by min(10-6, 10-4, 12-4) = 4.
+        assert_eq!(lf, vec![4, 10, 10, 12, 12]);
+    }
+
+    #[test]
+    fn saturates_at_own_weight_when_infeasible() {
+        let g = fig4a();
+        let lf = latest_finish_times(&g, 3);
+        // T1's propagated latest finish would be negative; saturate at
+        // its weight.
+        assert_eq!(lf[0], 2);
+        assert!(has_negative_slack(&g, 3));
+    }
+
+    #[test]
+    fn feasible_at_cpl() {
+        let g = fig4a();
+        assert!(!has_negative_slack(&g, 10));
+        assert!(has_negative_slack(&g, 9));
+    }
+
+    #[test]
+    fn slack_zero_on_critical_path_at_cpl_deadline() {
+        let g = fig4a();
+        let s = slack(&g, 10);
+        // Critical path T1→T2→T5 has zero slack; T3 has 10-6=... top
+        // levels are [2,8,6,6,10], lf = [2,8,8,10,10].
+        assert_eq!(s[0], 0);
+        assert_eq!(s[1], 0);
+        assert_eq!(s[4], 0);
+        assert_eq!(s[2], 2);
+        assert_eq!(s[3], 4);
+    }
+
+    #[test]
+    fn own_deadlines_tighten() {
+        let g = fig4a();
+        let mut own = vec![None; 5];
+        own[2] = Some(7); // pin T3 to finish by 7
+        let lf = latest_finish_times_with(&g, 12, &own);
+        assert_eq!(lf[2], 7);
+        assert_eq!(lf[0], 3); // T1 now bound by T3: 7 − 4 = 3
+    }
+
+    #[test]
+    fn edf_order_is_topological() {
+        let g = fig4a();
+        let lf = latest_finish_times(&g, 15);
+        let order = edf_order(&g, &lf);
+        let mut pos = vec![0usize; g.len()];
+        for (i, t) in order.iter().enumerate() {
+            pos[t.index()] = i;
+        }
+        for (from, to) in g.edges() {
+            assert!(pos[from.index()] < pos[to.index()]);
+        }
+        // T1 first (earliest deadline).
+        assert_eq!(order[0], TaskId(0));
+    }
+
+    #[test]
+    fn zero_weight_ties_broken_by_topo_rank() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(0);
+        let c = b.add_task(0);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let lf = latest_finish_times(&g, 5);
+        assert_eq!(lf, vec![5, 5]);
+        let order = edf_order(&g, &lf);
+        assert_eq!(order, vec![a, c]);
+    }
+}

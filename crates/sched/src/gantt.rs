@@ -1,0 +1,93 @@
+//! ASCII Gantt-chart rendering of schedules, for examples and debugging.
+
+use crate::schedule::{ProcId, Schedule};
+use lamps_taskgraph::TaskGraph;
+
+/// Render the schedule as a fixed-width ASCII Gantt chart.
+///
+/// Each processor gets one row; time is scaled to `width` columns over
+/// `[0, horizon_cycles]`. Task cells show the first letters of the task
+/// label; idle time is `.`.
+pub fn render(
+    schedule: &Schedule,
+    graph: &TaskGraph,
+    horizon_cycles: u64,
+    width: usize,
+) -> String {
+    assert!(width >= 10, "width too small to render");
+    let horizon = horizon_cycles.max(schedule.makespan_cycles()).max(1);
+    let scale = |t: u64| -> usize {
+        ((t as u128 * width as u128) / horizon as u128) as usize
+    };
+    let mut out = String::new();
+    for p in 0..schedule.n_procs() as u32 {
+        let p = ProcId(p);
+        let mut row = vec![b'.'; width];
+        for &t in schedule.tasks_on(p) {
+            let lo = scale(schedule.start(t));
+            let hi = scale(schedule.finish(t)).min(width).max(lo + 1).min(width);
+            let label = graph.label(t);
+            let bytes = label.as_bytes();
+            for (k, cell) in row[lo..hi].iter_mut().enumerate() {
+                *cell = if k < bytes.len() && bytes[k].is_ascii() {
+                    bytes[k]
+                } else {
+                    b'#'
+                };
+            }
+        }
+        out.push_str(&format!("{p:>4} |"));
+        out.push_str(std::str::from_utf8(&row).expect("ascii row"));
+        out.push_str("|\n");
+    }
+    out.push_str(&format!(
+        "      0 {:>w$}\n",
+        format!("{horizon} cycles"),
+        w = width - 2
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    #[test]
+    fn renders_rows_per_processor() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_named_task("A", 4);
+        let c = b.add_named_task("B", 4);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 10);
+        let text = render(&s, &g, 10, 20);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3); // 2 procs + axis
+        assert!(lines[0].contains('A') || lines[1].contains('A'));
+        assert!(text.contains("10 cycles"));
+    }
+
+    #[test]
+    fn idle_shown_as_dots() {
+        let mut b = GraphBuilder::new();
+        b.add_named_task("X", 5);
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 10);
+        let text = render(&s, &g, 10, 20);
+        // Second processor row is all dots.
+        let second = text.lines().nth(1).unwrap();
+        assert!(second.contains("...."));
+    }
+
+    #[test]
+    #[should_panic(expected = "width too small")]
+    fn tiny_width_panics() {
+        let mut b = GraphBuilder::new();
+        b.add_task(1);
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 1, 2);
+        render(&s, &g, 2, 4);
+    }
+}

@@ -1,0 +1,165 @@
+//! Idle-interval extraction — the input to the processor-shutdown
+//! decision of §4.3.
+//!
+//! For a schedule and a horizon (the application deadline), each
+//! processor's timeline decomposes into task executions and idle
+//! intervals: a leading gap before its first task, gaps between
+//! consecutive tasks, and the tail from its last task to the horizon. A
+//! processor with no tasks is idle for the whole horizon.
+
+use crate::schedule::{ProcId, Schedule};
+
+/// One idle interval on one processor, in cycles at the nominal
+/// frequency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleInterval {
+    /// Processor on which the interval occurs.
+    pub proc: ProcId,
+    /// Start of the interval \[cycles\].
+    pub start: u64,
+    /// End of the interval \[cycles\] (exclusive).
+    pub end: u64,
+}
+
+impl IdleInterval {
+    /// Interval length in cycles.
+    #[inline]
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
+
+/// All idle intervals of every processor up to `horizon_cycles`.
+///
+/// Zero-length gaps are omitted. The horizon must be at least the
+/// makespan; intervals are returned grouped by processor, each group in
+/// time order.
+pub fn idle_intervals(schedule: &Schedule, horizon_cycles: u64) -> Vec<Vec<IdleInterval>> {
+    assert!(
+        horizon_cycles >= schedule.makespan_cycles(),
+        "horizon {horizon_cycles} is before the makespan {}",
+        schedule.makespan_cycles()
+    );
+    let mut out = Vec::with_capacity(schedule.n_procs());
+    for p in 0..schedule.n_procs() as u32 {
+        let p = ProcId(p);
+        let mut intervals = Vec::new();
+        let mut cursor = 0u64;
+        for &t in schedule.tasks_on(p) {
+            let s = schedule.start(t);
+            if s > cursor {
+                intervals.push(IdleInterval {
+                    proc: p,
+                    start: cursor,
+                    end: s,
+                });
+            }
+            cursor = cursor.max(schedule.finish(t));
+        }
+        if horizon_cycles > cursor {
+            intervals.push(IdleInterval {
+                proc: p,
+                start: cursor,
+                end: horizon_cycles,
+            });
+        }
+        out.push(intervals);
+    }
+    out
+}
+
+/// Total idle cycles across all processors up to the horizon.
+pub fn total_idle_cycles(schedule: &Schedule, horizon_cycles: u64) -> u64 {
+    idle_intervals(schedule, horizon_cycles)
+        .iter()
+        .flatten()
+        .map(IdleInterval::cycles)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::edf_schedule;
+    use lamps_taskgraph::{GraphBuilder, TaskGraph};
+
+    fn fig4a() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(6);
+        let t3 = b.add_task(4);
+        let t4 = b.add_task(4);
+        let t5 = b.add_task(2);
+        b.add_edge(t1, t2).unwrap();
+        b.add_edge(t1, t3).unwrap();
+        b.add_edge(t1, t4).unwrap();
+        b.add_edge(t2, t5).unwrap();
+        b.add_edge(t3, t5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn intervals_partition_the_horizon() {
+        let g = fig4a();
+        for n in 1..=4usize {
+            let s = edf_schedule(&g, n, 12);
+            let horizon = s.makespan_cycles() + 5;
+            let idle: u64 = total_idle_cycles(&s, horizon);
+            let busy: u64 = (0..n as u32).map(|p| s.busy_cycles(ProcId(p))).sum();
+            assert_eq!(idle + busy, horizon * n as u64);
+        }
+    }
+
+    #[test]
+    fn three_processor_fig4b_gaps() {
+        // Fig. 4b: P1 runs T1 (0–2), T2 (2–8), T5 (8–10); P2 runs
+        // T3 (2–6); P3 runs T4 (2–6). With horizon 10, P2 and P3 have
+        // a leading gap [0,2) and a tail [6,10); P1 has none.
+        let g = fig4a();
+        let s = edf_schedule(&g, 3, 12);
+        let iv = idle_intervals(&s, 10);
+        assert_eq!(s.makespan_cycles(), 10);
+        let counts: Vec<usize> = iv.iter().map(Vec::len).collect();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 2, 2]);
+        // Every interval lies within [0, 10).
+        for i in iv.iter().flatten() {
+            assert!(i.start < i.end && i.end <= 10);
+        }
+    }
+
+    #[test]
+    fn unused_processor_is_fully_idle() {
+        let g = fig4a();
+        let s = edf_schedule(&g, 5, 12);
+        let iv = idle_intervals(&s, 20);
+        let fully_idle = iv
+            .iter()
+            .filter(|v| v.len() == 1 && v[0].start == 0 && v[0].end == 20)
+            .count();
+        assert!(fully_idle >= 2, "at least two processors never used");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the makespan")]
+    fn horizon_before_makespan_panics() {
+        let g = fig4a();
+        let s = edf_schedule(&g, 3, 12);
+        idle_intervals(&s, 5);
+    }
+
+    #[test]
+    fn no_intervals_when_packed_exactly() {
+        // Two unit tasks on one processor with horizon = makespan: no
+        // idle at all.
+        let mut b = GraphBuilder::new();
+        b.add_task(1);
+        b.add_task(1);
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 1, 4);
+        let iv = idle_intervals(&s, 2);
+        assert!(iv[0].is_empty());
+        assert_eq!(total_idle_cycles(&s, 2), 0);
+    }
+}

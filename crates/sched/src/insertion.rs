@@ -1,0 +1,205 @@
+//! Insertion-based list scheduling.
+//!
+//! The paper's LS-EDF is *non-insertion*: a ready task goes to a free
+//! processor at the current instant, never into an earlier gap. The
+//! insertion variant scans each processor's timeline for the first gap
+//! (after the task's ready time) large enough to hold the task — a
+//! classic makespan improver for irregular graphs, here available as an
+//! ablation alongside [`crate::priorities::PriorityPolicy`] to probe the
+//! paper's §4.4 question of whether a better scheduler would change the
+//! energy story.
+//!
+//! Tasks are processed in a fixed priority order that must be
+//! topologically consistent (the EDF key order of
+//! [`crate::deadlines::edf_order`] is); each is placed at the earliest
+//! feasible start over all processors, gaps included.
+
+use crate::deadlines::{edf_order, latest_finish_times};
+use crate::schedule::{ProcId, Schedule};
+use lamps_taskgraph::{TaskGraph, TaskId};
+
+/// Insertion-based list scheduling with explicit priority keys (smaller
+/// = earlier in the list). The key order is made topologically
+/// consistent internally.
+///
+/// # Panics
+///
+/// Panics if `n_procs == 0` or `keys.len() != graph.len()`.
+pub fn insertion_schedule(graph: &TaskGraph, n_procs: usize, keys: &[u64]) -> Schedule {
+    assert!(n_procs > 0, "need at least one processor");
+    assert_eq!(keys.len(), graph.len(), "one key per task");
+
+    let order = edf_order(graph, keys);
+    let n = graph.len();
+    let mut start = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut proc = vec![ProcId(0); n];
+    // Per-processor timelines: sorted (start, finish) of placed tasks.
+    let mut timelines: Vec<Vec<(u64, u64, TaskId)>> = vec![Vec::new(); n_procs];
+
+    for t in order {
+        let ready = graph
+            .predecessors(t)
+            .iter()
+            .map(|&p| finish[p.index()])
+            .max()
+            .unwrap_or(0);
+        let w = graph.weight(t);
+
+        // Earliest feasible (start, proc, slot index).
+        let mut best: Option<(u64, usize, usize)> = None;
+        for (pi, tl) in timelines.iter().enumerate() {
+            let (s, slot) = earliest_slot(tl, ready, w);
+            if best.is_none_or(|(bs, _, _)| s < bs) {
+                best = Some((s, pi, slot));
+            }
+        }
+        let (s, pi, slot) = best.expect("at least one processor");
+        start[t.index()] = s;
+        finish[t.index()] = s + w;
+        proc[t.index()] = ProcId(pi as u32);
+        timelines[pi].insert(slot, (s, s + w, t));
+    }
+
+    let proc_tasks = timelines
+        .into_iter()
+        .map(|tl| tl.into_iter().map(|(_, _, t)| t).collect())
+        .collect();
+    Schedule::with_proc_order(n_procs, start, finish, proc, proc_tasks)
+}
+
+/// Earliest start ≥ `ready` of a task of length `w` on a timeline, and
+/// the insertion index. Zero-length tasks slot in anywhere from `ready`.
+fn earliest_slot(timeline: &[(u64, u64, TaskId)], ready: u64, w: u64) -> (u64, usize) {
+    let mut cursor = ready;
+    for (i, &(s, f, _)) in timeline.iter().enumerate() {
+        if cursor + w <= s {
+            return (cursor, i);
+        }
+        cursor = cursor.max(f);
+    }
+    (cursor, timeline.len())
+}
+
+/// Insertion-based LS-EDF with a uniform application deadline.
+pub fn insertion_edf_schedule(
+    graph: &TaskGraph,
+    n_procs: usize,
+    deadline_cycles: u64,
+) -> Schedule {
+    let lf = latest_finish_times(graph, deadline_cycles);
+    insertion_schedule(graph, n_procs, &lf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn fig4a() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(6);
+        let t3 = b.add_task(4);
+        let t4 = b.add_task(4);
+        let t5 = b.add_task(2);
+        b.add_edge(t1, t2).unwrap();
+        b.add_edge(t1, t3).unwrap();
+        b.add_edge(t1, t4).unwrap();
+        b.add_edge(t2, t5).unwrap();
+        b.add_edge(t3, t5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn produces_valid_schedules() {
+        let g = fig4a();
+        for n in 1..=4 {
+            let s = insertion_edf_schedule(&g, n, 20);
+            s.validate(&g).unwrap();
+            assert!(s.makespan_cycles() >= g.critical_path_cycles().max(
+                g.total_work_cycles().div_ceil(n as u64)
+            ));
+        }
+    }
+
+    #[test]
+    fn later_list_tasks_slip_into_leading_gaps() {
+        // A(4) → {B(4), C(3)}; D(2) independent but *last* in list
+        // order. C lands on P1 at t=4 (after A), leaving P1's [0,4)
+        // empty; insertion places D there even though D was processed
+        // after C.
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(4);
+        let bb = b.add_task(4);
+        let c = b.add_task(3);
+        let d = b.add_task(2);
+        b.add_edge(a, bb).unwrap();
+        b.add_edge(a, c).unwrap();
+        let g = {
+            let _ = d;
+            b.build().unwrap()
+        };
+        let keys = vec![0, 1, 2, 3];
+        let s = insertion_schedule(&g, 2, &keys);
+        s.validate(&g).unwrap();
+        assert_eq!(s.start(TaskId(3)), 0, "D fills the leading gap");
+        assert_eq!(s.start(TaskId(2)), 4);
+        assert_eq!(s.proc(TaskId(3)), s.proc(TaskId(2)), "same processor");
+        assert_eq!(s.makespan_cycles(), 8);
+    }
+
+    #[test]
+    fn random_graphs_never_worse_than_sanity_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..20 {
+            let n = rng.gen_range(5..30usize);
+            let mut b = GraphBuilder::new();
+            let ids: Vec<TaskId> = (0..n).map(|_| b.add_task(rng.gen_range(1..50))).collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.15) {
+                        b.add_edge(ids[i], ids[j]).unwrap();
+                    }
+                }
+            }
+            let g = b.build().unwrap();
+            let procs = rng.gen_range(1..5usize);
+            let d = 2 * g.critical_path_cycles();
+            let ins = insertion_edf_schedule(&g, procs, d);
+            ins.validate(&g).unwrap();
+            let non = edf_schedule(&g, procs, d);
+            // Insertion is not provably ≤ non-insertion in general, but
+            // both respect Graham's bound.
+            let ub = g.critical_path_cycles() + g.total_work_cycles().div_ceil(procs as u64);
+            assert!(ins.makespan_cycles() <= ub);
+            assert!(non.makespan_cycles() <= ub);
+        }
+    }
+
+    #[test]
+    fn zero_weight_tasks_slot_anywhere() {
+        let mut b = GraphBuilder::new();
+        let e = b.add_task(0);
+        let a = b.add_task(5);
+        let x = b.add_task(0);
+        b.add_edge(e, a).unwrap();
+        b.add_edge(a, x).unwrap();
+        let g = b.build().unwrap();
+        let s = insertion_edf_schedule(&g, 1, 10);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan_cycles(), 5);
+    }
+
+    #[test]
+    fn earliest_slot_finds_gaps() {
+        let tl = vec![(4u64, 8u64, TaskId(0)), (10, 12, TaskId(1))];
+        assert_eq!(earliest_slot(&tl, 0, 4), (0, 0)); // before first
+        assert_eq!(earliest_slot(&tl, 0, 5), (12, 2)); // only after all
+        assert_eq!(earliest_slot(&tl, 5, 2), (8, 1)); // middle gap
+        assert_eq!(earliest_slot(&tl, 9, 1), (9, 1)); // ready inside gap
+    }
+}

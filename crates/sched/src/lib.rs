@@ -1,0 +1,37 @@
+//! List scheduling with earliest-deadline-first priorities (LS-EDF).
+//!
+//! All four heuristics of the paper (S&S, LAMPS, S&S+PS, LAMPS+PS, §4)
+//! schedule with LS-EDF: tasks of a weighted DAG are assigned
+//! non-preemptively to identical processors; whenever a processor is free
+//! and tasks are ready (all predecessors finished), the ready task with
+//! the earliest deadline starts. Per-task deadlines derive from the
+//! application deadline by latest-finish-time propagation over the DAG.
+//!
+//! Scheduling is done in *cycles at the nominal frequency*: because every
+//! processor runs at the same, constant frequency in all of the paper's
+//! schedules, the schedule shape is frequency-independent and evaluating
+//! a different DVS level only rescales time by `1/f` (§4). The heuristics
+//! therefore schedule once per processor count and sweep frequencies over
+//! the same schedule.
+//!
+//! The crate also provides pluggable priorities ([`PriorityPolicy`]) for
+//! the paper's §4.4 question — could a different list-scheduling order
+//! beat EDF? — plus schedule validation, idle-interval extraction (the
+//! input to processor-shutdown decisions), and ASCII Gantt rendering.
+
+pub mod deadlines;
+pub mod gantt;
+pub mod idle;
+pub mod insertion;
+pub mod list;
+pub mod metrics;
+pub mod priorities;
+pub mod schedule;
+
+pub use deadlines::latest_finish_times;
+pub use idle::{idle_intervals, IdleInterval};
+pub use insertion::{insertion_edf_schedule, insertion_schedule};
+pub use list::{edf_schedule, list_schedule};
+pub use metrics::{metrics, ScheduleMetrics};
+pub use priorities::PriorityPolicy;
+pub use schedule::{ProcId, Schedule, ScheduleError};

@@ -1,0 +1,293 @@
+//! The discrete-event list scheduler.
+//!
+//! Work-conserving, non-preemptive list scheduling on identical
+//! processors: whenever a processor is free and tasks are ready (all
+//! predecessors finished), the ready task with the smallest priority key
+//! starts immediately. With keys = latest finish times this is the
+//! paper's LS-EDF (§4).
+//!
+//! Determinism: ties between ready tasks break on task id; among the
+//! processors idle at assignment time, the one that became idle most
+//! recently is chosen (ties on processor id). Choosing the
+//! most-recently-freed processor keeps the other processors' idle
+//! intervals contiguous, which is the favourable layout for the
+//! processor-shutdown heuristics — and is applied uniformly to every
+//! strategy, so comparisons are unaffected.
+
+use crate::deadlines::latest_finish_times;
+use crate::schedule::{ProcId, Schedule};
+use lamps_taskgraph::{TaskGraph, TaskId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Schedule `graph` on `n_procs` processors, priorities given per task
+/// (smaller key = more urgent).
+///
+/// # Panics
+///
+/// Panics if `n_procs == 0` or `keys.len() != graph.len()`.
+pub fn list_schedule(graph: &TaskGraph, n_procs: usize, keys: &[u64]) -> Schedule {
+    assert!(n_procs > 0, "need at least one processor");
+    assert_eq!(keys.len(), graph.len(), "one key per task");
+
+    let n = graph.len();
+    let mut start = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut proc = vec![ProcId(0); n];
+    let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];
+
+    // Ready tasks: min-heap on (key, id).
+    let mut ready: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut missing_preds: Vec<u32> = (0..n)
+        .map(|i| graph.in_degree(TaskId(i as u32)) as u32)
+        .collect();
+    for t in graph.tasks() {
+        if missing_preds[t.index()] == 0 {
+            ready.push(Reverse((keys[t.index()], t.0)));
+        }
+    }
+
+    // Running tasks: min-heap on (finish time, id).
+    let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    // Idle processors: max-heap on (time it became idle, Reverse(id)) so
+    // that `pop` yields the most-recently-freed processor, lowest id on
+    // ties.
+    let mut idle: BinaryHeap<(u64, Reverse<u32>)> =
+        (0..n_procs as u32).map(|p| (0u64, Reverse(p))).collect();
+
+    let mut now = 0u64;
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        // Retire every task finishing at the current time: free its
+        // processor and release its successors.
+        while let Some(&Reverse((ft, id))) = running.peek() {
+            if ft > now {
+                break;
+            }
+            running.pop();
+            let t = TaskId(id);
+            idle.push((now, Reverse(proc[t.index()].0)));
+            for &s in graph.successors(t) {
+                missing_preds[s.index()] -= 1;
+                if missing_preds[s.index()] == 0 {
+                    ready.push(Reverse((keys[s.index()], s.0)));
+                }
+            }
+        }
+
+        // Start ready tasks while processors are free. Zero-weight tasks
+        // (STG dummy nodes) retire immediately, possibly readying more
+        // tasks at the same instant.
+        while !idle.is_empty() && !ready.is_empty() {
+            let Reverse((_key, id)) = ready.pop().expect("checked non-empty");
+            let (_freed_at, Reverse(p)) = idle.pop().expect("checked non-empty");
+            let t = TaskId(id);
+            let w = graph.weight(t);
+            start[t.index()] = now;
+            finish[t.index()] = now + w;
+            proc[t.index()] = ProcId(p);
+            proc_tasks[p as usize].push(t);
+            scheduled += 1;
+            if w == 0 {
+                idle.push((now, Reverse(p)));
+                for &s in graph.successors(t) {
+                    missing_preds[s.index()] -= 1;
+                    if missing_preds[s.index()] == 0 {
+                        ready.push(Reverse((keys[s.index()], s.0)));
+                    }
+                }
+            } else {
+                running.push(Reverse((finish[t.index()], id)));
+            }
+        }
+
+        if scheduled == n {
+            break;
+        }
+
+        // Advance to the next finish event; the top of the loop retires
+        // it (and anything else finishing at the same instant).
+        let &Reverse((ft, _)) = running
+            .peek()
+            .expect("unscheduled tasks remain, so something must be running");
+        now = ft;
+    }
+
+    Schedule::with_proc_order(n_procs, start, finish, proc, proc_tasks)
+}
+
+/// LS-EDF (§4): list scheduling with latest-finish-time keys derived from
+/// a uniform application deadline.
+/// # Example
+///
+/// ```
+/// use lamps_sched::list::edf_schedule;
+/// use lamps_taskgraph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_task(4);
+/// let c = b.add_task(6);
+/// b.add_edge(a, c).unwrap();
+/// let g = b.build().unwrap();
+/// let s = edf_schedule(&g, 2, 20);
+/// assert_eq!(s.makespan_cycles(), 10); // the chain serializes
+/// s.validate(&g).unwrap();
+/// ```
+pub fn edf_schedule(graph: &TaskGraph, n_procs: usize, deadline_cycles: u64) -> Schedule {
+    let lf = latest_finish_times(graph, deadline_cycles);
+    list_schedule(graph, n_procs, &lf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_taskgraph::GraphBuilder;
+
+    /// Fig. 4a: T1(2) → {T2(6), T3(4), T4(4)}; {T2,T3} → T5(2).
+    fn fig4a() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(6);
+        let t3 = b.add_task(4);
+        let t4 = b.add_task(4);
+        let t5 = b.add_task(2);
+        b.add_edge(t1, t2).unwrap();
+        b.add_edge(t1, t3).unwrap();
+        b.add_edge(t1, t4).unwrap();
+        b.add_edge(t2, t5).unwrap();
+        b.add_edge(t3, t5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fig4b_schedule_on_three_processors() {
+        // Fig. 4b: EDF on 3 processors finishes the example in 10 units
+        // (the critical path).
+        let g = fig4a();
+        let s = edf_schedule(&g, 3, 12);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan_cycles(), 10);
+    }
+
+    #[test]
+    fn fig7a_schedule_on_two_processors() {
+        // Fig. 7a: the same graph on 2 processors still fits the
+        // deadline window used by LAMPS — makespan 10: P1 = T1,T2,T5;
+        // P2 = T3,T4.
+        let g = fig4a();
+        let s = edf_schedule(&g, 2, 12);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan_cycles(), 10);
+        assert_eq!(s.employed_procs(), 2);
+    }
+
+    #[test]
+    fn single_processor_serializes() {
+        let g = fig4a();
+        let s = edf_schedule(&g, 1, 100);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan_cycles(), g.total_work_cycles());
+        assert_eq!(s.employed_procs(), 1);
+    }
+
+    #[test]
+    fn more_processors_than_tasks() {
+        let g = fig4a();
+        let s = edf_schedule(&g, 16, 100);
+        s.validate(&g).unwrap();
+        // Unbounded processors reach the critical path.
+        assert_eq!(s.makespan_cycles(), g.critical_path_cycles());
+        assert!(s.employed_procs() <= 3);
+    }
+
+    #[test]
+    fn makespan_never_below_bounds() {
+        let g = fig4a();
+        for n in 1..=4 {
+            let s = edf_schedule(&g, n, 50);
+            let lb = g
+                .critical_path_cycles()
+                .max(g.total_work_cycles().div_ceil(n as u64));
+            assert!(s.makespan_cycles() >= lb);
+            // Work-conserving list scheduling respects Graham's bound.
+            let ub = g.critical_path_cycles()
+                + g.total_work_cycles().div_ceil(n as u64);
+            assert!(s.makespan_cycles() <= ub);
+        }
+    }
+
+    #[test]
+    fn edf_prefers_urgent_tasks() {
+        // Two independent tasks, one processor: the tighter deadline
+        // must run first even though it has the higher id.
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(10);
+        let c = b.add_task(10);
+        let g = {
+            let _ = (a, c);
+            b.build().unwrap()
+        };
+        let keys = vec![20, 10];
+        let s = list_schedule(&g, 1, &keys);
+        assert_eq!(s.start(TaskId(1)), 0);
+        assert_eq!(s.start(TaskId(0)), 10);
+    }
+
+    #[test]
+    fn zero_weight_chains_collapse() {
+        // STG dummy nodes: entry(0) → a(4) → exit(0).
+        let mut b = GraphBuilder::new();
+        let e = b.add_task(0);
+        let a = b.add_task(4);
+        let x = b.add_task(0);
+        b.add_edge(e, a).unwrap();
+        b.add_edge(a, x).unwrap();
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 10);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan_cycles(), 4);
+        assert_eq!(s.start(TaskId(1)), 0);
+        assert_eq!(s.start(TaskId(2)), 4);
+    }
+
+    #[test]
+    fn all_zero_weight_graph() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(0);
+        let c = b.add_task(0);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 10);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan_cycles(), 0);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let g = fig4a();
+        let a = edf_schedule(&g, 2, 12);
+        let b = edf_schedule(&g, 2, 12);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor")]
+    fn zero_processors_panics() {
+        let g = fig4a();
+        edf_schedule(&g, 0, 10);
+    }
+
+    #[test]
+    fn wide_graph_saturates_processors() {
+        // 8 independent unit tasks on 4 processors: makespan 2.
+        let mut b = GraphBuilder::new();
+        for _ in 0..8 {
+            b.add_task(1);
+        }
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 4, 10);
+        s.validate(&g).unwrap();
+        assert_eq!(s.makespan_cycles(), 2);
+        assert_eq!(s.employed_procs(), 4);
+    }
+}

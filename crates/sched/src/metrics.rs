@@ -1,0 +1,116 @@
+//! Schedule quality metrics: the numbers an engineer reads off a Gantt
+//! chart — utilization, balance, fragmentation — used by reports and by
+//! tests that reason about schedule *shape* rather than just makespan.
+
+use crate::idle::idle_intervals;
+use crate::schedule::{ProcId, Schedule};
+
+/// Aggregate shape metrics of a schedule over a horizon.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleMetrics {
+    /// Fraction of total processor-time spent executing (0..=1).
+    pub utilization: f64,
+    /// Busiest processor's busy time divided by the mean busy time
+    /// (1.0 = perfectly balanced).
+    pub imbalance: f64,
+    /// Number of distinct idle intervals across all processors.
+    pub idle_intervals: usize,
+    /// Mean idle-interval length in cycles (0 if none).
+    pub mean_idle_cycles: f64,
+    /// Longest idle interval in cycles.
+    pub max_idle_cycles: u64,
+    /// Processors that execute at least one task.
+    pub employed: usize,
+}
+
+/// Compute the metrics of `schedule` over `[0, horizon_cycles]`.
+///
+/// # Panics
+///
+/// Panics if the horizon is before the makespan.
+pub fn metrics(schedule: &Schedule, horizon_cycles: u64) -> ScheduleMetrics {
+    let n = schedule.n_procs();
+    let busy: Vec<u64> = (0..n as u32)
+        .map(|p| schedule.busy_cycles(ProcId(p)))
+        .collect();
+    let total_busy: u64 = busy.iter().sum();
+    let capacity = horizon_cycles as u128 * n as u128;
+
+    let idle = idle_intervals(schedule, horizon_cycles);
+    let lengths: Vec<u64> = idle.iter().flatten().map(|i| i.cycles()).collect();
+
+    let mean_busy = total_busy as f64 / n as f64;
+    let max_busy = busy.iter().copied().max().unwrap_or(0);
+    ScheduleMetrics {
+        utilization: if capacity == 0 {
+            0.0
+        } else {
+            total_busy as f64 / capacity as f64
+        },
+        imbalance: if mean_busy > 0.0 {
+            max_busy as f64 / mean_busy
+        } else {
+            1.0
+        },
+        idle_intervals: lengths.len(),
+        mean_idle_cycles: if lengths.is_empty() {
+            0.0
+        } else {
+            lengths.iter().sum::<u64>() as f64 / lengths.len() as f64
+        },
+        max_idle_cycles: lengths.iter().copied().max().unwrap_or(0),
+        employed: schedule.employed_procs(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn fork() -> lamps_taskgraph::TaskGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2);
+        let c = b.add_task(8);
+        let d = b.add_task(4);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn metrics_of_balanced_two_proc_run() {
+        let g = fork();
+        let s = edf_schedule(&g, 2, 20);
+        // P0: a[0,2) c[2,10); P1: d[2,6).
+        let m = metrics(&s, 10);
+        assert!((m.utilization - 14.0 / 20.0).abs() < 1e-12);
+        assert!((m.imbalance - 10.0 / 7.0).abs() < 1e-12);
+        assert_eq!(m.employed, 2);
+        // P1: leading gap [0,2) and tail [6,10).
+        assert_eq!(m.idle_intervals, 2);
+        assert_eq!(m.max_idle_cycles, 4);
+        assert!((m.mean_idle_cycles - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_processor_is_fully_utilized_and_balanced() {
+        let g = fork();
+        let s = edf_schedule(&g, 1, 20);
+        let m = metrics(&s, s.makespan_cycles());
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert!((m.imbalance - 1.0).abs() < 1e-12);
+        assert_eq!(m.idle_intervals, 0);
+        assert_eq!(m.mean_idle_cycles, 0.0);
+    }
+
+    #[test]
+    fn more_processors_lower_utilization() {
+        let g = fork();
+        let horizon = 20;
+        let u2 = metrics(&edf_schedule(&g, 2, 20), horizon).utilization;
+        let u4 = metrics(&edf_schedule(&g, 4, 20), horizon).utilization;
+        assert!(u4 < u2);
+    }
+}

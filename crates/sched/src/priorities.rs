@@ -1,0 +1,128 @@
+//! Pluggable list-scheduling priorities.
+//!
+//! The paper uses EDF throughout but asks (§4.4, §6) whether a different
+//! list-scheduling order could do better — its LIMIT bounds show the
+//! answer is "barely". These policies make that an executable ablation:
+//! the same list scheduler runs with EDF, bottom-level (HLFET), or plain
+//! topological keys.
+
+use crate::deadlines::latest_finish_times;
+use lamps_taskgraph::TaskGraph;
+
+/// Priority policy for the list scheduler (smaller key = scheduled
+/// first among ready tasks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PriorityPolicy {
+    /// Earliest deadline first — the paper's LS-EDF (§4).
+    EarliestDeadlineFirst,
+    /// Highest bottom level first (HLFET): tasks heading long remaining
+    /// paths go first.
+    BottomLevel,
+    /// Deterministic topological order (baseline for the ablation).
+    Topological,
+}
+
+impl PriorityPolicy {
+    /// Compute the per-task keys for this policy. `deadline_cycles` is
+    /// only used by EDF.
+    pub fn keys(&self, graph: &TaskGraph, deadline_cycles: u64) -> Vec<u64> {
+        match self {
+            PriorityPolicy::EarliestDeadlineFirst => {
+                latest_finish_times(graph, deadline_cycles)
+            }
+            PriorityPolicy::BottomLevel => {
+                // Larger bottom level = more urgent; invert so that
+                // smaller keys go first.
+                let bl = graph.bottom_levels();
+                let max = bl.iter().copied().max().unwrap_or(0);
+                bl.into_iter().map(|b| max - b).collect()
+            }
+            PriorityPolicy::Topological => {
+                let topo = graph.topo_order();
+                let mut keys = vec![0u64; graph.len()];
+                for (i, t) in topo.iter().enumerate() {
+                    keys[t.index()] = i as u64;
+                }
+                keys
+            }
+        }
+    }
+
+    /// All policies, for sweeping in ablation experiments.
+    pub fn all() -> [PriorityPolicy; 3] {
+        [
+            PriorityPolicy::EarliestDeadlineFirst,
+            PriorityPolicy::BottomLevel,
+            PriorityPolicy::Topological,
+        ]
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PriorityPolicy::EarliestDeadlineFirst => "EDF",
+            PriorityPolicy::BottomLevel => "HLFET",
+            PriorityPolicy::Topological => "TOPO",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::list_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn diamondish() -> lamps_taskgraph::TaskGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2);
+        let c = b.add_task(6);
+        let d = b.add_task(4);
+        let e = b.add_task(4);
+        let f = b.add_task(2);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        b.add_edge(a, e).unwrap();
+        b.add_edge(c, f).unwrap();
+        b.add_edge(d, f).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn all_policies_produce_valid_schedules() {
+        let g = diamondish();
+        for policy in PriorityPolicy::all() {
+            let keys = policy.keys(&g, 20);
+            let s = list_schedule(&g, 2, &keys);
+            s.validate(&g).unwrap();
+            assert!(s.makespan_cycles() >= g.critical_path_cycles());
+        }
+    }
+
+    #[test]
+    fn bottom_level_ranks_critical_tasks_first() {
+        let g = diamondish();
+        let keys = PriorityPolicy::BottomLevel.keys(&g, 0);
+        // Source (bottom level 10) has the smallest key.
+        assert_eq!(keys[0], 0);
+        // The critical child T2 (bl = 8) outranks T3 (bl = 6) and
+        // T4 (bl = 4).
+        assert!(keys[1] < keys[2]);
+        assert!(keys[2] < keys[3]);
+    }
+
+    #[test]
+    fn topological_keys_are_a_permutation() {
+        let g = diamondish();
+        let mut keys = PriorityPolicy::Topological.keys(&g, 0);
+        keys.sort_unstable();
+        assert_eq!(keys, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(PriorityPolicy::EarliestDeadlineFirst.name(), "EDF");
+        assert_eq!(PriorityPolicy::BottomLevel.name(), "HLFET");
+        assert_eq!(PriorityPolicy::Topological.name(), "TOPO");
+    }
+}

@@ -1,0 +1,655 @@
+//! The discrete-event executor.
+
+use lamps_core::{SchedulerConfig, Solution};
+use lamps_energy::EnergyBreakdown;
+use lamps_power::OperatingPoint;
+use lamps_sched::ProcId;
+use lamps_taskgraph::{TaskGraph, TaskId};
+
+/// Runtime policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Keep the planned frequency; early finishes become idle time.
+    Static,
+    /// Greedy per-task slack reclamation (Zhu et al. \[1\]): each task may
+    /// stretch its WCET into the window ending at its statically planned
+    /// finish time, but never below the critical frequency.
+    SlackReclaim,
+}
+
+/// Cost of one runtime voltage/frequency switch.
+///
+/// The paper's schedules never switch (one constant level), so it can
+/// ignore this; a reclaiming runtime switches per task, so the overhead
+/// gates how fine-grained reclamation can profitably be. Typical
+/// regulator figures are tens of microseconds and a few microjoules per
+/// transition (e.g. Burd & Brodersen report ~70 µs full-swing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DvsSwitchCost {
+    /// Stall while the regulator settles \[s\] — charged to the task's
+    /// start whenever its level differs from the previous level on the
+    /// same processor.
+    pub latency_s: f64,
+    /// Energy per switch \[J\].
+    pub energy_j: f64,
+}
+
+impl DvsSwitchCost {
+    /// The paper's implicit model: switching is free.
+    pub fn free() -> Self {
+        DvsSwitchCost {
+            latency_s: 0.0,
+            energy_j: 0.0,
+        }
+    }
+
+    /// A realistic embedded regulator: 70 µs, 4 µJ per full transition.
+    pub fn typical() -> Self {
+        DvsSwitchCost {
+            latency_s: 70.0e-6,
+            energy_j: 4.0e-6,
+        }
+    }
+}
+
+/// What one task actually did.
+#[derive(Debug, Clone, Copy)]
+pub struct SimTask {
+    /// The task.
+    pub task: TaskId,
+    /// Actual start \[s\].
+    pub start_s: f64,
+    /// Actual finish \[s\].
+    pub finish_s: f64,
+    /// Supply voltage it ran at \[V\].
+    pub vdd: f64,
+    /// Cycles actually executed.
+    pub cycles: u64,
+}
+
+/// Simulation outcome.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Energy actually consumed, split as in the static evaluator.
+    pub energy: EnergyBreakdown,
+    /// Wall-clock completion of the last task \[s\].
+    pub makespan_s: f64,
+    /// Whether every task finished by the deadline horizon.
+    pub deadline_met: bool,
+    /// Runtime voltage/frequency switches taken (their energy is folded
+    /// into `energy.transition_j`).
+    pub dvs_switches: usize,
+    /// Per-task execution records, indexed by task id.
+    pub tasks: Vec<SimTask>,
+}
+
+impl SimReport {
+    /// Total energy \[J\].
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total()
+    }
+}
+
+/// Execute `solution` against per-task `actual` cycle counts (≤ WCET),
+/// metering energy up to `deadline_s`.
+///
+/// The processor assignment and per-processor task order of the static
+/// schedule are preserved; start times float earlier as upstream tasks
+/// under-run. See [`Policy`] for the frequency behaviour.
+///
+/// # Panics
+///
+/// Panics if `actual` has the wrong length or exceeds a task's WCET —
+/// use [`simulate_with_overruns`] to inject WCET violations.
+/// # Example
+///
+/// ```
+/// use lamps_core::{solve, SchedulerConfig, Strategy};
+/// use lamps_sim::{actual_cycles, simulate, Policy};
+/// use lamps_taskgraph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new();
+/// let a = b.add_task(31_000_000);
+/// let c = b.add_task(31_000_000);
+/// b.add_edge(a, c).unwrap();
+/// let g = b.build().unwrap();
+///
+/// let cfg = SchedulerConfig::paper();
+/// let deadline = 0.050;
+/// let plan = solve(Strategy::LampsPs, &g, deadline, &cfg).unwrap();
+///
+/// // Frames run at 60-80% of their worst case.
+/// let actual = actual_cycles(&g, 0.6, 0.8, 42);
+/// let run = simulate(&g, &plan, &actual, deadline, Policy::SlackReclaim, &cfg);
+/// assert!(run.deadline_met);
+/// assert!(run.total_energy() < plan.energy.total());
+/// ```
+pub fn simulate(
+    graph: &TaskGraph,
+    solution: &Solution,
+    actual: &[u64],
+    deadline_s: f64,
+    policy: Policy,
+    cfg: &SchedulerConfig,
+) -> SimReport {
+    for t in graph.tasks() {
+        assert!(
+            actual[t.index()] <= graph.weight(t),
+            "{t}: actual {} exceeds WCET {}",
+            actual[t.index()],
+            graph.weight(t)
+        );
+    }
+    simulate_with_overruns(graph, solution, actual, deadline_s, policy, cfg)
+}
+
+/// Like [`simulate`] but with *failure injection*: `actual` may exceed a
+/// task's WCET (a mis-characterized task, a cache storm, an input the
+/// profiler never saw). Frequency decisions are still made from the
+/// WCET — a runtime cannot see the overrun in advance — so overruns
+/// propagate into late starts downstream; when a slack-reclaiming
+/// runtime's window has been destroyed by upstream overruns it falls
+/// back to the fastest level (recovery mode). The report's
+/// `deadline_met` flag is the observable outcome.
+pub fn simulate_with_overruns(
+    graph: &TaskGraph,
+    solution: &Solution,
+    actual: &[u64],
+    deadline_s: f64,
+    policy: Policy,
+    cfg: &SchedulerConfig,
+) -> SimReport {
+    simulate_with_costs(
+        graph,
+        solution,
+        actual,
+        deadline_s,
+        policy,
+        cfg,
+        &DvsSwitchCost::free(),
+    )
+}
+
+/// Like [`simulate_with_overruns`], additionally charging a
+/// [`DvsSwitchCost`] whenever a processor changes level between
+/// consecutive tasks. With [`DvsSwitchCost::free`] this is exactly the
+/// paper-faithful model; with a realistic cost it shows how much of the
+/// reclamation gain a real regulator keeps.
+pub fn simulate_with_costs(
+    graph: &TaskGraph,
+    solution: &Solution,
+    actual: &[u64],
+    deadline_s: f64,
+    policy: Policy,
+    cfg: &SchedulerConfig,
+    switch: &DvsSwitchCost,
+) -> SimReport {
+    assert_eq!(actual.len(), graph.len(), "one actual cycle count per task");
+    let schedule = &solution.schedule;
+    let plan_level = solution.level;
+    let crit = *cfg.levels.critical();
+
+    // Combined dependence: graph predecessors plus the previous task on
+    // the same processor (the static order is a contract).
+    let n = graph.len();
+    let mut extra_pred: Vec<Option<TaskId>> = vec![None; n];
+    for p in 0..schedule.n_procs() as u32 {
+        for w in schedule.tasks_on(ProcId(p)).windows(2) {
+            extra_pred[w[1].index()] = Some(w[0]);
+        }
+    }
+
+    // Kahn over the combined relation.
+    let mut indeg: Vec<u32> = graph
+        .tasks()
+        .map(|t| graph.in_degree(t) as u32 + extra_pred[t.index()].is_some() as u32)
+        .collect();
+    let mut queue: std::collections::VecDeque<TaskId> = graph
+        .tasks()
+        .filter(|t| indeg[t.index()] == 0)
+        .collect();
+    let mut next_on_proc: Vec<Option<TaskId>> = vec![None; n];
+    for (t, &p) in extra_pred.iter().enumerate() {
+        if let Some(p) = p {
+            next_on_proc[p.index()] = Some(TaskId(t as u32));
+        }
+    }
+
+    let mut start_s = vec![0.0f64; n];
+    let mut finish_s = vec![0.0f64; n];
+    let mut level_of: Vec<OperatingPoint> = vec![plan_level; n];
+    // Every processor starts configured at the plan level.
+    let mut proc_level_vdd = vec![plan_level.vdd; schedule.n_procs()];
+    let mut dvs_switches = 0usize;
+    let mut switch_energy = 0.0f64;
+    let mut done = 0usize;
+    while let Some(t) = queue.pop_front() {
+        done += 1;
+        let i = t.index();
+        let mut ready = 0.0f64;
+        for &p in graph.predecessors(t) {
+            ready = ready.max(finish_s[p.index()]);
+        }
+        if let Some(p) = extra_pred[i] {
+            ready = ready.max(finish_s[p.index()]);
+        }
+        start_s[i] = ready;
+
+        let wcet = graph.weight(t);
+        let proc = schedule.proc(t).index();
+        let level = match policy {
+            Policy::Static => plan_level,
+            Policy::SlackReclaim if wcet == 0 => plan_level,
+            Policy::SlackReclaim => {
+                // Window up to the planned finish; without overruns the
+                // WCET is guaranteed to fit because starts never drift
+                // later than planned (budgeting the switch latency keeps
+                // that true with a costly regulator). Upstream overruns
+                // can destroy the window — then recover at the fastest
+                // level.
+                let window_end = schedule.finish(t) as f64 / plan_level.freq;
+                let available = window_end - ready - switch.latency_s;
+                if available <= 0.0 {
+                    *cfg.levels.fastest()
+                } else {
+                    let required = wcet as f64 / available;
+                    let chosen = cfg
+                        .levels
+                        .lowest_at_least(required)
+                        .copied()
+                        .unwrap_or_else(|| *cfg.levels.fastest());
+                    // Never scale below the critical frequency: cheaper
+                    // per cycle to run at f_crit and idle (§3.3).
+                    if chosen.freq < crit.freq {
+                        crit
+                    } else {
+                        chosen
+                    }
+                }
+            }
+        };
+        let mut exec_start = ready;
+        if wcet > 0 && (level.vdd - proc_level_vdd[proc]).abs() > 1e-12 {
+            dvs_switches += 1;
+            switch_energy += switch.energy_j;
+            exec_start += switch.latency_s;
+            proc_level_vdd[proc] = level.vdd;
+        }
+        start_s[i] = exec_start;
+        level_of[i] = level;
+        finish_s[i] = if wcet == 0 {
+            ready
+        } else {
+            exec_start + actual[i] as f64 / level.freq
+        };
+
+        for &s in graph.successors(t) {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+        if let Some(s) = next_on_proc[i] {
+            indeg[s.index()] -= 1;
+            if indeg[s.index()] == 0 {
+                queue.push_back(s);
+            }
+        }
+    }
+    assert_eq!(done, n, "combined dependence relation must stay acyclic");
+
+    // Energy metering: executed cycles at their level; idle gaps at the
+    // plan level's idle power, slept through when beyond break-even.
+    let mut energy = EnergyBreakdown::default();
+    for t in graph.tasks() {
+        energy.active_j += actual[t.index()] as f64 * level_of[t.index()].energy_per_cycle;
+    }
+    for p in 0..schedule.n_procs() as u32 {
+        let mut cursor = 0.0f64;
+        for &t in schedule.tasks_on(ProcId(p)) {
+            account_idle(start_s[t.index()] - cursor, plan_level, cfg, &mut energy);
+            cursor = cursor.max(finish_s[t.index()]);
+        }
+        account_idle(deadline_s - cursor, plan_level, cfg, &mut energy);
+    }
+
+    energy.transition_j += switch_energy;
+
+    let makespan_s = finish_s.iter().copied().fold(0.0, f64::max);
+    SimReport {
+        energy,
+        makespan_s,
+        deadline_met: makespan_s <= deadline_s * (1.0 + 1e-9),
+        dvs_switches,
+        tasks: graph
+            .tasks()
+            .map(|t| SimTask {
+                task: t,
+                start_s: start_s[t.index()],
+                finish_s: finish_s[t.index()],
+                vdd: level_of[t.index()].vdd,
+                cycles: actual[t.index()],
+            })
+            .collect(),
+    }
+}
+
+fn account_idle(
+    duration_s: f64,
+    level: OperatingPoint,
+    cfg: &SchedulerConfig,
+    energy: &mut EnergyBreakdown,
+) {
+    if duration_s <= 0.0 {
+        return;
+    }
+    if cfg.sleep.worth_sleeping(level.idle_power, duration_s) {
+        energy.transition_j += cfg.sleep.transition_energy;
+        energy.sleep_j += cfg.sleep.sleep_power * duration_s;
+        energy.sleep_episodes += 1;
+    } else {
+        energy.idle_j += level.idle_power * duration_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::actual_cycles;
+    use lamps_core::{solve, Strategy};
+    use lamps_taskgraph::apps::mpeg;
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::paper()
+    }
+
+    fn coarse_graph(seed: u64) -> TaskGraph {
+        generate(
+            &LayeredConfig {
+                n_tasks: 40,
+                n_layers: 8,
+                ..LayeredConfig::default()
+            },
+            seed,
+        )
+        .scale_weights(3_100_000)
+    }
+
+    fn solved(graph: &TaskGraph, factor: f64) -> (Solution, f64) {
+        let cfg = cfg();
+        let d = factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
+        (solve(Strategy::LampsPs, graph, d, &cfg).unwrap(), d)
+    }
+
+    #[test]
+    fn wcet_execution_matches_static_plan() {
+        // With actual == WCET and the Static policy, the simulated
+        // timing reproduces the stretched schedule and the energy equals
+        // the static evaluation.
+        let g = coarse_graph(1);
+        let (sol, d) = solved(&g, 2.0);
+        let report = simulate(&g, &sol, g.weights(), d, Policy::Static, &cfg());
+        assert!(report.deadline_met);
+        assert!((report.makespan_s - sol.makespan_s).abs() < 1e-9);
+        let static_e = sol.energy.total();
+        assert!(
+            (report.total_energy() - static_e).abs() < static_e * 1e-6,
+            "sim {} vs static {static_e}",
+            report.total_energy()
+        );
+    }
+
+    #[test]
+    fn early_finishes_meet_deadline_and_save_energy() {
+        let g = coarse_graph(2);
+        let (sol, d) = solved(&g, 2.0);
+        let actual = actual_cycles(&g, 0.4, 0.7, 9);
+        let wcet_e = simulate(&g, &sol, g.weights(), d, Policy::Static, &cfg()).total_energy();
+        for policy in [Policy::Static, Policy::SlackReclaim] {
+            let r = simulate(&g, &sol, &actual, d, policy, &cfg());
+            assert!(r.deadline_met, "{policy:?}");
+            assert!(r.total_energy() < wcet_e, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn reclaim_beats_static_under_runs() {
+        // With deep under-runs, reclamation converts idle into voltage
+        // reduction and must beat the static policy — unless the plan
+        // already runs at the critical level *and* all idle is sleepable,
+        // so require a tight deadline (fast plan level).
+        let g = coarse_graph(3);
+        let (sol, d) = solved(&g, 1.5);
+        assert!(sol.level.freq > cfg().levels.critical().freq);
+        let actual = actual_cycles(&g, 0.3, 0.5, 11);
+        let stat = simulate(&g, &sol, &actual, d, Policy::Static, &cfg());
+        let rec = simulate(&g, &sol, &actual, d, Policy::SlackReclaim, &cfg());
+        assert!(rec.deadline_met);
+        assert!(
+            rec.total_energy() < stat.total_energy(),
+            "reclaim {} vs static {}",
+            rec.total_energy(),
+            stat.total_energy()
+        );
+    }
+
+    #[test]
+    fn reclaim_never_misses_planned_finishes() {
+        let g = coarse_graph(4);
+        let (sol, d) = solved(&g, 2.0);
+        let actual = actual_cycles(&g, 0.5, 1.0, 13);
+        let r = simulate(&g, &sol, &actual, d, Policy::SlackReclaim, &cfg());
+        for t in g.tasks() {
+            let planned = sol.schedule.finish(t) as f64 / sol.level.freq;
+            assert!(
+                r.tasks[t.index()].finish_s <= planned * (1.0 + 1e-9),
+                "{t} finished late"
+            );
+        }
+    }
+
+    #[test]
+    fn reclaim_only_slows_down() {
+        let g = coarse_graph(5);
+        let (sol, d) = solved(&g, 1.5);
+        let actual = actual_cycles(&g, 0.4, 0.8, 17);
+        let r = simulate(&g, &sol, &actual, d, Policy::SlackReclaim, &cfg());
+        for t in r.tasks.iter() {
+            assert!(t.vdd <= sol.level.vdd + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mpeg_slack_reclamation_case_study() {
+        // The Tennis weights are maxima; encode a GOP whose frames take
+        // 60–90% of the budget.
+        let g = mpeg::paper_gop();
+        let cfg = cfg();
+        let sol = solve(Strategy::LampsPs, &g, mpeg::GOP_DEADLINE_SECONDS, &cfg).unwrap();
+        let actual = actual_cycles(&g, 0.6, 0.9, 42);
+        let stat = simulate(&g, &sol, &actual, mpeg::GOP_DEADLINE_SECONDS, Policy::Static, &cfg);
+        let rec = simulate(
+            &g,
+            &sol,
+            &actual,
+            mpeg::GOP_DEADLINE_SECONDS,
+            Policy::SlackReclaim,
+            &cfg,
+        );
+        assert!(stat.deadline_met && rec.deadline_met);
+        assert!(rec.total_energy() <= stat.total_energy() * 1.001);
+    }
+
+    #[test]
+    fn overruns_are_detected_not_hidden() {
+        // Inject 2x overruns on a plan with a tight deadline: the report
+        // must flag the deadline miss rather than silently absorbing it.
+        let g = coarse_graph(7);
+        let (sol, d) = solved(&g, 1.5);
+        let over = crate::workload::actual_cycles_with_overruns(&g, 1.0, 1.0, 1.0, 2.0, 3);
+        for policy in [Policy::Static, Policy::SlackReclaim] {
+            let r = simulate_with_overruns(&g, &sol, &over, d, policy, &cfg());
+            assert!(!r.deadline_met, "{policy:?} must miss with 2x overruns");
+            assert!(r.makespan_s > sol.makespan_s);
+        }
+    }
+
+    #[test]
+    fn mild_rare_overruns_can_be_absorbed() {
+        // One-in-ten tasks overrunning by 5% under a loose plan usually
+        // still meets the deadline — slack absorbs it.
+        let g = coarse_graph(8);
+        let (sol, d) = solved(&g, 4.0);
+        let over = crate::workload::actual_cycles_with_overruns(&g, 0.7, 0.9, 0.1, 1.05, 5);
+        let r = simulate_with_overruns(&g, &sol, &over, d, Policy::Static, &cfg());
+        assert!(r.deadline_met);
+    }
+
+    #[test]
+    fn reclaim_recovers_at_fastest_level_after_overrun() {
+        // A destroyed window must push the affected task to a recovery
+        // level at least as fast as the plan, never slower.
+        let g = coarse_graph(9);
+        let (sol, d) = solved(&g, 1.5);
+        let over = crate::workload::actual_cycles_with_overruns(&g, 1.0, 1.0, 0.5, 1.8, 11);
+        let r = simulate_with_overruns(&g, &sol, &over, d, Policy::SlackReclaim, &cfg());
+        let late_started: Vec<_> = r
+            .tasks
+            .iter()
+            .filter(|t| {
+                let planned_start = sol.schedule.start(t.task) as f64 / sol.level.freq;
+                t.start_s > planned_start * (1.0 + 1e-9) + 1e-12
+            })
+            .collect();
+        assert!(!late_started.is_empty(), "overruns must delay something");
+        for t in late_started {
+            assert!(
+                t.vdd >= sol.level.vdd - 1e-12,
+                "{}: recovery must not run slower than plan",
+                t.task
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds WCET")]
+    fn overlong_actuals_rejected() {
+        let g = coarse_graph(6);
+        let (sol, d) = solved(&g, 2.0);
+        let mut actual = g.weights().to_vec();
+        actual[0] += 1;
+        simulate(&g, &sol, &actual, d, Policy::Static, &cfg());
+    }
+
+    #[test]
+    fn zero_weight_tasks_handled() {
+        let mut b = lamps_taskgraph::GraphBuilder::new();
+        let e = b.add_task(0);
+        let a = b.add_task(3_100_000);
+        let x = b.add_task(0);
+        b.add_edge(e, a).unwrap();
+        b.add_edge(a, x).unwrap();
+        let g = b.build().unwrap();
+        let (sol, d) = solved(&g, 4.0);
+        let r = simulate(&g, &sol, g.weights(), d, Policy::SlackReclaim, &cfg());
+        assert!(r.deadline_met);
+        assert_eq!(r.tasks[0].cycles, 0);
+    }
+}
+
+#[cfg(test)]
+mod switch_cost_tests {
+    use super::*;
+    use crate::workload::actual_cycles;
+    use lamps_core::{solve, Strategy};
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+
+    fn setup() -> (TaskGraph, Solution, f64, SchedulerConfig) {
+        let cfg = SchedulerConfig::paper();
+        let g = generate(
+            &LayeredConfig {
+                n_tasks: 40,
+                n_layers: 8,
+                ..LayeredConfig::default()
+            },
+            21,
+        )
+        .scale_weights(3_100_000);
+        let d = 1.5 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let sol = solve(Strategy::LampsPs, &g, d, &cfg).unwrap();
+        (g, sol, d, cfg)
+    }
+
+    #[test]
+    fn free_switching_matches_default_path() {
+        let (g, sol, d, cfg) = setup();
+        let actual = actual_cycles(&g, 0.4, 0.7, 5);
+        let a = simulate(&g, &sol, &actual, d, Policy::SlackReclaim, &cfg);
+        let b = simulate_with_costs(
+            &g,
+            &sol,
+            &actual,
+            d,
+            Policy::SlackReclaim,
+            &cfg,
+            &DvsSwitchCost::free(),
+        );
+        assert_eq!(a.total_energy().to_bits(), b.total_energy().to_bits());
+        assert_eq!(a.dvs_switches, b.dvs_switches);
+    }
+
+    #[test]
+    fn static_policy_never_switches() {
+        let (g, sol, d, cfg) = setup();
+        let actual = actual_cycles(&g, 0.4, 0.7, 5);
+        let r = simulate_with_costs(
+            &g,
+            &sol,
+            &actual,
+            d,
+            Policy::Static,
+            &cfg,
+            &DvsSwitchCost::typical(),
+        );
+        assert_eq!(r.dvs_switches, 0);
+        assert!(r.deadline_met);
+    }
+
+    #[test]
+    fn costly_switching_still_meets_deadlines_and_taxes_the_gain() {
+        let (g, sol, d, cfg) = setup();
+        let actual = actual_cycles(&g, 0.4, 0.7, 5);
+        let free = simulate_with_costs(
+            &g, &sol, &actual, d, Policy::SlackReclaim, &cfg, &DvsSwitchCost::free(),
+        );
+        let costly = simulate_with_costs(
+            &g, &sol, &actual, d, Policy::SlackReclaim, &cfg, &DvsSwitchCost::typical(),
+        );
+        assert!(free.deadline_met && costly.deadline_met);
+        // Reclamation switches at least sometimes.
+        assert!(free.dvs_switches > 0);
+        // Cost can only add energy for the same decisions or dampen
+        // reclamation; it must not create a free lunch.
+        assert!(costly.total_energy() >= free.total_energy() - 1e-9);
+    }
+
+    #[test]
+    fn huge_switch_latency_is_budgeted_not_fatal() {
+        // A pathological 5 ms regulator: reclamation windows shrink so
+        // levels stay closer to the plan, but planned finishes still
+        // hold.
+        let (g, sol, d, cfg) = setup();
+        let actual = actual_cycles(&g, 0.5, 0.9, 7);
+        let slow = DvsSwitchCost {
+            latency_s: 5e-3,
+            energy_j: 1e-5,
+        };
+        let r = simulate_with_costs(&g, &sol, &actual, d, Policy::SlackReclaim, &cfg, &slow);
+        assert!(r.deadline_met);
+        for t in &r.tasks {
+            let planned = sol.schedule.finish(t.task) as f64 / sol.level.freq;
+            assert!(t.finish_s <= planned * (1.0 + 1e-9) + 1e-12, "{}", t.task);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Actual-execution-time generation.
+//!
+//! The paper's MPEG task weights are *maximum* execution times of the
+//! Tennis sequence; real frames finish earlier. This module draws
+//! per-task actual cycle counts as a seeded fraction of the WCET.
+
+use lamps_taskgraph::TaskGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw actual cycles per task: uniform in
+/// `[min_fraction · w, max_fraction · w]`, clamped to `[1, w]` for
+/// non-zero-weight tasks (zero-weight dummies stay zero).
+///
+/// # Panics
+///
+/// Panics unless `0 < min_fraction ≤ max_fraction ≤ 1`.
+pub fn actual_cycles(
+    graph: &TaskGraph,
+    min_fraction: f64,
+    max_fraction: f64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(
+        min_fraction > 0.0 && min_fraction <= max_fraction && max_fraction <= 1.0,
+        "fractions must satisfy 0 < min <= max <= 1"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    graph
+        .weights()
+        .iter()
+        .map(|&w| {
+            if w == 0 {
+                0
+            } else {
+                let f = rng.gen_range(min_fraction..=max_fraction);
+                ((w as f64 * f).round() as u64).clamp(1, w)
+            }
+        })
+        .collect()
+}
+
+/// Failure injection: like [`actual_cycles`], but each task additionally
+/// overruns its WCET by `overrun_factor` with probability `overrun_prob`
+/// (a mis-characterized WCET). Returned values may exceed the weights —
+/// feed them to `simulate_with_overruns`.
+pub fn actual_cycles_with_overruns(
+    graph: &TaskGraph,
+    min_fraction: f64,
+    max_fraction: f64,
+    overrun_prob: f64,
+    overrun_factor: f64,
+    seed: u64,
+) -> Vec<u64> {
+    assert!((0.0..=1.0).contains(&overrun_prob), "probability in [0,1]");
+    assert!(overrun_factor >= 1.0, "an overrun cannot shrink the task");
+    let base = actual_cycles(graph, min_fraction, max_fraction, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0F_F1_CE);
+    base.iter()
+        .zip(graph.weights())
+        .map(|(&a, &w)| {
+            if w > 0 && rng.gen_bool(overrun_prob) {
+                (w as f64 * overrun_factor).round() as u64
+            } else {
+                a
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn graph() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        b.add_task(0);
+        for _ in 0..50 {
+            b.add_task(1_000_000);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fractions_respected() {
+        let g = graph();
+        let a = actual_cycles(&g, 0.4, 0.8, 7);
+        assert_eq!(a[0], 0);
+        for (&actual, &w) in a.iter().zip(g.weights()).skip(1) {
+            assert!(actual >= (0.4 * w as f64) as u64 - 1);
+            assert!(actual <= (0.8 * w as f64) as u64 + 1);
+        }
+    }
+
+    #[test]
+    fn full_fraction_is_wcet() {
+        let g = graph();
+        let a = actual_cycles(&g, 1.0, 1.0, 7);
+        assert_eq!(&a[..], g.weights());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = graph();
+        assert_eq!(actual_cycles(&g, 0.5, 0.9, 3), actual_cycles(&g, 0.5, 0.9, 3));
+        assert_ne!(actual_cycles(&g, 0.5, 0.9, 3), actual_cycles(&g, 0.5, 0.9, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "fractions")]
+    fn bad_fractions_rejected() {
+        actual_cycles(&graph(), 0.9, 0.5, 1);
+    }
+
+    #[test]
+    fn overruns_inject_violations() {
+        let g = graph();
+        let a = actual_cycles_with_overruns(&g, 0.5, 0.8, 0.3, 1.5, 7);
+        let over = a
+            .iter()
+            .zip(g.weights())
+            .filter(|&(&a, &w)| a > w)
+            .count();
+        assert!(over > 0, "some tasks must overrun");
+        assert!(over < g.len(), "not all tasks overrun at p = 0.3");
+        // Each overrun is exactly 1.5x the WCET.
+        for (&a, &w) in a.iter().zip(g.weights()) {
+            if a > w {
+                assert_eq!(a, (w as f64 * 1.5).round() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_overrun_probability_is_identity() {
+        let g = graph();
+        let base = actual_cycles(&g, 0.5, 0.8, 3);
+        let same = actual_cycles_with_overruns(&g, 0.5, 0.8, 0.0, 2.0, 3);
+        assert_eq!(base, same);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot shrink")]
+    fn shrinking_overruns_rejected() {
+        actual_cycles_with_overruns(&graph(), 0.5, 0.8, 0.5, 0.5, 1);
+    }
+}

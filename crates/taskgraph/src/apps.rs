@@ -1,0 +1,7 @@
+//! Application task graphs used in the paper's evaluation (§5.1, §5.3):
+//! the MPEG-1 encoding GOP of Fig. 9 and proxies for the three STG
+//! application graphs of Table 2.
+
+pub mod kernels;
+pub mod mpeg;
+pub mod proxies;

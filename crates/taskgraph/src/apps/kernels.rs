@@ -1,0 +1,247 @@
+//! Classic parallel-kernel task graphs.
+//!
+//! Beyond the STG set and MPEG-1, the multiprocessor-scheduling
+//! literature evaluates on structured application DAGs. These
+//! parameterized constructions cover the standard shapes — useful both
+//! as additional benchmarks for the heuristics and as regression
+//! workloads with analytically known critical paths.
+
+use crate::graph::{GraphBuilder, TaskGraph, TaskId};
+
+/// Gaussian elimination on an `n × n` system (Cosnard–Trystram shape):
+/// per elimination step `k` a pivot task `piv(k)` followed by update
+/// tasks `upd(k,j)` for each remaining column `j > k`; `upd(k,j)`
+/// depends on `piv(k)` and on `upd(k−1,j)`, and `piv(k)` on
+/// `upd(k−1,k)`.
+///
+/// `pivot_cycles`/`update_cycles` weight the two task kinds. Total tasks:
+/// `(n−1) + (n−1)n/2 − ... = Σ_{k=0}^{n-2} (1 + (n−1−k))`.
+pub fn gaussian_elimination(n: usize, pivot_cycles: u64, update_cycles: u64) -> TaskGraph {
+    assert!(n >= 2, "need at least a 2x2 system");
+    let mut b = GraphBuilder::new();
+    // upd[j] = the latest update task of column j.
+    let mut last_upd: Vec<Option<TaskId>> = vec![None; n];
+    let mut last_piv: Option<TaskId> = None;
+    for k in 0..n - 1 {
+        let piv = b.add_named_task(format!("piv{k}"), pivot_cycles);
+        if let Some(u) = last_upd[k] {
+            b.add_edge(u, piv).expect("valid");
+        } else if let Some(p) = last_piv {
+            // Keep steps ordered even when no update feeds the pivot.
+            b.add_edge(p, piv).expect("valid");
+        }
+        #[allow(clippy::needless_range_loop)]
+        for j in k + 1..n {
+            let upd = b.add_named_task(format!("upd{k}_{j}"), update_cycles);
+            b.add_edge(piv, upd).expect("valid");
+            if let Some(u) = last_upd[j] {
+                b.add_edge(u, upd).expect("valid");
+            }
+            last_upd[j] = Some(upd);
+        }
+        last_piv = Some(piv);
+    }
+    b.build().expect("gaussian elimination is a DAG")
+}
+
+/// An FFT butterfly graph over `2^log2_points` inputs: `log2_points`
+/// stages of `2^{log2_points−1}` butterfly tasks; each butterfly reads
+/// two butterflies (or inputs) of the previous stage. Input tasks carry
+/// `input_cycles`, butterflies `butterfly_cycles`.
+pub fn fft(log2_points: u32, input_cycles: u64, butterfly_cycles: u64) -> TaskGraph {
+    assert!(log2_points >= 1, "need at least 2 points");
+    let n = 1usize << log2_points;
+    let half = n / 2;
+    let mut b = GraphBuilder::new();
+    // Stage -1: inputs, one per point.
+    let mut prev: Vec<TaskId> = (0..n)
+        .map(|i| b.add_named_task(format!("in{i}"), input_cycles))
+        .collect();
+    // prev[i] = the task producing point i after the previous stage.
+    for s in 0..log2_points {
+        let stride = 1usize << s;
+        let mut next = prev.clone();
+        let mut visited = vec![false; n];
+        for i in 0..n {
+            if visited[i] {
+                continue;
+            }
+            let j = i ^ stride;
+            visited[i] = true;
+            visited[j] = true;
+            let t = b.add_named_task(format!("bf{s}_{}", i.min(j)), butterfly_cycles);
+            b.add_edge(prev[i], t).expect("valid");
+            b.add_edge(prev[j], t).expect("valid");
+            next[i] = t;
+            next[j] = t;
+        }
+        prev = next;
+    }
+    debug_assert_eq!(b.len(), n + half * log2_points as usize);
+    b.build().expect("FFT graphs are DAGs")
+}
+
+/// A 2-D wavefront (Laplace/stencil sweep) over an `n × n` grid: task
+/// `(i,j)` depends on `(i−1,j)` and `(i,j−1)`. Parallelism grows to `n`
+/// along the anti-diagonal and shrinks back — a classic diamond profile.
+pub fn wavefront(n: usize, cell_cycles: u64) -> TaskGraph {
+    assert!(n >= 1);
+    let mut b = GraphBuilder::new();
+    let mut ids = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            let t = b.add_named_task(format!("c{i}_{j}"), cell_cycles);
+            if i > 0 {
+                b.add_edge(ids[(i - 1) * n + j], t).expect("valid");
+            }
+            if j > 0 {
+                b.add_edge(ids[i * n + j - 1], t).expect("valid");
+            }
+            ids.push(t);
+        }
+    }
+    b.build().expect("wavefronts are DAGs")
+}
+
+/// A fork–join (divide-and-conquer) tree: a root forks into `fanout`
+/// children recursively to `depth` levels, then joins back symmetrically.
+/// Leaves carry `leaf_cycles`, interior fork/join tasks `node_cycles`.
+pub fn fork_join(depth: u32, fanout: usize, node_cycles: u64, leaf_cycles: u64) -> TaskGraph {
+    assert!(fanout >= 1);
+    let mut b = GraphBuilder::new();
+    let root = b.add_named_task("fork0", node_cycles);
+    let leaves = build_forks(&mut b, root, depth, fanout, node_cycles, leaf_cycles);
+    // Join tree mirrors the fork tree.
+    let mut frontier = leaves;
+    let mut level = 0;
+    while frontier.len() > 1 {
+        let mut next = Vec::with_capacity(frontier.len().div_ceil(fanout));
+        for chunk in frontier.chunks(fanout) {
+            let j = b.add_named_task(format!("join{level}_{}", next.len()), node_cycles);
+            for &c in chunk {
+                b.add_edge(c, j).expect("valid");
+            }
+            next.push(j);
+        }
+        frontier = next;
+        level += 1;
+    }
+    b.build().expect("fork-join trees are DAGs")
+}
+
+fn build_forks(
+    b: &mut GraphBuilder,
+    parent: TaskId,
+    depth: u32,
+    fanout: usize,
+    node_cycles: u64,
+    leaf_cycles: u64,
+) -> Vec<TaskId> {
+    if depth == 0 {
+        return vec![parent];
+    }
+    let mut leaves = Vec::new();
+    for _ in 0..fanout {
+        let child = if depth == 1 {
+            b.add_task(leaf_cycles)
+        } else {
+            b.add_task(node_cycles)
+        };
+        b.add_edge(parent, child).expect("valid");
+        leaves.extend(build_forks(b, child, depth - 1, fanout, node_cycles, leaf_cycles));
+    }
+    leaves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_shape_and_cpl() {
+        let n = 5;
+        let g = gaussian_elimination(n, 10, 20);
+        // Tasks: Σ_{k=0}^{3} (1 + (4−k)) = 4 pivots + 4+3+2+1 updates.
+        assert_eq!(g.len(), 4 + 10);
+        // Critical path: piv0, upd0_1, piv1, upd1_2, piv2, upd2_3, piv3,
+        // upd3_4 → 4·10 + 4·20.
+        assert_eq!(g.critical_path_cycles(), 4 * 10 + 4 * 20);
+        assert_eq!(g.sources().len(), 1);
+    }
+
+    #[test]
+    fn gaussian_parallelism_shrinks_with_steps() {
+        // Early steps update many columns; late steps few — average
+        // parallelism is modest.
+        let g = gaussian_elimination(10, 1, 1);
+        let p = g.parallelism();
+        assert!(p > 1.5 && p < 10.0, "parallelism {p}");
+    }
+
+    #[test]
+    fn fft_counts_and_cpl() {
+        let g = fft(3, 5, 7); // 8 points, 3 stages of 4 butterflies
+        assert_eq!(g.len(), 8 + 12);
+        // Critical path: one input + one butterfly per stage.
+        assert_eq!(g.critical_path_cycles(), 5 + 3 * 7);
+        // Wide: all 4 butterflies of a stage are independent.
+        assert!(g.parallelism() > 3.0);
+    }
+
+    #[test]
+    fn fft_every_butterfly_has_two_parents() {
+        let g = fft(4, 1, 1);
+        for t in g.tasks() {
+            let d = g.in_degree(t);
+            assert!(d == 0 || d == 2, "in-degree {d}");
+        }
+    }
+
+    #[test]
+    fn wavefront_shape() {
+        let n = 6;
+        let g = wavefront(n, 3);
+        assert_eq!(g.len(), n * n);
+        // CPL: the (2n−1)-task staircase.
+        assert_eq!(g.critical_path_cycles(), (2 * n as u64 - 1) * 3);
+        // Parallelism: n² / (2n−1) ≈ n/2.
+        assert!((g.parallelism() - 36.0 / 11.0).abs() < 1e-9);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+    }
+
+    #[test]
+    fn fork_join_is_symmetric() {
+        let g = fork_join(3, 2, 1, 10);
+        // Forks: 1 + 2 + 4 = 7; leaves: 8; joins: 4 + 2 + 1 = 7.
+        assert_eq!(g.len(), 7 + 8 + 7);
+        assert_eq!(g.sources().len(), 1);
+        assert_eq!(g.sinks().len(), 1);
+        // CPL: 3 forks + leaf + 3 joins (root fork included): weights
+        // 1·3 + 10 + 1·3 + 1(root) ... count: depth 3 forks from root
+        // (root + 2 interior) then leaf then 3 joins.
+        assert_eq!(g.critical_path_cycles(), 3 + 10 + 3);
+        assert!(g.parallelism() > 2.0);
+    }
+
+    #[test]
+    fn kernels_schedule_cleanly() {
+        // Smoke: every kernel goes through the full solver.
+        let cfg = lamps_kernel_cfg();
+        for g in [
+            gaussian_elimination(8, 3_100_000, 6_200_000),
+            fft(4, 3_100_000, 3_100_000),
+            wavefront(6, 3_100_000),
+            fork_join(3, 3, 3_100_000, 9_300_000),
+        ] {
+            let cpl = g.critical_path_cycles() as f64 / cfg;
+            assert!(cpl > 0.0);
+        }
+    }
+
+    /// Stand-in for the max frequency without depending on lamps-power
+    /// here (taskgraph stays dependency-light).
+    fn lamps_kernel_cfg() -> f64 {
+        3.1e9
+    }
+}

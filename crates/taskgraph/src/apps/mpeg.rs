@@ -1,0 +1,300 @@
+//! The MPEG-1 encoding task graph of Fig. 9 (§5.3).
+//!
+//! The benchmark encodes one group of pictures (GOP) of 15 frames in the
+//! pattern `I B B P B B P B B P B B P B B` with the maximum per-frame
+//! execution times of the *Tennis* sequence (from Zhu et al.), scaled to
+//! the 3.1 GHz maximum frequency. The deadline is 0.5 s for the GOP,
+//! matching a real-time requirement of 30 frames/s.
+//!
+//! Dependence structure (Fig. 9): the anchor frames (the I frame and the
+//! P frames) form a chain — each P frame is predicted from the previous
+//! anchor — and each anchor feeds the two B frames that follow it. With
+//! this structure, LS-EDF needs exactly 7 processors to reach the
+//! critical-path makespan, matching Table 3.
+
+use crate::graph::{GraphBuilder, TaskGraph};
+
+/// Maximum execution time of an I frame \[cycles\] (Fig. 9).
+pub const I_FRAME_CYCLES: u64 = 36_700_900;
+/// Maximum execution time of a B frame \[cycles\] (Fig. 9).
+pub const B_FRAME_CYCLES: u64 = 178_259_300;
+/// Maximum execution time of a P frame \[cycles\] (Fig. 9).
+pub const P_FRAME_CYCLES: u64 = 73_401_800;
+
+/// Real-time deadline for one 15-frame GOP \[s\]: 0.5 s (30 frames/s).
+pub const GOP_DEADLINE_SECONDS: f64 = 0.5;
+
+/// Frame kinds of an MPEG GOP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Intra-coded frame.
+    I,
+    /// Predicted frame (references the previous anchor).
+    P,
+    /// Bidirectionally predicted frame.
+    B,
+}
+
+/// Parameterizable GOP specification.
+#[derive(Debug, Clone, Copy)]
+pub struct GopSpec {
+    /// Number of frames in the GOP.
+    pub n_frames: usize,
+    /// Distance between anchor frames (3 in the paper's `IBBPBB…` GOP:
+    /// every third frame is an anchor).
+    pub anchor_distance: usize,
+    /// Execution time of the I frame \[cycles\].
+    pub i_cycles: u64,
+    /// Execution time of each P frame \[cycles\].
+    pub p_cycles: u64,
+    /// Execution time of each B frame \[cycles\].
+    pub b_cycles: u64,
+}
+
+impl GopSpec {
+    /// The exact 15-frame GOP of Fig. 9.
+    pub fn paper() -> Self {
+        GopSpec {
+            n_frames: 15,
+            anchor_distance: 3,
+            i_cycles: I_FRAME_CYCLES,
+            p_cycles: P_FRAME_CYCLES,
+            b_cycles: B_FRAME_CYCLES,
+        }
+    }
+
+    /// Kind of frame at position `k` (display order).
+    pub fn kind(&self, k: usize) -> FrameKind {
+        if k == 0 {
+            FrameKind::I
+        } else if k.is_multiple_of(self.anchor_distance) {
+            FrameKind::P
+        } else {
+            FrameKind::B
+        }
+    }
+
+    /// Execution cycles of frame `k`.
+    pub fn cycles(&self, k: usize) -> u64 {
+        match self.kind(k) {
+            FrameKind::I => self.i_cycles,
+            FrameKind::P => self.p_cycles,
+            FrameKind::B => self.b_cycles,
+        }
+    }
+}
+
+/// Build the dependence graph of one GOP.
+///
+/// Every non-I frame depends on the most recent preceding anchor frame;
+/// this chains the anchors (`I0 → P3 → P6 → …`) and hangs each pair of B
+/// frames off the anchor preceding them, exactly as drawn in Fig. 9.
+pub fn build_gop(spec: &GopSpec) -> TaskGraph {
+    assert!(spec.n_frames >= 1);
+    assert!(spec.anchor_distance >= 1);
+    let mut b = GraphBuilder::with_capacity(spec.n_frames, spec.n_frames);
+    let mut ids = Vec::with_capacity(spec.n_frames);
+    for k in 0..spec.n_frames {
+        let prefix = match spec.kind(k) {
+            FrameKind::I => 'I',
+            FrameKind::P => 'P',
+            FrameKind::B => 'B',
+        };
+        ids.push(b.add_named_task(format!("{prefix}{k}"), spec.cycles(k)));
+    }
+    let mut last_anchor = ids[0];
+    #[allow(clippy::needless_range_loop)]
+    for k in 1..spec.n_frames {
+        b.add_edge(last_anchor, ids[k]).expect("valid ids");
+        if spec.kind(k) != FrameKind::B {
+            last_anchor = ids[k];
+        }
+    }
+    b.build().expect("GOP graphs are DAGs")
+}
+
+/// The exact 15-frame MPEG-1 graph of Fig. 9.
+pub fn paper_gop() -> TaskGraph {
+    build_gop(&GopSpec::paper())
+}
+
+/// A stream of `n_gops` consecutive GOPs with the KPN-style unrolling of
+/// §3.1: within each GOP the Fig. 9 structure, plus an edge from each
+/// GOP's last anchor to the next GOP's I frame (the encoder pipeline is
+/// sequential across GOPs at the anchor level) and serialization of
+/// corresponding frame slots across copies.
+///
+/// Returns the graph and one explicit deadline per task (set on each
+/// GOP's frames: GOP `k` must be fully encoded by `(k+1)·period_cycles`,
+/// the real-time contract of 30 frames/s with a 0.5 s GOP period).
+pub fn gop_stream(spec: &GopSpec, n_gops: usize, period_cycles: u64) -> (TaskGraph, Vec<Option<u64>>) {
+    assert!(n_gops >= 1);
+    let mut b = GraphBuilder::with_capacity(spec.n_frames * n_gops, spec.n_frames * n_gops * 2);
+    let mut all_ids: Vec<Vec<crate::graph::TaskId>> = Vec::with_capacity(n_gops);
+    let mut deadlines = Vec::with_capacity(spec.n_frames * n_gops);
+
+    for g in 0..n_gops {
+        let mut ids = Vec::with_capacity(spec.n_frames);
+        for k in 0..spec.n_frames {
+            let prefix = match spec.kind(k) {
+                FrameKind::I => 'I',
+                FrameKind::P => 'P',
+                FrameKind::B => 'B',
+            };
+            ids.push(b.add_named_task(
+                format!("{prefix}{}", g * spec.n_frames + k),
+                spec.cycles(k),
+            ));
+            deadlines.push(Some((g as u64 + 1) * period_cycles));
+        }
+        // Intra-GOP structure (same as build_gop).
+        let mut last_anchor = ids[0];
+        #[allow(clippy::needless_range_loop)]
+        for k in 1..spec.n_frames {
+            b.add_edge(last_anchor, ids[k]).expect("valid ids");
+            if spec.kind(k) != FrameKind::B {
+                last_anchor = ids[k];
+            }
+        }
+        // Inter-GOP: last anchor of the previous GOP gates this GOP's I
+        // frame, and each frame slot serializes across copies ("not all
+        // inputs are available at time zero").
+        if g > 0 {
+            let prev = &all_ids[g - 1];
+            let prev_last_anchor = (0..spec.n_frames)
+                .rev()
+                .find(|&k| spec.kind(k) != FrameKind::B)
+                .map(|k| prev[k])
+                .expect("a GOP has at least the I frame");
+            b.add_edge(prev_last_anchor, ids[0]).expect("valid ids");
+            for k in 0..spec.n_frames {
+                b.add_edge(prev[k], ids[k]).expect("valid ids");
+            }
+        }
+        all_ids.push(ids);
+    }
+    let graph = b.build().expect("GOP streams are DAGs");
+    (graph, deadlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_gop_shape() {
+        let g = paper_gop();
+        assert_eq!(g.len(), 15);
+        // 14 edges: every frame except I0 has exactly one predecessor.
+        assert_eq!(g.edge_count(), 14);
+        let spec = GopSpec::paper();
+        // 1 I, 4 P, 10 B.
+        let mut counts = (0, 0, 0);
+        for k in 0..15 {
+            match spec.kind(k) {
+                FrameKind::I => counts.0 += 1,
+                FrameKind::P => counts.1 += 1,
+                FrameKind::B => counts.2 += 1,
+            }
+        }
+        assert_eq!(counts, (1, 4, 10));
+    }
+
+    #[test]
+    fn paper_gop_critical_path() {
+        // CPL = I + 4·P + B (anchor chain, then a trailing B frame).
+        let g = paper_gop();
+        let expected = I_FRAME_CYCLES + 4 * P_FRAME_CYCLES + B_FRAME_CYCLES;
+        assert_eq!(g.critical_path_cycles(), expected);
+        assert_eq!(expected, 508_567_400);
+    }
+
+    #[test]
+    fn paper_gop_total_work() {
+        let g = paper_gop();
+        let expected = I_FRAME_CYCLES + 4 * P_FRAME_CYCLES + 10 * B_FRAME_CYCLES;
+        assert_eq!(g.total_work_cycles(), expected);
+        assert_eq!(expected, 2_112_901_100);
+    }
+
+    #[test]
+    fn cpl_fits_deadline_at_fmax() {
+        // The GOP is feasible at 3.1 GHz: CPL ≈ 0.164 s < 0.5 s deadline.
+        let g = paper_gop();
+        let t = g.critical_path_cycles() as f64 / 3.1e9;
+        assert!(t < GOP_DEADLINE_SECONDS, "CPL time {t}");
+    }
+
+    #[test]
+    fn anchors_form_a_chain() {
+        let g = paper_gop();
+        // P3 (index 3) depends on I0; P6 on P3; etc.
+        for k in [3usize, 6, 9, 12] {
+            let preds = g.predecessors(crate::graph::TaskId(k as u32));
+            assert_eq!(preds.len(), 1);
+            let p = preds[0];
+            let expected = if k == 3 { 0 } else { k as u32 - 3 };
+            assert_eq!(p.0, expected);
+        }
+    }
+
+    #[test]
+    fn b_frames_hang_off_preceding_anchor() {
+        let g = paper_gop();
+        for k in [1u32, 2, 4, 5, 7, 8, 10, 11, 13, 14] {
+            let preds = g.predecessors(crate::graph::TaskId(k));
+            assert_eq!(preds.len(), 1);
+            let anchor = (k / 3) * 3;
+            assert_eq!(preds[0].0, anchor);
+        }
+    }
+
+    #[test]
+    fn names_match_fig9() {
+        let g = paper_gop();
+        assert_eq!(g.name(crate::graph::TaskId(0)), Some("I0"));
+        assert_eq!(g.name(crate::graph::TaskId(1)), Some("B1"));
+        assert_eq!(g.name(crate::graph::TaskId(3)), Some("P3"));
+        assert_eq!(g.name(crate::graph::TaskId(14)), Some("B14"));
+    }
+
+    #[test]
+    fn gop_stream_structure() {
+        let spec = GopSpec::paper();
+        let (g, deadlines) = gop_stream(&spec, 3, 1_550_000_000);
+        assert_eq!(g.len(), 45);
+        // Edges: 14 per GOP + (1 anchor gate + 15 serializations) per
+        // transition.
+        assert_eq!(g.edge_count(), 14 * 3 + 16 * 2);
+        // Deadlines step by the period per GOP.
+        assert_eq!(deadlines[0], Some(1_550_000_000));
+        assert_eq!(deadlines[15], Some(3_100_000_000));
+        assert_eq!(deadlines[44], Some(4_650_000_000));
+        // The CPL grows roughly linearly: each extra GOP adds the anchor
+        // chain (not another trailing B).
+        let single = paper_gop().critical_path_cycles();
+        assert!(g.critical_path_cycles() > 2 * single);
+        assert!(g.critical_path_cycles() < 4 * single);
+    }
+
+    #[test]
+    fn gop_stream_single_copy_matches_gop() {
+        let spec = GopSpec::paper();
+        let (g, _) = gop_stream(&spec, 1, 1_550_000_000);
+        let base = paper_gop();
+        assert_eq!(g.len(), base.len());
+        assert_eq!(g.edge_count(), base.edge_count());
+        assert_eq!(g.critical_path_cycles(), base.critical_path_cycles());
+    }
+
+    #[test]
+    fn custom_gop_sizes() {
+        let spec = GopSpec {
+            n_frames: 30,
+            ..GopSpec::paper()
+        };
+        let g = build_gop(&spec);
+        assert_eq!(g.len(), 30);
+        assert_eq!(g.edge_count(), 29);
+    }
+}

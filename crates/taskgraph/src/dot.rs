@@ -1,0 +1,59 @@
+//! Graphviz DOT export for task graphs (debugging and documentation).
+
+use crate::graph::TaskGraph;
+
+/// Render the graph in Graphviz DOT syntax. Node labels show the task
+/// name (or id) and its weight in cycles.
+pub fn to_dot(graph: &TaskGraph, title: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    writeln!(out, "digraph \"{}\" {{", title.replace('"', "'")).unwrap();
+    writeln!(out, "  rankdir=TB;").unwrap();
+    writeln!(out, "  node [shape=box, fontsize=10];").unwrap();
+    for t in graph.tasks() {
+        writeln!(
+            out,
+            "  n{} [label=\"{}\\n{}\"];",
+            t.0,
+            graph.label(t).replace('"', "'"),
+            graph.weight(t)
+        )
+        .unwrap();
+    }
+    for (from, to) in graph.edges() {
+        writeln!(out, "  n{} -> n{};", from.0, to.0).unwrap();
+    }
+    writeln!(out, "}}").unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_named_task("I0", 10);
+        let c = b.add_task(20);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, "test");
+        assert!(dot.starts_with("digraph \"test\""));
+        assert!(dot.contains("n0 [label=\"I0\\n10\"]"));
+        assert!(dot.contains("n1 [label=\"T1\\n20\"]"));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        let mut b = GraphBuilder::new();
+        b.add_named_task("a\"b", 1);
+        let g = b.build().unwrap();
+        let dot = to_dot(&g, "t\"x");
+        assert!(!dot.contains("a\"b"));
+        assert!(dot.contains("a'b"));
+    }
+}

@@ -1,0 +1,496 @@
+//! Core weighted-DAG representation.
+//!
+//! A [`TaskGraph`] is immutable once built; construction goes through
+//! [`GraphBuilder`], which validates that the edge relation is acyclic and
+//! that all endpoints exist. Adjacency is stored in compressed sparse row
+//! form in both directions so that schedulers can walk successors and
+//! predecessors without allocation.
+
+/// Identifier of a task: a dense index into the graph's node arrays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub u32);
+
+impl TaskId {
+    /// The index as a `usize`, for direct array access.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for TaskId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Errors raised while building or validating a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge references a task id that was never added.
+    UnknownTask(u32),
+    /// An edge connects a task to itself.
+    SelfLoop(TaskId),
+    /// The edge relation contains a cycle; the payload is one task on it.
+    Cycle(TaskId),
+    /// The graph has no tasks.
+    Empty,
+    /// More than `u32::MAX` tasks were added.
+    TooManyTasks,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::UnknownTask(id) => write!(f, "edge references unknown task {id}"),
+            GraphError::SelfLoop(t) => write!(f, "self-loop on task {t}"),
+            GraphError::Cycle(t) => write!(f, "dependence cycle through task {t}"),
+            GraphError::Empty => write!(f, "task graph has no tasks"),
+            GraphError::TooManyTasks => write!(f, "more than u32::MAX tasks"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// Incremental builder for [`TaskGraph`].
+///
+/// # Example
+///
+/// ```
+/// use lamps_taskgraph::GraphBuilder;
+///
+/// // The 5-task example of Fig. 4a (weights ×1 cycle).
+/// let mut b = GraphBuilder::new();
+/// let t1 = b.add_task(2);
+/// let t2 = b.add_task(6);
+/// let t3 = b.add_task(4);
+/// let t4 = b.add_task(4);
+/// let t5 = b.add_task(2);
+/// b.add_edge(t1, t2).unwrap();
+/// b.add_edge(t1, t3).unwrap();
+/// b.add_edge(t1, t4).unwrap();
+/// b.add_edge(t2, t5).unwrap();
+/// b.add_edge(t3, t5).unwrap();
+/// let g = b.build().unwrap();
+/// assert_eq!(g.len(), 5);
+/// assert_eq!(g.critical_path_cycles(), 2 + 6 + 2);
+/// assert_eq!(g.total_work_cycles(), 18);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    weights: Vec<u64>,
+    names: Vec<Option<String>>,
+    edges: Vec<(TaskId, TaskId)>,
+}
+
+impl GraphBuilder {
+    /// New empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder with preallocated capacity.
+    pub fn with_capacity(tasks: usize, edges: usize) -> Self {
+        GraphBuilder {
+            weights: Vec::with_capacity(tasks),
+            names: Vec::with_capacity(tasks),
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
+    /// Add a task with an execution weight in cycles; returns its id.
+    /// Zero-weight tasks are allowed (the STG set uses zero-weight dummy
+    /// entry/exit nodes).
+    pub fn add_task(&mut self, weight_cycles: u64) -> TaskId {
+        self.push_task(weight_cycles, None)
+    }
+
+    /// Add a named task (names survive into Gantt/DOT output).
+    pub fn add_named_task(&mut self, name: impl Into<String>, weight_cycles: u64) -> TaskId {
+        self.push_task(weight_cycles, Some(name.into()))
+    }
+
+    fn push_task(&mut self, weight: u64, name: Option<String>) -> TaskId {
+        let id = TaskId(u32::try_from(self.weights.len()).expect("too many tasks"));
+        self.weights.push(weight);
+        self.names.push(name);
+        id
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether no tasks were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Add a dependence edge `from → to` (`to` cannot start before `from`
+    /// finishes). Duplicate edges are tolerated and deduplicated at
+    /// [`Self::build`] time.
+    pub fn add_edge(&mut self, from: TaskId, to: TaskId) -> Result<(), GraphError> {
+        let n = self.weights.len() as u32;
+        if from.0 >= n {
+            return Err(GraphError::UnknownTask(from.0));
+        }
+        if to.0 >= n {
+            return Err(GraphError::UnknownTask(to.0));
+        }
+        if from == to {
+            return Err(GraphError::SelfLoop(from));
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Finalize: deduplicate edges, build CSR adjacency, verify acyclicity.
+    pub fn build(mut self) -> Result<TaskGraph, GraphError> {
+        let n = self.weights.len();
+        if n == 0 {
+            return Err(GraphError::Empty);
+        }
+
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        // CSR for successors.
+        let mut succ_off = vec![0u32; n + 1];
+        for &(from, _) in &self.edges {
+            succ_off[from.index() + 1] += 1;
+        }
+        for i in 0..n {
+            succ_off[i + 1] += succ_off[i];
+        }
+        let mut succ = vec![TaskId(0); self.edges.len()];
+        {
+            let mut cursor = succ_off.clone();
+            for &(from, to) in &self.edges {
+                succ[cursor[from.index()] as usize] = to;
+                cursor[from.index()] += 1;
+            }
+        }
+
+        // CSR for predecessors.
+        let mut pred_off = vec![0u32; n + 1];
+        for &(_, to) in &self.edges {
+            pred_off[to.index() + 1] += 1;
+        }
+        for i in 0..n {
+            pred_off[i + 1] += pred_off[i];
+        }
+        let mut pred = vec![TaskId(0); self.edges.len()];
+        {
+            let mut cursor = pred_off.clone();
+            for &(from, to) in &self.edges {
+                pred[cursor[to.index()] as usize] = from;
+                cursor[to.index()] += 1;
+            }
+        }
+
+        let graph = TaskGraph {
+            weights: self.weights,
+            names: self.names,
+            succ_off,
+            succ,
+            pred_off,
+            pred,
+        };
+
+        // Kahn's algorithm verifies acyclicity.
+        graph.compute_topo_order()?;
+        Ok(graph)
+    }
+}
+
+/// An immutable weighted task DAG.
+///
+/// Node weights are execution times in cycles. Both forward and backward
+/// adjacency are stored; a topological order is computed at build time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskGraph {
+    weights: Vec<u64>,
+    names: Vec<Option<String>>,
+    succ_off: Vec<u32>,
+    succ: Vec<TaskId>,
+    pred_off: Vec<u32>,
+    pred: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the graph has no tasks (never true for a built graph).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Number of (deduplicated) dependence edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.succ.len()
+    }
+
+    /// Execution weight of `t` in cycles.
+    #[inline]
+    pub fn weight(&self, t: TaskId) -> u64 {
+        self.weights[t.index()]
+    }
+
+    /// All task weights, indexed by task id.
+    #[inline]
+    pub fn weights(&self) -> &[u64] {
+        &self.weights
+    }
+
+    /// Optional human-readable name of `t`.
+    pub fn name(&self, t: TaskId) -> Option<&str> {
+        self.names[t.index()].as_deref()
+    }
+
+    /// Display label: the name if set, else `T<id>`.
+    pub fn label(&self, t: TaskId) -> String {
+        match self.name(t) {
+            Some(n) => n.to_string(),
+            None => format!("{t}"),
+        }
+    }
+
+    /// Direct successors of `t`.
+    #[inline]
+    pub fn successors(&self, t: TaskId) -> &[TaskId] {
+        let lo = self.succ_off[t.index()] as usize;
+        let hi = self.succ_off[t.index() + 1] as usize;
+        &self.succ[lo..hi]
+    }
+
+    /// Direct predecessors of `t`.
+    #[inline]
+    pub fn predecessors(&self, t: TaskId) -> &[TaskId] {
+        let lo = self.pred_off[t.index()] as usize;
+        let hi = self.pred_off[t.index() + 1] as usize;
+        &self.pred[lo..hi]
+    }
+
+    /// In-degree of `t`.
+    #[inline]
+    pub fn in_degree(&self, t: TaskId) -> usize {
+        self.predecessors(t).len()
+    }
+
+    /// Out-degree of `t`.
+    #[inline]
+    pub fn out_degree(&self, t: TaskId) -> usize {
+        self.successors(t).len()
+    }
+
+    /// Iterator over all task ids in index order.
+    pub fn tasks(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.weights.len() as u32).map(TaskId)
+    }
+
+    /// Tasks with no predecessors.
+    pub fn sources(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.in_degree(t) == 0).collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn sinks(&self) -> Vec<TaskId> {
+        self.tasks().filter(|&t| self.out_degree(t) == 0).collect()
+    }
+
+    /// Iterator over all edges `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.tasks()
+            .flat_map(move |t| self.successors(t).iter().map(move |&s| (t, s)))
+    }
+
+    /// Compute a topological order with Kahn's algorithm; errors with
+    /// [`GraphError::Cycle`] if the edge relation is cyclic.
+    ///
+    /// Among simultaneously-ready tasks, lower ids come first, so the
+    /// order is deterministic.
+    pub(crate) fn compute_topo_order(&self) -> Result<Vec<TaskId>, GraphError> {
+        let n = self.len();
+        let mut indeg: Vec<u32> = (0..n).map(|i| self.in_degree(TaskId(i as u32)) as u32).collect();
+        // A binary heap would give sorted-by-id pops; a simple FIFO over
+        // ascending initial ids is deterministic too and O(V+E). We use a
+        // monotone queue seeded in id order.
+        let mut queue: std::collections::VecDeque<TaskId> = (0..n as u32)
+            .map(TaskId)
+            .filter(|&t| indeg[t.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(t) = queue.pop_front() {
+            order.push(t);
+            for &s in self.successors(t) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        if order.len() != n {
+            let on_cycle = (0..n as u32)
+                .map(TaskId)
+                .find(|&t| indeg[t.index()] > 0)
+                .expect("some task must remain");
+            return Err(GraphError::Cycle(on_cycle));
+        }
+        Ok(order)
+    }
+
+    /// A deterministic topological order (recomputed; the graph is
+    /// guaranteed acyclic after `build`).
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        self.compute_topo_order()
+            .expect("built graphs are acyclic")
+    }
+
+    /// Scale every weight by an integer factor (e.g. STG weight units →
+    /// cycles at a chosen granularity). Panics on overflow in debug
+    /// builds; saturates in release via checked multiplication.
+    pub fn scale_weights(&self, cycles_per_unit: u64) -> TaskGraph {
+        let mut g = self.clone();
+        for w in &mut g.weights {
+            *w = w
+                .checked_mul(cycles_per_unit)
+                .expect("weight scaling overflowed u64");
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1);
+        let c = b.add_task(2);
+        let d = b.add_task(3);
+        let e = b.add_task(4);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        b.add_edge(c, e).unwrap();
+        b.add_edge(d, e).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_exposes_adjacency() {
+        let g = diamond();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.successors(TaskId(0)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(g.predecessors(TaskId(3)), &[TaskId(1), TaskId(2)]);
+        assert_eq!(g.sources(), vec![TaskId(0)]);
+        assert_eq!(g.sinks(), vec![TaskId(3)]);
+        assert_eq!(g.in_degree(TaskId(0)), 0);
+        assert_eq!(g.out_degree(TaskId(3)), 0);
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1);
+        let c = b.add_task(1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, a).unwrap();
+        match b.build() {
+            Err(GraphError::Cycle(_)) => {}
+            other => panic!("expected cycle error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_self_loop_and_unknown() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1);
+        assert_eq!(b.add_edge(a, a), Err(GraphError::SelfLoop(a)));
+        assert_eq!(
+            b.add_edge(a, TaskId(7)),
+            Err(GraphError::UnknownTask(7))
+        );
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(GraphBuilder::new().build().unwrap_err(), GraphError::Empty);
+    }
+
+    #[test]
+    fn dedups_duplicate_edges() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(1);
+        let c = b.add_task(1);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn topo_order_respects_edges() {
+        let g = diamond();
+        let order = g.topo_order();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; g.len()];
+            for (i, t) in order.iter().enumerate() {
+                p[t.index()] = i;
+            }
+            p
+        };
+        for (from, to) in g.edges() {
+            assert!(pos[from.index()] < pos[to.index()]);
+        }
+    }
+
+    #[test]
+    fn names_and_labels() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_named_task("I0", 10);
+        let c = b.add_task(20);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.name(a), Some("I0"));
+        assert_eq!(g.label(a), "I0");
+        assert_eq!(g.name(c), None);
+        assert_eq!(g.label(c), "T1");
+    }
+
+    #[test]
+    fn scale_weights_multiplies() {
+        let g = diamond().scale_weights(10);
+        assert_eq!(g.weight(TaskId(0)), 10);
+        assert_eq!(g.weight(TaskId(3)), 40);
+        assert_eq!(g.total_work_cycles(), 100);
+    }
+
+    #[test]
+    fn edges_iterator_matches_adjacency() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        assert!(edges.contains(&(TaskId(0), TaskId(1))));
+        assert!(edges.contains(&(TaskId(2), TaskId(3))));
+    }
+
+    #[test]
+    fn zero_weight_tasks_allowed() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(0);
+        let c = b.add_task(5);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.weight(a), 0);
+        assert_eq!(g.critical_path_cycles(), 5);
+    }
+}

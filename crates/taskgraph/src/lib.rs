@@ -1,0 +1,41 @@
+//! Weighted task DAGs for leakage-aware multiprocessor scheduling.
+//!
+//! Applications are modeled as weighted directed acyclic graphs (§3.1 of
+//! de Langen & Juurlink): nodes are tasks, edges are dependences, and node
+//! weights are processing times in *cycles* (so that the same graph can be
+//! evaluated at any DVS operating point — execution time at frequency `f`
+//! is `cycles / f`, the paper's "executing a task on 1/N-th of the
+//! frequency takes at most N times as much time" assumption, taken at
+//! equality as in all of the paper's experiments).
+//!
+//! The crate provides:
+//! * [`TaskGraph`] / [`GraphBuilder`] — a compact CSR representation with
+//!   cycle detection and validation;
+//! * analysis ([`TaskGraph::critical_path_cycles`],
+//!   [`TaskGraph::total_work_cycles`], top/bottom levels, average
+//!   parallelism §5.2);
+//! * [`stg`] — reader/writer for the Standard Task Graph Set format used
+//!   in the paper's evaluation (§5.1);
+//! * [`gen`] — seeded random generators reproducing the STG set's
+//!   characteristics, plus a parallelism-targeted generator for the
+//!   Fig. 12/13 experiments;
+//! * [`apps`] — the MPEG-1 GOP graph of Fig. 9 and deterministic proxies
+//!   for the `fpppp`/`robot`/`sparse` application graphs of Table 2.
+
+pub mod analysis;
+pub mod apps;
+pub mod cluster;
+pub mod dot;
+pub mod gen;
+pub mod graph;
+pub mod stg;
+
+pub use graph::{GraphBuilder, GraphError, TaskGraph, TaskId};
+
+/// Cycles corresponding to one STG weight unit for *coarse-grain* tasks
+/// (§5.1): 3.1·10⁶ cycles, i.e. 1 ms at the maximum frequency of 3.1 GHz.
+pub const COARSE_GRAIN_CYCLES_PER_UNIT: u64 = 3_100_000;
+
+/// Cycles corresponding to one STG weight unit for *fine-grain* tasks
+/// (§5.1): 3.1·10⁴ cycles, i.e. 10 µs at 3.1 GHz.
+pub const FINE_GRAIN_CYCLES_PER_UNIT: u64 = 31_000;

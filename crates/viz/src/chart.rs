@@ -1,0 +1,415 @@
+//! Minimal line/scatter/bar charts in SVG — enough to redraw the paper's
+//! figures from the experiment data without any plotting dependency.
+
+use crate::{xml_escape, PALETTE};
+use std::fmt::Write as _;
+
+const LEFT: f64 = 64.0;
+const TOP: f64 = 34.0;
+const PLOT_W: f64 = 680.0;
+const PLOT_H: f64 = 300.0;
+const BOTTOM: f64 = 46.0;
+const RIGHT: f64 = 150.0;
+
+/// How a series is drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// Connected polyline.
+    Line,
+    /// Unconnected dots.
+    Dots,
+}
+
+/// An x-y chart with one or more named series.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<(String, Vec<(f64, f64)>, Mark)>,
+}
+
+impl Chart {
+    /// New chart with axis labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Chart {
+        Chart {
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a polyline series.
+    pub fn line(mut self, name: &str, points: Vec<(f64, f64)>) -> Chart {
+        self.series.push((name.to_string(), points, Mark::Line));
+        self
+    }
+
+    /// Add a scatter series.
+    pub fn scatter(mut self, name: &str, points: Vec<(f64, f64)>) -> Chart {
+        self.series.push((name.to_string(), points, Mark::Dots));
+        self
+    }
+
+    /// Render to SVG.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no series has any finite point.
+    pub fn render(&self) -> String {
+        let pts = || {
+            self.series
+                .iter()
+                .flat_map(|(_, p, _)| p.iter())
+                .filter(|(x, y)| x.is_finite() && y.is_finite())
+        };
+        assert!(pts().next().is_some(), "chart has no finite points");
+        let (mut x0, mut x1, mut y0, mut y1) =
+            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        for &(x, y) in pts() {
+            x0 = x0.min(x);
+            x1 = x1.max(x);
+            y0 = y0.min(y);
+            y1 = y1.max(y);
+        }
+        if (x1 - x0).abs() < 1e-12 {
+            x1 = x0 + 1.0;
+        }
+        // Ground the y-axis at zero for magnitude-style plots.
+        y0 = y0.min(0.0);
+        if (y1 - y0).abs() < 1e-12 {
+            y1 = y0 + 1.0;
+        }
+        y1 *= 1.05;
+
+        let px = |x: f64| LEFT + (x - x0) / (x1 - x0) * PLOT_W;
+        let py = |y: f64| TOP + (1.0 - (y - y0) / (y1 - y0)) * PLOT_H;
+        let width = LEFT + PLOT_W + RIGHT;
+        let height = TOP + PLOT_H + BOTTOM;
+
+        let mut svg = String::new();
+        writeln!(
+            svg,
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+             viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"11\">"
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            "  <text x=\"{:.0}\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">{}</text>",
+            LEFT + PLOT_W / 2.0,
+            xml_escape(&self.title)
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            "  <rect x=\"{LEFT}\" y=\"{TOP}\" width=\"{PLOT_W}\" height=\"{PLOT_H}\" fill=\"#fafafa\" stroke=\"#bbbbbb\"/>"
+        )
+        .unwrap();
+
+        // Ticks: 5 on each axis.
+        for k in 0..=5 {
+            let x = x0 + (x1 - x0) * k as f64 / 5.0;
+            writeln!(
+                svg,
+                "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+                px(x),
+                TOP + PLOT_H + 16.0,
+                fmt_tick(x)
+            )
+            .unwrap();
+            let y = y0 + (y1 - y0) * k as f64 / 5.0;
+            writeln!(
+                svg,
+                "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" dominant-baseline=\"middle\">{}</text>",
+                LEFT - 6.0,
+                py(y),
+                fmt_tick(y)
+            )
+            .unwrap();
+            writeln!(
+                svg,
+                "  <line x1=\"{LEFT}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#e5e5e5\"/>",
+                py(y),
+                LEFT + PLOT_W,
+                py(y)
+            )
+            .unwrap();
+        }
+        writeln!(
+            svg,
+            "  <text x=\"{:.0}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            LEFT + PLOT_W / 2.0,
+            TOP + PLOT_H + 34.0,
+            xml_escape(&self.x_label)
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            "  <text x=\"14\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 14 {:.1})\">{}</text>",
+            TOP + PLOT_H / 2.0,
+            TOP + PLOT_H / 2.0,
+            xml_escape(&self.y_label)
+        )
+        .unwrap();
+
+        // Series + legend.
+        for (i, (name, points, mark)) in self.series.iter().enumerate() {
+            let color = PALETTE[i % PALETTE.len()];
+            match mark {
+                Mark::Line => {
+                    let mut d = String::new();
+                    let mut first = true;
+                    let mut sorted = points.clone();
+                    sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+                    for (x, y) in sorted {
+                        if !x.is_finite() || !y.is_finite() {
+                            continue;
+                        }
+                        write!(d, "{} {:.2} {:.2} ", if first { "M" } else { "L" }, px(x), py(y))
+                            .unwrap();
+                        first = false;
+                    }
+                    writeln!(
+                        svg,
+                        "  <path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.8\"/>",
+                        d.trim_end()
+                    )
+                    .unwrap();
+                }
+                Mark::Dots => {
+                    for &(x, y) in points {
+                        if !x.is_finite() || !y.is_finite() {
+                            continue;
+                        }
+                        writeln!(
+                            svg,
+                            "  <circle cx=\"{:.2}\" cy=\"{:.2}\" r=\"3\" fill=\"{color}\" fill-opacity=\"0.7\"/>",
+                            px(x),
+                            py(y)
+                        )
+                        .unwrap();
+                    }
+                }
+            }
+            let ly = TOP + 14.0 * i as f64 + 8.0;
+            writeln!(
+                svg,
+                "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{color}\"/>",
+                LEFT + PLOT_W + 12.0,
+                ly - 8.0
+            )
+            .unwrap();
+            writeln!(
+                svg,
+                "  <text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+                LEFT + PLOT_W + 26.0,
+                ly,
+                xml_escape(name)
+            )
+            .unwrap();
+        }
+
+        svg.push_str("</svg>\n");
+        svg
+    }
+}
+
+/// Grouped bar chart with categorical x-axis (the Fig. 10/11 shape).
+pub fn grouped_bars(
+    title: &str,
+    y_label: &str,
+    categories: &[String],
+    series: &[(String, Vec<f64>)],
+) -> String {
+    assert!(!categories.is_empty() && !series.is_empty());
+    for (name, values) in series {
+        assert_eq!(
+            values.len(),
+            categories.len(),
+            "series {name} length mismatch"
+        );
+    }
+    let y_max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter())
+        .fold(0.0f64, |a, &b| a.max(b))
+        .max(1e-12)
+        * 1.05;
+
+    let width = LEFT + PLOT_W + RIGHT;
+    let height = TOP + PLOT_H + BOTTOM;
+    let group_w = PLOT_W / categories.len() as f64;
+    let bar_w = (group_w * 0.8) / series.len() as f64;
+    let py = |y: f64| TOP + (1.0 - y / y_max) * PLOT_H;
+
+    let mut svg = String::new();
+    writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"11\">"
+    )
+    .unwrap();
+    writeln!(
+        svg,
+        "  <text x=\"{:.0}\" y=\"18\" text-anchor=\"middle\" font-size=\"14\">{}</text>",
+        LEFT + PLOT_W / 2.0,
+        xml_escape(title)
+    )
+    .unwrap();
+    writeln!(
+        svg,
+        "  <rect x=\"{LEFT}\" y=\"{TOP}\" width=\"{PLOT_W}\" height=\"{PLOT_H}\" fill=\"#fafafa\" stroke=\"#bbbbbb\"/>"
+    )
+    .unwrap();
+    for k in 0..=5 {
+        let y = y_max * k as f64 / 5.0;
+        writeln!(
+            svg,
+            "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" dominant-baseline=\"middle\">{}</text>",
+            LEFT - 6.0,
+            py(y),
+            fmt_tick(y)
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            "  <line x1=\"{LEFT}\" y1=\"{:.1}\" x2=\"{:.1}\" y2=\"{:.1}\" stroke=\"#e5e5e5\"/>",
+            py(y),
+            LEFT + PLOT_W,
+            py(y)
+        )
+        .unwrap();
+    }
+    writeln!(
+        svg,
+        "  <text x=\"14\" y=\"{:.1}\" text-anchor=\"middle\" transform=\"rotate(-90 14 {:.1})\">{}</text>",
+        TOP + PLOT_H / 2.0,
+        TOP + PLOT_H / 2.0,
+        xml_escape(y_label)
+    )
+    .unwrap();
+
+    for (ci, cat) in categories.iter().enumerate() {
+        let gx = LEFT + group_w * ci as f64 + group_w * 0.1;
+        for (si, (_, values)) in series.iter().enumerate() {
+            let v = values[ci];
+            let color = PALETTE[si % PALETTE.len()];
+            writeln!(
+                svg,
+                "  <rect x=\"{:.2}\" y=\"{:.2}\" width=\"{:.2}\" height=\"{:.2}\" fill=\"{color}\"/>",
+                gx + bar_w * si as f64,
+                py(v),
+                bar_w.max(1.0),
+                (TOP + PLOT_H - py(v)).max(0.0)
+            )
+            .unwrap();
+        }
+        writeln!(
+            svg,
+            "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{}</text>",
+            gx + group_w * 0.4,
+            TOP + PLOT_H + 16.0,
+            xml_escape(cat)
+        )
+        .unwrap();
+    }
+    for (si, (name, _)) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        let ly = TOP + 14.0 * si as f64 + 8.0;
+        writeln!(
+            svg,
+            "  <rect x=\"{:.1}\" y=\"{:.1}\" width=\"10\" height=\"10\" fill=\"{color}\"/>",
+            LEFT + PLOT_W + 12.0,
+            ly - 8.0
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            "  <text x=\"{:.1}\" y=\"{:.1}\">{}</text>",
+            LEFT + PLOT_W + 26.0,
+            ly,
+            xml_escape(name)
+        )
+        .unwrap();
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
+fn fmt_tick(v: f64) -> String {
+    let a = v.abs();
+    if a == 0.0 {
+        "0".into()
+    } else if a >= 1e5 || a < 1e-3 {
+        format!("{v:.1e}")
+    } else if a >= 10.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_chart_renders() {
+        let svg = Chart::new("P vs f", "f/fmax", "W")
+            .line("total", vec![(0.1, 0.2), (0.5, 1.0), (1.0, 2.2)])
+            .line("dynamic", vec![(0.1, 0.05), (0.5, 0.5), (1.0, 1.3)])
+            .render();
+        assert!(svg.contains("<path"));
+        assert!(svg.contains("total"));
+        assert!(svg.contains("P vs f"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn scatter_chart_renders_circles() {
+        let svg = Chart::new("E/W", "parallelism", "J/unit")
+            .scatter("S&amp;S-ish", vec![(1.0, 2.0), (10.0, 1.0)])
+            .render();
+        assert_eq!(svg.matches("<circle").count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite points")]
+    fn empty_chart_panics() {
+        Chart::new("x", "y", "z").render();
+    }
+
+    #[test]
+    fn bars_render_per_category_and_series() {
+        let svg = grouped_bars(
+            "fig10-like",
+            "% of S&S",
+            &["50".into(), "100".into(), "robot".into()],
+            &[
+                ("LAMPS".into(), vec![0.9, 0.8, 0.7]),
+                ("LAMPS+PS".into(), vec![0.8, 0.7, 0.6]),
+            ],
+        );
+        // 3 categories × 2 series bars + legend swatches (2) + frame.
+        assert_eq!(svg.matches("<rect").count(), 3 * 2 + 2 + 1);
+        assert!(svg.contains("robot"));
+    }
+
+    #[test]
+    fn nan_points_are_skipped() {
+        let svg = Chart::new("t", "x", "y")
+            .line("s", vec![(0.0, 1.0), (f64::NAN, 5.0), (1.0, 2.0)])
+            .render();
+        assert!(svg.contains("<path"));
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(fmt_tick(0.0), "0");
+        assert_eq!(fmt_tick(123456.0), "1.2e5");
+        assert_eq!(fmt_tick(42.0), "42");
+        assert_eq!(fmt_tick(0.5), "0.50");
+    }
+}

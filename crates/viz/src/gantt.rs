@@ -1,0 +1,188 @@
+//! SVG Gantt charts.
+
+use crate::{xml_escape, PALETTE};
+use lamps_sched::{ProcId, Schedule};
+use lamps_taskgraph::TaskGraph;
+use std::fmt::Write as _;
+
+/// Layout constants (pixels).
+const ROW_H: f64 = 28.0;
+const ROW_GAP: f64 = 6.0;
+const LEFT_MARGIN: f64 = 52.0;
+const TOP_MARGIN: f64 = 14.0;
+const BOTTOM_MARGIN: f64 = 30.0;
+const PLOT_W: f64 = 760.0;
+
+/// Render a schedule as an SVG Gantt chart over `[0, horizon_cycles]`.
+///
+/// One row per processor; tasks are colored by id and labeled when wide
+/// enough; idle time is the row background. The time axis is labeled in
+/// cycles (the schedule's native unit — divide by a frequency for
+/// seconds).
+///
+/// # Panics
+///
+/// Panics if the horizon is before the makespan.
+/// # Example
+///
+/// ```
+/// use lamps_sched::list::edf_schedule;
+/// use lamps_taskgraph::GraphBuilder;
+/// use lamps_viz::gantt_svg;
+///
+/// let mut b = GraphBuilder::new();
+/// b.add_named_task("work", 100);
+/// let g = b.build().unwrap();
+/// let s = edf_schedule(&g, 1, 200);
+/// let svg = gantt_svg(&s, &g, 150);
+/// assert!(svg.starts_with("<svg"));
+/// ```
+pub fn gantt_svg(schedule: &Schedule, graph: &TaskGraph, horizon_cycles: u64) -> String {
+    assert!(
+        horizon_cycles >= schedule.makespan_cycles().max(1),
+        "horizon before makespan"
+    );
+    let n = schedule.n_procs();
+    let height = TOP_MARGIN + n as f64 * (ROW_H + ROW_GAP) + BOTTOM_MARGIN;
+    let width = LEFT_MARGIN + PLOT_W + 16.0;
+    let x = |cycles: u64| LEFT_MARGIN + cycles as f64 / horizon_cycles as f64 * PLOT_W;
+
+    let mut svg = String::new();
+    writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"11\">"
+    )
+    .unwrap();
+
+    for p in 0..n {
+        let y = TOP_MARGIN + p as f64 * (ROW_H + ROW_GAP);
+        writeln!(
+            svg,
+            "  <text x=\"4\" y=\"{:.1}\" dominant-baseline=\"middle\">P{p}</text>",
+            y + ROW_H / 2.0
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            "  <rect x=\"{LEFT_MARGIN}\" y=\"{y:.1}\" width=\"{PLOT_W}\" height=\"{ROW_H}\" \
+             fill=\"#f2f2f2\" stroke=\"#cccccc\"/>"
+        )
+        .unwrap();
+        for &t in schedule.tasks_on(ProcId(p as u32)) {
+            let x0 = x(schedule.start(t));
+            let x1 = x(schedule.finish(t));
+            let w = (x1 - x0).max(0.5);
+            let color = PALETTE[t.index() % PALETTE.len()];
+            let label = xml_escape(&graph.label(t));
+            writeln!(
+                svg,
+                "  <rect x=\"{x0:.2}\" y=\"{:.1}\" width=\"{w:.2}\" height=\"{:.1}\" \
+                 fill=\"{color}\" stroke=\"#333333\" stroke-width=\"0.5\"><title>{label}: \
+                 {}-{} cycles</title></rect>",
+                y + 2.0,
+                ROW_H - 4.0,
+                schedule.start(t),
+                schedule.finish(t)
+            )
+            .unwrap();
+            if w > 34.0 {
+                writeln!(
+                    svg,
+                    "  <text x=\"{:.2}\" y=\"{:.1}\" dominant-baseline=\"middle\" \
+                     fill=\"#ffffff\">{label}</text>",
+                    x0 + 3.0,
+                    y + ROW_H / 2.0
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    // Time axis with 5 ticks.
+    let axis_y = TOP_MARGIN + n as f64 * (ROW_H + ROW_GAP) + 4.0;
+    writeln!(
+        svg,
+        "  <line x1=\"{LEFT_MARGIN}\" y1=\"{axis_y:.1}\" x2=\"{:.1}\" y2=\"{axis_y:.1}\" \
+         stroke=\"#333333\"/>",
+        LEFT_MARGIN + PLOT_W
+    )
+    .unwrap();
+    for k in 0..=5 {
+        let cycles = horizon_cycles / 5 * k;
+        let xt = x(cycles);
+        writeln!(
+            svg,
+            "  <line x1=\"{xt:.1}\" y1=\"{axis_y:.1}\" x2=\"{xt:.1}\" y2=\"{:.1}\" stroke=\"#333333\"/>",
+            axis_y + 4.0
+        )
+        .unwrap();
+        writeln!(
+            svg,
+            "  <text x=\"{xt:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{cycles}</text>",
+            axis_y + 16.0
+        )
+        .unwrap();
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_sched::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn setup() -> (TaskGraph, Schedule) {
+        let mut b = GraphBuilder::new();
+        let a = b.add_named_task("load", 40);
+        let c = b.add_named_task("fft", 60);
+        let d = b.add_named_task("mix", 30);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(a, d).unwrap();
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 200);
+        (g, s)
+    }
+
+    #[test]
+    fn produces_wellformed_svg() {
+        let (g, s) = setup();
+        let svg = gantt_svg(&s, &g, 150);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        // One background row per processor, one rect per task.
+        assert_eq!(svg.matches("fill=\"#f2f2f2\"").count(), 2);
+        assert_eq!(svg.matches("<title>").count(), 3);
+        assert!(svg.contains("load"));
+        // Every task rect closes.
+        assert_eq!(svg.matches("<title>").count(), svg.matches("</rect>").count());
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut b = GraphBuilder::new();
+        b.add_named_task("a<b>&c", 10);
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 1, 20);
+        let svg = gantt_svg(&s, &g, 10);
+        assert!(!svg.contains("a<b>"));
+        assert!(svg.contains("a&lt;b&gt;&amp;c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon before makespan")]
+    fn short_horizon_panics() {
+        let (g, s) = setup();
+        gantt_svg(&s, &g, 10);
+    }
+
+    #[test]
+    fn axis_has_six_ticks() {
+        let (g, s) = setup();
+        let svg = gantt_svg(&s, &g, 150);
+        assert_eq!(svg.matches("text-anchor=\"middle\"").count(), 6);
+    }
+}

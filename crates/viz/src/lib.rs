@@ -1,0 +1,46 @@
+//! SVG rendering of schedules and power traces.
+//!
+//! Self-contained vector output with no dependencies beyond the
+//! workspace: a Gantt chart of a [`lamps_sched::Schedule`] and a stepped
+//! power-over-time plot of a [`lamps_energy::TraceSegment`] trace —
+//! the two pictures every figure in the paper's §4 is built from.
+
+pub mod chart;
+pub mod gantt;
+pub mod power;
+
+pub use chart::{grouped_bars, Chart, Mark};
+pub use gantt::gantt_svg;
+pub use power::power_svg;
+
+/// Escape the five XML-special characters for safe SVG text content.
+pub(crate) fn xml_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// A small qualitative palette; task colors cycle through it.
+pub(crate) const PALETTE: [&str; 8] = [
+    "#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2", "#edc948", "#9c755f",
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_specials() {
+        assert_eq!(xml_escape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+        assert_eq!(xml_escape("plain"), "plain");
+    }
+}

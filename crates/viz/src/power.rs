@@ -1,0 +1,167 @@
+//! SVG power-over-time plots.
+
+use lamps_energy::TraceSegment;
+use std::fmt::Write as _;
+
+const LEFT_MARGIN: f64 = 56.0;
+const TOP_MARGIN: f64 = 12.0;
+const PLOT_W: f64 = 760.0;
+const PLOT_H: f64 = 220.0;
+const BOTTOM_MARGIN: f64 = 34.0;
+
+/// Render the *total platform power* of a trace (sum over processors) as
+/// a stepped SVG line, with the y-axis in watts and the x-axis in
+/// seconds.
+///
+/// # Panics
+///
+/// Panics on an empty trace.
+pub fn power_svg(trace: &[Vec<TraceSegment>]) -> String {
+    let mut boundaries: Vec<f64> = trace
+        .iter()
+        .flatten()
+        .flat_map(|s| [s.t0, s.t1])
+        .collect();
+    assert!(!boundaries.is_empty(), "empty trace");
+    boundaries.sort_by(f64::total_cmp);
+    boundaries.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
+    let t_end = *boundaries.last().expect("non-empty");
+
+    // Total power over each elementary interval.
+    let mut steps: Vec<(f64, f64, f64)> = Vec::with_capacity(boundaries.len());
+    for w in boundaries.windows(2) {
+        let mid = 0.5 * (w[0] + w[1]);
+        let p: f64 = trace
+            .iter()
+            .flatten()
+            .filter(|s| s.t0 <= mid && mid < s.t1)
+            .map(|s| s.power_w)
+            .sum();
+        steps.push((w[0], w[1], p));
+    }
+    let p_max = steps
+        .iter()
+        .map(|&(_, _, p)| p)
+        .fold(0.0f64, f64::max)
+        .max(1e-9);
+
+    let x = |t: f64| LEFT_MARGIN + t / t_end * PLOT_W;
+    let y = |p: f64| TOP_MARGIN + (1.0 - p / (p_max * 1.05)) * PLOT_H;
+    let width = LEFT_MARGIN + PLOT_W + 16.0;
+    let height = TOP_MARGIN + PLOT_H + BOTTOM_MARGIN;
+
+    let mut svg = String::new();
+    writeln!(
+        svg,
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width:.0}\" height=\"{height:.0}\" \
+         viewBox=\"0 0 {width:.0} {height:.0}\" font-family=\"sans-serif\" font-size=\"11\">"
+    )
+    .unwrap();
+    writeln!(
+        svg,
+        "  <rect x=\"{LEFT_MARGIN}\" y=\"{TOP_MARGIN}\" width=\"{PLOT_W}\" height=\"{PLOT_H}\" \
+         fill=\"#fafafa\" stroke=\"#cccccc\"/>"
+    )
+    .unwrap();
+
+    // Stepped path.
+    let mut path = String::new();
+    for (i, &(t0, t1, p)) in steps.iter().enumerate() {
+        if i == 0 {
+            write!(path, "M {:.2} {:.2} ", x(t0), y(p)).unwrap();
+        } else {
+            write!(path, "L {:.2} {:.2} ", x(t0), y(p)).unwrap();
+        }
+        write!(path, "L {:.2} {:.2} ", x(t1), y(p)).unwrap();
+    }
+    writeln!(
+        svg,
+        "  <path d=\"{}\" fill=\"none\" stroke=\"#4e79a7\" stroke-width=\"1.5\"/>",
+        path.trim_end()
+    )
+    .unwrap();
+
+    // Axes: 5 x-ticks (seconds), 4 y-ticks (watts).
+    let axis_y = TOP_MARGIN + PLOT_H;
+    for k in 0..=5 {
+        let t = t_end * k as f64 / 5.0;
+        writeln!(
+            svg,
+            "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"middle\">{:.3}s</text>",
+            x(t),
+            axis_y + 16.0,
+            t
+        )
+        .unwrap();
+    }
+    for k in 0..=4 {
+        let p = p_max * k as f64 / 4.0;
+        writeln!(
+            svg,
+            "  <text x=\"{:.1}\" y=\"{:.1}\" text-anchor=\"end\" dominant-baseline=\"middle\">{:.2}W</text>",
+            LEFT_MARGIN - 4.0,
+            y(p),
+            p
+        )
+        .unwrap();
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_energy::power_trace;
+    use lamps_power::{LevelTable, SleepParams, TechnologyParams};
+    use lamps_sched::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn trace() -> Vec<Vec<TraceSegment>> {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2_000_000);
+        let c = b.add_task(1_000_000);
+        b.add_edge(a, c).unwrap();
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 2, 10_000_000);
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).unwrap();
+        let level = levels.critical();
+        let horizon = s.makespan_cycles() as f64 / level.freq + 0.01;
+        power_trace(&s, level, horizon, Some(&SleepParams::paper())).unwrap()
+    }
+
+    #[test]
+    fn renders_stepped_path() {
+        let svg = power_svg(&trace());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<path d=\"M "));
+        // Axis labels for watts and seconds.
+        assert!(svg.contains('W'));
+        assert!(svg.contains('s'));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_trace_panics() {
+        power_svg(&[]);
+    }
+
+    #[test]
+    fn peak_power_is_plotted_in_range() {
+        let svg = power_svg(&trace());
+        // Every path coordinate stays inside the viewBox.
+        let path_line = svg
+            .lines()
+            .find(|l| l.contains("<path"))
+            .expect("path exists");
+        let d = path_line.split("d=\"").nth(1).unwrap().split('"').next().unwrap();
+        for tok in d.split_whitespace() {
+            if let Ok(v) = tok.parse::<f64>() {
+                assert!((0.0..=840.0).contains(&v), "coordinate {v} escapes");
+            }
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Customizing the platform model: fewer DVS levels, a different sleep
+//! state, a different activity factor — and what each does to the
+//! energy verdict.
+//!
+//! ```text
+//! cargo run --release --example custom_platform
+//! ```
+
+use leakage_sched::prelude::*;
+use leakage_sched::taskgraph::apps::proxies;
+use leakage_sched::taskgraph::COARSE_GRAIN_CYCLES_PER_UNIT;
+
+fn main() {
+    let graph = proxies::sparse().scale_weights(COARSE_GRAIN_CYCLES_PER_UNIT);
+    let paper = SchedulerConfig::paper();
+    let deadline = 2.0 * graph.critical_path_cycles() as f64 / paper.max_frequency();
+
+    // 1. The paper's platform.
+    report("paper platform (14 levels, 0.05 V grid)", &paper, &graph, deadline);
+
+    // 2. Only three voltage levels (a cheaper voltage regulator).
+    let tech = TechnologyParams::seventy_nm();
+    let three = SchedulerConfig {
+        levels: LevelTable::from_voltages(&tech, &[0.6, 0.8, 1.0]).unwrap(),
+        ..paper.clone()
+    };
+    report("3-level regulator {0.6, 0.8, 1.0} V", &three, &graph, deadline);
+
+    // 3. A worse sleep state: 10× the transition overhead.
+    let clumsy_sleep = SchedulerConfig {
+        sleep: SleepParams {
+            transition_energy: 4.83e-3,
+            ..SleepParams::paper()
+        },
+        ..paper.clone()
+    };
+    report("sleep with 4.83 mJ transitions", &clumsy_sleep, &graph, deadline);
+
+    // 4. A lower activity factor (a = 0.5): leakage dominates even more,
+    // so shutting down and narrowing matter more than stretching.
+    let low_activity = SchedulerConfig {
+        tech: TechnologyParams {
+            activity: 0.5,
+            ..tech
+        },
+        levels: LevelTable::default_grid(&TechnologyParams {
+            activity: 0.5,
+            ..tech
+        })
+        .unwrap(),
+        sleep: SleepParams::paper(),
+    };
+    report("activity factor a = 0.5", &low_activity, &graph, deadline);
+}
+
+fn report(
+    label: &str,
+    cfg: &SchedulerConfig,
+    graph: &leakage_sched::taskgraph::TaskGraph,
+    deadline: f64,
+) {
+    println!("== {label} ==");
+    for strategy in [Strategy::ScheduleStretch, Strategy::LampsPs] {
+        match solve(strategy, graph, deadline, cfg) {
+            Ok(sol) => println!(
+                "  {:>8}: {:.3} J, {} procs, {:.2} V, {} sleeps",
+                strategy.name(),
+                sol.energy.total(),
+                sol.n_procs,
+                sol.level.vdd,
+                sol.energy.sleep_episodes
+            ),
+            Err(e) => println!("  {:>8}: {e}", strategy.name()),
+        }
+    }
+    match (
+        solve(Strategy::ScheduleStretch, graph, deadline, cfg),
+        solve(Strategy::LampsPs, graph, deadline, cfg),
+    ) {
+        (Ok(ss), Ok(lp)) => println!(
+            "  LAMPS+PS saves {:.1}% vs S&S\n",
+            (1.0 - lp.energy.total() / ss.energy.total()) * 100.0
+        ),
+        _ => println!(),
+    }
+}

@@ -1,0 +1,76 @@
+//! Design-space exploration: sweep the deadline, locate the knee of the
+//! energy curve, inspect the winning schedule's shape, and write SVG
+//! artifacts (Gantt + power trace) for the chosen operating point.
+//!
+//! ```text
+//! cargo run --release --example design_space
+//! # artifacts land in target/design_space/
+//! ```
+
+use leakage_sched::core::pareto::{deadline_sweep, knee_index};
+use leakage_sched::energy::power_trace;
+use leakage_sched::prelude::*;
+use leakage_sched::sched::metrics::metrics;
+use leakage_sched::taskgraph::apps::kernels;
+use leakage_sched::viz::{gantt_svg, power_svg};
+
+fn main() {
+    let cfg = SchedulerConfig::paper();
+    // A 12x12 wavefront stencil: diamond-shaped parallelism profile.
+    let graph = kernels::wavefront(12, 3_100_000);
+    println!(
+        "workload: 12x12 wavefront, {} tasks, CPL {:.1} ms, parallelism {:.1}\n",
+        graph.len(),
+        graph.critical_path_cycles() as f64 / cfg.max_frequency() * 1e3,
+        graph.parallelism()
+    );
+
+    // 1. Sweep the deadline and find the knee.
+    let pts = deadline_sweep(Strategy::LampsPs, &graph, 1.1, 10.0, 12, &cfg)
+        .expect("sweep is feasible");
+    println!("{:>8} {:>12} {:>10} {:>6} {:>6}", "factor", "deadline[ms]", "energy[J]", "procs", "Vdd");
+    for p in &pts {
+        println!(
+            "{:>8.2} {:>12.1} {:>10.4} {:>6} {:>6.2}",
+            p.factor,
+            p.deadline_s * 1e3,
+            p.energy_j,
+            p.n_procs,
+            p.vdd
+        );
+    }
+    let knee = knee_index(&pts, 0.1);
+    println!(
+        "\nknee at factor {:.2}: beyond this, extra deadline buys <10% energy per doubling",
+        pts[knee].factor
+    );
+
+    // 2. Inspect the knee configuration.
+    let chosen = &pts[knee];
+    let sol = solve(Strategy::LampsPs, &graph, chosen.deadline_s, &cfg).unwrap();
+    let horizon_cycles = (chosen.deadline_s * sol.level.freq) as u64;
+    let m = metrics(&sol.schedule, horizon_cycles);
+    println!(
+        "knee config: {} procs at {:.2} V | utilization {:.0}% | imbalance {:.2} | {} idle intervals (max {:.1} ms)",
+        sol.n_procs,
+        sol.level.vdd,
+        m.utilization * 100.0,
+        m.imbalance,
+        m.idle_intervals,
+        m.max_idle_cycles as f64 / sol.level.freq * 1e3
+    );
+
+    // 3. Write the artifacts.
+    let dir = std::path::Path::new("target/design_space");
+    std::fs::create_dir_all(dir).expect("create output dir");
+    let gantt = gantt_svg(&sol.schedule, &graph, horizon_cycles);
+    std::fs::write(dir.join("gantt.svg"), gantt).expect("write gantt");
+    let trace = power_trace(&sol.schedule, &sol.level, chosen.deadline_s, Some(&cfg.sleep))
+        .expect("feasible");
+    std::fs::write(dir.join("power.svg"), power_svg(&trace)).expect("write power");
+    println!(
+        "\nwrote {} and {}",
+        dir.join("gantt.svg").display(),
+        dir.join("power.svg").display()
+    );
+}

@@ -1,0 +1,96 @@
+//! Streaming (Kahn Process Network) scheduling, §3.1 / Fig. 1: a
+//! three-stage pipeline with a throughput requirement is unrolled into a
+//! deadline-annotated DAG, scheduled with LS-EDF, stretched to the
+//! per-task deadlines, and billed for energy.
+//!
+//! This example deliberately composes the lower-level crates (deadline
+//! propagation, list scheduling, level selection, energy evaluation)
+//! instead of calling `solve`, showing how the pieces fit when tasks
+//! carry individual deadlines.
+//!
+//! ```text
+//! cargo run --release --example kpn_stream
+//! ```
+
+use leakage_sched::energy::evaluate;
+use leakage_sched::kpn::{unroll, Network, UnrollConfig};
+use leakage_sched::prelude::*;
+use leakage_sched::sched::deadlines::latest_finish_times_with;
+use leakage_sched::sched::list::list_schedule;
+
+fn main() {
+    let cfg = SchedulerConfig::paper();
+    let f_max = cfg.max_frequency();
+
+    // The Fig. 1 network: T1 → T2 → T3, where T3 combines its external
+    // input with T2's *previous* output (a one-token delay).
+    let net = Network::fig1_example(25_000_000, 60_000_000, 35_000_000);
+
+    // Require one output every 30 ms, first output due after 60 ms.
+    let period_s = 0.030;
+    let copies = 8;
+    let unrolled = unroll(
+        &net,
+        &UnrollConfig {
+            copies,
+            first_deadline_cycles: (0.060 * f_max) as u64,
+            period_cycles: (period_s * f_max) as u64,
+        },
+    )
+    .expect("network is valid");
+    let graph = &unrolled.graph;
+    println!(
+        "unrolled {} copies: {} tasks, {} edges, horizon {:.0} ms",
+        copies,
+        graph.len(),
+        graph.edge_count(),
+        unrolled.horizon_cycles() as f64 / f_max * 1e3
+    );
+
+    // Per-task latest finish times from the per-copy output deadlines.
+    let lf = latest_finish_times_with(graph, unrolled.horizon_cycles(), &unrolled.deadlines);
+
+    // Schedule on 2 processors and find the slowest level meeting every
+    // task's own deadline: the maximum stretch is limited by the tightest
+    // finish/deadline ratio.
+    for n_procs in 1..=3 {
+        let schedule = list_schedule(graph, n_procs, &lf);
+        schedule.validate(graph).expect("valid schedule");
+
+        // Stretch limit: finish(t)/f <= lf(t)/f_max for all t.
+        let mut required = 0.0f64;
+        for t in graph.tasks() {
+            let finish = schedule.finish(t) as f64;
+            let lf_s = lf[t.index()] as f64 / f_max;
+            if lf_s > 0.0 {
+                required = required.max(finish / lf_s);
+            }
+        }
+        let Some(level) = cfg.levels.lowest_at_least(required) else {
+            println!("{n_procs} processor(s): infeasible (needs {:.2} GHz)", required / 1e9);
+            continue;
+        };
+
+        // Check every deadline at the chosen level, then bill energy up
+        // to the stream horizon.
+        let horizon_s = unrolled.horizon_cycles() as f64 / f_max;
+        let all_met = graph
+            .tasks()
+            .all(|t| schedule.finish(t) as f64 / level.freq <= lf[t.index()] as f64 / f_max + 1e-9);
+        assert!(all_met, "level selection guarantees per-task deadlines");
+        let energy = evaluate(&schedule, level, horizon_s, Some(&cfg.sleep))
+            .expect("fits the horizon");
+        println!(
+            "{n_procs} processor(s): Vdd {:.2} V (f/fmax {:.2}), energy {:.3} J, {} sleeps",
+            level.vdd,
+            level.freq / f_max,
+            energy.total(),
+            energy.sleep_episodes
+        );
+    }
+
+    println!(
+        "\nthroughput achieved: 1 output / {:.0} ms, as required by the KPN contract",
+        period_s * 1e3
+    );
+}

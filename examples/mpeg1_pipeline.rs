@@ -1,0 +1,84 @@
+//! The paper's MPEG-1 case study (§5.3, Fig. 9, Table 3): encode one
+//! 15-frame GOP in real time (0.5 s) with minimum energy.
+//!
+//! ```text
+//! cargo run --release --example mpeg1_pipeline
+//! ```
+
+use leakage_sched::energy::evaluate_detailed;
+use leakage_sched::prelude::*;
+use leakage_sched::sched::gantt;
+use leakage_sched::taskgraph::apps::mpeg;
+
+fn main() {
+    let cfg = SchedulerConfig::paper();
+    let gop = mpeg::paper_gop();
+    let deadline = mpeg::GOP_DEADLINE_SECONDS;
+
+    println!("MPEG-1 GOP: IBBPBB... x 15 frames");
+    println!(
+        "  I = {:.1}M cycles, P = {:.1}M, B = {:.1}M (Tennis sequence maxima)",
+        mpeg::I_FRAME_CYCLES as f64 / 1e6,
+        mpeg::P_FRAME_CYCLES as f64 / 1e6,
+        mpeg::B_FRAME_CYCLES as f64 / 1e6
+    );
+    println!(
+        "  total work {:.2}G cycles, CPL {:.1}M cycles ({:.0} ms at f_max), deadline {:.0} ms\n",
+        gop.total_work_cycles() as f64 / 1e9,
+        gop.critical_path_cycles() as f64 / 1e6,
+        gop.critical_path_cycles() as f64 / cfg.max_frequency() * 1e3,
+        deadline * 1e3
+    );
+
+    let mut ss_energy = None;
+    for strategy in Strategy::all() {
+        let sol = solve(strategy, &gop, deadline, &cfg).expect("GOP is feasible");
+        let e = sol.energy.total();
+        let base = *ss_energy.get_or_insert(e);
+        println!(
+            "{:>10}: {:.3} J on {} procs at {:.2} V ({:.1}% of S&S)",
+            strategy.name(),
+            e,
+            sol.n_procs,
+            sol.level.vdd,
+            e / base * 100.0
+        );
+    }
+    let sf = limit_sf(&gop, deadline, &cfg).unwrap();
+    println!("{:>10}: {:.3} J (lower bound, single frequency)", "LIMIT-SF", sf.energy_j);
+
+    // Detail of the winner.
+    let sol = solve(Strategy::LampsPs, &gop, deadline, &cfg).unwrap();
+    println!(
+        "\nLAMPS+PS: {} processors at {:.2} V, makespan {:.0} ms, {} sleep episodes",
+        sol.n_procs,
+        sol.level.vdd,
+        sol.makespan_s * 1e3,
+        sol.energy.sleep_episodes
+    );
+    let detail = evaluate_detailed(
+        &sol.schedule,
+        &sol.level,
+        deadline,
+        Some(&cfg.sleep),
+    )
+    .unwrap();
+    println!(
+        "{:>6} {:>10} {:>12} {:>10} {:>10}",
+        "proc", "busy [ms]", "awake idle", "asleep", "energy [J]"
+    );
+    for p in &detail {
+        println!(
+            "{:>6} {:>10.1} {:>12.1} {:>10.1} {:>10.3}",
+            p.proc.0,
+            p.busy_s * 1e3,
+            p.idle_awake_s * 1e3,
+            p.asleep_s * 1e3,
+            p.breakdown.total()
+        );
+    }
+
+    let horizon_cycles = (deadline * sol.level.freq) as u64;
+    println!("\nGantt (one row per processor, '.' = idle):");
+    print!("{}", gantt::render(&sol.schedule, &gop, horizon_cycles, 72));
+}

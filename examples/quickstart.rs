@@ -1,0 +1,76 @@
+//! Quickstart: build a task graph, schedule it with every strategy, and
+//! compare the energy bills.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use leakage_sched::prelude::*;
+use leakage_sched::sched::gantt;
+
+fn main() {
+    // A small fork-join pipeline; weights are cycles (~10-30 ms of work
+    // per task at the 3.1 GHz nominal frequency).
+    let mut b = GraphBuilder::new();
+    let fetch = b.add_named_task("fetch", 40_000_000);
+    let filter_l = b.add_named_task("filtL", 90_000_000);
+    let filter_r = b.add_named_task("filtR", 70_000_000);
+    let feature = b.add_named_task("feat", 60_000_000);
+    let merge = b.add_named_task("merge", 30_000_000);
+    let encode = b.add_named_task("enc", 80_000_000);
+    b.add_edge(fetch, filter_l).unwrap();
+    b.add_edge(fetch, filter_r).unwrap();
+    b.add_edge(fetch, feature).unwrap();
+    b.add_edge(filter_l, merge).unwrap();
+    b.add_edge(filter_r, merge).unwrap();
+    b.add_edge(merge, encode).unwrap();
+    let graph = b.build().unwrap();
+
+    let cfg = SchedulerConfig::paper();
+    println!(
+        "graph: {} tasks, {} edges, CPL {:.1} ms at f_max, parallelism {:.2}",
+        graph.len(),
+        graph.edge_count(),
+        graph.critical_path_cycles() as f64 / cfg.max_frequency() * 1e3,
+        graph.parallelism()
+    );
+
+    let deadline_s = 0.150; // 150 ms budget
+    println!("deadline: {:.0} ms\n", deadline_s * 1e3);
+
+    println!(
+        "{:>10} {:>12} {:>7} {:>7} {:>8} {:>8}",
+        "strategy", "energy [mJ]", "procs", "Vdd", "f/fmax", "sleeps"
+    );
+    let mut baseline = None;
+    for strategy in Strategy::all() {
+        let sol = solve(strategy, &graph, deadline_s, &cfg).expect("feasible");
+        let e = sol.energy.total();
+        baseline.get_or_insert(e);
+        println!(
+            "{:>10} {:>12.3} {:>7} {:>7.2} {:>8.2} {:>8}",
+            strategy.name(),
+            e * 1e3,
+            sol.n_procs,
+            sol.level.vdd,
+            sol.level.freq / cfg.max_frequency(),
+            sol.energy.sleep_episodes
+        );
+    }
+    let sf = limit_sf(&graph, deadline_s, &cfg).expect("feasible");
+    let mf = limit_mf(&graph, deadline_s, &cfg);
+    println!("{:>10} {:>12.3}", "LIMIT-SF", sf.energy_j * 1e3);
+    println!("{:>10} {:>12.3}", "LIMIT-MF", mf.energy_j * 1e3);
+
+    // Show the LAMPS+PS schedule as a Gantt chart.
+    let sol = solve(Strategy::LampsPs, &graph, deadline_s, &cfg).unwrap();
+    println!(
+        "\nLAMPS+PS schedule ({} processors at {:.2} V):",
+        sol.n_procs, sol.level.vdd
+    );
+    let horizon_cycles = (deadline_s * sol.level.freq) as u64;
+    print!(
+        "{}",
+        gantt::render(&sol.schedule, &graph, horizon_cycles, 64)
+    );
+}

@@ -1,0 +1,78 @@
+//! Explore a Standard Task Graph Set file — or a generated stand-in —
+//! across all strategies and deadline factors.
+//!
+//! ```text
+//! # with a real .stg file:
+//! cargo run --release --example stg_explorer -- path/to/robot.stg
+//! # without arguments, uses the built-in robot proxy:
+//! cargo run --release --example stg_explorer
+//! ```
+
+use leakage_sched::prelude::*;
+use leakage_sched::taskgraph::{apps::proxies, stg, COARSE_GRAIN_CYCLES_PER_UNIT};
+
+fn main() {
+    let graph_units = match std::env::args().nth(1) {
+        Some(path) => {
+            let g = stg::read_file(std::path::Path::new(&path))
+                .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+            println!("loaded {path}");
+            g
+        }
+        None => {
+            println!("no file given — using the built-in `robot` proxy (Table 2)");
+            proxies::robot()
+        }
+    };
+
+    let stats = graph_units.stats();
+    println!(
+        "tasks {}, edges {}, CPL {} units, work {} units, parallelism {:.2}\n",
+        stats.tasks,
+        stats.edges,
+        stats.critical_path_cycles,
+        stats.total_work_cycles,
+        stats.parallelism()
+    );
+
+    // Coarse grain: 1 weight unit = 1 ms at f_max.
+    let graph = graph_units.scale_weights(COARSE_GRAIN_CYCLES_PER_UNIT);
+    let cfg = SchedulerConfig::paper();
+    let cpl_s = graph.critical_path_cycles() as f64 / cfg.max_frequency();
+
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "deadline", "S&S", "LAMPS", "S&S+PS", "LAMPS+PS", "LIMIT-SF", "LIMIT-MF"
+    );
+    for factor in [1.5, 2.0, 4.0, 8.0] {
+        let d = factor * cpl_s;
+        let energies: Vec<String> = Strategy::all()
+            .iter()
+            .map(|&s| match solve(s, &graph, d, &cfg) {
+                Ok(sol) => format!("{:.3}", sol.energy.total()),
+                Err(_) => "inf".into(),
+            })
+            .collect();
+        let sf = limit_sf(&graph, d, &cfg)
+            .map(|l| format!("{:.3}", l.energy_j))
+            .unwrap_or_else(|_| "inf".into());
+        let mf = format!("{:.3}", limit_mf(&graph, d, &cfg).energy_j);
+        println!(
+            "{:>7.1}x {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            factor, energies[0], energies[1], energies[2], energies[3], sf, mf
+        );
+    }
+
+    println!("\nprocessor counts chosen per deadline:");
+    for factor in [1.5, 2.0, 4.0, 8.0] {
+        let d = factor * cpl_s;
+        let line: Vec<String> = Strategy::all()
+            .iter()
+            .map(|&s| match solve(s, &graph, d, &cfg) {
+                Ok(sol) => format!("{}={}", s.name(), sol.n_procs),
+                Err(_) => format!("{}=inf", s.name()),
+            })
+            .collect();
+        println!("  {factor:>4.1}x  {}", line.join("  "));
+    }
+}

@@ -1,0 +1,68 @@
+//! **leakage-sched** — leakage-aware multiprocessor scheduling for low
+//! power.
+//!
+//! A full reproduction of de Langen & Juurlink, *"Leakage-aware
+//! multiprocessor scheduling for low power"* (IPPS 2006; extended journal
+//! version JSPS 2008): static scheduling of weighted task DAGs onto a
+//! DVS-capable embedded multiprocessor, minimizing total energy by
+//! trading off voltage scaling, processor-count selection, and processor
+//! shutdown.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`power`] — the 70 nm power/energy model, discrete DVS levels, sleep
+//!   model (paper §3.2–§3.4);
+//! * [`taskgraph`] — weighted DAGs, STG I/O, generators, the MPEG-1 and
+//!   application benchmarks (§3.1, §5.1);
+//! * [`kpn`] — Kahn Process Networks and their DAG unrolling (§3.1);
+//! * [`sched`] — the LS-EDF list scheduler (§4);
+//! * [`energy`] — schedule energy accounting with DVS + shutdown;
+//! * [`core`] — the S&S / LAMPS / +PS heuristics and LIMIT-SF/MF bounds
+//!   (§4);
+//! * [`sim`] — execution simulation with online slack reclamation (the
+//!   §6 future-work direction, after Zhu et al.);
+//! * [`viz`] — SVG Gantt charts and power-over-time plots.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use leakage_sched::prelude::*;
+//!
+//! // Build a task graph (weights in cycles).
+//! let mut b = GraphBuilder::new();
+//! let fetch = b.add_named_task("fetch", 40_000_000);
+//! let left = b.add_named_task("left", 90_000_000);
+//! let right = b.add_named_task("right", 70_000_000);
+//! let merge = b.add_named_task("merge", 30_000_000);
+//! b.add_edge(fetch, left).unwrap();
+//! b.add_edge(fetch, right).unwrap();
+//! b.add_edge(left, merge).unwrap();
+//! b.add_edge(right, merge).unwrap();
+//! let graph = b.build().unwrap();
+//!
+//! // Schedule for minimum energy under a 100 ms deadline.
+//! let cfg = SchedulerConfig::paper();
+//! let sol = solve(Strategy::LampsPs, &graph, 0.100, &cfg).unwrap();
+//! assert!(sol.makespan_s <= 0.100);
+//! println!("{} J on {} processors at {} V",
+//!          sol.energy.total(), sol.n_procs, sol.level.vdd);
+//! ```
+
+pub use lamps_core as core;
+pub use lamps_energy as energy;
+pub use lamps_kpn as kpn;
+pub use lamps_power as power;
+pub use lamps_sched as sched;
+pub use lamps_sim as sim;
+pub use lamps_viz as viz;
+pub use lamps_taskgraph as taskgraph;
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use lamps_core::limits::{limit_mf, limit_sf};
+    pub use lamps_core::{solve, SchedulerConfig, Solution, SolveError, Strategy};
+    pub use lamps_energy::EnergyBreakdown;
+    pub use lamps_power::{LevelTable, OperatingPoint, SleepParams, TechnologyParams};
+    pub use lamps_sched::{PriorityPolicy, Schedule};
+    pub use lamps_taskgraph::{GraphBuilder, TaskGraph, TaskId};
+}

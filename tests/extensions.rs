@@ -1,0 +1,192 @@
+//! Integration tests for the extension layers — everything that goes
+//! beyond the paper's §4/§5 core, exercised through the facade crate.
+
+use leakage_sched::core::genetic::{genetic_solve, GaConfig};
+use leakage_sched::core::multi::{solve_with_deadlines, DeadlineVector};
+use leakage_sched::core::pareto::deadline_sweep;
+use leakage_sched::energy::{power_trace, trace_energy};
+use leakage_sched::kpn::PeriodicSet;
+use leakage_sched::power::abb::{abb_level_table, AbbGrid};
+use leakage_sched::prelude::*;
+use leakage_sched::sim::{actual_cycles, simulate, Policy};
+use leakage_sched::taskgraph::apps::kernels;
+use leakage_sched::taskgraph::gen::fanin::{generate as fanin, FaninConfig};
+use leakage_sched::viz::{gantt_svg, power_svg};
+
+fn cfg() -> SchedulerConfig {
+    SchedulerConfig::paper()
+}
+
+fn deadline(graph: &TaskGraph, factor: f64) -> f64 {
+    factor * graph.critical_path_cycles() as f64 / cfg().max_frequency()
+}
+
+/// Solve → trace → SVG, with the trace integral matching the solver's
+/// energy bill.
+#[test]
+fn solver_trace_svg_pipeline() {
+    let g = kernels::wavefront(8, 3_100_000);
+    let cfg = cfg();
+    let d = deadline(&g, 2.0);
+    let sol = solve(Strategy::LampsPs, &g, d, &cfg).unwrap();
+
+    let trace = power_trace(&sol.schedule, &sol.level, d, Some(&cfg.sleep)).unwrap();
+    let integral = trace_energy(&trace);
+    assert!(
+        (integral - sol.energy.total()).abs() < sol.energy.total() * 1e-9,
+        "trace {integral} vs solver {}",
+        sol.energy.total()
+    );
+
+    let gantt = gantt_svg(&sol.schedule, &g, (d * sol.level.freq) as u64);
+    assert!(gantt.contains("<svg") && gantt.contains("</svg>"));
+    let power = power_svg(&trace);
+    assert!(power.contains("<path"));
+}
+
+/// ABB levels plug into the solver and never lose to the fixed bias.
+#[test]
+fn abb_config_dominates_fixed_bias_end_to_end() {
+    let base = cfg();
+    let abb = SchedulerConfig {
+        levels: abb_level_table(&base.tech, &AbbGrid::default()).unwrap(),
+        ..base.clone()
+    };
+    let g = kernels::gaussian_elimination(10, 3_100_000, 6_200_000);
+    for factor in [1.5, 4.0, 8.0] {
+        let d = deadline(&g, factor);
+        let e_fixed = solve(Strategy::LampsPs, &g, d, &base).unwrap().energy.total();
+        let e_abb = solve(Strategy::LampsPs, &g, d, &abb).unwrap().energy.total();
+        assert!(
+            e_abb <= e_fixed * (1.0 + 1e-9),
+            "{factor}x: ABB {e_abb} vs fixed {e_fixed}"
+        );
+    }
+}
+
+/// Pareto sweep + simulator: every sweep point's plan survives execution
+/// at full WCET.
+#[test]
+fn pareto_points_execute_cleanly() {
+    let g = fanin(
+        &FaninConfig {
+            n_tasks: 50,
+            ..FaninConfig::default()
+        },
+        3,
+    )
+    .scale_weights(3_100_000);
+    let cfg = cfg();
+    let pts = deadline_sweep(Strategy::LampsPs, &g, 1.2, 6.0, 5, &cfg).unwrap();
+    assert!(pts.len() >= 4);
+    for p in pts {
+        let sol = solve(Strategy::LampsPs, &g, p.deadline_s, &cfg).unwrap();
+        let r = simulate(&g, &sol, g.weights(), p.deadline_s, Policy::Static, &cfg);
+        assert!(r.deadline_met, "factor {}", p.factor);
+        assert!((r.total_energy() - p.energy_j).abs() < p.energy_j * 1e-6);
+    }
+}
+
+/// GA through the facade: bounded by LAMPS+PS and the limits.
+#[test]
+fn genetic_respects_bounds_end_to_end() {
+    let g = kernels::fft(4, 1_550_000, 3_100_000);
+    let cfg = cfg();
+    let d = deadline(&g, 2.0);
+    let ga = genetic_solve(
+        &g,
+        d,
+        &cfg,
+        &GaConfig {
+            population: 8,
+            generations: 6,
+            ..GaConfig::default()
+        },
+    )
+    .unwrap();
+    let sf = leakage_sched::core::limits::limit_sf(&g, d, &cfg).unwrap();
+    assert!(ga.energy_j <= ga.seed_energy_j * (1.0 + 1e-9));
+    assert!(ga.energy_j >= sf.energy_j * (1.0 - 1e-9));
+}
+
+/// Periodic set → frame DAG → per-job-deadline solve → simulation with
+/// early finishes: jobs stay within their own deadlines even when the
+/// runtime floats them earlier.
+#[test]
+fn periodic_pipeline_with_early_finishes() {
+    let cfg = cfg();
+    let f_max = cfg.max_frequency();
+    let ms = |t: f64| (t * 1e-3 * f_max) as u64;
+    let base = ms(10.0);
+    let mut set = PeriodicSet::new();
+    let a = set.add("a", ms(2.0), base);
+    let b = set.add("b", ms(3.0), 2 * base);
+    set.depends(a, b).unwrap();
+    let dag = set.to_frame_dag();
+    let dv = DeadlineVector::from_kpn(dag.deadlines.clone(), dag.hyperperiod_cycles);
+    let sol = solve_with_deadlines(Strategy::LampsPs, &dag.graph, &dv, &cfg).unwrap();
+
+    let horizon_s = dag.hyperperiod_cycles as f64 / f_max;
+    let actual = actual_cycles(&dag.graph, 0.5, 0.8, 9);
+    let r = simulate(&dag.graph, &sol, &actual, horizon_s, Policy::SlackReclaim, &cfg);
+    assert!(r.deadline_met);
+    for t in dag.graph.tasks() {
+        let due = dag.deadlines[t.index()].unwrap() as f64 / f_max;
+        assert!(
+            r.tasks[t.index()].finish_s <= due * (1.0 + 1e-9),
+            "job {t} missed its own deadline in simulation"
+        );
+    }
+}
+
+/// Chain clustering is energy-neutral end to end but shrinks the task
+/// count (it only merges work that any schedule runs back-to-back).
+#[test]
+fn clustering_is_energy_neutral() {
+    use leakage_sched::taskgraph::cluster::cluster_chains;
+    use leakage_sched::taskgraph::gen::layered::stg_group;
+    let cfg = cfg();
+    let mut shrunk_somewhere = false;
+    for seed in 0..4 {
+        let g = stg_group(120, 1, seed).remove(0).scale_weights(31_000);
+        let c = cluster_chains(&g);
+        assert_eq!(c.graph.critical_path_cycles(), g.critical_path_cycles());
+        assert_eq!(c.graph.total_work_cycles(), g.total_work_cycles());
+        shrunk_somewhere |= c.graph.len() < g.len();
+        let d = deadline(&g, 2.0);
+        let e0 = solve(Strategy::LampsPs, &g, d, &cfg).unwrap().energy.total();
+        let e1 = solve(Strategy::LampsPs, &c.graph, d, &cfg)
+            .unwrap()
+            .energy
+            .total();
+        assert!(
+            (e1 / e0 - 1.0).abs() < 0.005,
+            "seed {seed}: clustered {e1} vs original {e0}"
+        );
+    }
+    assert!(shrunk_somewhere, "some graph must actually shrink");
+}
+
+/// Fan-in/fan-out graphs run the full strategy set with the dominance
+/// chain intact.
+#[test]
+fn fanin_graphs_respect_dominance() {
+    let cfg = cfg();
+    for seed in 0..3 {
+        let g = fanin(
+            &FaninConfig {
+                n_tasks: 40,
+                ..FaninConfig::default()
+            },
+            seed,
+        )
+        .scale_weights(3_100_000);
+        let d = deadline(&g, 2.0);
+        let e = |s| solve(s, &g, d, &cfg).unwrap().energy.total();
+        let ss = e(Strategy::ScheduleStretch);
+        let lamps_ps = e(Strategy::LampsPs);
+        assert!(lamps_ps <= ss * (1.0 + 1e-9));
+        let sf = leakage_sched::core::limits::limit_sf(&g, d, &cfg).unwrap();
+        assert!(sf.energy_j <= lamps_ps * (1.0 + 1e-9));
+    }
+}

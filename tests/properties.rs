@@ -1,0 +1,221 @@
+//! Property-based tests (proptest) over randomly generated DAGs: the
+//! structural and energetic invariants that must hold for *every* input,
+//! not just the benchmark suites.
+
+use leakage_sched::core::limits::{limit_mf, limit_sf};
+use leakage_sched::energy::evaluate;
+use leakage_sched::prelude::{
+    solve, GraphBuilder, SchedulerConfig, Strategy, TaskGraph, TaskId,
+};
+use leakage_sched::sched::deadlines::latest_finish_times;
+use leakage_sched::sched::idle::{idle_intervals, total_idle_cycles};
+use leakage_sched::sched::list::edf_schedule;
+use leakage_sched::taskgraph::stg;
+use proptest::prelude::*;
+// The prelude's `Strategy` enum shadows proptest's trait of the same
+// name; re-import the trait anonymously for its combinator methods.
+use proptest::strategy::Strategy as _;
+
+/// A random DAG: weights plus an upper-triangular edge mask.
+///
+/// (`Strategy` in the signature is proptest's trait; the scheduling
+/// `Strategy` enum from the prelude shadows it inside this module.)
+fn arb_dag(
+    max_tasks: usize,
+    max_weight: u64,
+) -> impl proptest::strategy::Strategy<Value = TaskGraph> {
+    (2..=max_tasks)
+        .prop_flat_map(move |n| {
+            let weights = prop::collection::vec(1..=max_weight, n);
+            let edges = prop::collection::vec(any::<bool>(), n * (n - 1) / 2);
+            (weights, edges)
+        })
+        .prop_map(|(weights, edges)| {
+            let n = weights.len();
+            let mut b = GraphBuilder::new();
+            let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
+            let mut k = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if edges[k] {
+                        b.add_edge(ids[i], ids[j]).expect("valid");
+                    }
+                    k += 1;
+                }
+            }
+            b.build().expect("upper-triangular edges are acyclic")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every schedule the list scheduler emits is structurally valid, for
+    /// any processor count.
+    #[test]
+    fn schedules_always_valid(
+        g in arb_dag(24, 50),
+        n_procs in 1usize..6,
+    ) {
+        let d = 2 * g.critical_path_cycles();
+        let s = edf_schedule(&g, n_procs, d);
+        prop_assert!(s.validate(&g).is_ok());
+    }
+
+    /// Makespan obeys the classic bounds: at least max(CPL, work/N), at
+    /// most CPL + work/N (Graham's bound for work-conserving list
+    /// scheduling).
+    #[test]
+    fn makespan_within_graham_bounds(
+        g in arb_dag(24, 50),
+        n_procs in 1usize..6,
+    ) {
+        let d = 2 * g.critical_path_cycles();
+        let s = edf_schedule(&g, n_procs, d);
+        let cpl = g.critical_path_cycles();
+        let work = g.total_work_cycles();
+        let n = n_procs as u64;
+        prop_assert!(s.makespan_cycles() >= cpl.max(work.div_ceil(n)));
+        prop_assert!(s.makespan_cycles() <= cpl + work.div_ceil(n));
+    }
+
+    /// Busy + idle time exactly tiles every processor's horizon.
+    #[test]
+    fn idle_intervals_tile_horizon(
+        g in arb_dag(20, 50),
+        n_procs in 1usize..5,
+        slack in 0u64..1000,
+    ) {
+        let d = 2 * g.critical_path_cycles();
+        let s = edf_schedule(&g, n_procs, d);
+        let horizon = s.makespan_cycles() + slack;
+        let idle = total_idle_cycles(&s, horizon);
+        let busy: u64 = (0..n_procs as u32)
+            .map(|p| s.busy_cycles(leakage_sched::sched::ProcId(p)))
+            .sum();
+        prop_assert_eq!(idle + busy, horizon * n_procs as u64);
+        // Intervals are disjoint and ordered per processor.
+        for proc in idle_intervals(&s, horizon) {
+            for w in proc.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+        }
+    }
+
+    /// Latest finish times are topologically consistent and at least the
+    /// task weight.
+    #[test]
+    fn deadline_propagation_consistent(
+        g in arb_dag(20, 50),
+        deadline in 1u64..100_000,
+    ) {
+        let lf = latest_finish_times(&g, deadline);
+        for t in g.tasks() {
+            prop_assert!(lf[t.index()] >= g.weight(t));
+            for &s in g.successors(t) {
+                // lf(t) <= lf(s) - w(s) unless saturation kicked in.
+                if lf[s.index()].saturating_sub(g.weight(s)) >= g.weight(t) {
+                    prop_assert!(lf[t.index()] <= lf[s.index()].saturating_sub(g.weight(s)));
+                }
+            }
+        }
+    }
+
+    /// The §4 dominance chain and the §4.4 lower bounds, on arbitrary
+    /// DAGs and deadlines.
+    #[test]
+    fn dominance_and_limits(
+        g in arb_dag(16, 40),
+        factor_milli in 1100u64..8000,
+    ) {
+        let cfg = SchedulerConfig::paper();
+        let g = g.scale_weights(3_100_000);
+        let factor = factor_milli as f64 / 1000.0;
+        let d = factor * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let e = |s| solve(s, &g, d, &cfg).map(|x| x.energy.total());
+        let (Ok(ss), Ok(lamps), Ok(ss_ps), Ok(lamps_ps)) = (
+            e(Strategy::ScheduleStretch),
+            e(Strategy::Lamps),
+            e(Strategy::ScheduleStretchPs),
+            e(Strategy::LampsPs),
+        ) else {
+            // All-or-nothing: feasibility is strategy-independent.
+            prop_assert!(e(Strategy::ScheduleStretch).is_err());
+            prop_assert!(e(Strategy::LampsPs).is_err());
+            return Ok(());
+        };
+        let eps = ss * 1e-9;
+        prop_assert!(lamps <= ss + eps);
+        prop_assert!(ss_ps <= ss + eps);
+        prop_assert!(lamps_ps <= lamps + eps);
+        prop_assert!(lamps_ps <= ss_ps + eps);
+        let sf = limit_sf(&g, d, &cfg).unwrap().energy_j;
+        let mf = limit_mf(&g, d, &cfg).energy_j;
+        prop_assert!(sf <= lamps_ps + eps);
+        prop_assert!(mf <= sf + eps);
+    }
+
+    /// Energy accounting with PS never exceeds the same schedule without
+    /// PS, at any level.
+    #[test]
+    fn ps_is_never_harmful(
+        g in arb_dag(16, 40),
+        n_procs in 1usize..5,
+        tail_ms in 0u64..500,
+    ) {
+        let cfg = SchedulerConfig::paper();
+        let g = g.scale_weights(1_000_000);
+        let d = 4 * g.critical_path_cycles();
+        let s = edf_schedule(&g, n_procs, d);
+        for level in cfg.levels.points().iter().step_by(4) {
+            let horizon = s.makespan_cycles() as f64 / level.freq + tail_ms as f64 * 1e-3;
+            let with = evaluate(&s, level, horizon, Some(&cfg.sleep)).unwrap().total();
+            let without = evaluate(&s, level, horizon, None).unwrap().total();
+            prop_assert!(with <= without + 1e-12);
+        }
+    }
+
+    /// STG serialization round-trips arbitrary DAGs.
+    #[test]
+    fn stg_roundtrip(g in arb_dag(24, 300)) {
+        let text = stg::write(&g);
+        let parsed = stg::parse(&text).unwrap();
+        prop_assert_eq!(g.len(), parsed.len());
+        prop_assert_eq!(g.edge_count(), parsed.edge_count());
+        for t in g.tasks() {
+            prop_assert_eq!(g.weight(t), parsed.weight(t));
+            prop_assert_eq!(g.predecessors(t), parsed.predecessors(t));
+        }
+    }
+
+    /// Adding processors never increases energy for the LAMPS family
+    /// (it can only widen the candidate set), and the solver's makespan
+    /// is feasible at its chosen level.
+    #[test]
+    fn solutions_meet_their_deadline(
+        g in arb_dag(16, 40),
+        factor_milli in 1500u64..8000,
+    ) {
+        let cfg = SchedulerConfig::paper();
+        let g = g.scale_weights(3_100_000);
+        let factor = factor_milli as f64 / 1000.0;
+        let d = factor * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        for s in Strategy::all() {
+            if let Ok(sol) = solve(s, &g, d, &cfg) {
+                prop_assert!(sol.makespan_s <= d * (1.0 + 1e-9));
+                prop_assert!(sol.schedule.validate(&g).is_ok());
+                prop_assert!(sol.energy.total().is_finite());
+                prop_assert!(sol.energy.total() > 0.0);
+            }
+        }
+    }
+
+    /// The critical path is always realizable: with one processor per
+    /// task, LS-EDF hits it exactly.
+    #[test]
+    fn unbounded_processors_reach_cpl(g in arb_dag(20, 50)) {
+        let d = 2 * g.critical_path_cycles();
+        let s = edf_schedule(&g, g.len(), d);
+        prop_assert_eq!(s.makespan_cycles(), g.critical_path_cycles());
+    }
+}
