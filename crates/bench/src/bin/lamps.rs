@@ -115,7 +115,15 @@ fn cmd_schedule(mut args: Vec<String>) {
     let path = take_path(&mut args);
     let opts = Options::from_args(
         args,
-        &["strategy", "factor", "granularity", "gantt", "trace", "svg", "report"],
+        &[
+            "strategy",
+            "factor",
+            "granularity",
+            "gantt",
+            "trace",
+            "svg",
+            "report",
+        ],
     );
     let g = load(&path).scale_weights(granularity(&opts));
     let cfg = SchedulerConfig::paper();

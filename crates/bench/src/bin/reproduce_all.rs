@@ -4,7 +4,9 @@
 //! graphs per group; the default keeps the full sweep to a few minutes).
 
 use lamps_bench::cli::Options;
-use lamps_bench::experiments::{ablation, curves, integrated, kernels, procs, relative, scatter, sensitivity, slack, tables};
+use lamps_bench::experiments::{
+    ablation, curves, integrated, kernels, procs, relative, scatter, sensitivity, slack, tables,
+};
 use lamps_bench::Granularity;
 
 fn main() {

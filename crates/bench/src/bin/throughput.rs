@@ -1,0 +1,300 @@
+//! Solver throughput benchmark: before/after the hot-path overhaul.
+//!
+//! Runs the Fig. 10 coarse-grain workload (STG-style random groups,
+//! 50–5000 nodes, plus the application proxies; four deadline factors ×
+//! four strategies per graph) through two engines living in this one
+//! binary:
+//!
+//! * **before** — the legacy layout: a fresh [`ScheduleCache`] keyed on
+//!   the *specific* deadline per (factor, strategy) cell, and a level
+//!   sweep that re-walks the whole schedule (`evaluate`) at every
+//!   candidate operating point;
+//! * **after** — the current layout: one canonical cache per graph
+//!   ([`ScheduleCache::for_graph`]) shared across all factors and
+//!   strategies, and the O(procs · log gaps) idle-summary sweep
+//!   ([`solve_with_cache`]).
+//!
+//! Both engines run sequentially (no thread pool) so the measured ratio
+//! is purely algorithmic. Per-strategy energy totals are accumulated in
+//! identical order and compared with `f64::to_bits`; the binary aborts
+//! if the engines disagree on a single bit. Results land in a
+//! hand-written JSON file (default `BENCH_solver.json`).
+
+use lamps_bench::cli::Options;
+use lamps_bench::suite::{Granularity, Suite, DEADLINE_FACTORS};
+use lamps_core::cache::ScheduleCache;
+use lamps_core::{solve_with_cache, SchedulerConfig, Strategy};
+use lamps_energy::{evaluate, EnergyBreakdown};
+use lamps_power::OperatingPoint;
+use lamps_sched::Schedule;
+use lamps_taskgraph::TaskGraph;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Legacy level sweep: slowest-to-fastest over the feasible levels,
+/// re-walking the schedule's task list at every candidate point.
+fn legacy_best_level(
+    schedule: &Schedule,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    ps: bool,
+) -> Option<(OperatingPoint, EnergyBreakdown)> {
+    let required = schedule.makespan_cycles() as f64 / deadline_s;
+    let sleep = ps.then_some(&cfg.sleep);
+    let mut best: Option<(OperatingPoint, EnergyBreakdown)> = None;
+    for level in cfg.levels.at_least(required) {
+        let Ok(energy) = evaluate(schedule, level, deadline_s, sleep) else {
+            continue;
+        };
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| energy.total() < b.total())
+        {
+            best = Some((*level, energy));
+        }
+        if !ps {
+            break;
+        }
+    }
+    best
+}
+
+/// The pre-overhaul solver: identical search structure to
+/// [`solve_with_cache`], but with a deadline-specific cache built fresh
+/// for every call and the full-walk level sweep above.
+fn legacy_solve(
+    strategy: Strategy,
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+) -> Option<EnergyBreakdown> {
+    let deadline_cycles = cfg.deadline_cycles(deadline_s);
+    if graph.critical_path_cycles() > deadline_cycles {
+        return None;
+    }
+    let mut cache = ScheduleCache::new(graph, deadline_cycles);
+    let ps = strategy.uses_ps();
+    if strategy.searches_proc_count() {
+        let n_min = cache.min_feasible_procs(deadline_cycles)?;
+        let mut best: Option<EnergyBreakdown> = None;
+        let mut prev_makespan: Option<u64> = None;
+        for n in n_min..=graph.len().max(1) {
+            let makespan = cache.makespan(n);
+            if let Some(prev) = prev_makespan {
+                if makespan >= prev {
+                    break;
+                }
+            }
+            prev_makespan = Some(makespan);
+            if let Some((_, e)) = legacy_best_level(cache.schedule(n), deadline_s, cfg, ps) {
+                if best.as_ref().is_none_or(|b| e.total() < b.total()) {
+                    best = Some(e);
+                }
+            }
+        }
+        best
+    } else {
+        let mut n = cache.max_useful_procs();
+        if cache.makespan(n) > deadline_cycles {
+            n = cache.min_feasible_procs(deadline_cycles)?;
+        }
+        legacy_best_level(cache.schedule(n), deadline_s, cfg, ps).map(|(_, e)| e)
+    }
+}
+
+/// Per-strategy energy totals accumulated in workload order.
+#[derive(Default)]
+struct Totals {
+    per_strategy: [f64; 4],
+    solve_calls: usize,
+    solved: usize,
+}
+
+impl Totals {
+    fn add(&mut self, strategy_idx: usize, energy: Option<f64>) {
+        self.solve_calls += 1;
+        if let Some(e) = energy {
+            self.per_strategy[strategy_idx] += e;
+            self.solved += 1;
+        }
+    }
+}
+
+fn run_legacy(graphs: &[TaskGraph], cfg: &SchedulerConfig) -> Totals {
+    let mut t = Totals::default();
+    for graph in graphs {
+        for &factor in &DEADLINE_FACTORS {
+            let deadline_s = factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
+            for (si, strategy) in Strategy::all().into_iter().enumerate() {
+                let e = legacy_solve(strategy, graph, deadline_s, cfg);
+                t.add(si, e.map(|b| b.total()));
+            }
+        }
+    }
+    t
+}
+
+fn run_optimized(graphs: &[TaskGraph], cfg: &SchedulerConfig) -> Totals {
+    let mut t = Totals::default();
+    for graph in graphs {
+        let mut cache = ScheduleCache::for_graph(graph);
+        for &factor in &DEADLINE_FACTORS {
+            let deadline_s = factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
+            for (si, strategy) in Strategy::all().into_iter().enumerate() {
+                let e = solve_with_cache(strategy, deadline_s, cfg, &mut cache).ok();
+                t.add(si, e.map(|s| s.energy.total()));
+            }
+        }
+    }
+    t
+}
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out", "smoke"]);
+    let smoke = opts.flag("smoke");
+    let graphs_per_group = opts.usize("graphs", if smoke { 2 } else { 5 });
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "BENCH_solver.json");
+
+    let suite = if smoke {
+        Suite::smoke()
+    } else {
+        Suite::paper(graphs_per_group, seed)
+    };
+    let cfg = SchedulerConfig::paper();
+    let unit = Granularity::Coarse.cycles_per_unit();
+
+    let group_names: Vec<String> = suite.groups.iter().map(|g| g.name.clone()).collect();
+    let graphs: Vec<TaskGraph> = suite
+        .groups
+        .iter()
+        .flat_map(|g| g.graphs.iter().map(|graph| graph.scale_weights(unit)))
+        .collect();
+    eprintln!(
+        "throughput: {} graphs ({} groups) x {} factors x {} strategies, coarse grain, seed {seed}",
+        graphs.len(),
+        group_names.len(),
+        DEADLINE_FACTORS.len(),
+        Strategy::all().len(),
+    );
+
+    let t0 = Instant::now();
+    let before = run_legacy(&graphs, &cfg);
+    let before_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "before: {:.3} s, {:.1} solves/s (per-cell cache + schedule-walk sweep)",
+        before_s,
+        before.solve_calls as f64 / before_s
+    );
+
+    let t1 = Instant::now();
+    let after = run_optimized(&graphs, &cfg);
+    let after_s = t1.elapsed().as_secs_f64();
+    eprintln!(
+        "after:  {:.3} s, {:.1} solves/s (shared canonical cache + idle-summary sweep)",
+        after_s,
+        after.solve_calls as f64 / after_s
+    );
+
+    assert_eq!(before.solve_calls, after.solve_calls);
+    assert_eq!(
+        before.solved, after.solved,
+        "engines disagree on feasibility"
+    );
+    let strategies = ["ss", "lamps", "ss_ps", "lamps_ps"];
+    let mut all_equal = true;
+    for (si, name) in strategies.iter().enumerate() {
+        let (b, a) = (before.per_strategy[si], after.per_strategy[si]);
+        let equal = b.to_bits() == a.to_bits();
+        all_equal &= equal;
+        eprintln!("energy[{name}]: before {b:.9e} J, after {a:.9e} J, bitwise_equal={equal}");
+    }
+    let speedup = before_s / after_s;
+    eprintln!("speedup: {speedup:.2}x");
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"benchmark\": \"solver hot-path overhaul\",");
+    let _ = writeln!(json, "  \"workload\": {{");
+    let _ = writeln!(json, "    \"granularity\": \"coarse\",");
+    let _ = writeln!(json, "    \"smoke\": {smoke},");
+    let _ = writeln!(json, "    \"seed\": {seed},");
+    let _ = writeln!(json, "    \"graphs_per_group\": {graphs_per_group},");
+    let _ = writeln!(
+        json,
+        "    \"groups\": [{}],",
+        group_names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "    \"graphs\": {},", graphs.len());
+    let _ = writeln!(
+        json,
+        "    \"deadline_factors\": [{}],",
+        DEADLINE_FACTORS
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "    \"strategies\": [{}],",
+        strategies
+            .iter()
+            .map(|s| format!("\"{s}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "    \"solve_calls\": {},", before.solve_calls);
+    let _ = writeln!(json, "    \"solved\": {}", before.solved);
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"before\": {{");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"fresh per-cell cache + per-level schedule walk\","
+    );
+    let _ = writeln!(json, "    \"seconds\": {before_s},");
+    let _ = writeln!(
+        json,
+        "    \"solves_per_sec\": {}",
+        before.solve_calls as f64 / before_s
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"after\": {{");
+    let _ = writeln!(
+        json,
+        "    \"engine\": \"shared canonical cache + idle-summary level sweep\","
+    );
+    let _ = writeln!(json, "    \"seconds\": {after_s},");
+    let _ = writeln!(
+        json,
+        "    \"solves_per_sec\": {}",
+        before.solve_calls as f64 / after_s
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"speedup\": {speedup},");
+    let _ = writeln!(json, "  \"energy_totals_j\": {{");
+    for (si, name) in strategies.iter().enumerate() {
+        let (b, a) = (before.per_strategy[si], after.per_strategy[si]);
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{\"before\": {b}, \"after\": {a}, \"bitwise_equal\": {}}}{}",
+            b.to_bits() == a.to_bits(),
+            if si + 1 < strategies.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"all_bitwise_equal\": {all_equal}");
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json).expect("write benchmark JSON");
+    eprintln!("wrote {out}");
+
+    assert!(
+        all_equal,
+        "per-strategy energy totals differ between engines"
+    );
+}

@@ -49,9 +49,12 @@ impl Options {
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.assert_known(key);
         match self.values.get(key) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| die(&format!("--{key} expects an integer, got {v:?}"), &self.known)),
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                die(
+                    &format!("--{key} expects an integer, got {v:?}"),
+                    &self.known,
+                )
+            }),
             None => default,
         }
     }
@@ -60,9 +63,12 @@ impl Options {
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.assert_known(key);
         match self.values.get(key) {
-            Some(v) => v
-                .parse()
-                .unwrap_or_else(|_| die(&format!("--{key} expects an integer, got {v:?}"), &self.known)),
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                die(
+                    &format!("--{key} expects an integer, got {v:?}"),
+                    &self.known,
+                )
+            }),
             None => default,
         }
     }

@@ -57,7 +57,11 @@ pub fn ablation(n_graphs: usize, seed: u64) -> ExperimentOutput {
         "vs_edf",
     ]);
 
-    writeln!(report, "== Ablation 1: list-scheduling priority (S&S-style, deadline 2 x CPL) ==").unwrap();
+    writeln!(
+        report,
+        "== Ablation 1: list-scheduling priority (S&S-style, deadline 2 x CPL) =="
+    )
+    .unwrap();
     writeln!(
         report,
         "{:>6} {:>8} {:>16} {:>14} {:>8}",
@@ -116,9 +120,19 @@ pub fn ablation(n_graphs: usize, seed: u64) -> ExperimentOutput {
     }
 
     writeln!(report).unwrap();
-    writeln!(report, "== Ablation 2: discrete (0.05 V) vs continuous voltage, LAMPS+PS ==").unwrap();
+    writeln!(
+        report,
+        "== Ablation 2: discrete (0.05 V) vs continuous voltage, LAMPS+PS =="
+    )
+    .unwrap();
     let cont_cfg = continuous_config();
-    let mut csv2 = Csv::new(&["graph", "factor", "discrete_j", "continuous_j", "penalty_pct"]);
+    let mut csv2 = Csv::new(&[
+        "graph",
+        "factor",
+        "discrete_j",
+        "continuous_j",
+        "penalty_pct",
+    ]);
     let mut worst: f64 = 0.0;
     for (gi, g) in graphs.iter().enumerate() {
         for factor in [1.5, 4.0] {
@@ -163,11 +177,9 @@ pub fn ablation(n_graphs: usize, seed: u64) -> ExperimentOutput {
     .unwrap();
     let abb_cfg = {
         let base = SchedulerConfig::paper();
-        let levels = lamps_power::abb::abb_level_table(
-            &base.tech,
-            &lamps_power::abb::AbbGrid::default(),
-        )
-        .expect("ABB grid is valid");
+        let levels =
+            lamps_power::abb::abb_level_table(&base.tech, &lamps_power::abb::AbbGrid::default())
+                .expect("ABB grid is valid");
         SchedulerConfig { levels, ..base }
     };
     let mut csv3 = Csv::new(&["graph", "factor", "fixed_j", "abb_j", "gain_pct"]);

@@ -36,7 +36,11 @@ pub fn fig02(samples: usize) -> ExperimentOutput {
     }
 
     let mut report = String::new();
-    writeln!(report, "== Fig. 2: power and energy vs normalized frequency ==").unwrap();
+    writeln!(
+        report,
+        "== Fig. 2: power and energy vs normalized frequency =="
+    )
+    .unwrap();
     writeln!(
         report,
         "f_max = {:.3} GHz at Vdd = {} V",
@@ -75,10 +79,30 @@ pub fn fig02(samples: usize) -> ExperimentOutput {
         "f / f_max",
         "power [W]",
     )
-    .line("P_total", data.iter().map(|s| (s.normalized_freq, s.power.total())).collect())
-    .line("P_AC", data.iter().map(|s| (s.normalized_freq, s.power.dynamic)).collect())
-    .line("P_DC", data.iter().map(|s| (s.normalized_freq, s.power.static_)).collect())
-    .line("P_on", data.iter().map(|s| (s.normalized_freq, s.power.on)).collect())
+    .line(
+        "P_total",
+        data.iter()
+            .map(|s| (s.normalized_freq, s.power.total()))
+            .collect(),
+    )
+    .line(
+        "P_AC",
+        data.iter()
+            .map(|s| (s.normalized_freq, s.power.dynamic))
+            .collect(),
+    )
+    .line(
+        "P_DC",
+        data.iter()
+            .map(|s| (s.normalized_freq, s.power.static_))
+            .collect(),
+    )
+    .line(
+        "P_on",
+        data.iter()
+            .map(|s| (s.normalized_freq, s.power.on))
+            .collect(),
+    )
     .render();
     let energy_svg = lamps_viz::Chart::new(
         "Fig. 2b: energy per cycle vs normalized frequency",
@@ -133,7 +157,11 @@ pub fn fig03(samples: usize) -> ExperimentOutput {
         })
         .expect("non-empty");
     let mut report = String::new();
-    writeln!(report, "== Fig. 3: PS break-even idle period vs frequency ==").unwrap();
+    writeln!(
+        report,
+        "== Fig. 3: PS break-even idle period vs frequency =="
+    )
+    .unwrap();
     writeln!(
         report,
         "sleep power 50 uW, transition overhead 483 uJ (Jejurikar et al.)"

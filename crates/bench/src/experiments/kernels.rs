@@ -19,10 +19,7 @@ use std::fmt::Write as _;
 pub fn kernel_set() -> Vec<(&'static str, TaskGraph)> {
     const MS: u64 = 3_100_000; // 1 ms at f_max
     vec![
-        (
-            "gauss16",
-            kernels::gaussian_elimination(16, MS, 2 * MS),
-        ),
+        ("gauss16", kernels::gaussian_elimination(16, MS, 2 * MS)),
         ("fft64", kernels::fft(6, MS / 2, MS)),
         ("wave12", kernels::wavefront(12, MS)),
         ("forkjoin", kernels::fork_join(4, 3, MS / 2, 3 * MS)),
@@ -42,7 +39,11 @@ pub fn kernels_exhibit() -> ExperimentOutput {
         "limit_sf_pct",
     ]);
     let mut report = String::new();
-    writeln!(report, "== Extension: structured kernels (relative energy vs S&S, coarse) ==").unwrap();
+    writeln!(
+        report,
+        "== Extension: structured kernels (relative energy vs S&S, coarse) =="
+    )
+    .unwrap();
     writeln!(
         report,
         "{:>9} {:>7} {:>6} {:>8} {:>8} {:>9} {:>9}",

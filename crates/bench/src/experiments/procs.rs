@@ -8,7 +8,7 @@ use crate::suite::Granularity;
 use lamps_core::cache::ScheduleCache;
 use lamps_core::limits::limit_mf;
 use lamps_core::SchedulerConfig;
-use lamps_energy::evaluate;
+use lamps_energy::evaluate_summary;
 use lamps_taskgraph::apps::proxies;
 use std::fmt::Write as _;
 
@@ -27,11 +27,10 @@ pub fn energy_vs_procs(
     let floor = limit_mf(graph, deadline_s, cfg).energy_j;
     (1..=max_procs)
         .map(|n| {
-            let schedule = cache.schedule(n);
-            let makespan = schedule.makespan_cycles();
-            let required = makespan as f64 / deadline_s;
+            let summary = cache.summary(n);
+            let required = summary.makespan_cycles() as f64 / deadline_s;
             let level = cfg.levels.lowest_at_least(required)?;
-            let energy = evaluate(schedule, level, deadline_s, None).ok()?;
+            let energy = evaluate_summary(summary, level, deadline_s, None).ok()?;
             Some(energy.total() / floor)
         })
         .collect()
@@ -150,14 +149,7 @@ mod tests {
 
     #[test]
     fn local_minima_counter() {
-        let curve = vec![
-            Some(5.0),
-            Some(3.0),
-            Some(4.0),
-            Some(2.0),
-            Some(6.0),
-            None,
-        ];
+        let curve = vec![Some(5.0), Some(3.0), Some(4.0), Some(2.0), Some(6.0), None];
         assert_eq!(local_minima(&curve), 2);
         assert_eq!(local_minima(&[None, Some(1.0)]), 0);
     }

@@ -5,7 +5,7 @@
 use super::ExperimentOutput;
 use crate::csv::{pct, Csv};
 use crate::parallel::par_map;
-use crate::run::{evaluate_graph, mean_over, GraphResult};
+use crate::run::{evaluate_graph_all_factors, mean_over, GraphResult};
 use crate::suite::{Granularity, Suite, DEADLINE_FACTORS};
 use lamps_core::{SchedulerConfig, Strategy};
 use std::fmt::Write as _;
@@ -32,18 +32,35 @@ pub struct RelativeRow {
 }
 
 /// Evaluate the full relative-energy table for one granularity.
+///
+/// Each graph is visited *once*: all four deadline factors (and within
+/// them all four strategies) share the graph's canonical schedule cache,
+/// since LS-EDF schedules do not depend on the deadline above the
+/// critical path. Rows come out in the same factor-outer order as the
+/// per-cell layout this replaces.
 pub fn relative_energy_rows(
     granularity: Granularity,
     suite: &Suite,
     cfg: &SchedulerConfig,
 ) -> Vec<RelativeRow> {
+    // group → graph → factor
+    let per_group: Vec<Vec<Vec<Option<GraphResult>>>> = suite
+        .groups
+        .iter()
+        .map(|group| {
+            par_map(&group.graphs, |g| {
+                evaluate_graph_all_factors(g, granularity, &DEADLINE_FACTORS, cfg)
+            })
+        })
+        .collect();
+
     let mut rows = Vec::new();
-    for &factor in &DEADLINE_FACTORS {
-        for group in &suite.groups {
-            let results: Vec<Option<GraphResult>> = par_map(&group.graphs, |g| {
-                evaluate_graph(g, granularity, factor, cfg).ok()
-            });
-            let results: Vec<GraphResult> = results.into_iter().flatten().collect();
+    for (fi, &factor) in DEADLINE_FACTORS.iter().enumerate() {
+        for (group, graphs) in suite.groups.iter().zip(&per_group) {
+            let results: Vec<GraphResult> = graphs
+                .iter()
+                .filter_map(|per_factor| per_factor[fi].clone())
+                .collect();
             if results.is_empty() {
                 continue;
             }
@@ -198,14 +215,32 @@ pub fn relative_energy(
         }
         let categories: Vec<String> = sub.iter().map(|r| r.group.clone()).collect();
         let series = vec![
-            ("LAMPS".to_string(), sub.iter().map(|r| r.lamps * 100.0).collect()),
-            ("S&S+PS".to_string(), sub.iter().map(|r| r.ss_ps * 100.0).collect()),
-            ("LAMPS+PS".to_string(), sub.iter().map(|r| r.lamps_ps * 100.0).collect()),
-            ("LIMIT-SF".to_string(), sub.iter().map(|r| r.limit_sf * 100.0).collect()),
-            ("LIMIT-MF".to_string(), sub.iter().map(|r| r.limit_mf * 100.0).collect()),
+            (
+                "LAMPS".to_string(),
+                sub.iter().map(|r| r.lamps * 100.0).collect(),
+            ),
+            (
+                "S&S+PS".to_string(),
+                sub.iter().map(|r| r.ss_ps * 100.0).collect(),
+            ),
+            (
+                "LAMPS+PS".to_string(),
+                sub.iter().map(|r| r.lamps_ps * 100.0).collect(),
+            ),
+            (
+                "LIMIT-SF".to_string(),
+                sub.iter().map(|r| r.limit_sf * 100.0).collect(),
+            ),
+            (
+                "LIMIT-MF".to_string(),
+                sub.iter().map(|r| r.limit_mf * 100.0).collect(),
+            ),
         ];
         let svg = lamps_viz::grouped_bars(
-            &format!("{fig}: relative energy vs S&S, deadline {factor} x CPL ({} grain)", granularity.name()),
+            &format!(
+                "{fig}: relative energy vs S&S, deadline {factor} x CPL ({} grain)",
+                granularity.name()
+            ),
             "% of S&S energy",
             &categories,
             &series,

@@ -178,7 +178,10 @@ pub fn scatter(granularity: Granularity, per_size: usize, seed: u64) -> Experime
         points.iter().map(|p| (p.parallelism, sel(p))).collect()
     };
     let svg = lamps_viz::Chart::new(
-        &format!("{fig}: energy / total work vs parallelism ({} grain)", granularity.name()),
+        &format!(
+            "{fig}: energy / total work vs parallelism ({} grain)",
+            granularity.name()
+        ),
         "average parallelism",
         "energy per work unit [J]",
     )

@@ -78,9 +78,8 @@ pub fn sensitivity_rows(n_graphs: usize, seed: u64) -> Vec<SensitivityRow> {
                 ))
             });
             let rels: Vec<(f64, f64)> = rels.into_iter().flatten().collect();
-            let mean = |sel: fn(&(f64, f64)) -> f64| {
-                rels.iter().map(sel).sum::<f64>() / rels.len() as f64
-            };
+            let mean =
+                |sel: fn(&(f64, f64)) -> f64| rels.iter().map(sel).sum::<f64>() / rels.len() as f64;
             SensitivityRow {
                 factor,
                 static_share: nominal.static_ / nominal.total(),

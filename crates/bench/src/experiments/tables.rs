@@ -73,7 +73,11 @@ pub fn table2(graphs_per_group: usize, seed: u64) -> ExperimentOutput {
         ]);
     }
 
-    writeln!(report, "-- published application rows (proxies match exactly) --").unwrap();
+    writeln!(
+        report,
+        "-- published application rows (proxies match exactly) --"
+    )
+    .unwrap();
     for row in proxies::TABLE2_APPS {
         writeln!(
             report,
@@ -104,7 +108,11 @@ pub fn table3() -> ExperimentOutput {
 
     let mut csv = Csv::new(&["approach", "energy_j", "n_procs", "vdd", "relative_to_ss"]);
     let mut report = String::new();
-    writeln!(report, "== Table 3: MPEG-1 (15-frame GOP, deadline 0.5 s) ==").unwrap();
+    writeln!(
+        report,
+        "== Table 3: MPEG-1 (15-frame GOP, deadline 0.5 s) =="
+    )
+    .unwrap();
     writeln!(
         report,
         "{:>10} {:>12} {:>8} {:>6} {:>10}",

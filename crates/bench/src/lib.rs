@@ -15,6 +15,7 @@
 //! | `table2` | Table 2 — benchmark characteristics |
 //! | `table3` | Table 3 — MPEG-1 energies and processor counts |
 //! | `ablation` | §4.4/§6 — priority policies & continuous voltage |
+//! | `throughput` | solver throughput before/after the hot-path overhaul (`BENCH_solver.json`) |
 //! | `reproduce-all` | everything above, with CSVs under `results/` |
 //!
 //! The library part holds the shared machinery: benchmark-suite
@@ -22,6 +23,8 @@
 //! application proxies), per-graph strategy evaluation, aggregation into
 //! the relative-energy tables, a tiny CLI-flag parser, CSV output, and a
 //! scoped-thread parallel map.
+
+#![forbid(unsafe_code)]
 
 pub mod cli;
 pub mod csv;

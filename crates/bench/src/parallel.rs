@@ -2,8 +2,11 @@
 //!
 //! The harness evaluates thousands of independent (graph × deadline ×
 //! strategy) cells; this fans them out over the available cores with
-//! crossbeam's scoped threads — no work stealing needed, the cells are
-//! chunked statically and each chunk is comparable in size.
+//! `std::thread::scope`. Workers claim items one at a time from a shared
+//! atomic counter (dynamic "work-stealing-lite" chunking, so uneven cell
+//! costs still balance) and collect `(index, result)` pairs locally;
+//! the pairs are merged into an ordered output after the scope joins.
+//! No `unsafe` anywhere — the crate forbids it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -23,42 +26,41 @@ where
     }
 
     let next = AtomicUsize::new(0);
+    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..n_threads)
+            .map(|_| {
+                let f = &f;
+                let next = &next;
+                scope.spawn(move || {
+                    let mut local: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    let out_ptr = SendPtr(out.as_mut_ptr());
-
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..n_threads {
-            let f = &f;
-            let next = &next;
-            let out_ptr = &out_ptr;
-            scope.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                let r = f(&items[i]);
-                // SAFETY: each index is claimed by exactly one thread via
-                // the atomic counter, so the writes are disjoint, and the
-                // scope guarantees the buffer outlives the threads.
-                unsafe {
-                    *out_ptr.0.add(i) = Some(r);
-                }
-            });
+    for part in parts.drain(..) {
+        for (i, r) in part {
+            debug_assert!(out[i].is_none(), "index {i} claimed twice");
+            out[i] = Some(r);
         }
-    })
-    .expect("worker thread panicked");
-
+    }
     out.into_iter()
         .map(|r| r.expect("every index was processed"))
         .collect()
 }
-
-/// Wrapper making a raw pointer Sync for the disjoint-write pattern
-/// above.
-struct SendPtr<R>(*mut Option<R>);
-// SAFETY: the pointer is only dereferenced at indices claimed uniquely
-// through the atomic counter; see par_map.
-unsafe impl<R: Send> Sync for SendPtr<R> {}
 
 #[cfg(test)]
 mod tests {

@@ -1,9 +1,16 @@
 //! Per-graph experiment execution: run every strategy and both limits on
 //! one (graph, granularity, deadline-factor) cell.
+//!
+//! LS-EDF schedules are deadline-invariant above the critical path, so
+//! one canonical [`ScheduleCache`] serves every strategy *and* every
+//! deadline factor of a graph: [`evaluate_graph_all_factors`] schedules
+//! each candidate processor count at most once for the whole sweep,
+//! where the naive layout re-schedules per (factor, strategy) cell.
 
 use crate::suite::Granularity;
+use lamps_core::cache::ScheduleCache;
 use lamps_core::limits::{limit_mf, limit_sf};
-use lamps_core::{solve, SchedulerConfig, SolveError, Strategy};
+use lamps_core::{solve_with_cache, SchedulerConfig, SolveError, Strategy};
 use lamps_taskgraph::TaskGraph;
 
 /// Result of one strategy on one graph.
@@ -89,16 +96,49 @@ pub fn evaluate_graph(
     evaluate_scaled(&scaled, deadline_s, cfg)
 }
 
+/// Evaluate one graph under *every* deadline factor, sharing a single
+/// schedule cache across the whole sweep. Returns one entry per factor
+/// (`None` where that cell is infeasible or degenerate).
+pub fn evaluate_graph_all_factors(
+    graph: &TaskGraph,
+    granularity: Granularity,
+    factors: &[f64],
+    cfg: &SchedulerConfig,
+) -> Vec<Option<GraphResult>> {
+    let scaled = graph.scale_weights(granularity.cycles_per_unit());
+    let mut cache = ScheduleCache::for_graph(&scaled);
+    factors
+        .iter()
+        .map(|&factor| {
+            let deadline_s = factor * scaled.critical_path_cycles() as f64 / cfg.max_frequency();
+            evaluate_scaled_with(&scaled, deadline_s, cfg, &mut cache).ok()
+        })
+        .collect()
+}
+
 /// Evaluate a graph already scaled to cycles, with an explicit deadline.
 pub fn evaluate_scaled(
     scaled: &TaskGraph,
     deadline_s: f64,
     cfg: &SchedulerConfig,
 ) -> Result<GraphResult, SolveError> {
-    let ss = solve(Strategy::ScheduleStretch, scaled, deadline_s, cfg)?;
-    let lamps = solve(Strategy::Lamps, scaled, deadline_s, cfg)?;
-    let ss_ps = solve(Strategy::ScheduleStretchPs, scaled, deadline_s, cfg)?;
-    let lamps_ps = solve(Strategy::LampsPs, scaled, deadline_s, cfg)?;
+    let mut cache = ScheduleCache::for_graph(scaled);
+    evaluate_scaled_with(scaled, deadline_s, cfg, &mut cache)
+}
+
+/// [`evaluate_scaled`] against a caller-owned cache (which must have
+/// been built for `scaled` with deadline-invariant canonical keys, e.g.
+/// by [`ScheduleCache::for_graph`]).
+pub fn evaluate_scaled_with(
+    scaled: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+) -> Result<GraphResult, SolveError> {
+    let ss = solve_with_cache(Strategy::ScheduleStretch, deadline_s, cfg, cache)?;
+    let lamps = solve_with_cache(Strategy::Lamps, deadline_s, cfg, cache)?;
+    let ss_ps = solve_with_cache(Strategy::ScheduleStretchPs, deadline_s, cfg, cache)?;
+    let lamps_ps = solve_with_cache(Strategy::LampsPs, deadline_s, cfg, cache)?;
     let sf = limit_sf(scaled, deadline_s, cfg)?;
     let mf = limit_mf(scaled, deadline_s, cfg);
     Ok(GraphResult {

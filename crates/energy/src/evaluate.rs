@@ -1,7 +1,24 @@
 //! Schedule energy evaluation at one DVS operating point.
+//!
+//! Two interchangeable paths produce bit-identical results:
+//!
+//! * [`evaluate`] / [`evaluate_detailed`] walk the schedule's tasks —
+//!   the reference accounting.
+//! * [`evaluate_summary`] bills a precomputed [`IdleSummary`] without
+//!   touching the schedule again: per processor it needs only the busy
+//!   cycles, the last finish, and one binary search over the sorted gap
+//!   lengths to split them at the sleep break-even cutoff. A level sweep
+//!   over the 14 operating points therefore walks the schedule once,
+//!   not 14 times.
+//!
+//! Equality is by construction, not by tolerance: both paths first
+//! accumulate per-processor *integer cycle* totals (exact,
+//! order-independent sums) and classify every inner gap against the same
+//! integer cutoff [`min_sleep_cycles`], then convert to joules through
+//! one shared function.
 
 use lamps_power::{OperatingPoint, SleepParams};
-use lamps_sched::{ProcId, Schedule};
+use lamps_sched::{IdleSummary, ProcId, Schedule};
 
 /// Relative tolerance when checking that the stretched makespan fits the
 /// horizon (guards against floating-point edge cases at exact fits).
@@ -135,64 +152,185 @@ pub fn evaluate_detailed(
     horizon_s: f64,
     ps: Option<&SleepParams>,
 ) -> Result<Vec<ProcEnergy>, EnergyError> {
-    let freq = level.freq;
-    let makespan_s = schedule.makespan_cycles() as f64 / freq;
+    check_fit(schedule.makespan_cycles(), level, horizon_s)?;
+    let cutoff = sleep_cutoff(level, ps);
+    let mut out = Vec::with_capacity(schedule.n_procs());
+    for p in 0..schedule.n_procs() as u32 {
+        let p = ProcId(p);
+        let mut c = ProcCycles::default();
+        for &t in schedule.tasks_on(p) {
+            let s = schedule.start(t);
+            if s > c.cursor {
+                c.account_gap(s - c.cursor, cutoff);
+            }
+            c.busy += schedule.finish(t) - s;
+            c.cursor = c.cursor.max(schedule.finish(t));
+        }
+        out.push(bill_proc(p, &c, level, horizon_s, ps));
+    }
+    Ok(out)
+}
+
+/// Bill a precomputed [`IdleSummary`] at `level` — same result as
+/// [`evaluate`] on the summarized schedule, bit for bit, but in
+/// O(procs · log gaps) instead of O(tasks).
+pub fn evaluate_summary(
+    summary: &IdleSummary,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+) -> Result<EnergyBreakdown, EnergyError> {
+    check_fit(summary.makespan_cycles(), level, horizon_s)?;
+    let cutoff = sleep_cutoff(level, ps);
+    let mut sum = EnergyBreakdown::default();
+    for p in 0..summary.n_procs() as u32 {
+        let p = ProcId(p);
+        let (awake_gaps, sleep_gaps, episodes) = summary.split_gaps(p, cutoff);
+        let c = ProcCycles {
+            busy: summary.busy_cycles(p),
+            awake_gaps,
+            sleep_gaps,
+            episodes,
+            cursor: summary.last_finish_cycles(p),
+        };
+        sum.add(&bill_proc(p, &c, level, horizon_s, ps).breakdown);
+    }
+    Ok(sum)
+}
+
+/// Smallest idle-gap length in cycles at `level.freq` for which shutting
+/// down saves energy over idling — the integer form of
+/// [`SleepParams::worth_sleeping`]. Returns `u64::MAX` when sleeping
+/// never pays off at this level.
+///
+/// `worth_sleeping` is monotone in the duration and `g ↦ g as f64 /
+/// freq` is non-decreasing, so for any integer gap `g`:
+/// `g >= min_sleep_cycles(..)` exactly iff `worth_sleeping(idle_power,
+/// g as f64 / freq)`. Classifying gaps against this cutoff is therefore
+/// *identical* to applying the float predicate per gap, while enabling
+/// the sorted-gaps binary search of [`evaluate_summary`].
+pub fn min_sleep_cycles(level: &OperatingPoint, sleep: &SleepParams) -> u64 {
+    let pays = |g: u64| sleep.worth_sleeping(level.idle_power, g as f64 / level.freq);
+    let breakeven_s = sleep.breakeven_time(level.idle_power);
+    if !breakeven_s.is_finite() {
+        return u64::MAX;
+    }
+    if pays(0) {
+        return 0;
+    }
+    // Bracket the boundary starting from the analytic break-even point,
+    // then binary-search the exact integer under the float predicate.
+    let guess = (breakeven_s * level.freq).ceil();
+    if !guess.is_finite() || guess >= u64::MAX as f64 {
+        return u64::MAX;
+    }
+    let mut hi = (guess as u64).saturating_add(2);
+    while !pays(hi) {
+        if hi >= u64::MAX / 2 {
+            return u64::MAX;
+        }
+        hi *= 2;
+    }
+    let mut lo = 0u64; // invariant: !pays(lo) && pays(hi)
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if pays(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    hi
+}
+
+/// Per-processor integer cycle totals — the common intermediate of both
+/// evaluation paths. Integer sums are exact and order-independent, which
+/// is what makes the two paths bit-identical.
+#[derive(Debug, Default, Clone, Copy)]
+struct ProcCycles {
+    busy: u64,
+    awake_gaps: u64,
+    sleep_gaps: u64,
+    episodes: usize,
+    cursor: u64,
+}
+
+impl ProcCycles {
+    #[inline]
+    fn account_gap(&mut self, gap: u64, cutoff: u64) {
+        if gap >= cutoff {
+            self.sleep_gaps += gap;
+            self.episodes += 1;
+        } else {
+            self.awake_gaps += gap;
+        }
+    }
+}
+
+/// Gap-classification cutoff for a level: gaps of at least this many
+/// cycles sleep; without PS nothing does.
+fn sleep_cutoff(level: &OperatingPoint, ps: Option<&SleepParams>) -> u64 {
+    ps.map_or(u64::MAX, |sleep| min_sleep_cycles(level, sleep))
+}
+
+fn check_fit(
+    makespan_cycles: u64,
+    level: &OperatingPoint,
+    horizon_s: f64,
+) -> Result<(), EnergyError> {
+    let makespan_s = makespan_cycles as f64 / level.freq;
     if makespan_s > horizon_s * (1.0 + FIT_EPS) {
         return Err(EnergyError::DeadlineMiss {
             makespan_s,
             horizon_s,
         });
     }
+    Ok(())
+}
 
-    let mut out = Vec::with_capacity(schedule.n_procs());
-    for p in 0..schedule.n_procs() as u32 {
-        let p = ProcId(p);
-        let mut b = EnergyBreakdown::default();
-        let mut busy_s = 0.0;
-        let mut idle_awake_s = 0.0;
-        let mut asleep_s = 0.0;
-
-        let mut account_idle = |duration_s: f64, b: &mut EnergyBreakdown| {
-            if duration_s <= 0.0 {
-                return;
+/// Convert one processor's integer totals to joules. The single place
+/// where cycles meet floating point — shared by the walk and summary
+/// paths, so any rounding is common to both.
+fn bill_proc(
+    p: ProcId,
+    c: &ProcCycles,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+) -> ProcEnergy {
+    let freq = level.freq;
+    let mut b = EnergyBreakdown {
+        active_j: c.busy as f64 * level.energy_per_cycle,
+        sleep_episodes: c.episodes,
+        ..EnergyBreakdown::default()
+    };
+    let mut idle_awake_s = c.awake_gaps as f64 / freq;
+    let mut asleep_s = c.sleep_gaps as f64 / freq;
+    // The tail from the last finish to the horizon is not an integer
+    // cycle count (the horizon is a deadline in seconds), so it is
+    // classified with the float predicate — identically in both paths.
+    let tail_s = horizon_s - c.cursor as f64 / freq;
+    if tail_s > 0.0 {
+        match ps {
+            Some(sleep) if sleep.worth_sleeping(level.idle_power, tail_s) => {
+                b.sleep_episodes += 1;
+                asleep_s += tail_s;
             }
-            match ps {
-                Some(sleep) if sleep.worth_sleeping(level.idle_power, duration_s) => {
-                    b.transition_j += sleep.transition_energy;
-                    b.sleep_j += sleep.sleep_power * duration_s;
-                    b.sleep_episodes += 1;
-                    asleep_s += duration_s;
-                }
-                _ => {
-                    b.idle_j += level.idle_power * duration_s;
-                    idle_awake_s += duration_s;
-                }
-            }
-        };
-
-        let mut cursor = 0u64;
-        for &t in schedule.tasks_on(p) {
-            let s = schedule.start(t);
-            if s > cursor {
-                account_idle((s - cursor) as f64 / freq, &mut b);
-            }
-            let run = schedule.finish(t) - s;
-            b.active_j += run as f64 * level.energy_per_cycle;
-            busy_s += run as f64 / freq;
-            cursor = cursor.max(schedule.finish(t));
+            _ => idle_awake_s += tail_s,
         }
-        let tail_s = horizon_s - cursor as f64 / freq;
-        account_idle(tail_s, &mut b);
-
-        out.push(ProcEnergy {
-            proc: p,
-            breakdown: b,
-            busy_s,
-            idle_awake_s,
-            asleep_s,
-        });
     }
-    Ok(out)
+    b.idle_j = level.idle_power * idle_awake_s;
+    if let Some(sleep) = ps {
+        b.sleep_j = sleep.sleep_power * asleep_s;
+        b.transition_j = b.sleep_episodes as f64 * sleep.transition_energy;
+    }
+    ProcEnergy {
+        proc: p,
+        breakdown: b,
+        busy_s: c.busy as f64 / freq,
+        idle_awake_s,
+        asleep_s,
+    }
 }
 
 #[cfg(test)]
@@ -326,9 +464,7 @@ mod tests {
         let g = single_task(10_000_000);
         let s = edf_schedule(&g, 1, 10_000_000);
         let crit = levels.critical();
-        let e_crit = evaluate(&s, crit, 1.0e7 / crit.freq, None)
-            .unwrap()
-            .total();
+        let e_crit = evaluate(&s, crit, 1.0e7 / crit.freq, None).unwrap().total();
         for lvl in levels.points() {
             let e = evaluate(&s, lvl, 1.0e7 / lvl.freq, None).unwrap().total();
             assert!(e >= e_crit - 1e-12, "vdd {} beats critical", lvl.vdd);

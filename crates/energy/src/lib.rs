@@ -21,5 +21,8 @@
 pub mod evaluate;
 pub mod trace;
 
-pub use evaluate::{evaluate, evaluate_detailed, EnergyBreakdown, EnergyError, ProcEnergy};
+pub use evaluate::{
+    evaluate, evaluate_detailed, evaluate_summary, min_sleep_cycles, EnergyBreakdown, EnergyError,
+    ProcEnergy,
+};
 pub use trace::{power_trace, trace_csv, trace_energy, ProcState, TraceSegment};

@@ -1,98 +1,175 @@
-//! Property-based tests of the energy accounting: the trace integral
-//! must equal the evaluator's bill on arbitrary schedules, levels, and
-//! horizons, with and without processor shutdown.
+//! Randomized property tests of the energy accounting: the trace
+//! integral must equal the evaluator's bill on arbitrary schedules,
+//! levels, and horizons, with and without processor shutdown. Driven by
+//! the workspace's internal seeded RNG so they run offline and
+//! deterministically.
 
-use lamps_energy::{evaluate, evaluate_detailed, power_trace, trace_energy};
+use lamps_energy::{evaluate, evaluate_detailed, evaluate_summary, power_trace, trace_energy};
 use lamps_power::{LevelTable, SleepParams, TechnologyParams};
 use lamps_sched::list::edf_schedule;
-use lamps_taskgraph::{GraphBuilder, TaskGraph, TaskId};
-use proptest::prelude::*;
+use lamps_sched::IdleSummary;
+use lamps_taskgraph::rng::Rng;
+use lamps_taskgraph::{
+    GraphBuilder, TaskGraph, TaskId, COARSE_GRAIN_CYCLES_PER_UNIT, FINE_GRAIN_CYCLES_PER_UNIT,
+};
 
-fn arb_dag() -> impl Strategy<Value = TaskGraph> {
-    (2usize..16)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(1u64..5_000_000, n),
-                prop::collection::vec(any::<bool>(), n * (n - 1) / 2),
-            )
-        })
-        .prop_map(|(weights, edges)| {
-            let n = weights.len();
-            let mut b = GraphBuilder::new();
-            let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if edges[k] {
-                        b.add_edge(ids[i], ids[j]).expect("valid");
-                    }
-                    k += 1;
-                }
+const CASES: usize = 64;
+
+fn arb_dag(rng: &mut Rng) -> TaskGraph {
+    let n = rng.gen_range(2usize..16);
+    let mut b = GraphBuilder::new();
+    let ids: Vec<TaskId> = (0..n)
+        .map(|_| b.add_task(rng.gen_range(1u64..5_000_000)))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.5) {
+                b.add_edge(ids[i], ids[j]).expect("valid");
             }
-            b.build().expect("acyclic")
-        })
+        }
+    }
+    b.build().expect("acyclic")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Trace integral == evaluator total, for every level and both PS
-    /// modes.
-    #[test]
-    fn trace_integral_equals_bill(
-        g in arb_dag(),
-        n_procs in 1usize..4,
-        level_idx in 0usize..14,
-        tail_ms in 0u64..200,
-    ) {
-        let tech = TechnologyParams::seventy_nm();
-        let levels = LevelTable::default_grid(&tech).unwrap();
+/// Trace integral == evaluator total, for every level and both PS
+/// modes.
+#[test]
+fn trace_integral_equals_bill() {
+    let mut rng = Rng::seed_from_u64(0xB001);
+    let tech = TechnologyParams::seventy_nm();
+    let levels = LevelTable::default_grid(&tech).unwrap();
+    let sleep = SleepParams::paper();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng);
+        let n_procs = rng.gen_range(1usize..4);
+        let level_idx = rng.gen_range(0usize..14);
+        let tail_ms = rng.gen_range(0u64..200);
         let level = levels.points()[level_idx.min(levels.len() - 1)];
-        let sleep = SleepParams::paper();
         let s = edf_schedule(&g, n_procs, 2 * g.critical_path_cycles());
         let horizon = s.makespan_cycles() as f64 / level.freq + tail_ms as f64 * 1e-3;
         for ps in [None, Some(&sleep)] {
             let bill = evaluate(&s, &level, horizon, ps).unwrap().total();
             let trace = power_trace(&s, &level, horizon, ps).unwrap();
             let integral = trace_energy(&trace);
-            prop_assert!(
+            assert!(
                 (integral - bill).abs() <= bill.abs() * 1e-9 + 1e-15,
                 "ps={}: {integral} vs {bill}",
                 ps.is_some()
             );
         }
     }
+}
 
-    /// Per-processor detail sums to the total, and per-processor time
-    /// accounting tiles the horizon.
-    #[test]
-    fn detail_tiles_horizon(
-        g in arb_dag(),
-        n_procs in 1usize..4,
-        tail_ms in 1u64..100,
-    ) {
-        let tech = TechnologyParams::seventy_nm();
-        let levels = LevelTable::default_grid(&tech).unwrap();
-        let level = levels.critical();
-        let sleep = SleepParams::paper();
+/// Per-processor detail sums to the total, and per-processor time
+/// accounting tiles the horizon.
+#[test]
+fn detail_tiles_horizon() {
+    let mut rng = Rng::seed_from_u64(0xB002);
+    let tech = TechnologyParams::seventy_nm();
+    let levels = LevelTable::default_grid(&tech).unwrap();
+    let level = levels.critical();
+    let sleep = SleepParams::paper();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng);
+        let n_procs = rng.gen_range(1usize..4);
+        let tail_ms = rng.gen_range(1u64..100);
         let s = edf_schedule(&g, n_procs, 2 * g.critical_path_cycles());
         let horizon = s.makespan_cycles() as f64 / level.freq + tail_ms as f64 * 1e-3;
         let detail = evaluate_detailed(&s, level, horizon, Some(&sleep)).unwrap();
         let total: f64 = detail.iter().map(|p| p.breakdown.total()).sum();
         let direct = evaluate(&s, level, horizon, Some(&sleep)).unwrap().total();
-        prop_assert!((total - direct).abs() < direct * 1e-9 + 1e-15);
+        assert!((total - direct).abs() < direct * 1e-9 + 1e-15);
         for p in &detail {
             let covered = p.busy_s + p.idle_awake_s + p.asleep_s;
-            prop_assert!((covered - horizon).abs() < 1e-9, "{covered} vs {horizon}");
+            assert!((covered - horizon).abs() < 1e-9, "{covered} vs {horizon}");
         }
     }
+}
 
-    /// Energy per level is U-shaped around the critical level when there
-    /// is no idle time (single processor, horizon == makespan).
-    #[test]
-    fn active_energy_minimized_at_critical(g in arb_dag()) {
-        let tech = TechnologyParams::seventy_nm();
-        let levels = LevelTable::default_grid(&tech).unwrap();
+/// The one-pass summary accounting is *bitwise* identical to the
+/// reference per-level walk: every field of the `EnergyBreakdown`
+/// matches down to the last f64 bit, across random schedules, all 14
+/// levels, both task grains, and both PS modes.
+#[test]
+fn summary_bill_is_bitwise_equal_to_walk() {
+    let mut rng = Rng::seed_from_u64(0xB004);
+    let tech = TechnologyParams::seventy_nm();
+    let levels = LevelTable::default_grid(&tech).unwrap();
+    let sleep = SleepParams::paper();
+    for case in 0..CASES {
+        let grain = if rng.gen_bool(0.5) {
+            COARSE_GRAIN_CYCLES_PER_UNIT
+        } else {
+            FINE_GRAIN_CYCLES_PER_UNIT
+        };
+        let g = {
+            let n = rng.gen_range(2usize..16);
+            let mut b = GraphBuilder::new();
+            let ids: Vec<TaskId> = (0..n)
+                .map(|_| b.add_task(rng.gen_range(1u64..64) * grain))
+                .collect();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if rng.gen_bool(0.4) {
+                        b.add_edge(ids[i], ids[j]).expect("valid");
+                    }
+                }
+            }
+            b.build().expect("acyclic")
+        };
+        let n_procs = rng.gen_range(1usize..5);
+        let tail_ms = rng.gen_range(0u64..500);
+        let s = edf_schedule(&g, n_procs, 2 * g.critical_path_cycles());
+        let summary = IdleSummary::new(&s);
+        for level in levels.points() {
+            let horizon = s.makespan_cycles() as f64 / level.freq + tail_ms as f64 * 1e-3;
+            for ps in [None, Some(&sleep)] {
+                let walk = evaluate(&s, level, horizon, ps).unwrap();
+                let fast = evaluate_summary(&summary, level, horizon, ps).unwrap();
+                let ctx = format!("case {case}, vdd {}, ps {}", level.vdd, ps.is_some());
+                assert_eq!(walk.active_j.to_bits(), fast.active_j.to_bits(), "{ctx}");
+                assert_eq!(walk.idle_j.to_bits(), fast.idle_j.to_bits(), "{ctx}");
+                assert_eq!(walk.sleep_j.to_bits(), fast.sleep_j.to_bits(), "{ctx}");
+                assert_eq!(
+                    walk.transition_j.to_bits(),
+                    fast.transition_j.to_bits(),
+                    "{ctx}"
+                );
+                assert_eq!(walk.sleep_episodes, fast.sleep_episodes, "{ctx}");
+            }
+        }
+    }
+}
+
+/// Both paths agree on infeasibility too: a horizon below the stretched
+/// makespan is a `DeadlineMiss` from either entry point.
+#[test]
+fn summary_and_walk_agree_on_deadline_misses() {
+    let mut rng = Rng::seed_from_u64(0xB005);
+    let tech = TechnologyParams::seventy_nm();
+    let levels = LevelTable::default_grid(&tech).unwrap();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng);
+        let n_procs = rng.gen_range(1usize..4);
+        let s = edf_schedule(&g, n_procs, 2 * g.critical_path_cycles());
+        let summary = IdleSummary::new(&s);
+        for level in levels.points() {
+            let horizon = s.makespan_cycles() as f64 / level.freq * 0.5;
+            assert!(evaluate(&s, level, horizon, None).is_err());
+            assert!(evaluate_summary(&summary, level, horizon, None).is_err());
+        }
+    }
+}
+
+/// Energy per level is U-shaped around the critical level when there
+/// is no idle time (single processor, horizon == makespan).
+#[test]
+fn active_energy_minimized_at_critical() {
+    let mut rng = Rng::seed_from_u64(0xB003);
+    let tech = TechnologyParams::seventy_nm();
+    let levels = LevelTable::default_grid(&tech).unwrap();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng);
         let s = edf_schedule(&g, 1, 2 * g.critical_path_cycles());
         let crit = levels.critical();
         let e_crit = evaluate(&s, crit, s.makespan_cycles() as f64 / crit.freq, None)
@@ -101,7 +178,7 @@ proptest! {
         for level in levels.points() {
             let horizon = s.makespan_cycles() as f64 / level.freq;
             let e = evaluate(&s, level, horizon, None).unwrap().total();
-            prop_assert!(e >= e_crit * (1.0 - 1e-12));
+            assert!(e >= e_crit * (1.0 - 1e-12));
         }
     }
 }

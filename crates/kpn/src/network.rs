@@ -44,7 +44,10 @@ impl std::fmt::Display for KpnError {
         match self {
             KpnError::UnknownProcess(p) => write!(f, "channel references unknown process {p}"),
             KpnError::ZeroDelayCycle => {
-                write!(f, "zero-delay channel cycle: one network firing cannot complete")
+                write!(
+                    f,
+                    "zero-delay channel cycle: one network firing cannot complete"
+                )
             }
             KpnError::Empty => write!(f, "network has no processes"),
         }

@@ -125,10 +125,7 @@ impl PeriodicSet {
 
     /// The hyperperiod (lcm of periods) \[cycles\].
     pub fn hyperperiod(&self) -> u64 {
-        self.tasks
-            .iter()
-            .map(|t| t.period_cycles)
-            .fold(1, lcm)
+        self.tasks.iter().map(|t| t.period_cycles).fold(1, lcm)
     }
 
     /// Translate one hyperperiod into a deadline-annotated DAG.
@@ -319,7 +316,10 @@ mod tests {
         for (i, d) in dag.deadlines.iter().enumerate() {
             let t = TaskId(i as u32);
             let finish_s = sol.schedule.finish(t) as f64 / sol.level.freq;
-            assert!(finish_s <= d.unwrap() as f64 / f_max * (1.0 + 1e-9), "job {i}");
+            assert!(
+                finish_s <= d.unwrap() as f64 / f_max * (1.0 + 1e-9),
+                "job {i}"
+            );
         }
     }
 }

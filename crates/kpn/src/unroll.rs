@@ -64,7 +64,8 @@ pub fn unroll(net: &Network, cfg: &UnrollConfig) -> Result<UnrolledKpn, KpnError
     net.validate()?;
     assert!(cfg.copies >= 1, "need at least one copy");
     let n = net.len();
-    let mut b = GraphBuilder::with_capacity(n * cfg.copies, (net.channels().len() + n) * cfg.copies);
+    let mut b =
+        GraphBuilder::with_capacity(n * cfg.copies, (net.channels().len() + n) * cfg.copies);
 
     for j in 0..cfg.copies {
         for p in 0..n {
@@ -85,17 +86,14 @@ pub fn unroll(net: &Network, cfg: &UnrollConfig) -> Result<UnrolledKpn, KpnError
         if j + 1 < cfg.copies {
             for p in 0..n {
                 let p = ProcessId(p as u32);
-                b.add_edge(task(p, j), task(p, j + 1)).expect("ids are valid");
+                b.add_edge(task(p, j), task(p, j + 1))
+                    .expect("ids are valid");
             }
         }
     }
 
     let is_output: Vec<bool> = (0..n)
-        .map(|p| {
-            !net.channels()
-                .iter()
-                .any(|c| c.from.index() == p)
-        })
+        .map(|p| !net.channels().iter().any(|c| c.from.index() == p))
         .collect();
 
     let mut deadlines = vec![None; n * cfg.copies];

@@ -1,71 +1,64 @@
-//! Property-based tests of the KPN unrolling and the periodic
-//! translation over random networks and task sets.
+//! Randomized property tests of the KPN unrolling and the periodic
+//! translation over random networks and task sets. Driven by the
+//! workspace's internal seeded RNG so they run offline and
+//! deterministically.
 
 use lamps_kpn::{unroll, Network, PeriodicSet, ProcessId, UnrollConfig};
-use proptest::prelude::*;
+use lamps_taskgraph::rng::Rng;
+
+const CASES: usize = 64;
 
 /// A random acyclic (zero-delay) network plus some delayed feedback
 /// channels.
-fn arb_network() -> impl Strategy<Value = Network> {
-    (2usize..8)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(1u64..1000, n),
-                prop::collection::vec(any::<bool>(), n * (n - 1) / 2),
-                prop::collection::vec(0u32..3, n),
-            )
-        })
-        .prop_map(|(cycles, fwd, feedback)| {
-            let n = cycles.len();
-            let mut net = Network::new();
-            let ids: Vec<ProcessId> = cycles
-                .iter()
-                .enumerate()
-                .map(|(i, &c)| net.add_process(format!("P{i}"), c))
-                .collect();
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if fwd[k] {
-                        net.connect(ids[i], ids[j]).expect("valid");
-                    }
-                    k += 1;
-                }
+fn arb_network(rng: &mut Rng) -> Network {
+    let n = rng.gen_range(2usize..8);
+    let mut net = Network::new();
+    let ids: Vec<ProcessId> = (0..n)
+        .map(|i| net.add_process(format!("P{i}"), rng.gen_range(1u64..1000)))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.5) {
+                net.connect(ids[i], ids[j]).expect("valid");
             }
-            // Delayed feedback edges never create zero-delay cycles.
-            for (i, &d) in feedback.iter().enumerate() {
-                if d > 0 && i + 1 < n {
-                    net.connect_delayed(ids[i + 1], ids[i], d).expect("valid");
-                }
-            }
-            net
-        })
+        }
+    }
+    // Delayed feedback edges never create zero-delay cycles.
+    for i in 0..n {
+        let d = rng.gen_range(0u32..3);
+        if d > 0 && i + 1 < n {
+            net.connect_delayed(ids[i + 1], ids[i], d).expect("valid");
+        }
+    }
+    net
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Unrolling any valid network gives the expected node count, an
-    /// acyclic graph (guaranteed by construction, asserted via build),
-    /// and monotone output deadlines.
-    #[test]
-    fn unroll_invariants(
-        net in arb_network(),
-        copies in 1usize..6,
-        first in 1_000u64..100_000,
-        period in 1u64..50_000,
-    ) {
-        let u = unroll(&net, &UnrollConfig {
-            copies,
-            first_deadline_cycles: first,
-            period_cycles: period,
-        }).expect("valid network");
-        prop_assert_eq!(u.graph.len(), net.len() * copies);
+/// Unrolling any valid network gives the expected node count, an
+/// acyclic graph (guaranteed by construction, asserted via build),
+/// and monotone output deadlines.
+#[test]
+fn unroll_invariants() {
+    let mut rng = Rng::seed_from_u64(0xC001);
+    for _ in 0..CASES {
+        let net = arb_network(&mut rng);
+        let copies = rng.gen_range(1usize..6);
+        let first = rng.gen_range(1_000u64..100_000);
+        let period = rng.gen_range(1u64..50_000);
+        let u = unroll(
+            &net,
+            &UnrollConfig {
+                copies,
+                first_deadline_cycles: first,
+                period_cycles: period,
+            },
+        )
+        .expect("valid network");
+        assert_eq!(u.graph.len(), net.len() * copies);
         // Work scales exactly with the copy count.
         let one_copy: u64 = (0..net.len() as u32)
             .map(|p| net.firing_cycles(ProcessId(p)))
             .sum();
-        prop_assert_eq!(u.graph.total_work_cycles(), one_copy * copies as u64);
+        assert_eq!(u.graph.total_work_cycles(), one_copy * copies as u64);
         // Deadlines: present only on output processes, strictly stepping
         // by the period across copies.
         for p in 0..net.len() {
@@ -75,50 +68,63 @@ proptest! {
                 .collect();
             if let Some(Some(d0)) = ds.first() {
                 for (j, d) in ds.iter().enumerate() {
-                    prop_assert_eq!(*d, Some(d0 + period * j as u64));
+                    assert_eq!(*d, Some(d0 + period * j as u64));
                 }
             } else {
-                prop_assert!(ds.iter().all(Option::is_none));
+                assert!(ds.iter().all(Option::is_none));
             }
         }
         // The horizon is the latest output deadline — present whenever
         // some process has no outgoing channel. Fully cyclic networks
         // (every process feeds another, even through delays) carry no
         // output deadlines and report a zero horizon.
-        let has_output = (0..net.len()).any(|p| {
-            !net.channels().iter().any(|c| c.from.index() == p)
-        });
+        let has_output =
+            (0..net.len()).any(|p| !net.channels().iter().any(|c| c.from.index() == p));
         if has_output {
-            prop_assert!(u.horizon_cycles() >= first);
+            assert!(u.horizon_cycles() >= first);
         } else {
-            prop_assert_eq!(u.horizon_cycles(), 0);
+            assert_eq!(u.horizon_cycles(), 0);
         }
     }
+}
 
-    /// Serialization edges exist between consecutive copies of every
-    /// process.
-    #[test]
-    fn unroll_serializes_processes(net in arb_network(), copies in 2usize..5) {
-        let u = unroll(&net, &UnrollConfig {
-            copies,
-            first_deadline_cycles: 1000,
-            period_cycles: 100,
-        }).expect("valid");
+/// Serialization edges exist between consecutive copies of every
+/// process.
+#[test]
+fn unroll_serializes_processes() {
+    let mut rng = Rng::seed_from_u64(0xC002);
+    for _ in 0..CASES {
+        let net = arb_network(&mut rng);
+        let copies = rng.gen_range(2usize..5);
+        let u = unroll(
+            &net,
+            &UnrollConfig {
+                copies,
+                first_deadline_cycles: 1000,
+                period_cycles: 100,
+            },
+        )
+        .expect("valid");
         for p in 0..net.len() {
             let p = ProcessId(p as u32);
             for j in 0..copies - 1 {
                 let succ = u.graph.successors(u.task(p, j));
-                prop_assert!(succ.contains(&u.task(p, j + 1)));
+                assert!(succ.contains(&u.task(p, j + 1)));
             }
         }
     }
+}
 
-    /// Periodic frame DAGs: job counts follow the hyperperiod, deadlines
-    /// step by the period, utilization matches the definition.
-    #[test]
-    fn periodic_invariants(
-        params in prop::collection::vec((1u64..50, 0usize..3), 1..5),
-    ) {
+/// Periodic frame DAGs: job counts follow the hyperperiod, deadlines
+/// step by the period, utilization matches the definition.
+#[test]
+fn periodic_invariants() {
+    let mut rng = Rng::seed_from_u64(0xC003);
+    for _ in 0..CASES {
+        let n = rng.gen_range(1usize..5);
+        let params: Vec<(u64, usize)> = (0..n)
+            .map(|_| (rng.gen_range(1u64..50), rng.gen_range(0usize..3)))
+            .collect();
         let mut set = PeriodicSet::new();
         for (i, &(wcet_frac, period_pow)) in params.iter().enumerate() {
             let period = 100u64 << period_pow; // harmonic family
@@ -127,16 +133,13 @@ proptest! {
         }
         let h = set.hyperperiod();
         let dag = set.to_frame_dag();
-        let expected_jobs: u64 = params
-            .iter()
-            .map(|&(_, pow)| h / (100u64 << pow))
-            .sum();
-        prop_assert_eq!(dag.graph.len() as u64, expected_jobs);
+        let expected_jobs: u64 = params.iter().map(|&(_, pow)| h / (100u64 << pow)).sum();
+        assert_eq!(dag.graph.len() as u64, expected_jobs);
         // Every job has a deadline within the hyperperiod.
         for d in dag.deadlines.iter() {
             let d = d.expect("every job has a deadline");
-            prop_assert!(d >= 1 && d <= h);
+            assert!(d >= 1 && d <= h);
         }
-        prop_assert!(set.utilization() > 0.0);
+        assert!(set.utilization() > 0.0);
     }
 }

@@ -3,7 +3,15 @@
 //!
 //! Within one solve, every strategy schedules the same graph with the
 //! same EDF keys, varying only the processor count — so schedules are
-//! cached per count. On top of the cache:
+//! cached per count. Moreover, for any deadline at or above the critical
+//! path the EDF keys only *shift* with the deadline (`lf[t] = D − bl(t) +
+//! w(t)`, no saturation), so the schedules are identical across deadlines
+//! — [`ScheduleCache::for_graph`] builds a canonical cache that a whole
+//! deadline sweep can share. Each memoized schedule also carries a lazily
+//! built [`IdleSummary`] so the level sweep bills it without re-walking
+//! its tasks.
+//!
+//! On top of the cache:
 //!
 //! * [`ScheduleCache::max_useful_procs`] — scan `N = 1, 2, …` while the
 //!   makespan keeps strictly decreasing; the last improving `N` is the
@@ -14,28 +22,38 @@
 //!   deadline at maximum frequency.
 
 use lamps_sched::deadlines::latest_finish_times;
-use lamps_sched::list::list_schedule;
-use lamps_sched::Schedule;
+use lamps_sched::list::{list_schedule_with, ListScheduleWorkspace};
+use lamps_sched::{IdleSummary, Schedule};
 use lamps_taskgraph::TaskGraph;
-use std::collections::HashMap;
 
-/// Schedule memo for one (graph, EDF keys) pair.
+/// Schedule memo for one (graph, EDF keys) pair, indexed by processor
+/// count.
 pub struct ScheduleCache<'g> {
     graph: &'g TaskGraph,
     keys: Vec<u64>,
-    memo: HashMap<usize, Schedule>,
+    memo: Vec<Option<Schedule>>,
+    summaries: Vec<Option<IdleSummary>>,
+    ws: ListScheduleWorkspace,
     runs: usize,
 }
 
 impl<'g> ScheduleCache<'g> {
     /// Build a cache with EDF keys derived from `deadline_cycles`.
     pub fn new(graph: &'g TaskGraph, deadline_cycles: u64) -> Self {
-        ScheduleCache {
-            graph,
-            keys: latest_finish_times(graph, deadline_cycles),
-            memo: HashMap::new(),
-            runs: 0,
-        }
+        Self::with_keys(graph, latest_finish_times(graph, deadline_cycles))
+    }
+
+    /// Build a canonical cache valid for *every* deadline at or above
+    /// the critical path.
+    ///
+    /// For `D ≥ CPL` the latest-finish keys are `lf[t] = D − bl(t) +
+    /// w(t)` with no saturation, so changing the deadline shifts every
+    /// key by the same constant — and list scheduling only compares
+    /// keys, so the schedules are identical. A deadline sweep (the
+    /// harness evaluates factors 1.5/2/4/8 × CPL over the same graph)
+    /// can therefore share one cache instead of rescheduling per factor.
+    pub fn for_graph(graph: &'g TaskGraph) -> Self {
+        Self::new(graph, graph.critical_path_cycles())
     }
 
     /// Build a cache with explicit priority keys (smaller = first).
@@ -44,7 +62,9 @@ impl<'g> ScheduleCache<'g> {
         ScheduleCache {
             graph,
             keys,
-            memo: HashMap::new(),
+            memo: Vec::new(),
+            summaries: Vec::new(),
+            ws: ListScheduleWorkspace::new(),
             runs: 0,
         }
     }
@@ -54,15 +74,49 @@ impl<'g> ScheduleCache<'g> {
         self.graph
     }
 
-    /// The LS schedule on `n` processors (memoized).
-    pub fn schedule(&mut self, n: usize) -> &Schedule {
-        // Entry API would borrow-lock `self`; compute first.
-        if !self.memo.contains_key(&n) {
-            let s = list_schedule(self.graph, n, &self.keys);
-            self.memo.insert(n, s);
+    fn ensure_schedule(&mut self, n: usize) {
+        assert!(n >= 1, "need at least one processor");
+        if self.memo.len() < n {
+            self.memo.resize_with(n, || None);
+        }
+        if self.memo[n - 1].is_none() {
+            let s = list_schedule_with(&mut self.ws, self.graph, n, &self.keys);
+            self.memo[n - 1] = Some(s);
             self.runs += 1;
         }
-        &self.memo[&n]
+    }
+
+    fn ensure_summary(&mut self, n: usize) {
+        self.ensure_schedule(n);
+        if self.summaries.len() < n {
+            self.summaries.resize_with(n, || None);
+        }
+        if self.summaries[n - 1].is_none() {
+            let s = self.memo[n - 1].as_ref().expect("just ensured");
+            self.summaries[n - 1] = Some(IdleSummary::new(s));
+        }
+    }
+
+    /// The LS schedule on `n` processors (memoized).
+    pub fn schedule(&mut self, n: usize) -> &Schedule {
+        self.ensure_schedule(n);
+        self.memo[n - 1].as_ref().expect("just ensured")
+    }
+
+    /// The idle summary of the schedule on `n` processors (memoized) —
+    /// the input to the one-pass level sweep.
+    pub fn summary(&mut self, n: usize) -> &IdleSummary {
+        self.ensure_summary(n);
+        self.summaries[n - 1].as_ref().expect("just ensured")
+    }
+
+    /// Both the schedule and its idle summary on `n` processors.
+    pub fn schedule_and_summary(&mut self, n: usize) -> (&Schedule, &IdleSummary) {
+        self.ensure_summary(n);
+        (
+            self.memo[n - 1].as_ref().expect("just ensured"),
+            self.summaries[n - 1].as_ref().expect("just ensured"),
+        )
     }
 
     /// Number of list-scheduling runs performed so far — the `T_ls`
@@ -148,7 +202,32 @@ mod tests {
         let m1 = c.schedule(2).clone();
         let m2 = c.schedule(2).clone();
         assert_eq!(m1, m2);
-        assert_eq!(c.memo.len(), 1);
+        assert_eq!(c.list_scheduling_runs(), 1);
+    }
+
+    #[test]
+    fn summaries_are_memoized_and_consistent() {
+        let g = fig4a();
+        let mut c = ScheduleCache::new(&g, 20);
+        let direct = IdleSummary::new(&c.schedule(2).clone());
+        assert_eq!(*c.summary(2), direct);
+        let (s, sum) = c.schedule_and_summary(2);
+        assert_eq!(sum.makespan_cycles(), s.makespan_cycles());
+        assert_eq!(c.list_scheduling_runs(), 1);
+    }
+
+    #[test]
+    fn canonical_cache_matches_any_deadline_at_or_above_cpl() {
+        // The shift-invariance behind cross-deadline reuse: for D ≥ CPL
+        // the schedules are independent of D.
+        let g = fig4a();
+        let mut canon = ScheduleCache::for_graph(&g);
+        for d in [10u64, 12, 15, 20, 40, 80] {
+            let mut c = ScheduleCache::new(&g, d);
+            for n in 1..=4usize {
+                assert_eq!(c.schedule(n), canon.schedule(n), "d {d}, n {n}");
+            }
+        }
     }
 
     #[test]

@@ -18,9 +18,8 @@ use crate::types::{SolveError, Strategy};
 use lamps_power::OperatingPoint;
 use lamps_sched::list::list_schedule;
 use lamps_sched::Schedule;
+use lamps_taskgraph::rng::Rng;
 use lamps_taskgraph::TaskGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// GA hyperparameters.
 #[derive(Debug, Clone, Copy)]
@@ -101,7 +100,7 @@ pub fn genetic_solve(
     let seed_energy = seed_sol.energy.total();
     let deadline_cycles = cfg.deadline_cycles(deadline_s);
 
-    let mut rng = StdRng::seed_from_u64(ga.seed);
+    let mut rng = Rng::seed_from_u64(ga.seed);
     let n = graph.len();
     // Max useful processors bounds the count gene.
     let n_max = {
@@ -116,7 +115,8 @@ pub fn genetic_solve(
     let edf_keys = lamps_sched::deadlines::latest_finish_times(graph, deadline_cycles);
     let fitness = |ind: &Individual| -> Option<(f64, usize, OperatingPoint)> {
         let schedule = list_schedule(graph, ind.n_procs, &ind.keys);
-        let cand = best_level_for(&schedule, ind.n_procs, deadline_s, cfg, true)?;
+        let summary = lamps_sched::IdleSummary::new(&schedule);
+        let cand = best_level_for(&summary, ind.n_procs, deadline_s, cfg, true)?;
         Some((cand.energy.total(), cand.n_procs, cand.level))
     };
 
@@ -154,9 +154,17 @@ pub fn genetic_solve(
             // Uniform crossover on keys; count from either parent.
             let mut keys = Vec::with_capacity(n);
             for i in 0..n {
-                keys.push(if rng.gen_bool(0.5) { pa.keys[i] } else { pb.keys[i] });
+                keys.push(if rng.gen_bool(0.5) {
+                    pa.keys[i]
+                } else {
+                    pb.keys[i]
+                });
             }
-            let mut n_procs = if rng.gen_bool(0.5) { pa.n_procs } else { pb.n_procs };
+            let mut n_procs = if rng.gen_bool(0.5) {
+                pa.n_procs
+            } else {
+                pb.n_procs
+            };
             // Mutation: perturb keys; bump the count.
             for k in keys.iter_mut() {
                 if rng.gen_bool(ga.mutation_rate) {
@@ -207,7 +215,7 @@ fn argmin(scores: &[f64]) -> usize {
         .expect("non-empty population")
 }
 
-fn tournament(rng: &mut StdRng, scores: &[f64], k: usize) -> usize {
+fn tournament(rng: &mut Rng, scores: &[f64], k: usize) -> usize {
     let mut best = rng.gen_range(0..scores.len());
     for _ in 1..k {
         let c = rng.gen_range(0..scores.len());

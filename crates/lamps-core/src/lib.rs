@@ -50,5 +50,5 @@ pub mod solve;
 pub mod types;
 
 pub use config::SchedulerConfig;
-pub use solve::solve;
+pub use solve::{solve, solve_with_cache};
 pub use types::{Solution, SolveError, Strategy};

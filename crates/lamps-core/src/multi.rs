@@ -117,7 +117,11 @@ pub fn solve_with_deadlines(
     deadlines: &DeadlineVector,
     cfg: &SchedulerConfig,
 ) -> Result<Solution, SolveError> {
-    assert_eq!(deadlines.own.len(), graph.len(), "one deadline slot per task");
+    assert_eq!(
+        deadlines.own.len(),
+        graph.len(),
+        "one deadline slot per task"
+    );
     let f_max = cfg.max_frequency();
     let horizon_s = deadlines.horizon_cycles as f64 / f_max;
     if deadlines.horizon_cycles == 0 {
@@ -149,9 +153,10 @@ pub fn solve_with_deadlines(
     let mut cache = ScheduleCache::with_keys(graph, lf.clone());
     let ps = strategy.uses_ps();
 
-    let evaluate_n = |schedule: &Schedule, n: usize| -> Option<Candidate> {
+    let evaluate_n = |cache: &mut ScheduleCache<'_>, n: usize| -> Option<Candidate> {
+        let (schedule, summary) = cache.schedule_and_summary(n);
         let req = required_frequency(schedule, &lf, f_max);
-        best_level_constrained(schedule, n, req, horizon_s, cfg, ps)
+        best_level_constrained(summary, n, req, horizon_s, cfg, ps)
     };
 
     let best = if strategy.searches_proc_count() {
@@ -187,8 +192,11 @@ pub fn solve_with_deadlines(
                 }
             }
             prev_makespan = Some(makespan);
-            if let Some(c) = evaluate_n(cache.schedule(n), n) {
-                if best.as_ref().is_none_or(|b| c.energy.total() < b.energy.total()) {
+            if let Some(c) = evaluate_n(&mut cache, n) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| c.energy.total() < b.energy.total())
+                {
                     best = Some(c);
                 }
             }
@@ -202,7 +210,7 @@ pub fn solve_with_deadlines(
                 .find(|&m| feasible_at_fmax(cache.schedule(m), &lf))
                 .ok_or_else(infeasible)?;
         }
-        evaluate_n(cache.schedule(n), n).ok_or_else(infeasible)?
+        evaluate_n(&mut cache, n).ok_or_else(infeasible)?
     };
 
     let schedule = cache.schedule(best.n_procs).clone();

@@ -78,8 +78,7 @@ pub fn render(
 
     // Per-processor loads.
     let sleep = solution.strategy.uses_ps().then_some(&cfg.sleep);
-    if let Ok(detail) = evaluate_detailed(&solution.schedule, &solution.level, deadline_s, sleep)
-    {
+    if let Ok(detail) = evaluate_detailed(&solution.schedule, &solution.level, deadline_s, sleep) {
         writeln!(
             out,
             "{:>6} {:>10} {:>12} {:>10} {:>11}",
@@ -130,7 +129,12 @@ mod tests {
         // One row per processor.
         let proc_rows = r
             .lines()
-            .filter(|l| l.trim_start().chars().next().is_some_and(|c| c.is_ascii_digit()))
+            .filter(|l| {
+                l.trim_start()
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_ascii_digit())
+            })
             .count();
         assert_eq!(proc_rows, sol.n_procs);
     }

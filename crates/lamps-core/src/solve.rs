@@ -3,9 +3,9 @@
 use crate::cache::ScheduleCache;
 use crate::config::SchedulerConfig;
 use crate::types::{Solution, SolveError, Strategy};
-use lamps_energy::{evaluate, EnergyBreakdown};
+use lamps_energy::{evaluate_summary, EnergyBreakdown};
 use lamps_power::OperatingPoint;
-use lamps_sched::Schedule;
+use lamps_sched::IdleSummary;
 use lamps_taskgraph::TaskGraph;
 
 /// Best (level, energy) choice for one already-scheduled processor count.
@@ -29,6 +29,27 @@ pub fn solve(
     deadline_s: f64,
     cfg: &SchedulerConfig,
 ) -> Result<Solution, SolveError> {
+    let mut cache = ScheduleCache::for_graph(graph);
+    solve_with_cache(strategy, deadline_s, cfg, &mut cache)
+}
+
+/// [`solve`] against a caller-owned [`ScheduleCache`].
+///
+/// Because LS-EDF schedules are deadline-invariant for any deadline at
+/// or above the critical path (see [`ScheduleCache::for_graph`]), one
+/// canonical cache can serve a whole sweep over deadlines *and*
+/// strategies: every schedule and idle summary is computed at most once
+/// for the graph, instead of once per (deadline, strategy) cell.
+/// Deadlines below the critical path are rejected before any schedule is
+/// touched, so the canonical keys are never used out of their validity
+/// range.
+pub fn solve_with_cache(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+) -> Result<Solution, SolveError> {
+    let graph = cache.graph();
     if !deadline_s.is_finite() || deadline_s <= 0.0 {
         return Err(SolveError::BadDeadline(deadline_s));
     }
@@ -44,7 +65,6 @@ pub fn solve(
         return Err(infeasible(graph.critical_path_cycles()));
     }
 
-    let mut cache = ScheduleCache::new(graph, deadline_cycles);
     let ps = strategy.uses_ps();
 
     let best = if strategy.searches_proc_count() {
@@ -68,8 +88,11 @@ pub fn solve(
                 }
             }
             prev_makespan = Some(makespan);
-            if let Some(c) = best_level_for(cache.schedule(n), n, deadline_s, cfg, ps) {
-                if best.as_ref().is_none_or(|b| c.energy.total() < b.energy.total()) {
+            if let Some(c) = best_level_for(cache.summary(n), n, deadline_s, cfg, ps) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| c.energy.total() < b.energy.total())
+                {
                     best = Some(c);
                 }
             }
@@ -85,7 +108,7 @@ pub fn solve(
                 .min_feasible_procs(deadline_cycles)
                 .ok_or_else(|| infeasible(cache.makespan(n)))?;
         }
-        best_level_for(cache.schedule(n), n, deadline_s, cfg, ps)
+        best_level_for(cache.summary(n), n, deadline_s, cfg, ps)
             .ok_or_else(|| infeasible(cache.makespan(n)))?
     };
 
@@ -101,41 +124,44 @@ pub fn solve(
     })
 }
 
-/// Choose the operating level for a fixed schedule.
+/// Choose the operating level for a fixed schedule, given its idle
+/// summary.
 ///
 /// Without PS: the slowest feasible level (maximal stretch, §4.1).
 /// With PS: sweep every feasible level from slowest to fastest and keep
 /// the least-energy one (§4.3) — the sweep is what trades slowdown
-/// against shutdown.
+/// against shutdown. Billing goes through [`evaluate_summary`], so the
+/// sweep costs O(levels · procs · log gaps) instead of re-walking the
+/// schedule's tasks at every level.
 pub(crate) fn best_level_for(
-    schedule: &Schedule,
+    summary: &IdleSummary,
     n_procs: usize,
     deadline_s: f64,
     cfg: &SchedulerConfig,
     ps: bool,
 ) -> Option<Candidate> {
-    let required_freq = schedule.makespan_cycles() as f64 / deadline_s;
-    best_level_constrained(schedule, n_procs, required_freq, deadline_s, cfg, ps)
+    let required_freq = summary.makespan_cycles() as f64 / deadline_s;
+    best_level_constrained(summary, n_procs, required_freq, deadline_s, cfg, ps)
 }
 
 /// Level selection with an explicit minimum frequency (used directly by
 /// the per-task-deadline solver in [`crate::multi`], where feasibility
 /// is tighter than the makespan alone).
 pub(crate) fn best_level_constrained(
-    schedule: &Schedule,
+    summary: &IdleSummary,
     n_procs: usize,
     required_freq: f64,
     horizon_s: f64,
     cfg: &SchedulerConfig,
     ps: bool,
 ) -> Option<Candidate> {
-    let makespan_cycles = schedule.makespan_cycles();
+    let makespan_cycles = summary.makespan_cycles();
     let deadline_s = horizon_s;
     let sleep = ps.then_some(&cfg.sleep);
 
     let mut best: Option<Candidate> = None;
     for level in cfg.levels.at_least(required_freq) {
-        let Ok(energy) = evaluate(schedule, level, deadline_s, sleep) else {
+        let Ok(energy) = evaluate_summary(summary, level, deadline_s, sleep) else {
             continue;
         };
         let candidate = Candidate {

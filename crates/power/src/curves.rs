@@ -58,7 +58,11 @@ pub struct BreakevenSample {
 }
 
 /// Sample the break-even curve of Fig. 3 at `n` evenly spaced voltages.
-pub fn breakeven_curve(tech: &TechnologyParams, sleep: &SleepParams, n: usize) -> Vec<BreakevenSample> {
+pub fn breakeven_curve(
+    tech: &TechnologyParams,
+    sleep: &SleepParams,
+    n: usize,
+) -> Vec<BreakevenSample> {
     assert!(n >= 2, "need at least two samples");
     let f_max = tech.max_frequency();
     let lo = tech.min_positive_vdd() + 1e-4;

@@ -1,120 +1,151 @@
-//! Property-based tests of the power model over the whole valid voltage
-//! range, not just the paper's anchor points.
+//! Randomized property tests of the power model over the whole valid
+//! voltage range, not just the paper's anchor points. Driven by the
+//! workspace's internal seeded RNG so they run offline and
+//! deterministically.
 
 use lamps_power::abb::{optimal_point, AbbGrid};
 use lamps_power::{LevelTable, SleepParams, TechnologyParams};
-use proptest::prelude::*;
+use lamps_taskgraph::rng::Rng;
+
+const CASES: usize = 256;
 
 fn tech() -> TechnologyParams {
     TechnologyParams::seventy_nm()
 }
 
 /// A voltage strictly above the minimum positive voltage.
-fn arb_vdd() -> impl Strategy<Value = f64> {
-    (0.0f64..1.0).prop_map(|t| {
-        let tech = tech();
-        let lo = tech.min_positive_vdd() + 1e-3;
-        lo + t * (tech.table.vdd0 - lo)
-    })
+fn arb_vdd(rng: &mut Rng) -> f64 {
+    let tech = tech();
+    let lo = tech.min_positive_vdd() + 1e-3;
+    lo + rng.gen_range(0.0f64..1.0) * (tech.table.vdd0 - lo)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Frequency, dynamic power, and total active power all increase
-    /// strictly with the supply voltage.
-    #[test]
-    fn monotone_in_vdd(v in arb_vdd(), dv in 1e-4f64..0.2) {
-        let t = tech();
+/// Frequency, dynamic power, and total active power all increase
+/// strictly with the supply voltage.
+#[test]
+fn monotone_in_vdd() {
+    let mut rng = Rng::seed_from_u64(0x9001);
+    let t = tech();
+    for _ in 0..CASES {
+        let v = arb_vdd(&mut rng);
+        let dv = rng.gen_range(1e-4f64..0.2);
         let hi = (v + dv).min(t.table.vdd0);
-        prop_assume!(hi > v + 1e-6);
-        prop_assert!(t.frequency(hi).unwrap() > t.frequency(v).unwrap());
-        prop_assert!(t.dynamic_power(hi).unwrap() > t.dynamic_power(v).unwrap());
-        prop_assert!(t.static_power(hi) > t.static_power(v));
-        prop_assert!(t.active_power(hi).unwrap() > t.active_power(v).unwrap());
+        if hi <= v + 1e-6 {
+            continue;
+        }
+        assert!(t.frequency(hi).unwrap() > t.frequency(v).unwrap());
+        assert!(t.dynamic_power(hi).unwrap() > t.dynamic_power(v).unwrap());
+        assert!(t.static_power(hi) > t.static_power(v));
+        assert!(t.active_power(hi).unwrap() > t.active_power(v).unwrap());
     }
+}
 
-    /// The voltage→frequency inverse round-trips everywhere.
-    #[test]
-    fn vdd_frequency_roundtrip(v in arb_vdd()) {
-        let t = tech();
+/// The voltage→frequency inverse round-trips everywhere.
+#[test]
+fn vdd_frequency_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x9002);
+    let t = tech();
+    for _ in 0..CASES {
+        let v = arb_vdd(&mut rng);
         let f = t.frequency(v).unwrap();
         let v2 = t.vdd_for_frequency(f).unwrap();
-        prop_assert!((v2 - v).abs() < 1e-8, "{v} -> {f} -> {v2}");
+        assert!((v2 - v).abs() < 1e-8, "{v} -> {f} -> {v2}");
     }
+}
 
-    /// Idle power is always strictly below active power and above the
-    /// intrinsic keep-alive floor.
-    #[test]
-    fn idle_power_bounds(v in arb_vdd()) {
-        let t = tech();
+/// Idle power is always strictly below active power and above the
+/// intrinsic keep-alive floor.
+#[test]
+fn idle_power_bounds() {
+    let mut rng = Rng::seed_from_u64(0x9003);
+    let t = tech();
+    for _ in 0..CASES {
+        let v = arb_vdd(&mut rng);
         let idle = t.idle_power(v);
-        prop_assert!(idle < t.active_power(v).unwrap());
-        prop_assert!(idle > t.p_on);
+        assert!(idle < t.active_power(v).unwrap());
+        assert!(idle > t.p_on);
     }
+}
 
-    /// Energy per cycle is bounded below by the critical level's over the
-    /// whole range (the U-shape has a single global minimum).
-    #[test]
-    fn critical_level_is_global_min(v in arb_vdd()) {
-        let t = tech();
-        let crit_f = t.critical_frequency_continuous();
-        let crit_v = t.vdd_for_frequency(crit_f).unwrap();
-        let e_crit = t.energy_per_cycle(crit_v).unwrap();
-        prop_assert!(t.energy_per_cycle(v).unwrap() >= e_crit * (1.0 - 1e-9));
+/// Energy per cycle is bounded below by the critical level's over the
+/// whole range (the U-shape has a single global minimum).
+#[test]
+fn critical_level_is_global_min() {
+    let mut rng = Rng::seed_from_u64(0x9004);
+    let t = tech();
+    let crit_f = t.critical_frequency_continuous();
+    let crit_v = t.vdd_for_frequency(crit_f).unwrap();
+    let e_crit = t.energy_per_cycle(crit_v).unwrap();
+    for _ in 0..CASES {
+        let v = arb_vdd(&mut rng);
+        assert!(t.energy_per_cycle(v).unwrap() >= e_crit * (1.0 - 1e-9));
     }
+}
 
-    /// Break-even time decreases as idle power increases (the more an
-    /// idle processor burns, the sooner sleeping pays).
-    #[test]
-    fn breakeven_antitone_in_idle_power(p1 in 0.15f64..1.0, dp in 1e-3f64..0.5) {
-        let s = SleepParams::paper();
+/// Break-even time decreases as idle power increases (the more an
+/// idle processor burns, the sooner sleeping pays).
+#[test]
+fn breakeven_antitone_in_idle_power() {
+    let mut rng = Rng::seed_from_u64(0x9005);
+    let s = SleepParams::paper();
+    for _ in 0..CASES {
+        let p1 = rng.gen_range(0.15f64..1.0);
+        let dp = rng.gen_range(1e-3f64..0.5);
         let t1 = s.breakeven_time(p1);
         let t2 = s.breakeven_time(p1 + dp);
-        prop_assert!(t2 < t1);
+        assert!(t2 < t1);
     }
+}
 
-    /// worth_sleeping is consistent with the break-even time everywhere.
-    #[test]
-    fn worth_sleeping_matches_breakeven(p in 0.05f64..1.0, d in 1e-6f64..10.0) {
-        let s = SleepParams::paper();
+/// worth_sleeping is consistent with the break-even time everywhere.
+#[test]
+fn worth_sleeping_matches_breakeven() {
+    let mut rng = Rng::seed_from_u64(0x9006);
+    let s = SleepParams::paper();
+    for _ in 0..CASES {
+        let p = rng.gen_range(0.05f64..1.0);
+        let d = rng.gen_range(1e-6f64..10.0);
         let be = s.breakeven_time(p);
-        prop_assert_eq!(s.worth_sleeping(p, d), d > be || (d - be).abs() < 1e-15);
+        assert_eq!(s.worth_sleeping(p, d), d > be || (d - be).abs() < 1e-15);
     }
+}
 
-    /// Any custom voltage grid yields a well-formed level table.
-    #[test]
-    fn level_tables_well_formed(
-        lo in 0.36f64..0.6,
-        hi in 0.7f64..1.0,
-        step_milli in 10u32..200,
-    ) {
-        let t = tech();
-        let step = step_milli as f64 / 1000.0;
+/// Any custom voltage grid yields a well-formed level table.
+#[test]
+fn level_tables_well_formed() {
+    let mut rng = Rng::seed_from_u64(0x9007);
+    let t = tech();
+    for _ in 0..CASES {
+        let lo = rng.gen_range(0.36f64..0.6);
+        let hi = rng.gen_range(0.7f64..1.0);
+        let step = rng.gen_range(10u32..200) as f64 / 1000.0;
         let table = LevelTable::grid(&t, lo, hi, step).unwrap();
-        prop_assert!(!table.is_empty());
+        assert!(!table.is_empty());
         for w in table.points().windows(2) {
-            prop_assert!(w[0].freq < w[1].freq);
-            prop_assert!(w[0].vdd < w[1].vdd);
+            assert!(w[0].freq < w[1].freq);
+            assert!(w[0].vdd < w[1].vdd);
         }
         // lowest_at_least returns the slowest feasible level.
         let mid = (table.slowest().freq + table.fastest().freq) / 2.0;
         if let Some(p) = table.lowest_at_least(mid) {
-            prop_assert!(p.freq >= mid);
+            assert!(p.freq >= mid);
         }
-        prop_assert!(table.lowest_at_least(table.fastest().freq * 1.01).is_none());
+        assert!(table.lowest_at_least(table.fastest().freq * 1.01).is_none());
     }
+}
 
-    /// ABB never loses to the fixed bias at any attainable frequency.
-    #[test]
-    fn abb_dominates_everywhere(t01 in 0.05f64..1.0) {
-        let t = tech();
-        let f_target = t01 * t.max_frequency();
-        let fixed = LevelTable::default_grid(&t).unwrap();
+/// ABB never loses to the fixed bias at any attainable frequency.
+#[test]
+fn abb_dominates_everywhere() {
+    let mut rng = Rng::seed_from_u64(0x9008);
+    let t = tech();
+    let fixed = LevelTable::default_grid(&t).unwrap();
+    for _ in 0..CASES {
+        let f_target = rng.gen_range(0.05f64..1.0) * t.max_frequency();
         if let Some(fixed_pt) = fixed.lowest_at_least(f_target) {
             let abb = optimal_point(&t, f_target, &AbbGrid::default()).unwrap();
-            prop_assert!(abb.energy_per_cycle <= fixed_pt.energy_per_cycle * (1.0 + 1e-12));
-            prop_assert!(abb.freq >= f_target);
+            assert!(abb.energy_per_cycle <= fixed_pt.energy_per_cycle * (1.0 + 1e-12));
+            assert!(abb.freq >= f_target);
         }
     }
 }

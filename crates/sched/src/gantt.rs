@@ -8,17 +8,10 @@ use lamps_taskgraph::TaskGraph;
 /// Each processor gets one row; time is scaled to `width` columns over
 /// `[0, horizon_cycles]`. Task cells show the first letters of the task
 /// label; idle time is `.`.
-pub fn render(
-    schedule: &Schedule,
-    graph: &TaskGraph,
-    horizon_cycles: u64,
-    width: usize,
-) -> String {
+pub fn render(schedule: &Schedule, graph: &TaskGraph, horizon_cycles: u64, width: usize) -> String {
     assert!(width >= 10, "width too small to render");
     let horizon = horizon_cycles.max(schedule.makespan_cycles()).max(1);
-    let scale = |t: u64| -> usize {
-        ((t as u128 * width as u128) / horizon as u128) as usize
-    };
+    let scale = |t: u64| -> usize { ((t as u128 * width as u128) / horizon as u128) as usize };
     let mut out = String::new();
     for p in 0..schedule.n_procs() as u32 {
         let p = ProcId(p);

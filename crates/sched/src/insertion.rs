@@ -82,11 +82,7 @@ fn earliest_slot(timeline: &[(u64, u64, TaskId)], ready: u64, w: u64) -> (u64, u
 }
 
 /// Insertion-based LS-EDF with a uniform application deadline.
-pub fn insertion_edf_schedule(
-    graph: &TaskGraph,
-    n_procs: usize,
-    deadline_cycles: u64,
-) -> Schedule {
+pub fn insertion_edf_schedule(graph: &TaskGraph, n_procs: usize, deadline_cycles: u64) -> Schedule {
     let lf = latest_finish_times(graph, deadline_cycles);
     insertion_schedule(graph, n_procs, &lf)
 }
@@ -95,9 +91,8 @@ pub fn insertion_edf_schedule(
 mod tests {
     use super::*;
     use crate::list::edf_schedule;
+    use lamps_taskgraph::rng::Rng;
     use lamps_taskgraph::GraphBuilder;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
 
     fn fig4a() -> TaskGraph {
         let mut b = GraphBuilder::new();
@@ -120,9 +115,11 @@ mod tests {
         for n in 1..=4 {
             let s = insertion_edf_schedule(&g, n, 20);
             s.validate(&g).unwrap();
-            assert!(s.makespan_cycles() >= g.critical_path_cycles().max(
-                g.total_work_cycles().div_ceil(n as u64)
-            ));
+            assert!(
+                s.makespan_cycles()
+                    >= g.critical_path_cycles()
+                        .max(g.total_work_cycles().div_ceil(n as u64))
+            );
         }
     }
 
@@ -154,11 +151,13 @@ mod tests {
 
     #[test]
     fn random_graphs_never_worse_than_sanity_bounds() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         for _ in 0..20 {
             let n = rng.gen_range(5..30usize);
             let mut b = GraphBuilder::new();
-            let ids: Vec<TaskId> = (0..n).map(|_| b.add_task(rng.gen_range(1..50))).collect();
+            let ids: Vec<TaskId> = (0..n)
+                .map(|_| b.add_task(rng.gen_range(1u64..50)))
+                .collect();
             for i in 0..n {
                 for j in (i + 1)..n {
                     if rng.gen_bool(0.15) {

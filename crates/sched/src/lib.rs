@@ -29,9 +29,9 @@ pub mod priorities;
 pub mod schedule;
 
 pub use deadlines::latest_finish_times;
-pub use idle::{idle_intervals, IdleInterval};
+pub use idle::{idle_intervals, IdleInterval, IdleSummary};
 pub use insertion::{insertion_edf_schedule, insertion_schedule};
-pub use list::{edf_schedule, list_schedule};
+pub use list::{edf_schedule, list_schedule, list_schedule_with, ListScheduleWorkspace};
 pub use metrics::{metrics, ScheduleMetrics};
 pub use priorities::PriorityPolicy;
 pub use schedule::{ProcId, Schedule, ScheduleError};

@@ -20,6 +20,29 @@ use lamps_taskgraph::{TaskGraph, TaskId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+/// Reusable scratch state for [`list_schedule_with`].
+///
+/// A LAMPS-style search schedules the same graph dozens of times (one
+/// run per candidate processor count); keeping the event heaps and the
+/// in-degree counters alive across runs avoids re-allocating them every
+/// time. The workspace carries no semantic state between runs — every
+/// run clears and refills it — so reusing one workspace produces
+/// schedules identical to fresh [`list_schedule`] calls.
+#[derive(Debug, Default)]
+pub struct ListScheduleWorkspace {
+    ready: BinaryHeap<Reverse<(u64, u32)>>,
+    running: BinaryHeap<Reverse<(u64, u32)>>,
+    idle: BinaryHeap<(u64, Reverse<u32>)>,
+    missing_preds: Vec<u32>,
+}
+
+impl ListScheduleWorkspace {
+    /// An empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Schedule `graph` on `n_procs` processors, priorities given per task
 /// (smaller key = more urgent).
 ///
@@ -27,6 +50,21 @@ use std::collections::BinaryHeap;
 ///
 /// Panics if `n_procs == 0` or `keys.len() != graph.len()`.
 pub fn list_schedule(graph: &TaskGraph, n_procs: usize, keys: &[u64]) -> Schedule {
+    list_schedule_with(&mut ListScheduleWorkspace::new(), graph, n_procs, keys)
+}
+
+/// [`list_schedule`] reusing the allocations in `ws` (see
+/// [`ListScheduleWorkspace`]).
+///
+/// # Panics
+///
+/// Panics if `n_procs == 0` or `keys.len() != graph.len()`.
+pub fn list_schedule_with(
+    ws: &mut ListScheduleWorkspace,
+    graph: &TaskGraph,
+    n_procs: usize,
+    keys: &[u64],
+) -> Schedule {
     assert!(n_procs > 0, "need at least one processor");
     assert_eq!(keys.len(), graph.len(), "one key per task");
 
@@ -37,10 +75,11 @@ pub fn list_schedule(graph: &TaskGraph, n_procs: usize, keys: &[u64]) -> Schedul
     let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];
 
     // Ready tasks: min-heap on (key, id).
-    let mut ready: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
-    let mut missing_preds: Vec<u32> = (0..n)
-        .map(|i| graph.in_degree(TaskId(i as u32)) as u32)
-        .collect();
+    let ready = &mut ws.ready;
+    ready.clear();
+    let missing_preds = &mut ws.missing_preds;
+    missing_preds.clear();
+    missing_preds.extend((0..n).map(|i| graph.in_degree(TaskId(i as u32)) as u32));
     for t in graph.tasks() {
         if missing_preds[t.index()] == 0 {
             ready.push(Reverse((keys[t.index()], t.0)));
@@ -48,12 +87,14 @@ pub fn list_schedule(graph: &TaskGraph, n_procs: usize, keys: &[u64]) -> Schedul
     }
 
     // Running tasks: min-heap on (finish time, id).
-    let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let running = &mut ws.running;
+    running.clear();
     // Idle processors: max-heap on (time it became idle, Reverse(id)) so
     // that `pop` yields the most-recently-freed processor, lowest id on
     // ties.
-    let mut idle: BinaryHeap<(u64, Reverse<u32>)> =
-        (0..n_procs as u32).map(|p| (0u64, Reverse(p))).collect();
+    let idle = &mut ws.idle;
+    idle.clear();
+    idle.extend((0..n_procs as u32).map(|p| (0u64, Reverse(p))));
 
     let mut now = 0u64;
     let mut scheduled = 0usize;
@@ -210,8 +251,7 @@ mod tests {
                 .max(g.total_work_cycles().div_ceil(n as u64));
             assert!(s.makespan_cycles() >= lb);
             // Work-conserving list scheduling respects Graham's bound.
-            let ub = g.critical_path_cycles()
-                + g.total_work_cycles().div_ceil(n as u64);
+            let ub = g.critical_path_cycles() + g.total_work_cycles().div_ceil(n as u64);
             assert!(s.makespan_cycles() <= ub);
         }
     }

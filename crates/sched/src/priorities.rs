@@ -27,9 +27,7 @@ impl PriorityPolicy {
     /// only used by EDF.
     pub fn keys(&self, graph: &TaskGraph, deadline_cycles: u64) -> Vec<u64> {
         match self {
-            PriorityPolicy::EarliestDeadlineFirst => {
-                latest_finish_times(graph, deadline_cycles)
-            }
+            PriorityPolicy::EarliestDeadlineFirst => latest_finish_times(graph, deadline_cycles),
             PriorityPolicy::BottomLevel => {
                 // Larger bottom level = more urgent; invert so that
                 // smaller keys go first.

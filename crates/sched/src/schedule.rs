@@ -95,12 +95,7 @@ impl Schedule {
     /// that know the true assignment order should use
     /// [`Self::with_proc_order`] instead. External constructions should
     /// [`Self::validate`].
-    pub fn new(
-        n_procs: usize,
-        start: Vec<u64>,
-        finish: Vec<u64>,
-        proc: Vec<ProcId>,
-    ) -> Schedule {
+    pub fn new(n_procs: usize, start: Vec<u64>, finish: Vec<u64>, proc: Vec<ProcId>) -> Schedule {
         assert_eq!(start.len(), finish.len());
         assert_eq!(start.len(), proc.len());
         let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];

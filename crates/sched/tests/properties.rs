@@ -1,117 +1,129 @@
-//! Property-based tests of the schedulers over random DAGs, priorities,
-//! and processor counts.
+//! Randomized property tests of the schedulers over random DAGs,
+//! priorities, and processor counts. Driven by the workspace's internal
+//! seeded RNG so they run offline and deterministically.
 
 use lamps_sched::deadlines::latest_finish_times;
 use lamps_sched::insertion::insertion_schedule;
 use lamps_sched::list::list_schedule;
 use lamps_sched::metrics::metrics;
 use lamps_sched::PriorityPolicy;
+use lamps_taskgraph::rng::Rng;
 use lamps_taskgraph::{GraphBuilder, TaskGraph, TaskId};
-use proptest::prelude::*;
 
-fn arb_dag(max_tasks: usize) -> impl Strategy<Value = TaskGraph> {
-    (2..=max_tasks)
-        .prop_flat_map(|n| {
-            (
-                prop::collection::vec(0u64..60, n),
-                prop::collection::vec(any::<bool>(), n * (n - 1) / 2),
-            )
-        })
-        .prop_map(|(weights, edges)| {
-            let n = weights.len();
-            let mut b = GraphBuilder::new();
-            let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if edges[k] {
-                        b.add_edge(ids[i], ids[j]).expect("valid");
-                    }
-                    k += 1;
-                }
+const CASES: usize = 64;
+
+fn arb_dag(rng: &mut Rng, max_tasks: usize) -> TaskGraph {
+    let n = rng.gen_range(2usize..=max_tasks);
+    let mut b = GraphBuilder::new();
+    let ids: Vec<TaskId> = (0..n)
+        .map(|_| b.add_task(rng.gen_range(0u64..60)))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.5) {
+                b.add_edge(ids[i], ids[j]).expect("valid");
             }
-            b.build().expect("acyclic")
-        })
+        }
+    }
+    b.build().expect("acyclic")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Both schedulers produce valid schedules for every priority policy.
-    #[test]
-    fn all_schedulers_and_policies_valid(
-        g in arb_dag(16),
-        n_procs in 1usize..5,
-    ) {
+/// Both schedulers produce valid schedules for every priority policy.
+#[test]
+fn all_schedulers_and_policies_valid() {
+    let mut rng = Rng::seed_from_u64(0xD001);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 16);
+        let n_procs = rng.gen_range(1usize..5);
         let d = 2 * g.critical_path_cycles().max(1);
         for policy in PriorityPolicy::all() {
             let keys = policy.keys(&g, d);
             let s1 = list_schedule(&g, n_procs, &keys);
-            prop_assert!(s1.validate(&g).is_ok());
+            assert!(s1.validate(&g).is_ok());
             let s2 = insertion_schedule(&g, n_procs, &keys);
-            prop_assert!(s2.validate(&g).is_ok());
+            assert!(s2.validate(&g).is_ok());
         }
     }
+}
 
-    /// Insertion scheduling respects Graham's bound and never exceeds
-    /// the serial makespan.
-    #[test]
-    fn insertion_respects_bounds(g in arb_dag(16), n_procs in 1usize..5) {
+/// Insertion scheduling respects Graham's bound and never exceeds
+/// the serial makespan.
+#[test]
+fn insertion_respects_bounds() {
+    let mut rng = Rng::seed_from_u64(0xD002);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 16);
+        let n_procs = rng.gen_range(1usize..5);
         let d = 2 * g.critical_path_cycles().max(1);
         let keys = latest_finish_times(&g, d);
         let s = insertion_schedule(&g, n_procs, &keys);
         let cpl = g.critical_path_cycles();
         let work = g.total_work_cycles();
-        prop_assert!(s.makespan_cycles() >= cpl.max(work.div_ceil(n_procs as u64)));
-        prop_assert!(s.makespan_cycles() <= work.max(cpl));
+        assert!(s.makespan_cycles() >= cpl.max(work.div_ceil(n_procs as u64)));
+        assert!(s.makespan_cycles() <= work.max(cpl));
     }
+}
 
-    /// On one processor, every work-conserving scheduler yields the
-    /// serial makespan.
-    #[test]
-    fn single_processor_serializes_for_all(g in arb_dag(12)) {
+/// On one processor, every work-conserving scheduler yields the
+/// serial makespan.
+#[test]
+fn single_processor_serializes_for_all() {
+    let mut rng = Rng::seed_from_u64(0xD003);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 12);
         let d = 2 * g.critical_path_cycles().max(1);
         let keys = latest_finish_times(&g, d);
-        prop_assert_eq!(
+        assert_eq!(
             list_schedule(&g, 1, &keys).makespan_cycles(),
             g.total_work_cycles()
         );
-        prop_assert_eq!(
+        assert_eq!(
             insertion_schedule(&g, 1, &keys).makespan_cycles(),
             g.total_work_cycles()
         );
     }
+}
 
-    /// Metrics are internally consistent on arbitrary schedules.
-    #[test]
-    fn metrics_consistent(g in arb_dag(14), n_procs in 1usize..4, slack in 0u64..100) {
+/// Metrics are internally consistent on arbitrary schedules.
+#[test]
+fn metrics_consistent() {
+    let mut rng = Rng::seed_from_u64(0xD004);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 14);
+        let n_procs = rng.gen_range(1usize..4);
+        let slack = rng.gen_range(0u64..100);
         let d = 2 * g.critical_path_cycles().max(1);
         let keys = latest_finish_times(&g, d);
         let s = list_schedule(&g, n_procs, &keys);
         let horizon = s.makespan_cycles() + slack;
         if horizon == 0 {
-            return Ok(());
+            continue;
         }
         let m = metrics(&s, horizon);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&m.utilization));
-        prop_assert!(m.imbalance >= 1.0 - 1e-12);
-        prop_assert!(m.employed <= n_procs);
+        assert!((0.0..=1.0 + 1e-12).contains(&m.utilization));
+        assert!(m.imbalance >= 1.0 - 1e-12);
+        assert!(m.employed <= n_procs);
         // Utilization × capacity == total work.
         let reconstructed = m.utilization * horizon as f64 * n_procs as f64;
-        prop_assert!((reconstructed - g.total_work_cycles() as f64).abs() < 1e-6);
+        assert!((reconstructed - g.total_work_cycles() as f64).abs() < 1e-6);
     }
+}
 
-    /// Monotone capacity: doubling the processors never increases the
-    /// event-driven list scheduler's makespan by more than the Graham
-    /// slack (and adding processors never hurts the *bound*). We assert
-    /// the weaker, always-true property: makespan(2n) ≤ makespan(n)
-    /// + CPL (anomalies exist, but they are bounded).
-    #[test]
-    fn capacity_anomalies_are_bounded(g in arb_dag(14), n_procs in 1usize..3) {
+/// Monotone capacity: doubling the processors never increases the
+/// event-driven list scheduler's makespan by more than the Graham
+/// slack (and adding processors never hurts the *bound*). We assert
+/// the weaker, always-true property: makespan(2n) ≤ makespan(n)
+/// + CPL (anomalies exist, but they are bounded).
+#[test]
+fn capacity_anomalies_are_bounded() {
+    let mut rng = Rng::seed_from_u64(0xD005);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 14);
+        let n_procs = rng.gen_range(1usize..3);
         let d = 2 * g.critical_path_cycles().max(1);
         let keys = latest_finish_times(&g, d);
         let m1 = list_schedule(&g, n_procs, &keys).makespan_cycles();
         let m2 = list_schedule(&g, n_procs * 2, &keys).makespan_cycles();
-        prop_assert!(m2 <= m1 + g.critical_path_cycles());
+        assert!(m2 <= m1 + g.critical_path_cycles());
     }
 }

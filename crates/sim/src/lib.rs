@@ -26,5 +26,8 @@
 pub mod runner;
 pub mod workload;
 
-pub use runner::{simulate, simulate_with_costs, simulate_with_overruns, DvsSwitchCost, Policy, SimReport, SimTask};
+pub use runner::{
+    simulate, simulate_with_costs, simulate_with_overruns, DvsSwitchCost, Policy, SimReport,
+    SimTask,
+};
 pub use workload::{actual_cycles, actual_cycles_with_overruns};

@@ -204,10 +204,8 @@ pub fn simulate_with_costs(
         .tasks()
         .map(|t| graph.in_degree(t) as u32 + extra_pred[t.index()].is_some() as u32)
         .collect();
-    let mut queue: std::collections::VecDeque<TaskId> = graph
-        .tasks()
-        .filter(|t| indeg[t.index()] == 0)
-        .collect();
+    let mut queue: std::collections::VecDeque<TaskId> =
+        graph.tasks().filter(|t| indeg[t.index()] == 0).collect();
     let mut next_on_proc: Vec<Option<TaskId>> = vec![None; n];
     for (t, &p) in extra_pred.iter().enumerate() {
         if let Some(p) = p {
@@ -252,7 +250,12 @@ pub fn simulate_with_costs(
                 if available <= 0.0 {
                     *cfg.levels.fastest()
                 } else {
-                    let required = wcet as f64 / available;
+                    // Shave one part in 10⁹ off the requirement: with zero
+                    // gained slack, `wcet / (wcet / f_plan)` can round one
+                    // ulp above the plan frequency and spuriously bump the
+                    // level. The tolerance is far below the cycle
+                    // granularity of any real window.
+                    let required = wcet as f64 / available * (1.0 - 1e-9);
                     let chosen = cfg
                         .levels
                         .lowest_at_least(required)
@@ -468,7 +471,14 @@ mod tests {
         let cfg = cfg();
         let sol = solve(Strategy::LampsPs, &g, mpeg::GOP_DEADLINE_SECONDS, &cfg).unwrap();
         let actual = actual_cycles(&g, 0.6, 0.9, 42);
-        let stat = simulate(&g, &sol, &actual, mpeg::GOP_DEADLINE_SECONDS, Policy::Static, &cfg);
+        let stat = simulate(
+            &g,
+            &sol,
+            &actual,
+            mpeg::GOP_DEADLINE_SECONDS,
+            Policy::Static,
+            &cfg,
+        );
         let rec = simulate(
             &g,
             &sol,
@@ -621,10 +631,22 @@ mod switch_cost_tests {
         let (g, sol, d, cfg) = setup();
         let actual = actual_cycles(&g, 0.4, 0.7, 5);
         let free = simulate_with_costs(
-            &g, &sol, &actual, d, Policy::SlackReclaim, &cfg, &DvsSwitchCost::free(),
+            &g,
+            &sol,
+            &actual,
+            d,
+            Policy::SlackReclaim,
+            &cfg,
+            &DvsSwitchCost::free(),
         );
         let costly = simulate_with_costs(
-            &g, &sol, &actual, d, Policy::SlackReclaim, &cfg, &DvsSwitchCost::typical(),
+            &g,
+            &sol,
+            &actual,
+            d,
+            Policy::SlackReclaim,
+            &cfg,
+            &DvsSwitchCost::typical(),
         );
         assert!(free.deadline_met && costly.deadline_met);
         // Reclamation switches at least sometimes.

@@ -4,9 +4,8 @@
 //! Tennis sequence; real frames finish earlier. This module draws
 //! per-task actual cycle counts as a seeded fraction of the WCET.
 
+use lamps_taskgraph::rng::Rng;
 use lamps_taskgraph::TaskGraph;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 
 /// Draw actual cycles per task: uniform in
 /// `[min_fraction · w, max_fraction · w]`, clamped to `[1, w]` for
@@ -25,7 +24,7 @@ pub fn actual_cycles(
         min_fraction > 0.0 && min_fraction <= max_fraction && max_fraction <= 1.0,
         "fractions must satisfy 0 < min <= max <= 1"
     );
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     graph
         .weights()
         .iter()
@@ -55,7 +54,7 @@ pub fn actual_cycles_with_overruns(
     assert!((0.0..=1.0).contains(&overrun_prob), "probability in [0,1]");
     assert!(overrun_factor >= 1.0, "an overrun cannot shrink the task");
     let base = actual_cycles(graph, min_fraction, max_fraction, seed);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x0F_F1_CE);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x0F_F1_CE);
     base.iter()
         .zip(graph.weights())
         .map(|(&a, &w)| {
@@ -103,8 +102,14 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let g = graph();
-        assert_eq!(actual_cycles(&g, 0.5, 0.9, 3), actual_cycles(&g, 0.5, 0.9, 3));
-        assert_ne!(actual_cycles(&g, 0.5, 0.9, 3), actual_cycles(&g, 0.5, 0.9, 4));
+        assert_eq!(
+            actual_cycles(&g, 0.5, 0.9, 3),
+            actual_cycles(&g, 0.5, 0.9, 3)
+        );
+        assert_ne!(
+            actual_cycles(&g, 0.5, 0.9, 3),
+            actual_cycles(&g, 0.5, 0.9, 4)
+        );
     }
 
     #[test]
@@ -117,11 +122,7 @@ mod tests {
     fn overruns_inject_violations() {
         let g = graph();
         let a = actual_cycles_with_overruns(&g, 0.5, 0.8, 0.3, 1.5, 7);
-        let over = a
-            .iter()
-            .zip(g.weights())
-            .filter(|&(&a, &w)| a > w)
-            .count();
+        let over = a.iter().zip(g.weights()).filter(|&(&a, &w)| a > w).count();
         assert!(over > 0, "some tasks must overrun");
         assert!(over < g.len(), "not all tasks overrun at p = 0.3");
         // Each overrun is exactly 1.5x the WCET.

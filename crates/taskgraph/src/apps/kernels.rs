@@ -148,7 +148,14 @@ fn build_forks(
             b.add_task(node_cycles)
         };
         b.add_edge(parent, child).expect("valid");
-        leaves.extend(build_forks(b, child, depth - 1, fanout, node_cycles, leaf_cycles));
+        leaves.extend(build_forks(
+            b,
+            child,
+            depth - 1,
+            fanout,
+            node_cycles,
+            leaf_cycles,
+        ));
     }
     leaves
 }

@@ -127,7 +127,11 @@ pub fn paper_gop() -> TaskGraph {
 /// Returns the graph and one explicit deadline per task (set on each
 /// GOP's frames: GOP `k` must be fully encoded by `(k+1)·period_cycles`,
 /// the real-time contract of 30 frames/s with a 0.5 s GOP period).
-pub fn gop_stream(spec: &GopSpec, n_gops: usize, period_cycles: u64) -> (TaskGraph, Vec<Option<u64>>) {
+pub fn gop_stream(
+    spec: &GopSpec,
+    n_gops: usize,
+    period_cycles: u64,
+) -> (TaskGraph, Vec<Option<u64>>) {
     assert!(n_gops >= 1);
     let mut b = GraphBuilder::with_capacity(spec.n_frames * n_gops, spec.n_frames * n_gops * 2);
     let mut all_ids: Vec<Vec<crate::graph::TaskId>> = Vec::with_capacity(n_gops);
@@ -141,10 +145,9 @@ pub fn gop_stream(spec: &GopSpec, n_gops: usize, period_cycles: u64) -> (TaskGra
                 FrameKind::P => 'P',
                 FrameKind::B => 'B',
             };
-            ids.push(b.add_named_task(
-                format!("{prefix}{}", g * spec.n_frames + k),
-                spec.cycles(k),
-            ));
+            ids.push(
+                b.add_named_task(format!("{prefix}{}", g * spec.n_frames + k), spec.cycles(k)),
+            );
             deadlines.push(Some((g as u64 + 1) * period_cycles));
         }
         // Intra-GOP structure (same as build_gop).

@@ -107,7 +107,11 @@ pub fn cluster_chains(graph: &TaskGraph) -> ClusteredGraph {
         let label = if chain.len() == 1 {
             graph.label(chain[0])
         } else {
-            format!("{}..{}", graph.label(chain[0]), graph.label(*chain.last().expect("non-empty")))
+            format!(
+                "{}..{}",
+                graph.label(chain[0]),
+                graph.label(*chain.last().expect("non-empty"))
+            )
         };
         let cid = b.add_named_task(label, weight);
         for &x in &chain {

@@ -16,8 +16,7 @@
 //!   and for the parallelism-controlled scatter experiments).
 
 use crate::graph::{GraphBuilder, TaskGraph, TaskId};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// STG task weights are integers in 1..=300 (§5.1).
 pub const STG_WEIGHT_MAX: u64 = 300;
@@ -25,7 +24,7 @@ pub const STG_WEIGHT_MAX: u64 = 300;
 /// Partition `total` into `parts` integers, each in `[1, cap]`, uniformly
 /// enough for benchmarking purposes. Panics if infeasible
 /// (`parts > total` or `total > parts·cap`).
-pub fn random_partition(rng: &mut StdRng, total: u64, parts: usize, cap: u64) -> Vec<u64> {
+pub fn random_partition(rng: &mut Rng, total: u64, parts: usize, cap: u64) -> Vec<u64> {
     assert!(parts >= 1, "need at least one part");
     let parts_u = parts as u64;
     assert!(total >= parts_u, "total {total} < parts {parts}");
@@ -90,7 +89,7 @@ pub mod layered {
         assert!(cfg.n_tasks >= 1);
         assert!(cfg.n_layers >= 1);
         assert!(cfg.weight_range.0 >= 1 && cfg.weight_range.0 <= cfg.weight_range.1);
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let n_layers = cfg.n_layers.min(cfg.n_tasks);
 
         // Random layer widths: distribute tasks over layers, each layer
@@ -159,7 +158,7 @@ pub mod layered {
     }
 
     /// Sample a non-negative count with the given mean (geometric-ish).
-    fn sample_extra(rng: &mut StdRng, mean: f64) -> usize {
+    fn sample_extra(rng: &mut Rng, mean: f64) -> usize {
         if mean <= 0.0 {
             return 0;
         }
@@ -175,7 +174,7 @@ pub mod layered {
     /// layer counts (and therefore parallelism) vary widely, mimicking
     /// one size-group of the STG random set.
     pub fn stg_group(n_tasks: usize, count: usize, seed: u64) -> Vec<TaskGraph> {
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x5741_5345_4441);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x5741_5345_4441);
         (0..count)
             .map(|i| {
                 // Log-uniform parallelism target between ~1 and ~min(48, n/4).
@@ -252,7 +251,7 @@ pub mod spine {
             "off-spine work {off_work} cannot cover {m} tasks with weight >= 1"
         );
 
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
 
         // Spine weights: first and last pinned to 1, interior random.
         let spine_weights: Vec<u64> = if cfg.spine_len == 2 {
@@ -303,9 +302,8 @@ pub mod spine {
                 a = 0;
                 bpos = find_b(&prefix, 0, w);
             }
-            let bpos = bpos.unwrap_or_else(|| {
-                panic!("off-spine weight {w} does not fit (cpl {})", cfg.cpl)
-            });
+            let bpos = bpos
+                .unwrap_or_else(|| panic!("off-spine weight {w} does not fit (cpl {})", cfg.cpl));
             b.add_edge(spine[a], x).expect("valid");
             b.add_edge(x, spine[bpos]).expect("valid");
             edge_set.insert((spine[a].0, x.0));
@@ -370,7 +368,7 @@ pub mod spine {
     pub fn with_parallelism(n_tasks: usize, parallelism: f64, seed: u64) -> TaskGraph {
         assert!(n_tasks >= 3);
         assert!(parallelism >= 1.0);
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x50_41_52);
+        let mut rng = Rng::seed_from_u64(seed ^ 0x50_41_52);
         // Expected STG weight ≈ 150; draw total work around n·150 but cap
         // it so that both the spine and the off-spine partition fit under
         // the 300-unit weight cap.
@@ -446,10 +444,9 @@ pub mod fanin {
         assert!(cfg.n_tasks >= 1);
         assert!(cfg.max_out >= 1 && cfg.max_in >= 1);
         assert!((0.0..=1.0).contains(&cfg.fanout_prob));
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xFA21);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xFA21);
         let mut b = GraphBuilder::with_capacity(cfg.n_tasks, cfg.n_tasks * 2);
-        let weight =
-            |rng: &mut StdRng| rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1);
+        let weight = |rng: &mut Rng| rng.gen_range(cfg.weight_range.0..=cfg.weight_range.1);
 
         // Frontier: tasks with no successors yet.
         let w0 = weight(&mut rng);
@@ -496,7 +493,7 @@ mod tests {
 
     #[test]
     fn random_partition_respects_bounds() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..100 {
             let parts = rng.gen_range(1..20usize);
             let cap = rng.gen_range(1..50u64);
@@ -511,7 +508,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "total")]
     fn random_partition_rejects_infeasible() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         random_partition(&mut rng, 5, 10, 300);
     }
 
@@ -525,7 +522,7 @@ mod tests {
         };
         let g = layered_gen(&cfg, 42);
         assert_eq!(g.len(), 122); // +2 dummies
-        // Unique entry/exit.
+                                  // Unique entry/exit.
         assert_eq!(g.sources().len(), 1);
         assert_eq!(g.sinks().len(), 1);
         // Weights in STG range (dummies are 0).
@@ -598,10 +595,7 @@ mod tests {
         for &p in &[1.5, 4.0, 12.0, 30.0] {
             let g = with_parallelism(1000, p, 77);
             let got = g.parallelism();
-            assert!(
-                (got / p - 1.0).abs() < 0.15,
-                "target {p}, got {got}"
-            );
+            assert!((got / p - 1.0).abs() < 0.15, "target {p}, got {got}");
             assert_eq!(g.len(), 1000);
         }
     }

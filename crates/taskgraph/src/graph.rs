@@ -318,7 +318,9 @@ impl TaskGraph {
     /// order is deterministic.
     pub(crate) fn compute_topo_order(&self) -> Result<Vec<TaskId>, GraphError> {
         let n = self.len();
-        let mut indeg: Vec<u32> = (0..n).map(|i| self.in_degree(TaskId(i as u32)) as u32).collect();
+        let mut indeg: Vec<u32> = (0..n)
+            .map(|i| self.in_degree(TaskId(i as u32)) as u32)
+            .collect();
         // A binary heap would give sorted-by-id pops; a simple FIFO over
         // ascending initial ids is deterministic too and O(V+E). We use a
         // monotone queue seeded in id order.
@@ -349,8 +351,7 @@ impl TaskGraph {
     /// A deterministic topological order (recomputed; the graph is
     /// guaranteed acyclic after `build`).
     pub fn topo_order(&self) -> Vec<TaskId> {
-        self.compute_topo_order()
-            .expect("built graphs are acyclic")
+        self.compute_topo_order().expect("built graphs are acyclic")
     }
 
     /// Scale every weight by an integer factor (e.g. STG weight units →
@@ -415,10 +416,7 @@ mod tests {
         let mut b = GraphBuilder::new();
         let a = b.add_task(1);
         assert_eq!(b.add_edge(a, a), Err(GraphError::SelfLoop(a)));
-        assert_eq!(
-            b.add_edge(a, TaskId(7)),
-            Err(GraphError::UnknownTask(7))
-        );
+        assert_eq!(b.add_edge(a, TaskId(7)), Err(GraphError::UnknownTask(7)));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod cluster;
 pub mod dot;
 pub mod gen;
 pub mod graph;
+pub mod rng;
 pub mod stg;
 
 pub use graph::{GraphBuilder, GraphError, TaskGraph, TaskId};

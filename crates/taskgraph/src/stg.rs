@@ -119,8 +119,7 @@ pub fn parse(text: &str) -> Result<TaskGraph, StgError> {
 
     for (to, plist) in preds.iter().enumerate() {
         for &from in plist {
-            let from =
-                u32::try_from(from).map_err(|_| StgError::BadToken(from.to_string()))?;
+            let from = u32::try_from(from).map_err(|_| StgError::BadToken(from.to_string()))?;
             builder
                 .add_edge(TaskId(from), TaskId(to as u32))
                 .map_err(StgError::from)?;

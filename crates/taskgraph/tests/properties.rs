@@ -1,120 +1,130 @@
-//! Property-based tests for graph construction, generators, analysis,
-//! clustering, and the STG parser (fuzzed for panic-freedom).
+//! Randomized property tests for graph construction, generators,
+//! analysis, clustering, and the STG parser (fuzzed for panic-freedom).
+//! Driven by the workspace's internal seeded RNG so they run offline
+//! and deterministically.
 
 use lamps_taskgraph::cluster::cluster_chains;
 use lamps_taskgraph::gen::fanin::{generate as fanin, FaninConfig};
 use lamps_taskgraph::gen::layered::{generate as layered, LayeredConfig};
 use lamps_taskgraph::gen::spine::{generate as spine, SpineConfig};
+use lamps_taskgraph::rng::Rng;
 use lamps_taskgraph::{stg, GraphBuilder, TaskId};
-use proptest::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: usize = 128;
 
-    /// The STG parser never panics, whatever bytes it is fed.
-    #[test]
-    fn stg_parser_never_panics(input in ".{0,256}") {
+/// The STG parser never panics, whatever bytes it is fed.
+#[test]
+fn stg_parser_never_panics() {
+    let mut rng = Rng::seed_from_u64(0xA001);
+    // A character soup biased toward the tokens the format cares about.
+    const ALPHABET: &[u8] = b"0123456789 \t\n\r#-+.,:xyzABC\"\\";
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..=256);
+        let input: String = (0..len)
+            .map(|_| ALPHABET[rng.gen_range(0..ALPHABET.len())] as char)
+            .collect();
         let _ = stg::parse(&input);
     }
+}
 
-    /// Structured-ish random STG text either parses or errors — and when
-    /// it parses, the graph round-trips.
-    #[test]
-    fn stg_numeric_soup(tokens in prop::collection::vec(0u64..50, 0..60)) {
-        let text = tokens
-            .iter()
-            .map(u64::to_string)
+/// Structured-ish random STG text either parses or errors — and when
+/// it parses, the graph round-trips.
+#[test]
+fn stg_numeric_soup() {
+    let mut rng = Rng::seed_from_u64(0xA002);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0usize..60);
+        let text = (0..n)
+            .map(|_| rng.gen_range(0u64..50).to_string())
             .collect::<Vec<_>>()
             .join(" ");
         if let Ok(g) = stg::parse(&text) {
             let again = stg::parse(&stg::write(&g)).expect("round-trip");
-            prop_assert_eq!(g.len(), again.len());
-            prop_assert_eq!(g.edge_count(), again.edge_count());
+            assert_eq!(g.len(), again.len());
+            assert_eq!(g.edge_count(), again.edge_count());
         }
     }
+}
 
-    /// The layered generator honours its configuration across the
-    /// parameter space.
-    #[test]
-    fn layered_generator_invariants(
-        n_tasks in 1usize..80,
-        n_layers in 1usize..20,
-        mean_in in 1.0f64..4.0,
-        skip in 0.0f64..0.5,
-        dummies in any::<bool>(),
-        seed in any::<u64>(),
-    ) {
+/// The layered generator honours its configuration across the
+/// parameter space.
+#[test]
+fn layered_generator_invariants() {
+    let mut rng = Rng::seed_from_u64(0xA003);
+    for _ in 0..CASES {
+        let n_tasks = rng.gen_range(1usize..80);
+        let n_layers = rng.gen_range(1usize..20);
+        let dummies = rng.gen_bool(0.5);
         let cfg = LayeredConfig {
             n_tasks,
             n_layers,
-            mean_in_degree: mean_in,
-            skip_prob: skip,
+            mean_in_degree: rng.gen_range(1.0f64..4.0),
+            skip_prob: rng.gen_range(0.0f64..0.5),
             dummies,
             ..LayeredConfig::default()
         };
-        let g = layered(&cfg, seed);
+        let g = layered(&cfg, rng.next_u64());
         let expected = n_tasks + if dummies { 2 } else { 0 };
-        prop_assert_eq!(g.len(), expected);
+        assert_eq!(g.len(), expected);
         if dummies {
-            prop_assert_eq!(g.sources().len(), 1);
-            prop_assert_eq!(g.sinks().len(), 1);
+            assert_eq!(g.sources().len(), 1);
+            assert_eq!(g.sinks().len(), 1);
         }
         // Weights within STG bounds, dummies zero.
         for t in g.tasks() {
-            prop_assert!(g.weight(t) <= 300);
+            assert!(g.weight(t) <= 300);
         }
         // CPL is attainable and bounded by total work.
-        prop_assert!(g.critical_path_cycles() <= g.total_work_cycles());
+        assert!(g.critical_path_cycles() <= g.total_work_cycles());
     }
+}
 
-    /// Fan-in/fan-out generator invariants.
-    #[test]
-    fn fanin_generator_invariants(
-        n_tasks in 1usize..60,
-        max_out in 1usize..6,
-        max_in in 2usize..6,
-        p in 0.0f64..=1.0,
-        seed in any::<u64>(),
-    ) {
+/// Fan-in/fan-out generator invariants.
+#[test]
+fn fanin_generator_invariants() {
+    let mut rng = Rng::seed_from_u64(0xA004);
+    for _ in 0..CASES {
+        let n_tasks = rng.gen_range(1usize..60);
+        let max_out = rng.gen_range(1usize..6);
+        let max_in = rng.gen_range(2usize..6);
         let cfg = FaninConfig {
             n_tasks,
             max_out,
             max_in,
-            fanout_prob: p,
+            fanout_prob: rng.gen_range(0.0f64..=1.0),
             ..FaninConfig::default()
         };
-        let g = fanin(&cfg, seed);
-        prop_assert_eq!(g.len(), n_tasks);
-        prop_assert_eq!(g.sources().len(), 1);
+        let g = fanin(&cfg, rng.next_u64());
+        assert_eq!(g.len(), n_tasks);
+        assert_eq!(g.sources().len(), 1);
         for t in g.tasks() {
-            prop_assert!(g.out_degree(t) <= max_out.max(1));
-            prop_assert!(g.in_degree(t) <= max_in);
+            assert!(g.out_degree(t) <= max_out.max(1));
+            assert!(g.in_degree(t) <= max_in);
         }
     }
+}
 
-    /// The spine generator hits its CPL and work targets exactly for any
-    /// feasible configuration.
-    #[test]
-    fn spine_generator_hits_targets(
-        spine_len in 2usize..20,
-        extra_tasks in 0usize..30,
-        cpl_slack in 0u64..400,
-        work_slack in 0u64..2000,
-        seed in any::<u64>(),
-    ) {
+/// The spine generator hits its CPL and work targets exactly for any
+/// feasible configuration.
+#[test]
+fn spine_generator_hits_targets() {
+    let mut rng = Rng::seed_from_u64(0xA005);
+    for _ in 0..CASES {
+        let spine_len = rng.gen_range(2usize..20);
+        let extra_tasks = rng.gen_range(0usize..30);
+        let cpl_slack = rng.gen_range(0u64..400);
+        let work_slack = rng.gen_range(0u64..2000);
         let n_tasks = spine_len + extra_tasks;
         let cpl = spine_len as u64 + cpl_slack.min(298 * (spine_len as u64).saturating_sub(2));
         // Off-spine tasks need an interior chain segment to hang between.
         if extra_tasks > 0 && cpl < 3 {
-            return Ok(());
+            continue;
         }
         // Off-spine weights must each fit within cpl − 2 and sum ≥ m.
         let m = extra_tasks as u64;
         let off_cap = 300u64.min(cpl.saturating_sub(2)).max(1);
-        if m > 0 && off_cap < 1 {
-            return Ok(());
-        }
-        let off_work = (m + work_slack.min(m.saturating_mul(off_cap.saturating_sub(1)))).min(m * off_cap);
+        let off_work =
+            (m + work_slack.min(m.saturating_mul(off_cap.saturating_sub(1)))).min(m * off_cap);
         let work = cpl + off_work;
         let cfg = SpineConfig {
             n_tasks,
@@ -124,41 +134,41 @@ proptest! {
             extra_edges: extra_tasks / 2,
             weight_cap: 300,
         };
-        let g = spine(&cfg, seed);
-        prop_assert_eq!(g.len(), n_tasks);
-        prop_assert_eq!(g.critical_path_cycles(), cpl);
-        prop_assert_eq!(g.total_work_cycles(), work);
+        let g = spine(&cfg, rng.next_u64());
+        assert_eq!(g.len(), n_tasks);
+        assert_eq!(g.critical_path_cycles(), cpl);
+        assert_eq!(g.total_work_cycles(), work);
     }
+}
 
-    /// Clustering is always structure-preserving.
-    #[test]
-    fn clustering_preserves_structure(
-        weights in prop::collection::vec(1u64..40, 2..25),
-        edges in prop::collection::vec(any::<bool>(), 300),
-    ) {
-        let n = weights.len();
+/// Clustering is always structure-preserving.
+#[test]
+fn clustering_preserves_structure() {
+    let mut rng = Rng::seed_from_u64(0xA006);
+    for _ in 0..CASES {
+        let n = rng.gen_range(2usize..25);
         let mut b = GraphBuilder::new();
-        let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
-        let mut k = 0;
+        let ids: Vec<TaskId> = (0..n)
+            .map(|_| b.add_task(rng.gen_range(1u64..40)))
+            .collect();
         for i in 0..n {
             for j in (i + 1)..n {
-                if edges[k % edges.len()] {
+                if rng.gen_bool(0.5) {
                     b.add_edge(ids[i], ids[j]).expect("valid");
                 }
-                k += 1;
             }
         }
         let g = b.build().expect("acyclic");
         let c = cluster_chains(&g);
-        prop_assert_eq!(c.graph.critical_path_cycles(), g.critical_path_cycles());
-        prop_assert_eq!(c.graph.total_work_cycles(), g.total_work_cycles());
-        prop_assert!(c.graph.len() <= g.len());
+        assert_eq!(c.graph.critical_path_cycles(), g.critical_path_cycles());
+        assert_eq!(c.graph.total_work_cycles(), g.total_work_cycles());
+        assert!(c.graph.len() <= g.len());
         let members: usize = c.members.iter().map(Vec::len).sum();
-        prop_assert_eq!(members, g.len());
+        assert_eq!(members, g.len());
         // cluster_of is consistent with members.
         for (cid, ms) in c.members.iter().enumerate() {
             for &t in ms {
-                prop_assert_eq!(c.cluster_of[t.index()].index(), cid);
+                assert_eq!(c.cluster_of[t.index()].index(), cid);
             }
         }
     }

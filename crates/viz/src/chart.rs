@@ -20,13 +20,16 @@ pub enum Mark {
     Dots,
 }
 
+/// One named series: label, (x, y) points, and how to mark them.
+type Series = (String, Vec<(f64, f64)>, Mark);
+
 /// An x-y chart with one or more named series.
 #[derive(Debug, Clone)]
 pub struct Chart {
     title: String,
     x_label: String,
     y_label: String,
-    series: Vec<(String, Vec<(f64, f64)>, Mark)>,
+    series: Vec<Series>,
 }
 
 impl Chart {
@@ -65,8 +68,12 @@ impl Chart {
                 .filter(|(x, y)| x.is_finite() && y.is_finite())
         };
         assert!(pts().next().is_some(), "chart has no finite points");
-        let (mut x0, mut x1, mut y0, mut y1) =
-            (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+        let (mut x0, mut x1, mut y0, mut y1) = (
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        );
         for &(x, y) in pts() {
             x0 = x0.min(x);
             x1 = x1.max(x);
@@ -167,8 +174,14 @@ impl Chart {
                         if !x.is_finite() || !y.is_finite() {
                             continue;
                         }
-                        write!(d, "{} {:.2} {:.2} ", if first { "M" } else { "L" }, px(x), py(y))
-                            .unwrap();
+                        write!(
+                            d,
+                            "{} {:.2} {:.2} ",
+                            if first { "M" } else { "L" },
+                            px(x),
+                            py(y)
+                        )
+                        .unwrap();
                         first = false;
                     }
                     writeln!(
@@ -342,7 +355,7 @@ fn fmt_tick(v: f64) -> String {
     let a = v.abs();
     if a == 0.0 {
         "0".into()
-    } else if a >= 1e5 || a < 1e-3 {
+    } else if !(1e-3..1e5).contains(&a) {
         format!("{v:.1e}")
     } else if a >= 10.0 {
         format!("{v:.0}")

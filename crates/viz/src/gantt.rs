@@ -158,7 +158,10 @@ mod tests {
         assert_eq!(svg.matches("<title>").count(), 3);
         assert!(svg.contains("load"));
         // Every task rect closes.
-        assert_eq!(svg.matches("<title>").count(), svg.matches("</rect>").count());
+        assert_eq!(
+            svg.matches("<title>").count(),
+            svg.matches("</rect>").count()
+        );
     }
 
     #[test]

@@ -17,11 +17,7 @@ const BOTTOM_MARGIN: f64 = 34.0;
 ///
 /// Panics on an empty trace.
 pub fn power_svg(trace: &[Vec<TraceSegment>]) -> String {
-    let mut boundaries: Vec<f64> = trace
-        .iter()
-        .flatten()
-        .flat_map(|s| [s.t0, s.t1])
-        .collect();
+    let mut boundaries: Vec<f64> = trace.iter().flatten().flat_map(|s| [s.t0, s.t1]).collect();
     assert!(!boundaries.is_empty(), "empty trace");
     boundaries.sort_by(f64::total_cmp);
     boundaries.dedup_by(|a, b| (*a - *b).abs() < 1e-15);
@@ -157,7 +153,13 @@ mod tests {
             .lines()
             .find(|l| l.contains("<path"))
             .expect("path exists");
-        let d = path_line.split("d=\"").nth(1).unwrap().split('"').next().unwrap();
+        let d = path_line
+            .split("d=\"")
+            .nth(1)
+            .unwrap()
+            .split('"')
+            .next()
+            .unwrap();
         for tok in d.split_whitespace() {
             if let Ok(v) = tok.parse::<f64>() {
                 assert!((0.0..=840.0).contains(&v), "coordinate {v} escapes");

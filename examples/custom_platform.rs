@@ -16,7 +16,12 @@ fn main() {
     let deadline = 2.0 * graph.critical_path_cycles() as f64 / paper.max_frequency();
 
     // 1. The paper's platform.
-    report("paper platform (14 levels, 0.05 V grid)", &paper, &graph, deadline);
+    report(
+        "paper platform (14 levels, 0.05 V grid)",
+        &paper,
+        &graph,
+        deadline,
+    );
 
     // 2. Only three voltage levels (a cheaper voltage regulator).
     let tech = TechnologyParams::seventy_nm();
@@ -24,7 +29,12 @@ fn main() {
         levels: LevelTable::from_voltages(&tech, &[0.6, 0.8, 1.0]).unwrap(),
         ..paper.clone()
     };
-    report("3-level regulator {0.6, 0.8, 1.0} V", &three, &graph, deadline);
+    report(
+        "3-level regulator {0.6, 0.8, 1.0} V",
+        &three,
+        &graph,
+        deadline,
+    );
 
     // 3. A worse sleep state: 10× the transition overhead.
     let clumsy_sleep = SchedulerConfig {
@@ -34,7 +44,12 @@ fn main() {
         },
         ..paper.clone()
     };
-    report("sleep with 4.83 mJ transitions", &clumsy_sleep, &graph, deadline);
+    report(
+        "sleep with 4.83 mJ transitions",
+        &clumsy_sleep,
+        &graph,
+        deadline,
+    );
 
     // 4. A lower activity factor (a = 0.5): leakage dominates even more,
     // so shutting down and narrowing matter more than stretching.

@@ -26,9 +26,12 @@ fn main() {
     );
 
     // 1. Sweep the deadline and find the knee.
-    let pts = deadline_sweep(Strategy::LampsPs, &graph, 1.1, 10.0, 12, &cfg)
-        .expect("sweep is feasible");
-    println!("{:>8} {:>12} {:>10} {:>6} {:>6}", "factor", "deadline[ms]", "energy[J]", "procs", "Vdd");
+    let pts =
+        deadline_sweep(Strategy::LampsPs, &graph, 1.1, 10.0, 12, &cfg).expect("sweep is feasible");
+    println!(
+        "{:>8} {:>12} {:>10} {:>6} {:>6}",
+        "factor", "deadline[ms]", "energy[J]", "procs", "Vdd"
+    );
     for p in &pts {
         println!(
             "{:>8.2} {:>12.1} {:>10.4} {:>6} {:>6.2}",
@@ -65,8 +68,13 @@ fn main() {
     std::fs::create_dir_all(dir).expect("create output dir");
     let gantt = gantt_svg(&sol.schedule, &graph, horizon_cycles);
     std::fs::write(dir.join("gantt.svg"), gantt).expect("write gantt");
-    let trace = power_trace(&sol.schedule, &sol.level, chosen.deadline_s, Some(&cfg.sleep))
-        .expect("feasible");
+    let trace = power_trace(
+        &sol.schedule,
+        &sol.level,
+        chosen.deadline_s,
+        Some(&cfg.sleep),
+    )
+    .expect("feasible");
     std::fs::write(dir.join("power.svg"), power_svg(&trace)).expect("write power");
     println!(
         "\nwrote {} and {}",

@@ -67,7 +67,10 @@ fn main() {
             }
         }
         let Some(level) = cfg.levels.lowest_at_least(required) else {
-            println!("{n_procs} processor(s): infeasible (needs {:.2} GHz)", required / 1e9);
+            println!(
+                "{n_procs} processor(s): infeasible (needs {:.2} GHz)",
+                required / 1e9
+            );
             continue;
         };
 
@@ -78,8 +81,8 @@ fn main() {
             .tasks()
             .all(|t| schedule.finish(t) as f64 / level.freq <= lf[t.index()] as f64 / f_max + 1e-9);
         assert!(all_met, "level selection guarantees per-task deadlines");
-        let energy = evaluate(&schedule, level, horizon_s, Some(&cfg.sleep))
-            .expect("fits the horizon");
+        let energy =
+            evaluate(&schedule, level, horizon_s, Some(&cfg.sleep)).expect("fits the horizon");
         println!(
             "{n_procs} processor(s): Vdd {:.2} V (f/fmax {:.2}), energy {:.3} J, {} sleeps",
             level.vdd,

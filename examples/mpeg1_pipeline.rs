@@ -45,7 +45,10 @@ fn main() {
         );
     }
     let sf = limit_sf(&gop, deadline, &cfg).unwrap();
-    println!("{:>10}: {:.3} J (lower bound, single frequency)", "LIMIT-SF", sf.energy_j);
+    println!(
+        "{:>10}: {:.3} J (lower bound, single frequency)",
+        "LIMIT-SF", sf.energy_j
+    );
 
     // Detail of the winner.
     let sol = solve(Strategy::LampsPs, &gop, deadline, &cfg).unwrap();
@@ -56,13 +59,7 @@ fn main() {
         sol.makespan_s * 1e3,
         sol.energy.sleep_episodes
     );
-    let detail = evaluate_detailed(
-        &sol.schedule,
-        &sol.level,
-        deadline,
-        Some(&cfg.sleep),
-    )
-    .unwrap();
+    let detail = evaluate_detailed(&sol.schedule, &sol.level, deadline, Some(&cfg.sleep)).unwrap();
     println!(
         "{:>6} {:>10} {:>12} {:>10} {:>10}",
         "proc", "busy [ms]", "awake idle", "asleep", "energy [J]"

@@ -15,8 +15,8 @@ fn main() {
     let cfg = SchedulerConfig::paper();
     let f_max = cfg.max_frequency();
     let ms = |t: f64| (t * 1e-3 * f_max) as u64; // milliseconds → cycles
-    // Derive all periods from one base so they stay exactly harmonic
-    // despite cycle rounding.
+                                                 // Derive all periods from one base so they stay exactly harmonic
+                                                 // despite cycle rounding.
     let base = ms(10.0);
 
     // A flight-control-style task set: fast inner loop, slower outer

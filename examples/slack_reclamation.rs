@@ -54,7 +54,10 @@ fn main() {
     // run.
     let actual = actual_cycles(&gop, 0.5, 0.7, 42);
     let rec = simulate(&gop, &sol, &actual, deadline, Policy::SlackReclaim, &cfg);
-    println!("\nper-frame voltages under reclamation (plan level {:.2} V):", sol.level.vdd);
+    println!(
+        "\nper-frame voltages under reclamation (plan level {:.2} V):",
+        sol.level.vdd
+    );
     for t in &rec.tasks {
         println!(
             "  {:>4}: {:>6.1} ms - {:>6.1} ms at {:.2} V",

@@ -54,8 +54,8 @@ pub use lamps_kpn as kpn;
 pub use lamps_power as power;
 pub use lamps_sched as sched;
 pub use lamps_sim as sim;
-pub use lamps_viz as viz;
 pub use lamps_taskgraph as taskgraph;
+pub use lamps_viz as viz;
 
 /// The common imports for applications.
 pub mod prelude {

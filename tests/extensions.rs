@@ -55,8 +55,14 @@ fn abb_config_dominates_fixed_bias_end_to_end() {
     let g = kernels::gaussian_elimination(10, 3_100_000, 6_200_000);
     for factor in [1.5, 4.0, 8.0] {
         let d = deadline(&g, factor);
-        let e_fixed = solve(Strategy::LampsPs, &g, d, &base).unwrap().energy.total();
-        let e_abb = solve(Strategy::LampsPs, &g, d, &abb).unwrap().energy.total();
+        let e_fixed = solve(Strategy::LampsPs, &g, d, &base)
+            .unwrap()
+            .energy
+            .total();
+        let e_abb = solve(Strategy::LampsPs, &g, d, &abb)
+            .unwrap()
+            .energy
+            .total();
         assert!(
             e_abb <= e_fixed * (1.0 + 1e-9),
             "{factor}x: ABB {e_abb} vs fixed {e_fixed}"
@@ -128,7 +134,14 @@ fn periodic_pipeline_with_early_finishes() {
 
     let horizon_s = dag.hyperperiod_cycles as f64 / f_max;
     let actual = actual_cycles(&dag.graph, 0.5, 0.8, 9);
-    let r = simulate(&dag.graph, &sol, &actual, horizon_s, Policy::SlackReclaim, &cfg);
+    let r = simulate(
+        &dag.graph,
+        &sol,
+        &actual,
+        horizon_s,
+        Policy::SlackReclaim,
+        &cfg,
+    );
     assert!(r.deadline_met);
     for t in dag.graph.tasks() {
         let due = dag.deadlines[t.index()].unwrap() as f64 / f_max;
@@ -154,7 +167,10 @@ fn clustering_is_energy_neutral() {
         assert_eq!(c.graph.total_work_cycles(), g.total_work_cycles());
         shrunk_somewhere |= c.graph.len() < g.len();
         let d = deadline(&g, 2.0);
-        let e0 = solve(Strategy::LampsPs, &g, d, &cfg).unwrap().energy.total();
+        let e0 = solve(Strategy::LampsPs, &g, d, &cfg)
+            .unwrap()
+            .energy
+            .total();
         let e1 = solve(Strategy::LampsPs, &c.graph, d, &cfg)
             .unwrap()
             .energy

@@ -100,8 +100,8 @@ fn loose_deadline_headline_savings() {
     let saving = 1.0 - lamps_ps.energy.total() / ss.energy.total();
     assert!(saving > 0.5, "saving {saving} (paper: up to 73%)");
 
-    let attained = (ss.energy.total() - lamps_ps.energy.total())
-        / (ss.energy.total() - sf.energy_j);
+    let attained =
+        (ss.energy.total() - lamps_ps.energy.total()) / (ss.energy.total() - sf.energy_j);
     assert!(attained > 0.94, "attained {attained} (paper: >94%)");
 }
 
@@ -110,7 +110,9 @@ fn loose_deadline_headline_savings() {
 fn stg_text_to_solution() {
     let g0 = proxies::sparse();
     let text = stg::write(&g0);
-    let g = stg::parse(&text).unwrap().scale_weights(COARSE_GRAIN_CYCLES_PER_UNIT);
+    let g = stg::parse(&text)
+        .unwrap()
+        .scale_weights(COARSE_GRAIN_CYCLES_PER_UNIT);
     assert_eq!(g.len(), 96);
     let d = deadline(&g, 2.0);
     let sol = solve(Strategy::LampsPs, &g, d, &cfg()).unwrap();

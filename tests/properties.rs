@@ -1,91 +1,77 @@
-//! Property-based tests (proptest) over randomly generated DAGs: the
+//! Randomized property tests over randomly generated DAGs: the
 //! structural and energetic invariants that must hold for *every* input,
-//! not just the benchmark suites.
+//! not just the benchmark suites. Driven by the workspace's internal
+//! seeded RNG so they run offline and deterministically.
 
 use leakage_sched::core::limits::{limit_mf, limit_sf};
 use leakage_sched::energy::evaluate;
-use leakage_sched::prelude::{
-    solve, GraphBuilder, SchedulerConfig, Strategy, TaskGraph, TaskId,
-};
+use leakage_sched::prelude::{solve, GraphBuilder, SchedulerConfig, Strategy, TaskGraph, TaskId};
 use leakage_sched::sched::deadlines::latest_finish_times;
 use leakage_sched::sched::idle::{idle_intervals, total_idle_cycles};
 use leakage_sched::sched::list::edf_schedule;
+use leakage_sched::taskgraph::rng::Rng;
 use leakage_sched::taskgraph::stg;
-use proptest::prelude::*;
-// The prelude's `Strategy` enum shadows proptest's trait of the same
-// name; re-import the trait anonymously for its combinator methods.
-use proptest::strategy::Strategy as _;
+
+const CASES: usize = 48;
 
 /// A random DAG: weights plus an upper-triangular edge mask.
-///
-/// (`Strategy` in the signature is proptest's trait; the scheduling
-/// `Strategy` enum from the prelude shadows it inside this module.)
-fn arb_dag(
-    max_tasks: usize,
-    max_weight: u64,
-) -> impl proptest::strategy::Strategy<Value = TaskGraph> {
-    (2..=max_tasks)
-        .prop_flat_map(move |n| {
-            let weights = prop::collection::vec(1..=max_weight, n);
-            let edges = prop::collection::vec(any::<bool>(), n * (n - 1) / 2);
-            (weights, edges)
-        })
-        .prop_map(|(weights, edges)| {
-            let n = weights.len();
-            let mut b = GraphBuilder::new();
-            let ids: Vec<TaskId> = weights.iter().map(|&w| b.add_task(w)).collect();
-            let mut k = 0;
-            for i in 0..n {
-                for j in (i + 1)..n {
-                    if edges[k] {
-                        b.add_edge(ids[i], ids[j]).expect("valid");
-                    }
-                    k += 1;
-                }
+fn arb_dag(rng: &mut Rng, max_tasks: usize, max_weight: u64) -> TaskGraph {
+    let n = rng.gen_range(2usize..=max_tasks);
+    let mut b = GraphBuilder::new();
+    let ids: Vec<TaskId> = (0..n)
+        .map(|_| b.add_task(rng.gen_range(1u64..=max_weight)))
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.5) {
+                b.add_edge(ids[i], ids[j]).expect("valid");
             }
-            b.build().expect("upper-triangular edges are acyclic")
-        })
+        }
+    }
+    b.build().expect("upper-triangular edges are acyclic")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Every schedule the list scheduler emits is structurally valid, for
-    /// any processor count.
-    #[test]
-    fn schedules_always_valid(
-        g in arb_dag(24, 50),
-        n_procs in 1usize..6,
-    ) {
+/// Every schedule the list scheduler emits is structurally valid, for
+/// any processor count.
+#[test]
+fn schedules_always_valid() {
+    let mut rng = Rng::seed_from_u64(0xE001);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 24, 50);
+        let n_procs = rng.gen_range(1usize..6);
         let d = 2 * g.critical_path_cycles();
         let s = edf_schedule(&g, n_procs, d);
-        prop_assert!(s.validate(&g).is_ok());
+        assert!(s.validate(&g).is_ok());
     }
+}
 
-    /// Makespan obeys the classic bounds: at least max(CPL, work/N), at
-    /// most CPL + work/N (Graham's bound for work-conserving list
-    /// scheduling).
-    #[test]
-    fn makespan_within_graham_bounds(
-        g in arb_dag(24, 50),
-        n_procs in 1usize..6,
-    ) {
+/// Makespan obeys the classic bounds: at least max(CPL, work/N), at
+/// most CPL + work/N (Graham's bound for work-conserving list
+/// scheduling).
+#[test]
+fn makespan_within_graham_bounds() {
+    let mut rng = Rng::seed_from_u64(0xE002);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 24, 50);
+        let n_procs = rng.gen_range(1usize..6);
         let d = 2 * g.critical_path_cycles();
         let s = edf_schedule(&g, n_procs, d);
         let cpl = g.critical_path_cycles();
         let work = g.total_work_cycles();
         let n = n_procs as u64;
-        prop_assert!(s.makespan_cycles() >= cpl.max(work.div_ceil(n)));
-        prop_assert!(s.makespan_cycles() <= cpl + work.div_ceil(n));
+        assert!(s.makespan_cycles() >= cpl.max(work.div_ceil(n)));
+        assert!(s.makespan_cycles() <= cpl + work.div_ceil(n));
     }
+}
 
-    /// Busy + idle time exactly tiles every processor's horizon.
-    #[test]
-    fn idle_intervals_tile_horizon(
-        g in arb_dag(20, 50),
-        n_procs in 1usize..5,
-        slack in 0u64..1000,
-    ) {
+/// Busy + idle time exactly tiles every processor's horizon.
+#[test]
+fn idle_intervals_tile_horizon() {
+    let mut rng = Rng::seed_from_u64(0xE003);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 20, 50);
+        let n_procs = rng.gen_range(1usize..5);
+        let slack = rng.gen_range(0u64..1000);
         let d = 2 * g.critical_path_cycles();
         let s = edf_schedule(&g, n_procs, d);
         let horizon = s.makespan_cycles() + slack;
@@ -93,42 +79,46 @@ proptest! {
         let busy: u64 = (0..n_procs as u32)
             .map(|p| s.busy_cycles(leakage_sched::sched::ProcId(p)))
             .sum();
-        prop_assert_eq!(idle + busy, horizon * n_procs as u64);
+        assert_eq!(idle + busy, horizon * n_procs as u64);
         // Intervals are disjoint and ordered per processor.
         for proc in idle_intervals(&s, horizon) {
             for w in proc.windows(2) {
-                prop_assert!(w[0].end <= w[1].start);
+                assert!(w[0].end <= w[1].start);
             }
         }
     }
+}
 
-    /// Latest finish times are topologically consistent and at least the
-    /// task weight.
-    #[test]
-    fn deadline_propagation_consistent(
-        g in arb_dag(20, 50),
-        deadline in 1u64..100_000,
-    ) {
+/// Latest finish times are topologically consistent and at least the
+/// task weight.
+#[test]
+fn deadline_propagation_consistent() {
+    let mut rng = Rng::seed_from_u64(0xE004);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 20, 50);
+        let deadline = rng.gen_range(1u64..100_000);
         let lf = latest_finish_times(&g, deadline);
         for t in g.tasks() {
-            prop_assert!(lf[t.index()] >= g.weight(t));
+            assert!(lf[t.index()] >= g.weight(t));
             for &s in g.successors(t) {
                 // lf(t) <= lf(s) - w(s) unless saturation kicked in.
                 if lf[s.index()].saturating_sub(g.weight(s)) >= g.weight(t) {
-                    prop_assert!(lf[t.index()] <= lf[s.index()].saturating_sub(g.weight(s)));
+                    assert!(lf[t.index()] <= lf[s.index()].saturating_sub(g.weight(s)));
                 }
             }
         }
     }
+}
 
-    /// The §4 dominance chain and the §4.4 lower bounds, on arbitrary
-    /// DAGs and deadlines.
-    #[test]
-    fn dominance_and_limits(
-        g in arb_dag(16, 40),
-        factor_milli in 1100u64..8000,
-    ) {
-        let cfg = SchedulerConfig::paper();
+/// The §4 dominance chain and the §4.4 lower bounds, on arbitrary
+/// DAGs and deadlines.
+#[test]
+fn dominance_and_limits() {
+    let mut rng = Rng::seed_from_u64(0xE005);
+    let cfg = SchedulerConfig::paper();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 16, 40);
+        let factor_milli = rng.gen_range(1100u64..8000);
         let g = g.scale_weights(3_100_000);
         let factor = factor_milli as f64 / 1000.0;
         let d = factor * g.critical_path_cycles() as f64 / cfg.max_frequency();
@@ -140,82 +130,150 @@ proptest! {
             e(Strategy::LampsPs),
         ) else {
             // All-or-nothing: feasibility is strategy-independent.
-            prop_assert!(e(Strategy::ScheduleStretch).is_err());
-            prop_assert!(e(Strategy::LampsPs).is_err());
-            return Ok(());
+            assert!(e(Strategy::ScheduleStretch).is_err());
+            assert!(e(Strategy::LampsPs).is_err());
+            continue;
         };
         let eps = ss * 1e-9;
-        prop_assert!(lamps <= ss + eps);
-        prop_assert!(ss_ps <= ss + eps);
-        prop_assert!(lamps_ps <= lamps + eps);
-        prop_assert!(lamps_ps <= ss_ps + eps);
+        assert!(lamps <= ss + eps);
+        assert!(ss_ps <= ss + eps);
+        assert!(lamps_ps <= lamps + eps);
+        assert!(lamps_ps <= ss_ps + eps);
         let sf = limit_sf(&g, d, &cfg).unwrap().energy_j;
         let mf = limit_mf(&g, d, &cfg).energy_j;
-        prop_assert!(sf <= lamps_ps + eps);
-        prop_assert!(mf <= sf + eps);
+        assert!(sf <= lamps_ps + eps);
+        assert!(mf <= sf + eps);
     }
+}
 
-    /// Energy accounting with PS never exceeds the same schedule without
-    /// PS, at any level.
-    #[test]
-    fn ps_is_never_harmful(
-        g in arb_dag(16, 40),
-        n_procs in 1usize..5,
-        tail_ms in 0u64..500,
-    ) {
-        let cfg = SchedulerConfig::paper();
+/// Energy accounting with PS never exceeds the same schedule without
+/// PS, at any level.
+#[test]
+fn ps_is_never_harmful() {
+    let mut rng = Rng::seed_from_u64(0xE006);
+    let cfg = SchedulerConfig::paper();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 16, 40);
+        let n_procs = rng.gen_range(1usize..5);
+        let tail_ms = rng.gen_range(0u64..500);
         let g = g.scale_weights(1_000_000);
         let d = 4 * g.critical_path_cycles();
         let s = edf_schedule(&g, n_procs, d);
         for level in cfg.levels.points().iter().step_by(4) {
             let horizon = s.makespan_cycles() as f64 / level.freq + tail_ms as f64 * 1e-3;
-            let with = evaluate(&s, level, horizon, Some(&cfg.sleep)).unwrap().total();
+            let with = evaluate(&s, level, horizon, Some(&cfg.sleep))
+                .unwrap()
+                .total();
             let without = evaluate(&s, level, horizon, None).unwrap().total();
-            prop_assert!(with <= without + 1e-12);
+            assert!(with <= without + 1e-12);
         }
     }
+}
 
-    /// STG serialization round-trips arbitrary DAGs.
-    #[test]
-    fn stg_roundtrip(g in arb_dag(24, 300)) {
+/// STG serialization round-trips arbitrary DAGs.
+#[test]
+fn stg_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xE007);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 24, 300);
         let text = stg::write(&g);
         let parsed = stg::parse(&text).unwrap();
-        prop_assert_eq!(g.len(), parsed.len());
-        prop_assert_eq!(g.edge_count(), parsed.edge_count());
+        assert_eq!(g.len(), parsed.len());
+        assert_eq!(g.edge_count(), parsed.edge_count());
         for t in g.tasks() {
-            prop_assert_eq!(g.weight(t), parsed.weight(t));
-            prop_assert_eq!(g.predecessors(t), parsed.predecessors(t));
+            assert_eq!(g.weight(t), parsed.weight(t));
+            assert_eq!(g.predecessors(t), parsed.predecessors(t));
         }
     }
+}
 
-    /// Adding processors never increases energy for the LAMPS family
-    /// (it can only widen the candidate set), and the solver's makespan
-    /// is feasible at its chosen level.
-    #[test]
-    fn solutions_meet_their_deadline(
-        g in arb_dag(16, 40),
-        factor_milli in 1500u64..8000,
-    ) {
-        let cfg = SchedulerConfig::paper();
+/// Adding processors never increases energy for the LAMPS family
+/// (it can only widen the candidate set), and the solver's makespan
+/// is feasible at its chosen level.
+#[test]
+fn solutions_meet_their_deadline() {
+    let mut rng = Rng::seed_from_u64(0xE008);
+    let cfg = SchedulerConfig::paper();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 16, 40);
+        let factor_milli = rng.gen_range(1500u64..8000);
         let g = g.scale_weights(3_100_000);
         let factor = factor_milli as f64 / 1000.0;
         let d = factor * g.critical_path_cycles() as f64 / cfg.max_frequency();
         for s in Strategy::all() {
             if let Ok(sol) = solve(s, &g, d, &cfg) {
-                prop_assert!(sol.makespan_s <= d * (1.0 + 1e-9));
-                prop_assert!(sol.schedule.validate(&g).is_ok());
-                prop_assert!(sol.energy.total().is_finite());
-                prop_assert!(sol.energy.total() > 0.0);
+                assert!(sol.makespan_s <= d * (1.0 + 1e-9));
+                assert!(sol.schedule.validate(&g).is_ok());
+                assert!(sol.energy.total().is_finite());
+                assert!(sol.energy.total() > 0.0);
             }
         }
     }
+}
 
-    /// The critical path is always realizable: with one processor per
-    /// task, LS-EDF hits it exactly.
-    #[test]
-    fn unbounded_processors_reach_cpl(g in arb_dag(20, 50)) {
+/// The critical path is always realizable: with one processor per
+/// task, LS-EDF hits it exactly.
+#[test]
+fn unbounded_processors_reach_cpl() {
+    let mut rng = Rng::seed_from_u64(0xE009);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 20, 50);
         let d = 2 * g.critical_path_cycles();
         let s = edf_schedule(&g, g.len(), d);
-        prop_assert_eq!(s.makespan_cycles(), g.critical_path_cycles());
+        assert_eq!(s.makespan_cycles(), g.critical_path_cycles());
+    }
+}
+
+/// Shift-invariance of LS-EDF under uniform deadlines (the invariant
+/// the cross-deadline schedule cache relies on): for any two deadlines
+/// `d1, d2 ≥ CPL`, the latest-finish-time keys differ by the constant
+/// `d2 − d1` on every task — no saturation — so the schedules are
+/// identical.
+#[test]
+fn edf_schedule_is_deadline_invariant_above_cpl() {
+    let mut rng = Rng::seed_from_u64(0xE00A);
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 20, 50);
+        let cpl = g.critical_path_cycles();
+        let n_procs = rng.gen_range(1usize..6);
+        let d1 = cpl + rng.gen_range(0u64..10_000);
+        let d2 = cpl + rng.gen_range(0u64..10_000);
+        let lf1 = latest_finish_times(&g, d1);
+        let lf2 = latest_finish_times(&g, d2);
+        for t in g.tasks() {
+            assert_eq!(
+                lf1[t.index()] as i128 - d1 as i128,
+                lf2[t.index()] as i128 - d2 as i128,
+                "saturation must never fire for deadlines ≥ CPL"
+            );
+        }
+        let s1 = edf_schedule(&g, n_procs, d1);
+        let s2 = edf_schedule(&g, n_procs, d2);
+        assert_eq!(s1, s2, "schedules must be identical for d1={d1}, d2={d2}");
+    }
+}
+
+/// Regression guard for the cross-deadline cache: `solve()` rejects any
+/// deadline below the CPL before touching a schedule cache, so the
+/// saturating-`lf` path (which breaks shift-invariance) is never
+/// reachable from the solver.
+#[test]
+fn solve_rejects_deadlines_below_cpl() {
+    let mut rng = Rng::seed_from_u64(0xE00B);
+    let cfg = SchedulerConfig::paper();
+    for _ in 0..CASES {
+        let g = arb_dag(&mut rng, 12, 40);
+        let g = g.scale_weights(3_100_000);
+        let cpl = g.critical_path_cycles();
+        // Any deadline strictly below CPL/f_max is infeasible even at
+        // full speed: the solver must refuse it for every strategy.
+        let frac = rng.gen_range(0.05f64..0.999);
+        let d = frac * cpl as f64 / cfg.max_frequency();
+        for s in Strategy::all() {
+            assert!(
+                solve(s, &g, d, &cfg).is_err(),
+                "deadline below CPL must be rejected"
+            );
+        }
     }
 }
