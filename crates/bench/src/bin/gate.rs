@@ -1,0 +1,146 @@
+//! Bench-regression gate: compare a fresh `throughput` run against the
+//! committed baseline and fail if the solver got materially slower or
+//! the two engines stopped agreeing bit-for-bit.
+//!
+//! ```text
+//! gate --baseline BENCH_solver.json --current /tmp/bench_smoke.json [--min-ratio 0.5]
+//! ```
+//!
+//! The JSON fields are pulled out with a purpose-built scanner (the
+//! workspace is dependency-free, so no serde): we only need two scalars,
+//! and the files are written by our own `throughput` binary.
+
+use lamps_bench::cli::Options;
+
+/// Extract the number following `"key":` after (optionally) the first
+/// occurrence of `"section"`. Whitespace-tolerant; returns `None` if the
+/// key is missing or the value does not parse.
+fn json_number(text: &str, section: Option<&str>, key: &str) -> Option<f64> {
+    let start = match section {
+        Some(s) => {
+            let needle = format!("\"{s}\"");
+            text.find(&needle)? + needle.len()
+        }
+        None => 0,
+    };
+    let needle = format!("\"{key}\"");
+    let at = text[start..].find(&needle)? + start + needle.len();
+    let rest = text[at..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Extract the boolean following `"key":`.
+fn json_bool(text: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)? + needle.len();
+    let rest = text[at..].trim_start().strip_prefix(':')?.trim_start();
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+fn read(path: &str) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let opts = Options::parse(&["baseline", "current", "min-ratio"]);
+    let baseline_path = opts.string("baseline", "BENCH_solver.json");
+    let current_path = opts.string("current", "target/bench_smoke.json");
+    let min_ratio = opts.f64("min-ratio", 0.5);
+
+    let baseline = read(&baseline_path);
+    let current = read(&current_path);
+
+    let base_rate = json_number(&baseline, Some("after"), "solves_per_sec").unwrap_or_else(|| {
+        eprintln!("error: {baseline_path} has no after.solves_per_sec");
+        std::process::exit(2);
+    });
+    let cur_rate = json_number(&current, Some("after"), "solves_per_sec").unwrap_or_else(|| {
+        eprintln!("error: {current_path} has no after.solves_per_sec");
+        std::process::exit(2);
+    });
+    let cur_equal = json_bool(&current, "all_bitwise_equal").unwrap_or_else(|| {
+        eprintln!("error: {current_path} has no all_bitwise_equal");
+        std::process::exit(2);
+    });
+
+    let ratio = cur_rate / base_rate;
+    eprintln!(
+        "gate: baseline {base_rate:.1} solves/s, current {cur_rate:.1} solves/s, ratio {ratio:.2} (floor {min_ratio})"
+    );
+    let mut failed = false;
+    if !cur_equal {
+        failed = true;
+        eprintln!("gate FAILURE: engines no longer agree bit-for-bit (all_bitwise_equal = false)");
+    }
+    // NaN (corrupt input) must fail, so test for the passing condition.
+    let fast_enough = ratio >= min_ratio;
+    if !fast_enough {
+        failed = true;
+        eprintln!(
+            "gate FAILURE: throughput regressed below {min_ratio}x of the committed baseline"
+        );
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    eprintln!("gate clean");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "before": { "seconds": 2.0, "solves_per_sec": 400.5 },
+  "after": { "seconds": 0.5, "solves_per_sec": 1601.25 },
+  "speedup": 4.0,
+  "all_bitwise_equal": true
+}"#;
+
+    #[test]
+    fn extracts_sectioned_numbers() {
+        assert_eq!(
+            json_number(SAMPLE, Some("after"), "solves_per_sec"),
+            Some(1601.25)
+        );
+        assert_eq!(
+            json_number(SAMPLE, Some("before"), "solves_per_sec"),
+            Some(400.5)
+        );
+        assert_eq!(json_number(SAMPLE, None, "speedup"), Some(4.0));
+        assert_eq!(json_number(SAMPLE, Some("after"), "missing"), None);
+        assert_eq!(json_number(SAMPLE, Some("nope"), "speedup"), None);
+    }
+
+    #[test]
+    fn extracts_bools() {
+        assert_eq!(json_bool(SAMPLE, "all_bitwise_equal"), Some(true));
+        assert_eq!(json_bool(SAMPLE, "missing"), None);
+        assert_eq!(
+            json_bool("{\"all_bitwise_equal\": false}", "all_bitwise_equal"),
+            Some(false)
+        );
+    }
+
+    #[test]
+    fn scientific_notation_parses() {
+        let t = "{\"after\": {\"solves_per_sec\": 2.5315e3}}";
+        assert_eq!(
+            json_number(t, Some("after"), "solves_per_sec"),
+            Some(2531.5)
+        );
+    }
+}

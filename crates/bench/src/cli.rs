@@ -73,6 +73,17 @@ impl Options {
         }
     }
 
+    /// Floating-point option with a default.
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.assert_known(key);
+        match self.values.get(key) {
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                die(&format!("--{key} expects a number, got {v:?}"), &self.known)
+            }),
+            None => default,
+        }
+    }
+
     /// String option with a default.
     pub fn string(&self, key: &str, default: &str) -> String {
         self.assert_known(key);
@@ -130,6 +141,14 @@ mod tests {
         let o = opts(&[], &["graphs", "seed"]);
         assert_eq!(o.usize("graphs", 10), 10);
         assert_eq!(o.u64("seed", 42), 42);
+    }
+
+    #[test]
+    fn parses_floats() {
+        let o = opts(&["--min-ratio", "0.5"], &["min-ratio"]);
+        assert_eq!(o.f64("min-ratio", 1.0), 0.5);
+        let o = opts(&[], &["min-ratio"]);
+        assert_eq!(o.f64("min-ratio", 1.0), 1.0);
     }
 
     #[test]

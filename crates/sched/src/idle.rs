@@ -329,6 +329,116 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_gaps_are_omitted() {
+        // A zero-weight task flush against its predecessor's finish must
+        // not manufacture a zero-length idle interval, in either the
+        // interval extraction or the summary.
+        let s = Schedule::new(1, vec![0, 4, 4, 9], vec![4, 4, 9, 12], vec![ProcId(0); 4]);
+        let iv = idle_intervals(&s, 12);
+        assert!(iv[0].is_empty(), "{iv:?}");
+        let sum = IdleSummary::new(&s);
+        assert_eq!(sum.gap_count(ProcId(0)), 0);
+        assert_eq!(sum.busy_cycles(ProcId(0)), 12);
+        assert_eq!(sum.last_finish_cycles(ProcId(0)), 12);
+    }
+
+    #[test]
+    fn zero_weight_task_splits_a_gap() {
+        // A zero-weight task strictly inside an idle stretch splits it
+        // into two intervals; both extractors must agree on the split.
+        let s = Schedule::new(1, vec![0, 6, 10], vec![2, 6, 14], vec![ProcId(0); 3]);
+        let iv = idle_intervals(&s, 14);
+        assert_eq!(
+            iv[0],
+            vec![
+                IdleInterval {
+                    proc: ProcId(0),
+                    start: 2,
+                    end: 6
+                },
+                IdleInterval {
+                    proc: ProcId(0),
+                    start: 6,
+                    end: 10
+                },
+            ]
+        );
+        let sum = IdleSummary::new(&s);
+        assert_eq!(sum.gap_count(ProcId(0)), 2);
+        assert_eq!(sum.split_gaps(ProcId(0), 0), (0, 8, 2));
+        assert_eq!(sum.split_gaps(ProcId(0), 5), (8, 0, 0));
+    }
+
+    #[test]
+    fn back_to_back_tasks_yield_only_the_tail() {
+        // Tasks packed with no slack: the only idle is the tail from the
+        // last finish to the horizon, and shrinking the horizon to the
+        // makespan removes even that.
+        let s = Schedule::new(1, vec![0, 5], vec![5, 9], vec![ProcId(0); 2]);
+        let iv = idle_intervals(&s, 12);
+        assert_eq!(
+            iv[0],
+            vec![IdleInterval {
+                proc: ProcId(0),
+                start: 9,
+                end: 12
+            }]
+        );
+        assert!(idle_intervals(&s, 9)[0].is_empty());
+        // The summary never includes the tail — that is the evaluator's
+        // horizon-dependent share.
+        let sum = IdleSummary::new(&s);
+        assert_eq!(sum.gap_count(ProcId(0)), 0);
+        assert_eq!(sum.last_finish_cycles(ProcId(0)), 9);
+    }
+
+    #[test]
+    fn tail_just_before_the_deadline() {
+        // A one-cycle tail right at the horizon boundary must survive
+        // (off-by-one territory: horizon > cursor, not >=).
+        let s = Schedule::new(1, vec![0], vec![7], vec![ProcId(0)]);
+        let iv = idle_intervals(&s, 8);
+        assert_eq!(
+            iv[0],
+            vec![IdleInterval {
+                proc: ProcId(0),
+                start: 7,
+                end: 8
+            }]
+        );
+        assert_eq!(total_idle_cycles(&s, 8), 1);
+        assert_eq!(total_idle_cycles(&s, 7), 0);
+    }
+
+    #[test]
+    fn leading_gap_counts_as_inner_gap_not_tail() {
+        // A processor whose first task starts late has a leading gap;
+        // the summary classes it with the inner gaps (it is makespan-
+        // stable), never with the tail.
+        let s = Schedule::new(2, vec![0, 6], vec![10, 9], vec![ProcId(0), ProcId(1)]);
+        let sum = IdleSummary::new(&s);
+        assert_eq!(sum.gap_count(ProcId(1)), 1);
+        assert_eq!(sum.split_gaps(ProcId(1), 0), (0, 6, 1));
+        assert_eq!(sum.last_finish_cycles(ProcId(1)), 9);
+        let iv = idle_intervals(&s, 10);
+        assert_eq!(
+            iv[1],
+            vec![
+                IdleInterval {
+                    proc: ProcId(1),
+                    start: 0,
+                    end: 6
+                },
+                IdleInterval {
+                    proc: ProcId(1),
+                    start: 9,
+                    end: 10
+                },
+            ]
+        );
+    }
+
+    #[test]
     fn no_intervals_when_packed_exactly() {
         // Two unit tasks on one processor with horizon = makespan: no
         // idle at all.

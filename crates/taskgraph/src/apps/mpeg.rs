@@ -67,7 +67,7 @@ impl GopSpec {
     pub fn kind(&self, k: usize) -> FrameKind {
         if k == 0 {
             FrameKind::I
-        } else if k.is_multiple_of(self.anchor_distance) {
+        } else if self.anchor_distance != 0 && k % self.anchor_distance == 0 {
             FrameKind::P
         } else {
             FrameKind::B

@@ -1,0 +1,188 @@
+//! Self-contained fuzz cases: a graph, a deadline factor, and
+//! provenance, serializable to the line-oriented `.case` format the
+//! regression corpus under `tests/corpus/` is made of.
+//!
+//! The format is deliberately explicit (weights and edges, not a
+//! generator seed) so that shrinking can mutate the structure and a
+//! checked-in counterexample stays meaningful even if the generators
+//! change.
+//!
+//! ```text
+//! # lamps-verify case v1
+//! origin dag
+//! seed 42
+//! deadline_factor 2.5
+//! weights 3100000 6200000 12400000
+//! edge 0 1
+//! edge 0 2
+//! ```
+
+use lamps_core::SchedulerConfig;
+use lamps_taskgraph::{GraphBuilder, GraphError, TaskGraph, TaskId};
+
+/// One reproducible verification case.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Case {
+    /// Task weights \[cycles\]; task ids are the indices.
+    pub weights: Vec<u64>,
+    /// Precedence edges as `(from, to)` index pairs.
+    pub edges: Vec<(u32, u32)>,
+    /// Deadline as a multiple of the critical path at maximum frequency.
+    pub deadline_factor: f64,
+    /// Generator seed this case came from (provenance only).
+    pub seed: u64,
+    /// Free-form provenance tag (`dag`, `kpn`, `shrunk`, `corpus`, …).
+    pub origin: String,
+}
+
+impl Case {
+    /// Build the task graph.
+    pub fn graph(&self) -> Result<TaskGraph, GraphError> {
+        let mut b = GraphBuilder::with_capacity(self.weights.len(), self.edges.len());
+        let ids: Vec<TaskId> = self.weights.iter().map(|&w| b.add_task(w)).collect();
+        for &(from, to) in &self.edges {
+            let f = ids
+                .get(from as usize)
+                .ok_or(GraphError::UnknownTask(from))?;
+            let t = ids.get(to as usize).ok_or(GraphError::UnknownTask(to))?;
+            b.add_edge(*f, *t)?;
+        }
+        b.build()
+    }
+
+    /// The absolute deadline \[s\] this case implies on `cfg`'s platform.
+    pub fn deadline_s(&self, graph: &TaskGraph, cfg: &SchedulerConfig) -> f64 {
+        self.deadline_factor * graph.critical_path_cycles() as f64 / cfg.max_frequency()
+    }
+
+    /// Serialize to the `.case` text format.
+    pub fn serialize(&self) -> String {
+        let mut s = String::from("# lamps-verify case v1\n");
+        s.push_str(&format!("origin {}\n", self.origin));
+        s.push_str(&format!("seed {}\n", self.seed));
+        s.push_str(&format!("deadline_factor {}\n", self.deadline_factor));
+        s.push_str("weights");
+        for w in &self.weights {
+            s.push_str(&format!(" {w}"));
+        }
+        s.push('\n');
+        for (f, t) in &self.edges {
+            s.push_str(&format!("edge {f} {t}\n"));
+        }
+        s
+    }
+
+    /// Parse the `.case` text format. Unknown keys are rejected so typos
+    /// in hand-written corpus entries fail loudly.
+    pub fn parse(text: &str) -> Result<Case, String> {
+        let mut case = Case {
+            weights: Vec::new(),
+            edges: Vec::new(),
+            deadline_factor: 0.0,
+            seed: 0,
+            origin: String::from("corpus"),
+        };
+        let mut saw_factor = false;
+        for (ln, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let key = parts.next().expect("non-empty line has a first token");
+            match key {
+                "origin" => {
+                    case.origin = parts.next().unwrap_or("corpus").to_string();
+                }
+                "seed" => {
+                    case.seed = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad seed", ln + 1))?;
+                }
+                "deadline_factor" => {
+                    case.deadline_factor = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| format!("line {}: bad deadline_factor", ln + 1))?;
+                    saw_factor = true;
+                }
+                "weights" => {
+                    for v in parts.by_ref() {
+                        case.weights.push(
+                            v.parse()
+                                .map_err(|_| format!("line {}: bad weight {v:?}", ln + 1))?,
+                        );
+                    }
+                }
+                "edge" => {
+                    let f = parts.next().and_then(|v| v.parse().ok());
+                    let t = parts.next().and_then(|v| v.parse().ok());
+                    match (f, t) {
+                        (Some(f), Some(t)) => case.edges.push((f, t)),
+                        _ => return Err(format!("line {}: bad edge", ln + 1)),
+                    }
+                }
+                other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
+            }
+        }
+        if case.weights.is_empty() {
+            return Err("case has no tasks".to_string());
+        }
+        if !saw_factor || !case.deadline_factor.is_finite() || case.deadline_factor <= 0.0 {
+            return Err("case needs a positive finite deadline_factor".to_string());
+        }
+        Ok(case)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Case {
+        Case {
+            weights: vec![3_100_000, 6_200_000, 12_400_000],
+            edges: vec![(0, 1), (0, 2)],
+            deadline_factor: 2.5,
+            seed: 42,
+            origin: "dag".to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let c = sample();
+        let parsed = Case::parse(&c.serialize()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn graph_builds() {
+        let g = sample().graph().unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.critical_path_cycles(), 3_100_000 + 12_400_000);
+    }
+
+    #[test]
+    fn deadline_scales_with_critical_path() {
+        let c = sample();
+        let cfg = SchedulerConfig::paper();
+        let g = c.graph().unwrap();
+        let d = c.deadline_s(&g, &cfg);
+        let expect = 2.5 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        assert!((d - expect).abs() < 1e-15);
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        assert!(Case::parse("").is_err());
+        assert!(Case::parse("weights 1 2\n").is_err()); // no factor
+        assert!(Case::parse("deadline_factor 2\nweights 1\nbogus 3\n").is_err());
+        assert!(Case::parse("deadline_factor 2\nweights 1\nedge 0\n").is_err());
+        // A cyclic case parses but fails to build.
+        let c = Case::parse("deadline_factor 2\nweights 1 1\nedge 0 1\nedge 1 0\n").unwrap();
+        assert!(c.graph().is_err());
+    }
+}

@@ -1,0 +1,75 @@
+//! Regression corpus: a directory of `.case` files, each a previously
+//! shrunk counterexample (or a hand-written edge case) that must stay
+//! clean forever.
+
+use crate::case::Case;
+use crate::fuzz::{check_case, FuzzConfig};
+use lamps_core::SchedulerConfig;
+use std::path::{Path, PathBuf};
+
+/// One corpus entry's outcome.
+#[derive(Debug)]
+pub struct CorpusResult {
+    /// File the case came from.
+    pub path: PathBuf,
+    /// Violations (empty means the entry is clean).
+    pub violations: Vec<String>,
+}
+
+/// Load every `.case` file under `dir` (sorted by name for determinism)
+/// and run the full check battery on each. Parse failures count as
+/// violations — a corrupt corpus entry must fail CI, not be skipped.
+pub fn run_corpus(
+    dir: &Path,
+    scfg: &SchedulerConfig,
+    fz: &FuzzConfig,
+) -> std::io::Result<Vec<CorpusResult>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    paths.sort();
+    let mut results = Vec::with_capacity(paths.len());
+    for path in paths {
+        let text = std::fs::read_to_string(&path)?;
+        let violations = match Case::parse(&text) {
+            Ok(case) => check_case(&case, scfg, fz).err().unwrap_or_default(),
+            Err(e) => vec![format!("corpus entry does not parse: {e}")],
+        };
+        results.push(CorpusResult { path, violations });
+    }
+    Ok(results)
+}
+
+/// Derive a stable corpus file name for a shrunk failure.
+pub fn corpus_file_name(case: &Case) -> String {
+    format!("{}-seed{}.case", case.origin, case.seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn file_name_is_stable() {
+        let case = Case {
+            weights: vec![1],
+            edges: vec![],
+            deadline_factor: 2.0,
+            seed: 99,
+            origin: "shrunk-dag".to_string(),
+        };
+        assert_eq!(corpus_file_name(&case), "shrunk-dag-seed99.case");
+    }
+
+    #[test]
+    fn missing_dir_is_an_io_error() {
+        let fz = FuzzConfig::default();
+        assert!(run_corpus(
+            Path::new("/nonexistent/corpus"),
+            &SchedulerConfig::paper(),
+            &fz
+        )
+        .is_err());
+    }
+}

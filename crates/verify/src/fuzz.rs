@@ -1,0 +1,578 @@
+//! Deterministic differential fuzzer.
+//!
+//! Each iteration derives its own seed from the run seed (SplitMix64),
+//! generates a random DAG or a random KPN unrolling, and pushes it
+//! through every check the subsystem has:
+//!
+//! * the four strategies solve it; every `Ok` solution must pass the
+//!   independent validator ([`crate::validator::check_solution`]);
+//! * the walking evaluator, the idle-summary evaluator, and the
+//!   from-scratch re-bill must agree on the emitted schedule at *every*
+//!   feasible level, with and without shutdown (`evaluate` vs
+//!   `evaluate_summary` bitwise, re-bill to 1e-12);
+//! * the §4 dominance chain must hold across the four energies;
+//! * on tiny instances the exhaustive oracle proves no strategy beats
+//!   the optimum;
+//! * infeasible and degenerate deadlines must be rejected, not mis-solved.
+//!
+//! A failing case is greedily shrunk (drop tasks, drop edges, halve
+//! weights) while it keeps failing, and returned for the caller to write
+//! into the regression corpus.
+
+use crate::case::Case;
+use crate::oracle::{exhaustive_optimum, OracleConfig, OracleError};
+use crate::validator::{check_solution, rebill};
+use lamps_core::{solve, SchedulerConfig, SolveError, Strategy};
+use lamps_energy::{evaluate, evaluate_summary};
+use lamps_kpn::{unroll, Network, UnrollConfig};
+use lamps_sched::IdleSummary;
+use lamps_taskgraph::rng::{splitmix64, Rng};
+
+/// Fuzzing budget and instance-size knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FuzzConfig {
+    /// Number of random cases to generate and check.
+    pub iterations: u64,
+    /// Run seed; every per-iteration seed derives from it.
+    pub seed: u64,
+    /// Largest random DAG (KPN unrollings may slightly exceed this).
+    pub max_tasks: usize,
+    /// Run the exhaustive oracle on instances up to this many tasks.
+    pub oracle_max_tasks: usize,
+    /// Topological-order budget per oracle run.
+    pub oracle_order_budget: usize,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        FuzzConfig {
+            iterations: 200,
+            seed: 2006,
+            max_tasks: 24,
+            oracle_max_tasks: 6,
+            oracle_order_budget: 20_000,
+        }
+    }
+}
+
+/// Statistics from one successfully checked case.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CaseStats {
+    /// Solutions that were validated.
+    pub solutions: usize,
+    /// Whether the exhaustive oracle ran on this case.
+    pub oracle_used: bool,
+}
+
+/// A fuzz failure: the original case, its shrunk form, and what went
+/// wrong on the shrunk form.
+#[derive(Debug, Clone)]
+pub struct FuzzFailure {
+    /// The case as generated.
+    pub case: Case,
+    /// The greedily shrunk still-failing case.
+    pub shrunk: Case,
+    /// Human-readable violation descriptions for the shrunk case.
+    pub violations: Vec<String>,
+}
+
+/// Outcome of a fuzz run.
+#[derive(Debug, Clone, Default)]
+pub struct FuzzOutcome {
+    /// Iterations completed (including the failing one, if any).
+    pub iterations_run: u64,
+    /// Total solutions validated.
+    pub checked_solutions: u64,
+    /// Cases additionally proven against the exhaustive oracle.
+    pub oracle_instances: u64,
+    /// The first failure, if any (the run stops at the first).
+    pub failure: Option<FuzzFailure>,
+}
+
+impl FuzzOutcome {
+    /// Whether the run finished with zero violations.
+    pub fn is_clean(&self) -> bool {
+        self.failure.is_none()
+    }
+}
+
+/// Run `check_case` on every violation the full cross-check battery can
+/// raise for `case`. `Ok` carries coverage statistics; `Err` carries
+/// violation descriptions.
+pub fn check_case(
+    case: &Case,
+    scfg: &SchedulerConfig,
+    fz: &FuzzConfig,
+) -> Result<CaseStats, Vec<String>> {
+    let mut violations = Vec::new();
+    let mut stats = CaseStats::default();
+    let graph = match case.graph() {
+        Ok(g) => g,
+        Err(e) => return Err(vec![format!("case does not build a DAG: {e}")]),
+    };
+    let deadline_s = case.deadline_s(&graph, scfg);
+
+    // Degenerate deadline (all-zero-weight graph): must be rejected.
+    if !(deadline_s.is_finite() && deadline_s > 0.0) {
+        for s in Strategy::all() {
+            if let Ok(sol) = solve(s, &graph, deadline_s, scfg) {
+                violations.push(format!(
+                    "{s}: accepted degenerate deadline {deadline_s} s with energy {} J",
+                    sol.energy.total()
+                ));
+            }
+        }
+        return if violations.is_empty() {
+            Ok(stats)
+        } else {
+            Err(violations)
+        };
+    }
+
+    let feasible = graph.critical_path_cycles() <= scfg.deadline_cycles(deadline_s);
+    let mut energies: [Option<f64>; 4] = [None; 4];
+
+    for (si, strategy) in Strategy::all().into_iter().enumerate() {
+        match solve(strategy, &graph, deadline_s, scfg) {
+            Ok(sol) => {
+                if !feasible {
+                    violations.push(format!(
+                        "{strategy}: accepted an infeasible deadline ({} cycles of critical path, {} allowed)",
+                        graph.critical_path_cycles(),
+                        scfg.deadline_cycles(deadline_s)
+                    ));
+                }
+                for v in check_solution(&graph, &sol, deadline_s, scfg) {
+                    violations.push(format!("{strategy}: {v}"));
+                }
+                differential_check(&sol.schedule, deadline_s, scfg, &mut violations, &strategy);
+                energies[si] = Some(sol.energy.total());
+                stats.solutions += 1;
+            }
+            Err(SolveError::Infeasible { .. }) if !feasible => {}
+            Err(SolveError::Infeasible { .. }) => violations.push(format!(
+                "{strategy}: reported Infeasible though the critical path fits the deadline"
+            )),
+            Err(e) => violations.push(format!("{strategy}: unexpected solver error: {e}")),
+        }
+    }
+
+    // §4 dominance chain over the four totals.
+    if let [Some(ss), Some(lamps), Some(ss_ps), Some(lamps_ps)] = energies {
+        let eps = 1e-9;
+        let chain = [
+            ("LAMPS", lamps, "S&S", ss),
+            ("S&S+PS", ss_ps, "S&S", ss),
+            ("LAMPS+PS", lamps_ps, "LAMPS", lamps),
+            ("LAMPS+PS", lamps_ps, "S&S+PS", ss_ps),
+        ];
+        for (better, b, worse, w) in chain {
+            if b > w * (1.0 + eps) {
+                violations.push(format!(
+                    "dominance violated: {better} = {b} J exceeds {worse} = {w} J"
+                ));
+            }
+        }
+    }
+
+    // Exhaustive oracle on tiny feasible instances.
+    if feasible && graph.len() <= fz.oracle_max_tasks {
+        let ocfg = OracleConfig {
+            max_procs: graph.len(),
+            order_budget: fz.oracle_order_budget,
+        };
+        match exhaustive_optimum(&graph, deadline_s, scfg, &ocfg) {
+            Ok(oracle) => {
+                stats.oracle_used = true;
+                for (si, strategy) in Strategy::all().into_iter().enumerate() {
+                    let Some(e) = energies[si] else { continue };
+                    let bound = if strategy.uses_ps() {
+                        oracle.best_ps
+                    } else {
+                        oracle.best_no_ps
+                    };
+                    if e < bound * (1.0 - 1e-9) {
+                        violations.push(format!(
+                            "{strategy}: {e} J beats the exhaustive optimum {bound} J"
+                        ));
+                    }
+                }
+            }
+            Err(OracleError::BudgetExceeded { .. }) => {}
+            Err(OracleError::Infeasible) => violations.push(
+                "oracle found no feasible configuration though the critical path fits".to_string(),
+            ),
+        }
+    }
+
+    if violations.is_empty() {
+        Ok(stats)
+    } else {
+        Err(violations)
+    }
+}
+
+/// Cross-check the three energy accountants on one schedule at every
+/// feasible level, with and without shutdown.
+fn differential_check(
+    schedule: &lamps_sched::Schedule,
+    horizon_s: f64,
+    scfg: &SchedulerConfig,
+    violations: &mut Vec<String>,
+    strategy: &Strategy,
+) {
+    let summary = IdleSummary::new(schedule);
+    let required_freq = schedule.makespan_cycles() as f64 / horizon_s;
+    for level in scfg.levels.at_least(required_freq) {
+        for ps in [None, Some(&scfg.sleep)] {
+            let walk = evaluate(schedule, level, horizon_s, ps);
+            let summ = evaluate_summary(&summary, level, horizon_s, ps);
+            match (walk, summ) {
+                (Ok(w), Ok(s)) => {
+                    let fields = [
+                        ("active_j", w.active_j, s.active_j),
+                        ("idle_j", w.idle_j, s.idle_j),
+                        ("sleep_j", w.sleep_j, s.sleep_j),
+                        ("transition_j", w.transition_j, s.transition_j),
+                    ];
+                    for (name, a, b) in fields {
+                        if a.to_bits() != b.to_bits() {
+                            violations.push(format!(
+                                "{strategy}: evaluate/evaluate_summary diverge on {name} at vdd {} (ps={}): {a} vs {b}",
+                                level.vdd,
+                                ps.is_some()
+                            ));
+                        }
+                    }
+                    if w.sleep_episodes != s.sleep_episodes {
+                        violations.push(format!(
+                            "{strategy}: episode count diverges at vdd {} (ps={}): {} vs {}",
+                            level.vdd,
+                            ps.is_some(),
+                            w.sleep_episodes,
+                            s.sleep_episodes
+                        ));
+                    }
+                    let re = rebill(schedule, level, horizon_s, ps);
+                    let scale = w.total().abs().max(re.total().abs()).max(1e-30);
+                    if (w.total() - re.total()).abs() > 1e-12 * scale {
+                        violations.push(format!(
+                            "{strategy}: re-bill diverges at vdd {} (ps={}): {} vs {}",
+                            level.vdd,
+                            ps.is_some(),
+                            w.total(),
+                            re.total()
+                        ));
+                    }
+                    if w.sleep_episodes != re.sleep_episodes {
+                        violations.push(format!(
+                            "{strategy}: re-bill episode count diverges at vdd {} (ps={}): {} vs {}",
+                            level.vdd,
+                            ps.is_some(),
+                            w.sleep_episodes,
+                            re.sleep_episodes
+                        ));
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                (w, s) => violations.push(format!(
+                    "{strategy}: evaluate/evaluate_summary disagree on feasibility at vdd {}: {:?} vs {:?}",
+                    level.vdd,
+                    w.is_ok(),
+                    s.is_ok()
+                )),
+            }
+        }
+    }
+}
+
+/// Generate one random case from an iteration RNG.
+pub fn gen_case(rng: &mut Rng, seed: u64, max_tasks: usize) -> Case {
+    if rng.gen_bool(0.25) {
+        gen_kpn_case(rng, seed)
+    } else {
+        gen_dag_case(rng, seed, max_tasks)
+    }
+}
+
+const GRAINS: [u64; 3] = [1, 31_000, 3_100_000];
+
+fn gen_factor(rng: &mut Rng) -> f64 {
+    if rng.gen_bool(0.1) {
+        // Deliberately infeasible (below the critical path).
+        rng.gen_range(0.3f64..0.99)
+    } else {
+        rng.gen_range(1.05f64..8.0)
+    }
+}
+
+fn gen_dag_case(rng: &mut Rng, seed: u64, max_tasks: usize) -> Case {
+    let n = rng.gen_range(2usize..=max_tasks.max(2));
+    let grain = GRAINS[rng.gen_range(0usize..GRAINS.len())];
+    let mut weights: Vec<u64> = (0..n)
+        .map(|_| {
+            if rng.gen_bool(0.05) {
+                0 // zero-length tasks stress gap merging
+            } else {
+                rng.gen_range(1u64..=20) * grain
+            }
+        })
+        .collect();
+    if weights.iter().all(|&w| w == 0) {
+        weights[0] = grain.max(1);
+    }
+    let p = rng.gen_range(0.05f64..0.5);
+    let mut edges = Vec::new();
+    for i in 0..n as u32 {
+        for j in (i + 1)..n as u32 {
+            if rng.gen_bool(p) {
+                edges.push((i, j));
+            }
+        }
+    }
+    Case {
+        weights,
+        edges,
+        deadline_factor: gen_factor(rng),
+        seed,
+        origin: "dag".to_string(),
+    }
+}
+
+fn gen_kpn_case(rng: &mut Rng, seed: u64) -> Case {
+    let n = rng.gen_range(2usize..=5);
+    let grain = GRAINS[rng.gen_range(1usize..GRAINS.len())];
+    let mut net = Network::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| net.add_process(format!("p{i}"), rng.gen_range(1u64..=20) * grain))
+        .collect();
+    let mut connected = false;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(0.4) {
+                let delay = rng.gen_range(0u32..=1);
+                net.connect_delayed(ids[i], ids[j], delay)
+                    .expect("ids valid");
+                connected = true;
+            }
+        }
+    }
+    if !connected {
+        net.connect(ids[0], ids[1]).expect("ids valid");
+    }
+    let copies = rng.gen_range(2usize..=4);
+    let u = unroll(
+        &net,
+        &UnrollConfig {
+            copies,
+            first_deadline_cycles: 100 * grain,
+            period_cycles: 60 * grain,
+        },
+    )
+    .expect("forward channels unroll to a DAG");
+    Case {
+        weights: u.graph.weights().to_vec(),
+        edges: u.graph.edges().map(|(f, t)| (f.0, t.0)).collect(),
+        deadline_factor: gen_factor(rng),
+        seed,
+        origin: "kpn".to_string(),
+    }
+}
+
+/// Greedily shrink a failing case while it keeps failing: drop tasks,
+/// drop edges, halve weights, in rounds, bounded by a fixed attempt
+/// budget so shrinking always terminates.
+pub fn shrink(case: &Case, scfg: &SchedulerConfig, fz: &FuzzConfig) -> Case {
+    const ATTEMPT_BUDGET: usize = 600;
+    let fails = |c: &Case| check_case(c, scfg, fz).is_err();
+    if !fails(case) {
+        return case.clone();
+    }
+    let mut cur = case.clone();
+    let mut attempts = 0usize;
+    loop {
+        let mut improved = false;
+        let mut i = 0;
+        while i < cur.weights.len() && cur.weights.len() > 1 && attempts < ATTEMPT_BUDGET {
+            let cand = remove_task(&cur, i);
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                i += 1;
+            }
+        }
+        let mut e = 0;
+        while e < cur.edges.len() && attempts < ATTEMPT_BUDGET {
+            let mut cand = cur.clone();
+            cand.edges.remove(e);
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                e += 1;
+            }
+        }
+        for i in 0..cur.weights.len() {
+            if attempts >= ATTEMPT_BUDGET {
+                break;
+            }
+            if cur.weights[i] > 1 {
+                let mut cand = cur.clone();
+                cand.weights[i] /= 2;
+                attempts += 1;
+                if fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                }
+            }
+        }
+        if !improved || attempts >= ATTEMPT_BUDGET {
+            break;
+        }
+    }
+    cur.origin = format!("shrunk-{}", case.origin);
+    cur
+}
+
+fn remove_task(case: &Case, i: usize) -> Case {
+    let i = i as u32;
+    let mut out = case.clone();
+    out.weights.remove(i as usize);
+    out.edges.retain(|&(f, t)| f != i && t != i);
+    for (f, t) in &mut out.edges {
+        if *f > i {
+            *f -= 1;
+        }
+        if *t > i {
+            *t -= 1;
+        }
+    }
+    out
+}
+
+/// Run the fuzzer. Deterministic for a given config; stops at the first
+/// failing case, which is returned shrunk.
+pub fn run(fz: &FuzzConfig, scfg: &SchedulerConfig) -> FuzzOutcome {
+    let mut out = FuzzOutcome::default();
+    for it in 0..fz.iterations {
+        let mut sm = fz.seed.wrapping_add(it.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let iter_seed = splitmix64(&mut sm);
+        let mut rng = Rng::seed_from_u64(iter_seed);
+        let case = gen_case(&mut rng, iter_seed, fz.max_tasks);
+        out.iterations_run += 1;
+        match check_case(&case, scfg, fz) {
+            Ok(stats) => {
+                out.checked_solutions += stats.solutions as u64;
+                out.oracle_instances += stats.oracle_used as u64;
+            }
+            Err(original_violations) => {
+                let shrunk = shrink(&case, scfg, fz);
+                let violations = check_case(&shrunk, scfg, fz)
+                    .err()
+                    .unwrap_or(original_violations);
+                out.failure = Some(FuzzFailure {
+                    case,
+                    shrunk,
+                    violations,
+                });
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scfg() -> SchedulerConfig {
+        SchedulerConfig::paper()
+    }
+
+    #[test]
+    fn clean_tree_survives_a_fuzz_budget() {
+        let fz = FuzzConfig {
+            iterations: 60,
+            seed: 2006,
+            max_tasks: 16,
+            oracle_max_tasks: 5,
+            oracle_order_budget: 5_000,
+        };
+        let out = run(&fz, &scfg());
+        assert!(
+            out.is_clean(),
+            "fuzzer found a violation: {:#?}",
+            out.failure
+        );
+        assert_eq!(out.iterations_run, 60);
+        assert!(out.checked_solutions > 100, "{}", out.checked_solutions);
+        assert!(out.oracle_instances > 0, "oracle never engaged");
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let fz = FuzzConfig {
+            iterations: 12,
+            seed: 7,
+            ..FuzzConfig::default()
+        };
+        let a = run(&fz, &scfg());
+        let b = run(&fz, &scfg());
+        assert_eq!(a.checked_solutions, b.checked_solutions);
+        assert_eq!(a.oracle_instances, b.oracle_instances);
+        assert!(a.is_clean() && b.is_clean());
+    }
+
+    #[test]
+    fn generated_cases_roundtrip_through_the_corpus_format() {
+        for it in 0..20u64 {
+            let mut sm = it;
+            let seed = splitmix64(&mut sm);
+            let mut rng = Rng::seed_from_u64(seed);
+            let case = gen_case(&mut rng, seed, 12);
+            let parsed = Case::parse(&case.serialize()).unwrap();
+            assert_eq!(parsed, case);
+            parsed.graph().unwrap();
+        }
+    }
+
+    #[test]
+    fn shrinker_reduces_a_seeded_failure() {
+        // A case that "fails" under an artificially broken checker is
+        // hard to arrange without mutating production code, so check the
+        // structural half instead: shrinking a *passing* case is the
+        // identity, and removing a task keeps indices consistent.
+        let fz = FuzzConfig::default();
+        let case = Case {
+            weights: vec![10, 20, 30, 40],
+            edges: vec![(0, 1), (1, 2), (0, 3), (2, 3)],
+            deadline_factor: 2.0,
+            seed: 0,
+            origin: "dag".to_string(),
+        };
+        assert_eq!(shrink(&case, &scfg(), &fz), case);
+        let smaller = remove_task(&case, 1);
+        assert_eq!(smaller.weights, vec![10, 30, 40]);
+        assert_eq!(smaller.edges, vec![(0, 2), (1, 2)]);
+        smaller.graph().unwrap();
+    }
+
+    #[test]
+    fn infeasible_factors_are_exercised_without_violations() {
+        // Directly check a deliberately infeasible case: every strategy
+        // must return Infeasible and check_case must treat that as clean.
+        let case = Case {
+            weights: vec![3_100_000, 3_100_000, 3_100_000],
+            edges: vec![(0, 1), (1, 2)],
+            deadline_factor: 0.5,
+            seed: 0,
+            origin: "dag".to_string(),
+        };
+        let fz = FuzzConfig::default();
+        assert!(check_case(&case, &scfg(), &fz).is_ok());
+    }
+}

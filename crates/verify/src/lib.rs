@@ -1,0 +1,32 @@
+//! lamps-verify: the verification subsystem.
+//!
+//! Everything in this crate exists to distrust the rest of the
+//! workspace. Three layers, each independent of the code it checks:
+//!
+//! * [`validator`] — re-derives per-processor timelines from nothing but
+//!   per-task `(start, finish, proc)` facts and re-bills energy from
+//!   first principles, then compares against what a
+//!   [`lamps_core::Solution`] claims. Violations come back as a
+//!   structured [`validator::Violation`] list, not a panic.
+//! * [`oracle`] — exhaustively enumerates (topological order × processor
+//!   count × level) on tiny instances to *prove* the heuristics never
+//!   beat the optimum, rather than merely asserting they look sane.
+//! * [`fuzz`] + [`case`] + [`corpus`] — a deterministic differential
+//!   fuzzer over random DAGs and KPN unrollings, a self-contained text
+//!   format for failing cases, greedy shrinking, and a regression corpus
+//!   runner so every counterexample ever found stays fixed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod corpus;
+pub mod fuzz;
+pub mod oracle;
+pub mod validator;
+
+pub use case::Case;
+pub use corpus::{corpus_file_name, run_corpus, CorpusResult};
+pub use fuzz::{check_case, run, CaseStats, FuzzConfig, FuzzFailure, FuzzOutcome};
+pub use oracle::{exhaustive_optimum, OracleConfig, OracleError, OracleResult};
+pub use validator::{check_schedule, check_solution, rebill, RebilledEnergy, Violation};

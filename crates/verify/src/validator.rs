@@ -1,0 +1,673 @@
+//! Independent re-checking of schedules and solutions.
+//!
+//! Everything here is computed from first principles — task/edge data
+//! from the graph, per-task `(start, finish, proc)` from the schedule,
+//! raw level/sleep parameters from the config. The validator never calls
+//! [`Schedule::validate`], `evaluate`, or `IdleSummary`: it is the
+//! second opinion those fast paths are checked against. In particular
+//! the energy re-bill ([`rebill`]) classifies every idle gap with the
+//! *float* break-even predicate [`SleepParams::worth_sleeping`] directly,
+//! whereas the production evaluator goes through the integer cutoff
+//! `min_sleep_cycles` — the two must agree on every gap or the cutoff
+//! derivation is wrong.
+
+use lamps_core::{SchedulerConfig, Solution};
+use lamps_power::{OperatingPoint, SleepParams};
+use lamps_sched::{ProcId, Schedule};
+use lamps_taskgraph::{TaskGraph, TaskId};
+
+/// Relative tolerance for comparing independently re-billed joule
+/// figures against reported ones. Both paths sum exact integer cycle
+/// totals before touching floating point, so the only divergence is the
+/// final few arithmetic ops; 1e-9 is orders of magnitude looser than
+/// that and orders tighter than any real accounting bug.
+pub const ENERGY_REL_TOL: f64 = 1e-9;
+
+/// Relative slack allowed on the deadline check (mirrors the evaluator's
+/// guard against exact-fit floating-point edge cases).
+pub const DEADLINE_REL_EPS: f64 = 1e-9;
+
+/// One independently detected rule violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// The schedule covers a different number of tasks than the graph.
+    WrongTaskCount {
+        /// Tasks in the schedule.
+        scheduled: usize,
+        /// Tasks in the graph.
+        graph: usize,
+    },
+    /// `finish != start + weight` for a task.
+    BadFinishTime {
+        /// The offending task.
+        task: TaskId,
+        /// Its recorded start \[cycles\].
+        start: u64,
+        /// Its recorded finish \[cycles\].
+        finish: u64,
+        /// Its weight in the graph \[cycles\].
+        weight: u64,
+    },
+    /// A task is assigned to a processor index outside `0..n_procs`.
+    ProcOutOfRange {
+        /// The offending task.
+        task: TaskId,
+        /// Its recorded processor.
+        proc: ProcId,
+        /// The schedule's processor count.
+        n_procs: usize,
+    },
+    /// A task starts before one of its predecessors finishes.
+    Precedence {
+        /// The dependent task.
+        task: TaskId,
+        /// The predecessor that finishes too late.
+        pred: TaskId,
+        /// Start of the dependent \[cycles\].
+        start: u64,
+        /// Finish of the predecessor \[cycles\].
+        pred_finish: u64,
+    },
+    /// Two tasks overlap in time on the same processor.
+    Overlap {
+        /// The processor.
+        proc: ProcId,
+        /// The earlier-starting task.
+        first: TaskId,
+        /// The overlapping task.
+        second: TaskId,
+    },
+    /// A processor's execution-order list disagrees with the per-task
+    /// assignment, misses tasks, or is not sorted by start time — the
+    /// energy evaluator's walk would bill such a schedule incorrectly.
+    InconsistentProcList {
+        /// The processor whose list is wrong.
+        proc: ProcId,
+        /// What is wrong with it.
+        reason: &'static str,
+    },
+    /// The schedule object and the solution disagree on the processor
+    /// count.
+    ProcCountMismatch {
+        /// `schedule.n_procs()`.
+        schedule: usize,
+        /// `solution.n_procs`.
+        solution: usize,
+    },
+    /// The solution's recorded makespan is not the maximum finish time.
+    MakespanMismatch {
+        /// Recorded makespan \[cycles\].
+        reported: u64,
+        /// Recomputed maximum finish \[cycles\].
+        recomputed: u64,
+    },
+    /// The stretched schedule finishes after the deadline.
+    DeadlineOverrun {
+        /// Completion time at the chosen level \[s\].
+        makespan_s: f64,
+        /// The deadline \[s\].
+        deadline_s: f64,
+    },
+    /// The chosen operating point is not one of the platform's discrete
+    /// levels.
+    IllegalLevel {
+        /// Supply voltage of the illegal point \[V\].
+        vdd: f64,
+        /// Frequency of the illegal point \[Hz\].
+        freq: f64,
+    },
+    /// A re-billed energy component disagrees with the reported one
+    /// beyond [`ENERGY_REL_TOL`] — covers wrong gap accounting, wrong
+    /// break-even thresholds, and dropped idle intervals.
+    EnergyMismatch {
+        /// Which component (`active_j`, `idle_j`, `sleep_j`,
+        /// `transition_j`, `total_j`).
+        field: &'static str,
+        /// The solution's figure \[J\].
+        reported: f64,
+        /// The independent re-bill \[J\].
+        recomputed: f64,
+    },
+    /// The number of sleep episodes disagrees with the break-even rule.
+    SleepEpisodeMismatch {
+        /// Episodes the solution reports.
+        reported: usize,
+        /// Episodes the break-even rule mandates.
+        recomputed: usize,
+    },
+    /// An energy component is NaN or infinite.
+    NonFiniteEnergy {
+        /// Which component.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Violation::WrongTaskCount { scheduled, graph } => {
+                write!(f, "schedule covers {scheduled} tasks, graph has {graph}")
+            }
+            Violation::BadFinishTime {
+                task,
+                start,
+                finish,
+                weight,
+            } => write!(
+                f,
+                "{task}: finish {finish} != start {start} + weight {weight}"
+            ),
+            Violation::ProcOutOfRange {
+                task,
+                proc,
+                n_procs,
+            } => write!(f, "{task} on {proc}, but only {n_procs} processors exist"),
+            Violation::Precedence {
+                task,
+                pred,
+                start,
+                pred_finish,
+            } => write!(
+                f,
+                "{task} starts at {start}, before predecessor {pred} finishes at {pred_finish}"
+            ),
+            Violation::Overlap {
+                proc,
+                first,
+                second,
+            } => write!(f, "{first} and {second} overlap on {proc}"),
+            Violation::InconsistentProcList { proc, reason } => {
+                write!(
+                    f,
+                    "execution-order list of {proc} is inconsistent: {reason}"
+                )
+            }
+            Violation::ProcCountMismatch { schedule, solution } => write!(
+                f,
+                "schedule has {schedule} processors, solution claims {solution}"
+            ),
+            Violation::MakespanMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported makespan {reported} cycles, recomputed {recomputed}"
+            ),
+            Violation::DeadlineOverrun {
+                makespan_s,
+                deadline_s,
+            } => write!(
+                f,
+                "schedule finishes at {makespan_s} s, after the deadline {deadline_s} s"
+            ),
+            Violation::IllegalLevel { vdd, freq } => write!(
+                f,
+                "operating point (vdd {vdd} V, f {freq} Hz) is not a platform level"
+            ),
+            Violation::EnergyMismatch {
+                field,
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "{field}: reported {reported} J, independent re-bill {recomputed} J"
+            ),
+            Violation::SleepEpisodeMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "{reported} sleep episodes reported, break-even rule mandates {recomputed}"
+            ),
+            Violation::NonFiniteEnergy { field, value } => {
+                write!(f, "{field} is not finite: {value}")
+            }
+        }
+    }
+}
+
+/// Energy breakdown recomputed from scratch by [`rebill`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RebilledEnergy {
+    /// Energy of executed cycles \[J\].
+    pub active_j: f64,
+    /// Energy of idle-but-awake periods \[J\].
+    pub idle_j: f64,
+    /// Energy drawn asleep \[J\].
+    pub sleep_j: f64,
+    /// Transition overheads \[J\].
+    pub transition_j: f64,
+    /// Sleep episodes taken.
+    pub sleep_episodes: usize,
+}
+
+impl RebilledEnergy {
+    /// Total energy \[J\].
+    pub fn total(&self) -> f64 {
+        self.active_j + self.idle_j + self.sleep_j + self.transition_j
+    }
+}
+
+/// Canonical per-processor task order, derived from the per-task
+/// assignment only (never from the schedule's internal lists): sorted by
+/// `(start, finish, id)`.
+fn tasks_by_proc(schedule: &Schedule) -> Vec<Vec<TaskId>> {
+    let mut by_proc: Vec<Vec<TaskId>> = vec![Vec::new(); schedule.n_procs()];
+    for i in 0..schedule.len() as u32 {
+        let t = TaskId(i);
+        let p = schedule.proc(t).index();
+        if p < by_proc.len() {
+            by_proc[p].push(t);
+        }
+    }
+    for tasks in &mut by_proc {
+        tasks.sort_by_key(|&t| (schedule.start(t), schedule.finish(t), t.0));
+    }
+    by_proc
+}
+
+/// Re-bill a schedule's energy at `level` over `horizon_s` from first
+/// principles: walk each processor's tasks in start order, accumulate
+/// exact integer busy/gap cycle totals, classify every inner gap and the
+/// tail with the float break-even predicate, and convert to joules once
+/// per component.
+///
+/// The makespan is *not* checked against the horizon here — that is a
+/// separate violation — but a horizon before the last finish simply
+/// yields no tail.
+pub fn rebill(
+    schedule: &Schedule,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+) -> RebilledEnergy {
+    let freq = level.freq;
+    let mut out = RebilledEnergy::default();
+    let mut awake_cycles_total = 0u64;
+    let mut asleep_cycles_total = 0u64;
+    let mut busy_cycles_total = 0u64;
+    let mut tail_awake_s = 0.0f64;
+    let mut tail_asleep_s = 0.0f64;
+    for tasks in tasks_by_proc(schedule) {
+        let mut cursor = 0u64;
+        for &t in &tasks {
+            let (s, fin) = (schedule.start(t), schedule.finish(t));
+            if s > cursor {
+                let gap = s - cursor;
+                let sleeps =
+                    ps.is_some_and(|sl| sl.worth_sleeping(level.idle_power, gap as f64 / freq));
+                if sleeps {
+                    asleep_cycles_total += gap;
+                    out.sleep_episodes += 1;
+                } else {
+                    awake_cycles_total += gap;
+                }
+            }
+            busy_cycles_total += fin.saturating_sub(s);
+            cursor = cursor.max(fin);
+        }
+        let tail_s = horizon_s - cursor as f64 / freq;
+        if tail_s > 0.0 {
+            let sleeps = ps.is_some_and(|sl| sl.worth_sleeping(level.idle_power, tail_s));
+            if sleeps {
+                tail_asleep_s += tail_s;
+                out.sleep_episodes += 1;
+            } else {
+                tail_awake_s += tail_s;
+            }
+        }
+    }
+    out.active_j = busy_cycles_total as f64 * level.energy_per_cycle;
+    out.idle_j = level.idle_power * (awake_cycles_total as f64 / freq + tail_awake_s);
+    if let Some(sleep) = ps {
+        out.sleep_j = sleep.sleep_power * (asleep_cycles_total as f64 / freq + tail_asleep_s);
+        out.transition_j = out.sleep_episodes as f64 * sleep.transition_energy;
+    }
+    out
+}
+
+/// Structural checks of a schedule against its graph: task coverage,
+/// finish-time consistency, precedence edges, per-processor non-overlap,
+/// processor-range and execution-order-list sanity.
+pub fn check_schedule(graph: &TaskGraph, schedule: &Schedule) -> Vec<Violation> {
+    let mut v = Vec::new();
+    if schedule.len() != graph.len() {
+        v.push(Violation::WrongTaskCount {
+            scheduled: schedule.len(),
+            graph: graph.len(),
+        });
+        return v;
+    }
+    for t in graph.tasks() {
+        let (s, fin) = (schedule.start(t), schedule.finish(t));
+        if fin != s.saturating_add(graph.weight(t)) {
+            v.push(Violation::BadFinishTime {
+                task: t,
+                start: s,
+                finish: fin,
+                weight: graph.weight(t),
+            });
+        }
+        if schedule.proc(t).index() >= schedule.n_procs() {
+            v.push(Violation::ProcOutOfRange {
+                task: t,
+                proc: schedule.proc(t),
+                n_procs: schedule.n_procs(),
+            });
+        }
+        for &p in graph.predecessors(t) {
+            if s < schedule.finish(p) {
+                v.push(Violation::Precedence {
+                    task: t,
+                    pred: p,
+                    start: s,
+                    pred_finish: schedule.finish(p),
+                });
+            }
+        }
+    }
+    let by_proc = tasks_by_proc(schedule);
+    for (pi, tasks) in by_proc.iter().enumerate() {
+        let proc = ProcId(pi as u32);
+        for w in tasks.windows(2) {
+            if schedule.finish(w[0]) > schedule.start(w[1]) {
+                v.push(Violation::Overlap {
+                    proc,
+                    first: w[0],
+                    second: w[1],
+                });
+            }
+        }
+        // The schedule's own execution-order list must agree with the
+        // canonical reconstruction — same membership, starts
+        // non-decreasing — because the evaluator walks it trusting both.
+        let listed = schedule.tasks_on(proc);
+        if listed.len() != tasks.len() {
+            v.push(Violation::InconsistentProcList {
+                proc,
+                reason: "membership differs from per-task assignment",
+            });
+            continue;
+        }
+        let mut sorted: Vec<TaskId> = listed.to_vec();
+        sorted.sort_by_key(|t| t.0);
+        let mut want: Vec<TaskId> = tasks.clone();
+        want.sort_by_key(|t| t.0);
+        if sorted != want {
+            v.push(Violation::InconsistentProcList {
+                proc,
+                reason: "membership differs from per-task assignment",
+            });
+            continue;
+        }
+        if listed
+            .windows(2)
+            .any(|w| schedule.start(w[0]) > schedule.start(w[1]))
+        {
+            v.push(Violation::InconsistentProcList {
+                proc,
+                reason: "not sorted by start time",
+            });
+        }
+    }
+    v
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-30);
+    (a - b).abs() <= tol * scale
+}
+
+/// Full solution check: structure, processor count, level legality,
+/// makespan and deadline feasibility, and the independent energy re-bill
+/// (which subsumes sleep break-even legality).
+pub fn check_solution(
+    graph: &TaskGraph,
+    sol: &Solution,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+) -> Vec<Violation> {
+    let mut v = check_schedule(graph, &sol.schedule);
+
+    if sol.schedule.n_procs() != sol.n_procs {
+        v.push(Violation::ProcCountMismatch {
+            schedule: sol.schedule.n_procs(),
+            solution: sol.n_procs,
+        });
+    }
+
+    // Discrete-level legality: the chosen point must match a platform
+    // level in every field (a tampered copy with, say, the right voltage
+    // but a wrong idle power is just as illegal).
+    let legal = cfg.levels.points().iter().any(|p| {
+        rel_close(p.vdd, sol.level.vdd, 1e-12)
+            && rel_close(p.freq, sol.level.freq, 1e-12)
+            && rel_close(p.active_power, sol.level.active_power, 1e-12)
+            && rel_close(p.idle_power, sol.level.idle_power, 1e-12)
+            && rel_close(p.energy_per_cycle, sol.level.energy_per_cycle, 1e-12)
+    });
+    if !legal {
+        v.push(Violation::IllegalLevel {
+            vdd: sol.level.vdd,
+            freq: sol.level.freq,
+        });
+    }
+
+    // Makespan: recompute from raw finish times.
+    let makespan = (0..sol.schedule.len() as u32)
+        .map(|i| sol.schedule.finish(TaskId(i)))
+        .max()
+        .unwrap_or(0);
+    if makespan != sol.makespan_cycles {
+        v.push(Violation::MakespanMismatch {
+            reported: sol.makespan_cycles,
+            recomputed: makespan,
+        });
+    }
+
+    // Deadline feasibility at the chosen level.
+    let makespan_s = makespan as f64 / sol.level.freq;
+    if makespan_s > deadline_s * (1.0 + DEADLINE_REL_EPS) {
+        v.push(Violation::DeadlineOverrun {
+            makespan_s,
+            deadline_s,
+        });
+    }
+
+    // Energy: finite, and equal to the independent re-bill. Only run the
+    // re-bill comparison on structurally sound schedules — a broken
+    // structure already fails, and its billing is meaningless.
+    for (field, value) in [
+        ("active_j", sol.energy.active_j),
+        ("idle_j", sol.energy.idle_j),
+        ("sleep_j", sol.energy.sleep_j),
+        ("transition_j", sol.energy.transition_j),
+    ] {
+        if !value.is_finite() {
+            v.push(Violation::NonFiniteEnergy { field, value });
+        }
+    }
+    if v.is_empty() {
+        let ps = sol.strategy.uses_ps().then_some(&cfg.sleep);
+        let re = rebill(&sol.schedule, &sol.level, deadline_s, ps);
+        for (field, reported, recomputed) in [
+            ("active_j", sol.energy.active_j, re.active_j),
+            ("idle_j", sol.energy.idle_j, re.idle_j),
+            ("sleep_j", sol.energy.sleep_j, re.sleep_j),
+            ("transition_j", sol.energy.transition_j, re.transition_j),
+            ("total_j", sol.energy.total(), re.total()),
+        ] {
+            if !rel_close(reported, recomputed, ENERGY_REL_TOL) {
+                v.push(Violation::EnergyMismatch {
+                    field,
+                    reported,
+                    recomputed,
+                });
+            }
+        }
+        if sol.energy.sleep_episodes != re.sleep_episodes {
+            v.push(Violation::SleepEpisodeMismatch {
+                reported: sol.energy.sleep_episodes,
+                recomputed: re.sleep_episodes,
+            });
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_core::{solve, Strategy};
+    use lamps_sched::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn fig4a_coarse() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t1 = b.add_task(2);
+        let t2 = b.add_task(6);
+        let t3 = b.add_task(4);
+        let t4 = b.add_task(4);
+        let t5 = b.add_task(2);
+        b.add_edge(t1, t2).unwrap();
+        b.add_edge(t1, t3).unwrap();
+        b.add_edge(t1, t4).unwrap();
+        b.add_edge(t2, t5).unwrap();
+        b.add_edge(t3, t5).unwrap();
+        b.build().unwrap().scale_weights(3_100_000)
+    }
+
+    #[test]
+    fn clean_solutions_validate_for_all_strategies() {
+        let g = fig4a_coarse();
+        let cfg = SchedulerConfig::paper();
+        for factor in [1.0, 1.5, 2.0, 4.0, 8.0] {
+            let d = factor * g.critical_path_cycles() as f64 / cfg.max_frequency();
+            for s in Strategy::all() {
+                let sol = solve(s, &g, d, &cfg).unwrap();
+                let v = check_solution(&g, &sol, d, &cfg);
+                assert!(v.is_empty(), "{s} at {factor}x: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn precedence_violation_detected() {
+        let g = fig4a_coarse();
+        // T4 (id 3) scheduled before its predecessor T1 (id 0) finishes.
+        let w = 3_100_000u64;
+        let s = Schedule::new(
+            2,
+            vec![0, 2 * w, 2 * w, 0, 8 * w],
+            vec![2 * w, 8 * w, 6 * w, 4 * w, 10 * w],
+            vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1), ProcId(0)],
+        );
+        let v = check_schedule(&g, &s);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::Precedence { task, .. } if task.0 == 3)),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn overlap_detected_independently_of_list_order() {
+        let mut b = GraphBuilder::new();
+        b.add_task(5);
+        b.add_task(5);
+        let g = b.build().unwrap();
+        let s = Schedule::new(1, vec![0, 3], vec![5, 8], vec![ProcId(0), ProcId(0)]);
+        let v = check_schedule(&g, &s);
+        assert!(v.iter().any(|x| matches!(x, Violation::Overlap { .. })));
+    }
+
+    #[test]
+    fn rebill_matches_reference_evaluator() {
+        let g = fig4a_coarse();
+        let cfg = SchedulerConfig::paper();
+        for n in 1..=3usize {
+            let s = edf_schedule(&g, n, 2 * g.critical_path_cycles());
+            for level in cfg.levels.points() {
+                let horizon = s.makespan_cycles() as f64 / level.freq + 0.02;
+                for ps in [None, Some(&cfg.sleep)] {
+                    let want = lamps_energy::evaluate(&s, level, horizon, ps).unwrap();
+                    let got = rebill(&s, level, horizon, ps);
+                    assert!(
+                        rel_close(want.total(), got.total(), 1e-12),
+                        "n={n} vdd={} ps={}: {} vs {}",
+                        level.vdd,
+                        ps.is_some(),
+                        want.total(),
+                        got.total()
+                    );
+                    assert_eq!(want.sleep_episodes, got.sleep_episodes);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn illegal_level_detected() {
+        let g = fig4a_coarse();
+        let cfg = SchedulerConfig::paper();
+        let d = 4.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let mut sol = solve(Strategy::Lamps, &g, d, &cfg).unwrap();
+        sol.level.vdd += 0.012; // off-grid voltage
+        let v = check_solution(&g, &sol, d, &cfg);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::IllegalLevel { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn deadline_overrun_detected() {
+        let g = fig4a_coarse();
+        let cfg = SchedulerConfig::paper();
+        let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let sol = solve(Strategy::ScheduleStretch, &g, d, &cfg).unwrap();
+        let tight = d / 4.0; // far below what the chosen level can meet
+        let v = check_solution(&g, &sol, tight, &cfg);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::DeadlineOverrun { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_energy_detected() {
+        let g = fig4a_coarse();
+        let cfg = SchedulerConfig::paper();
+        let d = 4.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let mut sol = solve(Strategy::LampsPs, &g, d, &cfg).unwrap();
+        sol.energy.idle_j += 1e-4 * sol.energy.total().max(1e-6);
+        let v = check_solution(&g, &sol, d, &cfg);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::EnergyMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn zero_weight_tasks_validate() {
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(0);
+        let c = b.add_task(3_100_000);
+        let e = b.add_task(0);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, e).unwrap();
+        let g = b.build().unwrap();
+        let cfg = SchedulerConfig::paper();
+        let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        for s in Strategy::all() {
+            let sol = solve(s, &g, d, &cfg).unwrap();
+            let v = check_solution(&g, &sol, d, &cfg);
+            assert!(v.is_empty(), "{s}: {v:?}");
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Every `.case` file under `tests/corpus/` must pass the full check
+//! battery, forever. Shrunk fuzz counterexamples get appended here by
+//! the `verify` CLI; hand-written edge cases seed the set.
+
+use lamps_core::SchedulerConfig;
+use lamps_verify::{run_corpus, FuzzConfig};
+use std::path::Path;
+
+#[test]
+fn corpus_is_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let results = run_corpus(&dir, &SchedulerConfig::paper(), &FuzzConfig::default())
+        .expect("corpus directory exists");
+    assert!(
+        results.len() >= 6,
+        "corpus unexpectedly small: {} entries",
+        results.len()
+    );
+    let mut dirty = Vec::new();
+    for r in &results {
+        if !r.violations.is_empty() {
+            dirty.push(format!("{}: {:?}", r.path.display(), r.violations));
+        }
+    }
+    assert!(
+        dirty.is_empty(),
+        "corpus regressions:\n{}",
+        dirty.join("\n")
+    );
+}

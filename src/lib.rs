@@ -21,7 +21,9 @@
 //!   (§4);
 //! * [`sim`] — execution simulation with online slack reclamation (the
 //!   §6 future-work direction, after Zhu et al.);
-//! * [`viz`] — SVG Gantt charts and power-over-time plots.
+//! * [`viz`] — SVG Gantt charts and power-over-time plots;
+//! * [`verify`] — independent schedule validation, exact exhaustive
+//!   oracles, and deterministic differential fuzzing.
 //!
 //! # Quickstart
 //!
@@ -55,6 +57,7 @@ pub use lamps_power as power;
 pub use lamps_sched as sched;
 pub use lamps_sim as sim;
 pub use lamps_taskgraph as taskgraph;
+pub use lamps_verify as verify;
 pub use lamps_viz as viz;
 
 /// The common imports for applications.
