@@ -1,0 +1,13 @@
+//! Robustness: fault injection vs online recovery policies.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::chaos::chaos;
+
+fn main() {
+    let opts = Options::parse(&["graphs", "seed", "out", "smoke"]);
+    let smoke = opts.flag("smoke");
+    let graphs = opts.usize("graphs", if smoke { 2 } else { 8 });
+    let seed = opts.u64("seed", 2006);
+    let out = opts.string("out", "results");
+    chaos(graphs, seed).emit(&out).expect("write results");
+}

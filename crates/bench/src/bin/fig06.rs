@@ -5,10 +5,7 @@ use lamps_bench::experiments::procs::fig06;
 
 fn main() {
     let opts = Options::parse(&["factor", "max-procs", "out"]);
-    let factor: f64 = opts
-        .string("factor", "2.0")
-        .parse()
-        .expect("--factor expects a number");
+    let factor = opts.f64("factor", 2.0);
     let max_procs = opts.usize("max-procs", 20);
     let out = opts.string("out", "results");
     fig06(factor, max_procs).emit(&out).expect("write results");

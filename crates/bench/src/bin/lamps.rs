@@ -14,7 +14,7 @@
 //! units and scaled by the chosen granularity (coarse = 1 ms at f_max,
 //! fine = 10 µs).
 
-use lamps_bench::cli::Options;
+use lamps_bench::cli::{or_die, Options};
 use lamps_core::limits::{limit_mf, limit_sf};
 use lamps_core::pareto::deadline_sweep;
 use lamps_core::{solve, SchedulerConfig, Strategy};
@@ -165,13 +165,12 @@ fn cmd_schedule(mut args: Vec<String>) {
             }
             let trace_path = opts.string("trace", "");
             if !trace_path.is_empty() {
-                let trace = power_trace(
+                let trace = or_die(power_trace(
                     &sol.schedule,
                     &sol.level,
                     d,
                     strat.uses_ps().then_some(&cfg.sleep),
-                )
-                .expect("solution is feasible");
+                ));
                 std::fs::write(&trace_path, trace_csv(&trace)).unwrap_or_else(|e| {
                     eprintln!("cannot write {trace_path}: {e}");
                     std::process::exit(1)
@@ -232,16 +231,18 @@ fn cmd_limits(mut args: Vec<String>) {
         ),
         Err(e) => println!("LIMIT-SF: infeasible ({e})"),
     }
-    let mf = limit_mf(&g, d, &cfg);
-    println!(
-        "LIMIT-MF: {:.4} J at the critical level{}",
-        mf.energy_j,
-        if mf.meets_deadline {
-            ""
-        } else {
-            " (does not meet the deadline — bound only)"
-        }
-    );
+    match limit_mf(&g, d, &cfg) {
+        Ok(mf) => println!(
+            "LIMIT-MF: {:.4} J at the critical level{}",
+            mf.energy_j,
+            if mf.meets_deadline {
+                ""
+            } else {
+                " (does not meet the deadline — bound only)"
+            }
+        ),
+        Err(e) => println!("LIMIT-MF: rejected ({e})"),
+    }
 }
 
 fn cmd_gen(args: Vec<String>) {

@@ -3,9 +3,10 @@
 //! `--graphs` controls the random-group sample size (the STG set has 180
 //! graphs per group; the default keeps the full sweep to a few minutes).
 
-use lamps_bench::cli::Options;
+use lamps_bench::cli::{or_die, Options};
 use lamps_bench::experiments::{
-    ablation, curves, integrated, kernels, procs, relative, scatter, sensitivity, slack, tables,
+    ablation, chaos, curves, integrated, kernels, procs, relative, scatter, sensitivity, slack,
+    tables,
 };
 use lamps_bench::Granularity;
 
@@ -26,9 +27,10 @@ fn main() {
         relative::relative_energy(Granularity::Fine, graphs, seed),
         scatter::scatter(Granularity::Coarse, per_size, seed),
         scatter::scatter(Granularity::Fine, per_size, seed),
-        tables::table3(),
+        or_die(tables::table3()),
         ablation::ablation(graphs.min(8), seed),
         slack::slack(graphs.min(8), seed),
+        chaos::chaos(graphs.min(8), seed),
         integrated::integrated(graphs.min(6), seed),
         kernels::kernels_exhibit(),
         sensitivity::sensitivity(graphs.min(8), seed),

@@ -1,10 +1,10 @@
 //! Regenerate Table 3: MPEG-1 energy per approach.
 
-use lamps_bench::cli::Options;
+use lamps_bench::cli::{or_die, Options};
 use lamps_bench::experiments::tables::table3;
 
 fn main() {
     let opts = Options::parse(&["out"]);
     let out = opts.string("out", "results");
-    table3().emit(&out).expect("write results");
+    or_die(table3()).emit(&out).expect("write results");
 }

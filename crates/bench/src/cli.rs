@@ -107,6 +107,17 @@ impl Options {
     }
 }
 
+/// Unwrap a result or print a one-line structured error and exit
+/// nonzero — the bins' replacement for `.expect(...)` on fallible
+/// solver/experiment calls, so an infeasible input fails fast without a
+/// backtrace.
+pub fn or_die<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(1)
+    })
+}
+
 fn die(msg: &str, known: &[&'static str]) -> ! {
     eprintln!("error: {msg}");
     eprintln!(

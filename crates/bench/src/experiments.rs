@@ -2,6 +2,7 @@
 //! `reproduce_all` both call these.
 
 pub mod ablation;
+pub mod chaos;
 pub mod curves;
 pub mod integrated;
 pub mod kernels;

@@ -24,7 +24,9 @@ pub fn energy_vs_procs(
     let deadline_s = factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
     let deadline_cycles = cfg.deadline_cycles(deadline_s);
     let mut cache = ScheduleCache::new(graph, deadline_cycles);
-    let floor = limit_mf(graph, deadline_s, cfg).energy_j;
+    let Ok(floor) = limit_mf(graph, deadline_s, cfg).map(|l| l.energy_j) else {
+        return vec![None; max_procs];
+    };
     (1..=max_procs)
         .map(|n| {
             let summary = cache.summary(n);

@@ -4,7 +4,7 @@ use super::ExperimentOutput;
 use crate::csv::Csv;
 use crate::suite::{Suite, GROUP_SIZES};
 use lamps_core::limits::{limit_mf, limit_sf};
-use lamps_core::{solve, SchedulerConfig, Strategy};
+use lamps_core::{solve, SchedulerConfig, SolveError, Strategy};
 use lamps_taskgraph::apps::{mpeg, proxies};
 use std::fmt::Write as _;
 
@@ -101,7 +101,11 @@ pub fn table2(graphs_per_group: usize, seed: u64) -> ExperimentOutput {
 }
 
 /// Regenerate Table 3: MPEG-1 energy and processor count per approach.
-pub fn table3() -> ExperimentOutput {
+///
+/// Errors instead of panicking if the GOP cannot be solved — a broken
+/// platform config should exit the bins with a one-line message, not a
+/// backtrace.
+pub fn table3() -> Result<ExperimentOutput, SolveError> {
     let cfg = SchedulerConfig::paper();
     let g = mpeg::paper_gop();
     let d = mpeg::GOP_DEADLINE_SECONDS;
@@ -120,12 +124,11 @@ pub fn table3() -> ExperimentOutput {
     )
     .unwrap();
 
-    let ss_energy = solve(Strategy::ScheduleStretch, &g, d, &cfg)
-        .expect("MPEG GOP is feasible")
+    let ss_energy = solve(Strategy::ScheduleStretch, &g, d, &cfg)?
         .energy
         .total();
     for s in Strategy::all() {
-        let sol = solve(s, &g, d, &cfg).expect("MPEG GOP is feasible");
+        let sol = solve(s, &g, d, &cfg)?;
         let e = sol.energy.total();
         writeln!(
             report,
@@ -145,8 +148,8 @@ pub fn table3() -> ExperimentOutput {
             format!("{:.4}", e / ss_energy),
         ]);
     }
-    let sf = limit_sf(&g, d, &cfg).expect("feasible");
-    let mf = limit_mf(&g, d, &cfg);
+    let sf = limit_sf(&g, d, &cfg)?;
+    let mf = limit_mf(&g, d, &cfg)?;
     for (name, e) in [("LIMIT-SF", sf.energy_j), ("LIMIT-MF", mf.energy_j)] {
         writeln!(
             report,
@@ -177,11 +180,11 @@ pub fn table3() -> ExperimentOutput {
     )
     .unwrap();
 
-    ExperimentOutput {
+    Ok(ExperimentOutput {
         report,
         csvs: vec![("table3_mpeg.csv".into(), csv)],
         svgs: Vec::new(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -198,7 +201,7 @@ mod tests {
 
     #[test]
     fn table3_has_six_rows_and_sane_ratios() {
-        let out = table3();
+        let out = table3().unwrap();
         let csv = &out.csvs[0].1;
         assert_eq!(csv.len(), 6);
         // LAMPS+PS row must be close to the limits (paper: within ~0.1%).

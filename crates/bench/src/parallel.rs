@@ -7,8 +7,18 @@
 //! costs still balance) and collect `(index, result)` pairs locally;
 //! the pairs are merged into an ordered output after the scope joins.
 //! No `unsafe` anywhere — the crate forbids it.
+//!
+//! A panic inside `f` is caught per item: the remaining workers stop
+//! claiming work, the scope joins cleanly, and `par_map` re-panics on
+//! the caller's thread naming the lowest failing item index (plus the
+//! original message when it was a string). Without this, the panic
+//! would tear down one worker while the others kept burning through
+//! the remaining items, and the eventual join error would not say
+//! which input was responsible.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Apply `f` to every item, in parallel, preserving order.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -22,23 +32,56 @@ where
         .unwrap_or(1)
         .min(items.len().max(1));
     if n_threads <= 1 || items.len() <= 1 {
-        return items.iter().map(&f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|payload| {
+                    panic!(
+                        "par_map worker panicked on item {i}: {}",
+                        payload_msg(&*payload)
+                    )
+                })
+            })
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
+    let failed = AtomicUsize::new(usize::MAX);
+    let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
     let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
             .map(|_| {
                 let f = &f;
                 let next = &next;
+                let failed = &failed;
+                let first_panic = &first_panic;
                 scope.spawn(move || {
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
+                        if failed.load(Ordering::Relaxed) != usize::MAX {
+                            break;
+                        }
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= items.len() {
                             break;
                         }
-                        local.push((i, f(&items[i])));
+                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                            Ok(r) => local.push((i, r)),
+                            Err(payload) => {
+                                failed.fetch_min(i, Ordering::Relaxed);
+                                let msg = payload_msg(&*payload);
+                                let mut slot = first_panic.lock().unwrap_or_else(|e| {
+                                    // Only this closure locks, and it
+                                    // never panics while holding it.
+                                    e.into_inner()
+                                });
+                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                    *slot = Some((i, msg));
+                                }
+                                break;
+                            }
+                        }
                     }
                     local
                 })
@@ -50,6 +93,14 @@ where
             .collect()
     });
 
+    if failed.load(Ordering::Relaxed) != usize::MAX {
+        let (i, msg) = first_panic
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("a failed index implies a recorded panic");
+        panic!("par_map worker panicked on item {i}: {msg}");
+    }
+
     let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
     for part in parts.drain(..) {
         for (i, r) in part {
@@ -60,6 +111,15 @@ where
     out.into_iter()
         .map(|r| r.expect("every index was processed"))
         .collect()
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string())
 }
 
 #[cfg(test)]
@@ -80,6 +140,19 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[42], |&x| x + 1), vec![43]);
+    }
+
+    #[test]
+    #[should_panic(expected = "par_map worker panicked on item 37: boom at 37")]
+    fn worker_panic_reports_lowest_failing_index() {
+        let items: Vec<u64> = (0..256).collect();
+        // Items at and above 37 panic; the report must name the lowest.
+        par_map(&items, |&x| {
+            if x >= 37 {
+                panic!("boom at {x}");
+            }
+            x
+        });
     }
 
     #[test]

@@ -140,7 +140,7 @@ pub fn evaluate_scaled_with(
     let ss_ps = solve_with_cache(Strategy::ScheduleStretchPs, deadline_s, cfg, cache)?;
     let lamps_ps = solve_with_cache(Strategy::LampsPs, deadline_s, cfg, cache)?;
     let sf = limit_sf(scaled, deadline_s, cfg)?;
-    let mf = limit_mf(scaled, deadline_s, cfg);
+    let mf = limit_mf(scaled, deadline_s, cfg)?;
     Ok(GraphResult {
         ss: outcome(&ss),
         lamps: outcome(&lamps),

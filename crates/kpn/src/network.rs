@@ -37,6 +37,9 @@ pub enum KpnError {
     ZeroDelayCycle,
     /// The network has no processes.
     Empty,
+    /// An unroll was requested with zero copies — there is nothing to
+    /// schedule.
+    ZeroCopies,
 }
 
 impl std::fmt::Display for KpnError {
@@ -50,6 +53,7 @@ impl std::fmt::Display for KpnError {
                 )
             }
             KpnError::Empty => write!(f, "network has no processes"),
+            KpnError::ZeroCopies => write!(f, "unroll requested with zero copies"),
         }
     }
 }

@@ -62,7 +62,9 @@ impl UnrolledKpn {
 /// ```
 pub fn unroll(net: &Network, cfg: &UnrollConfig) -> Result<UnrolledKpn, KpnError> {
     net.validate()?;
-    assert!(cfg.copies >= 1, "need at least one copy");
+    if cfg.copies == 0 {
+        return Err(KpnError::ZeroCopies);
+    }
     let n = net.len();
     let mut b =
         GraphBuilder::with_capacity(n * cfg.copies, (net.channels().len() + n) * cfg.copies);
@@ -184,6 +186,17 @@ mod tests {
         assert_eq!(u.graph.len(), 3);
         // Only T1→T2 (the delayed channel contributes nothing at j=0).
         assert_eq!(u.graph.edge_count(), 1);
+    }
+
+    #[test]
+    fn zero_copies_is_a_typed_error() {
+        let net = Network::fig1_example(10, 20, 30);
+        let cfg = UnrollConfig {
+            copies: 0,
+            first_deadline_cycles: 100,
+            period_cycles: 60,
+        };
+        assert_eq!(unroll(&net, &cfg).unwrap_err(), KpnError::ZeroCopies);
     }
 
     #[test]

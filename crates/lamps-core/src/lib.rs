@@ -37,6 +37,7 @@
 //! assert!(sol.makespan_s <= mpeg::GOP_DEADLINE_SECONDS);
 //! ```
 
+pub mod budget;
 pub mod cache;
 pub mod config;
 pub mod continuous;
@@ -49,6 +50,10 @@ pub mod report;
 pub mod solve;
 pub mod types;
 
+pub use budget::{
+    solve_with_budget, solve_with_budget_cache, BudgetedSolution, CancelToken, Completeness,
+    SolveBudget,
+};
 pub use config::SchedulerConfig;
 pub use solve::{solve, solve_with_cache};
 pub use types::{Solution, SolveError, Strategy};

@@ -70,15 +70,25 @@ pub fn limit_sf(
     })
 }
 
-/// LIMIT-MF: all work at the discrete critical level, deadline ignored.
-pub fn limit_mf(graph: &TaskGraph, deadline_s: f64, cfg: &SchedulerConfig) -> Limit {
+/// LIMIT-MF: all work at the discrete critical level. The deadline never
+/// changes the bound's energy, but it must still be a real deadline —
+/// non-finite or non-positive values are rejected rather than silently
+/// folded into `meets_deadline`.
+pub fn limit_mf(
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+) -> Result<Limit, SolveError> {
+    if !deadline_s.is_finite() || deadline_s <= 0.0 {
+        return Err(SolveError::BadDeadline(deadline_s));
+    }
     let crit = *cfg.levels.critical();
     let cpl_time = graph.critical_path_cycles() as f64 / crit.freq;
-    Limit {
+    Ok(Limit {
         energy_j: graph.total_work_cycles() as f64 * crit.energy_per_cycle,
         level: crit,
         meets_deadline: cpl_time <= deadline_s,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -109,7 +119,7 @@ mod tests {
             for factor in [1.5, 2.0, 4.0, 8.0] {
                 let d = factor * g.critical_path_cycles() as f64 / cfg().max_frequency();
                 let sf = limit_sf(&g, d, &cfg()).unwrap();
-                let mf = limit_mf(&g, d, &cfg());
+                let mf = limit_mf(&g, d, &cfg()).unwrap();
                 assert!(mf.energy_j <= sf.energy_j + 1e-12);
             }
         }
@@ -140,7 +150,7 @@ mod tests {
         let g = small_coarse_graph(1);
         let d = 8.0 * g.critical_path_cycles() as f64 / cfg().max_frequency();
         let sf = limit_sf(&g, d, &cfg()).unwrap();
-        let mf = limit_mf(&g, d, &cfg());
+        let mf = limit_mf(&g, d, &cfg()).unwrap();
         assert!((sf.energy_j - mf.energy_j).abs() < 1e-12);
         assert!((sf.level.vdd - 0.7).abs() < 1e-9, "critical level chosen");
     }
@@ -152,7 +162,7 @@ mod tests {
         let sf = limit_sf(&g, d, &cfg()).unwrap();
         let crit = cfg().levels.critical().freq;
         assert!(sf.level.freq > crit);
-        let mf = limit_mf(&g, d, &cfg());
+        let mf = limit_mf(&g, d, &cfg()).unwrap();
         assert!(!mf.meets_deadline || mf.energy_j <= sf.energy_j);
     }
 
@@ -162,7 +172,7 @@ mod tests {
         // Deadline exactly the CPL at f_max: the critical level (≈0.41
         // of f_max) cannot fit the critical path.
         let d = g.critical_path_cycles() as f64 / cfg().max_frequency();
-        let mf = limit_mf(&g, d, &cfg());
+        let mf = limit_mf(&g, d, &cfg()).unwrap();
         assert!(!mf.meets_deadline);
     }
 

@@ -64,8 +64,10 @@ pub fn render(
     .unwrap();
 
     // Bound context.
-    if let Ok(sf) = limit_sf(graph, deadline_s, cfg) {
-        let mf = limit_mf(graph, deadline_s, cfg);
+    if let (Ok(sf), Ok(mf)) = (
+        limit_sf(graph, deadline_s, cfg),
+        limit_mf(graph, deadline_s, cfg),
+    ) {
         writeln!(
             out,
             "bounds   : LIMIT-SF {:.4} J ({:+.1}% above), LIMIT-MF {:.4} J",

@@ -98,6 +98,14 @@ pub enum SolveError {
     BadDeadline(f64),
     /// The platform model rejected a computation.
     Power(PowerError),
+    /// A budgeted solve ran out of steps (or was cancelled) before any
+    /// feasible candidate was evaluated (see [`crate::solve_with_budget`]).
+    BudgetExhausted {
+        /// Candidate evaluations performed before the budget expired.
+        explored: u64,
+        /// Upper bound on the evaluations a complete search could take.
+        total: u64,
+    },
 }
 
 impl std::fmt::Display for SolveError {
@@ -112,6 +120,10 @@ impl std::fmt::Display for SolveError {
             ),
             SolveError::BadDeadline(d) => write!(f, "deadline {d} is not a positive finite time"),
             SolveError::Power(e) => write!(f, "power model error: {e}"),
+            SolveError::BudgetExhausted { explored, total } => write!(
+                f,
+                "solve budget exhausted after {explored} of ≤{total} candidate evaluations with no feasible solution yet"
+            ),
         }
     }
 }

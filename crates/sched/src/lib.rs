@@ -25,6 +25,7 @@ pub mod idle;
 pub mod insertion;
 pub mod list;
 pub mod metrics;
+pub mod partial;
 pub mod priorities;
 pub mod schedule;
 
@@ -33,5 +34,6 @@ pub use idle::{idle_intervals, IdleInterval, IdleSummary};
 pub use insertion::{insertion_edf_schedule, insertion_schedule};
 pub use list::{edf_schedule, list_schedule, list_schedule_with, ListScheduleWorkspace};
 pub use metrics::{metrics, ScheduleMetrics};
+pub use partial::{reschedule_remaining, PartialSchedule, ProcAvailability};
 pub use priorities::PriorityPolicy;
 pub use schedule::{ProcId, Schedule, ScheduleError};

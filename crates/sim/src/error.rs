@@ -1,0 +1,82 @@
+//! Typed errors for the simulation entry points.
+
+use lamps_sched::ProcId;
+use lamps_taskgraph::TaskId;
+
+/// Why a simulation request was rejected before any event ran.
+///
+/// Every rejection is a property of the *inputs*; once a run starts it
+/// always completes with a report (the runtime never panics on injected
+/// faults).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// `actual` does not have one entry per task.
+    WrongActualLength {
+        /// Tasks in the graph.
+        expected: usize,
+        /// Entries supplied.
+        got: usize,
+    },
+    /// An actual cycle count exceeds the task's WCET in an entry point
+    /// that forbids overruns (use a fault plan to inject them).
+    ActualExceedsWcet {
+        /// The offending task.
+        task: TaskId,
+        /// Supplied actual cycles.
+        actual: u64,
+        /// The task's WCET.
+        wcet: u64,
+    },
+    /// The deadline is non-finite or not positive.
+    BadDeadline(f64),
+    /// The fault plan is malformed (non-finite factor, factor below 1,
+    /// processor out of range, negative or non-finite fault time…).
+    BadFaultPlan(String),
+    /// The solution's schedule does not cover this graph.
+    SolutionMismatch {
+        /// Tasks in the solution's schedule.
+        schedule_tasks: usize,
+        /// Tasks in the graph.
+        graph_tasks: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::WrongActualLength { expected, got } => {
+                write!(f, "expected {expected} actual cycle counts, got {got}")
+            }
+            SimError::ActualExceedsWcet { task, actual, wcet } => {
+                write!(f, "{task}: actual {actual} exceeds WCET {wcet}")
+            }
+            SimError::BadDeadline(d) => write!(f, "deadline {d} must be finite and positive"),
+            SimError::BadFaultPlan(why) => write!(f, "bad fault plan: {why}"),
+            SimError::SolutionMismatch {
+                schedule_tasks,
+                graph_tasks,
+            } => write!(
+                f,
+                "solution schedules {schedule_tasks} tasks, graph has {graph_tasks}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience constructor used across the fault modules.
+pub(crate) fn bad_plan(why: impl Into<String>) -> SimError {
+    SimError::BadFaultPlan(why.into())
+}
+
+/// Reject a processor id outside `0..n_procs`.
+pub(crate) fn check_proc(proc: ProcId, n_procs: usize) -> Result<(), SimError> {
+    if proc.index() >= n_procs {
+        Err(bad_plan(format!(
+            "{proc} out of range for {n_procs} processors"
+        )))
+    } else {
+        Ok(())
+    }
+}

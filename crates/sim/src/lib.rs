@@ -23,9 +23,20 @@
 //! per-task level, idle gaps at idle power or asleep when the interval
 //! beats the §3.4 break-even, up to the deadline horizon.
 
+pub mod error;
+pub mod faults;
+pub mod recovery;
 pub mod runner;
 pub mod workload;
 
+pub use error::SimError;
+pub use faults::{
+    DvsFault, DvsFaultKind, FailStop, FaultIntensity, FaultPlan, InjectedEvent, Overrun,
+};
+pub use recovery::{
+    run_with_faults, ExecRecord, FaultyRunReport, RecoveryAction, RecoveryPolicy, RunOutcome,
+    TaskLateness,
+};
 pub use runner::{
     simulate, simulate_with_costs, simulate_with_overruns, DvsSwitchCost, Policy, SimReport,
     SimTask,

@@ -1,0 +1,1069 @@
+//! The fault-tolerant discrete-event runner.
+//!
+//! [`run_with_faults`] executes a static [`lamps_core::Solution`]
+//! against a [`FaultPlan`] and *always* comes back with a
+//! [`FaultyRunReport`]: an energy-billed trace of what actually
+//! happened, every injected fault that fired, every recovery action
+//! taken, and either a met deadline or a structured
+//! [`RunOutcome::DeadlineMiss`] with per-task lateness. Malformed
+//! *inputs* are rejected up front with a typed [`SimError`]; once the
+//! run starts, no fault combination panics.
+//!
+//! The recovery escalation ladder, bottom rung first:
+//!
+//! 1. **Slack absorption** (both policies): starts float — an overrun
+//!    delays successors, and downstream slack soaks it up if it can.
+//! 2. **Frequency boost** ([`RecoveryPolicy::Boost`] only): a task
+//!    whose window to its planned finish has shrunk runs at the lowest
+//!    level that still fits the window (never below its base level);
+//!    with the window destroyed it runs at the fastest level.
+//! 3. **Structured miss**: when physics wins anyway, the report carries
+//!    per-task lateness instead of a panic or a silent flag.
+//!
+//! On a processor fail-stop (either policy), the victim's work — its
+//! running task re-runs from scratch; fail-stop loses state — migrates:
+//! the pending remainder of the graph is re-list-scheduled on the
+//! survivors via [`lamps_sched::reschedule_remaining`]. Under
+//! [`RecoveryPolicy::Boost`] the re-plan also picks a new *base* level:
+//! the lowest level (at or above the plan's) whose re-planned makespan
+//! still meets the deadline, or the fastest when none does. The re-plan
+//! sees only what a runtime could see — WCET-based finish estimates for
+//! in-flight tasks, never a not-yet-observed overrun.
+//!
+//! Billing conventions match [`crate::runner::simulate_with_costs`]:
+//! executed cycles at the level they ran at, idle gaps at the *plan*
+//! level's idle power (slept through past break-even), switch energy
+//! into the transition bucket. A dead processor is billed only up to
+//! its fail time; survivors are billed to `max(deadline, makespan)`.
+
+use crate::error::SimError;
+use crate::faults::{DvsFaultKind, FaultPlan, InjectedEvent};
+use crate::runner::{account_idle, DvsSwitchCost};
+use lamps_core::{SchedulerConfig, Solution};
+use lamps_energy::EnergyBreakdown;
+use lamps_power::OperatingPoint;
+use lamps_sched::partial::{reschedule_remaining, ProcAvailability};
+use lamps_sched::{latest_finish_times, ProcId, Schedule};
+use lamps_taskgraph::{TaskGraph, TaskId};
+use std::collections::VecDeque;
+
+/// How the runtime reacts to faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// Bottom rung only: let slack absorb overruns; migrate on
+    /// fail-stop but never change frequency.
+    Absorb,
+    /// Full ladder: absorb, then boost frequency per task when the
+    /// window shrinks; on fail-stop, re-plan and raise the base level
+    /// to the lowest that still fits the deadline.
+    Boost,
+}
+
+/// One task execution (or partial execution) that actually happened.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecRecord {
+    /// The task.
+    pub task: TaskId,
+    /// The processor it ran on.
+    pub proc: ProcId,
+    /// When execution began (after any switch settle) \[s\].
+    pub start_s: f64,
+    /// When it finished — or was cut off by a fail-stop \[s\].
+    pub finish_s: f64,
+    /// Supply voltage it ran at \[V\].
+    pub vdd: f64,
+    /// Cycles it executed (the effective count, or the partial count
+    /// for an aborted execution).
+    pub cycles: u64,
+}
+
+/// A recovery the runtime performed, in trace order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RecoveryAction {
+    /// The pending remainder was re-list-scheduled on the survivors.
+    Rescheduled {
+        /// The processor whose failure triggered it.
+        failed_proc: ProcId,
+        /// When \[s\].
+        at_s: f64,
+        /// Pending tasks that changed processor relative to the static
+        /// plan.
+        migrated: usize,
+    },
+    /// The base level was raised because re-planned slack had
+    /// evaporated.
+    BaseLevelRaised {
+        /// Previous base supply voltage \[V\].
+        from_vdd: f64,
+        /// New base supply voltage \[V\].
+        to_vdd: f64,
+    },
+    /// A single task ran above its base level to defend its window.
+    TaskBoosted {
+        /// The boosted task.
+        task: TaskId,
+        /// Base supply voltage it would otherwise run at \[V\].
+        from_vdd: f64,
+        /// Voltage it actually ran at \[V\].
+        to_vdd: f64,
+    },
+}
+
+/// A task that finished after the deadline (or never finished).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskLateness {
+    /// The late task.
+    pub task: TaskId,
+    /// Seconds past the deadline; `f64::INFINITY` if the task could
+    /// not run at all (no surviving processor).
+    pub lateness_s: f64,
+}
+
+/// Did the run meet its deadline?
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunOutcome {
+    /// Every task finished by the deadline.
+    MetDeadline,
+    /// At least one task finished late (or never ran).
+    DeadlineMiss {
+        /// Every late task with its lateness, ascending by task id.
+        lateness: Vec<TaskLateness>,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the deadline was met.
+    pub fn met(&self) -> bool {
+        matches!(self, RunOutcome::MetDeadline)
+    }
+}
+
+/// The full account of a faulty run.
+#[derive(Debug, Clone)]
+pub struct FaultyRunReport {
+    /// Energy actually consumed.
+    pub energy: EnergyBreakdown,
+    /// Completion of the last *finished* task \[s\].
+    pub makespan_s: f64,
+    /// Deadline verdict.
+    pub outcome: RunOutcome,
+    /// Faults that actually fired, in trace order.
+    pub injected: Vec<InjectedEvent>,
+    /// Recovery actions taken, in trace order.
+    pub recoveries: Vec<RecoveryAction>,
+    /// Completed execution per task (`None` if it never completed).
+    pub tasks: Vec<Option<ExecRecord>>,
+    /// Partial executions lost to the fail-stop.
+    pub aborted: Vec<ExecRecord>,
+    /// Runtime level switches taken.
+    pub dvs_switches: usize,
+}
+
+impl FaultyRunReport {
+    /// Total energy \[J\].
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total()
+    }
+}
+
+struct InFlight {
+    task: TaskId,
+    exec_start_s: f64,
+    finish_s: f64,
+    /// The runtime's WCET-based finish estimate (it cannot see an
+    /// overrun in advance) — what re-planning believes.
+    expected_finish_s: f64,
+    level: OperatingPoint,
+    cycles: u64,
+}
+
+struct ProcState {
+    queue: VecDeque<TaskId>,
+    running: Option<InFlight>,
+    current: OperatingPoint,
+    dead: bool,
+    stuck: bool,
+    extra_latency_s: f64,
+}
+
+/// Execute `solution` under `faults`, recovering per `policy`. See the
+/// module docs for the fault model and the escalation ladder.
+///
+/// `actual` are the fault-free cycle counts (≤ WCET, e.g. from
+/// [`crate::workload::actual_cycles`]); the plan's overruns replace
+/// them per task. Never panics on any input this function accepts.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_faults(
+    graph: &TaskGraph,
+    solution: &Solution,
+    actual: &[u64],
+    faults: &FaultPlan,
+    deadline_s: f64,
+    policy: RecoveryPolicy,
+    cfg: &SchedulerConfig,
+    switch: &DvsSwitchCost,
+) -> Result<FaultyRunReport, SimError> {
+    let n = graph.len();
+    let n_procs = solution.schedule.n_procs();
+    if actual.len() != n {
+        return Err(SimError::WrongActualLength {
+            expected: n,
+            got: actual.len(),
+        });
+    }
+    if solution.schedule.len() != n {
+        return Err(SimError::SolutionMismatch {
+            schedule_tasks: solution.schedule.len(),
+            graph_tasks: n,
+        });
+    }
+    if !deadline_s.is_finite() || deadline_s <= 0.0 {
+        return Err(SimError::BadDeadline(deadline_s));
+    }
+    for t in graph.tasks() {
+        if actual[t.index()] > graph.weight(t) {
+            return Err(SimError::ActualExceedsWcet {
+                task: t,
+                actual: actual[t.index()],
+                wcet: graph.weight(t),
+            });
+        }
+    }
+    faults.validate(graph, n_procs)?;
+
+    let eff = faults.effective_cycles(graph, actual);
+    let plan_level = solution.level;
+    let mut overrun_factor: Vec<Option<f64>> = vec![None; n];
+    for o in &faults.overruns {
+        overrun_factor[o.task.index()] = Some(o.factor);
+    }
+
+    let mut procs: Vec<ProcState> = (0..n_procs)
+        .map(|p| {
+            let pid = ProcId(p as u32);
+            let fault = faults.dvs.iter().find(|d| d.proc == pid);
+            ProcState {
+                queue: solution.schedule.tasks_on(pid).iter().copied().collect(),
+                running: None,
+                current: plan_level,
+                dead: false,
+                stuck: matches!(fault.map(|d| d.kind), Some(DvsFaultKind::StuckAtLevel)),
+                extra_latency_s: match fault.map(|d| d.kind) {
+                    Some(DvsFaultKind::ExtraLatency { extra_s }) => extra_s,
+                    _ => 0.0,
+                },
+            }
+        })
+        .collect();
+
+    let mut finished = vec![false; n];
+    let mut records: Vec<Option<ExecRecord>> = vec![None; n];
+    let mut aborted: Vec<ExecRecord> = Vec::new();
+    let mut injected: Vec<InjectedEvent> = Vec::new();
+    let mut recoveries: Vec<RecoveryAction> = Vec::new();
+    let mut energy = EnergyBreakdown::default();
+    let mut dvs_switches = 0usize;
+    let mut base_level = plan_level;
+    // Per-task window end for the boost rung: the statically planned
+    // finish, replaced by the re-planned finish after a fail-stop.
+    let mut target_finish_s: Vec<f64> = graph
+        .tasks()
+        .map(|t| solution.schedule.finish(t) as f64 / plan_level.freq)
+        .collect();
+
+    let mut fail_pending = faults.fail_stop;
+    let mut now = 0.0f64;
+    let mut n_finished = 0usize;
+
+    loop {
+        // Retire every running task whose finish has arrived.
+        for (pi, ps) in procs.iter_mut().enumerate() {
+            let due = matches!(&ps.running, Some(rf) if rf.finish_s <= now);
+            if due {
+                let rf = ps.running.take().expect("checked running");
+                finished[rf.task.index()] = true;
+                n_finished += 1;
+                energy.active_j += rf.cycles as f64 * rf.level.energy_per_cycle;
+                records[rf.task.index()] = Some(ExecRecord {
+                    task: rf.task,
+                    proc: ProcId(pi as u32),
+                    start_s: rf.exec_start_s,
+                    finish_s: rf.finish_s,
+                    vdd: rf.level.vdd,
+                    cycles: rf.cycles,
+                });
+            }
+        }
+
+        // Fire the fail-stop once its time has come.
+        if let Some(fs) = fail_pending {
+            if fs.at_s <= now {
+                fail_pending = None;
+                injected.push(InjectedEvent::ProcFailed {
+                    proc: fs.proc,
+                    at_s: fs.at_s,
+                });
+                let fp = fs.proc.index();
+                procs[fp].dead = true;
+                if let Some(rf) = procs[fp].running.take() {
+                    // Fail-stop loses state: bill the partial execution,
+                    // re-run the task from scratch elsewhere.
+                    let ran_s = (fs.at_s - rf.exec_start_s).max(0.0);
+                    let cycles_done = ((ran_s * rf.level.freq).floor() as u64).min(rf.cycles);
+                    energy.active_j += cycles_done as f64 * rf.level.energy_per_cycle;
+                    aborted.push(ExecRecord {
+                        task: rf.task,
+                        proc: fs.proc,
+                        start_s: rf.exec_start_s,
+                        finish_s: fs.at_s,
+                        vdd: rf.level.vdd,
+                        cycles: cycles_done,
+                    });
+                }
+
+                let running_est: Vec<Option<(TaskId, f64)>> = procs
+                    .iter()
+                    .map(|p| {
+                        p.running
+                            .as_ref()
+                            .map(|rf| (rf.task, rf.expected_finish_s.max(now)))
+                    })
+                    .collect();
+                let dead: Vec<bool> = procs.iter().map(|p| p.dead).collect();
+                if let Some(rp) = replan(
+                    graph,
+                    &finished,
+                    &records,
+                    &running_est,
+                    &dead,
+                    now,
+                    deadline_s,
+                    policy,
+                    base_level,
+                    cfg,
+                    &solution.schedule,
+                ) {
+                    recoveries.push(RecoveryAction::Rescheduled {
+                        failed_proc: fs.proc,
+                        at_s: fs.at_s,
+                        migrated: rp.migrated,
+                    });
+                    if (rp.level.vdd - base_level.vdd).abs() > 1e-12 {
+                        recoveries.push(RecoveryAction::BaseLevelRaised {
+                            from_vdd: base_level.vdd,
+                            to_vdd: rp.level.vdd,
+                        });
+                        base_level = rp.level;
+                    }
+                    for (pi, q) in rp.queues.into_iter().enumerate() {
+                        procs[pi].queue = q.into();
+                    }
+                    for t in graph.tasks() {
+                        if let Some(tf) = rp.target_finish_s[t.index()] {
+                            target_finish_s[t.index()] = tf;
+                        }
+                    }
+                } else {
+                    // No survivor (or nothing pending): strand the dead
+                    // processor's queue; the loop below winds down.
+                    procs[fp].queue.clear();
+                }
+            }
+        }
+
+        // Dispatch: start every queue head whose predecessors are done,
+        // repeating because zero-weight tasks complete instantly.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (pi, ps) in procs.iter_mut().enumerate() {
+                if ps.dead || ps.running.is_some() {
+                    continue;
+                }
+                let Some(&t) = ps.queue.front() else {
+                    continue;
+                };
+                if graph.predecessors(t).iter().any(|&q| !finished[q.index()]) {
+                    continue;
+                }
+                ps.queue.pop_front();
+                progress = true;
+                let w = graph.weight(t);
+                if w == 0 {
+                    finished[t.index()] = true;
+                    n_finished += 1;
+                    records[t.index()] = Some(ExecRecord {
+                        task: t,
+                        proc: ProcId(pi as u32),
+                        start_s: now,
+                        finish_s: now,
+                        vdd: ps.current.vdd,
+                        cycles: 0,
+                    });
+                    continue;
+                }
+
+                // Rung 2 — frequency choice.
+                let level = match policy {
+                    RecoveryPolicy::Absorb => base_level,
+                    RecoveryPolicy::Boost => {
+                        let window = target_finish_s[t.index()] - now;
+                        let pick = |window: f64| -> OperatingPoint {
+                            if window <= 0.0 {
+                                return *cfg.levels.fastest();
+                            }
+                            let required = w as f64 / window * (1.0 - 1e-9);
+                            let c = cfg
+                                .levels
+                                .lowest_at_least(required)
+                                .copied()
+                                .unwrap_or_else(|| *cfg.levels.fastest());
+                            if c.freq < base_level.freq {
+                                base_level
+                            } else {
+                                c
+                            }
+                        };
+                        let wants = pick(window);
+                        // A level change costs settle time; re-check the
+                        // shrunk window, but never *below* the latency-free
+                        // choice (avoids flip-flopping on zero slack).
+                        if (wants.vdd - ps.current.vdd).abs() > 1e-12 {
+                            let shrunk = pick(window - switch.latency_s - ps.extra_latency_s);
+                            if shrunk.freq > wants.freq {
+                                shrunk
+                            } else {
+                                wants
+                            }
+                        } else {
+                            wants
+                        }
+                    }
+                };
+                // A stuck regulator ignores the request.
+                let level = if (level.vdd - ps.current.vdd).abs() > 1e-12 && ps.stuck {
+                    injected.push(InjectedEvent::DvsStuck {
+                        proc: ProcId(pi as u32),
+                        requested_vdd: level.vdd,
+                    });
+                    ps.current
+                } else {
+                    level
+                };
+                if level.freq > base_level.freq + 1e-6 {
+                    recoveries.push(RecoveryAction::TaskBoosted {
+                        task: t,
+                        from_vdd: base_level.vdd,
+                        to_vdd: level.vdd,
+                    });
+                }
+
+                let mut exec_start = now;
+                if (level.vdd - ps.current.vdd).abs() > 1e-12 {
+                    dvs_switches += 1;
+                    energy.transition_j += switch.energy_j;
+                    let mut lat = switch.latency_s;
+                    if ps.extra_latency_s > 0.0 {
+                        lat += ps.extra_latency_s;
+                        injected.push(InjectedEvent::DvsDelayed {
+                            proc: ProcId(pi as u32),
+                            extra_s: ps.extra_latency_s,
+                        });
+                    }
+                    exec_start += lat;
+                    ps.current = level;
+                }
+                let cycles = eff[t.index()];
+                if cycles > w {
+                    injected.push(InjectedEvent::Overrun {
+                        task: t,
+                        factor: overrun_factor[t.index()].unwrap_or(1.0),
+                        cycles,
+                    });
+                }
+                ps.running = Some(InFlight {
+                    task: t,
+                    exec_start_s: exec_start,
+                    finish_s: exec_start + cycles as f64 / level.freq,
+                    expected_finish_s: exec_start + w as f64 / level.freq,
+                    level,
+                    cycles,
+                });
+            }
+        }
+
+        if n_finished == n {
+            break;
+        }
+
+        // Advance to the next event: a finish or the pending fail-stop.
+        let mut next = f64::INFINITY;
+        for p in &procs {
+            if let Some(rf) = &p.running {
+                next = next.min(rf.finish_s);
+            }
+        }
+        if let Some(fs) = fail_pending {
+            if next.is_finite() {
+                next = next.min(fs.at_s.max(now));
+            }
+        }
+        if !next.is_finite() {
+            // Nothing can ever run again (no surviving processor with
+            // dispatchable work): wind down with unfinished tasks.
+            break;
+        }
+        now = next;
+    }
+
+    // Bill idle/sleep per processor: gaps between executions at the
+    // plan level, to the fail time for dead processors and to
+    // max(deadline, makespan) for survivors.
+    let makespan_s = records
+        .iter()
+        .flatten()
+        .map(|r| r.finish_s)
+        .fold(0.0, f64::max);
+    let horizon_s = deadline_s.max(makespan_s);
+    for pi in 0..n_procs {
+        let pid = ProcId(pi as u32);
+        let mut intervals: Vec<(f64, f64)> = records
+            .iter()
+            .flatten()
+            .chain(aborted.iter())
+            .filter(|r| r.proc == pid)
+            .map(|r| (r.start_s, r.finish_s))
+            .collect();
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let end = match faults.fail_stop {
+            Some(fs) if fs.proc == pid => fs.at_s.min(horizon_s),
+            _ => horizon_s,
+        };
+        let mut cursor = 0.0f64;
+        for (s, f) in intervals {
+            account_idle(s - cursor, plan_level, cfg, &mut energy);
+            cursor = cursor.max(f);
+        }
+        account_idle(end - cursor, plan_level, cfg, &mut energy);
+    }
+
+    let tol = deadline_s * (1.0 + 1e-9);
+    let mut lateness = Vec::new();
+    for t in graph.tasks() {
+        match &records[t.index()] {
+            Some(r) if r.finish_s > tol => lateness.push(TaskLateness {
+                task: t,
+                lateness_s: r.finish_s - deadline_s,
+            }),
+            None => lateness.push(TaskLateness {
+                task: t,
+                lateness_s: f64::INFINITY,
+            }),
+            _ => {}
+        }
+    }
+    let outcome = if lateness.is_empty() {
+        RunOutcome::MetDeadline
+    } else {
+        RunOutcome::DeadlineMiss { lateness }
+    };
+
+    Ok(FaultyRunReport {
+        energy,
+        makespan_s,
+        outcome,
+        injected,
+        recoveries,
+        tasks: records,
+        aborted,
+        dvs_switches,
+    })
+}
+
+struct Replan {
+    level: OperatingPoint,
+    queues: Vec<Vec<TaskId>>,
+    /// `Some(new window end)` for every pending task.
+    target_finish_s: Vec<Option<f64>>,
+    migrated: usize,
+}
+
+/// Re-list-schedule the pending remainder on the survivors, in the
+/// cycle domain of each candidate level, picking the lowest level whose
+/// re-planned makespan meets the deadline (the fastest if none does).
+/// Returns `None` when nothing is pending or no processor survives.
+#[allow(clippy::too_many_arguments)]
+fn replan(
+    graph: &TaskGraph,
+    finished: &[bool],
+    records: &[Option<ExecRecord>],
+    running_est: &[Option<(TaskId, f64)>],
+    dead: &[bool],
+    now: f64,
+    deadline_s: f64,
+    policy: RecoveryPolicy,
+    base_level: OperatingPoint,
+    cfg: &SchedulerConfig,
+    static_schedule: &Schedule,
+) -> Option<Replan> {
+    let n = graph.len();
+    let n_procs = dead.len();
+    let mut done = finished.to_vec();
+    for est in running_est.iter().flatten() {
+        done[est.0.index()] = true;
+    }
+    if done.iter().all(|&d| d) || dead.iter().all(|&d| d) {
+        return None;
+    }
+
+    let candidates: Vec<OperatingPoint> = match policy {
+        RecoveryPolicy::Absorb => vec![base_level],
+        RecoveryPolicy::Boost => cfg.levels.at_least(base_level.freq).copied().collect(),
+    };
+    let mut best = None;
+    for lvl in &candidates {
+        let f = lvl.freq;
+        let to_cycles = |s: f64| -> u64 { (s * f).ceil().max(0.0) as u64 };
+        let mut finish_done = vec![0u64; n];
+        for t in graph.tasks() {
+            if finished[t.index()] {
+                let r = records[t.index()]
+                    .as_ref()
+                    .expect("finished tasks recorded");
+                finish_done[t.index()] = to_cycles(r.finish_s);
+            }
+        }
+        let mut avail = vec![ProcAvailability::Failed; n_procs];
+        for (p, is_dead) in dead.iter().enumerate() {
+            if *is_dead {
+                continue;
+            }
+            avail[p] = match running_est[p] {
+                Some((t, est)) => {
+                    finish_done[t.index()] = to_cycles(est);
+                    ProcAvailability::FreeAt(to_cycles(est))
+                }
+                None => ProcAvailability::FreeAt(to_cycles(now)),
+            };
+        }
+        let keys = latest_finish_times(graph, (deadline_s * f).floor() as u64);
+        let ps = reschedule_remaining(graph, &done, &finish_done, &avail, &keys);
+        let makespan_s = ps.makespan_cycles() as f64 / f;
+        let feasible = makespan_s <= deadline_s * (1.0 + 1e-9);
+        best = Some((*lvl, ps));
+        if feasible {
+            break;
+        }
+    }
+    let (level, ps) = best.expect("at least one candidate level");
+
+    let mut queues: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];
+    let mut target_finish_s = vec![None; n];
+    let mut migrated = 0usize;
+    for (p, q) in queues.iter_mut().enumerate() {
+        for &t in ps.tasks_on(ProcId(p as u32)) {
+            q.push(t);
+            if static_schedule.proc(t) != ProcId(p as u32) {
+                migrated += 1;
+            }
+        }
+    }
+    for t in graph.tasks() {
+        if !done[t.index()] {
+            target_finish_s[t.index()] = Some(ps.finish(t) as f64 / level.freq);
+        }
+    }
+    Some(Replan {
+        level,
+        queues,
+        target_finish_s,
+        migrated,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{DvsFault, FailStop, FaultIntensity, Overrun};
+    use crate::runner::{simulate, Policy};
+    use crate::workload::actual_cycles;
+    use lamps_core::{solve, Strategy};
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+    use lamps_taskgraph::GraphBuilder;
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::paper()
+    }
+
+    fn coarse_graph(seed: u64) -> TaskGraph {
+        generate(
+            &LayeredConfig {
+                n_tasks: 40,
+                n_layers: 8,
+                ..LayeredConfig::default()
+            },
+            seed,
+        )
+        .scale_weights(3_100_000)
+    }
+
+    fn solved(graph: &TaskGraph, factor: f64) -> (Solution, f64) {
+        let cfg = cfg();
+        let d = factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
+        (solve(Strategy::LampsPs, graph, d, &cfg).unwrap(), d)
+    }
+
+    fn chain(len: usize, w: u64) -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let ids: Vec<_> = (0..len).map(|_| b.add_task(w)).collect();
+        for e in ids.windows(2) {
+            b.add_edge(e[0], e[1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn no_faults_matches_plain_simulation() {
+        let g = coarse_graph(1);
+        let (sol, d) = solved(&g, 2.0);
+        let actual = actual_cycles(&g, 0.6, 0.9, 7);
+        let plain = simulate(&g, &sol, &actual, d, Policy::Static, &cfg());
+        for policy in [RecoveryPolicy::Absorb, RecoveryPolicy::Boost] {
+            let r = run_with_faults(
+                &g,
+                &sol,
+                &actual,
+                &FaultPlan::none(),
+                d,
+                policy,
+                &cfg(),
+                &DvsSwitchCost::free(),
+            )
+            .unwrap();
+            assert!(r.outcome.met(), "{policy:?}");
+            assert!(r.injected.is_empty() && r.recoveries.is_empty());
+            assert_eq!(r.dvs_switches, 0, "{policy:?} must not switch unfaulted");
+            assert!(
+                (r.total_energy() - plain.total_energy()).abs() <= plain.total_energy() * 1e-9,
+                "{policy:?}: {} vs {}",
+                r.total_energy(),
+                plain.total_energy()
+            );
+            assert!((r.makespan_s - plain.makespan_s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fail_stop_migrates_and_completes() {
+        let g = coarse_graph(2);
+        let (sol, d) = solved(&g, 3.0);
+        assert!(sol.n_procs >= 2, "need a multiprocessor plan");
+        let fs = FailStop {
+            proc: ProcId(0),
+            at_s: sol.makespan_s * 0.3,
+        };
+        let plan = FaultPlan {
+            fail_stop: Some(fs),
+            ..FaultPlan::none()
+        };
+        for policy in [RecoveryPolicy::Absorb, RecoveryPolicy::Boost] {
+            let r = run_with_faults(
+                &g,
+                &sol,
+                g.weights(),
+                &plan,
+                d,
+                policy,
+                &cfg(),
+                &DvsSwitchCost::free(),
+            )
+            .unwrap();
+            assert!(
+                r.tasks.iter().all(|t| t.is_some()),
+                "{policy:?}: every task must complete on the survivors"
+            );
+            assert!(r
+                .injected
+                .iter()
+                .any(|e| matches!(e, InjectedEvent::ProcFailed { proc, .. } if *proc == fs.proc)));
+            assert!(r
+                .recoveries
+                .iter()
+                .any(|a| matches!(a, RecoveryAction::Rescheduled { .. })));
+            // Nothing executes on the dead processor after the failure.
+            for rec in r.tasks.iter().flatten() {
+                if rec.proc == fs.proc {
+                    assert!(
+                        rec.finish_s <= fs.at_s + 1e-12,
+                        "{policy:?}: {} ran on the dead processor",
+                        rec.task
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn boost_escalates_on_destroyed_window() {
+        // Chain of two equal tasks, tight-ish deadline, huge overrun on
+        // the first: Boost must run the second above the plan level,
+        // Absorb must not.
+        let g = chain(2, 31_000_000);
+        let (sol, d) = solved(&g, 1.4);
+        assert!(sol.level.freq < cfg().levels.fastest().freq);
+        let plan = FaultPlan {
+            overruns: vec![Overrun {
+                task: TaskId(0),
+                factor: 1.3,
+            }],
+            ..FaultPlan::none()
+        };
+        let absorb = run_with_faults(
+            &g,
+            &sol,
+            g.weights(),
+            &plan,
+            d,
+            RecoveryPolicy::Absorb,
+            &cfg(),
+            &DvsSwitchCost::free(),
+        )
+        .unwrap();
+        let boost = run_with_faults(
+            &g,
+            &sol,
+            g.weights(),
+            &plan,
+            d,
+            RecoveryPolicy::Boost,
+            &cfg(),
+            &DvsSwitchCost::free(),
+        )
+        .unwrap();
+        let a1 = absorb.tasks[1].unwrap();
+        let b1 = boost.tasks[1].unwrap();
+        assert_eq!(a1.vdd, sol.level.vdd, "Absorb never changes level");
+        assert!(b1.vdd > sol.level.vdd, "Boost must escalate");
+        assert!(boost
+            .recoveries
+            .iter()
+            .any(|a| matches!(a, RecoveryAction::TaskBoosted { task, .. } if *task == TaskId(1))));
+        assert!(boost.makespan_s < absorb.makespan_s);
+    }
+
+    #[test]
+    fn lone_processor_failure_reports_infinite_lateness() {
+        let g = chain(4, 3_100_000);
+        let (sol, d) = solved(&g, 1.5);
+        assert_eq!(sol.n_procs, 1, "a chain needs one processor");
+        let plan = FaultPlan {
+            fail_stop: Some(FailStop {
+                proc: ProcId(0),
+                at_s: sol.makespan_s * 0.5,
+            }),
+            ..FaultPlan::none()
+        };
+        let r = run_with_faults(
+            &g,
+            &sol,
+            g.weights(),
+            &plan,
+            d,
+            RecoveryPolicy::Boost,
+            &cfg(),
+            &DvsSwitchCost::free(),
+        )
+        .unwrap();
+        let RunOutcome::DeadlineMiss { lateness } = &r.outcome else {
+            panic!("must miss with the only processor dead");
+        };
+        assert!(lateness.iter().any(|l| l.lateness_s.is_infinite()));
+        assert!(r.tasks.iter().any(|t| t.is_none()));
+        assert!(r.total_energy().is_finite());
+    }
+
+    #[test]
+    fn stuck_regulator_suppresses_boost() {
+        let g = chain(2, 31_000_000);
+        let (sol, d) = solved(&g, 1.4);
+        let plan = FaultPlan {
+            overruns: vec![Overrun {
+                task: TaskId(0),
+                factor: 1.3,
+            }],
+            dvs: vec![DvsFault {
+                proc: sol.schedule.proc(TaskId(1)),
+                kind: DvsFaultKind::StuckAtLevel,
+            }],
+            ..FaultPlan::none()
+        };
+        let r = run_with_faults(
+            &g,
+            &sol,
+            g.weights(),
+            &plan,
+            d,
+            RecoveryPolicy::Boost,
+            &cfg(),
+            &DvsSwitchCost::free(),
+        )
+        .unwrap();
+        assert!(r
+            .injected
+            .iter()
+            .any(|e| matches!(e, InjectedEvent::DvsStuck { .. })));
+        // Pinned at the plan level despite the boost request.
+        assert_eq!(r.tasks[1].unwrap().vdd, sol.level.vdd);
+        assert_eq!(r.dvs_switches, 0);
+    }
+
+    #[test]
+    fn delayed_regulator_records_and_charges() {
+        let g = chain(2, 31_000_000);
+        let (sol, d) = solved(&g, 1.4);
+        let extra = 5.0e-4;
+        let victim = sol.schedule.proc(TaskId(1));
+        let plan = FaultPlan {
+            overruns: vec![Overrun {
+                task: TaskId(0),
+                factor: 1.3,
+            }],
+            dvs: vec![DvsFault {
+                proc: victim,
+                kind: DvsFaultKind::ExtraLatency { extra_s: extra },
+            }],
+            ..FaultPlan::none()
+        };
+        let r = run_with_faults(
+            &g,
+            &sol,
+            g.weights(),
+            &plan,
+            d,
+            RecoveryPolicy::Boost,
+            &cfg(),
+            &DvsSwitchCost::typical(),
+        )
+        .unwrap();
+        assert!(r
+            .injected
+            .iter()
+            .any(|e| matches!(e, InjectedEvent::DvsDelayed { proc, .. } if *proc == victim)));
+        assert!(r.dvs_switches > 0);
+    }
+
+    #[test]
+    fn chaos_invariant_never_panics_and_always_reports() {
+        // Random fault plans across intensities: the runner must always
+        // return a coherent report — finite energy, every finished task
+        // recorded, every miss structured.
+        let cfg = cfg();
+        for seed in 0..30u64 {
+            let g = coarse_graph(seed % 5 + 10);
+            let (sol, d) = solved(&g, 1.6);
+            let intensity = match seed % 3 {
+                0 => FaultIntensity::mild(),
+                1 => FaultIntensity::moderate(),
+                _ => FaultIntensity::severe(),
+            };
+            let plan = FaultPlan::random(&g, sol.n_procs, d, &intensity, seed);
+            let actual = actual_cycles(&g, 0.5, 0.9, seed);
+            for policy in [RecoveryPolicy::Absorb, RecoveryPolicy::Boost] {
+                let r = run_with_faults(
+                    &g,
+                    &sol,
+                    &actual,
+                    &plan,
+                    d,
+                    policy,
+                    &cfg,
+                    &DvsSwitchCost::typical(),
+                )
+                .unwrap();
+                assert!(r.total_energy().is_finite() && r.total_energy() > 0.0);
+                match &r.outcome {
+                    RunOutcome::MetDeadline => {
+                        assert!(r.tasks.iter().all(|t| t.is_some()));
+                        assert!(r.makespan_s <= d * (1.0 + 1e-9));
+                    }
+                    RunOutcome::DeadlineMiss { lateness } => {
+                        assert!(!lateness.is_empty());
+                        for l in lateness {
+                            assert!(l.lateness_s > 0.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let g = coarse_graph(3);
+        let (sol, d) = solved(&g, 1.8);
+        let plan = FaultPlan::random(&g, sol.n_procs, d, &FaultIntensity::severe(), 99);
+        let actual = actual_cycles(&g, 0.5, 0.9, 3);
+        let run = || {
+            run_with_faults(
+                &g,
+                &sol,
+                &actual,
+                &plan,
+                d,
+                RecoveryPolicy::Boost,
+                &cfg(),
+                &DvsSwitchCost::typical(),
+            )
+            .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a.total_energy().to_bits(), b.total_energy().to_bits());
+        assert_eq!(a.tasks, b.tasks);
+        assert_eq!(a.injected, b.injected);
+        assert_eq!(a.recoveries, b.recoveries);
+    }
+
+    #[test]
+    fn bad_inputs_rejected_with_typed_errors() {
+        let g = coarse_graph(4);
+        let (sol, d) = solved(&g, 2.0);
+        let ok = g.weights().to_vec();
+        let run = |actual: &[u64], plan: &FaultPlan, dl: f64| {
+            run_with_faults(
+                &g,
+                &sol,
+                actual,
+                plan,
+                dl,
+                RecoveryPolicy::Absorb,
+                &cfg(),
+                &DvsSwitchCost::free(),
+            )
+        };
+        assert!(matches!(
+            run(&ok[1..], &FaultPlan::none(), d),
+            Err(SimError::WrongActualLength { .. })
+        ));
+        let mut over = ok.clone();
+        over[0] += 1;
+        assert!(matches!(
+            run(&over, &FaultPlan::none(), d),
+            Err(SimError::ActualExceedsWcet { .. })
+        ));
+        assert!(matches!(
+            run(&ok, &FaultPlan::none(), f64::NAN),
+            Err(SimError::BadDeadline(_))
+        ));
+        let bad_plan = FaultPlan {
+            overruns: vec![Overrun {
+                task: TaskId(0),
+                factor: 0.0,
+            }],
+            ..FaultPlan::none()
+        };
+        assert!(matches!(
+            run(&ok, &bad_plan, d),
+            Err(SimError::BadFaultPlan(_))
+        ));
+    }
+}

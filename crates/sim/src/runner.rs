@@ -337,7 +337,7 @@ pub fn simulate_with_costs(
     }
 }
 
-fn account_idle(
+pub(crate) fn account_idle(
     duration_s: f64,
     level: OperatingPoint,
     cfg: &SchedulerConfig,

@@ -15,7 +15,17 @@
 //! weights 3100000 6200000 12400000
 //! edge 0 1
 //! edge 0 2
+//! fault_overrun 1 1.4
+//! fault_fail_stop 0 0.3
 //! ```
+//!
+//! The two optional `fault_*` keys make a case a *fault scenario*: the
+//! fuzzer then also executes the solved schedule under the implied
+//! [`lamps_sim::FaultPlan`] with both recovery policies and validates
+//! the resulting trace. `fault_overrun t f` multiplies task `t`'s
+//! execution by `f ≥ 1`; `fault_fail_stop p frac` kills processor
+//! `p mod n_procs` at `frac × deadline` (the processor count is only
+//! known once a solution exists, hence the modulus).
 
 use lamps_core::SchedulerConfig;
 use lamps_taskgraph::{GraphBuilder, GraphError, TaskGraph, TaskId};
@@ -33,6 +43,12 @@ pub struct Case {
     pub seed: u64,
     /// Free-form provenance tag (`dag`, `kpn`, `shrunk`, `corpus`, …).
     pub origin: String,
+    /// WCET overruns to inject: `(task index, factor ≥ 1)` pairs.
+    pub overruns: Vec<(u32, f64)>,
+    /// Fail-stop to inject: `(processor index, fraction of the
+    /// deadline)`. The index is reduced modulo the solution's processor
+    /// count at execution time.
+    pub fail_stop: Option<(u32, f64)>,
 }
 
 impl Case {
@@ -69,7 +85,18 @@ impl Case {
         for (f, t) in &self.edges {
             s.push_str(&format!("edge {f} {t}\n"));
         }
+        for (t, factor) in &self.overruns {
+            s.push_str(&format!("fault_overrun {t} {factor}\n"));
+        }
+        if let Some((p, frac)) = self.fail_stop {
+            s.push_str(&format!("fault_fail_stop {p} {frac}\n"));
+        }
         s
+    }
+
+    /// Whether this case injects any fault.
+    pub fn has_faults(&self) -> bool {
+        !self.overruns.is_empty() || self.fail_stop.is_some()
     }
 
     /// Parse the `.case` text format. Unknown keys are rejected so typos
@@ -81,6 +108,8 @@ impl Case {
             deadline_factor: 0.0,
             seed: 0,
             origin: String::from("corpus"),
+            overruns: Vec::new(),
+            fail_stop: None,
         };
         let mut saw_factor = false;
         for (ln, line) in text.lines().enumerate() {
@@ -123,6 +152,26 @@ impl Case {
                         _ => return Err(format!("line {}: bad edge", ln + 1)),
                     }
                 }
+                "fault_overrun" => {
+                    let t: Option<u32> = parts.next().and_then(|v| v.parse().ok());
+                    let factor: Option<f64> = parts.next().and_then(|v| v.parse().ok());
+                    match (t, factor) {
+                        (Some(t), Some(factor)) if factor.is_finite() && factor >= 1.0 => {
+                            case.overruns.push((t, factor))
+                        }
+                        _ => return Err(format!("line {}: bad fault_overrun", ln + 1)),
+                    }
+                }
+                "fault_fail_stop" => {
+                    let p: Option<u32> = parts.next().and_then(|v| v.parse().ok());
+                    let frac: Option<f64> = parts.next().and_then(|v| v.parse().ok());
+                    match (p, frac) {
+                        (Some(p), Some(frac)) if frac.is_finite() && frac >= 0.0 => {
+                            case.fail_stop = Some((p, frac))
+                        }
+                        _ => return Err(format!("line {}: bad fault_fail_stop", ln + 1)),
+                    }
+                }
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }
         }
@@ -147,6 +196,8 @@ mod tests {
             deadline_factor: 2.5,
             seed: 42,
             origin: "dag".to_string(),
+            overruns: Vec::new(),
+            fail_stop: None,
         }
     }
 
@@ -155,6 +206,27 @@ mod tests {
         let c = sample();
         let parsed = Case::parse(&c.serialize()).unwrap();
         assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn fault_scenario_roundtrips() {
+        let mut c = sample();
+        c.overruns = vec![(1, 1.4), (2, 2.0)];
+        c.fail_stop = Some((0, 0.3));
+        assert!(c.has_faults());
+        let parsed = Case::parse(&c.serialize()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn bad_fault_lines_rejected() {
+        let base = "deadline_factor 2\nweights 1 1\n";
+        assert!(Case::parse(&format!("{base}fault_overrun 0 0.5\n")).is_err());
+        assert!(Case::parse(&format!("{base}fault_overrun 0 nan\n")).is_err());
+        assert!(Case::parse(&format!("{base}fault_overrun 0\n")).is_err());
+        assert!(Case::parse(&format!("{base}fault_fail_stop 0 -0.1\n")).is_err());
+        assert!(Case::parse(&format!("{base}fault_fail_stop x 0.5\n")).is_err());
+        assert!(Case::parse(&format!("{base}fault_overrun 1 1.5\n")).is_ok());
     }
 
     #[test]

@@ -58,6 +58,8 @@ mod tests {
             deadline_factor: 2.0,
             seed: 99,
             origin: "shrunk-dag".to_string(),
+            overruns: Vec::new(),
+            fail_stop: None,
         };
         assert_eq!(corpus_file_name(&case), "shrunk-dag-seed99.case");
     }

@@ -13,7 +13,13 @@
 //! * the §4 dominance chain must hold across the four energies;
 //! * on tiny instances the exhaustive oracle proves no strategy beats
 //!   the optimum;
-//! * infeasible and degenerate deadlines must be rejected, not mis-solved.
+//! * infeasible and degenerate deadlines must be rejected, not mis-solved;
+//! * the fault dimension: the LAMPS+PS solution is executed under the
+//!   case's fault plan (random WCET overruns plus at most one
+//!   fail-stop) with both recovery policies — the fault-tolerant
+//!   runtime must never panic, and every recovered trace must pass the
+//!   independent runtime validator and energy re-bill
+//!   ([`crate::runtime::check_run`]).
 //!
 //! A failing case is greedily shrunk (drop tasks, drop edges, halve
 //! weights) while it keeps failing, and returned for the caller to write
@@ -21,12 +27,17 @@
 
 use crate::case::Case;
 use crate::oracle::{exhaustive_optimum, OracleConfig, OracleError};
+use crate::runtime::check_run;
 use crate::validator::{check_solution, rebill};
-use lamps_core::{solve, SchedulerConfig, SolveError, Strategy};
+use lamps_core::{solve, SchedulerConfig, Solution, SolveError, Strategy};
 use lamps_energy::{evaluate, evaluate_summary};
 use lamps_kpn::{unroll, Network, UnrollConfig};
-use lamps_sched::IdleSummary;
+use lamps_sched::{IdleSummary, ProcId};
+use lamps_sim::workload::actual_cycles;
+use lamps_sim::{run_with_faults, DvsSwitchCost, FailStop, FaultPlan, Overrun, RecoveryPolicy};
 use lamps_taskgraph::rng::{splitmix64, Rng};
+use lamps_taskgraph::{TaskGraph, TaskId};
+use std::panic::AssertUnwindSafe;
 
 /// Fuzzing budget and instance-size knobs.
 #[derive(Debug, Clone, Copy)]
@@ -205,10 +216,78 @@ pub fn check_case(
         }
     }
 
+    // Fault dimension: execute the best strategy's schedule under the
+    // case's fault plan with both recovery policies.
+    if feasible {
+        if let Ok(sol) = solve(Strategy::LampsPs, &graph, deadline_s, scfg) {
+            fault_battery(case, &graph, &sol, deadline_s, scfg, &mut violations);
+        }
+    }
+
     if violations.is_empty() {
         Ok(stats)
     } else {
         Err(violations)
+    }
+}
+
+/// Build the [`FaultPlan`] a case implies for a concrete solution. The
+/// fail-stop processor index is reduced modulo the employed count;
+/// overruns on out-of-range tasks (possible mid-shrink) are dropped.
+fn case_fault_plan(case: &Case, graph: &TaskGraph, n_procs: usize, deadline_s: f64) -> FaultPlan {
+    let mut plan = FaultPlan::none();
+    let mut seen = vec![false; graph.len()];
+    for &(t, factor) in &case.overruns {
+        let i = t as usize;
+        if i < graph.len() && !seen[i] {
+            seen[i] = true;
+            plan.overruns.push(Overrun {
+                task: TaskId(t),
+                factor,
+            });
+        }
+    }
+    if let Some((p, frac)) = case.fail_stop {
+        plan.fail_stop = Some(FailStop {
+            proc: ProcId(p % n_procs.max(1) as u32),
+            at_s: frac * deadline_s,
+        });
+    }
+    plan
+}
+
+/// Run the fault-tolerant runtime on one solved case and validate the
+/// trace: no panic, no input rejection, and a clean [`check_run`].
+fn fault_battery(
+    case: &Case,
+    graph: &TaskGraph,
+    sol: &Solution,
+    deadline_s: f64,
+    scfg: &SchedulerConfig,
+    violations: &mut Vec<String>,
+) {
+    let plan = case_fault_plan(case, graph, sol.n_procs, deadline_s);
+    let actual = actual_cycles(graph, 0.6, 1.0, case.seed);
+    let sw = DvsSwitchCost::typical();
+    for policy in [RecoveryPolicy::Absorb, RecoveryPolicy::Boost] {
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_with_faults(graph, sol, &actual, &plan, deadline_s, policy, scfg, &sw)
+        }));
+        match outcome {
+            Err(_) => violations.push(format!(
+                "fault runtime panicked under {policy:?} (overruns: {}, fail_stop: {})",
+                plan.overruns.len(),
+                plan.fail_stop.is_some()
+            )),
+            Ok(Err(e)) => violations.push(format!(
+                "fault runtime rejected a well-formed input under {policy:?}: {e}"
+            )),
+            Ok(Ok(report)) => {
+                for rv in check_run(graph, sol, &actual, &plan, &report, deadline_s, scfg, &sw) {
+                    violations.push(format!("fault trace ({policy:?}): {rv}"));
+                }
+            }
+        }
     }
 }
 
@@ -306,6 +385,30 @@ fn gen_factor(rng: &mut Rng) -> f64 {
     }
 }
 
+/// A case's fault dimension: `(overruns, fail_stop)` in the `Case`
+/// field encoding — `(task, factor)` pairs and an optional
+/// `(proc, deadline_fraction)`.
+type CaseFaults = (Vec<(u32, f64)>, Option<(u32, f64)>);
+
+/// Random fault dimension: occasional WCET overruns plus at most one
+/// fail-stop, attached to roughly half of the generated cases.
+fn gen_faults(rng: &mut Rng, n_tasks: usize) -> CaseFaults {
+    let mut overruns = Vec::new();
+    if rng.gen_bool(0.45) {
+        for t in 0..n_tasks as u32 {
+            if rng.gen_bool(0.2) {
+                overruns.push((t, rng.gen_range(1.05f64..=2.5)));
+            }
+        }
+    }
+    let fail_stop = if rng.gen_bool(0.35) {
+        Some((rng.gen_range(0u32..8), rng.gen_range(0.05f64..=0.9)))
+    } else {
+        None
+    };
+    (overruns, fail_stop)
+}
+
 fn gen_dag_case(rng: &mut Rng, seed: u64, max_tasks: usize) -> Case {
     let n = rng.gen_range(2usize..=max_tasks.max(2));
     let grain = GRAINS[rng.gen_range(0usize..GRAINS.len())];
@@ -330,12 +433,15 @@ fn gen_dag_case(rng: &mut Rng, seed: u64, max_tasks: usize) -> Case {
             }
         }
     }
+    let (overruns, fail_stop) = gen_faults(rng, n);
     Case {
         weights,
         edges,
         deadline_factor: gen_factor(rng),
         seed,
         origin: "dag".to_string(),
+        overruns,
+        fail_stop,
     }
 }
 
@@ -370,12 +476,16 @@ fn gen_kpn_case(rng: &mut Rng, seed: u64) -> Case {
         },
     )
     .expect("forward channels unroll to a DAG");
+    let weights = u.graph.weights().to_vec();
+    let (overruns, fail_stop) = gen_faults(rng, weights.len());
     Case {
-        weights: u.graph.weights().to_vec(),
+        weights,
         edges: u.graph.edges().map(|(f, t)| (f.0, t.0)).collect(),
         deadline_factor: gen_factor(rng),
         seed,
         origin: "kpn".to_string(),
+        overruns,
+        fail_stop,
     }
 }
 
@@ -429,6 +539,29 @@ pub fn shrink(case: &Case, scfg: &SchedulerConfig, fz: &FuzzConfig) -> Case {
                 }
             }
         }
+        // Shrink the fault plan: drop overruns one by one, then the
+        // fail-stop.
+        let mut o = 0;
+        while o < cur.overruns.len() && attempts < ATTEMPT_BUDGET {
+            let mut cand = cur.clone();
+            cand.overruns.remove(o);
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                o += 1;
+            }
+        }
+        if cur.fail_stop.is_some() && attempts < ATTEMPT_BUDGET {
+            let mut cand = cur.clone();
+            cand.fail_stop = None;
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            }
+        }
         if !improved || attempts >= ATTEMPT_BUDGET {
             break;
         }
@@ -446,6 +579,12 @@ fn remove_task(case: &Case, i: usize) -> Case {
         if *f > i {
             *f -= 1;
         }
+        if *t > i {
+            *t -= 1;
+        }
+    }
+    out.overruns.retain(|&(t, _)| t != i);
+    for (t, _) in &mut out.overruns {
         if *t > i {
             *t -= 1;
         }
@@ -553,11 +692,15 @@ mod tests {
             deadline_factor: 2.0,
             seed: 0,
             origin: "dag".to_string(),
+            overruns: vec![(1, 1.5), (3, 2.0)],
+            fail_stop: None,
         };
         assert_eq!(shrink(&case, &scfg(), &fz), case);
         let smaller = remove_task(&case, 1);
         assert_eq!(smaller.weights, vec![10, 30, 40]);
         assert_eq!(smaller.edges, vec![(0, 2), (1, 2)]);
+        // The overrun on the removed task is dropped; the other shifts.
+        assert_eq!(smaller.overruns, vec![(2, 2.0)]);
         smaller.graph().unwrap();
     }
 
@@ -571,6 +714,8 @@ mod tests {
             deadline_factor: 0.5,
             seed: 0,
             origin: "dag".to_string(),
+            overruns: Vec::new(),
+            fail_stop: None,
         };
         let fz = FuzzConfig::default();
         assert!(check_case(&case, &scfg(), &fz).is_ok());

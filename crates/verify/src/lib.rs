@@ -23,10 +23,12 @@ pub mod case;
 pub mod corpus;
 pub mod fuzz;
 pub mod oracle;
+pub mod runtime;
 pub mod validator;
 
 pub use case::Case;
 pub use corpus::{corpus_file_name, run_corpus, CorpusResult};
 pub use fuzz::{check_case, run, CaseStats, FuzzConfig, FuzzFailure, FuzzOutcome};
 pub use oracle::{exhaustive_optimum, OracleConfig, OracleError, OracleResult};
+pub use runtime::{check_run, RunViolation};
 pub use validator::{check_schedule, check_solution, rebill, RebilledEnergy, Violation};

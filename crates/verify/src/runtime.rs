@@ -1,0 +1,691 @@
+//! Independent re-checking of fault-tolerant runtime traces.
+//!
+//! [`check_run`] plays the same role for [`lamps_sim::FaultyRunReport`]
+//! that [`crate::validator::check_solution`] plays for static
+//! solutions: it trusts nothing but the per-task execution records, the
+//! graph, the fault plan, and the raw platform parameters, and
+//! re-derives everything else — precedence, per-processor exclusivity,
+//! fail-stop containment, level legality, the deadline verdict, and a
+//! full energy re-bill under the runner's documented conventions
+//! (executed cycles at the level they ran at, gaps at the *plan* level
+//! with the float break-even predicate, a dead processor billed only to
+//! its fail time, survivors to `max(deadline, makespan)`).
+
+use crate::validator::{DEADLINE_REL_EPS, ENERGY_REL_TOL};
+use lamps_core::{SchedulerConfig, Solution};
+use lamps_sched::ProcId;
+use lamps_sim::{DvsSwitchCost, ExecRecord, FaultPlan, FaultyRunReport, RunOutcome};
+use lamps_taskgraph::{TaskGraph, TaskId};
+
+/// Absolute tolerance for comparing trace timestamps \[s\]. Timestamps
+/// come out of exact `cycles / freq` arithmetic, so real divergence is
+/// a bug, not rounding.
+const TIME_ABS_TOL: f64 = 1e-9;
+
+/// One independently detected runtime-trace violation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunViolation {
+    /// The report's task table is not graph-sized.
+    WrongTaskCount {
+        /// Entries in the report.
+        reported: usize,
+        /// Tasks in the graph.
+        graph: usize,
+    },
+    /// A record finishes before it starts, or carries a non-finite time.
+    BadInterval {
+        /// The offending task.
+        task: TaskId,
+        /// Recorded start \[s\].
+        start_s: f64,
+        /// Recorded finish \[s\].
+        finish_s: f64,
+    },
+    /// A completed task executed a different cycle count than the fault
+    /// plan mandates.
+    WrongCycles {
+        /// The task.
+        task: TaskId,
+        /// Cycles the record claims.
+        recorded: u64,
+        /// Cycles the plan's effective workload mandates.
+        expected: u64,
+    },
+    /// A task started before a predecessor finished (or ran although a
+    /// predecessor never completed).
+    Precedence {
+        /// The dependent task.
+        task: TaskId,
+        /// The predecessor.
+        pred: TaskId,
+    },
+    /// Two executions overlap on one processor.
+    Overlap {
+        /// The processor.
+        proc: ProcId,
+        /// The earlier-starting task.
+        first: TaskId,
+        /// The overlapping task.
+        second: TaskId,
+    },
+    /// Execution recorded on a failed processor after its fail time.
+    DeadProcExecution {
+        /// The dead processor.
+        proc: ProcId,
+        /// The task that ran on it.
+        task: TaskId,
+        /// When the execution ended \[s\].
+        finish_s: f64,
+        /// When the processor failed \[s\].
+        fail_at_s: f64,
+    },
+    /// A record's voltage is not a platform level.
+    IllegalLevel {
+        /// The task that ran at it.
+        task: TaskId,
+        /// The off-grid voltage \[V\].
+        vdd: f64,
+    },
+    /// The reported outcome disagrees with the records.
+    OutcomeMismatch {
+        /// What disagrees.
+        detail: String,
+    },
+    /// The reported makespan is not the latest recorded finish.
+    MakespanMismatch {
+        /// Reported \[s\].
+        reported: f64,
+        /// Recomputed from the records \[s\].
+        recomputed: f64,
+    },
+    /// The reported switch count disagrees with the per-processor
+    /// voltage walk of the records.
+    SwitchCountMismatch {
+        /// Switches the report claims.
+        reported: usize,
+        /// Switches reconstructed from the trace.
+        recomputed: usize,
+    },
+    /// A re-billed energy component diverges beyond
+    /// [`ENERGY_REL_TOL`].
+    EnergyMismatch {
+        /// Which component.
+        field: &'static str,
+        /// The report's figure \[J\].
+        reported: f64,
+        /// The independent re-bill \[J\].
+        recomputed: f64,
+    },
+    /// The number of sleep episodes disagrees with the break-even rule.
+    SleepEpisodeMismatch {
+        /// Episodes the report claims.
+        reported: usize,
+        /// Episodes the break-even rule mandates.
+        recomputed: usize,
+    },
+    /// An energy component is NaN or infinite.
+    NonFiniteEnergy {
+        /// Which component.
+        field: &'static str,
+        /// Its value.
+        value: f64,
+    },
+}
+
+impl std::fmt::Display for RunViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunViolation::WrongTaskCount { reported, graph } => {
+                write!(f, "report covers {reported} tasks, graph has {graph}")
+            }
+            RunViolation::BadInterval {
+                task,
+                start_s,
+                finish_s,
+            } => write!(f, "{task}: bad interval [{start_s}, {finish_s}]"),
+            RunViolation::WrongCycles {
+                task,
+                recorded,
+                expected,
+            } => write!(
+                f,
+                "{task}: executed {recorded} cycles, fault plan mandates {expected}"
+            ),
+            RunViolation::Precedence { task, pred } => {
+                write!(f, "{task} ran before its predecessor {pred} finished")
+            }
+            RunViolation::Overlap {
+                proc,
+                first,
+                second,
+            } => write!(f, "{first} and {second} overlap on {proc}"),
+            RunViolation::DeadProcExecution {
+                proc,
+                task,
+                finish_s,
+                fail_at_s,
+            } => write!(
+                f,
+                "{task} ran on {proc} until {finish_s} s, after its failure at {fail_at_s} s"
+            ),
+            RunViolation::IllegalLevel { task, vdd } => {
+                write!(f, "{task} ran at off-grid voltage {vdd} V")
+            }
+            RunViolation::OutcomeMismatch { detail } => {
+                write!(f, "outcome disagrees with the records: {detail}")
+            }
+            RunViolation::MakespanMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "reported makespan {reported} s, records end at {recomputed} s"
+            ),
+            RunViolation::SwitchCountMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "{reported} DVS switches reported, trace shows {recomputed}"
+            ),
+            RunViolation::EnergyMismatch {
+                field,
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "{field}: reported {reported} J, independent re-bill {recomputed} J"
+            ),
+            RunViolation::SleepEpisodeMismatch {
+                reported,
+                recomputed,
+            } => write!(
+                f,
+                "{reported} sleep episodes reported, break-even rule mandates {recomputed}"
+            ),
+            RunViolation::NonFiniteEnergy { field, value } => {
+                write!(f, "{field} is not finite: {value}")
+            }
+        }
+    }
+}
+
+fn rel_close(a: f64, b: f64, tol: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(1e-30);
+    (a - b).abs() <= tol * scale
+}
+
+/// Map a recorded voltage back to its platform level's energy per
+/// cycle; `None` when the voltage is off-grid.
+fn energy_per_cycle(cfg: &SchedulerConfig, vdd: f64) -> Option<f64> {
+    cfg.levels
+        .points()
+        .iter()
+        .find(|p| rel_close(p.vdd, vdd, 1e-9))
+        .map(|p| p.energy_per_cycle)
+}
+
+/// Independently validate a fault-tolerant run's trace and re-bill its
+/// energy. Returns every violation found (empty = the trace is sound).
+#[allow(clippy::too_many_arguments)]
+pub fn check_run(
+    graph: &TaskGraph,
+    solution: &Solution,
+    actual: &[u64],
+    faults: &FaultPlan,
+    report: &FaultyRunReport,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    switch: &DvsSwitchCost,
+) -> Vec<RunViolation> {
+    let mut v = Vec::new();
+    let n = graph.len();
+    if report.tasks.len() != n {
+        v.push(RunViolation::WrongTaskCount {
+            reported: report.tasks.len(),
+            graph: n,
+        });
+        return v;
+    }
+    let eff = faults.effective_cycles(graph, actual);
+
+    // Per-record sanity: interval shape, cycle counts, level legality.
+    for t in graph.tasks() {
+        if let Some(r) = &report.tasks[t.index()] {
+            if !r.start_s.is_finite() || !r.finish_s.is_finite() || r.finish_s < r.start_s {
+                v.push(RunViolation::BadInterval {
+                    task: t,
+                    start_s: r.start_s,
+                    finish_s: r.finish_s,
+                });
+            }
+            if r.cycles != eff[t.index()] {
+                v.push(RunViolation::WrongCycles {
+                    task: t,
+                    recorded: r.cycles,
+                    expected: eff[t.index()],
+                });
+            }
+            if r.cycles > 0 && energy_per_cycle(cfg, r.vdd).is_none() {
+                v.push(RunViolation::IllegalLevel {
+                    task: t,
+                    vdd: r.vdd,
+                });
+            }
+        }
+    }
+    for r in &report.aborted {
+        if r.cycles > eff[r.task.index()] {
+            v.push(RunViolation::WrongCycles {
+                task: r.task,
+                recorded: r.cycles,
+                expected: eff[r.task.index()],
+            });
+        }
+        if r.cycles > 0 && energy_per_cycle(cfg, r.vdd).is_none() {
+            v.push(RunViolation::IllegalLevel {
+                task: r.task,
+                vdd: r.vdd,
+            });
+        }
+    }
+
+    // Precedence over completed records.
+    for t in graph.tasks() {
+        let Some(r) = &report.tasks[t.index()] else {
+            continue;
+        };
+        for &p in graph.predecessors(t) {
+            match &report.tasks[p.index()] {
+                Some(pr) if r.start_s >= pr.finish_s - TIME_ABS_TOL => {}
+                _ => v.push(RunViolation::Precedence { task: t, pred: p }),
+            }
+        }
+    }
+
+    // Per-processor exclusivity over completed + aborted executions.
+    let n_procs = solution.schedule.n_procs();
+    for pi in 0..n_procs {
+        let pid = ProcId(pi as u32);
+        let mut on_proc: Vec<&ExecRecord> = report
+            .tasks
+            .iter()
+            .flatten()
+            .chain(report.aborted.iter())
+            .filter(|r| r.proc == pid)
+            .collect();
+        // Zero-width records (instant zero-weight tasks) sort before the
+        // execution that starts at the same instant.
+        on_proc.sort_by(|a, b| {
+            a.start_s
+                .total_cmp(&b.start_s)
+                .then(a.finish_s.total_cmp(&b.finish_s))
+                .then(a.task.0.cmp(&b.task.0))
+        });
+        for w in on_proc.windows(2) {
+            if w[0].finish_s > w[1].start_s + TIME_ABS_TOL {
+                v.push(RunViolation::Overlap {
+                    proc: pid,
+                    first: w[0].task,
+                    second: w[1].task,
+                });
+            }
+        }
+        // Fail-stop containment: nothing executes on a dead processor
+        // past its fail time.
+        if let Some(fs) = faults.fail_stop {
+            if fs.proc == pid {
+                for r in &on_proc {
+                    if r.finish_s > fs.at_s + TIME_ABS_TOL {
+                        v.push(RunViolation::DeadProcExecution {
+                            proc: pid,
+                            task: r.task,
+                            finish_s: r.finish_s,
+                            fail_at_s: fs.at_s,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Makespan and outcome, recomputed from the records alone.
+    let makespan = report
+        .tasks
+        .iter()
+        .flatten()
+        .map(|r| r.finish_s)
+        .fold(0.0f64, f64::max);
+    if (makespan - report.makespan_s).abs() > TIME_ABS_TOL {
+        v.push(RunViolation::MakespanMismatch {
+            reported: report.makespan_s,
+            recomputed: makespan,
+        });
+    }
+    let tol = deadline_s * (1.0 + DEADLINE_REL_EPS);
+    let mut late: Vec<TaskId> = Vec::new();
+    for t in graph.tasks() {
+        match &report.tasks[t.index()] {
+            Some(r) if r.finish_s > tol => late.push(t),
+            None => late.push(t),
+            _ => {}
+        }
+    }
+    match &report.outcome {
+        RunOutcome::MetDeadline if !late.is_empty() => {
+            v.push(RunViolation::OutcomeMismatch {
+                detail: format!("claims MetDeadline but {} tasks are late", late.len()),
+            });
+        }
+        RunOutcome::DeadlineMiss { lateness } => {
+            let reported: Vec<TaskId> = lateness.iter().map(|l| l.task).collect();
+            if reported != late {
+                v.push(RunViolation::OutcomeMismatch {
+                    detail: format!("late set {reported:?} vs recomputed {late:?}"),
+                });
+            }
+            for l in lateness {
+                let want = match &report.tasks[l.task.index()] {
+                    Some(r) => r.finish_s - deadline_s,
+                    None => f64::INFINITY,
+                };
+                let agree = (l.lateness_s.is_infinite() && want.is_infinite())
+                    || (l.lateness_s - want).abs() <= TIME_ABS_TOL;
+                if !agree {
+                    v.push(RunViolation::OutcomeMismatch {
+                        detail: format!(
+                            "{}: lateness {} s vs recomputed {} s",
+                            l.task, l.lateness_s, want
+                        ),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+
+    // Switch count: replay each processor's voltage from the plan level
+    // through its non-trivial executions in start order.
+    let mut switches = 0usize;
+    for pi in 0..n_procs {
+        let pid = ProcId(pi as u32);
+        // Zero-cycle records matter here: an execution aborted inside
+        // the voltage-settle window still switched the regulator.
+        let mut on_proc: Vec<&ExecRecord> = report
+            .tasks
+            .iter()
+            .flatten()
+            .chain(report.aborted.iter())
+            .filter(|r| r.proc == pid)
+            .collect();
+        on_proc.sort_by(|a, b| {
+            a.start_s
+                .total_cmp(&b.start_s)
+                .then(a.finish_s.total_cmp(&b.finish_s))
+        });
+        let mut current = solution.level.vdd;
+        for r in on_proc {
+            if (r.vdd - current).abs() > 1e-12 {
+                switches += 1;
+                current = r.vdd;
+            }
+        }
+    }
+    if switches != report.dvs_switches {
+        v.push(RunViolation::SwitchCountMismatch {
+            reported: report.dvs_switches,
+            recomputed: switches,
+        });
+    }
+
+    for (field, value) in [
+        ("active_j", report.energy.active_j),
+        ("idle_j", report.energy.idle_j),
+        ("sleep_j", report.energy.sleep_j),
+        ("transition_j", report.energy.transition_j),
+    ] {
+        if !value.is_finite() {
+            v.push(RunViolation::NonFiniteEnergy { field, value });
+        }
+    }
+
+    // Only re-bill structurally sound traces; a broken structure already
+    // fails and its billing is meaningless.
+    if v.is_empty() {
+        let re = rebill_run(report, solution, faults, deadline_s, cfg, switch);
+        for (field, reported, recomputed) in [
+            ("active_j", report.energy.active_j, re.0.active_j),
+            ("idle_j", report.energy.idle_j, re.0.idle_j),
+            ("sleep_j", report.energy.sleep_j, re.0.sleep_j),
+            (
+                "transition_j",
+                report.energy.transition_j,
+                re.0.transition_j,
+            ),
+            ("total_j", report.energy.total(), re.0.total()),
+        ] {
+            if !rel_close(reported, recomputed, ENERGY_REL_TOL) {
+                v.push(RunViolation::EnergyMismatch {
+                    field,
+                    reported,
+                    recomputed,
+                });
+            }
+        }
+        if report.energy.sleep_episodes != re.1 {
+            v.push(RunViolation::SleepEpisodeMismatch {
+                reported: report.energy.sleep_episodes,
+                recomputed: re.1,
+            });
+        }
+    }
+    v
+}
+
+/// From-scratch energy re-bill of a faulty run, mirroring the runner's
+/// documented conventions independently of its code.
+fn rebill_run(
+    report: &FaultyRunReport,
+    solution: &Solution,
+    faults: &FaultPlan,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    switch: &DvsSwitchCost,
+) -> (crate::validator::RebilledEnergy, usize) {
+    let mut out = crate::validator::RebilledEnergy::default();
+    let mut episodes = 0usize;
+    let plan = solution.level;
+
+    for r in report.tasks.iter().flatten().chain(report.aborted.iter()) {
+        if r.cycles > 0 {
+            let epc = energy_per_cycle(cfg, r.vdd).unwrap_or(plan.energy_per_cycle);
+            out.active_j += r.cycles as f64 * epc;
+        }
+    }
+    out.transition_j += report.dvs_switches as f64 * switch.energy_j;
+
+    let horizon = deadline_s.max(report.makespan_s);
+    let n_procs = solution.schedule.n_procs();
+    for pi in 0..n_procs {
+        let pid = ProcId(pi as u32);
+        let mut intervals: Vec<(f64, f64)> = report
+            .tasks
+            .iter()
+            .flatten()
+            .chain(report.aborted.iter())
+            .filter(|r| r.proc == pid)
+            .map(|r| (r.start_s, r.finish_s))
+            .collect();
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let end = match faults.fail_stop {
+            Some(fs) if fs.proc == pid => fs.at_s.min(horizon),
+            _ => horizon,
+        };
+        let mut cursor = 0.0f64;
+        let mut gaps: Vec<f64> = Vec::new();
+        for (s, f) in intervals {
+            gaps.push(s - cursor);
+            cursor = cursor.max(f);
+        }
+        gaps.push(end - cursor);
+        for gap in gaps {
+            if gap <= 0.0 {
+                continue;
+            }
+            if cfg.sleep.worth_sleeping(plan.idle_power, gap) {
+                out.sleep_j += cfg.sleep.sleep_power * gap;
+                out.transition_j += cfg.sleep.transition_energy;
+                episodes += 1;
+            } else {
+                out.idle_j += plan.idle_power * gap;
+            }
+        }
+    }
+    (out, episodes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_core::{solve, Strategy};
+    use lamps_sim::{
+        run_with_faults, workload::actual_cycles, FailStop, FaultIntensity, RecoveryPolicy,
+    };
+    use lamps_taskgraph::gen::layered::{generate, LayeredConfig};
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::paper()
+    }
+
+    fn setup(seed: u64, factor: f64) -> (TaskGraph, Solution, f64) {
+        let g = generate(
+            &LayeredConfig {
+                n_tasks: 30,
+                n_layers: 6,
+                ..LayeredConfig::default()
+            },
+            seed,
+        )
+        .scale_weights(3_100_000);
+        let d = factor * g.critical_path_cycles() as f64 / cfg().max_frequency();
+        let sol = solve(Strategy::LampsPs, &g, d, &cfg()).unwrap();
+        (g, sol, d)
+    }
+
+    #[test]
+    fn clean_faulty_runs_validate() {
+        for seed in 0..12u64 {
+            let (g, sol, d) = setup(seed % 4 + 1, 1.7);
+            let intensity = match seed % 3 {
+                0 => FaultIntensity::mild(),
+                1 => FaultIntensity::moderate(),
+                _ => FaultIntensity::severe(),
+            };
+            let plan = lamps_sim::FaultPlan::random(&g, sol.n_procs, d, &intensity, seed);
+            let actual = actual_cycles(&g, 0.5, 0.9, seed);
+            let sw = DvsSwitchCost::typical();
+            for policy in [RecoveryPolicy::Absorb, RecoveryPolicy::Boost] {
+                let r = run_with_faults(&g, &sol, &actual, &plan, d, policy, &cfg(), &sw).unwrap();
+                let v = check_run(&g, &sol, &actual, &plan, &r, d, &cfg(), &sw);
+                assert!(v.is_empty(), "seed {seed} {policy:?}: {v:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_energy_detected() {
+        let (g, sol, d) = setup(2, 2.0);
+        let actual = actual_cycles(&g, 0.6, 0.9, 5);
+        let plan = lamps_sim::FaultPlan::none();
+        let sw = DvsSwitchCost::free();
+        let mut r = run_with_faults(
+            &g,
+            &sol,
+            &actual,
+            &plan,
+            d,
+            RecoveryPolicy::Absorb,
+            &cfg(),
+            &sw,
+        )
+        .unwrap();
+        r.energy.active_j *= 1.001;
+        let v = check_run(&g, &sol, &actual, &plan, &r, d, &cfg(), &sw);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, RunViolation::EnergyMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_outcome_detected() {
+        let (g, sol, d) = setup(3, 2.0);
+        let actual = actual_cycles(&g, 0.6, 0.9, 5);
+        let plan = lamps_sim::FaultPlan::none();
+        let sw = DvsSwitchCost::free();
+        let mut r = run_with_faults(
+            &g,
+            &sol,
+            &actual,
+            &plan,
+            d,
+            RecoveryPolicy::Absorb,
+            &cfg(),
+            &sw,
+        )
+        .unwrap();
+        r.outcome = RunOutcome::DeadlineMiss {
+            lateness: vec![lamps_sim::TaskLateness {
+                task: TaskId(0),
+                lateness_s: 1.0,
+            }],
+        };
+        let v = check_run(&g, &sol, &actual, &plan, &r, d, &cfg(), &sw);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, RunViolation::OutcomeMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn smuggled_dead_proc_execution_detected() {
+        let (g, sol, d) = setup(4, 2.5);
+        assert!(sol.n_procs >= 2);
+        let fs = FailStop {
+            proc: ProcId(0),
+            at_s: sol.makespan_s * 0.4,
+        };
+        let plan = lamps_sim::FaultPlan {
+            fail_stop: Some(fs),
+            ..lamps_sim::FaultPlan::none()
+        };
+        let sw = DvsSwitchCost::free();
+        let mut r = run_with_faults(
+            &g,
+            &sol,
+            g.weights(),
+            &plan,
+            d,
+            RecoveryPolicy::Boost,
+            &cfg(),
+            &sw,
+        )
+        .unwrap();
+        // Forge a record onto the dead processor past its fail time.
+        let victim = r
+            .tasks
+            .iter()
+            .position(|t| t.as_ref().is_some_and(|r| r.finish_s > fs.at_s))
+            .expect("some task finishes after the failure");
+        let rec = r.tasks[victim].as_mut().unwrap();
+        rec.proc = fs.proc;
+        let v = check_run(&g, &sol, g.weights(), &plan, &r, d, &cfg(), &sw);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, RunViolation::DeadProcExecution { .. })),
+            "{v:?}"
+        );
+    }
+}

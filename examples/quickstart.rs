@@ -58,7 +58,7 @@ fn main() {
         );
     }
     let sf = limit_sf(&graph, deadline_s, &cfg).expect("feasible");
-    let mf = limit_mf(&graph, deadline_s, &cfg);
+    let mf = limit_mf(&graph, deadline_s, &cfg).expect("feasible");
     println!("{:>10} {:>12.3}", "LIMIT-SF", sf.energy_j * 1e3);
     println!("{:>10} {:>12.3}", "LIMIT-MF", mf.energy_j * 1e3);
 

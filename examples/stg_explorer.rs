@@ -56,7 +56,9 @@ fn main() {
         let sf = limit_sf(&graph, d, &cfg)
             .map(|l| format!("{:.3}", l.energy_j))
             .unwrap_or_else(|_| "inf".into());
-        let mf = format!("{:.3}", limit_mf(&graph, d, &cfg).energy_j);
+        let mf = limit_mf(&graph, d, &cfg)
+            .map(|l| format!("{:.3}", l.energy_j))
+            .unwrap_or_else(|_| "inf".into());
         println!(
             "{:>7.1}x {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
             factor, energies[0], energies[1], energies[2], energies[3], sf, mf

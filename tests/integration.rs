@@ -42,7 +42,7 @@ fn dominance_chain_across_suite() {
                 let ss_ps = e(Strategy::ScheduleStretchPs);
                 let lamps_ps = e(Strategy::LampsPs);
                 let sf = limit_sf(&scaled, d, &cfg).unwrap().energy_j;
-                let mf = limit_mf(&scaled, d, &cfg).energy_j;
+                let mf = limit_mf(&scaled, d, &cfg).unwrap().energy_j;
                 let eps = ss * 1e-9;
                 assert!(lamps <= ss + eps);
                 assert!(ss_ps <= ss + eps);
@@ -69,7 +69,7 @@ fn mpeg_table3_shape() {
     let ss_ps = solve(Strategy::ScheduleStretchPs, &g, d, &cfg).unwrap();
     let lamps_ps = solve(Strategy::LampsPs, &g, d, &cfg).unwrap();
     let sf = limit_sf(&g, d, &cfg).unwrap();
-    let mf = limit_mf(&g, d, &cfg);
+    let mf = limit_mf(&g, d, &cfg).unwrap();
 
     // LAMPS drops to 3 processors (paper: 3) and saves substantially.
     assert_eq!(lamps.n_procs, 3);

@@ -140,7 +140,7 @@ fn dominance_and_limits() {
         assert!(lamps_ps <= lamps + eps);
         assert!(lamps_ps <= ss_ps + eps);
         let sf = limit_sf(&g, d, &cfg).unwrap().energy_j;
-        let mf = limit_mf(&g, d, &cfg).energy_j;
+        let mf = limit_mf(&g, d, &cfg).unwrap().energy_j;
         assert!(sf <= lamps_ps + eps);
         assert!(mf <= sf + eps);
     }
