@@ -9,8 +9,14 @@
 //! The JSON fields are pulled out with a purpose-built scanner (the
 //! workspace is dependency-free, so no serde): we only need two scalars,
 //! and the files are written by our own `throughput` binary.
+//!
+//! `--metrics <file>` points at a metrics snapshot (written by
+//! `throughput --metrics-out`); when the gate fails, one summary line of
+//! those metrics is printed so the CI log carries the context — solve
+//! rate, cache hit rate, and the hottest histogram bucket.
 
 use lamps_bench::cli::Options;
+use lamps_obs::json::{parse, Value};
 
 /// Extract the number following `"key":` after (optionally) the first
 /// occurrence of `"section"`. Whitespace-tolerant; returns `None` if the
@@ -47,6 +53,57 @@ fn json_bool(text: &str, key: &str) -> Option<bool> {
     }
 }
 
+/// One line summarizing a metrics snapshot: solve rate, schedule-cache
+/// hit rate, and the histogram bucket holding the most samples.
+fn metrics_summary(text: &str) -> String {
+    let Ok(root) = parse(text) else {
+        return "metrics: snapshot did not parse".to_string();
+    };
+    let counter = |name: &str| -> f64 {
+        root.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_number)
+            .unwrap_or(0.0)
+    };
+    let solves_per_sec = root
+        .get("gauges")
+        .and_then(|g| g.get("bench.throughput.solves_per_sec"))
+        .and_then(Value::as_number)
+        .unwrap_or(0.0);
+    let hits = counter("core.cache.schedule_hits");
+    let misses = counter("core.cache.schedule_misses");
+    let hit_rate = if hits + misses > 0.0 {
+        100.0 * hits / (hits + misses)
+    } else {
+        0.0
+    };
+    // The hottest single bucket across every histogram in the snapshot.
+    let mut peak: Option<(String, f64, f64)> = None; // (name, lower, count)
+    if let Some(hists) = root.get("histograms").and_then(Value::as_object) {
+        for (name, h) in hists {
+            for b in h.get("buckets").and_then(Value::as_array).unwrap_or(&[]) {
+                let bucket = b.as_array().unwrap_or(&[]);
+                let (Some(lo), Some(n)) = (
+                    bucket.first().and_then(Value::as_number),
+                    bucket.get(1).and_then(Value::as_number),
+                ) else {
+                    continue;
+                };
+                if peak.as_ref().is_none_or(|(_, _, c)| n > *c) {
+                    peak = Some((name.clone(), lo, n));
+                }
+            }
+        }
+    }
+    let peak_text = match peak {
+        Some((name, lo, n)) => format!("{name}[{lo}..)x{n}"),
+        None => "none".to_string(),
+    };
+    format!(
+        "metrics: {solves_per_sec:.0} solves/s, schedule cache {hit_rate:.0}% hit, peak bucket {peak_text}"
+    )
+}
+
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
@@ -55,10 +112,11 @@ fn read(path: &str) -> String {
 }
 
 fn main() {
-    let opts = Options::parse(&["baseline", "current", "min-ratio"]);
+    let opts = Options::parse(&["baseline", "current", "min-ratio", "metrics"]);
     let baseline_path = opts.string("baseline", "BENCH_solver.json");
     let current_path = opts.string("current", "target/bench_smoke.json");
     let min_ratio = opts.f64("min-ratio", 0.5);
+    let metrics_path = opts.string("metrics", "");
 
     let baseline = read(&baseline_path);
     let current = read(&current_path);
@@ -94,6 +152,9 @@ fn main() {
         );
     }
     if failed {
+        if !metrics_path.is_empty() {
+            eprintln!("{}", metrics_summary(&read(&metrics_path)));
+        }
         std::process::exit(1);
     }
     eprintln!("gate clean");
@@ -133,6 +194,26 @@ mod tests {
             json_bool("{\"all_bitwise_equal\": false}", "all_bitwise_equal"),
             Some(false)
         );
+    }
+
+    #[test]
+    fn metrics_summary_renders_one_line() {
+        let snap = r#"{
+  "counters": {"core.cache.schedule_hits": 30, "core.cache.schedule_misses": 10},
+  "gauges": {"bench.throughput.solves_per_sec": 1250},
+  "histograms": {
+    "bench.par_map.worker_busy_us": {"count": 4, "sum": 100, "buckets": [[16, 1], [32, 3]]}
+  }
+}"#;
+        let line = metrics_summary(snap);
+        assert!(line.contains("1250 solves/s"), "{line}");
+        assert!(line.contains("75% hit"), "{line}");
+        assert!(
+            line.contains("bench.par_map.worker_busy_us[32..)x3"),
+            "{line}"
+        );
+        assert!(!line.contains('\n'), "must be one line: {line}");
+        assert!(metrics_summary("not json").contains("did not parse"));
     }
 
     #[test]

@@ -3,7 +3,9 @@
 //! ```text
 //! lamps stats    <graph.stg>
 //! lamps schedule <graph.stg> [--strategy lamps-ps] [--factor 2.0]
-//!                            [--granularity coarse|fine] [--report] [--gantt] [--trace <csv>] [--svg <file>]
+//!                            [--granularity coarse|fine] [--report] [--gantt]
+//!                            [--power-trace <csv>] [--svg <file>]
+//!                            [--trace <json>] [--explain] [--explain-json <file>] [--metrics]
 //! lamps sweep    <graph.stg> [--strategy lamps-ps] [--from 1.1] [--to 8.0] [--steps 10]
 //! lamps limits   <graph.stg> [--factor 2.0] [--granularity coarse|fine]
 //! lamps gen      [--tasks 100] [--seed 1] [--parallelism 8.0]   (STG to stdout)
@@ -13,11 +15,18 @@
 //! Graphs are Standard Task Graph Set files; weights are treated as STG
 //! units and scaled by the chosen granularity (coarse = 1 ms at f_max,
 //! fine = 10 µs).
+//!
+//! Observability: `--trace <json>` writes a Chrome trace-event file
+//! (open in Perfetto / `chrome://tracing`), `--explain` prints the
+//! solver decision log as text, `--explain-json <file>` writes it as
+//! `lamps-explain-v1` JSON, and `--metrics` dumps the metrics registry
+//! after the run. The old per-cycle power CSV moved to `--power-trace`.
 
 use lamps_bench::cli::{or_die, Options};
 use lamps_core::limits::{limit_mf, limit_sf};
 use lamps_core::pareto::deadline_sweep;
-use lamps_core::{solve, SchedulerConfig, Strategy};
+use lamps_core::ScheduleCache;
+use lamps_core::{solve_with_cache, solve_with_cache_explained, SchedulerConfig, Strategy};
 use lamps_energy::{power_trace, trace_csv};
 use lamps_taskgraph::gen::spine::with_parallelism;
 use lamps_taskgraph::{dot, stg, TaskGraph};
@@ -120,7 +129,11 @@ fn cmd_schedule(mut args: Vec<String>) {
             "factor",
             "granularity",
             "gantt",
+            "power-trace",
             "trace",
+            "explain",
+            "explain-json",
+            "metrics",
             "svg",
             "report",
         ],
@@ -130,7 +143,39 @@ fn cmd_schedule(mut args: Vec<String>) {
     let f = factor(&opts, "factor", 2.0);
     let d = f * g.critical_path_cycles() as f64 / cfg.max_frequency();
     let strat = strategy(&opts);
-    match solve(strat, &g, d, &cfg) {
+
+    // Arm the collectors before solving so the run is fully covered.
+    let chrome_path = opts.string("trace", "");
+    let explain_json_path = opts.string("explain-json", "");
+    let want_explain = opts.flag("explain") || !explain_json_path.is_empty();
+    if !chrome_path.is_empty() {
+        lamps_obs::enable_tracing();
+    }
+    if opts.flag("metrics") {
+        lamps_obs::enable_metrics();
+    }
+
+    let mut cache = ScheduleCache::for_graph(&g);
+    let (result, explain) = if want_explain {
+        let (r, ex) = solve_with_cache_explained(strat, d, &cfg, &mut cache);
+        (r, Some(ex))
+    } else {
+        (solve_with_cache(strat, d, &cfg, &mut cache), None)
+    };
+    let stats = cache.stats();
+    if let Some(ex) = &explain {
+        if opts.flag("explain") {
+            print!("{}", ex.render_text());
+        }
+        if !explain_json_path.is_empty() {
+            std::fs::write(&explain_json_path, ex.to_json()).unwrap_or_else(|e| {
+                eprintln!("cannot write {explain_json_path}: {e}");
+                std::process::exit(1)
+            });
+            println!("decision log written to {explain_json_path}");
+        }
+    }
+    match result {
         Ok(sol) => {
             println!(
                 "{}: {:.4} J | {} processors | {:.2} V ({:.2} f/fmax) | makespan {:.3} ms of {:.3} ms | {} sleeps",
@@ -144,7 +189,10 @@ fn cmd_schedule(mut args: Vec<String>) {
                 sol.energy.sleep_episodes
             );
             if opts.flag("report") {
-                print!("{}", lamps_core::report::render(&sol, &g, d, &cfg));
+                print!(
+                    "{}",
+                    lamps_core::report::render_with_stats(&sol, &g, d, &cfg, &stats)
+                );
             }
             if opts.flag("gantt") {
                 let horizon = (d * sol.level.freq) as u64;
@@ -163,7 +211,7 @@ fn cmd_schedule(mut args: Vec<String>) {
                 });
                 println!("gantt SVG written to {svg_path}");
             }
-            let trace_path = opts.string("trace", "");
+            let trace_path = opts.string("power-trace", "");
             if !trace_path.is_empty() {
                 let trace = or_die(power_trace(
                     &sol.schedule,
@@ -177,11 +225,27 @@ fn cmd_schedule(mut args: Vec<String>) {
                 });
                 println!("power trace written to {trace_path}");
             }
+            dump_obs(&chrome_path, opts.flag("metrics"));
         }
         Err(e) => {
             eprintln!("infeasible: {e}");
+            dump_obs(&chrome_path, opts.flag("metrics"));
             std::process::exit(1)
         }
+    }
+}
+
+/// Flush the Chrome trace buffer and/or the metrics registry at exit.
+fn dump_obs(chrome_path: &str, want_metrics: bool) {
+    if !chrome_path.is_empty() {
+        std::fs::write(chrome_path, lamps_obs::trace::export_chrome_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {chrome_path}: {e}");
+            std::process::exit(1)
+        });
+        println!("chrome trace written to {chrome_path}");
+    }
+    if want_metrics {
+        print!("{}", lamps_obs::registry::snapshot().render_text());
     }
 }
 

@@ -2,6 +2,10 @@
 //!
 //! `--graphs` controls the random-group sample size (the STG set has 180
 //! graphs per group; the default keeps the full sweep to a few minutes).
+//!
+//! `--trace <json>` writes a Chrome trace with one span per exhibit
+//! (plus the nested solver/scheduler spans), `--metrics` dumps the
+//! metrics registry after the sweep.
 
 use lamps_bench::cli::{or_die, Options};
 use lamps_bench::experiments::{
@@ -10,30 +14,56 @@ use lamps_bench::experiments::{
 };
 use lamps_bench::Granularity;
 
+/// Build one exhibit under a named trace span.
+fn exhibit<T>(name: &'static str, build: impl FnOnce() -> T) -> T {
+    let _span = lamps_obs::span("bench", name);
+    if lamps_obs::metrics_enabled() {
+        lamps_obs::counter("bench.reproduce.exhibits").inc();
+    }
+    build()
+}
+
 fn main() {
-    let opts = Options::parse(&["graphs", "per-size", "seed", "out"]);
+    let opts = Options::parse(&["graphs", "per-size", "seed", "out", "trace", "metrics"]);
     let graphs = opts.usize("graphs", 10);
     let per_size = opts.usize("per-size", 8);
     let seed = opts.u64("seed", 2006);
     let out = opts.string("out", "results");
+    let trace_path = opts.string("trace", "");
+    if !trace_path.is_empty() {
+        lamps_obs::enable_tracing();
+    }
+    if opts.flag("metrics") {
+        lamps_obs::enable_metrics();
+    }
 
     let t0 = std::time::Instant::now();
     let sections = [
-        curves::fig02(128),
-        curves::fig03(128),
-        tables::table2(graphs, seed),
-        procs::fig06(2.0, 20),
-        relative::relative_energy(Granularity::Coarse, graphs, seed),
-        relative::relative_energy(Granularity::Fine, graphs, seed),
-        scatter::scatter(Granularity::Coarse, per_size, seed),
-        scatter::scatter(Granularity::Fine, per_size, seed),
-        or_die(tables::table3()),
-        ablation::ablation(graphs.min(8), seed),
-        slack::slack(graphs.min(8), seed),
-        chaos::chaos(graphs.min(8), seed),
-        integrated::integrated(graphs.min(6), seed),
-        kernels::kernels_exhibit(),
-        sensitivity::sensitivity(graphs.min(8), seed),
+        exhibit("fig02", || curves::fig02(128)),
+        exhibit("fig03", || curves::fig03(128)),
+        exhibit("table2", || tables::table2(graphs, seed)),
+        exhibit("fig06", || procs::fig06(2.0, 20)),
+        exhibit("relative_coarse", || {
+            relative::relative_energy(Granularity::Coarse, graphs, seed)
+        }),
+        exhibit("relative_fine", || {
+            relative::relative_energy(Granularity::Fine, graphs, seed)
+        }),
+        exhibit("scatter_coarse", || {
+            scatter::scatter(Granularity::Coarse, per_size, seed)
+        }),
+        exhibit("scatter_fine", || {
+            scatter::scatter(Granularity::Fine, per_size, seed)
+        }),
+        exhibit("table3", || or_die(tables::table3())),
+        exhibit("ablation", || ablation::ablation(graphs.min(8), seed)),
+        exhibit("slack", || slack::slack(graphs.min(8), seed)),
+        exhibit("chaos", || chaos::chaos(graphs.min(8), seed)),
+        exhibit("integrated", || integrated::integrated(graphs.min(6), seed)),
+        exhibit("kernels", kernels::kernels_exhibit),
+        exhibit("sensitivity", || {
+            sensitivity::sensitivity(graphs.min(8), seed)
+        }),
     ];
     for s in &sections {
         s.emit(&out).expect("write results");
@@ -45,4 +75,12 @@ fn main() {
         t0.elapsed().as_secs_f64(),
         out
     );
+    if !trace_path.is_empty() {
+        std::fs::write(&trace_path, lamps_obs::trace::export_chrome_json())
+            .expect("write chrome trace");
+        println!("chrome trace written to {trace_path}");
+    }
+    if opts.flag("metrics") {
+        print!("{}", lamps_obs::registry::snapshot().render_text());
+    }
 }

@@ -19,6 +19,11 @@
 //! identical order and compared with `f64::to_bits`; the binary aborts
 //! if the engines disagree on a single bit. Results land in a
 //! hand-written JSON file (default `BENCH_solver.json`).
+//!
+//! Observability: `--trace <json>` writes a Chrome trace of the run,
+//! `--metrics-out <json>` dumps the metrics registry (including a
+//! `bench.throughput.solves_per_sec` gauge), and `--explain <json>`
+//! writes one sample `lamps-explain-v1` decision log for CI validation.
 
 use lamps_bench::cli::Options;
 use lamps_bench::suite::{Granularity, Suite, DEADLINE_FACTORS};
@@ -150,11 +155,28 @@ fn run_optimized(graphs: &[TaskGraph], cfg: &SchedulerConfig) -> Totals {
 }
 
 fn main() {
-    let opts = Options::parse(&["graphs", "seed", "out", "smoke"]);
+    let opts = Options::parse(&[
+        "graphs",
+        "seed",
+        "out",
+        "smoke",
+        "trace",
+        "metrics-out",
+        "explain",
+    ]);
     let smoke = opts.flag("smoke");
     let graphs_per_group = opts.usize("graphs", if smoke { 2 } else { 5 });
     let seed = opts.u64("seed", 2006);
     let out = opts.string("out", "BENCH_solver.json");
+    let trace_path = opts.string("trace", "");
+    let metrics_out = opts.string("metrics-out", "");
+    let explain_out = opts.string("explain", "");
+    if !trace_path.is_empty() {
+        lamps_obs::enable_tracing();
+    }
+    if !metrics_out.is_empty() {
+        lamps_obs::enable_metrics();
+    }
 
     let suite = if smoke {
         Suite::smoke()
@@ -292,6 +314,28 @@ fn main() {
 
     std::fs::write(&out, &json).expect("write benchmark JSON");
     eprintln!("wrote {out}");
+
+    // Observability artifacts: Chrome trace, metrics snapshot, and a
+    // sample decision log of one cell (for CI structural validation).
+    if !explain_out.is_empty() {
+        let graph = &graphs[0];
+        let deadline_s = 2.0 * graph.critical_path_cycles() as f64 / cfg.max_frequency();
+        let (_, ex) = lamps_core::solve_explained(Strategy::LampsPs, graph, deadline_s, &cfg);
+        std::fs::write(&explain_out, ex.to_json()).expect("write decision log");
+        eprintln!("wrote {explain_out}");
+    }
+    if !trace_path.is_empty() {
+        std::fs::write(&trace_path, lamps_obs::trace::export_chrome_json())
+            .expect("write chrome trace");
+        eprintln!("wrote {trace_path}");
+    }
+    if !metrics_out.is_empty() {
+        let sps = after.solve_calls as f64 / after_s;
+        lamps_obs::gauge("bench.throughput.solves_per_sec").set(sps as u64);
+        std::fs::write(&metrics_out, lamps_obs::registry::snapshot().to_json())
+            .expect("write metrics snapshot");
+        eprintln!("wrote {metrics_out}");
+    }
 
     assert!(
         all_equal,

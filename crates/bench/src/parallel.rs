@@ -19,6 +19,7 @@
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Apply `f` to every item, in parallel, preserving order.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -27,6 +28,11 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let _span = lamps_obs::span("bench", "par_map");
+    if lamps_obs::metrics_enabled() {
+        lamps_obs::counter("bench.par_map.calls").inc();
+        lamps_obs::counter("bench.par_map.items").add(items.len() as u64);
+    }
     let n_threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
@@ -51,12 +57,23 @@ where
     let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
     let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..n_threads)
-            .map(|_| {
+            .map(|w| {
                 let f = &f;
                 let next = &next;
                 let failed = &failed;
                 let first_panic = &first_panic;
+                let worker = w;
                 scope.spawn(move || {
+                    // Per-worker accounting only runs when observability is
+                    // on; the disabled path pays two relaxed atomic loads.
+                    let obs_on = lamps_obs::metrics_enabled();
+                    let _wspan = if lamps_obs::tracing_enabled() {
+                        lamps_obs::span_named("bench", format!("par_map_worker_{worker}"))
+                    } else {
+                        lamps_obs::trace::Span::inert()
+                    };
+                    let started = obs_on.then(Instant::now);
+                    let mut busy_us: u64 = 0;
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         if failed.load(Ordering::Relaxed) != usize::MAX {
@@ -66,7 +83,12 @@ where
                         if i >= items.len() {
                             break;
                         }
-                        match catch_unwind(AssertUnwindSafe(|| f(&items[i]))) {
+                        let item_start = obs_on.then(Instant::now);
+                        let outcome = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
+                        if let Some(t0) = item_start {
+                            busy_us += t0.elapsed().as_micros() as u64;
+                        }
+                        match outcome {
                             Ok(r) => local.push((i, r)),
                             Err(payload) => {
                                 failed.fetch_min(i, Ordering::Relaxed);
@@ -82,6 +104,14 @@ where
                                 break;
                             }
                         }
+                    }
+                    if let Some(t0) = started {
+                        let total_us = t0.elapsed().as_micros() as u64;
+                        lamps_obs::histogram("bench.par_map.worker_busy_us").record(busy_us);
+                        lamps_obs::histogram("bench.par_map.worker_idle_us")
+                            .record(total_us.saturating_sub(busy_us));
+                        lamps_obs::histogram("bench.par_map.worker_items")
+                            .record(local.len() as u64);
                     }
                     local
                 })

@@ -162,6 +162,30 @@ pub fn solve_with_budget_cache(
     cache: &mut ScheduleCache<'_>,
     budget: &SolveBudget,
 ) -> Result<BudgetedSolution, SolveError> {
+    let _span = lamps_obs::span("core", "solve_budget");
+    let stats_before = cache.stats();
+    let result = budget_search(strategy, deadline_s, cfg, cache, budget);
+    if lamps_obs::metrics_enabled() {
+        let delta = cache.stats().since(&stats_before);
+        lamps_obs::counter("core.budget.calls").inc();
+        if matches!(result, Err(SolveError::BudgetExhausted { .. })) {
+            lamps_obs::counter("core.budget.exhausted").inc();
+        }
+        lamps_obs::counter("core.cache.schedule_hits").add(delta.schedule_hits);
+        lamps_obs::counter("core.cache.schedule_misses").add(delta.schedule_misses);
+        lamps_obs::counter("core.cache.summary_hits").add(delta.summary_hits);
+        lamps_obs::counter("core.cache.summary_misses").add(delta.summary_misses);
+    }
+    result
+}
+
+fn budget_search(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+    budget: &SolveBudget,
+) -> Result<BudgetedSolution, SolveError> {
     let graph = cache.graph();
     if !deadline_s.is_finite() || deadline_s <= 0.0 {
         return Err(SolveError::BadDeadline(deadline_s));

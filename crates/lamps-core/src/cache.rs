@@ -26,6 +26,51 @@ use lamps_sched::list::{list_schedule_with, ListScheduleWorkspace};
 use lamps_sched::{IdleSummary, Schedule};
 use lamps_taskgraph::TaskGraph;
 
+/// Hit/miss counters of a [`ScheduleCache`], monotone over its
+/// lifetime.
+///
+/// A *schedule* lookup is any request that needs the LS schedule for a
+/// processor count (including the one implied by a summary request); a
+/// *summary* lookup is a request for the lazily built [`IdleSummary`].
+/// A miss is the lookup that actually runs the list scheduler
+/// (respectively builds the summary); every later lookup for the same
+/// count is a hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Schedule lookups served from the memo.
+    pub schedule_hits: u64,
+    /// Schedule lookups that ran the list scheduler.
+    pub schedule_misses: u64,
+    /// Summary lookups served from the memo.
+    pub summary_hits: u64,
+    /// Summary lookups that built the summary.
+    pub summary_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of schedule lookups served from the memo (0 when there
+    /// were none).
+    pub fn schedule_hit_rate(&self) -> f64 {
+        let total = self.schedule_hits + self.schedule_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.schedule_hits as f64 / total as f64
+        }
+    }
+
+    /// Component-wise difference `self - earlier` (for flushing deltas
+    /// into a global metrics registry).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            schedule_hits: self.schedule_hits - earlier.schedule_hits,
+            schedule_misses: self.schedule_misses - earlier.schedule_misses,
+            summary_hits: self.summary_hits - earlier.summary_hits,
+            summary_misses: self.summary_misses - earlier.summary_misses,
+        }
+    }
+}
+
 /// Schedule memo for one (graph, EDF keys) pair, indexed by processor
 /// count.
 pub struct ScheduleCache<'g> {
@@ -35,6 +80,7 @@ pub struct ScheduleCache<'g> {
     summaries: Vec<Option<IdleSummary>>,
     ws: ListScheduleWorkspace,
     runs: usize,
+    stats: CacheStats,
 }
 
 impl<'g> ScheduleCache<'g> {
@@ -66,6 +112,7 @@ impl<'g> ScheduleCache<'g> {
             summaries: Vec::new(),
             ws: ListScheduleWorkspace::new(),
             runs: 0,
+            stats: CacheStats::default(),
         }
     }
 
@@ -83,6 +130,9 @@ impl<'g> ScheduleCache<'g> {
             let s = list_schedule_with(&mut self.ws, self.graph, n, &self.keys);
             self.memo[n - 1] = Some(s);
             self.runs += 1;
+            self.stats.schedule_misses += 1;
+        } else {
+            self.stats.schedule_hits += 1;
         }
     }
 
@@ -94,6 +144,9 @@ impl<'g> ScheduleCache<'g> {
         if self.summaries[n - 1].is_none() {
             let s = self.memo[n - 1].as_ref().expect("just ensured");
             self.summaries[n - 1] = Some(IdleSummary::new(s));
+            self.stats.summary_misses += 1;
+        } else {
+            self.stats.summary_hits += 1;
         }
     }
 
@@ -126,19 +179,40 @@ impl<'g> ScheduleCache<'g> {
         self.runs
     }
 
+    /// Hit/miss counters accumulated since the cache was built.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
     /// Makespan in cycles on `n` processors.
     pub fn makespan(&mut self, n: usize) -> u64 {
         self.schedule(n).makespan_cycles()
     }
 
+    /// Whether the schedule for `n` processors is already memoized
+    /// (without computing it).
+    pub fn is_cached(&self, n: usize) -> bool {
+        n >= 1 && self.memo.get(n - 1).is_some_and(Option::is_some)
+    }
+
     /// The processor count S&S employs: scan upward from 1 while the
     /// makespan strictly decreases (§4.1/§4.2); capped at the task count.
     pub fn max_useful_procs(&mut self) -> usize {
+        self.max_useful_procs_with(&mut |_, _, _| {})
+    }
+
+    /// [`Self::max_useful_procs`], reporting each probed count to
+    /// `probe(n, makespan_cycles, was_cached)` in probe order.
+    pub fn max_useful_procs_with(&mut self, probe: &mut dyn FnMut(usize, u64, bool)) -> usize {
         let cap = self.graph.len().max(1);
         let mut best = 1usize;
+        let cached = self.is_cached(1);
         let mut best_makespan = self.makespan(1);
+        probe(1, best_makespan, cached);
         for n in 2..=cap {
+            let cached = self.is_cached(n);
             let m = self.makespan(n);
+            probe(n, m, cached);
             if m < best_makespan {
                 best = n;
                 best_makespan = m;
@@ -153,18 +227,34 @@ impl<'g> ScheduleCache<'g> {
     /// (binary search on `[⌈work/D⌉, |V|]`, §4.2). `None` if even `|V|`
     /// processors miss the deadline.
     pub fn min_feasible_procs(&mut self, deadline_cycles: u64) -> Option<usize> {
+        self.min_feasible_procs_with(deadline_cycles, &mut |_, _, _| {})
+    }
+
+    /// [`Self::min_feasible_procs`], reporting each probed count to
+    /// `probe(n, makespan_cycles, was_cached)` in probe order.
+    pub fn min_feasible_procs_with(
+        &mut self,
+        deadline_cycles: u64,
+        probe: &mut dyn FnMut(usize, u64, bool),
+    ) -> Option<usize> {
         let n_upb = self.graph.len().max(1);
         let n_lwb = self
             .graph
             .min_processors_lower_bound(deadline_cycles)?
             .min(n_upb);
-        if self.makespan(n_upb) > deadline_cycles {
+        let cached = self.is_cached(n_upb);
+        let upb_makespan = self.makespan(n_upb);
+        probe(n_upb, upb_makespan, cached);
+        if upb_makespan > deadline_cycles {
             return None;
         }
         let (mut lo, mut hi) = (n_lwb, n_upb);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
-            if self.makespan(mid) <= deadline_cycles {
+            let cached = self.is_cached(mid);
+            let m = self.makespan(mid);
+            probe(mid, m, cached);
+            if m <= deadline_cycles {
                 hi = mid;
             } else {
                 lo = mid + 1;
@@ -266,6 +356,58 @@ mod tests {
         let g = fig4a();
         let mut c = ScheduleCache::new(&g, 1000);
         assert_eq!(c.min_feasible_procs(1000), Some(1));
+    }
+
+    #[test]
+    fn two_deadline_sweep_hit_counts_are_pinned() {
+        // Satellite check for the cache-stats surface: a second solve at
+        // a different deadline over the same canonical cache must be
+        // served entirely from the memo (cross-deadline reuse), and the
+        // exact hit/miss counts are pinned so a regression in the search
+        // path or the memo keying shows up as a diff here.
+        let g = fig4a();
+        let cfg = crate::config::SchedulerConfig::paper();
+        let mut c = ScheduleCache::for_graph(&g);
+        let d = |factor: f64| factor * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        crate::solve::solve_with_cache(crate::types::Strategy::LampsPs, d(2.0), &cfg, &mut c)
+            .unwrap();
+        let first = c.stats();
+        assert!(first.schedule_misses > 0, "first solve must schedule");
+        assert_eq!(
+            first.summary_hits, 0,
+            "one summary per count on a cold cache"
+        );
+        crate::solve::solve_with_cache(crate::types::Strategy::LampsPs, d(4.0), &cfg, &mut c)
+            .unwrap();
+        let second = c.stats().since(&first);
+        assert_eq!(
+            second.schedule_misses, 0,
+            "second deadline must not reschedule: {second:?}"
+        );
+        assert_eq!(second.summary_misses, 0, "summaries are reused too");
+        // Pinned: the 2× solve probes {5 (upper bound), 2, 1 (binary),
+        // 1, 2, 3 (linear scan)} → 4 distinct counts scheduled, and
+        // sweeps levels on counts 1 and 2 → 2 summaries; the 4× solve
+        // walks the same 10 schedule touches and 2 summary touches with
+        // everything memoized.
+        assert_eq!(
+            first,
+            CacheStats {
+                schedule_hits: 6,
+                schedule_misses: 4,
+                summary_hits: 0,
+                summary_misses: 2,
+            }
+        );
+        assert_eq!(
+            second,
+            CacheStats {
+                schedule_hits: 10,
+                schedule_misses: 0,
+                summary_hits: 2,
+                summary_misses: 0,
+            }
+        );
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod cache;
 pub mod config;
 pub mod continuous;
 pub mod exact;
+pub mod explain;
 pub mod genetic;
 pub mod limits;
 pub mod multi;
@@ -54,6 +55,8 @@ pub use budget::{
     solve_with_budget, solve_with_budget_cache, BudgetedSolution, CancelToken, Completeness,
     SolveBudget,
 };
+pub use cache::{CacheStats, ScheduleCache};
 pub use config::SchedulerConfig;
-pub use solve::{solve, solve_with_cache};
+pub use explain::SolveExplain;
+pub use solve::{solve, solve_explained, solve_with_cache, solve_with_cache_explained};
 pub use types::{Solution, SolveError, Strategy};

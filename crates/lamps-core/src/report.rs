@@ -5,6 +5,7 @@
 //! goes, per-processor load, and how close the result sits to the
 //! LIMIT bounds.
 
+use crate::cache::CacheStats;
 use crate::config::SchedulerConfig;
 use crate::limits::{limit_mf, limit_sf};
 use crate::types::Solution;
@@ -103,6 +104,34 @@ pub fn render(
     out
 }
 
+/// [`render`], followed by the schedule-cache hit/miss line.
+///
+/// Pass the [`CacheStats`] of the [`ScheduleCache`] the solve ran
+/// against (for a shared cache, the delta attributable to this solve via
+/// [`CacheStats::since`]).
+///
+/// [`ScheduleCache`]: crate::cache::ScheduleCache
+pub fn render_with_stats(
+    solution: &Solution,
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    stats: &CacheStats,
+) -> String {
+    let mut out = render(solution, graph, deadline_s, cfg);
+    writeln!(
+        out,
+        "cache    : schedule {} hit / {} miss ({:.0}% hit), summary {} hit / {} miss",
+        stats.schedule_hits,
+        stats.schedule_misses,
+        stats.schedule_hit_rate() * 100.0,
+        stats.summary_hits,
+        stats.summary_misses
+    )
+    .unwrap();
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +168,28 @@ mod tests {
             })
             .count();
         assert_eq!(proc_rows, sol.n_procs);
+    }
+
+    #[test]
+    fn report_with_stats_appends_cache_line() {
+        let cfg = SchedulerConfig::paper();
+        let g = generate(
+            &LayeredConfig {
+                n_tasks: 12,
+                n_layers: 4,
+                ..LayeredConfig::default()
+            },
+            3,
+        )
+        .scale_weights(3_100_000);
+        let d = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let mut cache = crate::cache::ScheduleCache::for_graph(&g);
+        let sol = crate::solve::solve_with_cache(Strategy::LampsPs, d, &cfg, &mut cache).unwrap();
+        let r = render_with_stats(&sol, &g, d, &cfg, &cache.stats());
+        assert!(r.contains("cache    : schedule"), "{r}");
+        assert!(r.contains("% hit"), "{r}");
+        // The plain report stays stats-free.
+        assert!(!render(&sol, &g, d, &cfg).contains("cache    :"));
     }
 
     #[test]

@@ -2,10 +2,14 @@
 
 use crate::cache::ScheduleCache;
 use crate::config::SchedulerConfig;
+use crate::explain::{
+    CandidateExplain, GapVerdict, LevelExplain, PsExplain, SearchPhase, SearchStep, SolveExplain,
+    MAX_GAP_VERDICTS,
+};
 use crate::types::{Solution, SolveError, Strategy};
-use lamps_energy::{evaluate_summary, EnergyBreakdown};
+use lamps_energy::{evaluate_summary, min_sleep_cycles, EnergyBreakdown};
 use lamps_power::OperatingPoint;
-use lamps_sched::IdleSummary;
+use lamps_sched::{IdleSummary, ProcId};
 use lamps_taskgraph::TaskGraph;
 
 /// Best (level, energy) choice for one already-scheduled processor count.
@@ -33,6 +37,38 @@ pub fn solve(
     solve_with_cache(strategy, deadline_s, cfg, &mut cache)
 }
 
+/// [`solve`], additionally returning the full decision log.
+///
+/// The log records every processor count the search touched, every
+/// level sweep with per-gap shutdown verdicts, and the cache hit/miss
+/// deltas; see [`SolveExplain`]. Collecting it costs extra bookkeeping,
+/// so use the plain [`solve`] when the log is not needed.
+pub fn solve_explained(
+    strategy: Strategy,
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+) -> (Result<Solution, SolveError>, SolveExplain) {
+    let mut cache = ScheduleCache::for_graph(graph);
+    solve_with_cache_explained(strategy, deadline_s, cfg, &mut cache)
+}
+
+/// [`solve_with_cache`], additionally returning the full decision log
+/// (see [`solve_explained`]).
+pub fn solve_with_cache_explained(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+) -> (Result<Solution, SolveError>, SolveExplain) {
+    let mut explain = SolveExplain::new(strategy, deadline_s);
+    let result = solve_impl(strategy, deadline_s, cfg, cache, Some(&mut explain));
+    if let Err(e) = &result {
+        explain.error = Some(e.to_string());
+    }
+    (result, explain)
+}
+
 /// [`solve`] against a caller-owned [`ScheduleCache`].
 ///
 /// Because LS-EDF schedules are deadline-invariant for any deadline at
@@ -49,6 +85,46 @@ pub fn solve_with_cache(
     cfg: &SchedulerConfig,
     cache: &mut ScheduleCache<'_>,
 ) -> Result<Solution, SolveError> {
+    solve_impl(strategy, deadline_s, cfg, cache, None)
+}
+
+/// The shared solve body: runs the search, optionally filling a
+/// decision log, and flushes per-solve cache deltas into the global
+/// metrics registry.
+fn solve_impl(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+    mut explain: Option<&mut SolveExplain>,
+) -> Result<Solution, SolveError> {
+    let _span = lamps_obs::span("core", "solve");
+    let stats_before = cache.stats();
+    let result = solve_search(strategy, deadline_s, cfg, cache, explain.as_deref_mut());
+    let delta = cache.stats().since(&stats_before);
+    if let Some(ex) = explain {
+        ex.cache = delta;
+    }
+    if lamps_obs::metrics_enabled() {
+        lamps_obs::counter("core.solve.calls").inc();
+        if result.is_err() {
+            lamps_obs::counter("core.solve.errors").inc();
+        }
+        lamps_obs::counter("core.cache.schedule_hits").add(delta.schedule_hits);
+        lamps_obs::counter("core.cache.schedule_misses").add(delta.schedule_misses);
+        lamps_obs::counter("core.cache.summary_hits").add(delta.summary_hits);
+        lamps_obs::counter("core.cache.summary_misses").add(delta.summary_misses);
+    }
+    result
+}
+
+fn solve_search(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+    mut ex: Option<&mut SolveExplain>,
+) -> Result<Solution, SolveError> {
     let graph = cache.graph();
     if !deadline_s.is_finite() || deadline_s <= 0.0 {
         return Err(SolveError::BadDeadline(deadline_s));
@@ -64,8 +140,16 @@ pub fn solve_with_cache(
     if graph.critical_path_cycles() > deadline_cycles {
         return Err(infeasible(graph.critical_path_cycles()));
     }
+    if let Some(e) = ex.as_deref_mut() {
+        e.deadline_cycles = deadline_cycles;
+    }
 
     let ps = strategy.uses_ps();
+    let want_explain = ex.is_some();
+    // Probe records are buffered locally: the observer closures cannot
+    // borrow `ex` directly while `cache` is mutably borrowed. An empty
+    // Vec never allocates, so the plain (no-log) path stays free.
+    let mut steps: Vec<SearchStep> = Vec::new();
 
     let best = if strategy.searches_proc_count() {
         // LAMPS / LAMPS+PS (§4.2–§4.3, Figs. 5 & 8): binary search for
@@ -73,13 +157,36 @@ pub fn solve_with_cache(
         // makespan keeps decreasing, keeping the least-energy
         // configuration. The scan is linear, not binary, because energy
         // over the processor count has local minima (Fig. 6).
-        let n_min = cache
-            .min_feasible_procs(deadline_cycles)
-            .ok_or_else(|| infeasible(cache.makespan(graph.len().max(1))))?;
+        let n_min_found = cache.min_feasible_procs_with(deadline_cycles, &mut |n, m, hit| {
+            if want_explain {
+                steps.push(SearchStep {
+                    phase: SearchPhase::BinaryProbe,
+                    n_procs: n,
+                    makespan_cycles: m,
+                    feasible: m <= deadline_cycles,
+                    cache_hit: hit,
+                });
+            }
+        });
+        if let Some(e) = ex.as_deref_mut() {
+            e.search.append(&mut steps);
+        }
+        let n_min = n_min_found.ok_or_else(|| infeasible(cache.makespan(graph.len().max(1))))?;
         let mut best: Option<Candidate> = None;
+        let mut best_index: Option<usize> = None;
         let mut prev_makespan: Option<u64> = None;
         for n in n_min..=graph.len().max(1) {
+            let was_cached = cache.is_cached(n);
             let makespan = cache.makespan(n);
+            if let Some(e) = ex.as_deref_mut() {
+                e.search.push(SearchStep {
+                    phase: SearchPhase::LinearScan,
+                    n_procs: n,
+                    makespan_cycles: makespan,
+                    feasible: makespan <= deadline_cycles,
+                    cache_hit: was_cached,
+                });
+            }
             if let Some(prev) = prev_makespan {
                 // "until increasing the number of processors no longer
                 // decreases the makespan" (§4.2).
@@ -88,28 +195,72 @@ pub fn solve_with_cache(
                 }
             }
             prev_makespan = Some(makespan);
-            if let Some(c) = best_level_for(cache.summary(n), n, deadline_s, cfg, ps) {
+            let mut detail = want_explain.then(|| candidate_detail(n, makespan, was_cached));
+            let cand =
+                best_level_for_impl(cache.summary(n), n, deadline_s, cfg, ps, detail.as_mut());
+            if let (Some(e), Some(d)) = (ex.as_deref_mut(), detail) {
+                e.candidates.push(d);
+            }
+            if let Some(c) = cand {
                 if best
                     .as_ref()
                     .is_none_or(|b| c.energy.total() < b.energy.total())
                 {
                     best = Some(c);
+                    best_index = ex.as_deref().map(|e| e.candidates.len() - 1);
                 }
             }
+        }
+        if let Some(e) = ex.as_deref_mut() {
+            e.chosen = best_index;
         }
         best.ok_or_else(|| infeasible(cache.makespan(n_min)))?
     } else {
         // S&S / S&S+PS (§4.1, §4.3): employ as many processors as reduce
         // the makespan; if (anomalously) that schedule misses the
         // deadline, fall back to the minimal feasible count.
-        let mut n = cache.max_useful_procs();
+        let mut n = cache.max_useful_procs_with(&mut |n, m, hit| {
+            if want_explain {
+                steps.push(SearchStep {
+                    phase: SearchPhase::MaxUseful,
+                    n_procs: n,
+                    makespan_cycles: m,
+                    feasible: m <= deadline_cycles,
+                    cache_hit: hit,
+                });
+            }
+        });
         if cache.makespan(n) > deadline_cycles {
-            n = cache
-                .min_feasible_procs(deadline_cycles)
-                .ok_or_else(|| infeasible(cache.makespan(n)))?;
+            let fallback = cache.min_feasible_procs_with(deadline_cycles, &mut |n, m, hit| {
+                if want_explain {
+                    steps.push(SearchStep {
+                        phase: SearchPhase::Fallback,
+                        n_procs: n,
+                        makespan_cycles: m,
+                        feasible: m <= deadline_cycles,
+                        cache_hit: hit,
+                    });
+                }
+            });
+            if let Some(e) = ex.as_deref_mut() {
+                e.search.append(&mut steps);
+            }
+            n = fallback.ok_or_else(|| infeasible(cache.makespan(n)))?;
+        } else if let Some(e) = ex.as_deref_mut() {
+            e.search.append(&mut steps);
         }
-        best_level_for(cache.summary(n), n, deadline_s, cfg, ps)
-            .ok_or_else(|| infeasible(cache.makespan(n)))?
+        let was_cached = cache.is_cached(n);
+        let summary = cache.summary(n);
+        let makespan = summary.makespan_cycles();
+        let mut detail = want_explain.then(|| candidate_detail(n, makespan, was_cached));
+        let cand = best_level_for_impl(summary, n, deadline_s, cfg, ps, detail.as_mut());
+        if let (Some(e), Some(d)) = (ex, detail) {
+            e.candidates.push(d);
+            if cand.is_some() {
+                e.chosen = Some(0);
+            }
+        }
+        cand.ok_or_else(|| infeasible(cache.makespan(n)))?
     };
 
     let schedule = cache.schedule(best.n_procs).clone();
@@ -140,8 +291,19 @@ pub(crate) fn best_level_for(
     cfg: &SchedulerConfig,
     ps: bool,
 ) -> Option<Candidate> {
+    best_level_for_impl(summary, n_procs, deadline_s, cfg, ps, None)
+}
+
+fn best_level_for_impl(
+    summary: &IdleSummary,
+    n_procs: usize,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    ps: bool,
+    detail: Option<&mut CandidateExplain>,
+) -> Option<Candidate> {
     let required_freq = summary.makespan_cycles() as f64 / deadline_s;
-    best_level_constrained(summary, n_procs, required_freq, deadline_s, cfg, ps)
+    best_level_impl(summary, n_procs, required_freq, deadline_s, cfg, ps, detail)
 }
 
 /// Level selection with an explicit minimum frequency (used directly by
@@ -155,13 +317,89 @@ pub(crate) fn best_level_constrained(
     cfg: &SchedulerConfig,
     ps: bool,
 ) -> Option<Candidate> {
+    best_level_impl(summary, n_procs, required_freq, horizon_s, cfg, ps, None)
+}
+
+/// An empty [`CandidateExplain`] shell for the sweep to fill.
+fn candidate_detail(n_procs: usize, makespan_cycles: u64, cache_hit: bool) -> CandidateExplain {
+    CandidateExplain {
+        n_procs,
+        makespan_cycles,
+        required_freq_hz: 0.0,
+        cache_hit,
+        levels: Vec::new(),
+        best_level: None,
+    }
+}
+
+/// Per-gap shutdown verdicts of `summary` at `level`'s break-even
+/// cutoff (the §4.3 rule, re-derived for the decision log).
+fn ps_explain(
+    summary: &IdleSummary,
+    level: &OperatingPoint,
+    sleep: &lamps_power::SleepParams,
+) -> PsExplain {
+    let cutoff = min_sleep_cycles(level, sleep);
+    let mut out = PsExplain {
+        cutoff_cycles: cutoff,
+        sleep_gaps: 0,
+        awake_gaps: 0,
+        sleep_cycles: 0,
+        awake_cycles: 0,
+        intervals: Vec::new(),
+        truncated: false,
+    };
+    for p in 0..summary.n_procs() {
+        let p = ProcId(p as u32);
+        let (awake, asleep, episodes) = summary.split_gaps(p, cutoff);
+        out.awake_cycles += awake;
+        out.sleep_cycles += asleep;
+        out.sleep_gaps += episodes;
+        out.awake_gaps += summary.gap_count(p) - episodes;
+        for &g in summary.gaps(p) {
+            if out.intervals.len() == MAX_GAP_VERDICTS {
+                out.truncated = true;
+                break;
+            }
+            out.intervals.push(GapVerdict {
+                proc: p.index(),
+                len_cycles: g,
+                sleeps: g >= cutoff,
+            });
+        }
+    }
+    out
+}
+
+fn best_level_impl(
+    summary: &IdleSummary,
+    n_procs: usize,
+    required_freq: f64,
+    horizon_s: f64,
+    cfg: &SchedulerConfig,
+    ps: bool,
+    mut detail: Option<&mut CandidateExplain>,
+) -> Option<Candidate> {
     let makespan_cycles = summary.makespan_cycles();
     let deadline_s = horizon_s;
     let sleep = ps.then_some(&cfg.sleep);
+    if let Some(d) = detail.as_deref_mut() {
+        d.required_freq_hz = required_freq;
+    }
 
     let mut best: Option<Candidate> = None;
     for level in cfg.levels.at_least(required_freq) {
-        let Ok(energy) = evaluate_summary(summary, level, deadline_s, sleep) else {
+        let evaluated = evaluate_summary(summary, level, deadline_s, sleep);
+        if let Some(d) = detail.as_deref_mut() {
+            d.levels.push(LevelExplain {
+                freq_hz: level.freq,
+                vdd: level.vdd,
+                energy_j: evaluated.as_ref().ok().map(|e| e.total()),
+                sleep_episodes: evaluated.as_ref().map_or(0, |e| e.sleep_episodes),
+                ps: sleep.map(|sl| ps_explain(summary, level, sl)),
+            });
+        }
+        let Ok(energy) = evaluated else {
             continue;
         };
         let candidate = Candidate {
@@ -175,6 +413,9 @@ pub(crate) fn best_level_constrained(
             .is_none_or(|b| energy.total() < b.energy.total())
         {
             best = Some(candidate);
+            if let Some(d) = detail.as_deref_mut() {
+                d.best_level = Some(d.levels.len() - 1);
+            }
         }
         if !ps {
             // Without PS the paper stretches maximally: take the slowest
@@ -358,6 +599,91 @@ mod tests {
             let sol = solve(s, &g, d, &cfg()).unwrap();
             assert_eq!(sol.n_procs, 1);
         }
+    }
+
+    #[test]
+    fn explained_solve_matches_plain_and_serializes() {
+        let g = fig4a_coarse();
+        let d = deadline_x(&g, 2.0);
+        for s in Strategy::all() {
+            let plain = solve(s, &g, d, &cfg()).unwrap();
+            let (res, ex) = solve_explained(s, &g, d, &cfg());
+            let sol = res.unwrap();
+            // The log is passive: same choice, bitwise-identical energy.
+            assert_eq!(sol.n_procs, plain.n_procs);
+            assert_eq!(
+                sol.energy.total().to_bits(),
+                plain.energy.total().to_bits(),
+                "{s}: explained solve diverged"
+            );
+            let chosen = ex.chosen.expect("feasible solve records its winner");
+            let c = &ex.candidates[chosen];
+            assert_eq!(c.n_procs, sol.n_procs);
+            let best = c.best_level.expect("winner has a level");
+            assert_eq!(
+                c.levels[best].energy_j.unwrap().to_bits(),
+                sol.energy.total().to_bits()
+            );
+            assert!(!ex.search.is_empty(), "{s}: search path recorded");
+            assert_eq!(ex.deadline_cycles, cfg().deadline_cycles(d));
+            // JSON round-trips through the shared parser.
+            let v = lamps_obs::json::parse(&ex.to_json()).expect("valid JSON");
+            assert_eq!(v.get("schema").unwrap().as_str(), Some("lamps-explain-v1"));
+            assert_eq!(v.get("strategy").unwrap().as_str(), Some(s.name()));
+            let cands = v.get("candidates").unwrap().as_array().unwrap();
+            assert_eq!(cands.len(), ex.candidates.len());
+            assert_eq!(v.get("chosen").unwrap().as_number(), Some(chosen as f64));
+            // Text rendering names the outcome.
+            let txt = ex.render_text();
+            assert!(txt.contains("chosen: n="), "{txt}");
+        }
+        // A failing solve records the error and no winner.
+        let (res, ex) = solve_explained(Strategy::Lamps, &g, deadline_x(&g, 0.5), &cfg());
+        assert!(res.is_err());
+        assert!(ex.error.is_some());
+        assert_eq!(ex.chosen, None);
+        let v = lamps_obs::json::parse(&ex.to_json()).unwrap();
+        assert!(v.get("error").unwrap().as_str().is_some());
+    }
+
+    #[test]
+    fn explain_ps_verdicts_match_break_even() {
+        let g = fig4a_coarse();
+        let d = deadline_x(&g, 8.0);
+        let (res, ex) = solve_explained(Strategy::LampsPs, &g, d, &cfg());
+        let sol = res.unwrap();
+        assert!(sol.energy.sleep_episodes > 0 || !ex.candidates.is_empty());
+        let mut levels_seen = 0usize;
+        for c in &ex.candidates {
+            for l in &c.levels {
+                let p = l.ps.as_ref().expect("+PS strategies carry verdicts");
+                levels_seen += 1;
+                if !p.truncated {
+                    assert_eq!(p.intervals.len(), p.sleep_gaps + p.awake_gaps);
+                    assert_eq!(
+                        p.intervals.iter().filter(|g| g.sleeps).count(),
+                        p.sleep_gaps
+                    );
+                    let sleep_cycles: u64 = p
+                        .intervals
+                        .iter()
+                        .filter(|g| g.sleeps)
+                        .map(|g| g.len_cycles)
+                        .sum();
+                    assert_eq!(sleep_cycles, p.sleep_cycles);
+                }
+                for g in &p.intervals {
+                    assert_eq!(g.sleeps, g.len_cycles >= p.cutoff_cycles);
+                }
+            }
+        }
+        assert!(levels_seen > 1, "+PS sweeps more than one level");
+        // Non-PS strategies carry no verdicts.
+        let (_, no_ps) = solve_explained(Strategy::Lamps, &g, d, &cfg());
+        assert!(no_ps
+            .candidates
+            .iter()
+            .all(|c| c.levels.iter().all(|l| l.ps.is_none())));
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! lamps-obs: the observability layer.
+//!
+//! Dependency-free, `unsafe`-free instrumentation for the solver hot
+//! paths. Three pieces, all behind process-wide switches that default to
+//! **off** so the cost of carrying the instrumentation is a single
+//! relaxed atomic load per call site (measured by the `obs_overhead`
+//! bench and gated in CI at ≤ 2%):
+//!
+//! * [`registry`] — a thread-safe metrics registry of monotonic
+//!   [`registry::Counter`]s, [`registry::Gauge`]s, and fixed-bucket
+//!   log₂-scale [`registry::Histogram`]s. Instruments are interned by
+//!   name once ([`counter`], [`gauge`], [`histogram`]) and updated
+//!   lock-free; [`registry::snapshot`] renders the current state as
+//!   aligned text or JSON.
+//! * [`trace`] — RAII [`trace::Span`]s on a monotonic clock. When
+//!   tracing is enabled the collected spans serialize to Chrome
+//!   trace-event JSON ([`trace::export_chrome_json`]) loadable in
+//!   Perfetto or `chrome://tracing`; when disabled a span is an inert
+//!   no-op that never samples the clock.
+//! * [`json`] — the minimal JSON writer/parser the other two (and the
+//!   `lamps-verify` schema checks) share, so the workspace stays free of
+//!   external dependencies.
+//!
+//! # Conventions
+//!
+//! Metric names are dotted paths rooted at the owning crate
+//! (`core.cache.schedule_hits`, `sched.list_schedule.runs`,
+//! `bench.par_map.worker_busy_us`). Span categories are the crate name;
+//! span names are the function or phase (`core`/`solve`,
+//! `sched`/`list_schedule`). Histogram units are encoded in the metric
+//! name suffix (`_us`, `_cycles`).
+//!
+//! # Example
+//!
+//! ```
+//! lamps_obs::enable_metrics();
+//! lamps_obs::enable_tracing();
+//! {
+//!     let _span = lamps_obs::span("example", "work");
+//!     lamps_obs::counter("example.items").add(3);
+//!     lamps_obs::histogram("example.len_us").record(120);
+//! }
+//! let snap = lamps_obs::registry::snapshot();
+//! assert_eq!(snap.counter("example.items"), Some(3));
+//! let json = lamps_obs::trace::export_chrome_json();
+//! assert!(json.contains("\"traceEvents\""));
+//! lamps_obs::disable_metrics();
+//! lamps_obs::disable_tracing();
+//! lamps_obs::registry::reset();
+//! lamps_obs::trace::take_events();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod registry;
+pub mod trace;
+
+pub use registry::{
+    counter, disable_metrics, enable_metrics, gauge, histogram, metrics_enabled, Counter, Gauge,
+    Histogram, MetricsSnapshot,
+};
+pub use trace::{
+    disable_tracing, enable_tracing, instant, span, span_named, tracing_enabled, Span,
+};

@@ -1,0 +1,512 @@
+//! The global metrics registry: counters, gauges, and log₂ histograms.
+//!
+//! Instruments are interned by name the first time [`counter`],
+//! [`gauge`], or [`histogram`] is called and live for the rest of the
+//! process; call sites cache the returned `&'static` handle in a
+//! `LazyLock` so the steady-state cost of an update is one relaxed load
+//! of the global enable flag plus (when enabled) one relaxed
+//! `fetch_add`. With metrics disabled — the default — every update
+//! returns after the flag load, which is what keeps the compiled-in
+//! instrumentation inside the 2% overhead budget the `obs_overhead`
+//! bench enforces.
+//!
+//! Hot loops should not update per-iteration: accumulate locally and
+//! flush once per unit of work (per solve, per worker), the pattern the
+//! solver and `par_map` instrumentation follow.
+
+use crate::json;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn metrics collection on process-wide.
+pub fn enable_metrics() {
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turn metrics collection off process-wide (updates become no-ops;
+/// existing values are kept until [`reset`]).
+pub fn disable_metrics() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Whether metrics collection is currently enabled.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Number of log₂ buckets per histogram: bucket `i` counts values `v`
+/// with `i == 64 - v.leading_zeros()`, i.e. `[2^(i-1), 2^i)`, with
+/// bucket 0 counting `v == 0`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonic counter.
+#[derive(Debug)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if metrics_enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins gauge.
+#[derive(Debug)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    const fn new() -> Self {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if metrics_enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket log₂-scale histogram of `u64` samples.
+///
+/// Bucket boundaries are powers of two, so `record` is a
+/// `leading_zeros` plus one atomic increment — no floating point, no
+/// allocation, no lock.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Bucket index of a sample: 0 for 0, else `64 - leading_zeros`.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound (inclusive) of bucket `i`.
+    pub fn bucket_lower(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if metrics_enabled() {
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// The non-empty bucket with the most samples, as
+    /// `(lower_bound, count)` — the "peak bucket" of a summary line.
+    pub fn peak_bucket(&self) -> Option<(u64, u64)> {
+        let mut best: Option<(u64, u64)> = None;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Ordering::Relaxed);
+            if c > 0 && best.is_none_or(|(_, bc)| c > bc) {
+                best = Some((Self::bucket_lower(i), c));
+            }
+        }
+        best
+    }
+
+    fn bucket_counts(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let c = b.load(Ordering::Relaxed);
+                (c > 0).then_some((Self::bucket_lower(i), c))
+            })
+            .collect()
+    }
+}
+
+enum Instrument {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    Histogram(&'static Histogram),
+}
+
+struct Registry {
+    entries: Mutex<Vec<(&'static str, Instrument)>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: std::sync::OnceLock<Registry> = std::sync::OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        entries: Mutex::new(Vec::new()),
+    })
+}
+
+fn lock_entries() -> std::sync::MutexGuard<'static, Vec<(&'static str, Instrument)>> {
+    // The registry does no work while holding the lock that could
+    // panic, so a poisoned lock only means another thread died; the
+    // data is still coherent.
+    registry().entries.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// The counter named `name`, interning it on first use.
+///
+/// Panics if `name` is already registered as a different instrument
+/// kind — names are global, keep them unique.
+pub fn counter(name: &'static str) -> &'static Counter {
+    let mut entries = lock_entries();
+    for (n, i) in entries.iter() {
+        if *n == name {
+            match i {
+                Instrument::Counter(c) => return c,
+                _ => panic!("metric {name:?} is not a counter"),
+            }
+        }
+    }
+    let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+    entries.push((name, Instrument::Counter(c)));
+    c
+}
+
+/// The gauge named `name`, interning it on first use.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    let mut entries = lock_entries();
+    for (n, i) in entries.iter() {
+        if *n == name {
+            match i {
+                Instrument::Gauge(g) => return g,
+                _ => panic!("metric {name:?} is not a gauge"),
+            }
+        }
+    }
+    let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+    entries.push((name, Instrument::Gauge(g)));
+    g
+}
+
+/// The histogram named `name`, interning it on first use.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    let mut entries = lock_entries();
+    for (n, i) in entries.iter() {
+        if *n == name {
+            match i {
+                Instrument::Histogram(h) => return h,
+                _ => panic!("metric {name:?} is not a histogram"),
+            }
+        }
+    }
+    let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+    entries.push((name, Instrument::Histogram(h)));
+    h
+}
+
+/// Zero every registered instrument (instruments stay registered).
+/// For benchmarks and tests that need a clean slate.
+pub fn reset() {
+    let entries = lock_entries();
+    for (_, i) in entries.iter() {
+        match i {
+            Instrument::Counter(c) => c.value.store(0, Ordering::Relaxed),
+            Instrument::Gauge(g) => g.value.store(0, Ordering::Relaxed),
+            Instrument::Histogram(h) => {
+                for b in &h.buckets {
+                    b.store(0, Ordering::Relaxed);
+                }
+                h.count.store(0, Ordering::Relaxed);
+                h.sum.store(0, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// One histogram in a snapshot: `(name, count, sum, non-empty
+/// (bucket_lower, count) pairs)`.
+pub type HistogramRow = (String, u64, u64, Vec<(u64, u64)>);
+
+/// A point-in-time copy of every registered instrument.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter, in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` per gauge, in name order.
+    pub gauges: Vec<(String, u64)>,
+    /// Per-histogram rows, in name order.
+    pub histograms: Vec<HistogramRow>,
+}
+
+impl MetricsSnapshot {
+    /// Value of the counter `name`, if registered.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge `name`, if registered.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// `(count, sum, buckets)` of the histogram `name`, if registered.
+    #[allow(clippy::type_complexity)]
+    pub fn histogram(&self, name: &str) -> Option<(u64, u64, &[(u64, u64)])> {
+        self.histograms
+            .iter()
+            .find(|(n, ..)| n == name)
+            .map(|(_, c, s, b)| (*c, *s, b.as_slice()))
+    }
+
+    /// Render as an aligned plain-text report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.histograms.iter().map(|(n, ..)| n.len()))
+            .max()
+            .unwrap_or(0);
+        for (n, v) in &self.counters {
+            let _ = writeln!(out, "{n:<width$} {v}");
+        }
+        for (n, v) in &self.gauges {
+            let _ = writeln!(out, "{n:<width$} {v}");
+        }
+        for (n, count, sum, buckets) in &self.histograms {
+            let mean = if *count > 0 {
+                *sum as f64 / *count as f64
+            } else {
+                0.0
+            };
+            let _ = write!(out, "{n:<width$} n={count} mean={mean:.1}");
+            if let Some((lo, c)) = buckets.iter().max_by_key(|(_, c)| *c) {
+                let _ = write!(out, " peak=[{lo},{})x{c}", lo.saturating_mul(2).max(1));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as a JSON document (`{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {count, sum, buckets: [[lower, n], ...]}}}`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (n, v)) in self.counters.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_string(&mut out, n);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (n, v)) in self.gauges.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_string(&mut out, n);
+            let _ = write!(out, ": {v}");
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (n, count, sum, buckets)) in self.histograms.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    ");
+            json::write_string(&mut out, n);
+            let _ = write!(
+                out,
+                ": {{\"count\": {count}, \"sum\": {sum}, \"buckets\": ["
+            );
+            for (j, (lo, c)) in buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "[{lo}, {c}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+/// Copy the current state of every registered instrument.
+pub fn snapshot() -> MetricsSnapshot {
+    let entries = lock_entries();
+    let mut snap = MetricsSnapshot::default();
+    for (n, i) in entries.iter() {
+        match i {
+            Instrument::Counter(c) => snap.counters.push((n.to_string(), c.get())),
+            Instrument::Gauge(g) => snap.gauges.push((n.to_string(), g.get())),
+            Instrument::Histogram(h) => {
+                snap.histograms
+                    .push((n.to_string(), h.count(), h.sum(), h.bucket_counts()))
+            }
+        }
+    }
+    drop(entries);
+    snap.counters.sort();
+    snap.gauges.sort();
+    snap.histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    snap
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+
+    // The registry is process-global; tests share it, so each test uses
+    // its own metric names and tolerates other tests' entries. Tests
+    // that toggle the enable flag serialize on this lock.
+    pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_updates_are_noops() {
+        let _g = test_lock();
+        disable_metrics();
+        let c = counter("test.reg.disabled");
+        let h = histogram("test.reg.disabled_h");
+        c.inc();
+        h.record(7);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn enabled_updates_accumulate_and_snapshot() {
+        let _g = test_lock();
+        enable_metrics();
+        let c = counter("test.reg.enabled");
+        let g = gauge("test.reg.enabled_g");
+        let h = histogram("test.reg.enabled_h");
+        c.add(3);
+        c.inc();
+        g.set(17);
+        for v in [0u64, 1, 2, 3, 600, 900, 1000, 1100] {
+            h.record(v);
+        }
+        let snap = snapshot();
+        assert_eq!(snap.counter("test.reg.enabled"), Some(4));
+        assert_eq!(snap.gauge("test.reg.enabled_g"), Some(17));
+        let (count, sum, _) = snap.histogram("test.reg.enabled_h").unwrap();
+        assert_eq!(count, 8);
+        assert_eq!(sum, 3606);
+        // 600, 900, 1000 (bucket [512,1024)) is the modal bucket.
+        assert_eq!(h.peak_bucket(), Some((512, 3)));
+        disable_metrics();
+    }
+
+    #[test]
+    fn interning_returns_the_same_instrument() {
+        let a = counter("test.reg.same") as *const Counter;
+        let b = counter("test.reg.same") as *const Counter;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_lower(0), 0);
+        assert_eq!(Histogram::bucket_lower(1), 1);
+        assert_eq!(Histogram::bucket_lower(10), 512);
+    }
+
+    #[test]
+    fn snapshot_json_parses() {
+        let _g = test_lock();
+        enable_metrics();
+        counter("test.reg.json_c").inc();
+        histogram("test.reg.json_h").record(42);
+        let snap = snapshot();
+        let v = crate::json::parse(&snap.to_json()).unwrap();
+        assert!(v.get("counters").is_some());
+        assert!(v.get("histograms").is_some());
+        let c = v
+            .get("counters")
+            .unwrap()
+            .get("test.reg.json_c")
+            .unwrap()
+            .as_number()
+            .unwrap();
+        assert!(c >= 1.0);
+        disable_metrics();
+    }
+
+    #[test]
+    fn text_report_lists_every_instrument() {
+        let _g = test_lock();
+        enable_metrics();
+        counter("test.reg.text_c").inc();
+        gauge("test.reg.text_g").set(5);
+        histogram("test.reg.text_h").record(100);
+        let text = snapshot().render_text();
+        for name in ["test.reg.text_c", "test.reg.text_g", "test.reg.text_h"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+        disable_metrics();
+    }
+}

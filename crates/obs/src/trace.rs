@@ -1,0 +1,301 @@
+//! RAII spans on a monotonic clock, exported as Chrome trace-event JSON.
+//!
+//! [`span`] returns a guard that records a complete (`"ph": "X"`) event
+//! when dropped; [`instant`] records a point event. With tracing
+//! disabled — the default — neither samples the clock nor takes the
+//! buffer lock: the guard is inert and the call is one relaxed atomic
+//! load. Timestamps are microseconds since the tracer first observed an
+//! event, from [`std::time::Instant`], so they are monotonic and
+//! unaffected by wall-clock adjustments.
+//!
+//! [`export_chrome_json`] writes the collected events in the [Chrome
+//! trace-event format] (JSON-object form, `"traceEvents"` array), which
+//! Perfetto and `chrome://tracing` load directly. Thread ids are small
+//! per-process integers assigned in thread-creation order, so lanes in
+//! the viewer stay stable across runs.
+//!
+//! [Chrome trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::json;
+use std::borrow::Cow;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+
+/// Turn span collection on process-wide.
+pub fn enable_tracing() {
+    TRACING.store(true, Ordering::Relaxed);
+}
+
+/// Turn span collection off process-wide (already-collected events are
+/// kept until [`take_events`]).
+pub fn disable_tracing() {
+    TRACING.store(false, Ordering::Relaxed);
+}
+
+/// Whether span collection is currently enabled.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Ordering::Relaxed)
+}
+
+/// One collected trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name (span or instant label).
+    pub name: Cow<'static, str>,
+    /// Category — by convention the owning crate.
+    pub cat: &'static str,
+    /// Phase: `'X'` (complete span) or `'i'` (instant).
+    pub phase: char,
+    /// Start, in µs since the tracer's origin.
+    pub ts_us: u64,
+    /// Duration in µs (0 for instants).
+    pub dur_us: u64,
+    /// Small per-process thread id.
+    pub tid: u64,
+}
+
+struct Tracer {
+    origin: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+fn tracer() -> &'static Tracer {
+    static TRACER: OnceLock<Tracer> = OnceLock::new();
+    TRACER.get_or_init(|| Tracer {
+        origin: Instant::now(),
+        events: Mutex::new(Vec::new()),
+    })
+}
+
+fn thread_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+fn push_event(ev: TraceEvent) {
+    let t = tracer();
+    let mut events = t.events.lock().unwrap_or_else(|e| e.into_inner());
+    events.push(ev);
+}
+
+/// An RAII span guard: the span covers creation to drop.
+///
+/// Inert (no clock sample, no allocation) when tracing is disabled at
+/// creation; a span that outlives a disable still records on drop.
+#[must_use = "a span measures the scope it lives in"]
+pub struct Span {
+    live: Option<(Cow<'static, str>, &'static str, Instant)>,
+}
+
+impl Span {
+    /// A span that records nothing.
+    pub fn inert() -> Self {
+        Span { live: None }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((name, cat, start)) = self.live.take() {
+            let t = tracer();
+            let ts_us = start.duration_since(t.origin).as_micros() as u64;
+            let dur_us = start.elapsed().as_micros() as u64;
+            push_event(TraceEvent {
+                name,
+                cat,
+                phase: 'X',
+                ts_us,
+                dur_us,
+                tid: thread_id(),
+            });
+        }
+    }
+}
+
+/// Open a span named `name` under category `cat`.
+#[inline]
+pub fn span(cat: &'static str, name: &'static str) -> Span {
+    if !tracing_enabled() {
+        return Span::inert();
+    }
+    Span {
+        live: Some((Cow::Borrowed(name), cat, Instant::now())),
+    }
+}
+
+/// Open a span with a runtime-constructed name (e.g. `"worker-3"`).
+#[inline]
+pub fn span_named(cat: &'static str, name: String) -> Span {
+    if !tracing_enabled() {
+        return Span::inert();
+    }
+    Span {
+        live: Some((Cow::Owned(name), cat, Instant::now())),
+    }
+}
+
+/// Record an instant event.
+#[inline]
+pub fn instant(cat: &'static str, name: &'static str) {
+    if !tracing_enabled() {
+        return;
+    }
+    let t = tracer();
+    let ts_us = Instant::now().duration_since(t.origin).as_micros() as u64;
+    push_event(TraceEvent {
+        name: Cow::Borrowed(name),
+        cat,
+        phase: 'i',
+        ts_us,
+        dur_us: 0,
+        tid: thread_id(),
+    });
+}
+
+/// Number of events currently buffered.
+pub fn event_count() -> usize {
+    tracer()
+        .events
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .len()
+}
+
+/// Drain and return the buffered events (oldest first).
+pub fn take_events() -> Vec<TraceEvent> {
+    std::mem::take(&mut *tracer().events.lock().unwrap_or_else(|e| e.into_inner()))
+}
+
+/// Serialize the buffered events (without draining them) as a Chrome
+/// trace-event JSON document.
+pub fn export_chrome_json() -> String {
+    let events = tracer().events.lock().unwrap_or_else(|e| e.into_inner());
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [");
+    for (i, ev) in events.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("  {\"name\": ");
+        json::write_string(&mut out, &ev.name);
+        out.push_str(", \"cat\": ");
+        json::write_string(&mut out, ev.cat);
+        let _ = write!(out, ", \"ph\": \"{}\", \"ts\": {}, ", ev.phase, ev.ts_us);
+        if ev.phase == 'X' {
+            let _ = write!(out, "\"dur\": {}, ", ev.dur_us);
+        } else {
+            // Instant events carry a scope instead of a duration.
+            out.push_str("\"s\": \"t\", ");
+        }
+        let _ = write!(out, "\"pid\": 0, \"tid\": {}}}", ev.tid);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::test_lock;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = test_lock();
+        disable_tracing();
+        take_events();
+        {
+            let _s = span("test", "disabled");
+            instant("test", "disabled_instant");
+        }
+        assert_eq!(event_count(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_order() {
+        let _g = test_lock();
+        enable_tracing();
+        take_events();
+        {
+            let _outer = span("test", "outer");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            {
+                let _inner = span("test", "inner");
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            instant("test", "tick");
+        }
+        disable_tracing();
+        let events = take_events();
+        assert_eq!(events.len(), 3);
+        // Drop order: inner completes first, then the instant, then outer.
+        assert_eq!(events[0].name, "inner");
+        assert_eq!(events[1].name, "tick");
+        assert_eq!(events[2].name, "outer");
+        let outer = &events[2];
+        let inner = &events[0];
+        assert_eq!(outer.phase, 'X');
+        assert_eq!(events[1].phase, 'i');
+        assert!(outer.dur_us >= inner.dur_us);
+        assert!(inner.ts_us >= outer.ts_us);
+        assert!(inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1);
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_required_fields() {
+        let _g = test_lock();
+        enable_tracing();
+        take_events();
+        {
+            let _a = span("test", "export_a");
+            let _b = span_named("test", "worker-7".to_string());
+        }
+        instant("test", "export_i");
+        disable_tracing();
+        let text = export_chrome_json();
+        take_events();
+        let v = crate::json::parse(&text).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert_eq!(events.len(), 3);
+        for ev in events {
+            assert!(ev.get("name").unwrap().as_str().is_some());
+            let ph = ev.get("ph").unwrap().as_str().unwrap();
+            assert!(ph == "X" || ph == "i");
+            assert!(ev.get("ts").unwrap().as_number().unwrap() >= 0.0);
+            if ph == "X" {
+                assert!(ev.get("dur").unwrap().as_number().unwrap() >= 0.0);
+            }
+            assert!(ev.get("pid").is_some() && ev.get("tid").is_some());
+        }
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").unwrap().as_str() == Some("worker-7")));
+    }
+
+    #[test]
+    fn threads_get_distinct_ids() {
+        let _g = test_lock();
+        enable_tracing();
+        take_events();
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    let _s = span("test", "threaded");
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        disable_tracing();
+        let events = take_events();
+        let mut tids: Vec<u64> = events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "three threads, three ids");
+    }
+}

@@ -109,6 +109,10 @@ pub struct IdleSummary {
 impl IdleSummary {
     /// Extract the summary from a schedule in one walk.
     pub fn new(schedule: &Schedule) -> Self {
+        if lamps_obs::metrics_enabled() {
+            lamps_obs::counter("sched.idle_summary.builds").inc();
+        }
+        let _span = lamps_obs::span("sched", "idle_summary");
         let n_procs = schedule.n_procs();
         let mut busy_cycles = vec![0u64; n_procs];
         let mut last_finish = vec![0u64; n_procs];
@@ -178,6 +182,14 @@ impl IdleSummary {
     #[inline]
     pub fn gap_count(&self, p: ProcId) -> usize {
         self.gaps_sorted[p.index()].len()
+    }
+
+    /// Lengths of processor `p`'s leading + inner gaps, ascending
+    /// \[cycles\]. The order is by length, not by position on the
+    /// timeline — the summary does not retain positions.
+    #[inline]
+    pub fn gaps(&self, p: ProcId) -> &[u64] {
+        &self.gaps_sorted[p.index()]
     }
 
     /// Split processor `p`'s leading + inner gaps at `cutoff_cycles`:

@@ -33,7 +33,7 @@ pub use deadlines::latest_finish_times;
 pub use idle::{idle_intervals, IdleInterval, IdleSummary};
 pub use insertion::{insertion_edf_schedule, insertion_schedule};
 pub use list::{edf_schedule, list_schedule, list_schedule_with, ListScheduleWorkspace};
-pub use metrics::{metrics, ScheduleMetrics};
+pub use metrics::{metrics, MetricsError, ScheduleMetrics};
 pub use partial::{reschedule_remaining, PartialSchedule, ProcAvailability};
 pub use priorities::PriorityPolicy;
 pub use schedule::{ProcId, Schedule, ScheduleError};

@@ -68,6 +68,12 @@ pub fn list_schedule_with(
     assert!(n_procs > 0, "need at least one processor");
     assert_eq!(keys.len(), graph.len(), "one key per task");
 
+    if lamps_obs::metrics_enabled() {
+        lamps_obs::counter("sched.list_schedule.runs").inc();
+        lamps_obs::counter("sched.list_schedule.tasks").add(graph.len() as u64);
+    }
+    let _span = lamps_obs::span("sched", "list_schedule");
+
     let n = graph.len();
     let mut start = vec![0u64; n];
     let mut finish = vec![0u64; n];

@@ -4,6 +4,36 @@
 
 use crate::idle::idle_intervals;
 use crate::schedule::{ProcId, Schedule};
+use std::fmt;
+
+/// Why schedule metrics could not be computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsError {
+    /// The accounting horizon ends before the schedule does, so the
+    /// timeline does not decompose into busy and idle time.
+    BadHorizon {
+        /// The horizon that was requested \[cycles\].
+        horizon_cycles: u64,
+        /// The schedule's makespan \[cycles\].
+        makespan_cycles: u64,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::BadHorizon {
+                horizon_cycles,
+                makespan_cycles,
+            } => write!(
+                f,
+                "horizon {horizon_cycles} is before the makespan {makespan_cycles}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
 
 /// Aggregate shape metrics of a schedule over a horizon.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,10 +55,17 @@ pub struct ScheduleMetrics {
 
 /// Compute the metrics of `schedule` over `[0, horizon_cycles]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the horizon is before the makespan.
-pub fn metrics(schedule: &Schedule, horizon_cycles: u64) -> ScheduleMetrics {
+/// Returns [`MetricsError::BadHorizon`] if the horizon is before the
+/// makespan.
+pub fn metrics(schedule: &Schedule, horizon_cycles: u64) -> Result<ScheduleMetrics, MetricsError> {
+    if horizon_cycles < schedule.makespan_cycles() {
+        return Err(MetricsError::BadHorizon {
+            horizon_cycles,
+            makespan_cycles: schedule.makespan_cycles(),
+        });
+    }
     let n = schedule.n_procs();
     let busy: Vec<u64> = (0..n as u32)
         .map(|p| schedule.busy_cycles(ProcId(p)))
@@ -41,7 +78,7 @@ pub fn metrics(schedule: &Schedule, horizon_cycles: u64) -> ScheduleMetrics {
 
     let mean_busy = total_busy as f64 / n as f64;
     let max_busy = busy.iter().copied().max().unwrap_or(0);
-    ScheduleMetrics {
+    Ok(ScheduleMetrics {
         utilization: if capacity == 0 {
             0.0
         } else {
@@ -60,7 +97,7 @@ pub fn metrics(schedule: &Schedule, horizon_cycles: u64) -> ScheduleMetrics {
         },
         max_idle_cycles: lengths.iter().copied().max().unwrap_or(0),
         employed: schedule.employed_procs(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -84,7 +121,7 @@ mod tests {
         let g = fork();
         let s = edf_schedule(&g, 2, 20);
         // P0: a[0,2) c[2,10); P1: d[2,6).
-        let m = metrics(&s, 10);
+        let m = metrics(&s, 10).unwrap();
         assert!((m.utilization - 14.0 / 20.0).abs() < 1e-12);
         assert!((m.imbalance - 10.0 / 7.0).abs() < 1e-12);
         assert_eq!(m.employed, 2);
@@ -98,7 +135,7 @@ mod tests {
     fn single_processor_is_fully_utilized_and_balanced() {
         let g = fork();
         let s = edf_schedule(&g, 1, 20);
-        let m = metrics(&s, s.makespan_cycles());
+        let m = metrics(&s, s.makespan_cycles()).unwrap();
         assert!((m.utilization - 1.0).abs() < 1e-12);
         assert!((m.imbalance - 1.0).abs() < 1e-12);
         assert_eq!(m.idle_intervals, 0);
@@ -109,8 +146,90 @@ mod tests {
     fn more_processors_lower_utilization() {
         let g = fork();
         let horizon = 20;
-        let u2 = metrics(&edf_schedule(&g, 2, 20), horizon).utilization;
-        let u4 = metrics(&edf_schedule(&g, 4, 20), horizon).utilization;
+        let u2 = metrics(&edf_schedule(&g, 2, 20), horizon)
+            .unwrap()
+            .utilization;
+        let u4 = metrics(&edf_schedule(&g, 4, 20), horizon)
+            .unwrap()
+            .utilization;
         assert!(u4 < u2);
+    }
+
+    #[test]
+    fn horizon_before_makespan_is_a_typed_error() {
+        let g = fork();
+        let s = edf_schedule(&g, 2, 20);
+        let makespan = s.makespan_cycles();
+        assert_eq!(
+            metrics(&s, makespan - 1),
+            Err(MetricsError::BadHorizon {
+                horizon_cycles: makespan - 1,
+                makespan_cycles: makespan,
+            })
+        );
+        // The error renders both numbers.
+        let msg = metrics(&s, 0).unwrap_err().to_string();
+        assert!(
+            msg.contains('0') && msg.contains(&makespan.to_string()),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_everything() {
+        // No tasks at all: makespan 0, so any horizon is valid. All
+        // processor-time is idle (one full-horizon interval per proc)
+        // and utilization is zero; with horizon 0 even the capacity
+        // vanishes and the division must not blow up.
+        let s = Schedule::new(3, vec![], vec![], vec![]);
+        let m = metrics(&s, 100).unwrap();
+        assert_eq!(m.utilization, 0.0);
+        assert_eq!(m.imbalance, 1.0);
+        assert_eq!(m.employed, 0);
+        assert_eq!(m.idle_intervals, 3);
+        assert_eq!(m.max_idle_cycles, 100);
+        assert!((m.mean_idle_cycles - 100.0).abs() < 1e-12);
+
+        let z = metrics(&s, 0).unwrap();
+        assert_eq!(z.utilization, 0.0);
+        assert_eq!(z.idle_intervals, 0);
+        assert_eq!(z.mean_idle_cycles, 0.0);
+    }
+
+    #[test]
+    fn single_task_metrics() {
+        let mut b = GraphBuilder::new();
+        b.add_task(7);
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 1, 10);
+        // Horizon = makespan: fully utilized, no idle.
+        let tight = metrics(&s, 7).unwrap();
+        assert!((tight.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(tight.idle_intervals, 0);
+        assert_eq!(tight.employed, 1);
+        // Horizon past the makespan: one tail interval.
+        let slack = metrics(&s, 10).unwrap();
+        assert!((slack.utilization - 0.7).abs() < 1e-12);
+        assert_eq!(slack.idle_intervals, 1);
+        assert_eq!(slack.max_idle_cycles, 3);
+    }
+
+    #[test]
+    fn fully_packed_schedule_has_unit_utilization_and_no_idle() {
+        // Two processors, both busy for the whole horizon: a chain of
+        // back-to-back tasks on each, horizon exactly the makespan.
+        let s = Schedule::new(
+            2,
+            vec![0, 4, 0, 6],
+            vec![4, 8, 6, 8],
+            vec![ProcId(0), ProcId(0), ProcId(1), ProcId(1)],
+        );
+        let m = metrics(&s, 8).unwrap();
+        assert!((m.utilization - 1.0).abs() < 1e-12);
+        assert!((m.imbalance - 1.0).abs() < 1e-12);
+        assert_eq!(m.idle_intervals, 0);
+        assert_eq!(m.mean_idle_cycles, 0.0);
+        assert_eq!(m.max_idle_cycles, 0);
+        assert_eq!(m.employed, 2);
     }
 }

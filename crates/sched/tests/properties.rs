@@ -99,7 +99,7 @@ fn metrics_consistent() {
         if horizon == 0 {
             continue;
         }
-        let m = metrics(&s, horizon);
+        let m = metrics(&s, horizon).expect("horizon covers the makespan");
         assert!((0.0..=1.0 + 1e-12).contains(&m.utilization));
         assert!(m.imbalance >= 1.0 - 1e-12);
         assert!(m.employed <= n_procs);

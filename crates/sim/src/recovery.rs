@@ -203,6 +203,7 @@ pub fn run_with_faults(
     cfg: &SchedulerConfig,
     switch: &DvsSwitchCost,
 ) -> Result<FaultyRunReport, SimError> {
+    let _span = lamps_obs::span("sim", "run_with_faults");
     let n = graph.len();
     let n_procs = solution.schedule.n_procs();
     if actual.len() != n {
@@ -567,6 +568,26 @@ pub fn run_with_faults(
     } else {
         RunOutcome::DeadlineMiss { lateness }
     };
+
+    if lamps_obs::metrics_enabled() {
+        lamps_obs::counter("sim.faults.runs").inc();
+        lamps_obs::counter("sim.faults.injected").add(injected.len() as u64);
+        lamps_obs::counter("sim.faults.recoveries").add(recoveries.len() as u64);
+        let escalations = recoveries
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r,
+                    RecoveryAction::BaseLevelRaised { .. } | RecoveryAction::TaskBoosted { .. }
+                )
+            })
+            .count();
+        lamps_obs::counter("sim.faults.escalations").add(escalations as u64);
+        lamps_obs::counter("sim.faults.dvs_switches").add(dvs_switches as u64);
+        if matches!(outcome, RunOutcome::DeadlineMiss { .. }) {
+            lamps_obs::counter("sim.faults.deadline_misses").inc();
+        }
+    }
 
     Ok(FaultyRunReport {
         energy,

@@ -15,6 +15,9 @@
 //!   fuzzer over random DAGs and KPN unrollings, a self-contained text
 //!   format for failing cases, greedy shrinking, and a regression corpus
 //!   runner so every counterexample ever found stays fixed.
+//! * [`obs`] — structural checks for the observability artifacts: Chrome
+//!   trace-event JSON ([`obs::check_chrome_trace`]) and the
+//!   `lamps-explain-v1` solver decision log ([`obs::check_explain`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,6 +25,7 @@
 pub mod case;
 pub mod corpus;
 pub mod fuzz;
+pub mod obs;
 pub mod oracle;
 pub mod runtime;
 pub mod validator;
@@ -29,6 +33,7 @@ pub mod validator;
 pub use case::Case;
 pub use corpus::{corpus_file_name, run_corpus, CorpusResult};
 pub use fuzz::{check_case, run, CaseStats, FuzzConfig, FuzzFailure, FuzzOutcome};
+pub use obs::{check_chrome_trace, check_explain};
 pub use oracle::{exhaustive_optimum, OracleConfig, OracleError, OracleResult};
 pub use runtime::{check_run, RunViolation};
 pub use validator::{check_schedule, check_solution, rebill, RebilledEnergy, Violation};

@@ -52,7 +52,7 @@ fn main() {
     let chosen = &pts[knee];
     let sol = solve(Strategy::LampsPs, &graph, chosen.deadline_s, &cfg).unwrap();
     let horizon_cycles = (chosen.deadline_s * sol.level.freq) as u64;
-    let m = metrics(&sol.schedule, horizon_cycles);
+    let m = metrics(&sol.schedule, horizon_cycles).expect("deadline covers the makespan");
     println!(
         "knee config: {} procs at {:.2} V | utilization {:.0}% | imbalance {:.2} | {} idle intervals (max {:.1} ms)",
         sol.n_procs,

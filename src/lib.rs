@@ -21,6 +21,8 @@
 //!   (§4);
 //! * [`sim`] — execution simulation with online slack reclamation (the
 //!   §6 future-work direction, after Zhu et al.);
+//! * [`obs`] — zero-dependency observability: metrics registry, RAII
+//!   trace spans with Chrome/Perfetto export, solver decision logs;
 //! * [`viz`] — SVG Gantt charts and power-over-time plots;
 //! * [`verify`] — independent schedule validation, exact exhaustive
 //!   oracles, and deterministic differential fuzzing.
@@ -53,6 +55,7 @@
 pub use lamps_core as core;
 pub use lamps_energy as energy;
 pub use lamps_kpn as kpn;
+pub use lamps_obs as obs;
 pub use lamps_power as power;
 pub use lamps_sched as sched;
 pub use lamps_sim as sim;
