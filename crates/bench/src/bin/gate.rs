@@ -1,6 +1,8 @@
 //! Bench-regression gate: compare a fresh `throughput` run against the
-//! committed baseline and fail if the solver got materially slower or
-//! the two engines stopped agreeing bit-for-bit.
+//! committed baseline and fail if the solver got materially slower, the
+//! pruned and unpruned engines stopped agreeing bit-for-bit, or the
+//! fresh run is missing the per-stage timings / prune counters the
+//! current schema requires (a sign of a stale binary).
 //!
 //! ```text
 //! gate --baseline BENCH_solver.json --current /tmp/bench_smoke.json [--min-ratio 0.5]
@@ -104,6 +106,22 @@ fn metrics_summary(text: &str) -> String {
     )
 }
 
+/// Per-stage timings every fresh `throughput` run must report.
+const STAGE_KEYS: [&str; 3] = [
+    "schedule_seconds",
+    "sweep_seconds",
+    "unpruned_reference_seconds",
+];
+
+/// Prune/cache counters every fresh `throughput` run must report.
+const COUNTER_KEYS: [&str; 5] = [
+    "plateau_hits",
+    "probes_pruned",
+    "candidates",
+    "sweeps_skipped",
+    "scan_breaks",
+];
+
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
@@ -142,6 +160,22 @@ fn main() {
     if !cur_equal {
         failed = true;
         eprintln!("gate FAILURE: engines no longer agree bit-for-bit (all_bitwise_equal = false)");
+    }
+    // Schema check: a current file without the per-stage timings or the
+    // prune counters came from a stale binary — fail loudly instead of
+    // gating on a number whose provenance is unknown. (The *baseline*
+    // may predate the schema; only the fresh run is held to it.)
+    for key in STAGE_KEYS {
+        if json_number(&current, Some("stages"), key).is_none() {
+            failed = true;
+            eprintln!("gate FAILURE: {current_path} is missing stages.{key}");
+        }
+    }
+    for key in COUNTER_KEYS {
+        if json_number(&current, Some("counters"), key).is_none() {
+            failed = true;
+            eprintln!("gate FAILURE: {current_path} is missing counters.{key}");
+        }
     }
     // NaN (corrupt input) must fail, so test for the passing condition.
     let fast_enough = ratio >= min_ratio;
@@ -214,6 +248,32 @@ mod tests {
         );
         assert!(!line.contains('\n'), "must be one line: {line}");
         assert!(metrics_summary("not json").contains("did not parse"));
+    }
+
+    #[test]
+    fn new_schema_keys_extract() {
+        let sample = r#"{
+  "after": {
+    "solves_per_sec": 4400.0,
+    "stages": {"schedule_seconds": 0.09, "sweep_seconds": 0.04, "unpruned_reference_seconds": 0.6},
+    "counters": {"plateau_hits": 1710, "probes_pruned": 0, "candidates": 2786, "sweeps_skipped": 0, "scan_breaks": 216}
+  },
+  "all_bitwise_equal": true
+}"#;
+        for key in STAGE_KEYS {
+            assert!(
+                json_number(sample, Some("stages"), key).is_some(),
+                "missing stage {key}"
+            );
+        }
+        for key in COUNTER_KEYS {
+            assert!(
+                json_number(sample, Some("counters"), key).is_some(),
+                "missing counter {key}"
+            );
+        }
+        // The pre-rework schema must be recognizably incomplete.
+        assert!(json_number(SAMPLE, Some("stages"), "schedule_seconds").is_none());
     }
 
     #[test]

@@ -20,13 +20,13 @@
 
 use lamps_bench::cli::Options;
 use lamps_bench::suite::{Granularity, Suite, DEADLINE_FACTORS};
+use lamps_bench::timing::{sample_seconds, MinSeconds};
 use lamps_core::cache::ScheduleCache;
 use lamps_core::{solve_with_cache, SchedulerConfig, Strategy};
 use lamps_energy::evaluate_summary;
 use lamps_sched::IdleSummary;
 use lamps_taskgraph::TaskGraph;
 use std::fmt::Write as _;
-use std::time::Instant;
 
 /// Slowest-to-fastest level sweep over the idle summary, identical in
 /// shape to the solver's internal sweep but with zero obs bookkeeping.
@@ -56,8 +56,9 @@ fn baseline_best_level(
 
 /// The optimized search (§4.1–§4.3) on the public cache API, without
 /// the span/counter/stats wrapper of [`solve_with_cache`]. The chosen
-/// schedule is cloned exactly like the real solver does, so the only
-/// difference between the engines is the instrumentation itself.
+/// schedule is taken as an `Arc` exactly like the real solver does, so
+/// the only difference between the engines is the instrumentation
+/// itself.
 fn baseline_solve(
     strategy: Strategy,
     graph: &TaskGraph,
@@ -99,7 +100,7 @@ fn baseline_solve(
             baseline_best_level(cache.summary(n), deadline_s, cfg, ps)?,
         )
     };
-    let _schedule = cache.schedule(best_n).clone();
+    let _schedule = cache.schedule_arc(best_n);
     Some(best_energy)
 }
 
@@ -332,60 +333,72 @@ fn main() {
     let _ = run(&graphs, &cfg, baseline_solve);
     let _ = run(&graphs, &cfg, instrumented_solve);
 
-    // Timing noise on a shared machine is one-sided (interference only
-    // slows a sample down), so the minimum over many short samples
-    // estimates each engine's true floor; a real x% overhead survives
-    // the minimum, noise does not. Baseline/disabled order alternates
-    // per rep so neither engine systematically inherits a cold state.
-    let mut t_baseline = f64::INFINITY;
-    let mut t_disabled = f64::INFINITY;
-    let mut t_enabled = f64::INFINITY;
+    // The interleaved min-of-samples discipline lives in
+    // `lamps_bench::timing` (shared with `throughput`): noise on a
+    // shared machine is one-sided, so the minimum over many short
+    // samples estimates each engine's true floor; a real x% overhead
+    // survives the minimum, noise does not. Baseline/disabled order
+    // alternates per rep so neither engine systematically inherits a
+    // cold state.
+    let mut t_baseline = MinSeconds::new();
+    let mut t_disabled = MinSeconds::new();
+    let mut t_enabled = MinSeconds::new();
     let mut totals: Option<([f64; 4], [f64; 4], [f64; 4])> = None;
     for rep in 0..reps {
-        let mut base = [0.0; 4];
-        let mut dis = [0.0; 4];
-        let sample_base = |base: &mut [f64; 4]| {
-            let t = Instant::now();
-            for _ in 0..inner {
-                *base = run(&graphs, &cfg, baseline_solve);
-            }
-            t.elapsed().as_secs_f64()
+        let sample_base = || {
+            sample_seconds(|| {
+                let mut base = [0.0; 4];
+                for _ in 0..inner {
+                    base = run(&graphs, &cfg, baseline_solve);
+                }
+                base
+            })
         };
-        let sample_dis = |dis: &mut [f64; 4]| {
-            let t = Instant::now();
-            for _ in 0..inner {
-                *dis = run(&graphs, &cfg, instrumented_solve);
-            }
-            t.elapsed().as_secs_f64()
+        let sample_dis = || {
+            sample_seconds(|| {
+                let mut dis = [0.0; 4];
+                for _ in 0..inner {
+                    dis = run(&graphs, &cfg, instrumented_solve);
+                }
+                dis
+            })
         };
-        let (rep_base, rep_dis) = if rep % 2 == 0 {
-            let b = sample_base(&mut base);
-            let d = sample_dis(&mut dis);
+        let ((rep_base, base), (rep_dis, dis)) = if rep % 2 == 0 {
+            let b = sample_base();
+            let d = sample_dis();
             (b, d)
         } else {
-            let d = sample_dis(&mut dis);
-            let b = sample_base(&mut base);
+            let d = sample_dis();
+            let b = sample_base();
             (b, d)
         };
-        t_baseline = t_baseline.min(rep_base);
-        t_disabled = t_disabled.min(rep_dis);
+        t_baseline.record(rep_base);
+        t_disabled.record(rep_dis);
 
         lamps_obs::enable_metrics();
         lamps_obs::enable_tracing();
-        let t2 = Instant::now();
-        let mut ena = [0.0; 4];
-        for _ in 0..inner {
-            ena = run(&graphs, &cfg, instrumented_solve);
-            // Drain per pass so the trace buffer doesn't grow unbounded
-            // (draining is part of the enabled engine's cost).
-            let _ = lamps_obs::trace::take_events();
-        }
-        t_enabled = t_enabled.min(t2.elapsed().as_secs_f64());
+        let (rep_ena, ena) = sample_seconds(|| {
+            let mut ena = [0.0; 4];
+            for _ in 0..inner {
+                ena = run(&graphs, &cfg, instrumented_solve);
+                // Drain per pass so the trace buffer doesn't grow
+                // unbounded (draining is part of the enabled engine's
+                // cost).
+                let _ = lamps_obs::trace::take_events();
+            }
+            ena
+        });
+        t_enabled.record(rep_ena);
         lamps_obs::disable_metrics();
         lamps_obs::disable_tracing();
 
         totals.get_or_insert((base, dis, ena));
     }
+    let (t_baseline, t_disabled, t_enabled) = (
+        t_baseline.seconds(),
+        t_disabled.seconds(),
+        t_enabled.seconds(),
+    );
 
     let (base, dis, ena) = totals.expect("at least one rep");
     let mut all_equal = true;

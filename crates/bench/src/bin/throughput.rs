@@ -1,114 +1,51 @@
-//! Solver throughput benchmark: before/after the hot-path overhaul.
+//! Solver throughput benchmark against a recorded baseline run.
 //!
 //! Runs the Fig. 10 coarse-grain workload (STG-style random groups,
 //! 50–5000 nodes, plus the application proxies; four deadline factors ×
-//! four strategies per graph) through two engines living in this one
-//! binary:
+//! four strategies per graph, 608 solves) through the production solver
+//! — flat-arena schedule cache, lower-bound pruned scan, parallel
+//! candidate sweep — and times it with the shared min-over-reps helper
+//! ([`lamps_bench::timing`]).
 //!
-//! * **before** — the legacy layout: a fresh [`ScheduleCache`] keyed on
-//!   the *specific* deadline per (factor, strategy) cell, and a level
-//!   sweep that re-walks the whole schedule (`evaluate`) at every
-//!   candidate operating point;
-//! * **after** — the current layout: one canonical cache per graph
-//!   ([`ScheduleCache::for_graph`]) shared across all factors and
-//!   strategies, and the O(procs · log gaps) idle-summary sweep
-//!   ([`solve_with_cache`]).
+//! There is no in-process "legacy engine" reconstruction: the *before*
+//! figure comes from a **baseline JSON** recorded by actually running
+//! this binary at an earlier commit (`--baseline <json>`, default the
+//! committed `BENCH_solver.json`). Check out the seed commit in a
+//! scratch worktree, run `throughput --out seed.json` there, and pass
+//! that file here — see EXPERIMENTS.md for the recipe.
 //!
-//! Both engines run sequentially (no thread pool) so the measured ratio
-//! is purely algorithmic. Per-strategy energy totals are accumulated in
-//! identical order and compared with `f64::to_bits`; the binary aborts
-//! if the engines disagree on a single bit. Results land in a
-//! hand-written JSON file (default `BENCH_solver.json`).
+//! Correctness is gated in-run: the whole workload is re-solved with
+//! every solver shortcut disabled ([`solve_with_cache_unpruned`] on a
+//! shortcut-free cache) and the per-strategy energy totals must agree
+//! with the pruned engine bit-for-bit; when the baseline file covers
+//! the same workload its recorded totals must match too. The binary
+//! aborts on a single differing bit.
 //!
-//! Observability: `--trace <json>` writes a Chrome trace of the run,
-//! `--metrics-out <json>` dumps the metrics registry (including a
+//! Reported stages: `schedule_seconds` (list-scheduling cost — cold
+//! minus warm pass), `sweep_seconds` (a warm pass over pre-built
+//! caches: feasibility search + level sweeps only), and the untimed-
+//! path `unpruned_reference_seconds`, plus one workload's worth of
+//! cache/prune counters (plateau hits, probes pruned, sweeps skipped,
+//! scan breaks, candidates).
+//!
+//! Observability: `--trace <json>` writes a Chrome trace, `--metrics-out
+//! <json>` dumps the metrics registry (including a
 //! `bench.throughput.solves_per_sec` gauge), and `--explain <json>`
 //! writes one sample `lamps-explain-v1` decision log for CI validation.
+//! Enabling tracing from the start perturbs the timed passes; the
+//! recorded figures are only meaningful without `--trace`.
 
 use lamps_bench::cli::Options;
 use lamps_bench::suite::{Granularity, Suite, DEADLINE_FACTORS};
+use lamps_bench::timing::{min_over_reps, sample_seconds};
 use lamps_core::cache::ScheduleCache;
-use lamps_core::{solve_with_cache, SchedulerConfig, Strategy};
-use lamps_energy::{evaluate, EnergyBreakdown};
-use lamps_power::OperatingPoint;
-use lamps_sched::Schedule;
+use lamps_core::{solve_with_cache, solve_with_cache_unpruned, SchedulerConfig, Strategy};
+use lamps_obs::json::{parse, Value};
 use lamps_taskgraph::TaskGraph;
 use std::fmt::Write as _;
-use std::time::Instant;
-
-/// Legacy level sweep: slowest-to-fastest over the feasible levels,
-/// re-walking the schedule's task list at every candidate point.
-fn legacy_best_level(
-    schedule: &Schedule,
-    deadline_s: f64,
-    cfg: &SchedulerConfig,
-    ps: bool,
-) -> Option<(OperatingPoint, EnergyBreakdown)> {
-    let required = schedule.makespan_cycles() as f64 / deadline_s;
-    let sleep = ps.then_some(&cfg.sleep);
-    let mut best: Option<(OperatingPoint, EnergyBreakdown)> = None;
-    for level in cfg.levels.at_least(required) {
-        let Ok(energy) = evaluate(schedule, level, deadline_s, sleep) else {
-            continue;
-        };
-        if best
-            .as_ref()
-            .is_none_or(|(_, b)| energy.total() < b.total())
-        {
-            best = Some((*level, energy));
-        }
-        if !ps {
-            break;
-        }
-    }
-    best
-}
-
-/// The pre-overhaul solver: identical search structure to
-/// [`solve_with_cache`], but with a deadline-specific cache built fresh
-/// for every call and the full-walk level sweep above.
-fn legacy_solve(
-    strategy: Strategy,
-    graph: &TaskGraph,
-    deadline_s: f64,
-    cfg: &SchedulerConfig,
-) -> Option<EnergyBreakdown> {
-    let deadline_cycles = cfg.deadline_cycles(deadline_s);
-    if graph.critical_path_cycles() > deadline_cycles {
-        return None;
-    }
-    let mut cache = ScheduleCache::new(graph, deadline_cycles);
-    let ps = strategy.uses_ps();
-    if strategy.searches_proc_count() {
-        let n_min = cache.min_feasible_procs(deadline_cycles)?;
-        let mut best: Option<EnergyBreakdown> = None;
-        let mut prev_makespan: Option<u64> = None;
-        for n in n_min..=graph.len().max(1) {
-            let makespan = cache.makespan(n);
-            if let Some(prev) = prev_makespan {
-                if makespan >= prev {
-                    break;
-                }
-            }
-            prev_makespan = Some(makespan);
-            if let Some((_, e)) = legacy_best_level(cache.schedule(n), deadline_s, cfg, ps) {
-                if best.as_ref().is_none_or(|b| e.total() < b.total()) {
-                    best = Some(e);
-                }
-            }
-        }
-        best
-    } else {
-        let mut n = cache.max_useful_procs();
-        if cache.makespan(n) > deadline_cycles {
-            n = cache.min_feasible_procs(deadline_cycles)?;
-        }
-        legacy_best_level(cache.schedule(n), deadline_s, cfg, ps).map(|(_, e)| e)
-    }
-}
 
 /// Per-strategy energy totals accumulated in workload order.
-#[derive(Default)]
+#[derive(Default, Clone, Copy, PartialEq)]
 struct Totals {
     per_strategy: [f64; 4],
     solve_calls: usize,
@@ -123,35 +60,162 @@ impl Totals {
             self.solved += 1;
         }
     }
+
+    fn bitwise_eq(&self, other: &Totals) -> bool {
+        self.solve_calls == other.solve_calls
+            && self.solved == other.solved
+            && self
+                .per_strategy
+                .iter()
+                .zip(&other.per_strategy)
+                .all(|(a, b)| a.to_bits() == b.to_bits())
+    }
 }
 
-fn run_legacy(graphs: &[TaskGraph], cfg: &SchedulerConfig) -> Totals {
+/// One workload cell loop over caller-provided caches (one per graph),
+/// so the same traversal serves the cold, warm, and reference passes.
+fn run_cells<F>(
+    graphs: &[TaskGraph],
+    caches: &mut [ScheduleCache<'_>],
+    cfg: &SchedulerConfig,
+    mut solve_cell: F,
+) -> Totals
+where
+    F: FnMut(Strategy, f64, &SchedulerConfig, &mut ScheduleCache<'_>) -> Option<f64>,
+{
     let mut t = Totals::default();
-    for graph in graphs {
+    for (graph, cache) in graphs.iter().zip(caches.iter_mut()) {
         for &factor in &DEADLINE_FACTORS {
             let deadline_s = factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
             for (si, strategy) in Strategy::all().into_iter().enumerate() {
-                let e = legacy_solve(strategy, graph, deadline_s, cfg);
-                t.add(si, e.map(|b| b.total()));
+                t.add(si, solve_cell(strategy, deadline_s, cfg, cache));
             }
         }
     }
     t
 }
 
-fn run_optimized(graphs: &[TaskGraph], cfg: &SchedulerConfig) -> Totals {
-    let mut t = Totals::default();
-    for graph in graphs {
-        let mut cache = ScheduleCache::for_graph(graph);
-        for &factor in &DEADLINE_FACTORS {
-            let deadline_s = factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
-            for (si, strategy) in Strategy::all().into_iter().enumerate() {
-                let e = solve_with_cache(strategy, deadline_s, cfg, &mut cache).ok();
-                t.add(si, e.map(|s| s.energy.total()));
-            }
-        }
+/// The production engine on fresh caches: pays list scheduling + sweeps.
+fn run_cold(graphs: &[TaskGraph], cfg: &SchedulerConfig) -> Totals {
+    let mut caches: Vec<ScheduleCache<'_>> = graphs.iter().map(ScheduleCache::for_graph).collect();
+    run_cells(graphs, &mut caches, cfg, |strategy, d, cfg, cache| {
+        solve_with_cache(strategy, d, cfg, cache)
+            .ok()
+            .map(|s| s.energy.total())
+    })
+}
+
+/// The production engine on pre-populated caches: every schedule the
+/// scan touches is memoized, so this pass isolates the search + level
+/// sweep cost.
+fn run_warm(
+    graphs: &[TaskGraph],
+    caches: &mut [ScheduleCache<'_>],
+    cfg: &SchedulerConfig,
+) -> Totals {
+    run_cells(graphs, caches, cfg, |strategy, d, cfg, cache| {
+        solve_with_cache(strategy, d, cfg, cache)
+            .ok()
+            .map(|s| s.energy.total())
+    })
+}
+
+/// The shortcut-free reference: fresh caches with the plateau and
+/// lower-bound skips disabled, driven through the unpruned solver.
+fn run_unpruned(graphs: &[TaskGraph], cfg: &SchedulerConfig) -> Totals {
+    let mut caches: Vec<ScheduleCache<'_>> = graphs
+        .iter()
+        .map(|g| {
+            let mut c = ScheduleCache::for_graph(g);
+            c.set_shortcuts_enabled(false);
+            c
+        })
+        .collect();
+    run_cells(graphs, &mut caches, cfg, |strategy, d, cfg, cache| {
+        solve_with_cache_unpruned(strategy, d, cfg, cache)
+            .ok()
+            .map(|s| s.energy.total())
+    })
+}
+
+/// The recorded baseline this run is compared against.
+struct Baseline {
+    source: String,
+    found: bool,
+    /// Same workload (solve-call count) as the current run.
+    comparable: bool,
+    solves_per_sec: f64,
+    /// Recorded per-strategy totals (`energy_totals_j.<s>.after`).
+    energy: [Option<f64>; 4],
+}
+
+/// Read `after.solves_per_sec` and the per-strategy energy totals out
+/// of a previously recorded BENCH JSON. Tolerates both this binary's
+/// schema and the pre-rework one (both keep the same key paths).
+fn read_baseline(path: &str, strategies: &[&str; 4], solve_calls: usize) -> Baseline {
+    let mut b = Baseline {
+        source: path.to_string(),
+        found: false,
+        comparable: false,
+        solves_per_sec: 0.0,
+        energy: [None; 4],
+    };
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return b;
+    };
+    let Ok(root) = parse(&text) else {
+        return b;
+    };
+    let Some(sps) = root
+        .get("after")
+        .and_then(|a| a.get("solves_per_sec"))
+        .and_then(Value::as_number)
+    else {
+        return b;
+    };
+    b.found = true;
+    b.solves_per_sec = sps;
+    b.comparable = root
+        .get("workload")
+        .and_then(|w| w.get("solve_calls"))
+        .and_then(Value::as_number)
+        == Some(solve_calls as f64);
+    for (si, name) in strategies.iter().enumerate() {
+        b.energy[si] = root
+            .get("energy_totals_j")
+            .and_then(|e| e.get(name))
+            .and_then(|s| s.get("after"))
+            .and_then(Value::as_number);
     }
-    t
+    b
+}
+
+/// Snapshot of the solver counters this binary reports.
+#[derive(Default, Clone, Copy)]
+struct Counters {
+    values: [u64; 10],
+}
+
+const COUNTER_NAMES: [(&str, &str); 10] = [
+    ("schedule_hits", "core.cache.schedule_hits"),
+    ("schedule_misses", "core.cache.schedule_misses"),
+    ("summary_hits", "core.cache.summary_hits"),
+    ("summary_misses", "core.cache.summary_misses"),
+    ("plateau_hits", "core.cache.plateau_hits"),
+    ("probes_pruned", "core.cache.probes_pruned"),
+    ("candidates", "core.scan.candidates"),
+    ("parallel_candidates", "core.scan.parallel_candidates"),
+    ("sweeps_skipped", "core.prune.sweeps_skipped"),
+    ("scan_breaks", "core.prune.scan_breaks"),
+];
+
+fn counters_now() -> Counters {
+    let snap = lamps_obs::registry::snapshot();
+    let mut c = Counters::default();
+    for (i, (_, metric)) in COUNTER_NAMES.iter().enumerate() {
+        c.values[i] = snap.counter(metric).unwrap_or(0);
+    }
+    c
 }
 
 fn main() {
@@ -160,6 +224,8 @@ fn main() {
         "seed",
         "out",
         "smoke",
+        "reps",
+        "baseline",
         "trace",
         "metrics-out",
         "explain",
@@ -168,14 +234,13 @@ fn main() {
     let graphs_per_group = opts.usize("graphs", if smoke { 2 } else { 5 });
     let seed = opts.u64("seed", 2006);
     let out = opts.string("out", "BENCH_solver.json");
+    let reps = opts.usize("reps", if smoke { 3 } else { 7 }).max(1);
+    let baseline_path = opts.string("baseline", "BENCH_solver.json");
     let trace_path = opts.string("trace", "");
     let metrics_out = opts.string("metrics-out", "");
     let explain_out = opts.string("explain", "");
     if !trace_path.is_empty() {
         lamps_obs::enable_tracing();
-    }
-    if !metrics_out.is_empty() {
-        lamps_obs::enable_metrics();
     }
 
     let suite = if smoke {
@@ -193,50 +258,109 @@ fn main() {
         .flat_map(|g| g.graphs.iter().map(|graph| graph.scale_weights(unit)))
         .collect();
     eprintln!(
-        "throughput: {} graphs ({} groups) x {} factors x {} strategies, coarse grain, seed {seed}",
+        "throughput: {} graphs ({} groups) x {} factors x {} strategies, coarse grain, seed {seed}, {reps} reps",
         graphs.len(),
         group_names.len(),
         DEADLINE_FACTORS.len(),
         Strategy::all().len(),
     );
 
-    let t0 = Instant::now();
-    let before = run_legacy(&graphs, &cfg);
-    let before_s = t0.elapsed().as_secs_f64();
+    let strategies = ["ss", "lamps", "ss_ps", "lamps_ps"];
+    // Read the baseline before anything overwrites `out` (they default
+    // to the same file).
+    let warmup = run_cold(&graphs, &cfg);
+    let baseline = read_baseline(&baseline_path, &strategies, warmup.solve_calls);
+
+    // Headline: full engine on fresh caches, minimum over `reps` passes
+    // (one noisy sample must not decide the recorded figure).
+    let (total_s, after) = min_over_reps(reps, || run_cold(&graphs, &cfg));
+    assert!(
+        after.bitwise_eq(&warmup),
+        "cold passes disagree with each other"
+    );
+    let solves_per_sec = after.solve_calls as f64 / total_s;
     eprintln!(
-        "before: {:.3} s, {:.1} solves/s (per-cell cache + schedule-walk sweep)",
-        before_s,
-        before.solve_calls as f64 / before_s
+        "after: {total_s:.3} s (min of {reps}), {solves_per_sec:.1} solves/s (arena cache + pruned scan)"
     );
 
-    let t1 = Instant::now();
-    let after = run_optimized(&graphs, &cfg);
-    let after_s = t1.elapsed().as_secs_f64();
+    // Stage split: a warm pass re-solves every cell against caches that
+    // already hold all schedules, isolating search + sweep cost; the
+    // cold-minus-warm difference is the list-scheduling cost.
+    let mut warm_caches: Vec<ScheduleCache<'_>> =
+        graphs.iter().map(ScheduleCache::for_graph).collect();
+    let _ = run_warm(&graphs, &mut warm_caches, &cfg);
+    let (sweep_s, warm) = min_over_reps(reps, || run_warm(&graphs, &mut warm_caches, &cfg));
+    assert!(warm.bitwise_eq(&after), "warm pass changed the solutions");
+    let schedule_s = (total_s - sweep_s).max(0.0);
+    eprintln!("stages: schedule {schedule_s:.3} s, sweep {sweep_s:.3} s (warm-pass split)");
+
+    // Correctness reference: every shortcut disabled, bit-for-bit the
+    // same totals or the binary aborts below.
+    let (reference_s, reference) = sample_seconds(|| run_unpruned(&graphs, &cfg));
     eprintln!(
-        "after:  {:.3} s, {:.1} solves/s (shared canonical cache + idle-summary sweep)",
-        after_s,
-        after.solve_calls as f64 / after_s
+        "reference: {reference_s:.3} s unpruned ({:.2}x slower than the pruned engine)",
+        reference_s / total_s
     );
 
-    assert_eq!(before.solve_calls, after.solve_calls);
+    // One workload's worth of cache/prune counters, measured as a delta
+    // so a pre-enabled registry (--metrics-out) doesn't double-count.
+    lamps_obs::enable_metrics();
+    let c0 = counters_now();
+    let counted = run_cold(&graphs, &cfg);
+    let c1 = counters_now();
+    if metrics_out.is_empty() {
+        lamps_obs::disable_metrics();
+    }
+    assert!(
+        counted.bitwise_eq(&after),
+        "metrics pass changed the solutions"
+    );
+    let mut counters = Counters::default();
+    for i in 0..COUNTER_NAMES.len() {
+        counters.values[i] = c1.values[i].saturating_sub(c0.values[i]);
+    }
+
+    assert_eq!(after.solve_calls, reference.solve_calls);
     assert_eq!(
-        before.solved, after.solved,
+        after.solved, reference.solved,
         "engines disagree on feasibility"
     );
-    let strategies = ["ss", "lamps", "ss_ps", "lamps_ps"];
     let mut all_equal = true;
     for (si, name) in strategies.iter().enumerate() {
-        let (b, a) = (before.per_strategy[si], after.per_strategy[si]);
-        let equal = b.to_bits() == a.to_bits();
+        let (a, r) = (after.per_strategy[si], reference.per_strategy[si]);
+        let mut equal = a.to_bits() == r.to_bits();
+        if baseline.found && baseline.comparable {
+            equal &= baseline.energy[si].map(f64::to_bits) == Some(a.to_bits());
+        }
         all_equal &= equal;
-        eprintln!("energy[{name}]: before {b:.9e} J, after {a:.9e} J, bitwise_equal={equal}");
+        eprintln!("energy[{name}]: pruned {a:.9e} J, unpruned {r:.9e} J, bitwise_equal={equal}");
     }
-    let speedup = before_s / after_s;
-    eprintln!("speedup: {speedup:.2}x");
+    let speedup = if baseline.found && baseline.solves_per_sec > 0.0 {
+        solves_per_sec / baseline.solves_per_sec
+    } else {
+        f64::NAN
+    };
+    if baseline.found {
+        eprintln!(
+            "baseline {}: {:.1} solves/s recorded, speedup {speedup:.2}x{}",
+            baseline.source,
+            baseline.solves_per_sec,
+            if baseline.comparable {
+                ""
+            } else {
+                " (different workload — energies not compared)"
+            }
+        );
+    } else {
+        eprintln!(
+            "baseline {}: not found / unreadable — no speedup figure",
+            baseline.source
+        );
+    }
 
     let mut json = String::new();
     json.push_str("{\n");
-    let _ = writeln!(json, "  \"benchmark\": \"solver hot-path overhaul\",");
+    let _ = writeln!(json, "  \"benchmark\": \"allocation-free solver core\",");
     let _ = writeln!(json, "  \"workload\": {{");
     let _ = writeln!(json, "    \"granularity\": \"coarse\",");
     let _ = writeln!(json, "    \"smoke\": {smoke},");
@@ -270,41 +394,50 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     );
-    let _ = writeln!(json, "    \"solve_calls\": {},", before.solve_calls);
-    let _ = writeln!(json, "    \"solved\": {}", before.solved);
+    let _ = writeln!(json, "    \"solve_calls\": {},", after.solve_calls);
+    let _ = writeln!(json, "    \"solved\": {}", after.solved);
     let _ = writeln!(json, "  }},");
-    let _ = writeln!(json, "  \"before\": {{");
-    let _ = writeln!(
-        json,
-        "    \"engine\": \"fresh per-cell cache + per-level schedule walk\","
-    );
-    let _ = writeln!(json, "    \"seconds\": {before_s},");
-    let _ = writeln!(
-        json,
-        "    \"solves_per_sec\": {}",
-        before.solve_calls as f64 / before_s
-    );
+    let _ = writeln!(json, "  \"baseline\": {{");
+    let _ = writeln!(json, "    \"source\": \"{}\",", baseline.source);
+    let _ = writeln!(json, "    \"found\": {},", baseline.found);
+    let _ = writeln!(json, "    \"comparable\": {},", baseline.comparable);
+    let _ = writeln!(json, "    \"solves_per_sec\": {}", baseline.solves_per_sec);
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"after\": {{");
     let _ = writeln!(
         json,
-        "    \"engine\": \"shared canonical cache + idle-summary level sweep\","
+        "    \"engine\": \"flat-arena cache + lower-bound pruned scan + parallel sweep\","
     );
-    let _ = writeln!(json, "    \"seconds\": {after_s},");
-    let _ = writeln!(
-        json,
-        "    \"solves_per_sec\": {}",
-        before.solve_calls as f64 / after_s
-    );
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"seconds\": {total_s},");
+    let _ = writeln!(json, "    \"solves_per_sec\": {solves_per_sec},");
+    let _ = writeln!(json, "    \"stages\": {{");
+    let _ = writeln!(json, "      \"schedule_seconds\": {schedule_s},");
+    let _ = writeln!(json, "      \"sweep_seconds\": {sweep_s},");
+    let _ = writeln!(json, "      \"unpruned_reference_seconds\": {reference_s}");
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"counters\": {{");
+    for (i, (key, _)) in COUNTER_NAMES.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      \"{key}\": {}{}",
+            counters.values[i],
+            if i + 1 < COUNTER_NAMES.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"speedup\": {speedup},");
     let _ = writeln!(json, "  \"energy_totals_j\": {{");
     for (si, name) in strategies.iter().enumerate() {
-        let (b, a) = (before.per_strategy[si], after.per_strategy[si]);
+        let (a, r) = (after.per_strategy[si], reference.per_strategy[si]);
+        let base = baseline.energy[si]
+            .filter(|_| baseline.comparable)
+            .map_or("null".to_string(), |v| v.to_string());
         let _ = writeln!(
             json,
-            "    \"{name}\": {{\"before\": {b}, \"after\": {a}, \"bitwise_equal\": {}}}{}",
-            b.to_bits() == a.to_bits(),
+            "    \"{name}\": {{\"after\": {a}, \"unpruned_reference\": {r}, \"baseline\": {base}, \"bitwise_equal\": {}}}{}",
+            a.to_bits() == r.to_bits(),
             if si + 1 < strategies.len() { "," } else { "" }
         );
     }
@@ -330,8 +463,7 @@ fn main() {
         eprintln!("wrote {trace_path}");
     }
     if !metrics_out.is_empty() {
-        let sps = after.solve_calls as f64 / after_s;
-        lamps_obs::gauge("bench.throughput.solves_per_sec").set(sps as u64);
+        lamps_obs::gauge("bench.throughput.solves_per_sec").set(solves_per_sec as u64);
         std::fs::write(&metrics_out, lamps_obs::registry::snapshot().to_json())
             .expect("write metrics snapshot");
         eprintln!("wrote {metrics_out}");
@@ -339,6 +471,6 @@ fn main() {
 
     assert!(
         all_equal,
-        "per-strategy energy totals differ between engines"
+        "pruned, unpruned, and baseline energy totals must agree bit-for-bit"
     );
 }

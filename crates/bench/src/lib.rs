@@ -32,6 +32,7 @@ pub mod experiments;
 pub mod parallel;
 pub mod run;
 pub mod suite;
+pub mod timing;
 
 pub use run::{evaluate_graph, GraphResult, StrategyOutcome};
 pub use suite::{BenchmarkGroup, Granularity, Suite};

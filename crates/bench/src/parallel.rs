@@ -1,25 +1,29 @@
-//! A minimal scoped-thread parallel map for the experiment loops.
+//! Parallel map for the experiment loops, backed by the shared
+//! [`lamps_parallel::Pool`] worker pool.
 //!
 //! The harness evaluates thousands of independent (graph × deadline ×
 //! strategy) cells; this fans them out over the available cores with
-//! `std::thread::scope`. Workers claim items one at a time from a shared
-//! atomic counter (dynamic "work-stealing-lite" chunking, so uneven cell
-//! costs still balance) and collect `(index, result)` pairs locally;
-//! the pairs are merged into an ordered output after the scope joins.
-//! No `unsafe` anywhere — the crate forbids it.
-//!
-//! A panic inside `f` is caught per item: the remaining workers stop
-//! claiming work, the scope joins cleanly, and `par_map` re-panics on
-//! the caller's thread naming the lowest failing item index (plus the
-//! original message when it was a string). Without this, the panic
-//! would tear down one worker while the others kept burning through
-//! the remaining items, and the eventual join error would not say
-//! which input was responsible.
+//! ordered, deterministic results and per-item panic containment (a
+//! panic re-raises on the caller's thread naming the lowest failing
+//! item index). See the `lamps-parallel` crate for the pool's claiming
+//! and accounting mechanics — this module only pins the bench-facing
+//! name (`par_map`) and its metric/panic labels, which downstream
+//! tooling greps for.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-use std::time::Instant;
+use lamps_parallel::{Pool, PoolMetrics};
+
+/// The bench harness's pool: metric names and panic label are stable.
+static PAR_MAP_POOL: Pool = Pool::new(
+    "par_map",
+    "bench",
+    PoolMetrics {
+        calls: "bench.par_map.calls",
+        items: "bench.par_map.items",
+        worker_busy_us: "bench.par_map.worker_busy_us",
+        worker_idle_us: "bench.par_map.worker_idle_us",
+        worker_items: "bench.par_map.worker_items",
+    },
+);
 
 /// Apply `f` to every item, in parallel, preserving order.
 pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
@@ -29,127 +33,7 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let _span = lamps_obs::span("bench", "par_map");
-    if lamps_obs::metrics_enabled() {
-        lamps_obs::counter("bench.par_map.calls").inc();
-        lamps_obs::counter("bench.par_map.items").add(items.len() as u64);
-    }
-    let n_threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(items.len().max(1));
-    if n_threads <= 1 || items.len() <= 1 {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| {
-                catch_unwind(AssertUnwindSafe(|| f(item))).unwrap_or_else(|payload| {
-                    panic!(
-                        "par_map worker panicked on item {i}: {}",
-                        payload_msg(&*payload)
-                    )
-                })
-            })
-            .collect();
-    }
-
-    let next = AtomicUsize::new(0);
-    let failed = AtomicUsize::new(usize::MAX);
-    let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
-    let mut parts: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..n_threads)
-            .map(|w| {
-                let f = &f;
-                let next = &next;
-                let failed = &failed;
-                let first_panic = &first_panic;
-                let worker = w;
-                scope.spawn(move || {
-                    // Per-worker accounting only runs when observability is
-                    // on; the disabled path pays two relaxed atomic loads.
-                    let obs_on = lamps_obs::metrics_enabled();
-                    let _wspan = if lamps_obs::tracing_enabled() {
-                        lamps_obs::span_named("bench", format!("par_map_worker_{worker}"))
-                    } else {
-                        lamps_obs::trace::Span::inert()
-                    };
-                    let started = obs_on.then(Instant::now);
-                    let mut busy_us: u64 = 0;
-                    let mut local: Vec<(usize, R)> = Vec::new();
-                    loop {
-                        if failed.load(Ordering::Relaxed) != usize::MAX {
-                            break;
-                        }
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let item_start = obs_on.then(Instant::now);
-                        let outcome = catch_unwind(AssertUnwindSafe(|| f(&items[i])));
-                        if let Some(t0) = item_start {
-                            busy_us += t0.elapsed().as_micros() as u64;
-                        }
-                        match outcome {
-                            Ok(r) => local.push((i, r)),
-                            Err(payload) => {
-                                failed.fetch_min(i, Ordering::Relaxed);
-                                let msg = payload_msg(&*payload);
-                                let mut slot = first_panic.lock().unwrap_or_else(|e| {
-                                    // Only this closure locks, and it
-                                    // never panics while holding it.
-                                    e.into_inner()
-                                });
-                                if slot.as_ref().is_none_or(|(j, _)| i < *j) {
-                                    *slot = Some((i, msg));
-                                }
-                                break;
-                            }
-                        }
-                    }
-                    if let Some(t0) = started {
-                        let total_us = t0.elapsed().as_micros() as u64;
-                        lamps_obs::histogram("bench.par_map.worker_busy_us").record(busy_us);
-                        lamps_obs::histogram("bench.par_map.worker_idle_us")
-                            .record(total_us.saturating_sub(busy_us));
-                        lamps_obs::histogram("bench.par_map.worker_items")
-                            .record(local.len() as u64);
-                    }
-                    local
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("worker thread panicked"))
-            .collect()
-    });
-
-    if failed.load(Ordering::Relaxed) != usize::MAX {
-        let (i, msg) = first_panic
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner())
-            .expect("a failed index implies a recorded panic");
-        panic!("par_map worker panicked on item {i}: {msg}");
-    }
-
-    let mut out: Vec<Option<R>> = (0..items.len()).map(|_| None).collect();
-    for part in parts.drain(..) {
-        for (i, r) in part {
-            debug_assert!(out[i].is_none(), "index {i} claimed twice");
-            out[i] = Some(r);
-        }
-    }
-    out.into_iter()
-        .map(|r| r.expect("every index was processed"))
-        .collect()
-}
-
-/// Best-effort rendering of a caught panic payload.
-fn payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
-    payload
-        .downcast_ref::<&str>()
-        .map(|s| s.to_string())
-        .or_else(|| payload.downcast_ref::<String>().cloned())
-        .unwrap_or_else(|| "non-string panic payload".to_string())
+    PAR_MAP_POOL.map(items, f)
 }
 
 #[cfg(test)]

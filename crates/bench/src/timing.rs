@@ -1,0 +1,128 @@
+//! Shared wall-clock measurement helpers for the bench binaries.
+//!
+//! Timing noise on a shared machine is one-sided: interference
+//! (scheduler preemption, cache pollution, frequency ramps) only ever
+//! makes a sample *slower*, never faster. The minimum over several
+//! short samples therefore estimates an engine's true floor — a real
+//! x% cost survives the minimum while transient noise does not. The
+//! `throughput` and `obs_overhead` binaries both gate on numbers
+//! produced this way; this module is the single implementation they
+//! share (each used to hand-roll its own, and `throughput`'s was a
+//! single-shot measurement that let one noisy sample decide the
+//! recorded figure).
+
+use std::time::Instant;
+
+/// Time one run of `f`, returning `(seconds, result)`.
+pub fn sample_seconds<R>(f: impl FnOnce() -> R) -> (f64, R) {
+    let t0 = Instant::now();
+    let r = f();
+    (t0.elapsed().as_secs_f64(), r)
+}
+
+/// Run `f` `reps` times (at least once) and keep the **minimum**
+/// elapsed seconds; returns `(min_seconds, last_result)`. Use when the
+/// samples for one engine are consecutive — for interleaved multi-engine
+/// reps, time each sample with [`sample_seconds`] and fold the minima
+/// with [`MinSeconds`] instead.
+pub fn min_over_reps<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let (mut min_s, mut last) = sample_seconds(&mut f);
+    for _ in 1..reps {
+        let (s, r) = sample_seconds(&mut f);
+        min_s = min_s.min(s);
+        last = r;
+    }
+    (min_s, last)
+}
+
+/// Running minimum of timed samples, for interleaved measurement loops
+/// where several engines alternate within one rep.
+#[derive(Debug, Clone, Copy)]
+pub struct MinSeconds {
+    min: f64,
+}
+
+impl MinSeconds {
+    /// An empty accumulator; [`MinSeconds::seconds`] is `+inf` until the
+    /// first record, so a zero-rep loop fails any downstream gate
+    /// instead of passing vacuously.
+    pub fn new() -> Self {
+        MinSeconds { min: f64::INFINITY }
+    }
+
+    /// Fold one sample in; returns the updated minimum.
+    pub fn record(&mut self, seconds: f64) -> f64 {
+        self.min = self.min.min(seconds);
+        self.min
+    }
+
+    /// The minimum recorded so far.
+    pub fn seconds(&self) -> f64 {
+        self.min
+    }
+}
+
+impl Default for MinSeconds {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_returns_result_and_nonnegative_time() {
+        let (s, r) = sample_seconds(|| 6 * 7);
+        assert_eq!(r, 42);
+        assert!(s >= 0.0 && s.is_finite());
+    }
+
+    #[test]
+    fn min_over_reps_runs_exactly_reps_times() {
+        let mut calls = 0;
+        let (s, last) = min_over_reps(5, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 5);
+        assert_eq!(last, 5);
+        assert!(s >= 0.0 && s.is_finite());
+    }
+
+    #[test]
+    fn min_over_reps_zero_still_runs_once() {
+        // "At least once": the result must exist even for reps = 0.
+        let mut calls = 0;
+        let (_, last) = min_over_reps(0, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(last, 1);
+    }
+
+    #[test]
+    fn min_over_reps_takes_the_fastest_sample() {
+        // A deliberately slow first rep must not decide the figure.
+        let mut rep = 0;
+        let (s, _) = min_over_reps(3, || {
+            rep += 1;
+            if rep == 1 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+        });
+        assert!(s < 0.020, "minimum should dodge the slow rep: {s}");
+    }
+
+    #[test]
+    fn min_seconds_folds_downward() {
+        let mut m = MinSeconds::new();
+        assert_eq!(m.seconds(), f64::INFINITY);
+        assert_eq!(m.record(2.0), 2.0);
+        assert_eq!(m.record(3.0), 2.0);
+        assert_eq!(m.record(0.5), 0.5);
+        assert_eq!(m.seconds(), 0.5);
+    }
+}

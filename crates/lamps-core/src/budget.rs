@@ -306,7 +306,7 @@ fn budget_search(
 
     match best {
         Some(c) => {
-            let schedule = cache.schedule(c.n_procs).clone();
+            let schedule = cache.schedule_arc(c.n_procs);
             let solution = Solution {
                 strategy,
                 n_procs: c.n_procs,

@@ -25,6 +25,7 @@ use lamps_sched::deadlines::latest_finish_times;
 use lamps_sched::list::{list_schedule_with, ListScheduleWorkspace};
 use lamps_sched::{IdleSummary, Schedule};
 use lamps_taskgraph::TaskGraph;
+use std::sync::Arc;
 
 /// Hit/miss counters of a [`ScheduleCache`], monotone over its
 /// lifetime.
@@ -45,6 +46,14 @@ pub struct CacheStats {
     pub summary_hits: u64,
     /// Summary lookups that built the summary.
     pub summary_misses: u64,
+    /// Makespan probes answered from the width plateau — no schedule
+    /// existed for the count and none was built (see
+    /// [`ScheduleCache::makespan`]).
+    pub plateau_hits: u64,
+    /// Binary-search probes skipped because the work/critical-path lower
+    /// bound already proved the count infeasible (see
+    /// [`ScheduleCache::min_feasible_procs_with`]).
+    pub probes_pruned: u64,
 }
 
 impl CacheStats {
@@ -67,6 +76,8 @@ impl CacheStats {
             schedule_misses: self.schedule_misses - earlier.schedule_misses,
             summary_hits: self.summary_hits - earlier.summary_hits,
             summary_misses: self.summary_misses - earlier.summary_misses,
+            plateau_hits: self.plateau_hits - earlier.plateau_hits,
+            probes_pruned: self.probes_pruned - earlier.probes_pruned,
         }
     }
 }
@@ -76,11 +87,19 @@ impl CacheStats {
 pub struct ScheduleCache<'g> {
     graph: &'g TaskGraph,
     keys: Vec<u64>,
-    memo: Vec<Option<Schedule>>,
+    memo: Vec<Option<Arc<Schedule>>>,
     summaries: Vec<Option<IdleSummary>>,
     ws: ListScheduleWorkspace,
     runs: usize,
     stats: CacheStats,
+    work_cycles: u64,
+    cpl_cycles: u64,
+    /// `(width, makespan)` of an unblocked run: every processor count at
+    /// or above `width` provably has this makespan (see
+    /// [`ScheduleCache::makespan`]).
+    plateau: Option<(usize, u64)>,
+    shortcuts_enabled: bool,
+    lb_off_by_one: bool,
 }
 
 impl<'g> ScheduleCache<'g> {
@@ -113,7 +132,55 @@ impl<'g> ScheduleCache<'g> {
             ws: ListScheduleWorkspace::new(),
             runs: 0,
             stats: CacheStats::default(),
+            work_cycles: graph.total_work_cycles(),
+            cpl_cycles: graph.critical_path_cycles(),
+            plateau: None,
+            shortcuts_enabled: true,
+            lb_off_by_one: false,
         }
+    }
+
+    /// Disable the cache's scheduling shortcuts — the width-plateau
+    /// makespan answer and the lower-bound probe skip — forcing every
+    /// probe through a real list-scheduling run. The differential suite
+    /// uses this to build the unpruned reference path; solutions must be
+    /// bitwise identical either way.
+    pub fn set_shortcuts_enabled(&mut self, enabled: bool) {
+        self.shortcuts_enabled = enabled;
+    }
+
+    /// Test-only mutation hook: compute `LB(m)` as if for `m − 1`
+    /// processors, the classic off-by-one that turns sound pruning into
+    /// over-pruning. The verification gauntlet proves the differential
+    /// suite catches it; never enable outside tests.
+    #[doc(hidden)]
+    pub fn mutate_lb_off_by_one_for_tests(&mut self) {
+        self.lb_off_by_one = true;
+    }
+
+    /// Total work of the graph in cycles (cached).
+    pub fn total_work_cycles(&self) -> u64 {
+        self.work_cycles
+    }
+
+    /// Critical path of the graph in cycles (cached).
+    pub fn critical_path_cycles(&self) -> u64 {
+        self.cpl_cycles
+    }
+
+    /// `LB(n) = max(critical_path, ⌈total_work / n⌉)`: no schedule on
+    /// `n` processors can finish sooner (the standard makespan lower
+    /// bound). Computed from cached totals — no scheduling.
+    pub fn lower_bound_cycles(&self, n: usize) -> u64 {
+        assert!(n >= 1, "need at least one processor");
+        let n = if self.lb_off_by_one {
+            // Deliberately wrong divisor, reachable only through the
+            // test hook above.
+            n.saturating_sub(1).max(1)
+        } else {
+            n
+        };
+        self.cpl_cycles.max(self.work_cycles.div_ceil(n as u64))
     }
 
     /// The underlying graph.
@@ -128,7 +195,21 @@ impl<'g> ScheduleCache<'g> {
         }
         if self.memo[n - 1].is_none() {
             let s = list_schedule_with(&mut self.ws, self.graph, n, &self.keys);
-            self.memo[n - 1] = Some(s);
+            // An unblocked run is the infinite-processor schedule: its
+            // peak concurrency is the schedule width, and every count at
+            // or above it replays the identical event sequence (see
+            // `ListScheduleWorkspace::peak_procs_held`). Record the
+            // narrowest width seen so `makespan` can answer probes on
+            // the plateau without scheduling.
+            if !self.ws.was_blocked() {
+                let width = self.ws.peak_procs_held().max(1);
+                let makespan = s.makespan_cycles();
+                debug_assert!(self.plateau.is_none_or(|(_, m)| m == makespan));
+                if self.plateau.is_none_or(|(w, _)| width < w) {
+                    self.plateau = Some((width, makespan));
+                }
+            }
+            self.memo[n - 1] = Some(Arc::new(s));
             self.runs += 1;
             self.stats.schedule_misses += 1;
         } else {
@@ -156,11 +237,35 @@ impl<'g> ScheduleCache<'g> {
         self.memo[n - 1].as_ref().expect("just ensured")
     }
 
+    /// The LS schedule on `n` processors as a shared handle — the
+    /// solver hands this to [`crate::Solution`] so constructing a
+    /// solution is O(1) instead of a deep copy of four arrays.
+    pub fn schedule_arc(&mut self, n: usize) -> Arc<Schedule> {
+        self.ensure_schedule(n);
+        Arc::clone(self.memo[n - 1].as_ref().expect("just ensured"))
+    }
+
     /// The idle summary of the schedule on `n` processors (memoized) —
     /// the input to the one-pass level sweep.
     pub fn summary(&mut self, n: usize) -> &IdleSummary {
         self.ensure_summary(n);
         self.summaries[n - 1].as_ref().expect("just ensured")
+    }
+
+    /// Idle summaries for a batch of processor counts, in the order
+    /// given (duplicates allowed). Ensures every summary exists first,
+    /// then hands back one shared borrow per count — the shape the
+    /// parallel candidate evaluation needs, where the sweeps run
+    /// concurrently over `&IdleSummary` references while the cache
+    /// itself is no longer borrowed mutably.
+    pub fn summaries(&mut self, counts: &[usize]) -> Vec<&IdleSummary> {
+        for &n in counts {
+            self.ensure_summary(n);
+        }
+        counts
+            .iter()
+            .map(|&n| self.summaries[n - 1].as_ref().expect("just ensured"))
+            .collect()
     }
 
     /// Both the schedule and its idle summary on `n` processors.
@@ -185,7 +290,28 @@ impl<'g> ScheduleCache<'g> {
     }
 
     /// Makespan in cycles on `n` processors.
+    ///
+    /// Served from the memo when the schedule exists. Otherwise, if an
+    /// earlier run established the schedule width `W` (a run that never
+    /// made a ready task wait) and `n ≥ W`, the makespan equals that
+    /// run's — the event sequence of a list-scheduling run is identical
+    /// for every count on the plateau — and is returned **without**
+    /// scheduling (counted in [`CacheStats::plateau_hits`]). Only a
+    /// genuinely new count below the width runs the scheduler.
     pub fn makespan(&mut self, n: usize) -> u64 {
+        assert!(n >= 1, "need at least one processor");
+        if let Some(s) = self.memo.get(n - 1).and_then(Option::as_ref) {
+            self.stats.schedule_hits += 1;
+            return s.makespan_cycles();
+        }
+        if self.shortcuts_enabled {
+            if let Some((width, makespan)) = self.plateau {
+                if n >= width {
+                    self.stats.plateau_hits += 1;
+                    return makespan;
+                }
+            }
+        }
         self.schedule(n).makespan_cycles()
     }
 
@@ -209,7 +335,12 @@ impl<'g> ScheduleCache<'g> {
         let cached = self.is_cached(1);
         let mut best_makespan = self.makespan(1);
         probe(1, best_makespan, cached);
-        for n in 2..=cap {
+        // Once the makespan reaches the critical path no further count
+        // can strictly improve it (every makespan is ≥ CPL), so the
+        // strict-decrease scan would stop at the next count anyway —
+        // stop here and skip scheduling it.
+        while best_makespan > self.cpl_cycles && best < cap {
+            let n = best + 1;
             let cached = self.is_cached(n);
             let m = self.makespan(n);
             probe(n, m, cached);
@@ -251,6 +382,17 @@ impl<'g> ScheduleCache<'g> {
         let (mut lo, mut hi) = (n_lwb, n_upb);
         while lo < hi {
             let mid = lo + (hi - lo) / 2;
+            // LB(mid) > D proves the probe infeasible without running
+            // the scheduler (the real makespan can only be larger).
+            // `n_lwb` is already the smallest count whose lower bound
+            // fits, so this only fires when the lower-bound seeding and
+            // the probe ladder disagree — it is a guard, and the hook
+            // for the gauntlet's off-by-one mutation check.
+            if self.shortcuts_enabled && self.lower_bound_cycles(mid) > deadline_cycles {
+                self.stats.probes_pruned += 1;
+                lo = mid + 1;
+                continue;
+            }
             let cached = self.is_cached(mid);
             let m = self.makespan(mid);
             probe(mid, m, cached);
@@ -289,9 +431,13 @@ mod tests {
     fn schedules_are_memoized() {
         let g = fig4a();
         let mut c = ScheduleCache::new(&g, 20);
-        let m1 = c.schedule(2).clone();
-        let m2 = c.schedule(2).clone();
+        let m1 = c.schedule_arc(2);
+        let m2 = c.schedule_arc(2);
         assert_eq!(m1, m2);
+        assert!(
+            std::sync::Arc::ptr_eq(&m1, &m2),
+            "memoized schedules are shared, not copied"
+        );
         assert_eq!(c.list_scheduling_runs(), 1);
     }
 
@@ -299,7 +445,7 @@ mod tests {
     fn summaries_are_memoized_and_consistent() {
         let g = fig4a();
         let mut c = ScheduleCache::new(&g, 20);
-        let direct = IdleSummary::new(&c.schedule(2).clone());
+        let direct = IdleSummary::new(&c.schedule_arc(2));
         assert_eq!(*c.summary(2), direct);
         let (s, sum) = c.schedule_and_summary(2);
         assert_eq!(sum.makespan_cycles(), s.makespan_cycles());
@@ -386,28 +532,117 @@ mod tests {
         );
         assert_eq!(second.summary_misses, 0, "summaries are reused too");
         // Pinned: the 2× solve probes {5 (upper bound), 2, 1 (binary),
-        // 1, 2, 3 (linear scan)} → 4 distinct counts scheduled, and
-        // sweeps levels on counts 1 and 2 → 2 summaries; the 4× solve
-        // walks the same 10 schedule touches and 2 summary touches with
-        // everything memoized.
+        // then 1, 2 (linear scan, ending at the CPL)}. The upper-bound
+        // run is unblocked, so it seeds the width plateau and the probe
+        // at count 5 ≥ width is answered without scheduling (a plateau
+        // hit); only the 3 distinct counts below the width are actually
+        // scheduled. Sweeps on counts 1 and 2 take 2 summaries.
         assert_eq!(
             first,
             CacheStats {
-                schedule_hits: 6,
-                schedule_misses: 4,
+                schedule_hits: 5,
+                schedule_misses: 3,
                 summary_hits: 0,
                 summary_misses: 2,
+                plateau_hits: 1,
+                probes_pruned: 0,
             }
         );
         assert_eq!(
             second,
             CacheStats {
-                schedule_hits: 10,
+                schedule_hits: 8,
                 schedule_misses: 0,
                 summary_hits: 2,
                 summary_misses: 0,
+                plateau_hits: 1,
+                probes_pruned: 0,
             }
         );
+    }
+
+    #[test]
+    fn plateau_makespans_match_real_scheduling() {
+        // The width plateau answers makespan queries for n ≥ width
+        // without running the list scheduler. Those answers must be
+        // identical to what scheduling would produce, on every graph
+        // shape and processor count.
+        let graphs = {
+            let mut gs = lamps_taskgraph::gen::layered::stg_group(40, 3, 7);
+            gs.push(fig4a());
+            gs
+        };
+        for (i, g) in graphs.iter().enumerate() {
+            let mut with = ScheduleCache::for_graph(g);
+            let mut without = ScheduleCache::for_graph(g);
+            without.set_shortcuts_enabled(false);
+            for n in 1..=g.len() {
+                assert_eq!(with.makespan(n), without.makespan(n), "graph {i}, n {n}");
+            }
+            // Force-schedule every count on the plateau cache and
+            // confirm the real schedules agree with the shortcut too.
+            for n in 1..=g.len() {
+                assert_eq!(with.schedule(n).makespan_cycles(), without.makespan(n));
+            }
+        }
+    }
+
+    #[test]
+    fn plateau_shortcut_actually_fires() {
+        // Querying top-down from n = |V| seeds the plateau on the first
+        // (always unblocked) run; every later query at or above the
+        // graph width must be a plateau hit, not a scheduling run.
+        let g = fig4a();
+        let mut c = ScheduleCache::for_graph(&g);
+        let top = c.makespan(g.len());
+        let mut hits = 0;
+        for n in (1..=g.len()).rev().skip(1) {
+            let ms = c.makespan(n);
+            assert!(ms >= top);
+            hits = c.stats().plateau_hits;
+        }
+        assert!(hits > 0, "expected at least one plateau hit on fig4a");
+        assert_eq!(
+            c.stats().schedule_misses as usize + c.stats().plateau_hits as usize,
+            g.len(),
+            "every count is answered exactly once, by schedule or plateau"
+        );
+    }
+
+    #[test]
+    fn lower_bound_is_sound_and_tight_on_fig4a() {
+        // LB(n) = max(CPL, ceil(W/n)) must never exceed the true
+        // makespan, and for fig4a it is exact at n = 1 (work-bound) and
+        // n = 2 (CPL-bound).
+        let g = fig4a();
+        let mut c = ScheduleCache::for_graph(&g);
+        for n in 1..=g.len() {
+            assert!(c.lower_bound_cycles(n) <= c.makespan(n), "n {n}");
+        }
+        assert_eq!(c.lower_bound_cycles(1), 18); // total work
+        assert_eq!(c.lower_bound_cycles(2), 10); // critical path
+        assert_eq!(c.makespan(1), 18);
+        assert_eq!(c.makespan(2), 10);
+    }
+
+    #[test]
+    fn lb_probe_skip_preserves_min_feasible() {
+        // The binary search may skip probes whose lower bound already
+        // exceeds the deadline; the returned count must not change.
+        let graphs = lamps_taskgraph::gen::layered::stg_group(60, 2, 11);
+        for (i, g) in graphs.iter().enumerate() {
+            let cpl = g.critical_path_cycles();
+            for d in [cpl, cpl + cpl / 2, 2 * cpl, 4 * cpl] {
+                let mut pruned = ScheduleCache::new(g, d);
+                let mut plain = ScheduleCache::new(g, d);
+                plain.set_shortcuts_enabled(false);
+                assert_eq!(
+                    pruned.min_feasible_procs(d),
+                    plain.min_feasible_procs(d),
+                    "graph {i}, deadline {d}"
+                );
+            }
+        }
     }
 
     #[test]

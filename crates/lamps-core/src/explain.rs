@@ -141,6 +141,10 @@ pub struct CandidateExplain {
     /// Index into `levels` of the level the candidate keeps (least
     /// energy); `None` if no level was feasible.
     pub best_level: Option<usize>,
+    /// True when the level sweep was skipped because the energy floor
+    /// (total work billed at the cheapest feasible level) already proved
+    /// the candidate cannot beat the incumbent; `levels` is then empty.
+    pub pruned: bool,
 }
 
 /// The full decision log of one solve.
@@ -158,6 +162,12 @@ pub struct SolveExplain {
     pub candidates: Vec<CandidateExplain>,
     /// Index into `candidates` of the winner; `None` on failure.
     pub chosen: Option<usize>,
+    /// Level sweeps skipped by the energy-floor bound.
+    pub sweeps_skipped: u64,
+    /// Linear scans cut short because the critical-path energy floor
+    /// proved no later candidate could beat the incumbent (0 or 1 per
+    /// solve).
+    pub scan_breaks: u64,
     /// Schedule-cache hit/miss deltas attributable to this solve.
     pub cache: CacheStats,
     /// Error rendering when the solve failed.
@@ -174,6 +184,8 @@ impl SolveExplain {
             search: Vec::new(),
             candidates: Vec::new(),
             chosen: None,
+            sweeps_skipped: 0,
+            scan_breaks: 0,
             cache: CacheStats::default(),
             error: None,
         }
@@ -211,7 +223,11 @@ impl SolveExplain {
                 c.n_procs, c.makespan_cycles
             );
             json::write_f64(&mut out, c.required_freq_hz);
-            let _ = write!(out, ", \"cache_hit\": {}, \"best_level\": ", c.cache_hit);
+            let _ = write!(
+                out,
+                ", \"cache_hit\": {}, \"pruned\": {}, \"best_level\": ",
+                c.cache_hit, c.pruned
+            );
             match c.best_level {
                 Some(b) => {
                     let _ = write!(out, "{b}");
@@ -270,11 +286,18 @@ impl SolveExplain {
         }
         let _ = write!(
             out,
-            ",\n  \"cache\": {{\"schedule_hits\": {}, \"schedule_misses\": {}, \"summary_hits\": {}, \"summary_misses\": {}}}",
+            ",\n  \"prune\": {{\"sweeps_skipped\": {}, \"scan_breaks\": {}}}",
+            self.sweeps_skipped, self.scan_breaks
+        );
+        let _ = write!(
+            out,
+            ",\n  \"cache\": {{\"schedule_hits\": {}, \"schedule_misses\": {}, \"summary_hits\": {}, \"summary_misses\": {}, \"plateau_hits\": {}, \"probes_pruned\": {}}}",
             self.cache.schedule_hits,
             self.cache.schedule_misses,
             self.cache.summary_hits,
-            self.cache.summary_misses
+            self.cache.summary_misses,
+            self.cache.plateau_hits,
+            self.cache.probes_pruned
         );
         out.push_str(",\n  \"error\": ");
         match &self.error {
@@ -298,11 +321,18 @@ impl SolveExplain {
         }
         let _ = writeln!(
             out,
-            "  cache: schedule {}/{} hit/miss, summary {}/{} hit/miss",
+            "  cache: schedule {}/{} hit/miss, summary {}/{} hit/miss, {} plateau, {} probes pruned",
             self.cache.schedule_hits,
             self.cache.schedule_misses,
             self.cache.summary_hits,
-            self.cache.summary_misses
+            self.cache.summary_misses,
+            self.cache.plateau_hits,
+            self.cache.probes_pruned
+        );
+        let _ = writeln!(
+            out,
+            "  pruning: {} sweep(s) skipped, {} scan break(s)",
+            self.sweeps_skipped, self.scan_breaks
         );
         let _ = writeln!(out, "  search path ({} steps):", self.search.len());
         for s in &self.search {
@@ -325,7 +355,7 @@ impl SolveExplain {
             let marker = if self.chosen == Some(i) { "*" } else { " " };
             let _ = writeln!(
                 out,
-                "  {marker} n={:<3} makespan={:>12} required {:>7.1} MHz {}",
+                "  {marker} n={:<3} makespan={:>12} required {:>7.1} MHz {}{}",
                 c.n_procs,
                 c.makespan_cycles,
                 c.required_freq_hz / 1e6,
@@ -333,7 +363,8 @@ impl SolveExplain {
                     "(cached)"
                 } else {
                     "(scheduled)"
-                }
+                },
+                if c.pruned { " (pruned)" } else { "" }
             );
             for (j, l) in c.levels.iter().enumerate() {
                 let best = if c.best_level == Some(j) {

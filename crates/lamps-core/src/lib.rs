@@ -58,5 +58,7 @@ pub use budget::{
 pub use cache::{CacheStats, ScheduleCache};
 pub use config::SchedulerConfig;
 pub use explain::SolveExplain;
-pub use solve::{solve, solve_explained, solve_with_cache, solve_with_cache_explained};
+pub use solve::{
+    solve, solve_explained, solve_with_cache, solve_with_cache_explained, solve_with_cache_unpruned,
+};
 pub use types::{Solution, SolveError, Strategy};

@@ -213,7 +213,7 @@ pub fn solve_with_deadlines(
         evaluate_n(&mut cache, n).ok_or_else(infeasible)?
     };
 
-    let schedule = cache.schedule(best.n_procs).clone();
+    let schedule = cache.schedule_arc(best.n_procs);
     Ok(Solution {
         strategy,
         n_procs: best.n_procs,

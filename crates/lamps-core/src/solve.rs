@@ -8,6 +8,7 @@ use crate::explain::{
 };
 use crate::types::{Solution, SolveError, Strategy};
 use lamps_energy::{evaluate_summary, min_sleep_cycles, EnergyBreakdown};
+use lamps_parallel::{Pool, PoolMetrics};
 use lamps_power::OperatingPoint;
 use lamps_sched::{IdleSummary, ProcId};
 use lamps_taskgraph::TaskGraph;
@@ -19,6 +20,70 @@ pub(crate) struct Candidate {
     pub(crate) level: OperatingPoint,
     pub(crate) energy: EnergyBreakdown,
     pub(crate) makespan_cycles: u64,
+}
+
+/// Safety margin for the energy-floor comparisons: a candidate is pruned
+/// only when its floor exceeds the incumbent by more than one part in
+/// 10⁹. The floor itself is exact up to a handful of float roundings
+/// (relative error ≲ 10⁻¹²), so the margin strictly under-prunes —
+/// pruned solves are bitwise identical to unpruned ones.
+const PRUNE_MARGIN: f64 = 1.0 - 1e-9;
+
+/// Minimum graph size before the LAMPS linear scan evaluates its
+/// candidates' level sweeps in parallel. Below this the sweeps are
+/// microseconds each and the pool's claim/merge overhead dominates.
+const PAR_SCAN_MIN_TASKS: usize = 512;
+
+/// Worker pool for the intra-solve candidate evaluation. On single-core
+/// hosts (or under the size threshold) everything runs inline; either
+/// way the merge is sequential in ascending processor count with the
+/// same strict-`<` rule as the sequential scan, so the chosen solution
+/// is bitwise identical.
+static PAR_SCAN_POOL: Pool = Pool::new(
+    "par_scan",
+    "core",
+    PoolMetrics {
+        calls: "core.par_scan.calls",
+        items: "core.par_scan.items",
+        worker_busy_us: "core.par_scan.worker_busy_us",
+        worker_idle_us: "core.par_scan.worker_idle_us",
+        worker_items: "core.par_scan.worker_items",
+    },
+);
+
+/// Lower bound on the total energy of any candidate whose makespan is at
+/// least `bound_cycles`: every one of the graph's `work_cycles` executed
+/// cycles costs at least the cheapest energy-per-cycle among the levels
+/// fast enough to fit `bound_cycles` into the deadline, and the
+/// remaining terms (idle, sleep, wake transitions) are all nonnegative.
+/// The level set is taken at the *bound*, not the true makespan — a
+/// superset of the levels any such candidate may sweep (per-cycle energy
+/// is not monotone in frequency, so the minimum is over the whole set).
+/// `None` when no level fits even the bound: such a candidate has no
+/// feasible level at all.
+fn energy_floor(
+    cfg: &SchedulerConfig,
+    work_cycles: u64,
+    bound_cycles: u64,
+    deadline_s: f64,
+) -> Option<f64> {
+    let required_freq = bound_cycles as f64 / deadline_s;
+    cfg.levels
+        .at_least(required_freq)
+        .map(|l| work_cycles as f64 * l.energy_per_cycle)
+        .fold(None, |acc: Option<f64>, e| {
+            Some(acc.map_or(e, |a: f64| a.min(e)))
+        })
+}
+
+/// Pruning/scan counters of one solve, flushed to the metrics registry
+/// and into the decision log.
+#[derive(Default)]
+struct SolveCounters {
+    candidates: u64,
+    parallel_candidates: u64,
+    sweeps_skipped: u64,
+    scan_breaks: u64,
 }
 
 /// Solve `graph` with `strategy` under `deadline_s` on the platform
@@ -62,7 +127,7 @@ pub fn solve_with_cache_explained(
     cache: &mut ScheduleCache<'_>,
 ) -> (Result<Solution, SolveError>, SolveExplain) {
     let mut explain = SolveExplain::new(strategy, deadline_s);
-    let result = solve_impl(strategy, deadline_s, cfg, cache, Some(&mut explain));
+    let result = solve_impl(strategy, deadline_s, cfg, cache, Some(&mut explain), true);
     if let Err(e) = &result {
         explain.error = Some(e.to_string());
     }
@@ -85,7 +150,22 @@ pub fn solve_with_cache(
     cfg: &SchedulerConfig,
     cache: &mut ScheduleCache<'_>,
 ) -> Result<Solution, SolveError> {
-    solve_impl(strategy, deadline_s, cfg, cache, None)
+    solve_impl(strategy, deadline_s, cfg, cache, None, true)
+}
+
+/// [`solve_with_cache`] with every solver-side pruning rule disabled:
+/// no energy-floor sweep skips, no early scan termination. The search
+/// then walks exactly the candidate set of the original exhaustive
+/// formulation. The differential suite runs this (against a cache with
+/// [`ScheduleCache::set_shortcuts_enabled`] off) as the reference the
+/// pruned path must match bitwise; it is not meant for production use.
+pub fn solve_with_cache_unpruned(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+) -> Result<Solution, SolveError> {
+    solve_impl(strategy, deadline_s, cfg, cache, None, false)
 }
 
 /// The shared solve body: runs the search, optionally filling a
@@ -97,13 +177,25 @@ fn solve_impl(
     cfg: &SchedulerConfig,
     cache: &mut ScheduleCache<'_>,
     mut explain: Option<&mut SolveExplain>,
+    prune: bool,
 ) -> Result<Solution, SolveError> {
     let _span = lamps_obs::span("core", "solve");
     let stats_before = cache.stats();
-    let result = solve_search(strategy, deadline_s, cfg, cache, explain.as_deref_mut());
+    let mut counters = SolveCounters::default();
+    let result = solve_search(
+        strategy,
+        deadline_s,
+        cfg,
+        cache,
+        explain.as_deref_mut(),
+        prune,
+        &mut counters,
+    );
     let delta = cache.stats().since(&stats_before);
     if let Some(ex) = explain {
         ex.cache = delta;
+        ex.sweeps_skipped = counters.sweeps_skipped;
+        ex.scan_breaks = counters.scan_breaks;
     }
     if lamps_obs::metrics_enabled() {
         lamps_obs::counter("core.solve.calls").inc();
@@ -114,16 +206,25 @@ fn solve_impl(
         lamps_obs::counter("core.cache.schedule_misses").add(delta.schedule_misses);
         lamps_obs::counter("core.cache.summary_hits").add(delta.summary_hits);
         lamps_obs::counter("core.cache.summary_misses").add(delta.summary_misses);
+        lamps_obs::counter("core.cache.plateau_hits").add(delta.plateau_hits);
+        lamps_obs::counter("core.cache.probes_pruned").add(delta.probes_pruned);
+        lamps_obs::counter("core.scan.candidates").add(counters.candidates);
+        lamps_obs::counter("core.scan.parallel_candidates").add(counters.parallel_candidates);
+        lamps_obs::counter("core.prune.sweeps_skipped").add(counters.sweeps_skipped);
+        lamps_obs::counter("core.prune.scan_breaks").add(counters.scan_breaks);
     }
     result
 }
 
+#[allow(clippy::too_many_arguments)]
 fn solve_search(
     strategy: Strategy,
     deadline_s: f64,
     cfg: &SchedulerConfig,
     cache: &mut ScheduleCache<'_>,
     mut ex: Option<&mut SolveExplain>,
+    prune: bool,
+    counters: &mut SolveCounters,
 ) -> Result<Solution, SolveError> {
     let graph = cache.graph();
     if !deadline_s.is_finite() || deadline_s <= 0.0 {
@@ -172,10 +273,84 @@ fn solve_search(
             e.search.append(&mut steps);
         }
         let n_min = n_min_found.ok_or_else(|| infeasible(cache.makespan(graph.len().max(1))))?;
+        let work_cycles = cache.total_work_cycles();
+        let cpl_cycles = cache.critical_path_cycles();
+        // Constant floor over the whole scan: every makespan is ≥ CPL,
+        // so no candidate — present or future — can cost less than the
+        // total work billed at the cheapest level that fits the CPL.
+        // Once the incumbent drops to this floor the scan can stop
+        // without scheduling further counts.
+        let scan_floor = prune
+            .then(|| energy_floor(cfg, work_cycles, cpl_cycles, deadline_s))
+            .flatten();
+        // Intra-solve parallelism: on a multi-core host and a large
+        // graph, discover the scan cells sequentially (makespans only —
+        // the cheap, plateau-accelerated part), prefetch their idle
+        // summaries, then fan the independent level sweeps out over the
+        // worker pool and merge in ascending-count order with the same
+        // strict-`<` rule. The candidate set and the chosen solution
+        // are identical to the sequential scan's.
+        // Under `cfg(test)` the size gate alone decides, so the arm's
+        // discovery/prefetch/merge logic is exercised even on a
+        // single-core test host (the pool then runs inline).
+        let use_parallel = !want_explain
+            && graph.len() >= PAR_SCAN_MIN_TASKS
+            && (PAR_SCAN_POOL.threads_for(2) > 1 || cfg!(test));
+        if use_parallel {
+            let mut counts: Vec<usize> = Vec::new();
+            let mut prev_makespan: Option<u64> = None;
+            for n in n_min..=graph.len().max(1) {
+                let makespan = cache.makespan(n);
+                if let Some(prev) = prev_makespan {
+                    if makespan >= prev {
+                        break;
+                    }
+                }
+                prev_makespan = Some(makespan);
+                counts.push(n);
+                if prune && makespan == cpl_cycles {
+                    counters.scan_breaks += 1;
+                    break;
+                }
+            }
+            counters.candidates += counts.len() as u64;
+            counters.parallel_candidates += counts.len() as u64;
+            let summaries = cache.summaries(&counts);
+            let items: Vec<(usize, &IdleSummary)> = counts.iter().copied().zip(summaries).collect();
+            let evals = PAR_SCAN_POOL.map(&items, |&(n, summary)| {
+                best_level_for(summary, n, deadline_s, cfg, ps)
+            });
+            let mut best: Option<Candidate> = None;
+            for cand in evals.into_iter().flatten() {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| cand.energy.total() < b.energy.total())
+                {
+                    best = Some(cand);
+                }
+            }
+            let best = best.ok_or_else(|| infeasible(cache.makespan(n_min)))?;
+            let schedule = cache.schedule_arc(best.n_procs);
+            return Ok(Solution {
+                strategy,
+                n_procs: best.n_procs,
+                level: best.level,
+                energy: best.energy,
+                makespan_cycles: best.makespan_cycles,
+                makespan_s: best.makespan_cycles as f64 / best.level.freq,
+                schedule,
+            });
+        }
         let mut best: Option<Candidate> = None;
         let mut best_index: Option<usize> = None;
         let mut prev_makespan: Option<u64> = None;
         for n in n_min..=graph.len().max(1) {
+            if let (Some(b), Some(floor)) = (&best, scan_floor) {
+                if floor >= b.energy.total() * PRUNE_MARGIN {
+                    counters.scan_breaks += 1;
+                    break;
+                }
+            }
             let was_cached = cache.is_cached(n);
             let makespan = cache.makespan(n);
             if let Some(e) = ex.as_deref_mut() {
@@ -195,6 +370,32 @@ fn solve_search(
                 }
             }
             prev_makespan = Some(makespan);
+            // Energy floor at this candidate's own makespan: when even
+            // the cheapest conceivably-feasible level cannot beat the
+            // incumbent (or no level fits at all), the sweep is skipped.
+            // Never prunes while there is no incumbent, so error paths
+            // and first-candidate behavior are untouched.
+            let skip_sweep = prune
+                && best.as_ref().is_some_and(|b| {
+                    energy_floor(cfg, work_cycles, makespan, deadline_s)
+                        .is_none_or(|floor| floor >= b.energy.total() * PRUNE_MARGIN)
+                });
+            if skip_sweep {
+                counters.sweeps_skipped += 1;
+                if let Some(e) = ex.as_deref_mut() {
+                    let mut d = candidate_detail(n, makespan, was_cached);
+                    d.required_freq_hz = makespan as f64 / deadline_s;
+                    d.pruned = true;
+                    e.candidates.push(d);
+                }
+                // The §4.1 cpl-stop below still applies to a pruned cell.
+                if makespan == cpl_cycles {
+                    counters.scan_breaks += 1;
+                    break;
+                }
+                continue;
+            }
+            counters.candidates += 1;
             let mut detail = want_explain.then(|| candidate_detail(n, makespan, was_cached));
             let cand =
                 best_level_for_impl(cache.summary(n), n, deadline_s, cfg, ps, detail.as_mut());
@@ -209,6 +410,14 @@ fn solve_search(
                     best = Some(c);
                     best_index = ex.as_deref().map(|e| e.candidates.len() - 1);
                 }
+            }
+            // Once the makespan reaches the CPL no later count can
+            // strictly decrease it, so the §4.2 stopping rule would end
+            // the scan at the next cell anyway — end it here and skip
+            // scheduling that cell.
+            if prune && makespan == cpl_cycles {
+                counters.scan_breaks += 1;
+                break;
             }
         }
         if let Some(e) = ex.as_deref_mut() {
@@ -252,6 +461,7 @@ fn solve_search(
         let was_cached = cache.is_cached(n);
         let summary = cache.summary(n);
         let makespan = summary.makespan_cycles();
+        counters.candidates += 1;
         let mut detail = want_explain.then(|| candidate_detail(n, makespan, was_cached));
         let cand = best_level_for_impl(summary, n, deadline_s, cfg, ps, detail.as_mut());
         if let (Some(e), Some(d)) = (ex, detail) {
@@ -263,7 +473,7 @@ fn solve_search(
         cand.ok_or_else(|| infeasible(cache.makespan(n)))?
     };
 
-    let schedule = cache.schedule(best.n_procs).clone();
+    let schedule = cache.schedule_arc(best.n_procs);
     Ok(Solution {
         strategy,
         n_procs: best.n_procs,
@@ -329,6 +539,7 @@ fn candidate_detail(n_procs: usize, makespan_cycles: u64, cache_hit: bool) -> Ca
         cache_hit,
         levels: Vec::new(),
         best_level: None,
+        pruned: false,
     }
 }
 
@@ -599,6 +810,115 @@ mod tests {
             let sol = solve(s, &g, d, &cfg()).unwrap();
             assert_eq!(sol.n_procs, 1);
         }
+    }
+
+    #[test]
+    fn pruned_and_unpruned_solves_are_bitwise_identical() {
+        // The tentpole soundness claim: energy-floor pruning, the scan
+        // cpl-stop, the width plateau, and the lower-bound probe skip
+        // must never change the solution — not even in the last bit of
+        // the energy.
+        let mut graphs = lamps_taskgraph::gen::layered::stg_group(50, 4, 23)
+            .into_iter()
+            .map(|g| g.scale_weights(310_000))
+            .collect::<Vec<_>>();
+        graphs.push(fig4a_coarse());
+        for (i, g) in graphs.iter().enumerate() {
+            for factor in [1.0, 1.5, 2.0, 4.0, 8.0] {
+                let d = deadline_x(g, factor);
+                for s in Strategy::all() {
+                    let pruned = solve(s, g, d, &cfg());
+                    let mut plain_cache = ScheduleCache::for_graph(g);
+                    plain_cache.set_shortcuts_enabled(false);
+                    let unpruned = solve_with_cache_unpruned(s, d, &cfg(), &mut plain_cache);
+                    match (pruned, unpruned) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a.n_procs, b.n_procs, "graph {i}, {s}, {factor}x");
+                            assert_eq!(a.level.freq.to_bits(), b.level.freq.to_bits());
+                            assert_eq!(a.makespan_cycles, b.makespan_cycles);
+                            assert_eq!(
+                                a.energy.total().to_bits(),
+                                b.energy.total().to_bits(),
+                                "graph {i}, {s}, {factor}x: pruning changed the energy"
+                            );
+                        }
+                        (Err(a), Err(b)) => {
+                            assert_eq!(format!("{a}"), format!("{b}"));
+                        }
+                        (a, b) => panic!("graph {i}, {s}, {factor}x: {a:?} vs {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scan_matches_sequential_scan_bitwise() {
+        // Graphs above PAR_SCAN_MIN_TASKS take the parallel candidate-
+        // evaluation arm (forced on under cfg(test) even on one core);
+        // the explained path always runs the sequential scan. Both must
+        // choose the identical solution, to the last bit.
+        let graphs = lamps_taskgraph::gen::layered::stg_group(600, 2, 41)
+            .into_iter()
+            .map(|g| g.scale_weights(310_000))
+            .collect::<Vec<_>>();
+        assert!(graphs.iter().any(|g| g.len() >= PAR_SCAN_MIN_TASKS));
+        for (i, g) in graphs.iter().enumerate() {
+            for factor in [1.2, 2.0, 6.0] {
+                let d = deadline_x(g, factor);
+                for s in [Strategy::Lamps, Strategy::LampsPs] {
+                    let par = solve(s, g, d, &cfg()).unwrap();
+                    let (seq, _ex) = solve_explained(s, g, d, &cfg());
+                    let seq = seq.unwrap();
+                    assert_eq!(par.n_procs, seq.n_procs, "graph {i}, {s}, {factor}x");
+                    assert_eq!(par.level.freq.to_bits(), seq.level.freq.to_bits());
+                    assert_eq!(par.makespan_cycles, seq.makespan_cycles);
+                    assert_eq!(
+                        par.energy.total().to_bits(),
+                        seq.energy.total().to_bits(),
+                        "graph {i}, {s}, {factor}x: parallel arm diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pruning_counters_surface_in_explain() {
+        // On a wide graph with a loose deadline the scan visits several
+        // counts; the floor pruning must fire somewhere across the
+        // sweep and be visible in the decision log.
+        let graphs = lamps_taskgraph::gen::layered::stg_group(60, 2, 7)
+            .into_iter()
+            .map(|g| g.scale_weights(310_000))
+            .collect::<Vec<_>>();
+        let mut any_skip = 0u64;
+        let mut any_break = 0u64;
+        for g in &graphs {
+            for factor in [1.5, 4.0] {
+                let (res, ex) =
+                    solve_explained(Strategy::LampsPs, g, deadline_x(g, factor), &cfg());
+                res.unwrap();
+                any_skip += ex.sweeps_skipped;
+                any_break += ex.scan_breaks;
+                // Pruned candidates are recorded with the flag and an
+                // empty sweep.
+                for c in &ex.candidates {
+                    if c.pruned {
+                        assert!(c.levels.is_empty());
+                        assert_eq!(c.best_level, None);
+                    }
+                }
+                assert_eq!(
+                    ex.sweeps_skipped,
+                    ex.candidates.iter().filter(|c| c.pruned).count() as u64
+                );
+            }
+        }
+        assert!(
+            any_skip + any_break > 0,
+            "pruning never fired across the suite"
+        );
     }
 
     #[test]

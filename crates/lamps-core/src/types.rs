@@ -3,6 +3,7 @@
 use lamps_energy::EnergyBreakdown;
 use lamps_power::{OperatingPoint, PowerError};
 use lamps_sched::Schedule;
+use std::sync::Arc;
 
 /// The four scheduling strategies of §4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -78,8 +79,9 @@ pub struct Solution {
     pub makespan_cycles: u64,
     /// Makespan in seconds at the chosen level.
     pub makespan_s: f64,
-    /// The schedule itself (in cycles).
-    pub schedule: Schedule,
+    /// The schedule itself (in cycles), shared with the solver's cache —
+    /// constructing a solution never deep-copies the schedule arrays.
+    pub schedule: Arc<Schedule>,
 }
 
 /// Errors from the solvers.

@@ -100,10 +100,16 @@ pub struct IdleSummary {
     makespan_cycles: u64,
     busy_cycles: Vec<u64>,
     last_finish: Vec<u64>,
-    /// Per processor: lengths of the leading + inner gaps, ascending.
-    gaps_sorted: Vec<Vec<u64>>,
-    /// Per processor: prefix sums of `gaps_sorted` (length `gaps + 1`).
-    gap_prefix: Vec<Vec<u64>>,
+    /// Every processor's leading + inner gap lengths, each processor's
+    /// run sorted ascending, concatenated in one CSR arena:
+    /// `gap_offsets[p]..gap_offsets[p + 1]` is processor `p`'s slice.
+    gaps_sorted: Vec<u64>,
+    /// CSR offsets into `gaps_sorted`; `n_procs + 1` entries.
+    gap_offsets: Vec<usize>,
+    /// Per-processor prefix sums of `gaps_sorted` (each run one entry
+    /// longer than its gap run, starting at 0), concatenated; processor
+    /// `p`'s run starts at `gap_offsets[p] + p`.
+    gap_prefix: Vec<u64>,
 }
 
 impl IdleSummary {
@@ -116,31 +122,31 @@ impl IdleSummary {
         let n_procs = schedule.n_procs();
         let mut busy_cycles = vec![0u64; n_procs];
         let mut last_finish = vec![0u64; n_procs];
-        let mut gaps_sorted = Vec::with_capacity(n_procs);
+        let mut gaps_sorted = Vec::new();
+        let mut gap_offsets = Vec::with_capacity(n_procs + 1);
+        gap_offsets.push(0usize);
         let mut gap_prefix = Vec::with_capacity(n_procs);
         for p in 0..n_procs as u32 {
             let p = ProcId(p);
-            let mut gaps = Vec::new();
+            let run_start = gaps_sorted.len();
             let mut cursor = 0u64;
             for &t in schedule.tasks_on(p) {
                 let s = schedule.start(t);
                 if s > cursor {
-                    gaps.push(s - cursor);
+                    gaps_sorted.push(s - cursor);
                 }
                 busy_cycles[p.index()] += schedule.finish(t) - s;
                 cursor = cursor.max(schedule.finish(t));
             }
             last_finish[p.index()] = cursor;
-            gaps.sort_unstable();
-            let mut prefix = Vec::with_capacity(gaps.len() + 1);
+            gaps_sorted[run_start..].sort_unstable();
+            gap_offsets.push(gaps_sorted.len());
             let mut acc = 0u64;
-            prefix.push(0);
-            for &g in &gaps {
+            gap_prefix.push(0);
+            for &g in &gaps_sorted[run_start..] {
                 acc += g;
-                prefix.push(acc);
+                gap_prefix.push(acc);
             }
-            gaps_sorted.push(gaps);
-            gap_prefix.push(prefix);
         }
         IdleSummary {
             n_procs,
@@ -148,6 +154,7 @@ impl IdleSummary {
             busy_cycles,
             last_finish,
             gaps_sorted,
+            gap_offsets,
             gap_prefix,
         }
     }
@@ -181,7 +188,7 @@ impl IdleSummary {
     /// Number of leading + inner gaps on processor `p`.
     #[inline]
     pub fn gap_count(&self, p: ProcId) -> usize {
-        self.gaps_sorted[p.index()].len()
+        self.gap_offsets[p.index() + 1] - self.gap_offsets[p.index()]
     }
 
     /// Lengths of processor `p`'s leading + inner gaps, ascending
@@ -189,7 +196,7 @@ impl IdleSummary {
     /// timeline — the summary does not retain positions.
     #[inline]
     pub fn gaps(&self, p: ProcId) -> &[u64] {
-        &self.gaps_sorted[p.index()]
+        &self.gaps_sorted[self.gap_offsets[p.index()]..self.gap_offsets[p.index() + 1]]
     }
 
     /// Split processor `p`'s leading + inner gaps at `cutoff_cycles`:
@@ -198,8 +205,11 @@ impl IdleSummary {
     ///
     /// O(log gaps) via binary search over the sorted lengths.
     pub fn split_gaps(&self, p: ProcId, cutoff_cycles: u64) -> (u64, u64, usize) {
-        let gaps = &self.gaps_sorted[p.index()];
-        let prefix = &self.gap_prefix[p.index()];
+        let (lo, hi) = (self.gap_offsets[p.index()], self.gap_offsets[p.index() + 1]);
+        let gaps = &self.gaps_sorted[lo..hi];
+        // Processor `p`'s prefix run is one entry longer than its gap
+        // run, so earlier processors shift it right by `p` entries.
+        let prefix = &self.gap_prefix[lo + p.index()..hi + p.index() + 1];
         let idx = gaps.partition_point(|&g| g < cutoff_cycles);
         let total = *prefix.last().expect("prefix is never empty");
         let awake = prefix[idx];

@@ -32,7 +32,9 @@ pub mod schedule;
 pub use deadlines::latest_finish_times;
 pub use idle::{idle_intervals, IdleInterval, IdleSummary};
 pub use insertion::{insertion_edf_schedule, insertion_schedule};
-pub use list::{edf_schedule, list_schedule, list_schedule_with, ListScheduleWorkspace};
+pub use list::{
+    edf_schedule, list_schedule, list_schedule_into, list_schedule_with, ListScheduleWorkspace,
+};
 pub use metrics::{metrics, MetricsError, ScheduleMetrics};
 pub use partial::{reschedule_remaining, PartialSchedule, ProcAvailability};
 pub use priorities::PriorityPolicy;

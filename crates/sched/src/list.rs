@@ -15,7 +15,7 @@
 //! strategy, so comparisons are unaffected.
 
 use crate::deadlines::latest_finish_times;
-use crate::schedule::{ProcId, Schedule};
+use crate::schedule::{csr_from_sorted, ProcId, Schedule};
 use lamps_taskgraph::{TaskGraph, TaskId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -23,23 +23,84 @@ use std::collections::BinaryHeap;
 /// Reusable scratch state for [`list_schedule_with`].
 ///
 /// A LAMPS-style search schedules the same graph dozens of times (one
-/// run per candidate processor count); keeping the event heaps and the
-/// in-degree counters alive across runs avoids re-allocating them every
-/// time. The workspace carries no semantic state between runs — every
-/// run clears and refills it — so reusing one workspace produces
-/// schedules identical to fresh [`list_schedule`] calls.
+/// run per candidate processor count); keeping the event heaps, the
+/// in-degree counters, and the per-run result arrays alive across runs
+/// means a run through a warm workspace performs **zero heap
+/// allocations** ([`list_schedule_into`]); materializing an owned
+/// [`Schedule`] afterwards costs exactly the five exact-size arrays the
+/// schedule keeps. The workspace carries no semantic state between runs
+/// — every run clears and refills it — so reusing one workspace
+/// produces schedules identical to fresh [`list_schedule`] calls.
 #[derive(Debug, Default)]
 pub struct ListScheduleWorkspace {
     ready: BinaryHeap<Reverse<(u64, u32)>>,
     running: BinaryHeap<Reverse<(u64, u32)>>,
     idle: BinaryHeap<(u64, Reverse<u32>)>,
     missing_preds: Vec<u32>,
+    // Results of the most recent run, valid until the next one.
+    start: Vec<u64>,
+    finish: Vec<u64>,
+    proc: Vec<ProcId>,
+    /// Tasks in global assignment order; each processor's subsequence is
+    /// its execution order (assignment time is non-decreasing).
+    seq: Vec<TaskId>,
+    /// Peak number of processors held at once during the last run (see
+    /// [`Self::peak_procs_held`]).
+    peak_held: usize,
+    /// Whether the last run ever made a ready task wait for a processor.
+    blocked: bool,
 }
 
 impl ListScheduleWorkspace {
     /// An empty workspace.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Grow every internal buffer to hold an `n_tasks`-task graph on
+    /// `n_procs` processors, so the next [`list_schedule_into`] run
+    /// allocates nothing. `reserve` is a no-op when capacity is already
+    /// sufficient; runs against larger inputs simply grow on demand.
+    pub fn reserve(&mut self, n_tasks: usize, n_procs: usize) {
+        self.ready.reserve(n_tasks);
+        // At most one task runs per processor at any instant.
+        self.running.reserve(n_procs.min(n_tasks.max(1)));
+        self.idle.reserve(n_procs);
+        self.missing_preds.reserve(n_tasks);
+        self.start.reserve(n_tasks);
+        self.finish.reserve(n_tasks);
+        self.proc.reserve(n_tasks);
+        self.seq.reserve(n_tasks);
+    }
+
+    /// Makespan of the most recent [`list_schedule_into`] run.
+    pub fn makespan_cycles(&self) -> u64 {
+        self.finish.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Peak number of processors held simultaneously during the most
+    /// recent run, counting a zero-weight task's momentary hold at its
+    /// assignment instant.
+    ///
+    /// Together with [`Self::was_blocked`] this bounds the schedule's
+    /// *width*: if the last run never blocked, then re-running the same
+    /// graph and keys on **any** processor count `≥ peak_procs_held()`
+    /// replays the identical event sequence — the ready heap, running
+    /// heap, and retirement order are independent of the processor
+    /// count as long as a processor is free whenever a task is popped —
+    /// and therefore produces the same start/finish times and makespan.
+    /// Only the processor *assignment* differs. Callers (the solver's
+    /// schedule cache) use this to answer makespan probes above the
+    /// width without scheduling.
+    pub fn peak_procs_held(&self) -> usize {
+        self.peak_held
+    }
+
+    /// Whether the most recent run ever had a ready task wait because
+    /// every processor was busy. An unblocked run is the infinite-
+    /// processor schedule: see [`Self::peak_procs_held`].
+    pub fn was_blocked(&self) -> bool {
+        self.blocked
     }
 }
 
@@ -65,6 +126,28 @@ pub fn list_schedule_with(
     n_procs: usize,
     keys: &[u64],
 ) -> Schedule {
+    list_schedule_into(ws, graph, n_procs, keys);
+    materialize(ws, n_procs)
+}
+
+/// Run the list scheduler, leaving the per-task results in `ws` (read
+/// them back via [`ListScheduleWorkspace::makespan_cycles`] or
+/// materialize an owned [`Schedule`] with [`list_schedule_with`]).
+/// Returns the makespan in cycles.
+///
+/// Once `ws` has been through a run of at least this size (or was
+/// [`ListScheduleWorkspace::reserve`]d), this performs **zero heap
+/// allocations** — every buffer is cleared and refilled in place.
+///
+/// # Panics
+///
+/// Panics if `n_procs == 0` or `keys.len() != graph.len()`.
+pub fn list_schedule_into(
+    ws: &mut ListScheduleWorkspace,
+    graph: &TaskGraph,
+    n_procs: usize,
+    keys: &[u64],
+) -> u64 {
     assert!(n_procs > 0, "need at least one processor");
     assert_eq!(keys.len(), graph.len(), "one key per task");
 
@@ -75,10 +158,18 @@ pub fn list_schedule_with(
     let _span = lamps_obs::span("sched", "list_schedule");
 
     let n = graph.len();
-    let mut start = vec![0u64; n];
-    let mut finish = vec![0u64; n];
-    let mut proc = vec![ProcId(0); n];
-    let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];
+    ws.reserve(n, n_procs);
+    ws.start.clear();
+    ws.start.resize(n, 0);
+    ws.finish.clear();
+    ws.finish.resize(n, 0);
+    ws.proc.clear();
+    ws.proc.resize(n, ProcId(0));
+    ws.seq.clear();
+    let start = &mut ws.start;
+    let finish = &mut ws.finish;
+    let proc = &mut ws.proc;
+    let seq = &mut ws.seq;
 
     // Ready tasks: min-heap on (key, id).
     let ready = &mut ws.ready;
@@ -102,6 +193,11 @@ pub fn list_schedule_with(
     idle.clear();
     idle.extend((0..n_procs as u32).map(|p| (0u64, Reverse(p))));
 
+    ws.peak_held = 0;
+    ws.blocked = false;
+    let mut peak_held = 0usize;
+    let mut blocked = false;
+    let mut makespan = 0u64;
     let mut now = 0u64;
     let mut scheduled = 0usize;
     while scheduled < n {
@@ -133,8 +229,9 @@ pub fn list_schedule_with(
             start[t.index()] = now;
             finish[t.index()] = now + w;
             proc[t.index()] = ProcId(p);
-            proc_tasks[p as usize].push(t);
+            seq.push(t);
             scheduled += 1;
+            makespan = makespan.max(now + w);
             if w == 0 {
                 idle.push((now, Reverse(p)));
                 for &s in graph.successors(t) {
@@ -146,6 +243,12 @@ pub fn list_schedule_with(
             } else {
                 running.push(Reverse((finish[t.index()], id)));
             }
+            // Processors held right now: every running task plus the
+            // momentary hold of a zero-weight assignment.
+            let held = running.len() + usize::from(w == 0);
+            if held > peak_held {
+                peak_held = held;
+            }
         }
 
         if scheduled == n {
@@ -153,14 +256,39 @@ pub fn list_schedule_with(
         }
 
         // Advance to the next finish event; the top of the loop retires
-        // it (and anything else finishing at the same instant).
+        // it (and anything else finishing at the same instant). A ready
+        // task waiting here is the one situation where the processor
+        // count shaped the schedule.
+        if !ready.is_empty() {
+            blocked = true;
+        }
         let &Reverse((ft, _)) = running
             .peek()
             .expect("unscheduled tasks remain, so something must be running");
         now = ft;
     }
 
-    Schedule::with_proc_order(n_procs, start, finish, proc, proc_tasks)
+    ws.peak_held = peak_held;
+    ws.blocked = blocked;
+    makespan
+}
+
+/// Copy the workspace's latest run into an owned [`Schedule`]: five
+/// exact-size allocations (start/finish/proc plus the CSR order arena),
+/// no per-processor `Vec`s. Within one processor the assignment sequence
+/// is chronological, so a stable counting sort of `seq` by processor
+/// yields each processor's execution order — authoritative even for
+/// zero-weight chains assigned at the same instant.
+fn materialize(ws: &ListScheduleWorkspace, n_procs: usize) -> Schedule {
+    let (order, offsets) = csr_from_sorted(n_procs, &ws.proc, ws.seq.iter().copied());
+    Schedule::from_parts_unchecked(
+        n_procs,
+        ws.start.clone(),
+        ws.finish.clone(),
+        ws.proc.clone(),
+        order,
+        offsets,
+    )
 }
 
 /// LS-EDF (§4): list scheduling with latest-finish-time keys derived from
@@ -335,5 +463,45 @@ mod tests {
         s.validate(&g).unwrap();
         assert_eq!(s.makespan_cycles(), 2);
         assert_eq!(s.employed_procs(), 4);
+    }
+
+    #[test]
+    fn unblocked_peak_bounds_the_plateau() {
+        // The width-plateau contract: when a run never stalls a ready
+        // task (`!was_blocked()`), the event sequence equals the
+        // infinite-processor one, so every count at or above
+        // `peak_procs_held()` must reproduce the same makespan.
+        let graphs = {
+            let mut gs = vec![fig4a()];
+            let mut b = GraphBuilder::new();
+            // Zero-weight fan-out feeding heavy tasks: exercises the
+            // micro-round accounting where a zero-weight task holds a
+            // processor slot for an instant.
+            let root = b.add_task(0);
+            for w in [5u64, 3, 0, 7] {
+                let t = b.add_task(w);
+                b.add_edge(root, t).unwrap();
+            }
+            gs.push(b.build().unwrap());
+            gs
+        };
+        for (i, g) in graphs.iter().enumerate() {
+            let mut ws = ListScheduleWorkspace::new();
+            let keys = vec![0u64; g.len()];
+            // |V| processors can never block.
+            let top = list_schedule_into(&mut ws, g, g.len(), &keys);
+            assert!(!ws.was_blocked(), "graph {i}: |V| procs cannot block");
+            let width = ws.peak_procs_held().max(1);
+            assert!(width <= g.len());
+            for n in width..=g.len() {
+                let ms = list_schedule_into(&mut ws, g, n, &keys);
+                assert_eq!(ms, top, "graph {i}, n {n} is on the plateau");
+            }
+            // Below the width the run either blocks or (still) matches;
+            // blocking is what voids the plateau guarantee.
+            if width > 1 {
+                let _ = list_schedule_into(&mut ws, g, width - 1, &keys);
+            }
+        }
     }
 }

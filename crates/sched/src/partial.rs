@@ -40,7 +40,10 @@ pub struct PartialSchedule {
     start: Vec<u64>,
     finish: Vec<u64>,
     proc: Vec<ProcId>,
-    proc_tasks: Vec<Vec<TaskId>>,
+    /// Pending tasks in per-processor execution order, one flat CSR
+    /// arena (same layout as [`crate::schedule::Schedule`]).
+    order: Vec<TaskId>,
+    offsets: Vec<usize>,
     makespan: u64,
     n_placed: usize,
 }
@@ -66,7 +69,7 @@ impl PartialSchedule {
 
     /// Pending tasks of processor `p` in execution order.
     pub fn tasks_on(&self, p: ProcId) -> &[TaskId] {
-        &self.proc_tasks[p.index()]
+        &self.order[self.offsets[p.index()]..self.offsets[p.index() + 1]]
     }
 
     /// Completion cycle of the last re-placed task (0 if none were
@@ -137,7 +140,9 @@ pub fn reschedule_remaining(
     let mut start = vec![0u64; n];
     let mut finish = vec![0u64; n];
     let mut proc = vec![ProcId(u32::MAX); n];
-    let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];
+    // Pending tasks in global assignment order; flattened to the CSR
+    // arena at the end (each processor's subsequence is chronological).
+    let mut seq: Vec<TaskId> = Vec::with_capacity(pending);
 
     // Pending predecessors still outstanding, and the release cycle
     // accumulated from completed ones.
@@ -227,7 +232,7 @@ pub fn reschedule_remaining(
             start[t.index()] = now;
             finish[t.index()] = now + w;
             proc[t.index()] = ProcId(p);
-            proc_tasks[p as usize].push(t);
+            seq.push(t);
             scheduled += 1;
             if w == 0 {
                 idle.push((now, Reverse(p)));
@@ -280,11 +285,30 @@ pub fn reschedule_remaining(
         .map(|t| finish[t.index()])
         .max()
         .unwrap_or(0);
+    // Counting sort of the assignment sequence by processor; stable, so
+    // each processor's chronological order is preserved. Done tasks are
+    // absent from `seq`, so their `ProcId(u32::MAX)` sentinels never
+    // index the buckets.
+    let mut offsets = vec![0usize; n_procs + 1];
+    for &t in &seq {
+        offsets[proc[t.index()].index() + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut order = vec![TaskId(0); seq.len()];
+    for &t in &seq {
+        let p = proc[t.index()].index();
+        order[cursor[p]] = t;
+        cursor[p] += 1;
+    }
     PartialSchedule {
         start,
         finish,
         proc,
-        proc_tasks,
+        order,
+        offsets,
         makespan,
         n_placed: pending,
     }

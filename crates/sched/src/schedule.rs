@@ -77,14 +77,49 @@ impl std::error::Error for ScheduleError {}
 /// processors, in cycles at the nominal frequency.
 ///
 /// Immutable once produced by the list scheduler. Start/finish times are
-/// per task; each processor's task sequence is stored in execution order.
+/// per task; the per-processor execution orders are stored in one flat
+/// CSR arena — a single `order` array holding every processor's task
+/// sequence back to back, with `offsets[p]..offsets[p + 1]` delimiting
+/// processor `p`'s slice. Compared to a `Vec<Vec<TaskId>>` this is one
+/// allocation instead of `n_procs`, and iterating a whole schedule walks
+/// one contiguous array.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Schedule {
     n_procs: usize,
     start: Vec<u64>,
     finish: Vec<u64>,
     proc: Vec<ProcId>,
-    proc_tasks: Vec<Vec<TaskId>>,
+    /// Every processor's task sequence, concatenated in processor order.
+    order: Vec<TaskId>,
+    /// `offsets[p]..offsets[p + 1]` is processor `p`'s slice of `order`;
+    /// always `n_procs + 1` entries.
+    offsets: Vec<usize>,
+}
+
+/// Build the CSR `(order, offsets)` arena from per-task processor
+/// assignments and an iterator yielding every task in execution order
+/// (ties already broken). Counting sort by processor: one pass to size
+/// the buckets, one pass to place.
+pub(crate) fn csr_from_sorted(
+    n_procs: usize,
+    proc: &[ProcId],
+    sorted: impl Iterator<Item = TaskId> + Clone,
+) -> (Vec<TaskId>, Vec<usize>) {
+    let mut offsets = vec![0usize; n_procs + 1];
+    for p in proc {
+        offsets[p.index() + 1] += 1;
+    }
+    for i in 1..offsets.len() {
+        offsets[i] += offsets[i - 1];
+    }
+    let mut cursor = offsets.clone();
+    let mut order = vec![TaskId(0); proc.len()];
+    for t in sorted {
+        let p = proc[t.index()].index();
+        order[cursor[p]] = t;
+        cursor[p] += 1;
+    }
+    (order, offsets)
 }
 
 impl Schedule {
@@ -98,18 +133,16 @@ impl Schedule {
     pub fn new(n_procs: usize, start: Vec<u64>, finish: Vec<u64>, proc: Vec<ProcId>) -> Schedule {
         assert_eq!(start.len(), finish.len());
         assert_eq!(start.len(), proc.len());
-        let mut proc_tasks: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];
-        let mut order: Vec<TaskId> = (0..start.len() as u32).map(TaskId).collect();
-        order.sort_by_key(|t| (start[t.index()], finish[t.index()], t.0));
-        for t in order {
-            proc_tasks[proc[t.index()].index()].push(t);
-        }
+        let mut sorted: Vec<TaskId> = (0..start.len() as u32).map(TaskId).collect();
+        sorted.sort_by_key(|t| (start[t.index()], finish[t.index()], t.0));
+        let (order, offsets) = csr_from_sorted(n_procs, &proc, sorted.iter().copied());
         Schedule {
             n_procs,
             start,
             finish,
             proc,
-            proc_tasks,
+            order,
+            offsets,
         }
     }
 
@@ -128,12 +161,42 @@ impl Schedule {
         proc: Vec<ProcId>,
         proc_tasks: Vec<Vec<TaskId>>,
     ) -> Schedule {
+        assert_eq!(proc_tasks.len(), n_procs);
+        let mut order = Vec::with_capacity(proc.len());
+        let mut offsets = Vec::with_capacity(n_procs + 1);
+        offsets.push(0);
+        for tasks in &proc_tasks {
+            order.extend_from_slice(tasks);
+            offsets.push(order.len());
+        }
+        Schedule::from_flat_order(n_procs, start, finish, proc, order, offsets)
+    }
+
+    /// Assemble a schedule directly from a flat CSR execution-order arena
+    /// (`offsets[p]..offsets[p + 1]` delimits processor `p`'s tasks).
+    /// Same contract as [`Self::with_proc_order`], minus the per-processor
+    /// `Vec`s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arena disagrees with the `proc` assignment or does
+    /// not cover every task exactly once.
+    pub fn from_flat_order(
+        n_procs: usize,
+        start: Vec<u64>,
+        finish: Vec<u64>,
+        proc: Vec<ProcId>,
+        order: Vec<TaskId>,
+        offsets: Vec<usize>,
+    ) -> Schedule {
         assert_eq!(start.len(), finish.len());
         assert_eq!(start.len(), proc.len());
-        assert_eq!(proc_tasks.len(), n_procs);
+        assert_eq!(offsets.len(), n_procs + 1);
+        assert_eq!(*offsets.last().unwrap(), order.len());
         let mut seen = vec![false; start.len()];
-        for (p, tasks) in proc_tasks.iter().enumerate() {
-            for &t in tasks {
+        for p in 0..n_procs {
+            assert!(offsets[p] <= offsets[p + 1], "offsets must be monotone");
+            for &t in &order[offsets[p]..offsets[p + 1]] {
                 assert_eq!(proc[t.index()].index(), p, "{t} listed on wrong processor");
                 assert!(!seen[t.index()], "{t} listed twice");
                 seen[t.index()] = true;
@@ -145,7 +208,33 @@ impl Schedule {
             start,
             finish,
             proc,
-            proc_tasks,
+            order,
+            offsets,
+        }
+    }
+
+    /// Crate-internal constructor for schedulers that build the arena
+    /// correct by construction (the list scheduler's counting sort); the
+    /// public constructors re-validate coverage instead.
+    pub(crate) fn from_parts_unchecked(
+        n_procs: usize,
+        start: Vec<u64>,
+        finish: Vec<u64>,
+        proc: Vec<ProcId>,
+        order: Vec<TaskId>,
+        offsets: Vec<usize>,
+    ) -> Schedule {
+        debug_assert_eq!(start.len(), finish.len());
+        debug_assert_eq!(start.len(), proc.len());
+        debug_assert_eq!(offsets.len(), n_procs + 1);
+        debug_assert_eq!(*offsets.last().unwrap(), order.len());
+        Schedule {
+            n_procs,
+            start,
+            finish,
+            proc,
+            order,
+            offsets,
         }
     }
 
@@ -186,8 +275,9 @@ impl Schedule {
     }
 
     /// Tasks of processor `p` in execution order.
+    #[inline]
     pub fn tasks_on(&self, p: ProcId) -> &[TaskId] {
-        &self.proc_tasks[p.index()]
+        &self.order[self.offsets[p.index()]..self.offsets[p.index() + 1]]
     }
 
     /// Completion time of the whole schedule in cycles.
@@ -197,7 +287,7 @@ impl Schedule {
 
     /// Total busy cycles of processor `p`.
     pub fn busy_cycles(&self, p: ProcId) -> u64 {
-        self.proc_tasks[p.index()]
+        self.tasks_on(p)
             .iter()
             .map(|&t| self.finish(t) - self.start(t))
             .sum()
@@ -205,7 +295,9 @@ impl Schedule {
 
     /// Number of processors that actually execute at least one task.
     pub fn employed_procs(&self) -> usize {
-        self.proc_tasks.iter().filter(|v| !v.is_empty()).count()
+        (0..self.n_procs)
+            .filter(|&p| self.offsets[p] < self.offsets[p + 1])
+            .count()
     }
 
     /// Check structural validity against the graph: every task scheduled,
@@ -228,7 +320,8 @@ impl Schedule {
                 }
             }
         }
-        for (pi, tasks) in self.proc_tasks.iter().enumerate() {
+        for pi in 0..self.n_procs {
+            let tasks = self.tasks_on(ProcId(pi as u32));
             for w in tasks.windows(2) {
                 if self.finish(w[0]) > self.start(w[1]) {
                     return Err(ScheduleError::Overlap {

@@ -1,0 +1,106 @@
+//! Proof that a warm [`ListScheduleWorkspace`] really is allocation-free.
+//!
+//! The solver's LAMPS scan leans on the contract documented on
+//! [`lamps_sched::list_schedule_into`]: once the workspace has been
+//! through a run of a given size, every further run clears and refills
+//! the same buffers and touches the heap **zero** times. This test
+//! enforces the contract with a counting global allocator — if someone
+//! reintroduces a per-run `Vec::new()` or lets a heap grow run-to-run,
+//! the count moves and the test names the regression.
+//!
+//! This file deliberately contains a single `#[test]`: the counter is
+//! process-global, and a sibling test allocating on another thread
+//! would show up as a false positive. The library crate forbids
+//! `unsafe`; the `GlobalAlloc` impl below lives in this integration
+//! test only.
+
+use lamps_sched::list::{list_schedule_into, ListScheduleWorkspace};
+use lamps_taskgraph::GraphBuilder;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// System allocator with a count of every `alloc`/`realloc` call
+/// (deallocation is free to happen; only *new* memory breaks the
+/// contract).
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn warm_workspace_runs_allocate_nothing() {
+    // A layered DAG big enough to exercise every internal buffer: 240
+    // tasks in 12 layers, each task depending on two tasks of the
+    // previous layer.
+    let mut b = GraphBuilder::new();
+    let mut prev: Vec<_> = (0..20).map(|i| b.add_task(5 + i % 7)).collect();
+    for layer in 1..12 {
+        let cur: Vec<_> = (0..20).map(|i| b.add_task(3 + (layer + i) % 11)).collect();
+        for (i, &t) in cur.iter().enumerate() {
+            b.add_edge(prev[i], t).unwrap();
+            b.add_edge(prev[(i + 7) % prev.len()], t).unwrap();
+        }
+        prev = cur;
+    }
+    let graph = b.build().unwrap();
+    let keys: Vec<u64> = (0..graph.len() as u64).collect();
+    let proc_counts = [1usize, 3, 8, 20];
+
+    // Cold phase: the first run per processor count may allocate freely
+    // (buffers grow to their high-water mark here).
+    let mut ws = ListScheduleWorkspace::new();
+    let mut cold = [0u64; 4];
+    for (slot, &n) in cold.iter_mut().zip(&proc_counts) {
+        *slot = list_schedule_into(&mut ws, &graph, n, &keys);
+    }
+
+    // Warm phase: identical runs against the same workspace must not
+    // touch the allocator at all. (The results land in a stack array —
+    // nothing in the measured region may allocate, including the test's
+    // own bookkeeping.)
+    let mut warm = [0u64; 4];
+    let before = allocations();
+    for (slot, &n) in warm.iter_mut().zip(&proc_counts) {
+        *slot = list_schedule_into(&mut ws, &graph, n, &keys);
+    }
+    let grew = allocations() - before;
+    assert_eq!(
+        grew, 0,
+        "warm list_schedule_into runs performed {grew} allocation(s); \
+         the zero-allocation contract is broken"
+    );
+
+    // The reuse must also be semantically invisible.
+    assert_eq!(cold, warm, "warm runs changed the makespans");
+    assert!(
+        cold[0] >= cold[proc_counts.len() - 1],
+        "more processors cannot lengthen the makespan"
+    );
+}

@@ -29,7 +29,10 @@ use crate::case::Case;
 use crate::oracle::{exhaustive_optimum, OracleConfig, OracleError};
 use crate::runtime::check_run;
 use crate::validator::{check_solution, rebill};
-use lamps_core::{solve, SchedulerConfig, Solution, SolveError, Strategy};
+use lamps_core::{
+    solve, solve_with_cache_unpruned, ScheduleCache, SchedulerConfig, Solution, SolveError,
+    Strategy,
+};
 use lamps_energy::{evaluate, evaluate_summary};
 use lamps_kpn::{unroll, Network, UnrollConfig};
 use lamps_sched::{IdleSummary, ProcId};
@@ -157,6 +160,7 @@ pub fn check_case(
                     violations.push(format!("{strategy}: {v}"));
                 }
                 differential_check(&sol.schedule, deadline_s, scfg, &mut violations, &strategy);
+                pruning_differential(&graph, &sol, deadline_s, scfg, &mut violations, &strategy);
                 energies[si] = Some(sol.energy.total());
                 stats.solutions += 1;
             }
@@ -288,6 +292,46 @@ fn fault_battery(
                 }
             }
         }
+    }
+}
+
+/// Pruning dimension: re-solve with every solver shortcut disabled —
+/// no width plateau, no lower-bound probe skip, no energy-floor sweep
+/// skips, no early scan termination — and demand the bitwise-identical
+/// solution. This is the differential that keeps the pruned hot path
+/// honest; the gauntlet's mutation checks prove it actually fires on
+/// an unsound bound.
+pub fn pruning_differential(
+    graph: &TaskGraph,
+    sol: &Solution,
+    deadline_s: f64,
+    scfg: &SchedulerConfig,
+    violations: &mut Vec<String>,
+    strategy: &Strategy,
+) {
+    let mut reference = ScheduleCache::for_graph(graph);
+    reference.set_shortcuts_enabled(false);
+    match solve_with_cache_unpruned(*strategy, deadline_s, scfg, &mut reference) {
+        Ok(r) => {
+            if r.n_procs != sol.n_procs
+                || r.makespan_cycles != sol.makespan_cycles
+                || r.level.freq.to_bits() != sol.level.freq.to_bits()
+                || r.energy.total().to_bits() != sol.energy.total().to_bits()
+            {
+                violations.push(format!(
+                    "{strategy}: pruned solve diverged from the unpruned reference: n {} vs {}, makespan {} vs {}, {} J vs {} J",
+                    sol.n_procs,
+                    r.n_procs,
+                    sol.makespan_cycles,
+                    r.makespan_cycles,
+                    sol.energy.total(),
+                    r.energy.total()
+                ));
+            }
+        }
+        Err(e) => violations.push(format!(
+            "{strategy}: unpruned reference errored ({e}) though the pruned solve succeeded"
+        )),
     }
 }
 

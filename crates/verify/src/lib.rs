@@ -32,7 +32,9 @@ pub mod validator;
 
 pub use case::Case;
 pub use corpus::{corpus_file_name, run_corpus, CorpusResult};
-pub use fuzz::{check_case, run, CaseStats, FuzzConfig, FuzzFailure, FuzzOutcome};
+pub use fuzz::{
+    check_case, pruning_differential, run, CaseStats, FuzzConfig, FuzzFailure, FuzzOutcome,
+};
 pub use obs::{check_chrome_trace, check_explain};
 pub use oracle::{exhaustive_optimum, OracleConfig, OracleError, OracleResult};
 pub use runtime::{check_run, RunViolation};

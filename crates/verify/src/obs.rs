@@ -12,7 +12,9 @@
 //!   `lamps-explain-v1` schema emitted by
 //!   [`lamps_core::explain::SolveExplain::to_json`]? (Field presence,
 //!   types, and cross-references: `chosen` and `best_level` indices in
-//!   range, verdicts consistent with the recorded cutoff.)
+//!   range, verdicts consistent with the recorded cutoff, and the
+//!   pruning accounting — per-candidate `pruned` flags, the `prune`
+//!   counter object, and the cache's plateau/probe counters.)
 //!
 //! Violations come back as a list of human-readable strings, not a
 //! panic, in document order.
@@ -154,9 +156,22 @@ pub fn check_explain(text: &str) -> Vec<String> {
                 "schedule_misses",
                 "summary_hits",
                 "summary_misses",
+                "plateau_hits",
+                "probes_pruned",
             ] {
                 if cache.get(f).and_then(Value::as_number).is_none() {
                     out.push(format!("cache: missing numeric \"{f}\""));
+                }
+            }
+        }
+    }
+
+    match v.get("prune") {
+        None => out.push("missing object \"prune\"".to_string()),
+        Some(prune) => {
+            for f in ["sweeps_skipped", "scan_breaks"] {
+                if prune.get(f).and_then(Value::as_number).is_none() {
+                    out.push(format!("prune: missing numeric \"{f}\""));
                 }
             }
         }
@@ -178,8 +193,10 @@ fn check_candidate(i: usize, c: &Value, out: &mut Vec<String>) {
             out.push(ctx(&format!("missing numeric \"{f}\"")));
         }
     }
-    if c.get("cache_hit").and_then(Value::as_bool).is_none() {
-        out.push(ctx("missing bool \"cache_hit\""));
+    for f in ["cache_hit", "pruned"] {
+        if c.get(f).and_then(Value::as_bool).is_none() {
+            out.push(ctx(&format!("missing bool \"{f}\"")));
+        }
     }
     let n_levels = match c.get("levels").and_then(Value::as_array) {
         None => {
@@ -335,7 +352,9 @@ mod tests {
         let wrong_schema = r#"{"schema": "lamps-explain-v0", "strategy": "LAMPS",
             "deadline_s": 1, "deadline_cycles": 1, "search": [], "candidates": [],
             "chosen": null, "cache": {"schedule_hits": 0, "schedule_misses": 0,
-            "summary_hits": 0, "summary_misses": 0}, "error": null}"#;
+            "summary_hits": 0, "summary_misses": 0, "plateau_hits": 0,
+            "probes_pruned": 0}, "prune": {"sweeps_skipped": 0, "scan_breaks": 0},
+            "error": null}"#;
         let v = check_explain(wrong_schema);
         assert_eq!(v.len(), 1, "{v:?}");
         assert!(v[0].contains("unknown schema"));

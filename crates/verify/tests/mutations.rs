@@ -1,4 +1,4 @@
-//! Mutation check: five hand-seeded scheduler/evaluator bugs, each in a
+//! Mutation check: six hand-seeded scheduler/evaluator bugs, each in a
 //! test-only buggy copy of the production logic, must be caught by the
 //! independent validator. If any of these pass silently the verification
 //! subsystem is not pulling its weight.
@@ -29,7 +29,7 @@ fn solution_with(
         energy,
         makespan_cycles,
         makespan_s: makespan_cycles as f64 / level.freq,
-        schedule,
+        schedule: std::sync::Arc::new(schedule),
     }
 }
 
@@ -187,6 +187,60 @@ fn mutation_illegal_level_index_is_caught() {
             .any(|x| matches!(x, Violation::IllegalLevel { .. })),
         "mixed-up level row validated cleanly: {v:?}"
     );
+}
+
+/// Seeded bug 6: an off-by-one in the makespan lower bound LB(m) — it
+/// divides the total work by m − 1, so the pruned binary search skips a
+/// probe that was actually feasible and settles on too many processors.
+/// The pruning differential (pruned solve vs. shortcut-free reference)
+/// must flag the divergence.
+#[test]
+fn mutation_off_by_one_lower_bound_is_caught() {
+    use lamps_core::{solve_with_cache, ScheduleCache};
+    use lamps_verify::pruning_differential;
+
+    let cfg = cfg();
+    // Fig. 4a: total work 18 cycles, critical path 10. At a 12-cycle
+    // deadline the true minimum is 2 processors (LB(2) = max(10, ⌈18/2⌉)
+    // = 10 ≤ 12), but the buggy LB'(2) = ⌈18/1⌉ = 18 > 12 skips that
+    // probe and the search lands on 3.
+    let mut b = GraphBuilder::new();
+    let t1 = b.add_task(2);
+    let t2 = b.add_task(6);
+    let t3 = b.add_task(4);
+    let t4 = b.add_task(4);
+    let t5 = b.add_task(2);
+    b.add_edge(t1, t2).unwrap();
+    b.add_edge(t1, t3).unwrap();
+    b.add_edge(t1, t4).unwrap();
+    b.add_edge(t2, t5).unwrap();
+    b.add_edge(t3, t5).unwrap();
+    let g = b.build().unwrap();
+    // 12.5 cycles at top frequency, so the integer deadline is 12 even
+    // after float round-off.
+    let d = 12.5 / cfg.max_frequency();
+
+    let mut mutated = ScheduleCache::for_graph(&g);
+    mutated.mutate_lb_off_by_one_for_tests();
+    let sol = solve_with_cache(Strategy::Lamps, d, &cfg, &mut mutated).unwrap();
+    assert_eq!(
+        sol.n_procs, 3,
+        "the buggy bound should over-prune the 2-processor probe"
+    );
+
+    let mut violations = Vec::new();
+    pruning_differential(&g, &sol, d, &cfg, &mut violations, &Strategy::Lamps);
+    assert!(
+        violations.iter().any(|v| v.contains("diverged")),
+        "off-by-one lower bound validated cleanly: {violations:?}"
+    );
+
+    // Control: the unmutated pruned solve passes the same differential.
+    let honest = solve(Strategy::Lamps, &g, d, &cfg).unwrap();
+    assert_eq!(honest.n_procs, 2, "the sound bound keeps the true minimum");
+    let mut clean = Vec::new();
+    pruning_differential(&g, &honest, d, &cfg, &mut clean, &Strategy::Lamps);
+    assert!(clean.is_empty(), "control case was flagged: {clean:?}");
 }
 
 /// Seeded bug 5: a stretcher that overshoots — it picks the next level
