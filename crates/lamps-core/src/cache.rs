@@ -140,11 +140,16 @@ impl<'g> ScheduleCache<'g> {
         }
     }
 
-    /// Disable the cache's scheduling shortcuts — the width-plateau
-    /// makespan answer and the lower-bound probe skip — forcing every
-    /// probe through a real list-scheduling run. The differential suite
-    /// uses this to build the unpruned reference path; solutions must be
-    /// bitwise identical either way.
+    /// Disable the cache's scheduling shortcuts, making the reference
+    /// path exhaustive. Exactly three shortcuts are controlled: the
+    /// width-plateau makespan answer ([`Self::makespan`]), the
+    /// lower-bound probe skip in [`Self::min_feasible_procs_with`], and
+    /// the critical-path early stop in [`Self::max_useful_procs_with`].
+    /// With the flag off, every probe is answered by a real
+    /// list-scheduling run and every scan runs to its plain
+    /// strict-decrease termination. The differential suite uses this to
+    /// build the unpruned reference path; solutions must be bitwise
+    /// identical either way.
     pub fn set_shortcuts_enabled(&mut self, enabled: bool) {
         self.shortcuts_enabled = enabled;
     }
@@ -338,8 +343,10 @@ impl<'g> ScheduleCache<'g> {
         // Once the makespan reaches the critical path no further count
         // can strictly improve it (every makespan is ≥ CPL), so the
         // strict-decrease scan would stop at the next count anyway —
-        // stop here and skip scheduling it.
-        while best_makespan > self.cpl_cycles && best < cap {
+        // stop here and skip scheduling it. The exhaustive reference
+        // (shortcuts disabled) keeps probing and terminates on the plain
+        // strict-decrease rule instead.
+        while best < cap && (best_makespan > self.cpl_cycles || !self.shortcuts_enabled) {
             let n = best + 1;
             let cached = self.is_cached(n);
             let m = self.makespan(n);

@@ -23,10 +23,16 @@ pub(crate) struct Candidate {
 }
 
 /// Safety margin for the energy-floor comparisons: a candidate is pruned
-/// only when its floor exceeds the incumbent by more than one part in
-/// 10⁹. The floor itself is exact up to a handful of float roundings
-/// (relative error ≲ 10⁻¹²), so the margin strictly under-prunes —
-/// pruned solves are bitwise identical to unpruned ones.
+/// only when its floor, *discounted* by one part in 10⁹, still reaches
+/// the incumbent energy — `floor * PRUNE_MARGIN >= incumbent`, i.e. the
+/// floor exceeds the incumbent by more than the discount. The floor is
+/// exact up to a handful of float roundings (relative error ≲ 10⁻¹²),
+/// far inside the margin, so a pruned candidate's true energy is
+/// provably ≥ the incumbent and the strict-`<` winner rule would reject
+/// it anyway: the margin strictly under-prunes, and pruned solves are
+/// bitwise identical to unpruned ones. (A candidate whose true energy
+/// *equals* its floor — zero idle at the cheapest feasible level — is
+/// never pruned against an incumbent it could tie or beat.)
 const PRUNE_MARGIN: f64 = 1.0 - 1e-9;
 
 /// Minimum graph size before the LAMPS linear scan evaluates its
@@ -293,7 +299,11 @@ fn solve_search(
         // Under `cfg(test)` the size gate alone decides, so the arm's
         // discovery/prefetch/merge logic is exercised even on a
         // single-core test host (the pool then runs inline).
-        let use_parallel = !want_explain
+        // The unpruned differential reference (`prune == false`) always
+        // takes the plain sequential scan below, keeping it independent
+        // of the parallel arm's discovery and merge code.
+        let use_parallel = prune
+            && !want_explain
             && graph.len() >= PAR_SCAN_MIN_TASKS
             && (PAR_SCAN_POOL.threads_for(2) > 1 || cfg!(test));
         if use_parallel {
@@ -346,7 +356,7 @@ fn solve_search(
         let mut prev_makespan: Option<u64> = None;
         for n in n_min..=graph.len().max(1) {
             if let (Some(b), Some(floor)) = (&best, scan_floor) {
-                if floor >= b.energy.total() * PRUNE_MARGIN {
+                if floor * PRUNE_MARGIN >= b.energy.total() {
                     counters.scan_breaks += 1;
                     break;
                 }
@@ -378,7 +388,7 @@ fn solve_search(
             let skip_sweep = prune
                 && best.as_ref().is_some_and(|b| {
                     energy_floor(cfg, work_cycles, makespan, deadline_s)
-                        .is_none_or(|floor| floor >= b.energy.total() * PRUNE_MARGIN)
+                        .is_none_or(|floor| floor * PRUNE_MARGIN >= b.energy.total())
                 });
             if skip_sweep {
                 counters.sweeps_skipped += 1;
