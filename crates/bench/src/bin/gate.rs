@@ -114,13 +114,93 @@ const STAGE_KEYS: [&str; 3] = [
 ];
 
 /// Prune/cache counters every fresh `throughput` run must report.
-const COUNTER_KEYS: [&str; 5] = [
+const COUNTER_KEYS: [&str; 7] = [
     "plateau_hits",
     "probes_pruned",
     "candidates",
     "sweeps_skipped",
     "scan_breaks",
+    "list_schedule_runs",
+    "list_schedule_tasks",
 ];
+
+/// Per-stage timings every fresh `campaign` run must report.
+const CAMPAIGN_STAGE_KEYS: [&str; 5] = [
+    "generate_seconds",
+    "batch_seconds",
+    "grouped_seconds",
+    "per_request_seconds",
+    "unpruned_reference_seconds",
+];
+
+/// Service-model rates every fresh `campaign` run must report.
+const CAMPAIGN_RATE_KEYS: [&str; 4] = [
+    "batch_solves_per_sec",
+    "grouped_solves_per_sec",
+    "per_request_solves_per_sec",
+    "ns_per_solve_batch",
+];
+
+/// Giant-graph figures every fresh `campaign` run must report.
+const CAMPAIGN_GIANT_KEYS: [&str; 3] = ["tasks", "schedule_tasks_per_sec", "solve_seconds"];
+
+/// Batch counters every fresh `campaign` run must report.
+const CAMPAIGN_COUNTER_KEYS: [&str; 2] = ["batch_calls", "batch_items"];
+
+/// The text from the first `"campaign"` key onward — the campaign
+/// section is always the document's last top-level key (both in the
+/// merged `BENCH_solver.json` and in a standalone campaign file), so
+/// scoped lookups against this slice cannot match earlier sections.
+fn campaign_slice(text: &str) -> Option<&str> {
+    let at = text.find("\"campaign\"")?;
+    Some(&text[at..])
+}
+
+/// Check the campaign section of `text`, printing one line per missing
+/// or failing field. Returns true if anything failed.
+fn check_campaign(text: &str, path: &str) -> bool {
+    let Some(c) = campaign_slice(text) else {
+        eprintln!("gate FAILURE: {path} has no campaign section");
+        return true;
+    };
+    let mut failed = false;
+    let mut require = |section: &str, key: &str| {
+        if json_number(c, Some(section), key).is_none() {
+            failed = true;
+            eprintln!("gate FAILURE: {path} campaign section is missing {section}.{key}");
+        }
+    };
+    for key in CAMPAIGN_STAGE_KEYS {
+        require("stages", key);
+    }
+    for key in CAMPAIGN_RATE_KEYS {
+        require("rates", key);
+    }
+    for key in CAMPAIGN_GIANT_KEYS {
+        require("giant", key);
+    }
+    for key in CAMPAIGN_COUNTER_KEYS {
+        require("counters", key);
+    }
+    match json_bool(c, "all_bitwise_equal") {
+        Some(true) => {}
+        Some(false) => {
+            failed = true;
+            eprintln!(
+                "gate FAILURE: campaign engines no longer agree bit-for-bit (campaign all_bitwise_equal = false)"
+            );
+        }
+        None => {
+            failed = true;
+            eprintln!("gate FAILURE: {path} campaign section has no all_bitwise_equal");
+        }
+    }
+    if json_number(c, Some("workload"), "solve_calls") == Some(0.0) {
+        failed = true;
+        eprintln!("gate FAILURE: {path} campaign ran zero solves");
+    }
+    failed
+}
 
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -130,11 +210,12 @@ fn read(path: &str) -> String {
 }
 
 fn main() {
-    let opts = Options::parse(&["baseline", "current", "min-ratio", "metrics"]);
+    let opts = Options::parse(&["baseline", "current", "min-ratio", "metrics", "campaign"]);
     let baseline_path = opts.string("baseline", "BENCH_solver.json");
     let current_path = opts.string("current", "target/bench_smoke.json");
     let min_ratio = opts.f64("min-ratio", 0.5);
     let metrics_path = opts.string("metrics", "");
+    let campaign_path = opts.string("campaign", "");
 
     let baseline = read(&baseline_path);
     let current = read(&current_path);
@@ -176,6 +257,16 @@ fn main() {
             failed = true;
             eprintln!("gate FAILURE: {current_path} is missing counters.{key}");
         }
+    }
+    if json_number(&current, Some("after"), "ns_per_solve").is_none() {
+        failed = true;
+        eprintln!("gate FAILURE: {current_path} is missing after.ns_per_solve");
+    }
+    // Campaign schema: only checked when a campaign file is supplied
+    // (CI supplies one; local gate runs against an old throughput-only
+    // JSON still work).
+    if !campaign_path.is_empty() {
+        failed |= check_campaign(&read(&campaign_path), &campaign_path);
     }
     // NaN (corrupt input) must fail, so test for the passing condition.
     let fast_enough = ratio >= min_ratio;
@@ -256,7 +347,7 @@ mod tests {
   "after": {
     "solves_per_sec": 4400.0,
     "stages": {"schedule_seconds": 0.09, "sweep_seconds": 0.04, "unpruned_reference_seconds": 0.6},
-    "counters": {"plateau_hits": 1710, "probes_pruned": 0, "candidates": 2786, "sweeps_skipped": 0, "scan_breaks": 216}
+    "counters": {"plateau_hits": 1710, "probes_pruned": 0, "candidates": 2786, "sweeps_skipped": 0, "scan_breaks": 216, "list_schedule_runs": 506, "list_schedule_tasks": 650000}
   },
   "all_bitwise_equal": true
 }"#;
@@ -274,6 +365,60 @@ mod tests {
         }
         // The pre-rework schema must be recognizably incomplete.
         assert!(json_number(SAMPLE, Some("stages"), "schedule_seconds").is_none());
+    }
+
+    #[test]
+    fn campaign_schema_passes_on_complete_section() {
+        let sample = r#"{
+  "after": {"solves_per_sec": 4400.0},
+  "all_bitwise_equal": true,
+  "campaign": {
+    "workload": {"solve_calls": 1000000, "solved": 1000000},
+    "stages": {"generate_seconds": 1.0, "batch_seconds": 20.0, "grouped_seconds": 30.0,
+               "per_request_seconds": 2.0, "unpruned_reference_seconds": 5.0},
+    "rates": {"batch_solves_per_sec": 50000.0, "grouped_solves_per_sec": 33000.0,
+              "per_request_solves_per_sec": 12000.0, "ns_per_solve_batch": 20000.0},
+    "giant": {"tasks": 100000, "schedule_tasks_per_sec": 7000000.0, "solve_seconds": 2.5},
+    "counters": {"batch_calls": 16, "batch_items": 62500},
+    "all_bitwise_equal": true
+  }
+}"#;
+        assert!(!check_campaign(sample, "sample"));
+    }
+
+    #[test]
+    fn campaign_schema_fails_on_missing_or_false_fields() {
+        // No campaign section at all.
+        assert!(check_campaign("{\"after\": {}}", "sample"));
+        // Present but missing the batch rate and with a false equality.
+        let broken = r#"{
+  "campaign": {
+    "workload": {"solve_calls": 10},
+    "stages": {"generate_seconds": 1.0, "batch_seconds": 20.0, "grouped_seconds": 30.0,
+               "per_request_seconds": 2.0, "unpruned_reference_seconds": 5.0},
+    "rates": {"grouped_solves_per_sec": 33000.0,
+              "per_request_solves_per_sec": 12000.0, "ns_per_solve_batch": 20000.0},
+    "giant": {"tasks": 100000, "schedule_tasks_per_sec": 7000000.0, "solve_seconds": 2.5},
+    "counters": {"batch_calls": 16, "batch_items": 62500},
+    "all_bitwise_equal": false
+  }
+}"#;
+        assert!(check_campaign(broken, "sample"));
+        // A campaign that reports zero solves must fail even if the
+        // schema is otherwise complete.
+        let empty = broken.replace("\"solve_calls\": 10", "\"solve_calls\": 0");
+        assert!(check_campaign(&empty, "sample"));
+    }
+
+    #[test]
+    fn campaign_slice_scopes_to_the_last_section() {
+        let merged = r#"{"after": {"stages": {"schedule_seconds": 1}},
+                         "all_bitwise_equal": false,
+                         "campaign": {"all_bitwise_equal": true}}"#;
+        let c = campaign_slice(merged).expect("campaign present");
+        // The slice must not see the outer (false) flag.
+        assert_eq!(json_bool(c, "all_bitwise_equal"), Some(true));
+        assert!(campaign_slice("{\"after\": {}}").is_none());
     }
 
     #[test]

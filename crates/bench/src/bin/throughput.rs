@@ -193,10 +193,10 @@ fn read_baseline(path: &str, strategies: &[&str; 4], solve_calls: usize) -> Base
 /// Snapshot of the solver counters this binary reports.
 #[derive(Default, Clone, Copy)]
 struct Counters {
-    values: [u64; 10],
+    values: [u64; COUNTER_NAMES.len()],
 }
 
-const COUNTER_NAMES: [(&str, &str); 10] = [
+const COUNTER_NAMES: [(&str, &str); 12] = [
     ("schedule_hits", "core.cache.schedule_hits"),
     ("schedule_misses", "core.cache.schedule_misses"),
     ("summary_hits", "core.cache.summary_hits"),
@@ -207,6 +207,8 @@ const COUNTER_NAMES: [(&str, &str); 10] = [
     ("parallel_candidates", "core.scan.parallel_candidates"),
     ("sweeps_skipped", "core.prune.sweeps_skipped"),
     ("scan_breaks", "core.prune.scan_breaks"),
+    ("list_schedule_runs", "sched.list_schedule.runs"),
+    ("list_schedule_tasks", "sched.list_schedule.tasks"),
 ];
 
 fn counters_now() -> Counters {
@@ -320,6 +322,20 @@ fn main() {
         counters.values[i] = c1.values[i].saturating_sub(c0.values[i]);
     }
 
+    // One-line normalization so runs over very different graph sizes
+    // (a 100k-task campaign vs these 50–5000-task groups) stay
+    // comparable: cost per solve call, and raw list-scheduling task
+    // throughput (tasks counted over the same workload the timed pass
+    // ran).
+    let ns_per_solve = 1e9 * total_s / after.solve_calls as f64;
+    let tasks_scheduled = counters.values[COUNTER_NAMES.len() - 1];
+    let tasks_per_sec = tasks_scheduled as f64 / total_s;
+    eprintln!(
+        "summary: {ns_per_solve:.0} ns/solve, {tasks_per_sec:.3e} tasks-scheduled/s \
+         ({tasks_scheduled} tasks across {} list-schedule runs per workload)",
+        counters.values[COUNTER_NAMES.len() - 2]
+    );
+
     assert_eq!(after.solve_calls, reference.solve_calls);
     assert_eq!(
         after.solved, reference.solved,
@@ -411,6 +427,8 @@ fn main() {
     let _ = writeln!(json, "    \"reps\": {reps},");
     let _ = writeln!(json, "    \"seconds\": {total_s},");
     let _ = writeln!(json, "    \"solves_per_sec\": {solves_per_sec},");
+    let _ = writeln!(json, "    \"ns_per_solve\": {ns_per_solve},");
+    let _ = writeln!(json, "    \"tasks_scheduled_per_sec\": {tasks_per_sec},");
     let _ = writeln!(json, "    \"stages\": {{");
     let _ = writeln!(json, "      \"schedule_seconds\": {schedule_s},");
     let _ = writeln!(json, "      \"sweep_seconds\": {sweep_s},");

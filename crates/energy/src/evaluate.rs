@@ -181,21 +181,56 @@ pub fn evaluate_summary(
     ps: Option<&SleepParams>,
 ) -> Result<EnergyBreakdown, EnergyError> {
     check_fit(summary.makespan_cycles(), level, horizon_s)?;
-    let cutoff = sleep_cutoff(level, ps);
+    Ok(bill_summary(
+        summary,
+        level,
+        horizon_s,
+        ps,
+        sleep_cutoff(level, ps),
+    ))
+}
+
+/// Bill every processor of `summary` at `level` with the gap cutoff
+/// already resolved — the shared hot loop behind [`evaluate_summary`]
+/// and the precomputed-cutoff sweep ([`crate::sweep::LevelSweep`]).
+///
+/// The loop runs over the summary's structure-of-arrays view (flat busy
+/// / last-finish slices and the CSR gap arena) instead of per-processor
+/// accessors: the integer phase per processor is one binary search plus
+/// two prefix-sum lookups over contiguous memory. The float phase stays
+/// a sequential per-processor accumulation in processor order — the
+/// order [`EnergyBreakdown::add`] is applied in is part of the
+/// bit-identity contract, so it must not be reassociated.
+pub(crate) fn bill_summary(
+    summary: &IdleSummary,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+    cutoff: u64,
+) -> EnergyBreakdown {
+    let busy = summary.busy_cycles_flat();
+    let last_finish = summary.last_finish_flat();
+    let (gaps, offsets, prefix) = summary.gaps_csr();
     let mut sum = EnergyBreakdown::default();
-    for p in 0..summary.n_procs() as u32 {
-        let p = ProcId(p);
-        let (awake_gaps, sleep_gaps, episodes) = summary.split_gaps(p, cutoff);
+    for p in 0..summary.n_procs() {
+        let (lo, hi) = (offsets[p], offsets[p + 1]);
+        let run = &gaps[lo..hi];
+        // Processor `p`'s prefix run is one entry longer than its gap
+        // run, so earlier processors shift it right by `p` entries.
+        let pre = &prefix[lo + p..hi + p + 1];
+        let idx = run.partition_point(|&g| g < cutoff);
+        let total = *pre.last().expect("prefix is never empty");
+        let awake = pre[idx];
         let c = ProcCycles {
-            busy: summary.busy_cycles(p),
-            awake_gaps,
-            sleep_gaps,
-            episodes,
-            cursor: summary.last_finish_cycles(p),
+            busy: busy[p],
+            awake_gaps: awake,
+            sleep_gaps: total - awake,
+            episodes: run.len() - idx,
+            cursor: last_finish[p],
         };
-        sum.add(&bill_proc(p, &c, level, horizon_s, ps).breakdown);
+        sum.add(&bill_proc(ProcId(p as u32), &c, level, horizon_s, ps).breakdown);
     }
-    Ok(sum)
+    sum
 }
 
 /// Smallest idle-gap length in cycles at `level.freq` for which shutting
@@ -269,11 +304,11 @@ impl ProcCycles {
 
 /// Gap-classification cutoff for a level: gaps of at least this many
 /// cycles sleep; without PS nothing does.
-fn sleep_cutoff(level: &OperatingPoint, ps: Option<&SleepParams>) -> u64 {
+pub(crate) fn sleep_cutoff(level: &OperatingPoint, ps: Option<&SleepParams>) -> u64 {
     ps.map_or(u64::MAX, |sleep| min_sleep_cycles(level, sleep))
 }
 
-fn check_fit(
+pub(crate) fn check_fit(
     makespan_cycles: u64,
     level: &OperatingPoint,
     horizon_s: f64,

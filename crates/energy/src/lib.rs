@@ -19,10 +19,12 @@
 //! be evaluated at every level of a frequency sweep without rescheduling.
 
 pub mod evaluate;
+pub mod sweep;
 pub mod trace;
 
 pub use evaluate::{
     evaluate, evaluate_detailed, evaluate_summary, min_sleep_cycles, EnergyBreakdown, EnergyError,
     ProcEnergy,
 };
+pub use sweep::{evaluate_summary_with_cutoff, LevelSweep};
 pub use trace::{power_trace, trace_csv, trace_energy, ProcState, TraceSegment};

@@ -1,0 +1,202 @@
+//! Precomputed-cutoff level sweeps.
+//!
+//! [`evaluate_summary`](crate::evaluate_summary) resolves the integer
+//! sleep cutoff ([`min_sleep_cycles`]) on every call — a bracketed
+//! binary search under the float break-even predicate. The cutoff
+//! depends only on the operating point and the sleep parameters, never
+//! on the schedule, so a solver that sweeps the same DVS ladder over
+//! thousands of candidate summaries recomputes identical values
+//! endlessly. [`LevelSweep`] hoists that work: it resolves every
+//! level's cutoff once per (ladder, sleep-params) pair and then bills
+//! summaries through the same structure-of-arrays kernel the plain path
+//! uses, so results stay bit-identical by construction — the same
+//! cutoff value feeds the same code.
+
+use lamps_power::{OperatingPoint, SleepParams};
+use lamps_sched::IdleSummary;
+
+use crate::evaluate::{bill_summary, check_fit, min_sleep_cycles, sleep_cutoff};
+use crate::{EnergyBreakdown, EnergyError};
+
+/// Bill `summary` at `level` with the gap cutoff supplied by the
+/// caller instead of recomputed. `cutoff` must equal the value
+/// [`min_sleep_cycles`] yields for this `(level, ps)` pair (`u64::MAX`
+/// when `ps` is `None`) — debug builds assert it. With a correct
+/// cutoff the result is bitwise equal to
+/// [`evaluate_summary`](crate::evaluate_summary).
+pub fn evaluate_summary_with_cutoff(
+    summary: &IdleSummary,
+    level: &OperatingPoint,
+    horizon_s: f64,
+    ps: Option<&SleepParams>,
+    cutoff: u64,
+) -> Result<EnergyBreakdown, EnergyError> {
+    debug_assert_eq!(
+        cutoff,
+        sleep_cutoff(level, ps),
+        "caller-supplied cutoff disagrees with min_sleep_cycles"
+    );
+    check_fit(summary.makespan_cycles(), level, horizon_s)?;
+    Ok(bill_summary(summary, level, horizon_s, ps, cutoff))
+}
+
+/// A DVS ladder with every level's sleep cutoff resolved up front.
+///
+/// One `LevelSweep` serves both accounting modes: with processor
+/// shutdown the precomputed per-level cutoff applies, without it the
+/// cutoff is `u64::MAX` (nothing sleeps), so the same instance can be
+/// shared across all four paper strategies — and, immutably, across
+/// worker threads and whole solve batches.
+#[derive(Debug, Clone)]
+pub struct LevelSweep {
+    levels: Vec<OperatingPoint>,
+    ps_cutoffs: Vec<u64>,
+    sleep: SleepParams,
+}
+
+impl LevelSweep {
+    /// Resolve the cutoff of every level in `levels` (order preserved)
+    /// against `sleep`.
+    pub fn new(levels: &[OperatingPoint], sleep: &SleepParams) -> Self {
+        LevelSweep {
+            levels: levels.to_vec(),
+            ps_cutoffs: levels.iter().map(|l| min_sleep_cycles(l, sleep)).collect(),
+            sleep: *sleep,
+        }
+    }
+
+    /// Number of levels in the ladder.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the ladder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// The ladder, in the order cutoffs were resolved.
+    pub fn levels(&self) -> &[OperatingPoint] {
+        &self.levels
+    }
+
+    /// The sleep parameters the cutoffs were resolved against.
+    pub fn sleep(&self) -> &SleepParams {
+        &self.sleep
+    }
+
+    /// Gap cutoff for level `idx`: the precomputed
+    /// [`min_sleep_cycles`] with shutdown, `u64::MAX` without.
+    #[inline]
+    pub fn cutoff(&self, idx: usize, ps: bool) -> u64 {
+        if ps {
+            self.ps_cutoffs[idx]
+        } else {
+            u64::MAX
+        }
+    }
+
+    /// Bill `summary` at level `idx` over `horizon_s`, with (`ps =
+    /// true`) or without processor shutdown. Bitwise equal to calling
+    /// [`evaluate_summary`](crate::evaluate_summary) with the matching
+    /// `Option<&SleepParams>`.
+    pub fn evaluate(
+        &self,
+        summary: &IdleSummary,
+        idx: usize,
+        horizon_s: f64,
+        ps: bool,
+    ) -> Result<EnergyBreakdown, EnergyError> {
+        let level = &self.levels[idx];
+        let sleep = ps.then_some(&self.sleep);
+        check_fit(summary.makespan_cycles(), level, horizon_s)?;
+        Ok(bill_summary(
+            summary,
+            level,
+            horizon_s,
+            sleep,
+            self.cutoff(idx, ps),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate_summary;
+    use lamps_power::{LevelTable, TechnologyParams};
+    use lamps_sched::list::edf_schedule;
+    use lamps_taskgraph::GraphBuilder;
+
+    fn fixture() -> (LevelTable, SleepParams, IdleSummary) {
+        let tech = TechnologyParams::seventy_nm();
+        let levels = LevelTable::default_grid(&tech).unwrap();
+        let sleep = SleepParams::paper();
+        let mut b = GraphBuilder::new();
+        let a = b.add_task(2_000_000);
+        let c = b.add_task(500_000);
+        let d = b.add_task(3_000_000);
+        let e = b.add_task(1_000_000);
+        b.add_edge(a, c).unwrap();
+        b.add_edge(c, e).unwrap();
+        b.add_edge(d, e).unwrap();
+        let g = b.build().unwrap();
+        let s = edf_schedule(&g, 3, 50_000_000);
+        (levels, sleep, IdleSummary::new(&s))
+    }
+
+    #[test]
+    fn sweep_is_bitwise_equal_to_per_call_path() {
+        let (levels, sleep, summary) = fixture();
+        let sweep = LevelSweep::new(levels.points(), &sleep);
+        for (i, lvl) in levels.points().iter().enumerate() {
+            let horizon = summary.makespan_cycles() as f64 / lvl.freq * 1.7;
+            for ps in [false, true] {
+                let ps_opt = ps.then_some(&sleep);
+                let slow = evaluate_summary(&summary, lvl, horizon, ps_opt);
+                let fast = sweep.evaluate(&summary, i, horizon, ps);
+                let cut = sweep.cutoff(i, ps);
+                let with_cut = evaluate_summary_with_cutoff(&summary, lvl, horizon, ps_opt, cut);
+                match (slow, fast, with_cut) {
+                    (Ok(a), Ok(b), Ok(c)) => {
+                        assert_eq!(a, b, "level {i} ps={ps}");
+                        assert_eq!(a, c, "level {i} ps={ps}");
+                    }
+                    (Err(_), Err(_), Err(_)) => {}
+                    other => panic!("paths disagree on feasibility: {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_levels_miss_in_both_paths() {
+        let (levels, sleep, summary) = fixture();
+        let sweep = LevelSweep::new(levels.points(), &sleep);
+        let slowest = levels.slowest();
+        let horizon = summary.makespan_cycles() as f64 / slowest.freq * 0.5;
+        let idx = levels
+            .points()
+            .iter()
+            .position(|p| p.freq == slowest.freq)
+            .unwrap();
+        assert!(matches!(
+            sweep.evaluate(&summary, idx, horizon, true),
+            Err(EnergyError::DeadlineMiss { .. })
+        ));
+        assert!(evaluate_summary(&summary, slowest, horizon, Some(&sleep)).is_err());
+    }
+
+    #[test]
+    fn non_ps_cutoff_is_max() {
+        let (levels, sleep, _) = fixture();
+        let sweep = LevelSweep::new(levels.points(), &sleep);
+        for i in 0..sweep.len() {
+            assert_eq!(sweep.cutoff(i, false), u64::MAX);
+            assert_eq!(
+                sweep.cutoff(i, true),
+                min_sleep_cycles(&sweep.levels()[i], &sleep)
+            );
+        }
+    }
+}

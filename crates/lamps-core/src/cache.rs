@@ -21,11 +21,30 @@
 //!   `[N_lwb, N_upb]` for the minimal count whose makespan meets the
 //!   deadline at maximum frequency.
 
-use lamps_sched::deadlines::latest_finish_times;
+use lamps_sched::deadlines::{latest_finish_times, latest_finish_times_into};
 use lamps_sched::list::{list_schedule_with, ListScheduleWorkspace};
 use lamps_sched::{IdleSummary, Schedule};
 use lamps_taskgraph::TaskGraph;
 use std::sync::Arc;
+
+/// The heap buffers of a retired [`ScheduleCache`], detached from its
+/// graph so the next graph's cache can be built into them.
+///
+/// A batch worker churning through thousands of graphs creates one
+/// cache per graph; round-tripping the buffers through
+/// [`ScheduleCache::into_buffers`] → [`ScheduleCache::for_graph_recycled`]
+/// keeps the list-scheduler workspace (the bulk of the memory) and the
+/// memo spines warm across graphs instead of reallocating them per
+/// graph. The buffers carry no semantic state — recycling starts every
+/// cache cold (empty memo, zeroed stats), so solutions are identical to
+/// ones from [`ScheduleCache::for_graph`].
+#[derive(Debug, Default)]
+pub struct CacheBuffers {
+    keys: Vec<u64>,
+    memo: Vec<Option<Arc<Schedule>>>,
+    summaries: Vec<Option<IdleSummary>>,
+    ws: ListScheduleWorkspace,
+}
 
 /// Hit/miss counters of a [`ScheduleCache`], monotone over its
 /// lifetime.
@@ -119,6 +138,41 @@ impl<'g> ScheduleCache<'g> {
     /// can therefore share one cache instead of rescheduling per factor.
     pub fn for_graph(graph: &'g TaskGraph) -> Self {
         Self::new(graph, graph.critical_path_cycles())
+    }
+
+    /// [`Self::for_graph`], building into the recycled buffers of a
+    /// retired cache (see [`CacheBuffers`]). Semantically identical to
+    /// a fresh cache: the memo starts empty and the canonical keys are
+    /// recomputed for `graph`.
+    pub fn for_graph_recycled(graph: &'g TaskGraph, mut bufs: CacheBuffers) -> Self {
+        latest_finish_times_into(graph, graph.critical_path_cycles(), &mut bufs.keys);
+        bufs.memo.clear();
+        bufs.summaries.clear();
+        ScheduleCache {
+            graph,
+            keys: bufs.keys,
+            memo: bufs.memo,
+            summaries: bufs.summaries,
+            ws: bufs.ws,
+            runs: 0,
+            stats: CacheStats::default(),
+            work_cycles: graph.total_work_cycles(),
+            cpl_cycles: graph.critical_path_cycles(),
+            plateau: None,
+            shortcuts_enabled: true,
+            lb_off_by_one: false,
+        }
+    }
+
+    /// Retire this cache, returning its heap buffers for reuse by the
+    /// next graph's [`Self::for_graph_recycled`].
+    pub fn into_buffers(self) -> CacheBuffers {
+        CacheBuffers {
+            keys: self.keys,
+            memo: self.memo,
+            summaries: self.summaries,
+            ws: self.ws,
+        }
     }
 
     /// Build a cache with explicit priority keys (smaller = first).
@@ -566,6 +620,38 @@ mod tests {
                 probes_pruned: 0,
             }
         );
+    }
+
+    #[test]
+    fn probes_pruned_counts_only_when_the_guard_fires() {
+        // Diagnosis of the benched `probes_pruned: 0`: the in-search
+        // lower-bound guard can only fire when the LB seeding of the
+        // binary-search range and the per-probe LB ladder *disagree* —
+        // impossible in production, where both derive from the same
+        // `LB(n) = max(CPL, ⌈W/n⌉)`. Eight independent 10-cycle tasks
+        // under deadline 20: the search probes counts 8, 6, 5, 4 and
+        // never trips the guard.
+        let mut b = GraphBuilder::new();
+        for _ in 0..8 {
+            b.add_task(10);
+        }
+        let g = b.build().unwrap();
+        let mut c = ScheduleCache::new(&g, 20);
+        assert_eq!(c.min_feasible_procs(20), Some(4));
+        assert_eq!(
+            c.stats().probes_pruned,
+            0,
+            "a sound lower bound never prunes a probe the seeding admitted"
+        );
+        // The gauntlet's off-by-one mutation is exactly such a
+        // disagreement: LB is computed as if for n − 1 processors, so
+        // the probe at 4 evaluates ⌈80/3⌉ = 27 > 20, the guard fires
+        // (counter moves), and the search over-prunes to 5 — the
+        // divergence the differential suite exists to catch.
+        let mut m = ScheduleCache::new(&g, 20);
+        m.mutate_lb_off_by_one_for_tests();
+        assert_eq!(m.min_feasible_procs(20), Some(5));
+        assert_eq!(m.stats().probes_pruned, 1, "the guard must be counted");
     }
 
     #[test]

@@ -116,7 +116,7 @@ pub fn genetic_solve(
     let fitness = |ind: &Individual| -> Option<(f64, usize, OperatingPoint)> {
         let schedule = list_schedule(graph, ind.n_procs, &ind.keys);
         let summary = lamps_sched::IdleSummary::new(&schedule);
-        let cand = best_level_for(&summary, ind.n_procs, deadline_s, cfg, true)?;
+        let cand = best_level_for(&summary, ind.n_procs, deadline_s, cfg, true, None)?;
         Some((cand.energy.total(), cand.n_procs, cand.level))
     };
 

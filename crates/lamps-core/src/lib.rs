@@ -37,6 +37,7 @@
 //! assert!(sol.makespan_s <= mpeg::GOP_DEADLINE_SECONDS);
 //! ```
 
+pub mod batch;
 pub mod budget;
 pub mod cache;
 pub mod config;
@@ -51,11 +52,12 @@ pub mod report;
 pub mod solve;
 pub mod types;
 
+pub use batch::{evaluate_graphs, solve_batch, BatchCell, BatchJob};
 pub use budget::{
     solve_with_budget, solve_with_budget_cache, BudgetedSolution, CancelToken, Completeness,
     SolveBudget,
 };
-pub use cache::{CacheStats, ScheduleCache};
+pub use cache::{CacheBuffers, CacheStats, ScheduleCache};
 pub use config::SchedulerConfig;
 pub use explain::SolveExplain;
 pub use solve::{

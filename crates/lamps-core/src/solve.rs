@@ -7,7 +7,7 @@ use crate::explain::{
     MAX_GAP_VERDICTS,
 };
 use crate::types::{Solution, SolveError, Strategy};
-use lamps_energy::{evaluate_summary, min_sleep_cycles, EnergyBreakdown};
+use lamps_energy::{evaluate_summary, min_sleep_cycles, EnergyBreakdown, LevelSweep};
 use lamps_parallel::{Pool, PoolMetrics};
 use lamps_power::OperatingPoint;
 use lamps_sched::{IdleSummary, ProcId};
@@ -133,7 +133,15 @@ pub fn solve_with_cache_explained(
     cache: &mut ScheduleCache<'_>,
 ) -> (Result<Solution, SolveError>, SolveExplain) {
     let mut explain = SolveExplain::new(strategy, deadline_s);
-    let result = solve_impl(strategy, deadline_s, cfg, cache, Some(&mut explain), true);
+    let result = solve_impl(
+        strategy,
+        deadline_s,
+        cfg,
+        cache,
+        Some(&mut explain),
+        true,
+        None,
+    );
     if let Err(e) = &result {
         explain.error = Some(e.to_string());
     }
@@ -156,7 +164,24 @@ pub fn solve_with_cache(
     cfg: &SchedulerConfig,
     cache: &mut ScheduleCache<'_>,
 ) -> Result<Solution, SolveError> {
-    solve_impl(strategy, deadline_s, cfg, cache, None, true)
+    solve_impl(strategy, deadline_s, cfg, cache, None, true, None)
+}
+
+/// [`solve_with_cache`] with the level sweep's per-level sleep cutoffs
+/// already resolved. The cutoffs depend only on `(cfg.levels,
+/// cfg.sleep)`, so [`crate::batch::solve_batch`] resolves them once and
+/// reuses them across every solve of a batch; `sweep` must have been
+/// built as `LevelSweep::new(cfg.levels.points(), &cfg.sleep)` for this
+/// `cfg`. Results are bitwise identical to [`solve_with_cache`].
+pub(crate) fn solve_with_cache_and_sweep(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+    sweep: &LevelSweep,
+) -> Result<Solution, SolveError> {
+    debug_assert_eq!(sweep.len(), cfg.levels.points().len());
+    solve_impl(strategy, deadline_s, cfg, cache, None, true, Some(sweep))
 }
 
 /// [`solve_with_cache`] with every solver-side pruning rule disabled:
@@ -171,12 +196,13 @@ pub fn solve_with_cache_unpruned(
     cfg: &SchedulerConfig,
     cache: &mut ScheduleCache<'_>,
 ) -> Result<Solution, SolveError> {
-    solve_impl(strategy, deadline_s, cfg, cache, None, false)
+    solve_impl(strategy, deadline_s, cfg, cache, None, false, None)
 }
 
 /// The shared solve body: runs the search, optionally filling a
 /// decision log, and flushes per-solve cache deltas into the global
 /// metrics registry.
+#[allow(clippy::too_many_arguments)]
 fn solve_impl(
     strategy: Strategy,
     deadline_s: f64,
@@ -184,6 +210,7 @@ fn solve_impl(
     cache: &mut ScheduleCache<'_>,
     mut explain: Option<&mut SolveExplain>,
     prune: bool,
+    sweep: Option<&LevelSweep>,
 ) -> Result<Solution, SolveError> {
     let _span = lamps_obs::span("core", "solve");
     let stats_before = cache.stats();
@@ -195,6 +222,7 @@ fn solve_impl(
         cache,
         explain.as_deref_mut(),
         prune,
+        sweep,
         &mut counters,
     );
     let delta = cache.stats().since(&stats_before);
@@ -230,12 +258,31 @@ fn solve_search(
     cache: &mut ScheduleCache<'_>,
     mut ex: Option<&mut SolveExplain>,
     prune: bool,
+    sweep: Option<&LevelSweep>,
     counters: &mut SolveCounters,
 ) -> Result<Solution, SolveError> {
     let graph = cache.graph();
     if !deadline_s.is_finite() || deadline_s <= 0.0 {
         return Err(SolveError::BadDeadline(deadline_s));
     }
+    // Resolve the per-level sleep cutoffs once for the whole search
+    // (batch callers pass them in, already resolved once per batch).
+    // The unpruned differential reference deliberately keeps the
+    // original per-call `evaluate_summary` route instead, so every
+    // pruned-vs-unpruned comparison also cross-checks the precomputed-
+    // cutoff kernel against the reference accounting, bit for bit.
+    let owned_sweep;
+    let sweep = if prune {
+        Some(match sweep {
+            Some(s) => s,
+            None => {
+                owned_sweep = LevelSweep::new(cfg.levels.points(), &cfg.sleep);
+                &owned_sweep
+            }
+        })
+    } else {
+        None
+    };
     let deadline_cycles = cfg.deadline_cycles(deadline_s);
     let infeasible = |mut best_possible_cycles: u64| {
         best_possible_cycles = best_possible_cycles.max(graph.critical_path_cycles());
@@ -328,7 +375,7 @@ fn solve_search(
             let summaries = cache.summaries(&counts);
             let items: Vec<(usize, &IdleSummary)> = counts.iter().copied().zip(summaries).collect();
             let evals = PAR_SCAN_POOL.map(&items, |&(n, summary)| {
-                best_level_for(summary, n, deadline_s, cfg, ps)
+                best_level_for(summary, n, deadline_s, cfg, ps, sweep)
             });
             let mut best: Option<Candidate> = None;
             for cand in evals.into_iter().flatten() {
@@ -407,8 +454,15 @@ fn solve_search(
             }
             counters.candidates += 1;
             let mut detail = want_explain.then(|| candidate_detail(n, makespan, was_cached));
-            let cand =
-                best_level_for_impl(cache.summary(n), n, deadline_s, cfg, ps, detail.as_mut());
+            let cand = best_level_for_impl(
+                cache.summary(n),
+                n,
+                deadline_s,
+                cfg,
+                ps,
+                sweep,
+                detail.as_mut(),
+            );
             if let (Some(e), Some(d)) = (ex.as_deref_mut(), detail) {
                 e.candidates.push(d);
             }
@@ -473,7 +527,7 @@ fn solve_search(
         let makespan = summary.makespan_cycles();
         counters.candidates += 1;
         let mut detail = want_explain.then(|| candidate_detail(n, makespan, was_cached));
-        let cand = best_level_for_impl(summary, n, deadline_s, cfg, ps, detail.as_mut());
+        let cand = best_level_for_impl(summary, n, deadline_s, cfg, ps, sweep, detail.as_mut());
         if let (Some(e), Some(d)) = (ex, detail) {
             e.candidates.push(d);
             if cand.is_some() {
@@ -510,20 +564,32 @@ pub(crate) fn best_level_for(
     deadline_s: f64,
     cfg: &SchedulerConfig,
     ps: bool,
+    sweep: Option<&LevelSweep>,
 ) -> Option<Candidate> {
-    best_level_for_impl(summary, n_procs, deadline_s, cfg, ps, None)
+    best_level_for_impl(summary, n_procs, deadline_s, cfg, ps, sweep, None)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn best_level_for_impl(
     summary: &IdleSummary,
     n_procs: usize,
     deadline_s: f64,
     cfg: &SchedulerConfig,
     ps: bool,
+    sweep: Option<&LevelSweep>,
     detail: Option<&mut CandidateExplain>,
 ) -> Option<Candidate> {
     let required_freq = summary.makespan_cycles() as f64 / deadline_s;
-    best_level_impl(summary, n_procs, required_freq, deadline_s, cfg, ps, detail)
+    best_level_impl(
+        summary,
+        n_procs,
+        required_freq,
+        deadline_s,
+        cfg,
+        ps,
+        sweep,
+        detail,
+    )
 }
 
 /// Level selection with an explicit minimum frequency (used directly by
@@ -537,7 +603,16 @@ pub(crate) fn best_level_constrained(
     cfg: &SchedulerConfig,
     ps: bool,
 ) -> Option<Candidate> {
-    best_level_impl(summary, n_procs, required_freq, horizon_s, cfg, ps, None)
+    best_level_impl(
+        summary,
+        n_procs,
+        required_freq,
+        horizon_s,
+        cfg,
+        ps,
+        None,
+        None,
+    )
 }
 
 /// An empty [`CandidateExplain`] shell for the sweep to fill.
@@ -592,6 +667,7 @@ fn ps_explain(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn best_level_impl(
     summary: &IdleSummary,
     n_procs: usize,
@@ -599,6 +675,7 @@ fn best_level_impl(
     horizon_s: f64,
     cfg: &SchedulerConfig,
     ps: bool,
+    sweep: Option<&LevelSweep>,
     mut detail: Option<&mut CandidateExplain>,
 ) -> Option<Candidate> {
     let makespan_cycles = summary.makespan_cycles();
@@ -606,6 +683,42 @@ fn best_level_impl(
     let sleep = ps.then_some(&cfg.sleep);
     if let Some(d) = detail.as_deref_mut() {
         d.required_freq_hz = required_freq;
+    }
+
+    // Fast path: the per-level sleep cutoffs are already resolved, so
+    // each level costs one structure-of-arrays billing pass instead of
+    // a cutoff search plus billing. Same level order, same feasibility
+    // filter, same strict-`<` winner rule, and the same billing kernel
+    // as `evaluate_summary` — bitwise-identical results. The explain
+    // path stays on the per-call route below (it records per-level
+    // sweeps and per-gap verdicts anyway, so it is never hot).
+    if detail.is_none() {
+        if let Some(sw) = sweep {
+            let mut best: Option<Candidate> = None;
+            for (i, level) in sw.levels().iter().enumerate() {
+                if level.freq < required_freq {
+                    continue;
+                }
+                let Ok(energy) = sw.evaluate(summary, i, deadline_s, ps) else {
+                    continue;
+                };
+                if best
+                    .as_ref()
+                    .is_none_or(|b| energy.total() < b.energy.total())
+                {
+                    best = Some(Candidate {
+                        n_procs,
+                        level: *level,
+                        energy,
+                        makespan_cycles,
+                    });
+                }
+                if !ps {
+                    break;
+                }
+            }
+            return best;
+        }
     }
 
     let mut best: Option<Candidate> = None;
@@ -891,6 +1004,36 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_candidates_counter_moves_on_large_graphs() {
+        // Diagnosis of the benched `parallel_candidates: 0`: the
+        // counter is wired to the parallel scan arm, which requires a
+        // graph of at least PAR_SCAN_MIN_TASKS tasks *and* a multi-core
+        // host (or cfg(test), which forces the arm so this test runs
+        // the same code path everywhere). The Fig. 10 bench workload
+        // has 50-task graphs on a single-core runner, so its zero is
+        // correct, not a mis-wire — this pins the counter actually
+        // counting whenever the arm runs.
+        let g = lamps_taskgraph::gen::layered::stg_group(600, 2, 77)
+            .into_iter()
+            .map(|g| g.scale_weights(310_000))
+            .find(|g| g.len() >= PAR_SCAN_MIN_TASKS)
+            .expect("600-task request yields a graph over the gate");
+        lamps_obs::enable_metrics();
+        let par = lamps_obs::counter("core.scan.parallel_candidates");
+        let all = lamps_obs::counter("core.scan.candidates");
+        let (par_before, all_before) = (par.get(), all.get());
+        solve(Strategy::LampsPs, &g, deadline_x(&g, 4.0), &cfg()).unwrap();
+        let par_delta = par.get() - par_before;
+        let all_delta = all.get() - all_before;
+        lamps_obs::disable_metrics();
+        assert!(par_delta > 0, "the parallel arm must count its candidates");
+        assert!(
+            all_delta >= par_delta,
+            "parallel candidates are a subset of all candidates: {all_delta} < {par_delta}"
+        );
     }
 
     #[test]

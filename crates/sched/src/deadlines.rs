@@ -26,6 +26,29 @@ pub fn latest_finish_times(graph: &TaskGraph, deadline_cycles: u64) -> Vec<u64> 
     latest_finish_times_with(graph, deadline_cycles, &own)
 }
 
+/// [`latest_finish_times`] into a caller-owned buffer (cleared and
+/// refilled), so a batch run building keys for thousands of graphs can
+/// reuse one allocation. Same values as [`latest_finish_times`]: the
+/// uniform-deadline case has no per-task explicit deadlines, so the
+/// propagation below is the `own == None` specialization of
+/// [`latest_finish_times_with`].
+pub fn latest_finish_times_into(graph: &TaskGraph, deadline_cycles: u64, lf: &mut Vec<u64>) {
+    lf.clear();
+    lf.resize(graph.len(), u64::MAX);
+    for t in graph.topo_order().into_iter().rev() {
+        let mut d = if graph.out_degree(t) == 0 {
+            deadline_cycles
+        } else {
+            u64::MAX
+        };
+        for &s in graph.successors(t) {
+            let w = graph.weight(s);
+            d = d.min(lf[s.index()].saturating_sub(w));
+        }
+        lf[t.index()] = d.max(graph.weight(t));
+    }
+}
+
 /// Latest finish times with optional per-task explicit deadlines.
 ///
 /// `own[t] = Some(d)` pins task `t` to finish by `d` in addition to any

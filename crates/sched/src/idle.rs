@@ -199,6 +199,34 @@ impl IdleSummary {
         &self.gaps_sorted[self.gap_offsets[p.index()]..self.gap_offsets[p.index() + 1]]
     }
 
+    /// The per-processor busy cycles as one flat slice (`n_procs`
+    /// entries) — the structure-of-arrays view the energy sweep's hot
+    /// loop iterates instead of calling [`Self::busy_cycles`] per
+    /// processor.
+    #[inline]
+    pub fn busy_cycles_flat(&self) -> &[u64] {
+        &self.busy_cycles
+    }
+
+    /// The per-processor last-finish times as one flat slice (`n_procs`
+    /// entries); see [`Self::last_finish_cycles`].
+    #[inline]
+    pub fn last_finish_flat(&self) -> &[u64] {
+        &self.last_finish
+    }
+
+    /// The CSR arena of sorted gap lengths plus its offsets and
+    /// per-processor prefix sums, as flat slices: processor `p`'s gaps
+    /// are `gaps[offsets[p]..offsets[p + 1]]` and its prefix run (one
+    /// entry longer, starting at 0) begins at `offsets[p] + p`. This is
+    /// the raw layout behind [`Self::split_gaps`], exposed so a level
+    /// sweep can split every processor in one pass over contiguous
+    /// memory.
+    #[inline]
+    pub fn gaps_csr(&self) -> (&[u64], &[usize], &[u64]) {
+        (&self.gaps_sorted, &self.gap_offsets, &self.gap_prefix)
+    }
+
     /// Split processor `p`'s leading + inner gaps at `cutoff_cycles`:
     /// returns `(awake_cycles, sleep_cycles, sleep_episodes)`, where gaps
     /// of at least `cutoff_cycles` sleep and shorter ones stay awake.

@@ -13,6 +13,37 @@
 //! intervals contiguous, which is the favourable layout for the
 //! processor-shutdown heuristics — and is applied uniformly to every
 //! strategy, so comparisons are unaffected.
+//!
+//! # Event structures
+//!
+//! The scheduler used to run on three `BinaryHeap`s; at 100k-task graphs
+//! the ready heap's pointer-chasing sift dominated the run. The current
+//! implementation replaces them with indexed structures over flat
+//! arrays, chosen so the event order is *provably identical* to the
+//! heaps (see [`list_schedule_heap_reference`], which is kept as the
+//! executable specification and pinned by the `crates/sched` tests):
+//!
+//! * **Ready tasks** — the priority keys are rank-compressed once per
+//!   run (one `sort_unstable` of `(key, id)` pairs) and the ready set
+//!   becomes a two-level bitset over ranks; pop-min is a summary-word
+//!   scan plus two `trailing_zeros`. Identical order: rank order *is*
+//!   `(key, id)` order.
+//! * **Running tasks** — a monotone bucket queue ([`EventQueue`]):
+//!   finish times are pushed in nondecreasing `now` order and popped in
+//!   nondecreasing order, so a radix-style bucket structure (bucket =
+//!   highest bit in which the key differs from the last popped minimum)
+//!   gives amortized O(64) pops with intrusive free-lists over a flat
+//!   slot arena. Ties between equal finish times pop in unspecified
+//!   order, which is semantically invisible: an entire finish-time batch
+//!   retires before anything else happens, and every per-retirement
+//!   effect (freeing a processor at `now`, decrementing successor
+//!   indegrees, inserting into the ready bitset) is order-independent
+//!   within the batch.
+//! * **Idle processors** — a timestamped stack: freed times only ever
+//!   increase, so "most recently freed first, lowest id on ties" is a
+//!   stack of per-instant segments, each segment sorted descending by
+//!   processor id before it is appended (pop from the end yields the
+//!   lowest id of the most recent instant).
 
 use crate::deadlines::latest_finish_times;
 use crate::schedule::{csr_from_sorted, ProcId, Schedule};
@@ -20,10 +51,207 @@ use lamps_taskgraph::{TaskGraph, TaskId};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+const NIL: u32 = u32::MAX;
+
+/// Ready set: a two-level bitset over priority ranks. Bit `r` of the
+/// leaf words is rank `r`; each summary bit covers one leaf word.
+/// Pop-min scans the summary (≤ `n/4096` words) for the first set bit.
+#[derive(Debug, Default)]
+struct ReadySet {
+    words: Vec<u64>,
+    summary: Vec<u64>,
+    len: usize,
+}
+
+impl ReadySet {
+    fn reserve(&mut self, n_ranks: usize) {
+        let n_words = n_ranks.div_ceil(64).max(1);
+        self.words.reserve(n_words);
+        self.summary.reserve(n_words.div_ceil(64));
+    }
+
+    /// Clear and size for `n_ranks` ranks, all absent.
+    fn reset(&mut self, n_ranks: usize) {
+        let n_words = n_ranks.div_ceil(64).max(1);
+        self.words.clear();
+        self.words.resize(n_words, 0);
+        self.summary.clear();
+        self.summary.resize(n_words.div_ceil(64), 0);
+        self.len = 0;
+    }
+
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn insert(&mut self, rank: u32) {
+        let w = (rank >> 6) as usize;
+        self.words[w] |= 1u64 << (rank & 63);
+        self.summary[w >> 6] |= 1u64 << (w & 63);
+        self.len += 1;
+    }
+
+    /// Remove and return the smallest rank present. Must be non-empty.
+    #[inline]
+    fn pop_min(&mut self) -> u32 {
+        let sw = self
+            .summary
+            .iter()
+            .position(|&s| s != 0)
+            .expect("ready set is non-empty");
+        let wi = (sw << 6) + self.summary[sw].trailing_zeros() as usize;
+        let bit = self.words[wi].trailing_zeros();
+        self.words[wi] &= self.words[wi] - 1;
+        if self.words[wi] == 0 {
+            self.summary[sw] &= !(1u64 << (wi & 63));
+        }
+        self.len -= 1;
+        ((wi as u32) << 6) | bit
+    }
+}
+
+/// Monotone bucket (radix) queue for the running set: keys are pushed
+/// at or after the last popped minimum and popped in nondecreasing
+/// order. Bucket `b > 0` holds keys whose highest bit differing from
+/// the last minimum is `b - 1`; bucket 0 holds keys equal to it. Slots
+/// live in flat parallel arrays linked through `next` with a free list,
+/// so a warm queue never allocates regardless of the key distribution.
+#[derive(Debug)]
+struct EventQueue {
+    finish: Vec<u64>,
+    task: Vec<u32>,
+    next: Vec<u32>,
+    free: u32,
+    buckets: [u32; 65],
+    last: u64,
+    len: usize,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        EventQueue {
+            finish: Vec::new(),
+            task: Vec::new(),
+            next: Vec::new(),
+            free: NIL,
+            buckets: [NIL; 65],
+            last: 0,
+            len: 0,
+        }
+    }
+}
+
+impl EventQueue {
+    fn reserve(&mut self, cap: usize) {
+        self.finish.reserve(cap);
+        self.task.reserve(cap);
+        self.next.reserve(cap);
+    }
+
+    fn reset(&mut self) {
+        self.finish.clear();
+        self.task.clear();
+        self.next.clear();
+        self.free = NIL;
+        self.buckets = [NIL; 65];
+        self.last = 0;
+        self.len = 0;
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn bucket_of(last: u64, key: u64) -> usize {
+        (64 - (key ^ last).leading_zeros()) as usize
+    }
+
+    #[inline]
+    fn push(&mut self, finish: u64, task: u32) {
+        debug_assert!(finish >= self.last, "event queue keys are monotone");
+        let slot = if self.free != NIL {
+            let s = self.free as usize;
+            self.free = self.next[s];
+            self.finish[s] = finish;
+            self.task[s] = task;
+            s as u32
+        } else {
+            self.finish.push(finish);
+            self.task.push(task);
+            self.next.push(NIL);
+            (self.finish.len() - 1) as u32
+        };
+        let b = Self::bucket_of(self.last, finish);
+        self.next[slot as usize] = self.buckets[b];
+        self.buckets[b] = slot;
+        self.len += 1;
+    }
+
+    /// Smallest finish time currently queued, pulling its ties into
+    /// bucket 0 (the amortized radix-heap step: each slot's bucket
+    /// index only ever decreases between its push and its pop). Only
+    /// call this when advancing the clock to the returned time — it
+    /// raises the radix floor `last` to the minimum, after which pushes
+    /// below it would break the bucket invariant.
+    fn min_finish(&mut self) -> Option<u64> {
+        if self.len == 0 {
+            return None;
+        }
+        if self.buckets[0] == NIL {
+            let b = (1..=64)
+                .find(|&b| self.buckets[b] != NIL)
+                .expect("a non-empty queue has a non-empty bucket");
+            let mut m = u64::MAX;
+            let mut s = self.buckets[b];
+            while s != NIL {
+                m = m.min(self.finish[s as usize]);
+                s = self.next[s as usize];
+            }
+            self.last = m;
+            let mut s = self.buckets[b];
+            self.buckets[b] = NIL;
+            while s != NIL {
+                let nx = self.next[s as usize];
+                let nb = Self::bucket_of(m, self.finish[s as usize]);
+                debug_assert!(nb < b);
+                self.next[s as usize] = self.buckets[nb];
+                self.buckets[nb] = s;
+                s = nx;
+            }
+        }
+        Some(self.last)
+    }
+
+    /// Pop one task finishing exactly at `now`, or `None` when nothing
+    /// does. Requires the clock to have been advanced via
+    /// [`Self::min_finish`] (so `last == now` and bucket 0 holds the
+    /// whole finish-time batch); every queued key is `> now` once the
+    /// batch drains, so the floor stays put and later pushes at `now +
+    /// w` remain monotone. Ties between equal finish times pop in
+    /// unspecified order (see the module docs for why that is
+    /// invisible).
+    fn pop_at(&mut self, now: u64) -> Option<(u64, u32)> {
+        debug_assert!(self.last <= now);
+        if self.len == 0 || self.last != now || self.buckets[0] == NIL {
+            return None;
+        }
+        let s = self.buckets[0] as usize;
+        self.buckets[0] = self.next[s];
+        self.next[s] = self.free;
+        self.free = s as u32;
+        self.len -= 1;
+        Some((self.finish[s], self.task[s]))
+    }
+}
+
 /// Reusable scratch state for [`list_schedule_with`].
 ///
 /// A LAMPS-style search schedules the same graph dozens of times (one
-/// run per candidate processor count); keeping the event heaps, the
+/// run per candidate processor count); keeping the event structures, the
 /// in-degree counters, and the per-run result arrays alive across runs
 /// means a run through a warm workspace performs **zero heap
 /// allocations** ([`list_schedule_into`]); materializing an owned
@@ -33,9 +261,22 @@ use std::collections::BinaryHeap;
 /// produces schedules identical to fresh [`list_schedule`] calls.
 #[derive(Debug, Default)]
 pub struct ListScheduleWorkspace {
-    ready: BinaryHeap<Reverse<(u64, u32)>>,
-    running: BinaryHeap<Reverse<(u64, u32)>>,
-    idle: BinaryHeap<(u64, Reverse<u32>)>,
+    /// `(key, id)` pairs sorted ascending: rank `r`'s task is
+    /// `rank_pairs[r].1`.
+    rank_pairs: Vec<(u64, u32)>,
+    /// Task index → its rank in `rank_pairs`.
+    rank_of: Vec<u32>,
+    ready: ReadySet,
+    running: EventQueue,
+    /// Idle processors, most recently freed last; each same-instant
+    /// segment is sorted descending by id, so `pop` yields the
+    /// most-recently-freed processor, lowest id on ties.
+    idle_stack: Vec<u32>,
+    /// Processors freed at one shared instant (tracked by a run-local
+    /// clock), not yet sorted into `idle_stack`; flushed (sorted
+    /// descending by id, appended) before any pop or any push at a
+    /// later instant.
+    idle_pending: Vec<u32>,
     missing_preds: Vec<u32>,
     // Results of the most recent run, valid until the next one.
     start: Vec<u64>,
@@ -62,10 +303,13 @@ impl ListScheduleWorkspace {
     /// allocates nothing. `reserve` is a no-op when capacity is already
     /// sufficient; runs against larger inputs simply grow on demand.
     pub fn reserve(&mut self, n_tasks: usize, n_procs: usize) {
+        self.rank_pairs.reserve(n_tasks);
+        self.rank_of.reserve(n_tasks);
         self.ready.reserve(n_tasks);
         // At most one task runs per processor at any instant.
         self.running.reserve(n_procs.min(n_tasks.max(1)));
-        self.idle.reserve(n_procs);
+        self.idle_stack.reserve(n_procs);
+        self.idle_pending.reserve(n_procs);
         self.missing_preds.reserve(n_tasks);
         self.start.reserve(n_tasks);
         self.finish.reserve(n_tasks);
@@ -85,8 +329,8 @@ impl ListScheduleWorkspace {
     /// Together with [`Self::was_blocked`] this bounds the schedule's
     /// *width*: if the last run never blocked, then re-running the same
     /// graph and keys on **any** processor count `≥ peak_procs_held()`
-    /// replays the identical event sequence — the ready heap, running
-    /// heap, and retirement order are independent of the processor
+    /// replays the identical event sequence — the ready set, event
+    /// queue, and retirement order are independent of the processor
     /// count as long as a processor is free whenever a task is popped —
     /// and therefore produces the same start/finish times and makespan.
     /// Only the processor *assignment* differs. Callers (the solver's
@@ -102,6 +346,38 @@ impl ListScheduleWorkspace {
     pub fn was_blocked(&self) -> bool {
         self.blocked
     }
+}
+
+/// Flush the same-instant pending segment: sort descending by id and
+/// append, so popping from the stack end yields ascending ids within
+/// the most recent instant.
+#[inline]
+fn idle_flush(stack: &mut Vec<u32>, pending: &mut Vec<u32>) {
+    if !pending.is_empty() {
+        pending.sort_unstable_by(|a, b| b.cmp(a));
+        stack.append(pending);
+    }
+}
+
+#[inline]
+fn idle_push(
+    stack: &mut Vec<u32>,
+    pending: &mut Vec<u32>,
+    pending_time: &mut u64,
+    now: u64,
+    p: u32,
+) {
+    if now != *pending_time {
+        idle_flush(stack, pending);
+        *pending_time = now;
+    }
+    pending.push(p);
+}
+
+#[inline]
+fn idle_pop(stack: &mut Vec<u32>, pending: &mut Vec<u32>) -> u32 {
+    idle_flush(stack, pending);
+    stack.pop().expect("an idle processor is available")
 }
 
 /// Schedule `graph` on `n_procs` processors, priorities given per task
@@ -137,7 +413,9 @@ pub fn list_schedule_with(
 ///
 /// Once `ws` has been through a run of at least this size (or was
 /// [`ListScheduleWorkspace::reserve`]d), this performs **zero heap
-/// allocations** — every buffer is cleared and refilled in place.
+/// allocations** — every buffer is cleared and refilled in place (the
+/// rank sort is `sort_unstable`, which is in-place; the event queue
+/// recycles its slot arena through a free list).
 ///
 /// # Panics
 ///
@@ -171,27 +449,41 @@ pub fn list_schedule_into(
     let proc = &mut ws.proc;
     let seq = &mut ws.seq;
 
-    // Ready tasks: min-heap on (key, id).
+    // Rank-compress the priority keys: rank order is (key, id) order,
+    // so popping the smallest present rank is exactly the ready heap's
+    // pop of the smallest (key, id).
+    let rank_pairs = &mut ws.rank_pairs;
+    rank_pairs.clear();
+    rank_pairs.extend(keys.iter().copied().zip(0..n as u32));
+    rank_pairs.sort_unstable();
+    let rank_of = &mut ws.rank_of;
+    rank_of.clear();
+    rank_of.resize(n, 0);
+    for (r, &(_key, id)) in rank_pairs.iter().enumerate() {
+        rank_of[id as usize] = r as u32;
+    }
+
     let ready = &mut ws.ready;
-    ready.clear();
+    ready.reset(n);
     let missing_preds = &mut ws.missing_preds;
     missing_preds.clear();
     missing_preds.extend((0..n).map(|i| graph.in_degree(TaskId(i as u32)) as u32));
     for t in graph.tasks() {
         if missing_preds[t.index()] == 0 {
-            ready.push(Reverse((keys[t.index()], t.0)));
+            ready.insert(rank_of[t.index()]);
         }
     }
 
-    // Running tasks: min-heap on (finish time, id).
     let running = &mut ws.running;
-    running.clear();
-    // Idle processors: max-heap on (time it became idle, Reverse(id)) so
-    // that `pop` yields the most-recently-freed processor, lowest id on
-    // ties.
-    let idle = &mut ws.idle;
-    idle.clear();
-    idle.extend((0..n_procs as u32).map(|p| (0u64, Reverse(p))));
+    running.reset();
+    // All processors idle since time 0: one pre-sorted segment
+    // (descending ids, so the stack pops processor 0 first).
+    let idle_stack = &mut ws.idle_stack;
+    idle_stack.clear();
+    idle_stack.extend((0..n_procs as u32).rev());
+    let idle_pending = &mut ws.idle_pending;
+    idle_pending.clear();
+    let mut idle_pending_time = 0u64;
 
     ws.peak_held = 0;
     ws.blocked = false;
@@ -202,18 +494,22 @@ pub fn list_schedule_into(
     let mut scheduled = 0usize;
     while scheduled < n {
         // Retire every task finishing at the current time: free its
-        // processor and release its successors.
-        while let Some(&Reverse((ft, id))) = running.peek() {
-            if ft > now {
-                break;
-            }
-            running.pop();
+        // processor and release its successors. (Nothing can finish
+        // *before* `now`: the clock only ever advances to the queue's
+        // minimum, and that retirement batch drains completely.)
+        while let Some((_ft, id)) = running.pop_at(now) {
             let t = TaskId(id);
-            idle.push((now, Reverse(proc[t.index()].0)));
+            idle_push(
+                idle_stack,
+                idle_pending,
+                &mut idle_pending_time,
+                now,
+                proc[t.index()].0,
+            );
             for &s in graph.successors(t) {
                 missing_preds[s.index()] -= 1;
                 if missing_preds[s.index()] == 0 {
-                    ready.push(Reverse((keys[s.index()], s.0)));
+                    ready.insert(rank_of[s.index()]);
                 }
             }
         }
@@ -221,9 +517,10 @@ pub fn list_schedule_into(
         // Start ready tasks while processors are free. Zero-weight tasks
         // (STG dummy nodes) retire immediately, possibly readying more
         // tasks at the same instant.
-        while !idle.is_empty() && !ready.is_empty() {
-            let Reverse((_key, id)) = ready.pop().expect("checked non-empty");
-            let (_freed_at, Reverse(p)) = idle.pop().expect("checked non-empty");
+        while !ready.is_empty() && (!idle_stack.is_empty() || !idle_pending.is_empty()) {
+            let rank = ready.pop_min();
+            let id = rank_pairs[rank as usize].1;
+            let p = idle_pop(idle_stack, idle_pending);
             let t = TaskId(id);
             let w = graph.weight(t);
             start[t.index()] = now;
@@ -233,15 +530,15 @@ pub fn list_schedule_into(
             scheduled += 1;
             makespan = makespan.max(now + w);
             if w == 0 {
-                idle.push((now, Reverse(p)));
+                idle_push(idle_stack, idle_pending, &mut idle_pending_time, now, p);
                 for &s in graph.successors(t) {
                     missing_preds[s.index()] -= 1;
                     if missing_preds[s.index()] == 0 {
-                        ready.push(Reverse((keys[s.index()], s.0)));
+                        ready.insert(rank_of[s.index()]);
                     }
                 }
             } else {
-                running.push(Reverse((finish[t.index()], id)));
+                running.push(finish[t.index()], id);
             }
             // Processors held right now: every running task plus the
             // momentary hold of a zero-weight assignment.
@@ -262,10 +559,9 @@ pub fn list_schedule_into(
         if !ready.is_empty() {
             blocked = true;
         }
-        let &Reverse((ft, _)) = running
-            .peek()
+        now = running
+            .min_finish()
             .expect("unscheduled tasks remain, so something must be running");
-        now = ft;
     }
 
     ws.peak_held = peak_held;
@@ -289,6 +585,98 @@ fn materialize(ws: &ListScheduleWorkspace, n_procs: usize) -> Schedule {
         order,
         offsets,
     )
+}
+
+/// The original three-`BinaryHeap` list scheduler, kept verbatim as the
+/// executable specification of the event order. The indexed
+/// implementation in [`list_schedule_into`] must produce schedules
+/// identical to this, bit for bit; the `crates/sched` integration tests
+/// pin that equivalence across the edge cases (zero-weight chains,
+/// same-instant retirement batches, processor reuse ties). Not part of
+/// the public API.
+#[doc(hidden)]
+pub fn list_schedule_heap_reference(graph: &TaskGraph, n_procs: usize, keys: &[u64]) -> Schedule {
+    assert!(n_procs > 0, "need at least one processor");
+    assert_eq!(keys.len(), graph.len(), "one key per task");
+
+    let n = graph.len();
+    let mut start = vec![0u64; n];
+    let mut finish = vec![0u64; n];
+    let mut proc = vec![ProcId(0); n];
+    let mut seq: Vec<TaskId> = Vec::with_capacity(n);
+
+    // Ready tasks: min-heap on (key, id).
+    let mut ready: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    let mut missing_preds: Vec<u32> = (0..n)
+        .map(|i| graph.in_degree(TaskId(i as u32)) as u32)
+        .collect();
+    for t in graph.tasks() {
+        if missing_preds[t.index()] == 0 {
+            ready.push(Reverse((keys[t.index()], t.0)));
+        }
+    }
+
+    // Running tasks: min-heap on (finish time, id).
+    let mut running: BinaryHeap<Reverse<(u64, u32)>> = BinaryHeap::new();
+    // Idle processors: max-heap on (time it became idle, Reverse(id)) so
+    // that `pop` yields the most-recently-freed processor, lowest id on
+    // ties.
+    let mut idle: BinaryHeap<(u64, Reverse<u32>)> = BinaryHeap::new();
+    idle.extend((0..n_procs as u32).map(|p| (0u64, Reverse(p))));
+
+    let mut now = 0u64;
+    let mut scheduled = 0usize;
+    while scheduled < n {
+        while let Some(&Reverse((ft, id))) = running.peek() {
+            if ft > now {
+                break;
+            }
+            running.pop();
+            let t = TaskId(id);
+            idle.push((now, Reverse(proc[t.index()].0)));
+            for &s in graph.successors(t) {
+                missing_preds[s.index()] -= 1;
+                if missing_preds[s.index()] == 0 {
+                    ready.push(Reverse((keys[s.index()], s.0)));
+                }
+            }
+        }
+
+        while !idle.is_empty() && !ready.is_empty() {
+            let Reverse((_key, id)) = ready.pop().expect("checked non-empty");
+            let (_freed_at, Reverse(p)) = idle.pop().expect("checked non-empty");
+            let t = TaskId(id);
+            let w = graph.weight(t);
+            start[t.index()] = now;
+            finish[t.index()] = now + w;
+            proc[t.index()] = ProcId(p);
+            seq.push(t);
+            scheduled += 1;
+            if w == 0 {
+                idle.push((now, Reverse(p)));
+                for &s in graph.successors(t) {
+                    missing_preds[s.index()] -= 1;
+                    if missing_preds[s.index()] == 0 {
+                        ready.push(Reverse((keys[s.index()], s.0)));
+                    }
+                }
+            } else {
+                running.push(Reverse((finish[t.index()], id)));
+            }
+        }
+
+        if scheduled == n {
+            break;
+        }
+
+        let &Reverse((ft, _)) = running
+            .peek()
+            .expect("unscheduled tasks remain, so something must be running");
+        now = ft;
+    }
+
+    let (order, offsets) = csr_from_sorted(n_procs, &proc, seq.iter().copied());
+    Schedule::from_parts_unchecked(n_procs, start, finish, proc, order, offsets)
 }
 
 /// LS-EDF (§4): list scheduling with latest-finish-time keys derived from
@@ -463,6 +851,24 @@ mod tests {
         s.validate(&g).unwrap();
         assert_eq!(s.makespan_cycles(), 2);
         assert_eq!(s.employed_procs(), 4);
+    }
+
+    #[test]
+    fn matches_heap_reference_on_examples() {
+        // The indexed event structures replay the heap implementation's
+        // event order exactly (the full corpus pin lives in the
+        // integration tests; this is the in-crate smoke version).
+        let g = fig4a();
+        for n in 1..=6usize {
+            for d in [12u64, 20, 50] {
+                let keys = latest_finish_times(&g, d);
+                assert_eq!(
+                    list_schedule(&g, n, &keys),
+                    list_schedule_heap_reference(&g, n, &keys),
+                    "n={n} d={d}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -103,4 +103,44 @@ fn warm_workspace_runs_allocate_nothing() {
         cold[0] >= cold[proc_counts.len() - 1],
         "more processors cannot lengthen the makespan"
     );
+
+    // The indexed ready-queue's degenerate paths must hold the same
+    // contract: an all-zero-weight chain (every event at instant 0, one
+    // giant same-instant retirement batch) and a zero-weight fan-out
+    // (ready set fills in a single batch) exercise the bitset ready-set
+    // and radix event-queue along branches the layered DAG above never
+    // reaches. Same cold-then-warm protocol, same workspace.
+    let mut zb = GraphBuilder::new();
+    let chain: Vec<_> = (0..64).map(|_| zb.add_task(0)).collect();
+    for w in chain.windows(2) {
+        zb.add_edge(w[0], w[1]).unwrap();
+    }
+    let root = zb.add_task(0);
+    for _ in 0..32 {
+        let m = zb.add_task(0);
+        zb.add_edge(root, m).unwrap();
+    }
+    let zero_graph = zb.build().unwrap();
+    let zero_keys: Vec<u64> = vec![3; zero_graph.len()];
+
+    let mut zero_cold = [0u64; 4];
+    for (slot, &n) in zero_cold.iter_mut().zip(&proc_counts) {
+        *slot = list_schedule_into(&mut ws, &zero_graph, n, &zero_keys);
+    }
+    let mut zero_warm = [0u64; 4];
+    let before = allocations();
+    for (slot, &n) in zero_warm.iter_mut().zip(&proc_counts) {
+        *slot = list_schedule_into(&mut ws, &zero_graph, n, &zero_keys);
+    }
+    let grew = allocations() - before;
+    assert_eq!(
+        grew, 0,
+        "warm zero-weight runs performed {grew} allocation(s); \
+         the ready-queue's batch-retirement path allocates"
+    );
+    assert_eq!(
+        zero_cold, zero_warm,
+        "warm zero-weight runs changed the makespans"
+    );
+    assert_eq!(zero_cold, [0; 4], "an all-zero-weight graph has makespan 0");
 }

@@ -30,8 +30,8 @@ use crate::oracle::{exhaustive_optimum, OracleConfig, OracleError};
 use crate::runtime::check_run;
 use crate::validator::{check_solution, rebill};
 use lamps_core::{
-    solve, solve_with_cache_unpruned, ScheduleCache, SchedulerConfig, Solution, SolveError,
-    Strategy,
+    solve, solve_batch, solve_with_cache_unpruned, BatchJob, ScheduleCache, SchedulerConfig,
+    Solution, SolveError, Strategy,
 };
 use lamps_energy::{evaluate, evaluate_summary};
 use lamps_kpn::{unroll, Network, UnrollConfig};
@@ -171,6 +171,10 @@ pub fn check_case(
             Err(e) => violations.push(format!("{strategy}: unexpected solver error: {e}")),
         }
     }
+
+    // Batch dimension: the batch API's recycled caches and precomputed
+    // cutoffs must change nothing — not the errors, not the last bit.
+    batch_differential(&graph, deadline_s, scfg, &mut violations);
 
     // §4 dominance chain over the four totals.
     if let [Some(ss), Some(lamps), Some(ss_ps), Some(lamps_ps)] = energies {
@@ -332,6 +336,61 @@ pub fn pruning_differential(
         Err(e) => violations.push(format!(
             "{strategy}: unpruned reference errored ({e}) though the pruned solve succeeded"
         )),
+    }
+}
+
+/// Batch dimension: push the case through [`solve_batch`] (one job,
+/// every strategy) and demand results bitwise identical to the
+/// per-graph [`solve`] calls — same errors on the error paths, same
+/// processor count, level, makespan, and energy bits on the solved
+/// ones. This is what keeps the batch path's amortized state (recycled
+/// cache buffers, batch-wide sleep cutoffs) provably non-semantic.
+fn batch_differential(
+    graph: &TaskGraph,
+    deadline_s: f64,
+    scfg: &SchedulerConfig,
+    violations: &mut Vec<String>,
+) {
+    let deadlines = [deadline_s];
+    let jobs = [BatchJob {
+        graph,
+        deadlines_s: &deadlines,
+    }];
+    let strategies = Strategy::all();
+    let batch = solve_batch(&strategies, scfg, &jobs);
+    for (k, strategy) in strategies.into_iter().enumerate() {
+        let reference = solve(strategy, graph, deadline_s, scfg);
+        match (&batch[0][k], &reference) {
+            (Ok(a), Ok(b)) => {
+                if a.n_procs != b.n_procs
+                    || a.makespan_cycles != b.makespan_cycles
+                    || a.level.freq.to_bits() != b.level.freq.to_bits()
+                    || a.energy.total().to_bits() != b.energy.total().to_bits()
+                {
+                    violations.push(format!(
+                        "{strategy}: solve_batch diverged from solve: n {} vs {}, makespan {} vs {}, {} J vs {} J",
+                        a.n_procs,
+                        b.n_procs,
+                        a.makespan_cycles,
+                        b.makespan_cycles,
+                        a.energy.total(),
+                        b.energy.total()
+                    ));
+                }
+            }
+            (Err(a), Err(b)) => {
+                if format!("{a}") != format!("{b}") {
+                    violations.push(format!(
+                        "{strategy}: solve_batch error diverged: {a} vs {b}"
+                    ));
+                }
+            }
+            (a, b) => violations.push(format!(
+                "{strategy}: solve_batch disagrees on solvability: batch {:?} vs solo {:?}",
+                a.is_ok(),
+                b.is_ok()
+            )),
+        }
     }
 }
 
