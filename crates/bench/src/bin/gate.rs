@@ -6,7 +6,17 @@
 //!
 //! ```text
 //! gate --baseline BENCH_solver.json --current /tmp/bench_smoke.json [--min-ratio 0.5]
+//! gate --serve-baseline BENCH_serve.json --serve-current /tmp/bench_serve.json
 //! ```
+//!
+//! Two independent sections share the binary: the solver-throughput
+//! gate (`--current`, against `--baseline`) and the serve gate
+//! (`--serve-current`, against `--serve-baseline`) for `loadgen`
+//! output — schema presence (latency percentiles, saturation
+//! throughput, degraded/rejected counters), the wire-vs-local bitwise
+//! differential, a zero worker-panic count, and the same `--min-ratio`
+//! floor applied to saturated solves/s. Give either section or both;
+//! giving neither is a usage error.
 //!
 //! The JSON fields are pulled out with a purpose-built scanner (the
 //! workspace is dependency-free, so no serde): we only need two scalars,
@@ -202,6 +212,111 @@ fn check_campaign(text: &str, path: &str) -> bool {
     failed
 }
 
+/// The text from the first `"key"` onward, for scoped lookups inside a
+/// subsection (same convention as [`campaign_slice`]).
+fn section_slice<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let needle = format!("\"{key}\"");
+    let at = text.find(&needle)?;
+    Some(&text[at..])
+}
+
+/// Latency percentiles every fresh `loadgen` run must report.
+const SERVE_LATENCY_KEYS: [&str; 4] = ["p50", "p90", "p99", "max"];
+
+/// Traffic counters every fresh `loadgen` run must report.
+const SERVE_COUNTER_KEYS: [&str; 6] = [
+    "requests",
+    "ok",
+    "degraded",
+    "rejected",
+    "errors",
+    "solves_per_sec",
+];
+
+/// Saturation-phase figures every fresh `loadgen` run must report.
+const SERVE_SATURATION_KEYS: [&str; 4] = ["requests", "solves_per_sec", "solved", "rejected"];
+
+/// Check a fresh `loadgen` result (`BENCH_serve.json` schema): field
+/// presence, the bitwise differential, and a clean panic counter.
+/// Prints one line per failure; returns true if anything failed.
+fn check_serve(text: &str, path: &str) -> bool {
+    let mut failed = false;
+    let fail = |msg: String| {
+        eprintln!("gate FAILURE: {msg}");
+    };
+    if !text.contains("\"lamps-serve-bench-v1\"") {
+        fail(format!(
+            "{path} does not carry the lamps-serve-bench-v1 schema"
+        ));
+        return true;
+    }
+    for key in SERVE_COUNTER_KEYS {
+        if json_number(text, None, key).is_none() {
+            failed = true;
+            fail(format!("{path} is missing {key}"));
+        }
+    }
+    for key in SERVE_LATENCY_KEYS {
+        if json_number(text, Some("latency_us"), key).is_none() {
+            failed = true;
+            fail(format!("{path} is missing latency_us.{key}"));
+        }
+    }
+    match section_slice(text, "saturation") {
+        None => {
+            failed = true;
+            fail(format!("{path} has no saturation section"));
+        }
+        Some(s) => {
+            for key in SERVE_SATURATION_KEYS {
+                if json_number(s, None, key).is_none() {
+                    failed = true;
+                    fail(format!("{path} saturation section is missing {key}"));
+                }
+            }
+        }
+    }
+    match section_slice(text, "differential") {
+        None => {
+            failed = true;
+            fail(format!("{path} has no differential section"));
+        }
+        Some(d) => {
+            if json_bool(d, "enabled") != Some(true) {
+                failed = true;
+                fail(format!(
+                    "{path} was recorded without --differential; the serve gate requires it"
+                ));
+            } else if json_bool(d, "all_bitwise_equal") != Some(true) {
+                failed = true;
+                fail(
+                    "served responses no longer match local solves bit-for-bit \
+                     (differential all_bitwise_equal = false)"
+                        .to_string(),
+                );
+            }
+            if json_number(d, None, "checked") == Some(0.0) {
+                failed = true;
+                fail(format!("{path} differential checked zero responses"));
+            }
+        }
+    }
+    match section_slice(text, "server").and_then(|s| json_number(s, None, "panics")) {
+        Some(0.0) => {}
+        Some(n) => {
+            failed = true;
+            fail(format!("server caught {n} worker panics during the run"));
+        }
+        None => {
+            failed = true;
+            fail(format!(
+                "{path} server section is missing the panics counter"
+            ));
+        }
+    }
+    failed
+}
+
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
@@ -210,57 +325,89 @@ fn read(path: &str) -> String {
 }
 
 fn main() {
-    let opts = Options::parse(&["baseline", "current", "min-ratio", "metrics", "campaign"]);
+    let opts = Options::parse(&[
+        "baseline",
+        "current",
+        "min-ratio",
+        "metrics",
+        "campaign",
+        "serve-baseline",
+        "serve-current",
+    ]);
     let baseline_path = opts.string("baseline", "BENCH_solver.json");
-    let current_path = opts.string("current", "target/bench_smoke.json");
+    let current_path = opts.string("current", "");
     let min_ratio = opts.f64("min-ratio", 0.5);
     let metrics_path = opts.string("metrics", "");
     let campaign_path = opts.string("campaign", "");
+    let serve_baseline_path = opts.string("serve-baseline", "BENCH_serve.json");
+    let serve_current_path = opts.string("serve-current", "");
 
-    let baseline = read(&baseline_path);
-    let current = read(&current_path);
+    if current_path.is_empty() && serve_current_path.is_empty() {
+        eprintln!("error: nothing to gate — give --current and/or --serve-current");
+        std::process::exit(2);
+    }
 
-    let base_rate = json_number(&baseline, Some("after"), "solves_per_sec").unwrap_or_else(|| {
-        eprintln!("error: {baseline_path} has no after.solves_per_sec");
-        std::process::exit(2);
-    });
-    let cur_rate = json_number(&current, Some("after"), "solves_per_sec").unwrap_or_else(|| {
-        eprintln!("error: {current_path} has no after.solves_per_sec");
-        std::process::exit(2);
-    });
-    let cur_equal = json_bool(&current, "all_bitwise_equal").unwrap_or_else(|| {
-        eprintln!("error: {current_path} has no all_bitwise_equal");
-        std::process::exit(2);
-    });
-
-    let ratio = cur_rate / base_rate;
-    eprintln!(
-        "gate: baseline {base_rate:.1} solves/s, current {cur_rate:.1} solves/s, ratio {ratio:.2} (floor {min_ratio})"
-    );
     let mut failed = false;
-    if !cur_equal {
-        failed = true;
-        eprintln!("gate FAILURE: engines no longer agree bit-for-bit (all_bitwise_equal = false)");
-    }
-    // Schema check: a current file without the per-stage timings or the
-    // prune counters came from a stale binary — fail loudly instead of
-    // gating on a number whose provenance is unknown. (The *baseline*
-    // may predate the schema; only the fresh run is held to it.)
-    for key in STAGE_KEYS {
-        if json_number(&current, Some("stages"), key).is_none() {
+
+    if !current_path.is_empty() {
+        let baseline = read(&baseline_path);
+        let current = read(&current_path);
+
+        let base_rate =
+            json_number(&baseline, Some("after"), "solves_per_sec").unwrap_or_else(|| {
+                eprintln!("error: {baseline_path} has no after.solves_per_sec");
+                std::process::exit(2);
+            });
+        let cur_rate =
+            json_number(&current, Some("after"), "solves_per_sec").unwrap_or_else(|| {
+                eprintln!("error: {current_path} has no after.solves_per_sec");
+                std::process::exit(2);
+            });
+        let cur_equal = json_bool(&current, "all_bitwise_equal").unwrap_or_else(|| {
+            eprintln!("error: {current_path} has no all_bitwise_equal");
+            std::process::exit(2);
+        });
+
+        let ratio = cur_rate / base_rate;
+        eprintln!(
+            "gate: baseline {base_rate:.1} solves/s, current {cur_rate:.1} solves/s, ratio {ratio:.2} (floor {min_ratio})"
+        );
+        if !cur_equal {
             failed = true;
-            eprintln!("gate FAILURE: {current_path} is missing stages.{key}");
+            eprintln!(
+                "gate FAILURE: engines no longer agree bit-for-bit (all_bitwise_equal = false)"
+            );
         }
-    }
-    for key in COUNTER_KEYS {
-        if json_number(&current, Some("counters"), key).is_none() {
+        // Schema check: a current file without the per-stage timings or
+        // the prune counters came from a stale binary — fail loudly
+        // instead of gating on a number whose provenance is unknown.
+        // (The *baseline* may predate the schema; only the fresh run is
+        // held to it.)
+        for key in STAGE_KEYS {
+            if json_number(&current, Some("stages"), key).is_none() {
+                failed = true;
+                eprintln!("gate FAILURE: {current_path} is missing stages.{key}");
+            }
+        }
+        for key in COUNTER_KEYS {
+            if json_number(&current, Some("counters"), key).is_none() {
+                failed = true;
+                eprintln!("gate FAILURE: {current_path} is missing counters.{key}");
+            }
+        }
+        if json_number(&current, Some("after"), "ns_per_solve").is_none() {
             failed = true;
-            eprintln!("gate FAILURE: {current_path} is missing counters.{key}");
+            eprintln!("gate FAILURE: {current_path} is missing after.ns_per_solve");
         }
-    }
-    if json_number(&current, Some("after"), "ns_per_solve").is_none() {
-        failed = true;
-        eprintln!("gate FAILURE: {current_path} is missing after.ns_per_solve");
+        // NaN (corrupt input) must fail, so test for the passing
+        // condition.
+        let fast_enough = ratio >= min_ratio;
+        if !fast_enough {
+            failed = true;
+            eprintln!(
+                "gate FAILURE: throughput regressed below {min_ratio}x of the committed baseline"
+            );
+        }
     }
     // Campaign schema: only checked when a campaign file is supplied
     // (CI supplies one; local gate runs against an old throughput-only
@@ -268,14 +415,36 @@ fn main() {
     if !campaign_path.is_empty() {
         failed |= check_campaign(&read(&campaign_path), &campaign_path);
     }
-    // NaN (corrupt input) must fail, so test for the passing condition.
-    let fast_enough = ratio >= min_ratio;
-    if !fast_enough {
-        failed = true;
+
+    if !serve_current_path.is_empty() {
+        let baseline = read(&serve_baseline_path);
+        let current = read(&serve_current_path);
+        failed |= check_serve(&current, &serve_current_path);
+        // Regression floor on *saturated* throughput — the paced phase
+        // only echoes the arrival rate when the server keeps up.
+        let sat = |text: &str, path: &str| {
+            section_slice(text, "saturation")
+                .and_then(|s| json_number(s, None, "solves_per_sec"))
+                .unwrap_or_else(|| {
+                    eprintln!("error: {path} has no saturation.solves_per_sec");
+                    std::process::exit(2);
+                })
+        };
+        let base_rate = sat(&baseline, &serve_baseline_path);
+        let cur_rate = sat(&current, &serve_current_path);
+        let ratio = cur_rate / base_rate;
         eprintln!(
-            "gate FAILURE: throughput regressed below {min_ratio}x of the committed baseline"
+            "serve gate: baseline {base_rate:.1} saturated solves/s, current {cur_rate:.1}, ratio {ratio:.2} (floor {min_ratio})"
         );
+        // NaN (a zero/zero ratio from a corrupt file) must fail, not pass.
+        if ratio.is_nan() || ratio < min_ratio {
+            failed = true;
+            eprintln!(
+                "gate FAILURE: serve throughput regressed below {min_ratio}x of the committed baseline"
+            );
+        }
     }
+
     if failed {
         if !metrics_path.is_empty() {
             eprintln!("{}", metrics_summary(&read(&metrics_path)));
@@ -419,6 +588,70 @@ mod tests {
         // The slice must not see the outer (false) flag.
         assert_eq!(json_bool(c, "all_bitwise_equal"), Some(true));
         assert!(campaign_slice("{\"after\": {}}").is_none());
+    }
+
+    const SERVE_SAMPLE: &str = r#"{
+  "schema": "lamps-serve-bench-v1",
+  "smoke": true,
+  "requests": 96,
+  "solves_per_sec": 400.0,
+  "ok": 200,
+  "degraded": 20,
+  "rejected": 120,
+  "errors": 0,
+  "latency_us": {"p50": 150, "p90": 210, "p99": 270, "max": 450},
+  "saturation": {"requests": 256, "elapsed_seconds": 0.016, "solves_per_sec": 8200.0, "solved": 136, "rejected": 120},
+  "differential": {"enabled": true, "checked": 232, "all_bitwise_equal": true},
+  "server": {"connections": 2, "requests": 232, "panics": 0}
+}"#;
+
+    #[test]
+    fn serve_schema_passes_on_complete_file() {
+        assert!(!check_serve(SERVE_SAMPLE, "sample"));
+    }
+
+    #[test]
+    fn serve_schema_fails_on_missing_or_bad_fields() {
+        // Wrong schema marker.
+        assert!(check_serve("{\"schema\": \"other\"}", "sample"));
+        // Differential disabled.
+        assert!(check_serve(
+            &SERVE_SAMPLE.replace("\"enabled\": true", "\"enabled\": false"),
+            "sample"
+        ));
+        // Bitwise mismatch.
+        assert!(check_serve(
+            &SERVE_SAMPLE.replace(
+                "\"all_bitwise_equal\": true",
+                "\"all_bitwise_equal\": false"
+            ),
+            "sample"
+        ));
+        // A caught worker panic.
+        assert!(check_serve(
+            &SERVE_SAMPLE.replace("\"panics\": 0", "\"panics\": 1"),
+            "sample"
+        ));
+        // Missing saturation section.
+        assert!(check_serve(
+            &SERVE_SAMPLE.replace("saturation", "saturation_gone"),
+            "sample"
+        ));
+        // Zero differential coverage.
+        assert!(check_serve(
+            &SERVE_SAMPLE.replace("\"checked\": 232", "\"checked\": 0"),
+            "sample"
+        ));
+    }
+
+    #[test]
+    fn section_slice_scopes_serve_lookups() {
+        // "rejected" appears at top level and inside saturation; the
+        // scoped lookup must see the saturation one.
+        let s = section_slice(SERVE_SAMPLE, "saturation").expect("present");
+        assert_eq!(json_number(s, None, "rejected"), Some(120.0));
+        assert_eq!(json_number(s, None, "solves_per_sec"), Some(8200.0));
+        assert!(section_slice(SERVE_SAMPLE, "absent").is_none());
     }
 
     #[test]

@@ -1,0 +1,603 @@
+//! Load generator for `lamps-serve`: sustained mixed traffic, latency
+//! percentiles, and a bitwise differential against the in-process
+//! solver.
+//!
+//! Drives an **open-loop** arrival process (requests are sent on a
+//! fixed schedule at `--rate` req/s regardless of how fast responses
+//! come back — the honest way to measure a service under load) over
+//! `--conns` pipelined connections. The workload mixes request sizes
+//! (STG-style graphs of 10/20/40 tasks at coarse grain), all four
+//! strategies, all four paper deadline factors, and a sprinkle of
+//! step-budgeted requests that exercise the degraded path.
+//!
+//! **Differential mode** (`--differential`): after the run, every
+//! solved response is re-solved locally through the exact same entry
+//! points ([`solve_with_budget_cache`], plus plain [`solve_with_cache`]
+//! for unbudgeted requests) and compared **bit for bit** — energy bits,
+//! frequency bits, processor count, makespan, step count, degradation
+//! flag. One differing bit fails the run. This only holds when the
+//! server runs without `--timeout-ms` (wall-clock budgets are not
+//! reproducible; step budgets are).
+//!
+//! After the paced phase, a **saturation burst** (`--burst` extra
+//! requests, sent with no pacing) measures what the open-loop phase
+//! cannot: actual drain throughput with the queue full, plus the
+//! admission-control path under genuine overload (the burst outruns the
+//! queue, so `overloaded` rejections show up in the recorded counters).
+//! The burst's solves/s is the gate's regression metric — the paced
+//! phase's solves/s merely echoes the arrival rate when the server
+//! keeps up.
+//!
+//! Results land in `BENCH_serve.json` (`--out`): solves/s, latency
+//! p50/p90/p99/max, ok/degraded/rejected/error counts, the server's own
+//! counters (including the panic counter, which must be 0), and the
+//! differential verdict. The `gate` binary checks this file in CI.
+//!
+//! With no `--addr`, the generator self-hosts a server on an ephemeral
+//! port (still over real TCP). With `--addr`, it drives an external
+//! daemon and can stop it afterwards with `--shutdown`. Every wait is
+//! bounded — a dead or wedged server makes the generator exit nonzero,
+//! never hang.
+
+use lamps_bench::cli::{or_die, Options};
+use lamps_bench::suite::DEADLINE_FACTORS;
+use lamps_core::cache::ScheduleCache;
+use lamps_core::{
+    solve_with_budget_cache, solve_with_cache, SchedulerConfig, SolveBudget, SolveError, Strategy,
+};
+use lamps_serve::protocol::{
+    encode_solve_request, parse_response, strategy_wire_name, DeadlineSpec, Response,
+    SolvedResponse,
+};
+use lamps_serve::{ServeConfig, Server};
+use lamps_taskgraph::gen::layered::stg_group;
+use lamps_taskgraph::{TaskGraph, COARSE_GRAIN_CYCLES_PER_UNIT};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Request-size mix in STG units (scaled to coarse grain) — the
+/// run-time re-solve band, matching the `campaign` corpus.
+const SIZES: [usize; 3] = [10, 20, 40];
+
+/// One planned request; the request id indexes this table.
+struct Plan {
+    graph_idx: usize,
+    strategy: Strategy,
+    factor: f64,
+    budget_steps: Option<u64>,
+}
+
+#[derive(Default)]
+struct Log {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    degraded: u64,
+    rejected: u64,
+    errors: u64,
+    parse_failures: u64,
+    solved: Vec<SolvedResponse>,
+    error_kinds: Vec<(Option<u64>, String)>,
+}
+
+struct SharedState {
+    pending: Mutex<HashMap<u64, Instant>>,
+    log: Mutex<Log>,
+    stats: Mutex<Option<Vec<(String, u64)>>>,
+    shutdown_acked: AtomicBool,
+}
+
+fn receiver(stream: TcpStream, shared: Arc<SharedState>) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(_) => return, // includes the read timeout: give up, main notices
+        }
+        let text = line.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let resp = match parse_response(text) {
+            Ok(r) => r,
+            Err(_) => {
+                shared.log.lock().expect("log").parse_failures += 1;
+                continue;
+            }
+        };
+        let sent = resp
+            .id()
+            .and_then(|id| shared.pending.lock().expect("pending").remove(&id));
+        let mut log = shared.log.lock().expect("log");
+        match resp {
+            Response::Solved(s) => {
+                if let Some(at) = sent {
+                    log.latencies_us.push(at.elapsed().as_micros() as u64);
+                }
+                if s.degraded {
+                    log.degraded += 1;
+                } else {
+                    log.ok += 1;
+                }
+                log.solved.push(s);
+            }
+            Response::Overloaded { .. } => log.rejected += 1,
+            Response::Error { id, kind, .. } => {
+                log.errors += 1;
+                log.error_kinds.push((id, kind));
+            }
+            Response::Pong { .. } => {}
+            Response::Stats { counters, .. } => {
+                *shared.stats.lock().expect("stats") = Some(counters);
+            }
+            Response::ShuttingDown { .. } => {
+                shared.shutdown_acked.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx]
+}
+
+/// Spin until `cond` holds or `timeout` passes. True on success.
+fn wait_for(timeout: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    true
+}
+
+fn solve_error_kind(e: &SolveError) -> &'static str {
+    match e {
+        SolveError::Infeasible { .. } => "infeasible",
+        SolveError::BadDeadline(_) => "bad_deadline",
+        SolveError::Power(_) => "power",
+        SolveError::BudgetExhausted { .. } => "budget_exhausted",
+    }
+}
+
+/// Re-solve every server response locally and compare bit for bit.
+/// Returns (responses checked, mismatch descriptions).
+fn run_differential(
+    log: &Log,
+    plans: &[Plan],
+    graphs: &[TaskGraph],
+    cfg: &SchedulerConfig,
+) -> (u64, Vec<String>) {
+    let mut caches: Vec<ScheduleCache<'_>> = graphs.iter().map(ScheduleCache::for_graph).collect();
+    let mut checked = 0u64;
+    let mut mismatches = Vec::new();
+    let mut report = |id: u64, what: String| {
+        if mismatches.len() < 8 {
+            mismatches.push(format!("request {id}: {what}"));
+        } else {
+            mismatches.push(String::new()); // counted, not printed
+        }
+    };
+    for s in &log.solved {
+        let Some(plan) = plans.get(s.id as usize) else {
+            report(s.id, "response id matches no planned request".into());
+            continue;
+        };
+        checked += 1;
+        let graph = &graphs[plan.graph_idx];
+        let deadline_s = plan.factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
+        let budget = match plan.budget_steps {
+            Some(n) => SolveBudget::steps(n),
+            None => SolveBudget::unlimited(),
+        };
+        let local = solve_with_budget_cache(
+            plan.strategy,
+            deadline_s,
+            cfg,
+            &mut caches[plan.graph_idx],
+            &budget,
+        );
+        match local {
+            Err(e) => report(s.id, format!("server solved it, local solve failed: {e}")),
+            Ok(b) => {
+                let sol = &b.solution;
+                if s.energy_bits != sol.energy.total().to_bits()
+                    || s.freq_bits != sol.level.freq.to_bits()
+                    || s.n_procs as usize != sol.n_procs
+                    || s.makespan_cycles != sol.makespan_cycles
+                    || s.steps != b.steps
+                    || s.degraded == b.completeness.is_complete()
+                    || s.strategy != strategy_wire_name(plan.strategy)
+                {
+                    report(
+                        s.id,
+                        format!(
+                            "bitwise mismatch: server energy {:016x} procs {} steps {} vs local {:016x} procs {} steps {}",
+                            s.energy_bits,
+                            s.n_procs,
+                            s.steps,
+                            sol.energy.total().to_bits(),
+                            sol.n_procs,
+                            b.steps
+                        ),
+                    );
+                }
+                // Unbudgeted responses must also equal the plain
+                // (non-budget) production entry point.
+                if plan.budget_steps.is_none() {
+                    match solve_with_cache(
+                        plan.strategy,
+                        deadline_s,
+                        cfg,
+                        &mut caches[plan.graph_idx],
+                    ) {
+                        Ok(plain) if plain.energy.total().to_bits() == s.energy_bits => {}
+                        Ok(plain) => report(
+                            s.id,
+                            format!(
+                                "budget path diverged from solve_with_cache: {:016x} vs {:016x}",
+                                s.energy_bits,
+                                plain.energy.total().to_bits()
+                            ),
+                        ),
+                        Err(e) => report(s.id, format!("solve_with_cache failed locally: {e}")),
+                    }
+                }
+            }
+        }
+    }
+    for (id, kind) in &log.error_kinds {
+        // Only errors for planned solve requests are differential
+        // subjects (control-op ids live past the plan table).
+        let Some(plan) = id.and_then(|id| plans.get(id as usize)) else {
+            continue;
+        };
+        let id = id.expect("checked");
+        checked += 1;
+        let graph = &graphs[plan.graph_idx];
+        let deadline_s = plan.factor * graph.critical_path_cycles() as f64 / cfg.max_frequency();
+        let budget = match plan.budget_steps {
+            Some(n) => SolveBudget::steps(n),
+            None => SolveBudget::unlimited(),
+        };
+        match solve_with_budget_cache(
+            plan.strategy,
+            deadline_s,
+            cfg,
+            &mut caches[plan.graph_idx],
+            &budget,
+        ) {
+            Err(e) if solve_error_kind(&e) == kind => {}
+            Err(e) => report(
+                id,
+                format!(
+                    "error kind mismatch: server {kind:?}, local {:?}",
+                    solve_error_kind(&e)
+                ),
+            ),
+            Ok(_) => report(
+                id,
+                format!("server errored ({kind}), local solve succeeded"),
+            ),
+        }
+    }
+    mismatches.retain(|m| !m.is_empty());
+    (checked, mismatches)
+}
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    let opts = Options::parse(&[
+        "addr",
+        "conns",
+        "rate",
+        "requests",
+        "smoke",
+        "differential",
+        "out",
+        "seed",
+        "workers",
+        "queue",
+        "budget-every",
+        "budget-steps",
+        "shutdown",
+        "drain-timeout-ms",
+        "burst",
+    ]);
+    let smoke = opts.flag("smoke");
+    let requests = opts.usize("requests", if smoke { 96 } else { 1200 });
+    let burst = opts.usize("burst", if smoke { 256 } else { 2048 });
+    let rate = opts.f64("rate", if smoke { 400.0 } else { 600.0 });
+    let conns_n = opts.usize("conns", if smoke { 2 } else { 4 }).max(1);
+    let seed = opts.u64("seed", 42);
+    let differential = opts.flag("differential");
+    let do_shutdown = opts.flag("shutdown");
+    let out_path = opts.string("out", "BENCH_serve.json");
+    let budget_every = opts.usize("budget-every", 4);
+    let budget_steps = opts.u64("budget-steps", 6).max(1);
+    let drain = Duration::from_millis(opts.u64("drain-timeout-ms", 60_000));
+    let cfg = SchedulerConfig::paper();
+
+    assert!(rate > 0.0, "--rate must be positive");
+    assert!(requests > 0, "--requests must be positive");
+
+    // Workload: a few graphs per size band, cycled through by the plan.
+    let per_size = if smoke { 3 } else { 8 };
+    let mut graphs: Vec<TaskGraph> = Vec::new();
+    for (i, &n) in SIZES.iter().enumerate() {
+        graphs.extend(
+            stg_group(n, per_size, seed.wrapping_add(i as u64))
+                .into_iter()
+                .map(|g| g.scale_weights(COARSE_GRAIN_CYCLES_PER_UNIT)),
+        );
+    }
+    let strategies = Strategy::all();
+    let plans: Vec<Plan> = (0..requests + burst)
+        .map(|i| Plan {
+            graph_idx: i % graphs.len(),
+            strategy: strategies[i % strategies.len()],
+            factor: DEADLINE_FACTORS[(i / strategies.len()) % DEADLINE_FACTORS.len()],
+            budget_steps: (budget_every > 0 && i % budget_every == budget_every - 1)
+                .then_some(budget_steps),
+        })
+        .collect();
+    let budgeted = plans.iter().filter(|p| p.budget_steps.is_some()).count();
+
+    // Target server: external (--addr) or self-hosted on an ephemeral
+    // port. Self-hosting still goes through real TCP.
+    let addr_flag = opts.string("addr", "");
+    let (server, addr) = if addr_flag.is_empty() {
+        let mut sc = ServeConfig::default();
+        sc.addr = "127.0.0.1:0".to_string();
+        sc.workers = opts.usize("workers", sc.workers);
+        // Shallower than the daemon default so the saturation burst
+        // genuinely overflows it and real `overloaded` rejections land
+        // in the recorded counters.
+        sc.queue_capacity = opts.usize("queue", 64);
+        let s = or_die(Server::start(sc));
+        let a = s.addr().to_string();
+        (Some(s), a)
+    } else {
+        (None, addr_flag)
+    };
+
+    let shared = Arc::new(SharedState {
+        pending: Mutex::new(HashMap::with_capacity(requests)),
+        log: Mutex::new(Log::default()),
+        stats: Mutex::new(None),
+        shutdown_acked: AtomicBool::new(false),
+    });
+    let mut streams: Vec<TcpStream> = Vec::with_capacity(conns_n);
+    let mut receivers = Vec::with_capacity(conns_n);
+    for _ in 0..conns_n {
+        let stream = or_die(TcpStream::connect(&addr));
+        let _ = stream.set_nodelay(true);
+        or_die(stream.set_read_timeout(Some(drain)));
+        let reader = or_die(stream.try_clone());
+        let shared = Arc::clone(&shared);
+        receivers.push(std::thread::spawn(move || receiver(reader, shared)));
+        streams.push(stream);
+    }
+
+    let mut send = |i: usize| {
+        let plan = &plans[i];
+        let line = encode_solve_request(
+            i as u64,
+            plan.strategy,
+            DeadlineSpec::Factor(plan.factor),
+            &graphs[plan.graph_idx],
+            plan.budget_steps,
+        );
+        shared
+            .pending
+            .lock()
+            .expect("pending")
+            .insert(i as u64, Instant::now());
+        or_die(streams[i % conns_n].write_all(line.as_bytes()));
+    };
+    // Bounded drain: every sent request must be answered (ok, degraded,
+    // overloaded, or error) before the timeout, else fail loudly.
+    let drain_or_die = |phase: &str| {
+        if !wait_for(drain, || shared.pending.lock().expect("pending").is_empty()) {
+            let left = shared.pending.lock().expect("pending").len();
+            eprintln!("error: {left} {phase} requests unanswered after {drain:?}");
+            std::process::exit(1);
+        }
+    };
+
+    // Phase 1 — open-loop: request i is due at start + i/rate,
+    // regardless of response progress. Latency percentiles come from
+    // this phase only.
+    let start = Instant::now();
+    for i in 0..requests {
+        let due = start + Duration::from_secs_f64(i as f64 / rate);
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        send(i);
+    }
+    let send_elapsed = start.elapsed();
+    drain_or_die("paced");
+    let elapsed = start.elapsed().as_secs_f64();
+    let (paced_lat, paced_solved) = {
+        let log = shared.log.lock().expect("log");
+        (log.latencies_us.clone(), log.ok + log.degraded)
+    };
+
+    // Phase 2 — saturation burst: no pacing, queue fills, admission
+    // control kicks in. Solved-per-second here is the capacity figure
+    // the gate regresses on.
+    let (burst_elapsed, burst_solved, burst_rejected) = if burst > 0 {
+        let (pre_solved, pre_rejected) = {
+            let log = shared.log.lock().expect("log");
+            (log.ok + log.degraded, log.rejected)
+        };
+        let t0 = Instant::now();
+        for i in requests..requests + burst {
+            send(i);
+        }
+        drain_or_die("burst");
+        let e = t0.elapsed().as_secs_f64();
+        let log = shared.log.lock().expect("log");
+        (
+            e,
+            log.ok + log.degraded - pre_solved,
+            log.rejected - pre_rejected,
+        )
+    } else {
+        (0.0, 0, 0)
+    };
+    let sat_solves_per_sec = burst_solved as f64 / burst_elapsed.max(1e-9);
+
+    // Server counters: over the wire from an external daemon, straight
+    // from the handle when self-hosting.
+    let server_counters: Vec<(String, u64)> = if let Some(server) = &server {
+        let s = server.stats();
+        vec![
+            ("connections".into(), s.connections),
+            ("requests".into(), s.requests),
+            ("ok".into(), s.solved_ok),
+            ("degraded".into(), s.degraded),
+            ("rejected".into(), s.rejected),
+            ("solve_errors".into(), s.solve_errors),
+            ("protocol_errors".into(), s.protocol_errors),
+            ("panics".into(), s.panics),
+        ]
+    } else {
+        let stats_id = (requests + burst) as u64;
+        or_die(
+            streams[0].write_all(format!("{{\"id\":{stats_id},\"op\":\"stats\"}}\n").as_bytes()),
+        );
+        if !wait_for(Duration::from_secs(10), || {
+            shared.stats.lock().expect("stats").is_some()
+        }) {
+            eprintln!("error: server did not answer the stats request within 10s");
+            std::process::exit(1);
+        }
+        shared.stats.lock().expect("stats").take().expect("waited")
+    };
+
+    if do_shutdown {
+        let shutdown_id = (requests + burst) as u64 + 1;
+        or_die(
+            streams[0]
+                .write_all(format!("{{\"id\":{shutdown_id},\"op\":\"shutdown\"}}\n").as_bytes()),
+        );
+        if !wait_for(Duration::from_secs(10), || {
+            shared.shutdown_acked.load(Ordering::SeqCst)
+        }) {
+            eprintln!("error: server did not acknowledge shutdown within 10s");
+            std::process::exit(1);
+        }
+    }
+    for s in &streams {
+        let _ = s.shutdown(Shutdown::Write);
+    }
+    for r in receivers {
+        let _ = r.join();
+    }
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let log = Arc::try_unwrap(shared)
+        .map(|s| s.log.into_inner().expect("log"))
+        .unwrap_or_else(|_| panic!("receiver threads still hold the log"));
+    let answered = log.ok + log.degraded + log.rejected + log.errors;
+    let total_sent = requests + burst;
+    let solves_per_sec = paced_solved as f64 / elapsed.max(1e-9);
+    let mut lat = paced_lat;
+    lat.sort_unstable();
+
+    println!(
+        "loadgen: {requests} paced requests over {conns_n} conns at {rate}/s → {paced_solved} solved in {elapsed:.2}s ({solves_per_sec:.0} solves/s, send window {:.2}s)",
+        send_elapsed.as_secs_f64()
+    );
+    if burst > 0 {
+        println!(
+            "burst: {burst} requests → {burst_solved} solved, {burst_rejected} rejected in {burst_elapsed:.2}s ({sat_solves_per_sec:.0} solves/s saturated)"
+        );
+    }
+    println!(
+        "totals: {} ok, {} degraded, {} rejected, {} errors | latency_us p50 {} p90 {} p99 {} max {}",
+        log.ok,
+        log.degraded,
+        log.rejected,
+        log.errors,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+        percentile(&lat, 1.0)
+    );
+    if log.parse_failures > 0 {
+        eprintln!("error: {} unparseable response lines", log.parse_failures);
+        std::process::exit(1);
+    }
+    if answered != total_sent as u64 {
+        eprintln!("error: {answered} responses for {total_sent} requests");
+        std::process::exit(1);
+    }
+
+    let (diff_checked, mismatches) = if differential {
+        run_differential(&log, &plans, &graphs, &cfg)
+    } else {
+        (0, Vec::new())
+    };
+    if differential {
+        println!(
+            "differential: {diff_checked} responses re-solved locally, {} mismatches",
+            mismatches.len()
+        );
+    }
+
+    let mut json = String::with_capacity(1024);
+    let _ = write!(
+        json,
+        "{{\n  \"schema\": \"lamps-serve-bench-v1\",\n  \"smoke\": {smoke},\n  \"requests\": {requests},\n  \"conns\": {conns_n},\n  \"rate_per_sec\": {rate},\n  \"graphs\": {},\n  \"budgeted_requests\": {budgeted},\n  \"elapsed_seconds\": {elapsed},\n  \"solves_per_sec\": {solves_per_sec},\n  \"ok\": {},\n  \"degraded\": {},\n  \"rejected\": {},\n  \"errors\": {},\n  \"latency_us\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}, \"max\": {}}},\n  \"saturation\": {{\"requests\": {burst}, \"elapsed_seconds\": {burst_elapsed}, \"solves_per_sec\": {sat_solves_per_sec}, \"solved\": {burst_solved}, \"rejected\": {burst_rejected}}},\n",
+        graphs.len(),
+        log.ok,
+        log.degraded,
+        log.rejected,
+        log.errors,
+        percentile(&lat, 0.50),
+        percentile(&lat, 0.90),
+        percentile(&lat, 0.99),
+        percentile(&lat, 1.0),
+    );
+    let _ = write!(
+        json,
+        "  \"differential\": {{\"enabled\": {differential}, \"checked\": {diff_checked}, \"all_bitwise_equal\": {}}},\n  \"server\": {{",
+        mismatches.is_empty(),
+    );
+    for (i, (name, value)) in server_counters.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        let _ = write!(json, "\"{name}\": {value}");
+    }
+    json.push_str("}\n}\n");
+    or_die(std::fs::write(&out_path, &json));
+    println!("wrote {out_path}");
+
+    if !mismatches.is_empty() {
+        eprintln!("error: differential found {} mismatches:", mismatches.len());
+        for m in &mismatches {
+            eprintln!("  {m}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,102 @@
+//! The `lamps-serve` daemon binary: scheduling-as-a-service over TCP.
+//!
+//! Binds, prints `lamps-serve listening on <addr>` on stdout (scripts
+//! key off that line), then blocks until a wire `shutdown` request
+//! drains the queue. Exit is clean: every admitted request is answered
+//! before the process leaves `main`.
+//!
+//! ```text
+//! serve --addr 127.0.0.1:7719 --workers 4 --queue 256
+//! ```
+//!
+//! * `--addr` — bind address (port 0 picks an ephemeral port).
+//! * `--workers` — solver threads, each with a warm recycled cache.
+//! * `--queue` — admission-queue capacity; excess load is refused with
+//!   `overloaded` responses rather than buffered.
+//! * `--budget-steps` — default search budget applied to requests that
+//!   carry none (0 = unlimited).
+//! * `--timeout-ms` — per-request wall-clock budget measured from
+//!   admission; overload degrades answers instead of stretching the
+//!   queue. Leave unset for bitwise-deterministic (differential-mode)
+//!   serving.
+//! * `--idle-ms` — per-connection read timeout (slow-loris bound).
+//! * `--metrics-out` / `--trace` — dump the `lamps-obs` registry /
+//!   Chrome trace to a file after shutdown.
+//!
+//! Bind failures (port in use, bad address) exit nonzero with a
+//! one-line error via [`lamps_bench::cli::or_die`].
+
+use lamps_bench::cli::{or_die, Options};
+use lamps_serve::{ServeConfig, Server};
+use std::io::Write as _;
+use std::time::Duration;
+
+fn main() {
+    let opts = Options::parse(&[
+        "addr",
+        "workers",
+        "queue",
+        "budget-steps",
+        "timeout-ms",
+        "idle-ms",
+        "metrics-out",
+        "trace",
+    ]);
+    let metrics_out = opts.string("metrics-out", "");
+    let trace_out = opts.string("trace", "");
+    if !metrics_out.is_empty() {
+        lamps_obs::enable_metrics();
+    }
+    if !trace_out.is_empty() {
+        lamps_obs::enable_tracing();
+    }
+
+    let mut config = ServeConfig::default();
+    config.addr = opts.string("addr", &config.addr);
+    config.workers = opts.usize("workers", config.workers);
+    config.queue_capacity = opts.usize("queue", config.queue_capacity);
+    let budget = opts.u64("budget-steps", 0);
+    if budget > 0 {
+        config.default_budget_steps = Some(budget);
+    }
+    let timeout_ms = opts.u64("timeout-ms", 0);
+    if timeout_ms > 0 {
+        config.request_timeout = Some(Duration::from_millis(timeout_ms));
+    }
+    config.idle_timeout = Duration::from_millis(opts.u64("idle-ms", 30_000));
+
+    let workers = config.workers;
+    let server = or_die(Server::start(config));
+    println!(
+        "lamps-serve listening on {} ({workers} workers)",
+        server.addr()
+    );
+    let _ = std::io::stdout().flush();
+
+    let stats = server.wait();
+    println!(
+        "lamps-serve drained: {} requests ({} ok, {} degraded, {} rejected, {} errors, {} panics)",
+        stats.requests,
+        stats.solved_ok,
+        stats.degraded,
+        stats.rejected,
+        stats.solve_errors,
+        stats.panics
+    );
+    if !metrics_out.is_empty() {
+        or_die(std::fs::write(
+            &metrics_out,
+            lamps_obs::registry::snapshot().to_json(),
+        ));
+    }
+    if !trace_out.is_empty() {
+        or_die(std::fs::write(
+            &trace_out,
+            lamps_obs::trace::export_chrome_json(),
+        ));
+    }
+    if stats.panics > 0 {
+        eprintln!("error: {} worker panics caught during run", stats.panics);
+        std::process::exit(1);
+    }
+}

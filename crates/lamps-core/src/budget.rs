@@ -29,6 +29,7 @@ use lamps_energy::evaluate_summary;
 use lamps_taskgraph::TaskGraph;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A cooperative cancellation flag, cheap to clone and safe to trip
 /// from another thread.
@@ -60,6 +61,11 @@ pub struct SolveBudget {
     pub max_steps: Option<u64>,
     /// Cooperative cancellation; checked before every step.
     pub token: Option<CancelToken>,
+    /// Wall-clock deadline; checked before every step. Unlike
+    /// `max_steps`, a time budget is not reproducible across runs, so
+    /// callers needing bitwise-deterministic degradation (the serve
+    /// differential mode) should use step budgets instead.
+    pub deadline: Option<Instant>,
 }
 
 impl SolveBudget {
@@ -73,12 +79,20 @@ impl SolveBudget {
         SolveBudget {
             max_steps: Some(n),
             token: None,
+            deadline: None,
         }
     }
 
     /// Attach a cancellation token.
     pub fn with_token(mut self, token: CancelToken) -> Self {
         self.token = Some(token);
+        self
+    }
+
+    /// Stop searching at `deadline` (best feasible candidate so far is
+    /// returned, tagged [`Completeness::Degraded`]).
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }
@@ -121,11 +135,14 @@ struct Meter {
     spent: u64,
     max: u64,
     token: Option<CancelToken>,
+    deadline: Option<Instant>,
 }
 
 impl Meter {
     fn exhausted(&self) -> bool {
-        self.spent >= self.max || self.token.as_ref().is_some_and(|t| t.is_cancelled())
+        self.spent >= self.max
+            || self.token.as_ref().is_some_and(|t| t.is_cancelled())
+            || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     fn step(&mut self) -> bool {
@@ -209,6 +226,7 @@ fn budget_search(
         spent: 0,
         max: budget.max_steps.unwrap_or(u64::MAX),
         token: budget.token.clone(),
+        deadline: budget.deadline,
     };
 
     let mut best: Option<Candidate> = None;
@@ -496,6 +514,32 @@ mod tests {
             ),
             Err(SolveError::Infeasible { .. })
         ));
+    }
+
+    #[test]
+    fn expired_deadline_behaves_like_zero_budget() {
+        let g = layered(29);
+        let d = deadline_x(&g, 2.0);
+        let budget = SolveBudget::unlimited().with_deadline(Instant::now());
+        match solve_with_budget(Strategy::LampsPs, &g, d, &cfg(), &budget) {
+            Err(SolveError::BudgetExhausted { explored, .. }) => assert_eq!(explored, 0),
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn generous_deadline_completes_bitwise() {
+        let g = layered(31);
+        let d = deadline_x(&g, 2.0);
+        let budget = SolveBudget::unlimited()
+            .with_deadline(Instant::now() + std::time::Duration::from_secs(600));
+        let b = solve_with_budget(Strategy::LampsPs, &g, d, &cfg(), &budget).unwrap();
+        assert!(b.completeness.is_complete());
+        let plain = solve(Strategy::LampsPs, &g, d, &cfg()).unwrap();
+        assert_eq!(
+            b.solution.energy.total().to_bits(),
+            plain.energy.total().to_bits()
+        );
     }
 
     #[test]

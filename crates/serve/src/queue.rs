@@ -1,0 +1,173 @@
+//! Bounded MPMC job queue: the server's admission control.
+//!
+//! [`Bounded::try_push`] never blocks — a full queue is an explicit
+//! [`PushError::Full`] the connection turns into an `overloaded`
+//! response, so overload surfaces as backpressure at the edge instead of
+//! unbounded queueing. [`Bounded::close`] stops admissions but lets
+//! consumers drain everything already accepted: [`Bounded::pop`] keeps
+//! returning items until the queue is both closed and empty — that is
+//! the graceful-shutdown drain.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed (shutdown in progress); the item is handed
+    /// back.
+    Closed(T),
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity queue shared by connections (producers) and workers
+/// (consumers).
+pub struct Bounded<T> {
+    state: Mutex<State<T>>,
+    takeable: Condvar,
+    capacity: usize,
+}
+
+impl<T> Bounded<T> {
+    /// A queue admitting at most `capacity` items at once. Capacity 0 is
+    /// legal and rejects every push — useful for forcing the overload
+    /// path in tests.
+    pub fn new(capacity: usize) -> Self {
+        Bounded {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            takeable: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Non-blocking admission. Returns the queue depth after the push.
+    pub fn try_push(&self, item: T) -> Result<usize, PushError<T>> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed {
+            return Err(PushError::Closed(item));
+        }
+        if s.items.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.takeable.notify_one();
+        Ok(depth)
+    }
+
+    /// Block until an item is available or the queue is closed *and*
+    /// drained. `None` means no more items will ever arrive.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self.state.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self.takeable.wait(s).expect("queue poisoned");
+        }
+    }
+
+    /// Stop admitting; wake every blocked consumer. Already-accepted
+    /// items are still handed out by [`Self::pop`].
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.takeable.notify_all();
+    }
+
+    /// Current depth (racy; for metrics and overload responses).
+    pub fn len(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether the queue is currently empty (racy; for metrics).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The admission capacity this queue was built with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn full_and_closed_are_distinct_rejections() {
+        let q = Bounded::new(1);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Err(PushError::Full(2)));
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed(3)));
+        // The accepted item still drains.
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn capacity_zero_rejects_everything() {
+        let q = Bounded::new(0);
+        assert_eq!(q.try_push(1), Err(PushError::Full(1)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q = Arc::new(Bounded::<u32>::new(4));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop())
+            })
+            .collect();
+        // Give consumers a moment to block, then close.
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.close();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn drains_in_fifo_order_across_threads() {
+        let q = Arc::new(Bounded::new(64));
+        for i in 0..64u32 {
+            q.try_push(i).unwrap();
+        }
+        q.close();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(x) = q.pop() {
+                        got.push(x);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<u32> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..64).collect::<Vec<_>>());
+    }
+}

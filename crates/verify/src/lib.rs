@@ -18,6 +18,9 @@
 //! * [`obs`] — structural checks for the observability artifacts: Chrome
 //!   trace-event JSON ([`obs::check_chrome_trace`]) and the
 //!   `lamps-explain-v1` solver decision log ([`obs::check_explain`]).
+//! * [`serve`] — wire-protocol checks for `lamps-serve`: internal
+//!   consistency of response lines and bitwise replay of
+//!   request/response exchanges against a local solve.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +31,7 @@ pub mod fuzz;
 pub mod obs;
 pub mod oracle;
 pub mod runtime;
+pub mod serve;
 pub mod validator;
 
 pub use case::Case;
@@ -38,4 +42,5 @@ pub use fuzz::{
 pub use obs::{check_chrome_trace, check_explain};
 pub use oracle::{exhaustive_optimum, OracleConfig, OracleError, OracleResult};
 pub use runtime::{check_run, RunViolation};
+pub use serve::{check_exchange, check_response_line, ServeViolation};
 pub use validator::{check_schedule, check_solution, rebill, RebilledEnergy, Violation};

@@ -1,0 +1,316 @@
+//! Structural and differential checks for the `lamps-serve` wire
+//! protocol.
+//!
+//! Same philosophy as the rest of this crate: distrust the subsystem
+//! under test. [`check_response_line`] re-derives every internal
+//! consistency rule a response must satisfy (bit patterns agreeing with
+//! the printed floats, solved invariants, degraded bookkeeping) from
+//! the raw line, and [`check_exchange`] replays a request/response pair
+//! against a local solve through the production entry points and
+//! demands bitwise agreement — the library form of the load generator's
+//! differential mode, usable from tests on single exchanges.
+
+use lamps_core::{solve_with_budget, Completeness, SchedulerConfig, SolveBudget, SolveError};
+use lamps_serve::protocol::{
+    parse_request, parse_response, strategy_wire_name, DeadlineSpec, Limits, Request, Response,
+};
+
+/// One protocol-level inconsistency found in a response (or an
+/// exchange). `Display` gives a one-line description.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeViolation {
+    /// The response line is not valid protocol JSON at all.
+    Unparseable(String),
+    /// A solved response broke an internal invariant.
+    BadSolved(String),
+    /// The response does not answer the request it is paired with.
+    WrongAnswer(String),
+    /// The served result differs bitwise from the local solve.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for ServeViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeViolation::Unparseable(m) => write!(f, "unparseable response: {m}"),
+            ServeViolation::BadSolved(m) => write!(f, "bad solved response: {m}"),
+            ServeViolation::WrongAnswer(m) => write!(f, "wrong answer: {m}"),
+            ServeViolation::Mismatch(m) => write!(f, "bitwise mismatch: {m}"),
+        }
+    }
+}
+
+/// Check one response line for internal consistency, independent of any
+/// request: parseability, and for solved responses the invariants the
+/// solver guarantees (at least one processor, positive makespan, a
+/// known strategy name, the hex bit patterns agreeing exactly with the
+/// printed floats, step counts consistent with the degraded flag).
+pub fn check_response_line(line: &str) -> Vec<ServeViolation> {
+    let mut v = Vec::new();
+    let resp = match parse_response(line.trim()) {
+        Ok(r) => r,
+        Err(e) => {
+            v.push(ServeViolation::Unparseable(e));
+            return v;
+        }
+    };
+    if let Response::Solved(s) = resp {
+        let mut bad = |m: String| v.push(ServeViolation::BadSolved(m));
+        if s.n_procs == 0 {
+            bad("n_procs is 0".into());
+        }
+        if s.steps == 0 {
+            bad("a solved response cannot have spent 0 steps".into());
+        }
+        if !(s.makespan_s.is_finite() && s.makespan_s > 0.0) {
+            bad(format!("makespan_s {} is not positive", s.makespan_s));
+        }
+        if s.makespan_cycles == 0 {
+            bad("makespan_cycles is 0".into());
+        }
+        // `energy_j` is printed with Rust's shortest round-trip Display
+        // and re-parsed with str::parse::<f64>, so it must reproduce
+        // the exact bit pattern carried in `energy_bits`.
+        if f64::from_bits(s.energy_bits) != s.energy_j {
+            bad(format!(
+                "energy_bits {:016x} does not round-trip to energy_j {}",
+                s.energy_bits, s.energy_j
+            ));
+        }
+        if !f64::from_bits(s.freq_bits).is_finite() || f64::from_bits(s.freq_bits) <= 0.0 {
+            bad(format!(
+                "freq_bits {:016x} is not a positive frequency",
+                s.freq_bits
+            ));
+        }
+        if !["ss", "lamps", "ss_ps", "lamps_ps"].contains(&s.strategy.as_str()) {
+            bad(format!("unknown strategy name {:?}", s.strategy));
+        }
+    }
+    v
+}
+
+/// Replay a request/response exchange: re-solve the request locally
+/// (through [`solve_with_budget`], the entry point the server uses) and
+/// demand the served answer matches **bit for bit** — same energy and
+/// frequency bit patterns, processor count, makespan, step count, and
+/// completeness; or, for error responses, the same error category.
+///
+/// Only meaningful when the server ran without a wall-clock request
+/// timeout (step budgets are reproducible, time budgets are not).
+/// Control-op exchanges (ping/stats/shutdown) only check the id echo.
+pub fn check_exchange(
+    request_line: &str,
+    response_line: &str,
+    cfg: &SchedulerConfig,
+    limits: &Limits,
+) -> Vec<ServeViolation> {
+    let mut v = check_response_line(response_line);
+    let resp = match parse_response(response_line.trim()) {
+        Ok(r) => r,
+        Err(_) => return v, // already reported
+    };
+    let req = match parse_request(request_line.trim(), limits) {
+        Ok(r) => r,
+        Err(e) => {
+            // The request itself is invalid: the server must have
+            // answered with a structured error echoing the same id and
+            // category.
+            match resp {
+                Response::Error { id, kind, .. } if id == e.id && kind == e.kind => {}
+                other => v.push(ServeViolation::WrongAnswer(format!(
+                    "invalid request ({} {}) answered with {other:?}",
+                    e.kind, e.message
+                ))),
+            }
+            return v;
+        }
+    };
+    let solve = match req {
+        Request::Solve(s) => s,
+        Request::Ping { id } | Request::Stats { id } | Request::Shutdown { id } => {
+            if resp.id() != Some(id) {
+                v.push(ServeViolation::WrongAnswer(format!(
+                    "control op id {id} echoed as {:?}",
+                    resp.id()
+                )));
+            }
+            return v;
+        }
+    };
+    let deadline_s = match solve.deadline {
+        DeadlineSpec::Seconds(s) => s,
+        DeadlineSpec::Factor(f) => {
+            f * solve.graph.critical_path_cycles() as f64 / cfg.max_frequency()
+        }
+    };
+    let budget = match solve.budget_steps {
+        Some(n) => SolveBudget::steps(n),
+        None => SolveBudget::unlimited(),
+    };
+    let local = solve_with_budget(solve.strategy, &solve.graph, deadline_s, cfg, &budget);
+    match (&resp, &local) {
+        (Response::Solved(s), Ok(b)) => {
+            if s.id != solve.id {
+                v.push(ServeViolation::WrongAnswer(format!(
+                    "request id {} echoed as {}",
+                    solve.id, s.id
+                )));
+            }
+            if s.strategy != strategy_wire_name(solve.strategy) {
+                v.push(ServeViolation::WrongAnswer(format!(
+                    "strategy {:?} answered as {:?}",
+                    strategy_wire_name(solve.strategy),
+                    s.strategy
+                )));
+            }
+            let sol = &b.solution;
+            if s.energy_bits != sol.energy.total().to_bits()
+                || s.freq_bits != sol.level.freq.to_bits()
+                || s.n_procs as usize != sol.n_procs
+                || s.makespan_cycles != sol.makespan_cycles
+            {
+                v.push(ServeViolation::Mismatch(format!(
+                    "served energy {:016x} / {} procs, local {:016x} / {} procs",
+                    s.energy_bits,
+                    s.n_procs,
+                    sol.energy.total().to_bits(),
+                    sol.n_procs
+                )));
+            }
+            if s.steps != b.steps {
+                v.push(ServeViolation::Mismatch(format!(
+                    "served steps {}, local {}",
+                    s.steps, b.steps
+                )));
+            }
+            let local_degraded = matches!(b.completeness, Completeness::Degraded { .. });
+            if s.degraded != local_degraded {
+                v.push(ServeViolation::Mismatch(format!(
+                    "served degraded={}, local degraded={local_degraded}",
+                    s.degraded
+                )));
+            }
+        }
+        (Response::Error { kind, .. }, Err(e)) => {
+            let local_kind = match e {
+                SolveError::Infeasible { .. } => "infeasible",
+                SolveError::BadDeadline(_) => "bad_deadline",
+                SolveError::Power(_) => "power",
+                SolveError::BudgetExhausted { .. } => "budget_exhausted",
+            };
+            if kind != local_kind {
+                v.push(ServeViolation::Mismatch(format!(
+                    "served error kind {kind:?}, local {local_kind:?}"
+                )));
+            }
+        }
+        (Response::Overloaded { .. }, _) => {
+            // Admission control is load-dependent, not wrong.
+        }
+        (resp, local) => v.push(ServeViolation::Mismatch(format!(
+            "served {resp:?} but local solve returned {}",
+            match local {
+                Ok(_) => "a solution".to_string(),
+                Err(e) => format!("error {e}"),
+            }
+        ))),
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lamps_core::Strategy;
+    use lamps_serve::protocol::{encode_error, encode_solve_request, encode_solved};
+    use lamps_taskgraph::GraphBuilder;
+    use lamps_taskgraph::TaskGraph;
+
+    fn chain() -> TaskGraph {
+        let mut b = GraphBuilder::new();
+        let t0 = b.add_task(3_100_000);
+        let t1 = b.add_task(6_200_000);
+        b.add_edge(t0, t1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_exchange_has_no_violations() {
+        let cfg = SchedulerConfig::paper();
+        let g = chain();
+        let req = encode_solve_request(5, Strategy::Lamps, DeadlineSpec::Factor(2.0), &g, None);
+        let deadline_s = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let b = solve_with_budget(
+            Strategy::Lamps,
+            &g,
+            deadline_s,
+            &cfg,
+            &SolveBudget::unlimited(),
+        )
+        .unwrap();
+        let resp = encode_solved(5, Strategy::Lamps, &b);
+        assert_eq!(check_response_line(&resp), Vec::new());
+        assert_eq!(
+            check_exchange(&req, &resp, &cfg, &Limits::default()),
+            Vec::new()
+        );
+    }
+
+    #[test]
+    fn wrong_id_and_wrong_bits_are_caught() {
+        let cfg = SchedulerConfig::paper();
+        let g = chain();
+        let req = encode_solve_request(5, Strategy::Lamps, DeadlineSpec::Factor(2.0), &g, None);
+        let deadline_s = 2.0 * g.critical_path_cycles() as f64 / cfg.max_frequency();
+        let b = solve_with_budget(
+            Strategy::Lamps,
+            &g,
+            deadline_s,
+            &cfg,
+            &SolveBudget::unlimited(),
+        )
+        .unwrap();
+        // Wrong id.
+        let resp = encode_solved(6, Strategy::Lamps, &b);
+        assert!(check_exchange(&req, &resp, &cfg, &Limits::default())
+            .iter()
+            .any(|v| matches!(v, ServeViolation::WrongAnswer(_))));
+        // Wrong strategy answered (different schedule → different bits).
+        let b2 = solve_with_budget(
+            Strategy::ScheduleStretch,
+            &g,
+            deadline_s,
+            &cfg,
+            &SolveBudget::unlimited(),
+        )
+        .unwrap();
+        let resp = encode_solved(5, Strategy::ScheduleStretch, &b2);
+        assert!(!check_exchange(&req, &resp, &cfg, &Limits::default()).is_empty());
+    }
+
+    #[test]
+    fn invalid_request_requires_matching_error_echo() {
+        let cfg = SchedulerConfig::paper();
+        let limits = Limits::default();
+        let bad_req =
+            "{\"id\":9,\"strategy\":\"warp\",\"deadline_factor\":2,\"graph\":{\"weights\":[1]}}";
+        let good_err = encode_error(Some(9), "bad_request", "unknown strategy");
+        assert_eq!(
+            check_exchange(bad_req, &good_err, &cfg, &limits),
+            Vec::new()
+        );
+        let wrong_kind = encode_error(Some(9), "bad_graph", "unknown strategy");
+        assert!(!check_exchange(bad_req, &wrong_kind, &cfg, &limits).is_empty());
+    }
+
+    #[test]
+    fn tampered_bits_fail_the_structural_check() {
+        let line = "{\"id\":1,\"status\":\"ok\",\"strategy\":\"lamps\",\"n_procs\":1,\
+                    \"freq_bits\":\"41db035cd585da2c\",\"energy_bits\":\"3f7e5abf1fa8225c\",\
+                    \"energy_j\":0.999,\"makespan_cycles\":12,\"makespan_s\":0.006,\"steps\":1}";
+        assert!(check_response_line(line)
+            .iter()
+            .any(|v| matches!(v, ServeViolation::BadSolved(m) if m.contains("round-trip"))));
+    }
+}
