@@ -9,14 +9,18 @@
 //! gate --serve-baseline BENCH_serve.json --serve-current /tmp/bench_serve.json
 //! ```
 //!
-//! Two independent sections share the binary: the solver-throughput
-//! gate (`--current`, against `--baseline`) and the serve gate
+//! Three independent sections share the binary: the solver-throughput
+//! gate (`--current`, against `--baseline`), the serve gate
 //! (`--serve-current`, against `--serve-baseline`) for `loadgen`
 //! output — schema presence (latency percentiles, saturation
 //! throughput, degraded/rejected counters), the wire-vs-local bitwise
 //! differential, a zero worker-panic count, and the same `--min-ratio`
-//! floor applied to saturated solves/s. Give either section or both;
-//! giving neither is a usage error.
+//! floor applied to saturated solves/s — and the online gate
+//! (`--online-current`) for `online` output: zero panics and validator
+//! violations, positive reclaimed energy, incremental re-solves cheaper
+//! than from-scratch frame solves, a clean fault-free miss rate, and a
+//! severe-preset miss-rate ceiling. Give any subset of the sections;
+//! giving none is a usage error.
 //!
 //! The JSON fields are pulled out with a purpose-built scanner (the
 //! workspace is dependency-free, so no serde): we only need two scalars,
@@ -317,6 +321,134 @@ fn check_serve(text: &str, path: &str) -> bool {
     failed
 }
 
+/// Highest severe-preset frame-miss rate the online gate tolerates: a
+/// regression driving it to 1.0 means the fault ladder stopped saving
+/// *any* frame under severe injection.
+const ONLINE_SEVERE_MISS_CEILING: f64 = 0.98;
+
+/// The text from `"name": "<name>"` onward — one row of the online
+/// bench's `rows` array.
+fn online_row_slice<'t>(text: &'t str, name: &str) -> Option<&'t str> {
+    let needle = format!("\"name\": \"{name}\"");
+    let at = text.find(&needle)?;
+    Some(&text[at..])
+}
+
+/// Check a fresh `online` result (`BENCH_online.json` schema): the
+/// runtime must never panic, every trace must pass the independent
+/// validator, reclamation must claw back energy, incremental re-solves
+/// must stay cheaper than from-scratch frame solves, the fault-free
+/// preset must never miss, and the severe preset must keep saving some
+/// frames. Prints one line per failure; returns true if anything failed.
+fn check_online_bench(text: &str, path: &str) -> bool {
+    let mut failed = false;
+    let fail = |msg: String| {
+        eprintln!("gate FAILURE: {msg}");
+    };
+    if !text.contains("\"lamps-online-bench-v1\"") {
+        fail(format!(
+            "{path} does not carry the lamps-online-bench-v1 schema"
+        ));
+        return true;
+    }
+    for (key, expect_zero) in [("panics", true), ("violations", true), ("workloads", false)] {
+        match json_number(text, None, key) {
+            None => {
+                failed = true;
+                fail(format!("{path} is missing {key}"));
+            }
+            Some(n) if expect_zero && n != 0.0 => {
+                failed = true;
+                fail(format!("online runtime recorded {n} {key} (must be 0)"));
+            }
+            Some(n) if !expect_zero && n == 0.0 => {
+                failed = true;
+                fail(format!("{path} ran zero {key}"));
+            }
+            Some(_) => {}
+        }
+    }
+    match section_slice(text, "reclaim") {
+        None => {
+            failed = true;
+            fail(format!("{path} has no reclaim section"));
+        }
+        Some(r) => {
+            match json_number(r, None, "reclaimed_j") {
+                Some(j) if j > 0.0 => {}
+                Some(j) => {
+                    failed = true;
+                    fail(format!(
+                        "reclamation stopped saving energy (reclaimed_j = {j}; must be > 0 \
+                         on under-WCET workloads)"
+                    ));
+                }
+                None => {
+                    failed = true;
+                    fail(format!("{path} reclaim section is missing reclaimed_j"));
+                }
+            }
+            match (
+                json_number(r, None, "avg_resolve_steps"),
+                json_number(r, None, "avg_full_solve_steps"),
+            ) {
+                (Some(inc), Some(full)) => {
+                    if inc > full {
+                        failed = true;
+                        fail(format!(
+                            "incremental re-solves cost more than from-scratch frame solves \
+                             ({inc} vs {full} steps)"
+                        ));
+                    }
+                }
+                _ => {
+                    failed = true;
+                    fail(format!(
+                        "{path} reclaim section is missing avg_resolve_steps/avg_full_solve_steps"
+                    ));
+                }
+            }
+        }
+    }
+    for (row, check) in [
+        ("none", "miss_rate"),
+        ("severe", "miss_rate"),
+        ("overload", "shed_rate"),
+    ] {
+        let Some(slice) = online_row_slice(text, row) else {
+            failed = true;
+            fail(format!("{path} has no {row} row"));
+            continue;
+        };
+        let Some(n) = json_number(slice, None, check) else {
+            failed = true;
+            fail(format!("{path} {row} row is missing {check}"));
+            continue;
+        };
+        match row {
+            "none" if n != 0.0 => {
+                failed = true;
+                fail(format!(
+                    "fault-free online runs missed deadlines (none miss_rate = {n})"
+                ));
+            }
+            "severe" if n > ONLINE_SEVERE_MISS_CEILING => {
+                failed = true;
+                fail(format!(
+                    "severe-preset miss rate {n} exceeds the {ONLINE_SEVERE_MISS_CEILING} \
+                     ceiling — the fault ladder stopped defending frames"
+                ));
+            }
+            "overload" if n == 0.0 => {
+                failed = true;
+                fail("overload row shed nothing — admission control is not engaging".to_string());
+            }
+            _ => {}
+        }
+    }
+    failed
+}
+
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
@@ -333,6 +465,7 @@ fn main() {
         "campaign",
         "serve-baseline",
         "serve-current",
+        "online-current",
     ]);
     let baseline_path = opts.string("baseline", "BENCH_solver.json");
     let current_path = opts.string("current", "");
@@ -341,9 +474,12 @@ fn main() {
     let campaign_path = opts.string("campaign", "");
     let serve_baseline_path = opts.string("serve-baseline", "BENCH_serve.json");
     let serve_current_path = opts.string("serve-current", "");
+    let online_current_path = opts.string("online-current", "");
 
-    if current_path.is_empty() && serve_current_path.is_empty() {
-        eprintln!("error: nothing to gate — give --current and/or --serve-current");
+    if current_path.is_empty() && serve_current_path.is_empty() && online_current_path.is_empty() {
+        eprintln!(
+            "error: nothing to gate — give --current, --serve-current, and/or --online-current"
+        );
         std::process::exit(2);
     }
 
@@ -443,6 +579,10 @@ fn main() {
                 "gate FAILURE: serve throughput regressed below {min_ratio}x of the committed baseline"
             );
         }
+    }
+
+    if !online_current_path.is_empty() {
+        failed |= check_online_bench(&read(&online_current_path), &online_current_path);
     }
 
     if failed {
@@ -652,6 +792,88 @@ mod tests {
         assert_eq!(json_number(s, None, "rejected"), Some(120.0));
         assert_eq!(json_number(s, None, "solves_per_sec"), Some(8200.0));
         assert!(section_slice(SERVE_SAMPLE, "absent").is_none());
+    }
+
+    const ONLINE_SAMPLE: &str = r#"{
+  "schema": "lamps-online-bench-v1",
+  "smoke": true,
+  "workloads": 3,
+  "frames": 4,
+  "seed": 2006,
+  "reclaim": {"baseline_j": 0.2675, "reclaim_j": 0.2662, "reclaimed_j": 0.0013, "reclaimed_frac": 0.0049, "resolves": 45, "avg_resolve_steps": 1.15, "avg_full_solve_steps": 8.33},
+  "rows": [
+    {"name": "none", "miss_rate": 0, "shed_rate": 0, "degraded_frames": 0, "resolves": 44, "frames": 12},
+    {"name": "mild", "miss_rate": 0, "shed_rate": 0, "degraded_frames": 0, "resolves": 43, "frames": 12},
+    {"name": "moderate", "miss_rate": 0.41, "shed_rate": 0, "degraded_frames": 0, "resolves": 46, "frames": 12},
+    {"name": "severe", "miss_rate": 0.91, "shed_rate": 0, "degraded_frames": 0, "resolves": 35, "frames": 12},
+    {"name": "overload", "miss_rate": 0.55, "shed_rate": 0.25, "degraded_frames": 0, "resolves": 33, "frames": 12}
+  ],
+  "panics": 0,
+  "violations": 0
+}"#;
+
+    #[test]
+    fn online_schema_passes_on_complete_file() {
+        assert!(!check_online_bench(ONLINE_SAMPLE, "sample"));
+    }
+
+    #[test]
+    fn online_schema_fails_on_missing_or_bad_fields() {
+        // Wrong schema marker.
+        assert!(check_online_bench("{\"schema\": \"other\"}", "sample"));
+        // A caught panic.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace("\"panics\": 0", "\"panics\": 1"),
+            "sample"
+        ));
+        // A validator violation.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace("\"violations\": 0", "\"violations\": 3"),
+            "sample"
+        ));
+        // Reclamation stopped saving energy.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace("\"reclaimed_j\": 0.0013", "\"reclaimed_j\": -0.002"),
+            "sample"
+        ));
+        // Incremental re-solves costlier than from-scratch solves.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace("\"avg_resolve_steps\": 1.15", "\"avg_resolve_steps\": 9.5"),
+            "sample"
+        ));
+        // Fault-free runs missing deadlines.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace(
+                "{\"name\": \"none\", \"miss_rate\": 0",
+                "{\"name\": \"none\", \"miss_rate\": 0.1"
+            ),
+            "sample"
+        ));
+        // Severe preset losing every frame.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace(
+                "{\"name\": \"severe\", \"miss_rate\": 0.91",
+                "{\"name\": \"severe\", \"miss_rate\": 1.0"
+            ),
+            "sample"
+        ));
+        // Overload row not shedding.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace("\"shed_rate\": 0.25", "\"shed_rate\": 0"),
+            "sample"
+        ));
+        // Missing a row entirely.
+        assert!(check_online_bench(
+            &ONLINE_SAMPLE.replace("\"name\": \"severe\"", "\"name\": \"renamed\""),
+            "sample"
+        ));
+    }
+
+    #[test]
+    fn online_row_slice_scopes_to_one_row() {
+        let s = online_row_slice(ONLINE_SAMPLE, "moderate").expect("present");
+        assert_eq!(json_number(s, None, "miss_rate"), Some(0.41));
+        assert!(online_row_slice(ONLINE_SAMPLE, "absent").is_none());
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! Online-runtime bench: slack reclamation vs the static plan, and
+//! miss/shed rates under fault presets and overload.
+//!
+//! Writes `BENCH_online.json` (schema `lamps-online-bench-v1`) for the
+//! `gate` binary: reclaimed energy must stay positive, incremental
+//! re-solves must stay cheaper than from-scratch frame solves, the
+//! fault-free preset must never miss, and the panic and validator
+//! violation counters must be zero. Exits nonzero itself on any panic
+//! or violation — a broken runtime fails the bench before the gate.
+
+use lamps_bench::cli::Options;
+use lamps_bench::experiments::online::online;
+use std::fmt::Write as _;
+
+fn main() {
+    let opts = Options::parse(&["sets", "frames", "seed", "out", "results", "smoke"]);
+    let smoke = opts.flag("smoke");
+    let sets = opts.usize("sets", if smoke { 3 } else { 8 });
+    let frames = opts.usize("frames", if smoke { 4 } else { 6 });
+    let seed = opts.u64("seed", 2006);
+    let out_path = opts.string("out", "BENCH_online.json");
+    let results = opts.string("results", "results");
+
+    let (result, output) = online(sets, frames, seed);
+    output.emit(&results).expect("write results");
+
+    let r = &result.reclaim;
+    let mut json = String::with_capacity(1024);
+    let _ = write!(
+        json,
+        "{{\n  \"schema\": \"lamps-online-bench-v1\",\n  \"smoke\": {smoke},\n  \"workloads\": {},\n  \"frames\": {frames},\n  \"seed\": {seed},\n  \"reclaim\": {{\"baseline_j\": {}, \"reclaim_j\": {}, \"reclaimed_j\": {}, \"reclaimed_frac\": {}, \"resolves\": {}, \"avg_resolve_steps\": {}, \"avg_full_solve_steps\": {}}},\n  \"rows\": [",
+        result.workloads,
+        r.baseline_j,
+        r.reclaim_j,
+        r.reclaimed_j(),
+        r.reclaimed_frac(),
+        r.resolves,
+        r.avg_resolve_steps(),
+        r.avg_full_solve_steps(),
+    );
+    for (i, row) in result.rows.iter().enumerate() {
+        if i > 0 {
+            json.push(',');
+        }
+        let _ = write!(
+            json,
+            "\n    {{\"name\": \"{}\", \"miss_rate\": {}, \"shed_rate\": {}, \"degraded_frames\": {}, \"resolves\": {}, \"frames\": {}}}",
+            row.name, row.miss_rate, row.shed_rate, row.degraded_frames, row.resolves, row.frames
+        );
+    }
+    let _ = write!(
+        json,
+        "\n  ],\n  \"panics\": {},\n  \"violations\": {}\n}}\n",
+        result.panics, result.violations
+    );
+    std::fs::write(&out_path, &json).expect("write bench json");
+    println!("wrote {out_path}");
+
+    if result.panics > 0 || result.violations > 0 {
+        eprintln!(
+            "error: {} panics, {} validator violations",
+            result.panics, result.violations
+        );
+        std::process::exit(1);
+    }
+}

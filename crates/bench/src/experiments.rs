@@ -6,6 +6,7 @@ pub mod chaos;
 pub mod curves;
 pub mod integrated;
 pub mod kernels;
+pub mod online;
 pub mod procs;
 pub mod relative;
 pub mod scatter;

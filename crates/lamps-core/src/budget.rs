@@ -222,6 +222,17 @@ fn budget_search(
     let ps = strategy.uses_ps();
     let sleep = ps.then_some(&cfg.sleep);
     let levels_per_n = if ps { cfg.levels.len() as u64 } else { 1 };
+
+    // A wall-clock deadline that has already expired at admission: skip
+    // the scan entirely and hand back one best-effort candidate tagged
+    // Degraded{explored: 0}. Without this, the scan's "within one step"
+    // cancellation latency would still evaluate a candidate before
+    // noticing, which an overloaded caller admitting with an expired
+    // deadline cannot afford.
+    if budget.deadline.is_some_and(|d| Instant::now() >= d) {
+        return expired_fallback(strategy, deadline_s, cfg, cache, levels_per_n);
+    }
+
     let mut meter = Meter {
         spent: 0,
         max: budget.max_steps.unwrap_or(u64::MAX),
@@ -353,6 +364,69 @@ fn budget_search(
         }),
         None => Err(none_error),
     }
+}
+
+/// Best-effort result for a budget whose wall-clock deadline expired
+/// before the search began: pick the cheapest processor count that
+/// still meets the schedule deadline, take the first operating level
+/// that evaluates feasibly, and report `Degraded { explored: 0 }`.
+/// Costs one list schedule and at most one energy evaluation per level.
+fn expired_fallback(
+    strategy: Strategy,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+    levels_per_n: u64,
+) -> Result<BudgetedSolution, SolveError> {
+    let graph = cache.graph();
+    let deadline_cycles = cfg.deadline_cycles(deadline_s);
+    let infeasible = |mut best_possible_cycles: u64| {
+        best_possible_cycles = best_possible_cycles.max(graph.critical_path_cycles());
+        SolveError::Infeasible {
+            deadline_s,
+            best_possible_s: best_possible_cycles as f64 / cfg.max_frequency(),
+        }
+    };
+    let ps = strategy.uses_ps();
+    let sleep = ps.then_some(&cfg.sleep);
+    let (n, total) = if strategy.searches_proc_count() {
+        let n_min = cache
+            .min_feasible_procs(deadline_cycles)
+            .ok_or_else(|| infeasible(cache.makespan(graph.len().max(1))))?;
+        let n_hi = graph.len().max(1);
+        (n_min, (n_hi - n_min + 1) as u64 * levels_per_n)
+    } else {
+        let mut n = cache.max_useful_procs();
+        if cache.makespan(n) > deadline_cycles {
+            n = cache
+                .min_feasible_procs(deadline_cycles)
+                .ok_or_else(|| infeasible(cache.makespan(n)))?;
+        }
+        (n, levels_per_n)
+    };
+    let makespan = cache.makespan(n);
+    let summary = cache.summary(n);
+    let required_freq = summary.makespan_cycles() as f64 / deadline_s;
+    for level in cfg.levels.at_least(required_freq) {
+        if let Ok(energy) = evaluate_summary(summary, level, deadline_s, sleep) {
+            let schedule = cache.schedule_arc(n);
+            let solution = Solution {
+                strategy,
+                n_procs: n,
+                level: *level,
+                energy,
+                makespan_cycles: makespan,
+                makespan_s: makespan as f64 / level.freq,
+                schedule,
+            };
+            return Ok(BudgetedSolution {
+                solution,
+                completeness: Completeness::Degraded { explored: 0, total },
+                steps: 0,
+            });
+        }
+    }
+    Err(SolveError::BudgetExhausted { explored: 0, total })
 }
 
 #[cfg(test)]
@@ -517,14 +591,38 @@ mod tests {
     }
 
     #[test]
-    fn expired_deadline_behaves_like_zero_budget() {
+    fn expired_deadline_returns_immediate_degraded_best_effort() {
         let g = layered(29);
         let d = deadline_x(&g, 2.0);
-        let budget = SolveBudget::unlimited().with_deadline(Instant::now());
-        match solve_with_budget(Strategy::LampsPs, &g, d, &cfg(), &budget) {
-            Err(SolveError::BudgetExhausted { explored, .. }) => assert_eq!(explored, 0),
-            other => panic!("expected BudgetExhausted, got {other:?}"),
+        for s in Strategy::all() {
+            let budget = SolveBudget::unlimited().with_deadline(Instant::now());
+            let b = solve_with_budget(s, &g, d, &cfg(), &budget)
+                .unwrap_or_else(|e| panic!("{s}: expired deadline must degrade, got {e:?}"));
+            match b.completeness {
+                Completeness::Degraded { explored, total } => {
+                    assert_eq!(explored, 0, "{s}: no candidate may be explored");
+                    assert!(total > 0, "{s}");
+                }
+                Completeness::Complete => panic!("{s}: expired deadline cannot be complete"),
+            }
+            assert_eq!(b.steps, 0, "{s}");
+            assert!(
+                b.solution.makespan_s <= d * (1.0 + 1e-9),
+                "{s}: best-effort result must still meet the deadline"
+            );
+            b.solution.schedule.validate(&g).unwrap();
         }
+    }
+
+    #[test]
+    fn expired_deadline_still_reports_infeasible_inputs() {
+        let g = layered(29);
+        let tight = deadline_x(&g, 0.5);
+        let budget = SolveBudget::unlimited().with_deadline(Instant::now());
+        assert!(matches!(
+            solve_with_budget(Strategy::Lamps, &g, tight, &cfg(), &budget),
+            Err(SolveError::Infeasible { .. })
+        ));
     }
 
     #[test]

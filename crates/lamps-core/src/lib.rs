@@ -50,6 +50,7 @@ pub mod multi;
 pub mod pareto;
 pub mod report;
 pub mod solve;
+pub mod suffix;
 pub mod types;
 
 pub use batch::{evaluate_graphs, solve_batch, BatchCell, BatchJob};
@@ -60,6 +61,8 @@ pub use budget::{
 pub use cache::{CacheBuffers, CacheStats, ScheduleCache};
 pub use config::SchedulerConfig;
 pub use explain::SolveExplain;
+pub use suffix::{resolve_suffix_fresh, SuffixContext, SuffixPlan, SuffixSolver};
+
 pub use solve::{
     solve, solve_explained, solve_with_cache, solve_with_cache_explained, solve_with_cache_unpruned,
 };

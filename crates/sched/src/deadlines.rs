@@ -66,8 +66,24 @@ pub fn latest_finish_times_with(
     default_deadline: u64,
     own: &[Option<u64>],
 ) -> Vec<u64> {
+    let mut lf = Vec::new();
+    latest_finish_times_with_into(graph, default_deadline, own, &mut lf);
+    lf
+}
+
+/// [`latest_finish_times_with`] into a caller-owned buffer (cleared and
+/// refilled) — the per-task-deadline analogue of
+/// [`latest_finish_times_into`], for online runtimes that recompute keys
+/// per candidate level without reallocating.
+pub fn latest_finish_times_with_into(
+    graph: &TaskGraph,
+    default_deadline: u64,
+    own: &[Option<u64>],
+    lf: &mut Vec<u64>,
+) {
     assert_eq!(own.len(), graph.len());
-    let mut lf = vec![u64::MAX; graph.len()];
+    lf.clear();
+    lf.resize(graph.len(), u64::MAX);
     for t in graph.topo_order().into_iter().rev() {
         let mut d = match own[t.index()] {
             Some(d) => d,
@@ -82,7 +98,6 @@ pub fn latest_finish_times_with(
         // Saturate at the earliest possible finish of t itself.
         lf[t.index()] = d.max(graph.weight(t));
     }
-    lf
 }
 
 /// The slack of each task: latest finish minus earliest finish (top

@@ -29,7 +29,10 @@ pub mod partial;
 pub mod priorities;
 pub mod schedule;
 
-pub use deadlines::{latest_finish_times, latest_finish_times_into};
+pub use deadlines::{
+    latest_finish_times, latest_finish_times_into, latest_finish_times_with,
+    latest_finish_times_with_into,
+};
 pub use idle::{idle_intervals, IdleInterval, IdleSummary};
 pub use insertion::{insertion_edf_schedule, insertion_schedule};
 pub use list::{

@@ -267,6 +267,82 @@ fn wire_shutdown_acks_then_drains_and_refuses_new_work() {
 }
 
 #[test]
+fn stats_racing_ordered_shutdown_always_answers_or_refuses_structurally() {
+    let server = test_server(|c| c.idle_timeout = Duration::from_millis(500));
+    let addr = server.addr();
+    // Four clients hammer the control plane while the main thread pulls
+    // the plug mid-stream. Every in-flight `stats` must end one of three
+    // ways — a Stats answer, a structured refusal, or a clean close —
+    // within the read timeout. A timeout is a hang and fails the test.
+    let hammers: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || -> Result<usize, String> {
+                let mut answered = 0usize;
+                for i in 0..200 {
+                    let stream = match TcpStream::connect(addr) {
+                        Ok(s) => s,
+                        // Listener gone: the shutdown won the race.
+                        Err(_) => return Ok(answered),
+                    };
+                    stream
+                        .set_read_timeout(Some(Duration::from_secs(5)))
+                        .map_err(|e| e.to_string())?;
+                    stream.set_nodelay(true).ok();
+                    let mut reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+                    let mut w = &stream;
+                    if w.write_all(b"{\"id\":1,\"op\":\"stats\"}\n").is_err() {
+                        // Reset while writing: structural refusal.
+                        return Ok(answered);
+                    }
+                    let mut buf = String::new();
+                    match reader.read_line(&mut buf) {
+                        Ok(0) => return Ok(answered), // clean EOF
+                        Ok(_) => match parse_response(buf.trim()) {
+                            Ok(Response::Stats { id: 1, .. }) => answered += 1,
+                            Ok(Response::ShuttingDown { .. } | Response::Error { .. }) => {
+                                return Ok(answered)
+                            }
+                            Ok(other) => {
+                                return Err(format!("iteration {i}: unexpected {other:?}"))
+                            }
+                            Err(e) => {
+                                return Err(format!("iteration {i}: unparseable {buf:?}: {e}"))
+                            }
+                        },
+                        Err(e)
+                            if e.kind() == std::io::ErrorKind::WouldBlock
+                                || e.kind() == std::io::ErrorKind::TimedOut =>
+                        {
+                            return Err(format!("iteration {i}: stats hung past the timeout"))
+                        }
+                        // Reset mid-read as the socket is torn down.
+                        Err(_) => return Ok(answered),
+                    }
+                }
+                Ok(answered)
+            })
+        })
+        .collect();
+    // Let the hammers land some answers, then shut down underneath them.
+    std::thread::sleep(Duration::from_millis(50));
+    server.begin_shutdown();
+    let mut total_answered = 0usize;
+    for h in hammers {
+        match h.join() {
+            Ok(Ok(n)) => total_answered += n,
+            Ok(Err(msg)) => panic!("hammer thread: {msg}"),
+            Err(_) => panic!("hammer thread panicked"),
+        }
+    }
+    assert!(
+        total_answered > 0,
+        "no stats request was ever answered; the race never overlapped"
+    );
+    let stats = server.wait();
+    assert_eq!(stats.panics, 0);
+}
+
+#[test]
 fn budget_steps_degrade_instead_of_failing() {
     let server = test_server(|_| {});
     let mut s = connect(&server);

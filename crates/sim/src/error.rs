@@ -39,6 +39,12 @@ pub enum SimError {
         /// Tasks in the graph.
         graph_tasks: usize,
     },
+    /// An online frame stream is malformed (arrivals unsorted or
+    /// non-finite, wrong per-frame vector lengths…).
+    BadStream(String),
+    /// The offline frame plan the online runtime executes could not be
+    /// produced (the frame DAG is infeasible at every level).
+    PlanFailed(String),
 }
 
 impl std::fmt::Display for SimError {
@@ -59,6 +65,8 @@ impl std::fmt::Display for SimError {
                 f,
                 "solution schedules {schedule_tasks} tasks, graph has {graph_tasks}"
             ),
+            SimError::BadStream(why) => write!(f, "bad frame stream: {why}"),
+            SimError::PlanFailed(why) => write!(f, "frame plan failed: {why}"),
         }
     }
 }

@@ -25,6 +25,7 @@
 
 pub mod error;
 pub mod faults;
+pub mod online;
 pub mod recovery;
 pub mod runner;
 pub mod workload;
@@ -33,9 +34,12 @@ pub use error::SimError;
 pub use faults::{
     DvsFault, DvsFaultKind, FailStop, FaultIntensity, FaultPlan, InjectedEvent, Overrun,
 };
+pub use online::{
+    run_online, AdmissionVerdict, FrameInput, FrameRecord, OnlineConfig, OnlineReport, OnlineStream,
+};
 pub use recovery::{
-    run_with_faults, ExecRecord, FaultyRunReport, RecoveryAction, RecoveryPolicy, RunOutcome,
-    TaskLateness,
+    run_with_faults, sort_lateness, ExecRecord, FaultyRunReport, RecoveryAction, RecoveryPolicy,
+    RunOutcome, TaskLateness,
 };
 pub use runner::{
     simulate, simulate_with_costs, simulate_with_overruns, DvsSwitchCost, Policy, SimReport,

@@ -1,0 +1,1458 @@
+//! The frame-granular online periodic runtime.
+//!
+//! [`run_online`] executes a [`lamps_kpn::PeriodicDag`] frame stream the
+//! way a deployed scheduler would: the hyperperiod frame is solved
+//! *once* offline ([`lamps_core::multi::solve_with_deadlines`]) and then
+//! replayed for every arriving frame, while the runtime
+//!
+//! * **admits** each frame against the current backlog — on time
+//!   ([`AdmissionVerdict::Admitted`]), late but queued
+//!   ([`AdmissionVerdict::Deferred`]), or dropped with an explicit
+//!   verdict ([`AdmissionVerdict::Shed`]) when the backlog cap is hit;
+//!   overload never silently corrupts the trace;
+//! * **reclaims slack** when jobs under-run their WCET: the dispatch
+//!   rung may stretch a job below the plan level into its window, and an
+//!   early completion triggers an *incremental* suffix re-solve
+//!   ([`lamps_core::SuffixSolver`]) that re-stretches the entire pending
+//!   remainder of the frame — arenas and EDF keys are recycled across
+//!   frames, so a periodic stream pays the key traversal once;
+//! * **degrades gracefully**: per-frame re-solve work is metered by a
+//!   [`SolveBudget`] (steps, cancellation token, wall-clock deadline);
+//!   once exhausted the frame falls back to window-stretch dispatch only
+//!   and is flagged `degraded` — never stalled, never panicked;
+//! * **survives faults**: each frame carries its own [`FaultPlan`]
+//!   (times relative to the frame start) and runs the PR 3 escalation
+//!   ladder — absorb, boost, fail-stop migration via suffix re-solve,
+//!   structured [`RunOutcome::DeadlineMiss`]. Fail-stop re-plans bypass
+//!   budget exhaustion (migrating off a dead processor is correctness,
+//!   not optimization) but still count toward the step metrics. A dead
+//!   processor recovers at the next frame boundary.
+//!
+//! Deadlines are anchored at **arrival**: job `j` of a frame arriving at
+//! `a` is due at `a + d_j / f_max` regardless of when the frame actually
+//! started, so deferral under overload surfaces as honest lateness.
+//!
+//! Billing: admitted frame `i` owns the window `[start_i, start_{i+1})`
+//! (the next executed frame's start; the last window runs to
+//! `max(completion, arrival + span)`). Executed cycles are billed at the
+//! level they ran at, intra-window gaps per employed processor at the
+//! static plan level's idle power (slept through past break-even), level
+//! switches into the transition bucket, and a processor dead from a
+//! fail-stop is billed only to its fail time. Outside every window the
+//! platform is powered off and draws nothing. Windows never overlap:
+//! `start_{i+1} ≥` frame `i`'s completion by construction.
+//!
+//! With `actual == WCET`, no faults, and on-time arrivals, the runtime
+//! reproduces the static plan exactly: every window equals the planned
+//! execution window, so the stretch rung re-derives the plan level and
+//! no re-solve ever fires. The differential fuzzer in `lamps-verify`
+//! holds this invariant, and `lamps_verify::runtime::check_online` — run
+//! on every fuzz case and bench run — validates full traces (admission
+//! ordering, window disjointness, precedence, processor exclusivity,
+//! dead-processor silence, arrival-anchored verdicts, energy re-bill).
+
+use crate::error::SimError;
+use crate::faults::{DvsFaultKind, FaultIntensity, FaultPlan, InjectedEvent};
+use crate::recovery::{
+    sort_lateness, ExecRecord, RecoveryAction, RecoveryPolicy, RunOutcome, TaskLateness,
+};
+use crate::runner::{account_idle, DvsSwitchCost};
+use crate::workload::actual_cycles;
+use lamps_core::multi::{solve_with_deadlines, DeadlineVector};
+use lamps_core::suffix::{SuffixContext, SuffixSolver};
+use lamps_core::{SchedulerConfig, SolveBudget, Strategy};
+use lamps_energy::EnergyBreakdown;
+use lamps_kpn::PeriodicDag;
+use lamps_power::OperatingPoint;
+use lamps_sched::{ProcId, Schedule};
+use lamps_taskgraph::{TaskGraph, TaskId};
+use std::collections::VecDeque;
+use std::time::Instant;
+
+/// Relative tolerance on deadline comparisons, matching the solver's.
+const REL_EPS: f64 = 1e-9;
+
+/// How the online runtime behaves.
+#[derive(Debug, Clone)]
+pub struct OnlineConfig {
+    /// Strategy for the one-time offline frame plan.
+    pub strategy: Strategy,
+    /// Fault escalation policy (see [`RecoveryPolicy`]).
+    pub policy: RecoveryPolicy,
+    /// Reclaim dynamic slack: stretch dispatches below the plan level
+    /// into their windows and re-solve the pending suffix on early
+    /// completions. `false` reproduces the PR 3 fault-ladder semantics
+    /// exactly (levels never drop below the base).
+    pub reclaim: bool,
+    /// Frames allowed to wait behind the one in execution before new
+    /// arrivals are shed. `0` sheds every arrival that finds the
+    /// platform busy.
+    pub max_backlog: usize,
+    /// Per-frame budget on *reclaim* re-solve work: `max_steps` caps
+    /// candidate-level evaluations, the token and wall-clock deadline
+    /// cut the frame over to window-stretch-only dispatch. Fail-stop
+    /// re-plans ignore exhaustion (correctness) but count steps.
+    pub frame_budget: SolveBudget,
+    /// DVS switch cost model.
+    pub switch: DvsSwitchCost,
+}
+
+impl OnlineConfig {
+    /// The full runtime: LAMPS+PS plan, boost ladder, reclamation on,
+    /// a small backlog, unlimited budget, free switches.
+    pub fn reclaiming() -> Self {
+        OnlineConfig {
+            strategy: Strategy::LampsPs,
+            policy: RecoveryPolicy::Boost,
+            reclaim: true,
+            max_backlog: 2,
+            frame_budget: SolveBudget::unlimited(),
+            switch: DvsSwitchCost::free(),
+        }
+    }
+
+    /// The static baseline: same plan, same ladder, no reclamation.
+    pub fn static_plan() -> Self {
+        OnlineConfig {
+            reclaim: false,
+            ..OnlineConfig::reclaiming()
+        }
+    }
+}
+
+/// One arriving frame: a full instantiation of the hyperperiod DAG.
+#[derive(Debug, Clone)]
+pub struct FrameInput {
+    /// Absolute arrival time \[s\]. Arrivals must be non-decreasing.
+    pub arrival_s: f64,
+    /// Actual cycles per job (≤ WCET; overruns go in `faults`).
+    pub actual: Vec<u64>,
+    /// Faults scoped to this frame; times are relative to the frame's
+    /// *start* (a dead processor recovers at the next frame).
+    pub faults: FaultPlan,
+}
+
+/// A stream of frames for [`run_online`].
+#[derive(Debug, Clone, Default)]
+pub struct OnlineStream {
+    /// The frames, in arrival order.
+    pub frames: Vec<FrameInput>,
+}
+
+impl OnlineStream {
+    /// An exactly-periodic fault-free worst-case stream: frame `i`
+    /// arrives at `i · arrival_factor · span`, every job runs its WCET.
+    /// `arrival_factor < 1` models overload (frames arrive faster than
+    /// the hyperperiod).
+    pub fn periodic(dag: &PeriodicDag, n_frames: usize, arrival_factor: f64, f_max: f64) -> Self {
+        let span = dag.hyperperiod_cycles as f64 / f_max;
+        OnlineStream {
+            frames: (0..n_frames)
+                .map(|i| FrameInput {
+                    arrival_s: i as f64 * arrival_factor * span,
+                    actual: dag.graph.weights().to_vec(),
+                    faults: FaultPlan::none(),
+                })
+                .collect(),
+        }
+    }
+
+    /// A randomized stream: per-frame actual cycles drawn uniformly in
+    /// `[lo, hi] × WCET` and, when `intensity` is given, an independent
+    /// random [`FaultPlan`] per frame (times within the frame span).
+    /// `n_procs` must match the plan the stream will run against.
+    #[allow(clippy::too_many_arguments)]
+    pub fn synthesize(
+        dag: &PeriodicDag,
+        n_procs: usize,
+        n_frames: usize,
+        arrival_factor: f64,
+        lo: f64,
+        hi: f64,
+        intensity: Option<&FaultIntensity>,
+        f_max: f64,
+        seed: u64,
+    ) -> Self {
+        let span = dag.hyperperiod_cycles as f64 / f_max;
+        OnlineStream {
+            frames: (0..n_frames)
+                .map(|i| {
+                    let fseed = seed.wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                    FrameInput {
+                        arrival_s: i as f64 * arrival_factor * span,
+                        actual: actual_cycles(&dag.graph, lo, hi, fseed),
+                        faults: match intensity {
+                            Some(fi) => {
+                                FaultPlan::random(&dag.graph, n_procs, span, fi, fseed ^ 0x5EED)
+                            }
+                            None => FaultPlan::none(),
+                        },
+                    }
+                })
+                .collect(),
+        }
+    }
+}
+
+/// What admission control decided for one frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AdmissionVerdict {
+    /// The platform was free: the frame started at its arrival.
+    Admitted {
+        /// Absolute start \[s\] (== arrival).
+        start_s: f64,
+    },
+    /// The platform was busy but the backlog had room: the frame
+    /// started late. Its deadlines stay anchored at arrival.
+    Deferred {
+        /// Absolute start \[s\].
+        start_s: f64,
+        /// How long it waited \[s\].
+        delay_s: f64,
+    },
+    /// The backlog was full: the frame was dropped, executing nothing
+    /// and consuming nothing.
+    Shed {
+        /// Frames in flight or waiting at the arrival.
+        backlog: usize,
+    },
+}
+
+impl AdmissionVerdict {
+    /// The absolute start time, `None` for a shed frame.
+    pub fn start_s(&self) -> Option<f64> {
+        match self {
+            AdmissionVerdict::Admitted { start_s } | AdmissionVerdict::Deferred { start_s, .. } => {
+                Some(*start_s)
+            }
+            AdmissionVerdict::Shed { .. } => None,
+        }
+    }
+}
+
+/// The full account of one frame.
+#[derive(Debug, Clone)]
+pub struct FrameRecord {
+    /// Index in the input stream.
+    pub frame: usize,
+    /// What admission decided.
+    pub verdict: AdmissionVerdict,
+    /// End of this frame's billing window \[s\], absolute (`0` for a
+    /// shed frame).
+    pub window_end_s: f64,
+    /// Deadline verdict (`None` for a shed frame — its jobs never ran;
+    /// shedding is the *explicit* loss, not a silent one).
+    pub outcome: Option<RunOutcome>,
+    /// Completed execution per job, times relative to the frame start.
+    pub tasks: Vec<Option<ExecRecord>>,
+    /// Partial executions lost to a fail-stop, frame-relative.
+    pub aborted: Vec<ExecRecord>,
+    /// Faults that fired, in trace order.
+    pub injected: Vec<InjectedEvent>,
+    /// Recovery actions taken, in trace order.
+    pub recoveries: Vec<RecoveryAction>,
+    /// Energy billed to this frame's window \[J\].
+    pub energy_j: f64,
+    /// Completion of the last finished job, relative to the frame
+    /// start \[s\].
+    pub makespan_s: f64,
+    /// Suffix re-solves this frame performed (reclaim + fail-stop).
+    pub resolves: u64,
+    /// Candidate levels those re-solves evaluated.
+    pub resolve_steps: u64,
+    /// Dispatches stretched *below* the plan base level (reclamation).
+    pub stretched: usize,
+    /// The frame budget ran out: reclamation fell back to
+    /// window-stretch dispatch only.
+    pub degraded: bool,
+    /// Runtime level switches taken.
+    pub dvs_switches: usize,
+}
+
+/// The full account of an online run.
+#[derive(Debug, Clone)]
+pub struct OnlineReport {
+    /// Energy over every billing window (outside them the platform is
+    /// off).
+    pub energy: EnergyBreakdown,
+    /// One record per input frame, in arrival order.
+    pub frames: Vec<FrameRecord>,
+    /// Frames started at their arrival.
+    pub admitted: usize,
+    /// Frames started late.
+    pub deferred: usize,
+    /// Frames dropped by admission control.
+    pub shed: usize,
+    /// Executed frames whose outcome is a [`RunOutcome::DeadlineMiss`].
+    pub frame_misses: usize,
+    /// Late (or never-finished) jobs across all executed frames.
+    pub jobs_late: usize,
+    /// Total suffix re-solves.
+    pub resolves: u64,
+    /// Total candidate levels evaluated by re-solves.
+    pub resolve_steps: u64,
+    /// EDF-key memo hits inside the shared [`SuffixSolver`].
+    pub key_cache_hits: u64,
+    /// EDF-key memo misses (fresh traversals).
+    pub key_cache_misses: u64,
+    /// Total runtime level switches.
+    pub dvs_switches: usize,
+    /// Frames whose budget ran out.
+    pub degraded_frames: usize,
+    /// The static plan's operating voltage \[V\].
+    pub plan_vdd: f64,
+    /// The static plan's frequency \[Hz\].
+    pub plan_freq: f64,
+    /// Processors the plan employs.
+    pub n_procs: usize,
+    /// One frame span: hyperperiod at `f_max` \[s\].
+    pub span_s: f64,
+    /// End of the last billing window \[s\] (`0` when nothing ran).
+    pub horizon_s: f64,
+}
+
+impl OnlineReport {
+    /// Total energy \[J\].
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Deadline-missing fraction of *executed* frames (shed frames are
+    /// an admission loss, reported separately).
+    pub fn miss_rate(&self) -> f64 {
+        let executed = self.admitted + self.deferred;
+        if executed == 0 {
+            0.0
+        } else {
+            self.frame_misses as f64 / executed as f64
+        }
+    }
+
+    /// Fraction of all frames dropped by admission control.
+    pub fn shed_rate(&self) -> f64 {
+        if self.frames.is_empty() {
+            0.0
+        } else {
+            self.shed as f64 / self.frames.len() as f64
+        }
+    }
+}
+
+/// Execute a periodic frame stream online. See the module docs for the
+/// admission, reclamation, degradation, and billing semantics.
+///
+/// Rejects malformed inputs with a typed [`SimError`]; once the run
+/// starts, no overload/fault/budget combination panics — every frame
+/// comes back with a structured record.
+pub fn run_online(
+    dag: &PeriodicDag,
+    stream: &OnlineStream,
+    ocfg: &OnlineConfig,
+    cfg: &SchedulerConfig,
+) -> Result<OnlineReport, SimError> {
+    let _span = lamps_obs::span("sim", "run_online");
+    let graph = &dag.graph;
+    let n = graph.len();
+    let f_max = cfg.max_frequency();
+    let span_s = dag.hyperperiod_cycles as f64 / f_max;
+
+    // Stream validation: arrival order, vector shapes, WCET ceiling.
+    let mut prev_arrival = 0.0f64;
+    for (i, fr) in stream.frames.iter().enumerate() {
+        if !fr.arrival_s.is_finite() || fr.arrival_s < 0.0 {
+            return Err(SimError::BadStream(format!(
+                "frame {i}: arrival {} must be finite and non-negative",
+                fr.arrival_s
+            )));
+        }
+        if fr.arrival_s < prev_arrival {
+            return Err(SimError::BadStream(format!(
+                "frame {i}: arrival {} before frame {}'s {}",
+                fr.arrival_s,
+                i - 1,
+                prev_arrival
+            )));
+        }
+        prev_arrival = fr.arrival_s;
+        if fr.actual.len() != n {
+            return Err(SimError::WrongActualLength {
+                expected: n,
+                got: fr.actual.len(),
+            });
+        }
+        for t in graph.tasks() {
+            if fr.actual[t.index()] > graph.weight(t) {
+                return Err(SimError::ActualExceedsWcet {
+                    task: t,
+                    actual: fr.actual[t.index()],
+                    wcet: graph.weight(t),
+                });
+            }
+        }
+    }
+
+    // The one-time offline frame plan.
+    let dv = DeadlineVector::from_kpn(dag.deadlines.clone(), dag.hyperperiod_cycles);
+    let sol = solve_with_deadlines(ocfg.strategy, graph, &dv, cfg)
+        .map_err(|e| SimError::PlanFailed(e.to_string()))?;
+    let n_procs = sol.n_procs;
+    for fr in &stream.frames {
+        fr.faults.validate(graph, n_procs)?;
+    }
+
+    // Arrival-relative due time per job [s].
+    let due_rel: Vec<f64> = (0..n)
+        .map(|j| dag.deadlines[j].unwrap_or(dag.hyperperiod_cycles) as f64 / f_max)
+        .collect();
+
+    let mut solver = SuffixSolver::new();
+    let mut frames: Vec<FrameRecord> = Vec::with_capacity(stream.frames.len());
+    let mut energy = EnergyBreakdown::default();
+    // Completion times of in-flight/waiting frames, for the backlog.
+    let mut pending_ends: VecDeque<f64> = VecDeque::new();
+    let mut busy_until = 0.0f64;
+
+    for (i, fr) in stream.frames.iter().enumerate() {
+        while pending_ends.front().is_some_and(|&e| e <= fr.arrival_s) {
+            pending_ends.pop_front();
+        }
+        let backlog = pending_ends.len();
+        let verdict = if backlog == 0 {
+            AdmissionVerdict::Admitted {
+                start_s: fr.arrival_s,
+            }
+        } else if backlog <= ocfg.max_backlog {
+            AdmissionVerdict::Deferred {
+                start_s: busy_until,
+                delay_s: busy_until - fr.arrival_s,
+            }
+        } else {
+            AdmissionVerdict::Shed { backlog }
+        };
+        let Some(start_s) = verdict.start_s() else {
+            frames.push(shed_record(i, verdict, n));
+            continue;
+        };
+
+        let run = run_frame(
+            graph,
+            &sol.schedule,
+            sol.level,
+            n_procs,
+            fr,
+            fr.arrival_s - start_s,
+            span_s,
+            &due_rel,
+            ocfg,
+            cfg,
+            &mut solver,
+        );
+        busy_until = start_s + run.makespan_s.max(0.0);
+        pending_ends.push_back(busy_until);
+        frames.push(FrameRecord {
+            frame: i,
+            verdict,
+            window_end_s: 0.0, // chained below once the next start is known
+            outcome: Some(run.outcome),
+            tasks: run.records,
+            aborted: run.aborted,
+            injected: run.injected,
+            recoveries: run.recoveries,
+            energy_j: 0.0, // filled with the window bill below
+            makespan_s: run.makespan_s,
+            resolves: run.resolves,
+            resolve_steps: run.resolve_steps,
+            stretched: run.stretched,
+            degraded: run.degraded,
+            dvs_switches: run.dvs_switches,
+        });
+        // Active + switch energy is window-independent; merge now.
+        add_energy(&mut energy, &run.energy);
+        frames.last_mut().expect("just pushed").energy_j = run.energy.total();
+    }
+
+    // Chain the billing windows over executed frames and bill the gaps.
+    let executed: Vec<usize> = frames
+        .iter()
+        .filter(|f| f.verdict.start_s().is_some())
+        .map(|f| f.frame)
+        .collect();
+    for (k, &fi) in executed.iter().enumerate() {
+        let start = frames[fi].verdict.start_s().expect("executed");
+        let end = match executed.get(k + 1) {
+            Some(&next) => frames[next].verdict.start_s().expect("executed"),
+            None => (start + frames[fi].makespan_s).max(stream.frames[fi].arrival_s + span_s),
+        };
+        frames[fi].window_end_s = end;
+        let mut idle = EnergyBreakdown::default();
+        bill_frame_idle(
+            &frames[fi],
+            &stream.frames[fi].faults,
+            start,
+            end,
+            n_procs,
+            sol.level,
+            cfg,
+            &mut idle,
+        );
+        add_energy(&mut energy, &idle);
+        frames[fi].energy_j += idle.total();
+    }
+
+    let mut report = OnlineReport {
+        energy,
+        admitted: 0,
+        deferred: 0,
+        shed: 0,
+        frame_misses: 0,
+        jobs_late: 0,
+        resolves: 0,
+        resolve_steps: 0,
+        key_cache_hits: solver.key_cache_hits(),
+        key_cache_misses: solver.key_cache_misses(),
+        dvs_switches: 0,
+        degraded_frames: 0,
+        plan_vdd: sol.level.vdd,
+        plan_freq: sol.level.freq,
+        n_procs,
+        span_s,
+        horizon_s: frames.iter().map(|f| f.window_end_s).fold(0.0f64, f64::max),
+        frames: Vec::new(),
+    };
+    for f in &frames {
+        match f.verdict {
+            AdmissionVerdict::Admitted { .. } => report.admitted += 1,
+            AdmissionVerdict::Deferred { .. } => report.deferred += 1,
+            AdmissionVerdict::Shed { .. } => report.shed += 1,
+        }
+        if let Some(RunOutcome::DeadlineMiss { lateness }) = &f.outcome {
+            report.frame_misses += 1;
+            report.jobs_late += lateness.len();
+        }
+        report.resolves += f.resolves;
+        report.resolve_steps += f.resolve_steps;
+        report.dvs_switches += f.dvs_switches;
+        if f.degraded {
+            report.degraded_frames += 1;
+        }
+    }
+    report.frames = frames;
+
+    if lamps_obs::metrics_enabled() {
+        lamps_obs::counter("sim.online.runs").inc();
+        lamps_obs::counter("sim.online.frames").add(report.frames.len() as u64);
+        lamps_obs::counter("sim.online.shed").add(report.shed as u64);
+        lamps_obs::counter("sim.online.resolves").add(report.resolves);
+        lamps_obs::counter("sim.online.frame_misses").add(report.frame_misses as u64);
+        lamps_obs::counter("sim.online.degraded_frames").add(report.degraded_frames as u64);
+    }
+    Ok(report)
+}
+
+fn shed_record(i: usize, verdict: AdmissionVerdict, n: usize) -> FrameRecord {
+    FrameRecord {
+        frame: i,
+        verdict,
+        window_end_s: 0.0,
+        outcome: None,
+        tasks: vec![None; n],
+        aborted: Vec::new(),
+        injected: Vec::new(),
+        recoveries: Vec::new(),
+        energy_j: 0.0,
+        makespan_s: 0.0,
+        resolves: 0,
+        resolve_steps: 0,
+        stretched: 0,
+        degraded: false,
+        dvs_switches: 0,
+    }
+}
+
+fn add_energy(into: &mut EnergyBreakdown, from: &EnergyBreakdown) {
+    into.active_j += from.active_j;
+    into.idle_j += from.idle_j;
+    into.sleep_j += from.sleep_j;
+    into.transition_j += from.transition_j;
+    into.sleep_episodes += from.sleep_episodes;
+}
+
+/// Bill the gaps of one executed frame's window `[start, end)`:
+/// per employed processor at the plan level, a dead processor only to
+/// its fail time.
+#[allow(clippy::too_many_arguments)]
+fn bill_frame_idle(
+    frame: &FrameRecord,
+    faults: &FaultPlan,
+    start: f64,
+    end: f64,
+    n_procs: usize,
+    plan_level: OperatingPoint,
+    cfg: &SchedulerConfig,
+    energy: &mut EnergyBreakdown,
+) {
+    for pi in 0..n_procs {
+        let pid = ProcId(pi as u32);
+        let mut intervals: Vec<(f64, f64)> = frame
+            .tasks
+            .iter()
+            .flatten()
+            .chain(frame.aborted.iter())
+            .filter(|r| r.proc == pid)
+            .map(|r| (start + r.start_s, start + r.finish_s))
+            .collect();
+        intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let p_end = match faults.fail_stop {
+            Some(fs) if fs.proc == pid => (start + fs.at_s).min(end),
+            _ => end,
+        };
+        let mut cursor = start;
+        for (s, f) in intervals {
+            account_idle(s - cursor, plan_level, cfg, energy);
+            cursor = cursor.max(f);
+        }
+        account_idle(p_end - cursor, plan_level, cfg, energy);
+    }
+}
+
+struct InFlight {
+    task: TaskId,
+    exec_start_s: f64,
+    finish_s: f64,
+    expected_finish_s: f64,
+    level: OperatingPoint,
+    cycles: u64,
+}
+
+struct ProcState {
+    queue: VecDeque<TaskId>,
+    running: Option<InFlight>,
+    current: OperatingPoint,
+    dead: bool,
+    stuck: bool,
+    extra_latency_s: f64,
+}
+
+struct FrameRun {
+    records: Vec<Option<ExecRecord>>,
+    aborted: Vec<ExecRecord>,
+    injected: Vec<InjectedEvent>,
+    recoveries: Vec<RecoveryAction>,
+    energy: EnergyBreakdown,
+    makespan_s: f64,
+    outcome: RunOutcome,
+    resolves: u64,
+    resolve_steps: u64,
+    stretched: usize,
+    degraded: bool,
+    dvs_switches: usize,
+}
+
+/// Execute one frame, all times relative to the frame start.
+/// `arrival_offset_s ≤ 0` is the arrival relative to the start (negative
+/// for a deferred frame), anchoring the per-job due times; `span_s` is
+/// one hyperperiod, so the scalar horizon is `arrival_offset + span`.
+#[allow(clippy::too_many_arguments)]
+fn run_frame(
+    graph: &TaskGraph,
+    schedule: &Schedule,
+    plan_level: OperatingPoint,
+    n_procs: usize,
+    fr: &FrameInput,
+    arrival_offset_s: f64,
+    span_s: f64,
+    due_rel: &[f64],
+    ocfg: &OnlineConfig,
+    cfg: &SchedulerConfig,
+    solver: &mut SuffixSolver,
+) -> FrameRun {
+    let n = graph.len();
+    let horizon_s = arrival_offset_s + span_s;
+    let due_s: Vec<f64> = due_rel.iter().map(|d| arrival_offset_s + d).collect();
+    let eff = fr.faults.effective_cycles(graph, &fr.actual);
+    let mut overrun_factor: Vec<Option<f64>> = vec![None; n];
+    for o in &fr.faults.overruns {
+        overrun_factor[o.task.index()] = Some(o.factor);
+    }
+
+    let mut procs: Vec<ProcState> = (0..n_procs)
+        .map(|p| {
+            let pid = ProcId(p as u32);
+            let fault = fr.faults.dvs.iter().find(|d| d.proc == pid);
+            ProcState {
+                queue: schedule.tasks_on(pid).iter().copied().collect(),
+                running: None,
+                current: plan_level,
+                dead: false,
+                stuck: matches!(fault.map(|d| d.kind), Some(DvsFaultKind::StuckAtLevel)),
+                extra_latency_s: match fault.map(|d| d.kind) {
+                    Some(DvsFaultKind::ExtraLatency { extra_s }) => extra_s,
+                    _ => 0.0,
+                },
+            }
+        })
+        .collect();
+
+    // The reclamation floor: the slowest level stretching may reach.
+    // The discrete critical level bounds it from below (§3.3 — slower
+    // than critical costs *more* energy per cycle); a plan already at
+    // or below critical is never undercut.
+    let reclaim_floor = if cfg.levels.critical().freq < plan_level.freq {
+        *cfg.levels.critical()
+    } else {
+        plan_level
+    };
+
+    let mut finished = vec![false; n];
+    let mut finish_s = vec![0.0f64; n];
+    let mut records: Vec<Option<ExecRecord>> = vec![None; n];
+    let mut aborted: Vec<ExecRecord> = Vec::new();
+    let mut injected: Vec<InjectedEvent> = Vec::new();
+    let mut recoveries: Vec<RecoveryAction> = Vec::new();
+    let mut energy = EnergyBreakdown::default();
+    let mut dvs_switches = 0usize;
+    let mut base_level = plan_level;
+    let mut target_finish_s: Vec<f64> = graph
+        .tasks()
+        .map(|t| schedule.finish(t) as f64 / plan_level.freq)
+        .collect();
+
+    // Reclaim budget for this frame.
+    let mut steps_left = ocfg.frame_budget.max_steps;
+    let mut resolves = 0u64;
+    let mut resolve_steps = 0u64;
+    let mut stretched = 0usize;
+    let mut degraded = false;
+    let budget_open = |steps_left: &Option<u64>, degraded: &mut bool| -> bool {
+        if steps_left.is_some_and(|s| s == 0) {
+            *degraded = true;
+            return false;
+        }
+        if ocfg
+            .frame_budget
+            .token
+            .as_ref()
+            .is_some_and(|t| t.is_cancelled())
+            || ocfg
+                .frame_budget
+                .deadline
+                .is_some_and(|d| Instant::now() >= d)
+        {
+            *degraded = true;
+            return false;
+        }
+        true
+    };
+
+    let mut fail_pending = fr.faults.fail_stop;
+    let mut now = 0.0f64;
+    let mut n_finished = 0usize;
+
+    loop {
+        // Retire due completions; an early one may trigger reclamation.
+        let mut reclaim_due = false;
+        for (pi, ps) in procs.iter_mut().enumerate() {
+            let due = matches!(&ps.running, Some(rf) if rf.finish_s <= now);
+            if due {
+                let rf = ps.running.take().expect("checked running");
+                finished[rf.task.index()] = true;
+                finish_s[rf.task.index()] = rf.finish_s;
+                n_finished += 1;
+                energy.active_j += rf.cycles as f64 * rf.level.energy_per_cycle;
+                records[rf.task.index()] = Some(ExecRecord {
+                    task: rf.task,
+                    proc: ProcId(pi as u32),
+                    start_s: rf.exec_start_s,
+                    finish_s: rf.finish_s,
+                    vdd: rf.level.vdd,
+                    cycles: rf.cycles,
+                });
+                if rf.finish_s < rf.expected_finish_s * (1.0 - REL_EPS) {
+                    reclaim_due = true;
+                }
+            }
+        }
+
+        // Rung: early completion + reclamation → incremental suffix
+        // re-solve over all levels, adopted only when feasible (the
+        // dispatch rung already defends windows otherwise).
+        if reclaim_due && ocfg.reclaim && n_finished < n && budget_open(&steps_left, &mut degraded)
+        {
+            let running_est: Vec<Option<(TaskId, f64)>> = procs
+                .iter()
+                .map(|p| {
+                    p.running
+                        .as_ref()
+                        .map(|rf| (rf.task, rf.expected_finish_s.max(now)))
+                })
+                .collect();
+            let dead: Vec<bool> = procs.iter().map(|p| p.dead).collect();
+            // Never stretch below the discrete critical level (§3.3):
+            // below it energy per cycle *rises*, so racing and idling
+            // beats stretching. The ascending sweep therefore starts at
+            // the reclamation floor.
+            let candidates: Vec<OperatingPoint> =
+                cfg.levels.at_least(reclaim_floor.freq).copied().collect();
+            let ctx = SuffixContext {
+                finished: &finished,
+                finish_s: &finish_s,
+                running: &running_est,
+                dead: &dead,
+                now_s: now,
+                deadline_s: horizon_s,
+                own_due_s: Some(&due_s),
+            };
+            if let Some(sp) = solver.resolve(graph, &ctx, &candidates, steps_left) {
+                resolves += 1;
+                resolve_steps += sp.steps;
+                if let Some(left) = steps_left.as_mut() {
+                    *left = left.saturating_sub(sp.steps);
+                }
+                if !sp.complete {
+                    degraded = true;
+                }
+                if sp.feasible {
+                    adopt_plan(
+                        graph,
+                        &sp.plan,
+                        sp.level,
+                        &finished,
+                        &running_est,
+                        &mut procs,
+                        &mut target_finish_s,
+                    );
+                    base_level = sp.level;
+                }
+            }
+        }
+
+        // Fire the fail-stop once its time has come. The re-plan is a
+        // correctness rung: it runs even with the budget exhausted.
+        if let Some(fs) = fail_pending {
+            if fs.at_s <= now {
+                fail_pending = None;
+                injected.push(InjectedEvent::ProcFailed {
+                    proc: fs.proc,
+                    at_s: fs.at_s,
+                });
+                let fp = fs.proc.index();
+                procs[fp].dead = true;
+                if let Some(rf) = procs[fp].running.take() {
+                    let ran_s = (fs.at_s - rf.exec_start_s).max(0.0);
+                    let cycles_done = ((ran_s * rf.level.freq).floor() as u64).min(rf.cycles);
+                    energy.active_j += cycles_done as f64 * rf.level.energy_per_cycle;
+                    aborted.push(ExecRecord {
+                        task: rf.task,
+                        proc: fs.proc,
+                        start_s: rf.exec_start_s,
+                        finish_s: fs.at_s,
+                        vdd: rf.level.vdd,
+                        cycles: cycles_done,
+                    });
+                }
+
+                let running_est: Vec<Option<(TaskId, f64)>> = procs
+                    .iter()
+                    .map(|p| {
+                        p.running
+                            .as_ref()
+                            .map(|rf| (rf.task, rf.expected_finish_s.max(now)))
+                    })
+                    .collect();
+                let dead: Vec<bool> = procs.iter().map(|p| p.dead).collect();
+                let candidates: Vec<OperatingPoint> = match ocfg.policy {
+                    RecoveryPolicy::Absorb => vec![base_level],
+                    RecoveryPolicy::Boost => {
+                        cfg.levels.at_least(base_level.freq).copied().collect()
+                    }
+                };
+                let ctx = SuffixContext {
+                    finished: &finished,
+                    finish_s: &finish_s,
+                    running: &running_est,
+                    dead: &dead,
+                    now_s: now,
+                    deadline_s: horizon_s,
+                    own_due_s: Some(&due_s),
+                };
+                if let Some(sp) = solver.resolve(graph, &ctx, &candidates, None) {
+                    resolves += 1;
+                    resolve_steps += sp.steps;
+                    let migrated =
+                        migrated_vs_static(graph, &sp.plan, schedule, &finished, &running_est);
+                    adopt_plan(
+                        graph,
+                        &sp.plan,
+                        sp.level,
+                        &finished,
+                        &running_est,
+                        &mut procs,
+                        &mut target_finish_s,
+                    );
+                    recoveries.push(RecoveryAction::Rescheduled {
+                        failed_proc: fs.proc,
+                        at_s: fs.at_s,
+                        migrated,
+                    });
+                    if (sp.level.vdd - base_level.vdd).abs() > 1e-12 {
+                        recoveries.push(RecoveryAction::BaseLevelRaised {
+                            from_vdd: base_level.vdd,
+                            to_vdd: sp.level.vdd,
+                        });
+                        base_level = sp.level;
+                    }
+                } else {
+                    procs[fp].queue.clear();
+                }
+            }
+        }
+
+        // Dispatch ready queue heads; zero-weight jobs retire instantly.
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for (pi, ps) in procs.iter_mut().enumerate() {
+                if ps.dead || ps.running.is_some() {
+                    continue;
+                }
+                let Some(&t) = ps.queue.front() else {
+                    continue;
+                };
+                if graph.predecessors(t).iter().any(|&q| !finished[q.index()]) {
+                    continue;
+                }
+                ps.queue.pop_front();
+                progress = true;
+                let w = graph.weight(t);
+                if w == 0 {
+                    finished[t.index()] = true;
+                    finish_s[t.index()] = now;
+                    n_finished += 1;
+                    records[t.index()] = Some(ExecRecord {
+                        task: t,
+                        proc: ProcId(pi as u32),
+                        start_s: now,
+                        finish_s: now,
+                        vdd: ps.current.vdd,
+                        cycles: 0,
+                    });
+                    continue;
+                }
+
+                // The stretch/boost rung: fit the window to the planned
+                // finish. Reclamation may drop below the base level;
+                // Boost may rise above it; Absorb without reclamation
+                // never leaves it.
+                let level = if ocfg.policy == RecoveryPolicy::Absorb && !ocfg.reclaim {
+                    base_level
+                } else {
+                    let window = target_finish_s[t.index()] - now;
+                    let pick = |window: f64| -> OperatingPoint {
+                        if window <= 0.0 {
+                            return if ocfg.policy == RecoveryPolicy::Boost {
+                                *cfg.levels.fastest()
+                            } else {
+                                base_level
+                            };
+                        }
+                        let required = w as f64 / window * (1.0 - REL_EPS);
+                        let c = cfg
+                            .levels
+                            .lowest_at_least(required)
+                            .copied()
+                            .unwrap_or_else(|| *cfg.levels.fastest());
+                        let floor = if ocfg.reclaim {
+                            if reclaim_floor.freq < base_level.freq {
+                                reclaim_floor
+                            } else {
+                                base_level
+                            }
+                        } else {
+                            base_level
+                        };
+                        let c = if c.freq < floor.freq { floor } else { c };
+                        if ocfg.policy != RecoveryPolicy::Boost && c.freq > base_level.freq {
+                            base_level
+                        } else {
+                            c
+                        }
+                    };
+                    let wants = pick(window);
+                    if (wants.vdd - ps.current.vdd).abs() > 1e-12 {
+                        let shrunk = pick(window - ocfg.switch.latency_s - ps.extra_latency_s);
+                        if shrunk.freq > wants.freq {
+                            shrunk
+                        } else {
+                            wants
+                        }
+                    } else {
+                        wants
+                    }
+                };
+                let level = if (level.vdd - ps.current.vdd).abs() > 1e-12 && ps.stuck {
+                    injected.push(InjectedEvent::DvsStuck {
+                        proc: ProcId(pi as u32),
+                        requested_vdd: level.vdd,
+                    });
+                    ps.current
+                } else {
+                    level
+                };
+                if level.freq > base_level.freq + 1e-6 {
+                    recoveries.push(RecoveryAction::TaskBoosted {
+                        task: t,
+                        from_vdd: base_level.vdd,
+                        to_vdd: level.vdd,
+                    });
+                }
+                if level.freq < plan_level.freq - 1e-6 {
+                    stretched += 1;
+                }
+
+                let mut exec_start = now;
+                if (level.vdd - ps.current.vdd).abs() > 1e-12 {
+                    dvs_switches += 1;
+                    energy.transition_j += ocfg.switch.energy_j;
+                    let mut lat = ocfg.switch.latency_s;
+                    if ps.extra_latency_s > 0.0 {
+                        lat += ps.extra_latency_s;
+                        injected.push(InjectedEvent::DvsDelayed {
+                            proc: ProcId(pi as u32),
+                            extra_s: ps.extra_latency_s,
+                        });
+                    }
+                    exec_start += lat;
+                    ps.current = level;
+                }
+                let cycles = eff[t.index()];
+                if cycles > w {
+                    injected.push(InjectedEvent::Overrun {
+                        task: t,
+                        factor: overrun_factor[t.index()].unwrap_or(1.0),
+                        cycles,
+                    });
+                }
+                ps.running = Some(InFlight {
+                    task: t,
+                    exec_start_s: exec_start,
+                    finish_s: exec_start + cycles as f64 / level.freq,
+                    expected_finish_s: exec_start + w as f64 / level.freq,
+                    level,
+                    cycles,
+                });
+            }
+        }
+
+        if n_finished == n {
+            break;
+        }
+
+        let mut next = f64::INFINITY;
+        for p in &procs {
+            if let Some(rf) = &p.running {
+                next = next.min(rf.finish_s);
+            }
+        }
+        if let Some(fs) = fail_pending {
+            if next.is_finite() {
+                next = next.min(fs.at_s.max(now));
+            }
+        }
+        if !next.is_finite() {
+            break;
+        }
+        now = next;
+    }
+
+    let makespan_s = records
+        .iter()
+        .flatten()
+        .map(|r| r.finish_s)
+        .fold(0.0f64, f64::max);
+
+    // Arrival-anchored verdict.
+    let mut lateness = Vec::new();
+    for t in graph.tasks() {
+        let due = due_s[t.index()];
+        let tol = due + due.abs() * REL_EPS;
+        match &records[t.index()] {
+            Some(r) if r.finish_s > tol => lateness.push(TaskLateness {
+                task: t,
+                lateness_s: r.finish_s - due,
+            }),
+            None => lateness.push(TaskLateness {
+                task: t,
+                lateness_s: f64::INFINITY,
+            }),
+            _ => {}
+        }
+    }
+    let outcome = if lateness.is_empty() {
+        RunOutcome::MetDeadline
+    } else {
+        sort_lateness(&mut lateness);
+        RunOutcome::DeadlineMiss { lateness }
+    };
+
+    FrameRun {
+        records,
+        aborted,
+        injected,
+        recoveries,
+        energy,
+        makespan_s,
+        outcome,
+        resolves,
+        resolve_steps,
+        stretched,
+        degraded,
+        dvs_switches,
+    }
+}
+
+/// Install a suffix re-plan: replace every surviving queue and the
+/// window ends of pending jobs.
+fn adopt_plan(
+    graph: &TaskGraph,
+    plan: &lamps_sched::PartialSchedule,
+    level: OperatingPoint,
+    finished: &[bool],
+    running_est: &[Option<(TaskId, f64)>],
+    procs: &mut [ProcState],
+    target_finish_s: &mut [f64],
+) {
+    for (p, ps) in procs.iter_mut().enumerate() {
+        ps.queue.clear();
+        for &t in plan.tasks_on(ProcId(p as u32)) {
+            ps.queue.push_back(t);
+        }
+    }
+    for t in graph.tasks() {
+        let in_flight = running_est.iter().flatten().any(|&(rt, _)| rt == t);
+        if !finished[t.index()] && !in_flight {
+            target_finish_s[t.index()] = plan.finish(t) as f64 / level.freq;
+        }
+    }
+}
+
+/// Pending jobs whose re-planned processor differs from the static
+/// plan's (the fail-stop migration metric).
+fn migrated_vs_static(
+    graph: &TaskGraph,
+    plan: &lamps_sched::PartialSchedule,
+    schedule: &Schedule,
+    finished: &[bool],
+    running_est: &[Option<(TaskId, f64)>],
+) -> usize {
+    let mut migrated = 0usize;
+    for t in graph.tasks() {
+        let in_flight = running_est.iter().flatten().any(|&(rt, _)| rt == t);
+        if !finished[t.index()] && !in_flight && plan.proc(t) != schedule.proc(t) {
+            migrated += 1;
+        }
+    }
+    migrated
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultIntensity;
+    use lamps_kpn::PeriodicSet;
+
+    fn cfg() -> SchedulerConfig {
+        SchedulerConfig::paper()
+    }
+
+    /// A harmonic three-process pipeline over a 62 M-cycle hyperperiod:
+    /// ctl runs twice per frame, est and log once. Utilization is high
+    /// enough (~0.8) that the plan runs well above the critical level,
+    /// leaving DVS headroom for slack reclamation.
+    fn demo_dag() -> PeriodicDag {
+        let mut s = PeriodicSet::new();
+        let ctl = s.add("ctl", 13_000_000, 31_000_000);
+        let est = s.add("est", 18_000_000, 62_000_000);
+        let log = s.add("log", 6_000_000, 62_000_000);
+        s.depends(ctl, est).unwrap();
+        s.depends(est, log).unwrap();
+        s.to_frame_dag()
+    }
+
+    /// A wider frame with parallelism, to exercise multiprocessor plans.
+    fn wide_dag() -> PeriodicDag {
+        let mut s = PeriodicSet::new();
+        let src = s.add("src", 8_000_000, 31_000_000);
+        for i in 0..4 {
+            let w = s.add(format!("w{i}"), 11_000_000, 62_000_000);
+            s.depends(src, w).unwrap();
+        }
+        s.to_frame_dag()
+    }
+
+    fn met(f: &FrameRecord) -> bool {
+        matches!(f.outcome, Some(RunOutcome::MetDeadline))
+    }
+
+    #[test]
+    fn no_slack_stream_reproduces_the_static_plan() {
+        let dag = demo_dag();
+        let cfg = cfg();
+        let stream = OnlineStream::periodic(&dag, 4, 1.0, cfg.max_frequency());
+        for ocfg in [OnlineConfig::reclaiming(), OnlineConfig::static_plan()] {
+            let r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+            assert_eq!(r.admitted, 4, "worst-case on-time stream admits all");
+            assert_eq!(r.deferred + r.shed, 0);
+            assert_eq!(r.resolves, 0, "WCET execution leaves no slack to reclaim");
+            assert_eq!(r.dvs_switches, 0);
+            for f in &r.frames {
+                assert!(met(f), "frame {} missed", f.frame);
+                assert_eq!(f.stretched, 0);
+                assert!(f.recoveries.is_empty() && f.injected.is_empty());
+                for rec in f.tasks.iter().flatten() {
+                    assert_eq!(
+                        rec.vdd.to_bits(),
+                        r.plan_vdd.to_bits(),
+                        "job {} must run at the plan level",
+                        rec.task
+                    );
+                }
+            }
+            // Identical frames bill identically (up to window-chain fp).
+            let e0 = r.frames[0].energy_j;
+            for f in &r.frames {
+                assert!(
+                    (f.energy_j - e0).abs() <= e0 * 1e-9,
+                    "{} vs {e0}",
+                    f.energy_j
+                );
+            }
+        }
+        // Reclaim on vs off is byte-identical with zero slack.
+        let on = run_online(&dag, &stream, &OnlineConfig::reclaiming(), &cfg).unwrap();
+        let off = run_online(&dag, &stream, &OnlineConfig::static_plan(), &cfg).unwrap();
+        assert_eq!(on.total_energy().to_bits(), off.total_energy().to_bits());
+        for (a, b) in on.frames.iter().zip(&off.frames) {
+            assert_eq!(a.tasks, b.tasks);
+        }
+    }
+
+    #[test]
+    fn under_wcet_stream_reclaims_energy() {
+        for dag in [demo_dag(), wide_dag()] {
+            let cfg = cfg();
+            let stream =
+                OnlineStream::synthesize(&dag, 1, 6, 1.0, 0.45, 0.7, None, cfg.max_frequency(), 17);
+            let on = run_online(&dag, &stream, &OnlineConfig::reclaiming(), &cfg).unwrap();
+            let off = run_online(&dag, &stream, &OnlineConfig::static_plan(), &cfg).unwrap();
+            assert!(on.resolves > 0, "early completions must trigger re-solves");
+            assert!(
+                on.total_energy() < off.total_energy(),
+                "reclamation must save energy: {} vs {}",
+                on.total_energy(),
+                off.total_energy()
+            );
+            assert!(
+                on.frames.iter().all(met),
+                "reclamation never breaks deadlines"
+            );
+            assert!(off.frames.iter().all(met));
+            assert!(
+                on.key_cache_hits > 0,
+                "identical frame shapes must hit the key memo"
+            );
+        }
+    }
+
+    #[test]
+    fn overload_defers_then_sheds_with_arrival_anchored_misses() {
+        let dag = demo_dag();
+        let cfg = cfg();
+        // Frames arrive at 40% of the hyperperiod: the platform cannot
+        // keep up, the backlog fills, and admission starts shedding.
+        let stream = OnlineStream::periodic(&dag, 8, 0.4, cfg.max_frequency());
+        let ocfg = OnlineConfig {
+            max_backlog: 1,
+            reclaim: false,
+            policy: RecoveryPolicy::Absorb,
+            ..OnlineConfig::static_plan()
+        };
+        let r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        assert_eq!(r.admitted + r.deferred + r.shed, 8);
+        assert!(r.deferred > 0, "overload must defer: {r:?}");
+        assert!(r.shed > 0, "a full backlog must shed: {r:?}");
+        assert!(
+            r.frame_misses > 0,
+            "arrival-anchored deadlines must surface deferral as lateness"
+        );
+        // Executed frames start in order and windows never overlap.
+        let starts: Vec<f64> = r
+            .frames
+            .iter()
+            .filter_map(|f| f.verdict.start_s())
+            .collect();
+        assert!(starts.windows(2).all(|w| w[0] <= w[1]));
+        let mut prev_end = 0.0f64;
+        for f in &r.frames {
+            if let Some(s) = f.verdict.start_s() {
+                assert!(s >= prev_end - 1e-12, "window overlap at frame {}", f.frame);
+                assert!(f.window_end_s >= s);
+                prev_end = f.window_end_s;
+            } else {
+                assert!(f.outcome.is_none());
+                assert!(f.tasks.iter().all(|t| t.is_none()));
+                assert_eq!(f.energy_j, 0.0, "a shed frame consumes nothing");
+            }
+        }
+        // Misses carry sorted, positive lateness.
+        for f in &r.frames {
+            if let Some(RunOutcome::DeadlineMiss { lateness }) = &f.outcome {
+                assert!(!lateness.is_empty());
+                assert!(lateness.windows(2).all(|w| w[0].task.0 < w[1].task.0));
+                assert!(lateness.iter().all(|l| l.lateness_s > 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn frame_budget_degrades_to_stretch_only_dispatch() {
+        let dag = demo_dag();
+        let cfg = cfg();
+        let stream =
+            OnlineStream::synthesize(&dag, 1, 5, 1.0, 0.45, 0.7, None, cfg.max_frequency(), 23);
+        let unlimited = run_online(&dag, &stream, &OnlineConfig::reclaiming(), &cfg).unwrap();
+        assert!(unlimited.resolves > 0);
+
+        // A zero budget forbids reclaim re-solves entirely.
+        let zero = OnlineConfig {
+            frame_budget: SolveBudget::steps(0),
+            ..OnlineConfig::reclaiming()
+        };
+        let rz = run_online(&dag, &stream, &zero, &cfg).unwrap();
+        assert_eq!(rz.resolves, 0);
+        assert!(
+            rz.degraded_frames > 0,
+            "an exhausted budget must be flagged"
+        );
+        assert!(rz.frames.iter().all(met), "degradation must stay safe");
+
+        // A one-step budget caps each frame's sweep at one candidate.
+        let one = OnlineConfig {
+            frame_budget: SolveBudget::steps(1),
+            ..OnlineConfig::reclaiming()
+        };
+        let r1 = run_online(&dag, &stream, &one, &cfg).unwrap();
+        for f in &r1.frames {
+            assert!(f.resolve_steps <= 1, "frame {} overspent", f.frame);
+        }
+        assert!(r1.frames.iter().all(met));
+
+        // A cancelled token cuts reclamation over immediately.
+        let token = lamps_core::CancelToken::new();
+        token.cancel();
+        let cancelled = OnlineConfig {
+            frame_budget: SolveBudget::unlimited().with_token(token),
+            ..OnlineConfig::reclaiming()
+        };
+        let rc = run_online(&dag, &stream, &cancelled, &cfg).unwrap();
+        assert_eq!(rc.resolves, 0);
+        assert!(rc.degraded_frames > 0);
+    }
+
+    #[test]
+    fn faulty_frames_never_panic_and_reports_are_deterministic() {
+        let cfg = cfg();
+        for (seed, dag) in [(3u64, demo_dag()), (7, wide_dag())] {
+            for intensity in [
+                FaultIntensity::mild(),
+                FaultIntensity::moderate(),
+                FaultIntensity::severe(),
+            ] {
+                for policy in [RecoveryPolicy::Absorb, RecoveryPolicy::Boost] {
+                    for reclaim in [false, true] {
+                        let ocfg = OnlineConfig {
+                            policy,
+                            reclaim,
+                            switch: DvsSwitchCost::typical(),
+                            ..OnlineConfig::reclaiming()
+                        };
+                        // n_procs for fault drawing: solve the plan once.
+                        let dv =
+                            DeadlineVector::from_kpn(dag.deadlines.clone(), dag.hyperperiod_cycles);
+                        let sol =
+                            solve_with_deadlines(ocfg.strategy, &dag.graph, &dv, &cfg).unwrap();
+                        let stream = OnlineStream::synthesize(
+                            &dag,
+                            sol.n_procs,
+                            4,
+                            0.8,
+                            0.5,
+                            0.9,
+                            Some(&intensity),
+                            cfg.max_frequency(),
+                            seed,
+                        );
+                        let run = || run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+                        let (a, b) = (run(), run());
+                        assert!(a.total_energy().is_finite() && a.total_energy() > 0.0);
+                        assert_eq!(a.frames.len(), 4);
+                        for f in &a.frames {
+                            if f.verdict.start_s().is_some() {
+                                assert!(f.outcome.is_some());
+                                assert!(f.makespan_s.is_finite());
+                            }
+                        }
+                        assert_eq!(a.total_energy().to_bits(), b.total_energy().to_bits());
+                        for (fa, fb) in a.frames.iter().zip(&b.frames) {
+                            assert_eq!(fa.tasks, fb.tasks);
+                            assert_eq!(fa.injected, fb.injected);
+                            assert_eq!(fa.recoveries, fb.recoveries);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_inputs_rejected_with_typed_errors() {
+        let dag = demo_dag();
+        let cfg = cfg();
+        let ocfg = OnlineConfig::reclaiming();
+        let good = OnlineStream::periodic(&dag, 2, 1.0, cfg.max_frequency());
+
+        let mut unsorted = good.clone();
+        unsorted.frames[1].arrival_s = -1.0;
+        assert!(matches!(
+            run_online(&dag, &unsorted, &ocfg, &cfg),
+            Err(SimError::BadStream(_))
+        ));
+        let mut backwards = good.clone();
+        backwards.frames[0].arrival_s = 1.0;
+        backwards.frames[1].arrival_s = 0.5;
+        assert!(matches!(
+            run_online(&dag, &backwards, &ocfg, &cfg),
+            Err(SimError::BadStream(_))
+        ));
+        let mut short = good.clone();
+        short.frames[0].actual.pop();
+        assert!(matches!(
+            run_online(&dag, &short, &ocfg, &cfg),
+            Err(SimError::WrongActualLength { .. })
+        ));
+        let mut over = good.clone();
+        over.frames[0].actual[0] += 1;
+        assert!(matches!(
+            run_online(&dag, &over, &ocfg, &cfg),
+            Err(SimError::ActualExceedsWcet { .. })
+        ));
+        let mut bad_fault = good.clone();
+        bad_fault.frames[0].faults.fail_stop = Some(crate::faults::FailStop {
+            proc: ProcId(99),
+            at_s: 0.001,
+        });
+        assert!(matches!(
+            run_online(&dag, &bad_fault, &ocfg, &cfg),
+            Err(SimError::BadFaultPlan(_))
+        ));
+    }
+}

@@ -39,11 +39,11 @@
 use crate::error::SimError;
 use crate::faults::{DvsFaultKind, FaultPlan, InjectedEvent};
 use crate::runner::{account_idle, DvsSwitchCost};
+use lamps_core::suffix::{resolve_suffix_fresh, SuffixContext};
 use lamps_core::{SchedulerConfig, Solution};
 use lamps_energy::EnergyBreakdown;
 use lamps_power::OperatingPoint;
-use lamps_sched::partial::{reschedule_remaining, ProcAvailability};
-use lamps_sched::{latest_finish_times, ProcId, Schedule};
+use lamps_sched::{ProcId, Schedule};
 use lamps_taskgraph::{TaskGraph, TaskId};
 use std::collections::VecDeque;
 
@@ -126,9 +126,20 @@ pub enum RunOutcome {
     MetDeadline,
     /// At least one task finished late (or never ran).
     DeadlineMiss {
-        /// Every late task with its lateness, ascending by task id.
+        /// Every late task with its lateness, in the canonical order of
+        /// [`sort_lateness`] (ascending by task id), so reports diff
+        /// cleanly across runs.
         lateness: Vec<TaskLateness>,
     },
+}
+
+/// Normalize a lateness report into its canonical order: ascending by
+/// task id. Every `DeadlineMiss` this crate emits — from
+/// [`run_with_faults`] and from the online runtime, which accumulates
+/// misses in retirement order — passes through here, so two runs of the
+/// same scenario produce byte-identical reports.
+pub fn sort_lateness(lateness: &mut [TaskLateness]) {
+    lateness.sort_by_key(|l| l.task.0);
 }
 
 impl RunOutcome {
@@ -566,6 +577,7 @@ pub fn run_with_faults(
     let outcome = if lateness.is_empty() {
         RunOutcome::MetDeadline
     } else {
+        sort_lateness(&mut lateness);
         RunOutcome::DeadlineMiss { lateness }
     };
 
@@ -609,10 +621,11 @@ struct Replan {
     migrated: usize,
 }
 
-/// Re-list-schedule the pending remainder on the survivors, in the
-/// cycle domain of each candidate level, picking the lowest level whose
-/// re-planned makespan meets the deadline (the fastest if none does).
-/// Returns `None` when nothing is pending or no processor survives.
+/// Re-list-schedule the pending remainder on the survivors via the
+/// shared suffix re-solve (`lamps_core::suffix`), in the cycle domain of
+/// each candidate level, picking the lowest level whose re-planned
+/// makespan meets the deadline (the fastest if none does). Returns
+/// `None` when nothing is pending or no processor survives.
 #[allow(clippy::too_many_arguments)]
 fn replan(
     graph: &TaskGraph,
@@ -633,50 +646,31 @@ fn replan(
     for est in running_est.iter().flatten() {
         done[est.0.index()] = true;
     }
-    if done.iter().all(|&d| d) || dead.iter().all(|&d| d) {
-        return None;
-    }
 
+    let mut finish_s = vec![0.0f64; n];
+    for t in graph.tasks() {
+        if finished[t.index()] {
+            finish_s[t.index()] = records[t.index()]
+                .as_ref()
+                .expect("finished tasks recorded")
+                .finish_s;
+        }
+    }
     let candidates: Vec<OperatingPoint> = match policy {
         RecoveryPolicy::Absorb => vec![base_level],
         RecoveryPolicy::Boost => cfg.levels.at_least(base_level.freq).copied().collect(),
     };
-    let mut best = None;
-    for lvl in &candidates {
-        let f = lvl.freq;
-        let to_cycles = |s: f64| -> u64 { (s * f).ceil().max(0.0) as u64 };
-        let mut finish_done = vec![0u64; n];
-        for t in graph.tasks() {
-            if finished[t.index()] {
-                let r = records[t.index()]
-                    .as_ref()
-                    .expect("finished tasks recorded");
-                finish_done[t.index()] = to_cycles(r.finish_s);
-            }
-        }
-        let mut avail = vec![ProcAvailability::Failed; n_procs];
-        for (p, is_dead) in dead.iter().enumerate() {
-            if *is_dead {
-                continue;
-            }
-            avail[p] = match running_est[p] {
-                Some((t, est)) => {
-                    finish_done[t.index()] = to_cycles(est);
-                    ProcAvailability::FreeAt(to_cycles(est))
-                }
-                None => ProcAvailability::FreeAt(to_cycles(now)),
-            };
-        }
-        let keys = latest_finish_times(graph, (deadline_s * f).floor() as u64);
-        let ps = reschedule_remaining(graph, &done, &finish_done, &avail, &keys);
-        let makespan_s = ps.makespan_cycles() as f64 / f;
-        let feasible = makespan_s <= deadline_s * (1.0 + 1e-9);
-        best = Some((*lvl, ps));
-        if feasible {
-            break;
-        }
-    }
-    let (level, ps) = best.expect("at least one candidate level");
+    let ctx = SuffixContext {
+        finished,
+        finish_s: &finish_s,
+        running: running_est,
+        dead,
+        now_s: now,
+        deadline_s,
+        own_due_s: None,
+    };
+    let sp = resolve_suffix_fresh(graph, &ctx, &candidates, None)?;
+    let (level, ps) = (sp.level, sp.plan);
 
     let mut queues: Vec<Vec<TaskId>> = vec![Vec::new(); n_procs];
     let mut target_finish_s = vec![None; n];
@@ -1016,6 +1010,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn lateness_reports_are_canonically_sorted() {
+        // The normalizer pins the canonical order on shuffled input...
+        let mut shuffled = vec![
+            TaskLateness {
+                task: TaskId(7),
+                lateness_s: 0.5,
+            },
+            TaskLateness {
+                task: TaskId(1),
+                lateness_s: f64::INFINITY,
+            },
+            TaskLateness {
+                task: TaskId(3),
+                lateness_s: 0.1,
+            },
+        ];
+        sort_lateness(&mut shuffled);
+        let ids: Vec<u32> = shuffled.iter().map(|l| l.task.0).collect();
+        assert_eq!(ids, vec![1, 3, 7]);
+        // ...and a real miss report comes out already in that order.
+        let g = chain(4, 3_100_000);
+        let (sol, d) = solved(&g, 1.5);
+        let plan = FaultPlan {
+            fail_stop: Some(FailStop {
+                proc: ProcId(0),
+                at_s: sol.makespan_s * 0.5,
+            }),
+            ..FaultPlan::none()
+        };
+        let r = run_with_faults(
+            &g,
+            &sol,
+            g.weights(),
+            &plan,
+            d,
+            RecoveryPolicy::Boost,
+            &cfg(),
+            &DvsSwitchCost::free(),
+        )
+        .unwrap();
+        let RunOutcome::DeadlineMiss { lateness } = &r.outcome else {
+            panic!("must miss with the only processor dead");
+        };
+        assert!(
+            lateness.windows(2).all(|w| w[0].task.0 < w[1].task.0),
+            "lateness must ascend by task id: {lateness:?}"
+        );
     }
 
     #[test]

@@ -49,6 +49,53 @@ pub struct Case {
     /// deadline)`. The index is reduced modulo the solution's processor
     /// count at execution time.
     pub fail_stop: Option<(u32, f64)>,
+    /// Online periodic set as `(wcet, period)` pairs \[cycles\]. When
+    /// non-empty the case is also an *online scenario*: the fuzzer runs
+    /// its hyperperiod frame stream through the online runtime and
+    /// validates the full trace.
+    pub online_tasks: Vec<(u64, u64)>,
+    /// Harmonic precedences between online tasks as
+    /// `(producer, consumer)` index pairs; producer < consumer so the
+    /// set stays acyclic by construction.
+    pub online_deps: Vec<(u32, u32)>,
+    /// Frames in the online stream (0 without an online dimension).
+    pub online_frames: u32,
+    /// Inter-arrival time as a fraction of the hyperperiod (< 1 models
+    /// overload).
+    pub online_arrival: f64,
+    /// Per-frame reclaim re-solve step budget (`None` = unlimited).
+    pub online_budget: Option<u64>,
+}
+
+impl Default for Case {
+    fn default() -> Self {
+        Case {
+            weights: Vec::new(),
+            edges: Vec::new(),
+            deadline_factor: 0.0,
+            seed: 0,
+            origin: String::from("corpus"),
+            overruns: Vec::new(),
+            fail_stop: None,
+            online_tasks: Vec::new(),
+            online_deps: Vec::new(),
+            online_frames: 0,
+            online_arrival: 1.0,
+            online_budget: None,
+        }
+    }
+}
+
+/// How many jobs an online set may unroll to; keeps hand-edited corpus
+/// entries from blowing up the hyperperiod frame.
+const MAX_ONLINE_JOBS: u64 = 512;
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 impl Case {
@@ -91,6 +138,19 @@ impl Case {
         if let Some((p, frac)) = self.fail_stop {
             s.push_str(&format!("fault_fail_stop {p} {frac}\n"));
         }
+        for (w, p) in &self.online_tasks {
+            s.push_str(&format!("online_task {w} {p}\n"));
+        }
+        for (a, b) in &self.online_deps {
+            s.push_str(&format!("online_dep {a} {b}\n"));
+        }
+        if !self.online_tasks.is_empty() {
+            s.push_str(&format!("online_frames {}\n", self.online_frames));
+            s.push_str(&format!("online_arrival {}\n", self.online_arrival));
+            if let Some(steps) = self.online_budget {
+                s.push_str(&format!("online_budget {steps}\n"));
+            }
+        }
         s
     }
 
@@ -99,18 +159,72 @@ impl Case {
         !self.overruns.is_empty() || self.fail_stop.is_some()
     }
 
+    /// Whether this case carries an online periodic dimension.
+    pub fn has_online(&self) -> bool {
+        !self.online_tasks.is_empty()
+    }
+
+    /// Build the online set's hyperperiod DAG. `None` when the case has
+    /// no online dimension; `Some(Err)` when the set is malformed (the
+    /// checks mirror [`lamps_kpn::PeriodicSet`]'s panics so a corrupt
+    /// corpus entry fails loudly instead of aborting).
+    pub fn online_dag(&self) -> Option<Result<lamps_kpn::PeriodicDag, String>> {
+        if self.online_tasks.is_empty() {
+            return None;
+        }
+        Some(self.build_online_dag())
+    }
+
+    fn build_online_dag(&self) -> Result<lamps_kpn::PeriodicDag, String> {
+        let n = self.online_tasks.len();
+        let mut h: u64 = 1;
+        for (i, &(w, p)) in self.online_tasks.iter().enumerate() {
+            if p == 0 {
+                return Err(format!("online task {i}: period must be positive"));
+            }
+            if w > p {
+                return Err(format!("online task {i}: wcet {w} exceeds period {p}"));
+            }
+            let g = gcd(h, p);
+            h = (h / g)
+                .checked_mul(p)
+                .ok_or_else(|| format!("online task {i}: hyperperiod overflows"))?;
+        }
+        let jobs: u64 = self.online_tasks.iter().map(|&(_, p)| h / p).sum();
+        if jobs > MAX_ONLINE_JOBS {
+            return Err(format!(
+                "online set unrolls to {jobs} jobs (cap {MAX_ONLINE_JOBS})"
+            ));
+        }
+        let mut s = lamps_kpn::PeriodicSet::new();
+        for (i, &(w, p)) in self.online_tasks.iter().enumerate() {
+            s.add(format!("t{i}"), w, p);
+        }
+        for &(a, b) in &self.online_deps {
+            let (ai, bi) = (a as usize, b as usize);
+            if ai >= n || bi >= n {
+                return Err(format!("online dep ({a}, {b}): task index out of range"));
+            }
+            if ai >= bi {
+                return Err(format!(
+                    "online dep ({a}, {b}): producer must precede consumer"
+                ));
+            }
+            let (pa, pb) = (self.online_tasks[ai].1, self.online_tasks[bi].1);
+            if pa % pb != 0 && pb % pa != 0 {
+                return Err(format!(
+                    "online dep ({a}, {b}): periods {pa} and {pb} are not harmonic"
+                ));
+            }
+            s.depends(ai, bi).map_err(|e| e.to_string())?;
+        }
+        Ok(s.to_frame_dag())
+    }
+
     /// Parse the `.case` text format. Unknown keys are rejected so typos
     /// in hand-written corpus entries fail loudly.
     pub fn parse(text: &str) -> Result<Case, String> {
-        let mut case = Case {
-            weights: Vec::new(),
-            edges: Vec::new(),
-            deadline_factor: 0.0,
-            seed: 0,
-            origin: String::from("corpus"),
-            overruns: Vec::new(),
-            fail_stop: None,
-        };
+        let mut case = Case::default();
         let mut saw_factor = false;
         for (ln, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -172,6 +286,44 @@ impl Case {
                         _ => return Err(format!("line {}: bad fault_fail_stop", ln + 1)),
                     }
                 }
+                "online_task" => {
+                    let w: Option<u64> = parts.next().and_then(|v| v.parse().ok());
+                    let p: Option<u64> = parts.next().and_then(|v| v.parse().ok());
+                    match (w, p) {
+                        (Some(w), Some(p)) if p > 0 && w <= p => case.online_tasks.push((w, p)),
+                        _ => return Err(format!("line {}: bad online_task", ln + 1)),
+                    }
+                }
+                "online_dep" => {
+                    let a: Option<u32> = parts.next().and_then(|v| v.parse().ok());
+                    let b: Option<u32> = parts.next().and_then(|v| v.parse().ok());
+                    match (a, b) {
+                        (Some(a), Some(b)) if a < b => case.online_deps.push((a, b)),
+                        _ => return Err(format!("line {}: bad online_dep", ln + 1)),
+                    }
+                }
+                "online_frames" => {
+                    case.online_frames = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&f| (1..=256).contains(&f))
+                        .ok_or_else(|| format!("line {}: bad online_frames", ln + 1))?;
+                }
+                "online_arrival" => {
+                    case.online_arrival = parts
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|f: &f64| f.is_finite() && *f > 0.0 && *f <= 100.0)
+                        .ok_or_else(|| format!("line {}: bad online_arrival", ln + 1))?;
+                }
+                "online_budget" => {
+                    case.online_budget = Some(
+                        parts
+                            .next()
+                            .and_then(|v| v.parse().ok())
+                            .ok_or_else(|| format!("line {}: bad online_budget", ln + 1))?,
+                    );
+                }
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }
         }
@@ -180,6 +332,13 @@ impl Case {
         }
         if !saw_factor || !case.deadline_factor.is_finite() || case.deadline_factor <= 0.0 {
             return Err("case needs a positive finite deadline_factor".to_string());
+        }
+        if case.online_tasks.is_empty() {
+            if !case.online_deps.is_empty() || case.online_frames != 0 {
+                return Err("online keys without online_task lines".to_string());
+            }
+        } else if case.online_frames == 0 {
+            return Err("an online case needs online_frames".to_string());
         }
         Ok(case)
     }
@@ -196,8 +355,7 @@ mod tests {
             deadline_factor: 2.5,
             seed: 42,
             origin: "dag".to_string(),
-            overruns: Vec::new(),
-            fail_stop: None,
+            ..Case::default()
         }
     }
 
@@ -227,6 +385,46 @@ mod tests {
         assert!(Case::parse(&format!("{base}fault_fail_stop 0 -0.1\n")).is_err());
         assert!(Case::parse(&format!("{base}fault_fail_stop x 0.5\n")).is_err());
         assert!(Case::parse(&format!("{base}fault_overrun 1 1.5\n")).is_ok());
+    }
+
+    #[test]
+    fn online_scenario_roundtrips() {
+        let mut c = sample();
+        c.online_tasks = vec![(2_000_000, 31_000_000), (5_000_000, 62_000_000)];
+        c.online_deps = vec![(0, 1)];
+        c.online_frames = 3;
+        c.online_arrival = 0.5;
+        c.online_budget = Some(2);
+        assert!(c.has_online());
+        let parsed = Case::parse(&c.serialize()).unwrap();
+        assert_eq!(parsed, c);
+        let dag = parsed.online_dag().unwrap().unwrap();
+        assert_eq!(dag.hyperperiod_cycles, 62_000_000);
+        assert_eq!(dag.graph.len(), 3); // two ctl jobs + one est job
+    }
+
+    #[test]
+    fn bad_online_lines_rejected() {
+        let base = "deadline_factor 2\nweights 1 1\n";
+        // wcet above the period
+        assert!(Case::parse(&format!("{base}online_task 5 2\nonline_frames 2\n")).is_err());
+        // zero period
+        assert!(Case::parse(&format!("{base}online_task 0 0\nonline_frames 2\n")).is_err());
+        // backwards dependency (would be cyclic at the job level)
+        assert!(Case::parse(&format!(
+            "{base}online_task 1 4\nonline_task 1 8\nonline_dep 1 0\nonline_frames 2\n"
+        ))
+        .is_err());
+        // online keys without tasks
+        assert!(Case::parse(&format!("{base}online_frames 2\n")).is_err());
+        // an online case without a frame count
+        assert!(Case::parse(&format!("{base}online_task 1 4\n")).is_err());
+        // non-harmonic periods parse but fail to build
+        let c = Case::parse(&format!(
+            "{base}online_task 1 6\nonline_task 1 10\nonline_dep 0 1\nonline_frames 2\n"
+        ))
+        .unwrap();
+        assert!(c.online_dag().unwrap().is_err());
     }
 
     #[test]

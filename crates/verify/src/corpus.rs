@@ -60,6 +60,7 @@ mod tests {
             origin: "shrunk-dag".to_string(),
             overruns: Vec::new(),
             fail_stop: None,
+            ..Case::default()
         };
         assert_eq!(corpus_file_name(&case), "shrunk-dag-seed99.case");
     }

@@ -19,19 +19,30 @@
 //!   fail-stop) with both recovery policies — the fault-tolerant
 //!   runtime must never panic, and every recovered trace must pass the
 //!   independent runtime validator and energy re-bill
-//!   ([`crate::runtime::check_run`]).
+//!   ([`crate::runtime::check_run`]);
+//! * the online dimension: cases carrying a periodic set run their
+//!   frame stream through the online runtime (fault preset drawn from
+//!   the seed, overloaded arrivals, tight budgets) under `catch_unwind`
+//!   with reclamation on and off — every trace must pass
+//!   [`crate::runtime::check_online`], a worst-case on-time stream must
+//!   make reclamation a bitwise no-op, and the incremental
+//!   [`SuffixSolver`] must match the from-scratch
+//!   [`resolve_suffix_fresh`] reference bit for bit.
 //!
 //! A failing case is greedily shrunk (drop tasks, drop edges, halve
-//! weights) while it keeps failing, and returned for the caller to write
-//! into the regression corpus.
+//! weights, thin the fault and online dimensions) while it keeps
+//! failing, and returned for the caller to write into the regression
+//! corpus.
 
 use crate::case::Case;
 use crate::oracle::{exhaustive_optimum, OracleConfig, OracleError};
 use crate::runtime::check_run;
 use crate::validator::{check_solution, rebill};
+use lamps_core::multi::{solve_with_deadlines, DeadlineVector};
+use lamps_core::suffix::{resolve_suffix_fresh, SuffixContext, SuffixSolver};
 use lamps_core::{
     solve, solve_batch, solve_with_cache_unpruned, BatchJob, ScheduleCache, SchedulerConfig,
-    Solution, SolveError, Strategy,
+    Solution, SolveBudget, SolveError, Strategy,
 };
 use lamps_energy::{evaluate, evaluate_summary};
 use lamps_kpn::{unroll, Network, UnrollConfig};
@@ -232,6 +243,15 @@ pub fn check_case(
         }
     }
 
+    // Online dimension: the periodic frame stream through the online
+    // runtime, the trace through its validator, the incremental suffix
+    // solver against the from-scratch reference.
+    match case.online_dag() {
+        None => {}
+        Some(Err(e)) => violations.push(format!("online set does not build: {e}")),
+        Some(Ok(dag)) => online_battery(case, &dag, scfg, &mut violations),
+    }
+
     if violations.is_empty() {
         Ok(stats)
     } else {
@@ -294,6 +314,226 @@ fn fault_battery(
                 for rv in check_run(graph, sol, &actual, &plan, &report, deadline_s, scfg, &sw) {
                     violations.push(format!("fault trace ({policy:?}): {rv}"));
                 }
+            }
+        }
+    }
+}
+
+/// Run one online case through the runtime under both configurations
+/// (reclaiming and static), validate every trace with
+/// [`crate::runtime::check_online`], hold the no-slack bitwise
+/// reproduction invariant, and differentiate the incremental
+/// [`SuffixSolver`] against [`resolve_suffix_fresh`].
+fn online_battery(
+    case: &Case,
+    dag: &lamps_kpn::PeriodicDag,
+    scfg: &SchedulerConfig,
+    violations: &mut Vec<String>,
+) {
+    use lamps_sim::{run_online, FaultIntensity, OnlineConfig, OnlineStream, SimError};
+
+    let f_max = scfg.max_frequency();
+    let dv = DeadlineVector::from_kpn(dag.deadlines.clone(), dag.hyperperiod_cycles);
+    let sol = match solve_with_deadlines(Strategy::LampsPs, &dag.graph, &dv, scfg) {
+        Ok(s) => s,
+        Err(_) => {
+            // The frame is infeasible at every level: the runtime must
+            // say so with a typed error, not panic or mis-run.
+            let stream = OnlineStream::periodic(dag, 1, 1.0, f_max);
+            let ocfg = OnlineConfig::reclaiming();
+            match std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_online(dag, &stream, &ocfg, scfg)
+            })) {
+                Err(_) => violations.push("online runtime panicked on an infeasible set".into()),
+                Ok(Err(SimError::PlanFailed(_))) => {}
+                Ok(r) => violations.push(format!(
+                    "online runtime did not report PlanFailed on an infeasible set: {:?}",
+                    r.map(|_| ())
+                )),
+            }
+            return;
+        }
+    };
+
+    let budget = match case.online_budget {
+        Some(steps) => SolveBudget::steps(steps),
+        None => SolveBudget::unlimited(),
+    };
+    let intensity = match case.seed % 4 {
+        0 => None,
+        1 => Some(FaultIntensity::mild()),
+        2 => Some(FaultIntensity::moderate()),
+        _ => Some(FaultIntensity::severe()),
+    };
+    let stream = OnlineStream::synthesize(
+        dag,
+        sol.n_procs,
+        case.online_frames as usize,
+        case.online_arrival,
+        0.5,
+        0.95,
+        intensity.as_ref(),
+        f_max,
+        case.seed,
+    );
+    let configs = [
+        OnlineConfig {
+            frame_budget: budget.clone(),
+            switch: DvsSwitchCost::typical(),
+            ..OnlineConfig::reclaiming()
+        },
+        OnlineConfig {
+            switch: DvsSwitchCost::typical(),
+            ..OnlineConfig::static_plan()
+        },
+    ];
+    for ocfg in &configs {
+        let label = if ocfg.reclaim { "reclaim" } else { "static" };
+        match std::panic::catch_unwind(AssertUnwindSafe(|| run_online(dag, &stream, ocfg, scfg))) {
+            Err(_) => violations.push(format!(
+                "online runtime panicked ({label}, {} frames, arrival {})",
+                case.online_frames, case.online_arrival
+            )),
+            Ok(Err(e)) => violations.push(format!(
+                "online runtime rejected a well-formed stream ({label}): {e}"
+            )),
+            Ok(Ok(report)) => {
+                for rv in crate::runtime::check_online(dag, &stream, ocfg, scfg, &report) {
+                    violations.push(format!("online trace ({label}): {rv}"));
+                }
+            }
+        }
+    }
+
+    // No-slack reproduction: a worst-case on-time stream must make
+    // reclamation a bitwise no-op.
+    let ns = OnlineStream::periodic(dag, 2, case.online_arrival.max(1.0), f_max);
+    let on = run_online(dag, &ns, &OnlineConfig::reclaiming(), scfg);
+    let off = run_online(dag, &ns, &OnlineConfig::static_plan(), scfg);
+    match (on, off) {
+        (Ok(a), Ok(b)) => {
+            if a.resolves != 0 {
+                violations.push(format!(
+                    "no-slack stream triggered {} reclaim re-solves",
+                    a.resolves
+                ));
+            }
+            if a.total_energy().to_bits() != b.total_energy().to_bits() {
+                violations.push(format!(
+                    "no-slack stream: reclaim on {} J differs from off {} J",
+                    a.total_energy(),
+                    b.total_energy()
+                ));
+            }
+            for (fa, fb) in a.frames.iter().zip(&b.frames) {
+                if fa.tasks != fb.tasks {
+                    violations.push(format!(
+                        "no-slack stream: frame {} records differ between reclaim on/off",
+                        fa.frame
+                    ));
+                }
+            }
+        }
+        (a, b) => violations.push(format!(
+            "no-slack stream failed to run: on {:?}, off {:?}",
+            a.map(|_| ()),
+            b.map(|_| ())
+        )),
+    }
+
+    suffix_differential(dag, &sol, scfg, violations);
+}
+
+/// Differentiate the arena-recycling [`SuffixSolver`] against the
+/// from-scratch [`resolve_suffix_fresh`] reference on mid-frame states
+/// of the case's static plan: same feasibility, same level bits, same
+/// pending assignment and finish times, same step counts — with and
+/// without a candidate cap, reusing one solver so the key memo is
+/// exercised.
+fn suffix_differential(
+    dag: &lamps_kpn::PeriodicDag,
+    sol: &Solution,
+    scfg: &SchedulerConfig,
+    violations: &mut Vec<String>,
+) {
+    let graph = &dag.graph;
+    let n = graph.len();
+    let f_max = scfg.max_frequency();
+    let horizon_s = dag.hyperperiod_cycles as f64 / f_max;
+    let due_s: Vec<f64> = dag
+        .deadlines
+        .iter()
+        .map(|d| d.unwrap_or(dag.hyperperiod_cycles) as f64 / f_max)
+        .collect();
+    let mut order: Vec<TaskId> = graph.tasks().collect();
+    order.sort_by_key(|&t| (sol.schedule.finish(t), t.0));
+    let candidates: Vec<_> = scfg.levels.points().to_vec();
+    let running = vec![None; sol.n_procs];
+    let dead = vec![false; sol.n_procs];
+    let mut solver = SuffixSolver::new();
+
+    for cut in [n / 3, n / 2, (2 * n) / 3] {
+        if cut >= n {
+            continue;
+        }
+        // The first `cut` jobs (in plan finish order, so the prefix is
+        // precedence-closed) finished 10% early.
+        let mut finished = vec![false; n];
+        let mut finish_s = vec![0.0f64; n];
+        for &t in order.iter().take(cut) {
+            finished[t.index()] = true;
+            finish_s[t.index()] = sol.schedule.finish(t) as f64 / sol.level.freq * 0.9;
+        }
+        let now_s = finish_s.iter().fold(0.0f64, |a, &b| a.max(b));
+        let ctx = SuffixContext {
+            finished: &finished,
+            finish_s: &finish_s,
+            running: &running,
+            dead: &dead,
+            now_s,
+            deadline_s: horizon_s,
+            own_due_s: Some(&due_s),
+        };
+        for cap in [None, Some(3u64)] {
+            let a = solver.resolve(graph, &ctx, &candidates, cap);
+            let b = resolve_suffix_fresh(graph, &ctx, &candidates, cap);
+            match (&a, &b) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    if a.level.freq.to_bits() != b.level.freq.to_bits()
+                        || a.feasible != b.feasible
+                        || a.steps != b.steps
+                        || a.complete != b.complete
+                    {
+                        violations.push(format!(
+                            "suffix differential (cut {cut}, cap {cap:?}): solver (vdd {}, \
+                             feasible {}, steps {}) vs fresh (vdd {}, feasible {}, steps {})",
+                            a.level.vdd, a.feasible, a.steps, b.level.vdd, b.feasible, b.steps
+                        ));
+                        continue;
+                    }
+                    for t in graph.tasks() {
+                        if finished[t.index()] {
+                            continue;
+                        }
+                        if a.plan.proc(t) != b.plan.proc(t) || a.plan.finish(t) != b.plan.finish(t)
+                        {
+                            violations.push(format!(
+                                "suffix differential (cut {cut}, cap {cap:?}): {t} placed at \
+                                 {:?}/{} vs {:?}/{}",
+                                a.plan.proc(t),
+                                a.plan.finish(t),
+                                b.plan.proc(t),
+                                b.plan.finish(t)
+                            ));
+                        }
+                    }
+                }
+                _ => violations.push(format!(
+                    "suffix differential (cut {cut}, cap {cap:?}): solver {:?} vs fresh {:?}",
+                    a.is_some(),
+                    b.is_some()
+                )),
             }
         }
     }
@@ -470,11 +710,15 @@ fn differential_check(
 
 /// Generate one random case from an iteration RNG.
 pub fn gen_case(rng: &mut Rng, seed: u64, max_tasks: usize) -> Case {
-    if rng.gen_bool(0.25) {
+    let mut case = if rng.gen_bool(0.25) {
         gen_kpn_case(rng, seed)
     } else {
         gen_dag_case(rng, seed, max_tasks)
+    };
+    if rng.gen_bool(0.2) {
+        attach_online(rng, &mut case);
     }
+    case
 }
 
 const GRAINS: [u64; 3] = [1, 31_000, 3_100_000];
@@ -545,6 +789,7 @@ fn gen_dag_case(rng: &mut Rng, seed: u64, max_tasks: usize) -> Case {
         origin: "dag".to_string(),
         overruns,
         fail_stop,
+        ..Case::default()
     }
 }
 
@@ -589,7 +834,43 @@ fn gen_kpn_case(rng: &mut Rng, seed: u64) -> Case {
         origin: "kpn".to_string(),
         overruns,
         fail_stop,
+        ..Case::default()
     }
+}
+
+/// Attach a random online periodic dimension: a small harmonic set,
+/// sometimes overloaded arrivals, sometimes a tight re-solve budget.
+/// Periods come off a power-of-two ladder so every pair is harmonic and
+/// the hyperperiod stays one ladder top.
+fn attach_online(rng: &mut Rng, case: &mut Case) {
+    const BASE: u64 = 7_750_000;
+    const LADDER: [u64; 3] = [BASE, 2 * BASE, 4 * BASE];
+    let n = rng.gen_range(2usize..=4);
+    case.online_tasks = (0..n)
+        .map(|_| {
+            let p = LADDER[rng.gen_range(0usize..LADDER.len())];
+            let frac = rng.gen_range(0.08f64..0.5);
+            (((p as f64 * frac) as u64).max(1), p)
+        })
+        .collect();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(0.35) {
+                case.online_deps.push((a, b));
+            }
+        }
+    }
+    case.online_frames = rng.gen_range(2u32..=4);
+    case.online_arrival = if rng.gen_bool(0.3) {
+        rng.gen_range(0.4f64..0.9) // overload: arrivals outpace the frame
+    } else {
+        1.0
+    };
+    case.online_budget = if rng.gen_bool(0.3) {
+        Some(rng.gen_range(0u64..6))
+    } else {
+        None
+    };
 }
 
 /// Greedily shrink a failing case while it keeps failing: drop tasks,
@@ -665,12 +946,97 @@ pub fn shrink(case: &Case, scfg: &SchedulerConfig, fz: &FuzzConfig) -> Case {
                 improved = true;
             }
         }
+        // Shrink the online dimension: drop tasks (deps reindexed),
+        // drop deps, halve WCETs (never periods — that would change the
+        // hyperperiod shape), reduce frames, lift the budget.
+        let mut t = 0;
+        while t < cur.online_tasks.len() && attempts < ATTEMPT_BUDGET {
+            let cand = remove_online_task(&cur, t);
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                t += 1;
+            }
+        }
+        let mut d = 0;
+        while d < cur.online_deps.len() && attempts < ATTEMPT_BUDGET {
+            let mut cand = cur.clone();
+            cand.online_deps.remove(d);
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                d += 1;
+            }
+        }
+        for i in 0..cur.online_tasks.len() {
+            if attempts >= ATTEMPT_BUDGET {
+                break;
+            }
+            if cur.online_tasks[i].0 > 1 {
+                let mut cand = cur.clone();
+                cand.online_tasks[i].0 /= 2;
+                attempts += 1;
+                if fails(&cand) {
+                    cur = cand;
+                    improved = true;
+                }
+            }
+        }
+        while cur.online_frames > 1 && attempts < ATTEMPT_BUDGET {
+            let mut cand = cur.clone();
+            cand.online_frames -= 1;
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            } else {
+                break;
+            }
+        }
+        if cur.online_budget.is_some() && attempts < ATTEMPT_BUDGET {
+            let mut cand = cur.clone();
+            cand.online_budget = None;
+            attempts += 1;
+            if fails(&cand) {
+                cur = cand;
+                improved = true;
+            }
+        }
         if !improved || attempts >= ATTEMPT_BUDGET {
             break;
         }
     }
     cur.origin = format!("shrunk-{}", case.origin);
     cur
+}
+
+/// Drop online task `i`, reindexing the deps; dropping the last task
+/// removes the whole online dimension (back to the canonical no-online
+/// encoding).
+fn remove_online_task(case: &Case, i: usize) -> Case {
+    let i = i as u32;
+    let mut out = case.clone();
+    out.online_tasks.remove(i as usize);
+    out.online_deps.retain(|&(a, b)| a != i && b != i);
+    for (a, b) in &mut out.online_deps {
+        if *a > i {
+            *a -= 1;
+        }
+        if *b > i {
+            *b -= 1;
+        }
+    }
+    if out.online_tasks.is_empty() {
+        out.online_deps.clear();
+        out.online_frames = 0;
+        out.online_arrival = 1.0;
+        out.online_budget = None;
+    }
+    out
 }
 
 fn remove_task(case: &Case, i: usize) -> Case {
@@ -771,7 +1137,8 @@ mod tests {
 
     #[test]
     fn generated_cases_roundtrip_through_the_corpus_format() {
-        for it in 0..20u64 {
+        let mut online_seen = 0usize;
+        for it in 0..40u64 {
             let mut sm = it;
             let seed = splitmix64(&mut sm);
             let mut rng = Rng::seed_from_u64(seed);
@@ -779,7 +1146,44 @@ mod tests {
             let parsed = Case::parse(&case.serialize()).unwrap();
             assert_eq!(parsed, case);
             parsed.graph().unwrap();
+            if let Some(dag) = parsed.online_dag() {
+                online_seen += 1;
+                dag.unwrap();
+            }
         }
+        assert!(online_seen > 0, "generator never attached an online set");
+    }
+
+    #[test]
+    fn online_case_battery_is_clean_and_shrinkable() {
+        let fz = FuzzConfig::default();
+        let case = Case {
+            weights: vec![3_100_000, 6_200_000],
+            edges: vec![(0, 1)],
+            deadline_factor: 2.0,
+            seed: 3, // seed % 4 == 3: the severe fault preset
+            origin: "dag".to_string(),
+            online_tasks: vec![(2_500_000, 7_750_000), (6_000_000, 15_500_000)],
+            online_deps: vec![(0, 1)],
+            online_frames: 3,
+            online_arrival: 0.7,
+            online_budget: Some(2),
+            ..Case::default()
+        };
+        assert!(
+            check_case(&case, &scfg(), &fz).is_ok(),
+            "{:?}",
+            check_case(&case, &scfg(), &fz)
+        );
+        // A passing case shrinks to itself; dropping an online task
+        // keeps the dep indices consistent.
+        assert_eq!(shrink(&case, &scfg(), &fz), case);
+        let smaller = remove_online_task(&case, 0);
+        assert_eq!(smaller.online_tasks, vec![(6_000_000, 15_500_000)]);
+        assert!(smaller.online_deps.is_empty());
+        let none = remove_online_task(&smaller, 0);
+        assert!(!none.has_online());
+        assert_eq!(none.online_frames, 0);
     }
 
     #[test]
@@ -797,6 +1201,7 @@ mod tests {
             origin: "dag".to_string(),
             overruns: vec![(1, 1.5), (3, 2.0)],
             fail_stop: None,
+            ..Case::default()
         };
         assert_eq!(shrink(&case, &scfg(), &fz), case);
         let smaller = remove_task(&case, 1);
@@ -819,6 +1224,7 @@ mod tests {
             origin: "dag".to_string(),
             overruns: Vec::new(),
             fail_stop: None,
+            ..Case::default()
         };
         let fz = FuzzConfig::default();
         assert!(check_case(&case, &scfg(), &fz).is_ok());

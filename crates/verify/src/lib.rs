@@ -41,6 +41,6 @@ pub use fuzz::{
 };
 pub use obs::{check_chrome_trace, check_explain};
 pub use oracle::{exhaustive_optimum, OracleConfig, OracleError, OracleResult};
-pub use runtime::{check_run, RunViolation};
+pub use runtime::{check_online, check_run, RunViolation};
 pub use serve::{check_exchange, check_response_line, ServeViolation};
 pub use validator::{check_schedule, check_solution, rebill, RebilledEnergy, Violation};

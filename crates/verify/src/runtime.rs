@@ -13,9 +13,15 @@
 
 use crate::validator::{DEADLINE_REL_EPS, ENERGY_REL_TOL};
 use lamps_core::{SchedulerConfig, Solution};
+use lamps_kpn::PeriodicDag;
+use lamps_power::OperatingPoint;
 use lamps_sched::ProcId;
-use lamps_sim::{DvsSwitchCost, ExecRecord, FaultPlan, FaultyRunReport, RunOutcome};
+use lamps_sim::{
+    AdmissionVerdict, DvsSwitchCost, ExecRecord, FaultPlan, FaultyRunReport, FrameInput,
+    FrameRecord, OnlineConfig, OnlineReport, OnlineStream, RunOutcome,
+};
 use lamps_taskgraph::{TaskGraph, TaskId};
+use std::collections::VecDeque;
 
 /// Absolute tolerance for comparing trace timestamps \[s\]. Timestamps
 /// come out of exact `cycles / freq` arithmetic, so real divergence is
@@ -130,6 +136,14 @@ pub enum RunViolation {
         /// Its value.
         value: f64,
     },
+    /// An online-trace invariant failed: admission ordering, window
+    /// chaining, shed-frame emptiness, counter consistency…
+    Online {
+        /// The offending frame (or the first involved one).
+        frame: usize,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RunViolation {
@@ -205,6 +219,9 @@ impl std::fmt::Display for RunViolation {
             ),
             RunViolation::NonFiniteEnergy { field, value } => {
                 write!(f, "{field} is not finite: {value}")
+            }
+            RunViolation::Online { frame, detail } => {
+                write!(f, "frame {frame}: {detail}")
             }
         }
     }
@@ -544,6 +561,665 @@ fn rebill_run(
     (out, episodes)
 }
 
+/// Independently validate a full online trace against the inputs that
+/// produced it.
+///
+/// Trusting nothing but the per-frame records, the periodic set, the
+/// stream, and the raw platform parameters, this re-derives:
+///
+/// * the **admission chain** — verdicts are replayed from the arrivals
+///   and the recorded frame completions (an `Admitted` frame must have
+///   found an empty backlog and started at its arrival, a `Deferred` one
+///   must start exactly when the platform drained within the backlog
+///   cap, a `Shed` one must have found the cap exceeded);
+/// * **window chaining** — each executed frame's billing window must end
+///   at the next executed frame's start (the last at
+///   `max(completion, arrival + span)`), and no execution may spill past
+///   its window;
+/// * **shed-frame emptiness** — a dropped frame executes nothing and
+///   consumes nothing;
+/// * **per-frame structure** — intervals, fault-mandated cycle counts,
+///   precedence, per-processor exclusivity, dead-processor silence,
+///   level legality, and the per-frame voltage walk (each frame's
+///   regulators start at the plan level);
+/// * **arrival-anchored outcomes** — job `j` of the frame arriving at
+///   `a` is due `a + d_j / f_max` regardless of deferral;
+/// * the **cross-frame counters** and a full **energy re-bill** under
+///   the documented window conventions (executed cycles at their
+///   recorded levels, gaps at the plan level with the break-even
+///   predicate, a dead processor billed to its fail time, switches into
+///   the transition bucket).
+///
+/// Returns every violation found (empty = the trace is sound).
+pub fn check_online(
+    dag: &PeriodicDag,
+    stream: &OnlineStream,
+    ocfg: &OnlineConfig,
+    cfg: &SchedulerConfig,
+    report: &OnlineReport,
+) -> Vec<RunViolation> {
+    let mut v = Vec::new();
+    let graph = &dag.graph;
+    let n = graph.len();
+    let f_max = cfg.max_frequency();
+
+    if report.frames.len() != stream.frames.len() {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "report covers {} frames, stream has {}",
+                report.frames.len(),
+                stream.frames.len()
+            ),
+        });
+        return v;
+    }
+    let Some(plan) = cfg
+        .levels
+        .points()
+        .iter()
+        .find(|p| rel_close(p.vdd, report.plan_vdd, 1e-9))
+        .copied()
+    else {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!("plan voltage {} V is off-grid", report.plan_vdd),
+        });
+        return v;
+    };
+    if !rel_close(report.plan_freq, plan.freq, 1e-9) {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "plan frequency {} Hz is not the {} V level's {} Hz",
+                report.plan_freq, plan.vdd, plan.freq
+            ),
+        });
+    }
+    let span = dag.hyperperiod_cycles as f64 / f_max;
+    if !rel_close(report.span_s, span, 1e-9) {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "span {} s is not the hyperperiod at f_max ({} s)",
+                report.span_s, span
+            ),
+        });
+    }
+    let due_rel: Vec<f64> = (0..n)
+        .map(|j| dag.deadlines[j].unwrap_or(dag.hyperperiod_cycles) as f64 / f_max)
+        .collect();
+
+    // Replay the admission chain from the arrivals and the recorded
+    // frame completions.
+    let mut pending: VecDeque<f64> = VecDeque::new();
+    let mut busy_until = 0.0f64;
+    let (mut admitted, mut deferred, mut shed) = (0usize, 0usize, 0usize);
+    for (i, fr) in report.frames.iter().enumerate() {
+        let input = &stream.frames[i];
+        if fr.frame != i {
+            v.push(RunViolation::Online {
+                frame: i,
+                detail: format!("record claims frame index {}", fr.frame),
+            });
+        }
+        while pending.front().is_some_and(|&e| e <= input.arrival_s) {
+            pending.pop_front();
+        }
+        let backlog = pending.len();
+        match fr.verdict {
+            AdmissionVerdict::Admitted { start_s } => {
+                admitted += 1;
+                if backlog != 0 {
+                    v.push(RunViolation::Online {
+                        frame: i,
+                        detail: format!("admitted against a backlog of {backlog}"),
+                    });
+                }
+                if (start_s - input.arrival_s).abs() > TIME_ABS_TOL {
+                    v.push(RunViolation::Online {
+                        frame: i,
+                        detail: format!(
+                            "admitted start {} s is not the arrival {} s",
+                            start_s, input.arrival_s
+                        ),
+                    });
+                }
+            }
+            AdmissionVerdict::Deferred { start_s, delay_s } => {
+                deferred += 1;
+                if backlog == 0 || backlog > ocfg.max_backlog {
+                    v.push(RunViolation::Online {
+                        frame: i,
+                        detail: format!("deferred at backlog {backlog} (cap {})", ocfg.max_backlog),
+                    });
+                }
+                if (start_s - busy_until).abs() > TIME_ABS_TOL {
+                    v.push(RunViolation::Online {
+                        frame: i,
+                        detail: format!(
+                            "deferred start {start_s} s is not the drain time {busy_until} s"
+                        ),
+                    });
+                }
+                if (delay_s - (start_s - input.arrival_s)).abs() > TIME_ABS_TOL {
+                    v.push(RunViolation::Online {
+                        frame: i,
+                        detail: format!(
+                            "deferral delay {delay_s} s disagrees with start − arrival"
+                        ),
+                    });
+                }
+            }
+            AdmissionVerdict::Shed { backlog: b } => {
+                shed += 1;
+                if backlog <= ocfg.max_backlog {
+                    v.push(RunViolation::Online {
+                        frame: i,
+                        detail: format!(
+                            "shed with backlog {backlog} within the cap {}",
+                            ocfg.max_backlog
+                        ),
+                    });
+                }
+                if b != backlog {
+                    v.push(RunViolation::Online {
+                        frame: i,
+                        detail: format!("shed verdict claims backlog {b}, replay finds {backlog}"),
+                    });
+                }
+            }
+        }
+        if let Some(start) = fr.verdict.start_s() {
+            busy_until = start + fr.makespan_s.max(0.0);
+            pending.push_back(busy_until);
+        }
+    }
+    if (admitted, deferred, shed) != (report.admitted, report.deferred, report.shed) {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "admission counters ({}, {}, {}) disagree with the verdicts \
+                 ({admitted}, {deferred}, {shed})",
+                report.admitted, report.deferred, report.shed
+            ),
+        });
+    }
+
+    // Window chaining and per-frame structure over executed frames.
+    let executed: Vec<usize> = report
+        .frames
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| f.verdict.start_s().is_some())
+        .map(|(i, _)| i)
+        .collect();
+    for (k, &fi) in executed.iter().enumerate() {
+        let fr = &report.frames[fi];
+        let start = fr.verdict.start_s().expect("executed");
+        let expected_end = match executed.get(k + 1) {
+            Some(&nx) => report.frames[nx].verdict.start_s().expect("executed"),
+            None => (start + fr.makespan_s).max(stream.frames[fi].arrival_s + span),
+        };
+        if (fr.window_end_s - expected_end).abs() > TIME_ABS_TOL {
+            v.push(RunViolation::Online {
+                frame: fi,
+                detail: format!(
+                    "window ends at {} s, chaining mandates {} s",
+                    fr.window_end_s, expected_end
+                ),
+            });
+        }
+        if start + fr.makespan_s > fr.window_end_s + TIME_ABS_TOL {
+            v.push(RunViolation::Online {
+                frame: fi,
+                detail: format!(
+                    "execution runs to {} s, past its window end {} s",
+                    start + fr.makespan_s,
+                    fr.window_end_s
+                ),
+            });
+        }
+        check_online_frame(
+            graph,
+            &stream.frames[fi],
+            fr,
+            start,
+            &due_rel,
+            report,
+            cfg,
+            &mut v,
+        );
+    }
+
+    // Shed frames execute nothing and consume nothing.
+    for fr in &report.frames {
+        if fr.verdict.start_s().is_none() {
+            let empty = fr.outcome.is_none()
+                && fr.tasks.iter().all(Option::is_none)
+                && fr.aborted.is_empty()
+                && fr.injected.is_empty()
+                && fr.recoveries.is_empty()
+                && fr.energy_j == 0.0
+                && fr.window_end_s == 0.0
+                && fr.makespan_s == 0.0
+                && fr.resolves == 0
+                && fr.dvs_switches == 0
+                && fr.stretched == 0;
+            if !empty {
+                v.push(RunViolation::Online {
+                    frame: fr.frame,
+                    detail: "a shed frame must execute nothing and consume nothing".into(),
+                });
+            }
+        }
+    }
+
+    // Cross-frame counters.
+    let resolves: u64 = report.frames.iter().map(|f| f.resolves).sum();
+    let resolve_steps: u64 = report.frames.iter().map(|f| f.resolve_steps).sum();
+    let switches: usize = report.frames.iter().map(|f| f.dvs_switches).sum();
+    let degraded = report.frames.iter().filter(|f| f.degraded).count();
+    let (mut misses, mut late_jobs) = (0usize, 0usize);
+    for fr in &report.frames {
+        if let Some(RunOutcome::DeadlineMiss { lateness }) = &fr.outcome {
+            misses += 1;
+            late_jobs += lateness.len();
+        }
+    }
+    if (resolves, resolve_steps) != (report.resolves, report.resolve_steps) {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "re-solve counters ({}, {}) disagree with the frame sums \
+                 ({resolves}, {resolve_steps})",
+                report.resolves, report.resolve_steps
+            ),
+        });
+    }
+    if switches != report.dvs_switches {
+        v.push(RunViolation::SwitchCountMismatch {
+            reported: report.dvs_switches,
+            recomputed: switches,
+        });
+    }
+    if degraded != report.degraded_frames {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "{} degraded frames reported, records flag {degraded}",
+                report.degraded_frames
+            ),
+        });
+    }
+    if (misses, late_jobs) != (report.frame_misses, report.jobs_late) {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "miss counters ({}, {}) disagree with the outcomes ({misses}, {late_jobs})",
+                report.frame_misses, report.jobs_late
+            ),
+        });
+    }
+    let horizon = report
+        .frames
+        .iter()
+        .map(|f| f.window_end_s)
+        .fold(0.0f64, f64::max);
+    if (horizon - report.horizon_s).abs() > TIME_ABS_TOL {
+        v.push(RunViolation::Online {
+            frame: 0,
+            detail: format!(
+                "horizon {} s is not the last window end {horizon} s",
+                report.horizon_s
+            ),
+        });
+    }
+
+    for (field, value) in [
+        ("active_j", report.energy.active_j),
+        ("idle_j", report.energy.idle_j),
+        ("sleep_j", report.energy.sleep_j),
+        ("transition_j", report.energy.transition_j),
+    ] {
+        if !value.is_finite() {
+            v.push(RunViolation::NonFiniteEnergy { field, value });
+        }
+    }
+
+    // Only re-bill structurally sound traces.
+    if v.is_empty() {
+        let (re, episodes) = rebill_online(stream, report, plan, ocfg, cfg);
+        for (field, reported, recomputed) in [
+            ("active_j", report.energy.active_j, re.active_j),
+            ("idle_j", report.energy.idle_j, re.idle_j),
+            ("sleep_j", report.energy.sleep_j, re.sleep_j),
+            ("transition_j", report.energy.transition_j, re.transition_j),
+            ("total_j", report.energy.total(), re.total()),
+        ] {
+            if !rel_close(reported, recomputed, ENERGY_REL_TOL) {
+                v.push(RunViolation::EnergyMismatch {
+                    field,
+                    reported,
+                    recomputed,
+                });
+            }
+        }
+        if report.energy.sleep_episodes != episodes {
+            v.push(RunViolation::SleepEpisodeMismatch {
+                reported: report.energy.sleep_episodes,
+                recomputed: episodes,
+            });
+        }
+        let frame_sum: f64 = report.frames.iter().map(|f| f.energy_j).sum();
+        if !rel_close(frame_sum, report.energy.total(), ENERGY_REL_TOL) {
+            v.push(RunViolation::Online {
+                frame: 0,
+                detail: format!(
+                    "per-frame energy sums to {frame_sum} J, total bill is {} J",
+                    report.energy.total()
+                ),
+            });
+        }
+    }
+    v
+}
+
+/// Structural checks of one executed frame: record sanity, precedence,
+/// exclusivity, dead-processor silence, the per-frame voltage walk, and
+/// the arrival-anchored outcome. All record times are frame-relative.
+#[allow(clippy::too_many_arguments)]
+fn check_online_frame(
+    graph: &TaskGraph,
+    input: &FrameInput,
+    fr: &FrameRecord,
+    start: f64,
+    due_rel: &[f64],
+    report: &OnlineReport,
+    cfg: &SchedulerConfig,
+    v: &mut Vec<RunViolation>,
+) {
+    let n = graph.len();
+    let frame = fr.frame;
+    if fr.tasks.len() != n {
+        v.push(RunViolation::WrongTaskCount {
+            reported: fr.tasks.len(),
+            graph: n,
+        });
+        return;
+    }
+    if !fr.energy_j.is_finite() || fr.energy_j < 0.0 {
+        v.push(RunViolation::Online {
+            frame,
+            detail: format!(
+                "frame energy {} J must be finite and non-negative",
+                fr.energy_j
+            ),
+        });
+    }
+    let eff = input.faults.effective_cycles(graph, &input.actual);
+
+    for t in graph.tasks() {
+        if let Some(r) = &fr.tasks[t.index()] {
+            if !r.start_s.is_finite()
+                || !r.finish_s.is_finite()
+                || r.finish_s < r.start_s
+                || r.start_s < -TIME_ABS_TOL
+            {
+                v.push(RunViolation::BadInterval {
+                    task: t,
+                    start_s: r.start_s,
+                    finish_s: r.finish_s,
+                });
+            }
+            if r.cycles != eff[t.index()] {
+                v.push(RunViolation::WrongCycles {
+                    task: t,
+                    recorded: r.cycles,
+                    expected: eff[t.index()],
+                });
+            }
+            if r.cycles > 0 && energy_per_cycle(cfg, r.vdd).is_none() {
+                v.push(RunViolation::IllegalLevel {
+                    task: t,
+                    vdd: r.vdd,
+                });
+            }
+            if r.proc.index() >= report.n_procs {
+                v.push(RunViolation::Online {
+                    frame,
+                    detail: format!("{} ran on unemployed {}", r.task, r.proc),
+                });
+            }
+        }
+    }
+    for r in &fr.aborted {
+        if r.cycles > eff[r.task.index()] {
+            v.push(RunViolation::WrongCycles {
+                task: r.task,
+                recorded: r.cycles,
+                expected: eff[r.task.index()],
+            });
+        }
+        if r.cycles > 0 && energy_per_cycle(cfg, r.vdd).is_none() {
+            v.push(RunViolation::IllegalLevel {
+                task: r.task,
+                vdd: r.vdd,
+            });
+        }
+        match input.faults.fail_stop {
+            Some(fs) if fs.proc == r.proc => {}
+            _ => v.push(RunViolation::Online {
+                frame,
+                detail: format!(
+                    "aborted record for {} on {} without a fail-stop there",
+                    r.task, r.proc
+                ),
+            }),
+        }
+    }
+
+    for t in graph.tasks() {
+        let Some(r) = &fr.tasks[t.index()] else {
+            continue;
+        };
+        for &p in graph.predecessors(t) {
+            match &fr.tasks[p.index()] {
+                Some(pr) if r.start_s >= pr.finish_s - TIME_ABS_TOL => {}
+                _ => v.push(RunViolation::Precedence { task: t, pred: p }),
+            }
+        }
+    }
+
+    let mut switches = 0usize;
+    for pi in 0..report.n_procs {
+        let pid = ProcId(pi as u32);
+        let mut on_proc: Vec<&ExecRecord> = fr
+            .tasks
+            .iter()
+            .flatten()
+            .chain(fr.aborted.iter())
+            .filter(|r| r.proc == pid)
+            .collect();
+        on_proc.sort_by(|a, b| {
+            a.start_s
+                .total_cmp(&b.start_s)
+                .then(a.finish_s.total_cmp(&b.finish_s))
+                .then(a.task.0.cmp(&b.task.0))
+        });
+        for w in on_proc.windows(2) {
+            if w[0].finish_s > w[1].start_s + TIME_ABS_TOL {
+                v.push(RunViolation::Overlap {
+                    proc: pid,
+                    first: w[0].task,
+                    second: w[1].task,
+                });
+            }
+        }
+        if let Some(fs) = input.faults.fail_stop {
+            if fs.proc == pid {
+                for r in &on_proc {
+                    if r.finish_s > fs.at_s + TIME_ABS_TOL {
+                        v.push(RunViolation::DeadProcExecution {
+                            proc: pid,
+                            task: r.task,
+                            finish_s: r.finish_s,
+                            fail_at_s: fs.at_s,
+                        });
+                    }
+                }
+            }
+        }
+        // Each frame's regulators start at the plan level.
+        let mut current = report.plan_vdd;
+        for r in &on_proc {
+            if (r.vdd - current).abs() > 1e-12 {
+                switches += 1;
+                current = r.vdd;
+            }
+        }
+    }
+    if switches != fr.dvs_switches {
+        v.push(RunViolation::SwitchCountMismatch {
+            reported: fr.dvs_switches,
+            recomputed: switches,
+        });
+    }
+
+    let makespan = fr
+        .tasks
+        .iter()
+        .flatten()
+        .map(|r| r.finish_s)
+        .fold(0.0f64, f64::max);
+    if (makespan - fr.makespan_s).abs() > TIME_ABS_TOL {
+        v.push(RunViolation::MakespanMismatch {
+            reported: fr.makespan_s,
+            recomputed: makespan,
+        });
+    }
+
+    // Arrival-anchored outcome: job j is due at arrival + d_j / f_max
+    // regardless of when the frame started (offset ≤ 0 for a deferred
+    // frame).
+    let offset = input.arrival_s - start;
+    let Some(outcome) = &fr.outcome else {
+        v.push(RunViolation::Online {
+            frame,
+            detail: "an executed frame must carry an outcome".into(),
+        });
+        return;
+    };
+    let mut late: Vec<TaskId> = Vec::new();
+    for t in graph.tasks() {
+        let due = offset + due_rel[t.index()];
+        let tol = due + due.abs() * DEADLINE_REL_EPS;
+        match &fr.tasks[t.index()] {
+            Some(r) if r.finish_s > tol => late.push(t),
+            None => late.push(t),
+            _ => {}
+        }
+    }
+    match outcome {
+        RunOutcome::MetDeadline if !late.is_empty() => {
+            v.push(RunViolation::OutcomeMismatch {
+                detail: format!(
+                    "frame {frame} claims MetDeadline but {} jobs are late",
+                    late.len()
+                ),
+            });
+        }
+        RunOutcome::DeadlineMiss { lateness } => {
+            let reported: Vec<TaskId> = lateness.iter().map(|l| l.task).collect();
+            if reported != late {
+                v.push(RunViolation::OutcomeMismatch {
+                    detail: format!("frame {frame}: late set {reported:?} vs recomputed {late:?}"),
+                });
+            }
+            for l in lateness {
+                let due = offset + due_rel[l.task.index()];
+                let want = match &fr.tasks[l.task.index()] {
+                    Some(r) => r.finish_s - due,
+                    None => f64::INFINITY,
+                };
+                let agree = (l.lateness_s.is_infinite() && want.is_infinite())
+                    || (l.lateness_s - want).abs() <= TIME_ABS_TOL;
+                if !agree {
+                    v.push(RunViolation::OutcomeMismatch {
+                        detail: format!(
+                            "frame {frame}, {}: lateness {} s vs recomputed {} s",
+                            l.task, l.lateness_s, want
+                        ),
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// From-scratch energy re-bill of an online run under the documented
+/// window conventions, independent of the runtime's code.
+fn rebill_online(
+    stream: &OnlineStream,
+    report: &OnlineReport,
+    plan: OperatingPoint,
+    ocfg: &OnlineConfig,
+    cfg: &SchedulerConfig,
+) -> (crate::validator::RebilledEnergy, usize) {
+    let mut out = crate::validator::RebilledEnergy::default();
+    let mut episodes = 0usize;
+    for fr in &report.frames {
+        let Some(start) = fr.verdict.start_s() else {
+            continue;
+        };
+        for r in fr.tasks.iter().flatten().chain(fr.aborted.iter()) {
+            if r.cycles > 0 {
+                let epc = energy_per_cycle(cfg, r.vdd).unwrap_or(plan.energy_per_cycle);
+                out.active_j += r.cycles as f64 * epc;
+            }
+        }
+        let end = fr.window_end_s;
+        for pi in 0..report.n_procs {
+            let pid = ProcId(pi as u32);
+            let mut intervals: Vec<(f64, f64)> = fr
+                .tasks
+                .iter()
+                .flatten()
+                .chain(fr.aborted.iter())
+                .filter(|r| r.proc == pid)
+                .map(|r| (start + r.start_s, start + r.finish_s))
+                .collect();
+            intervals.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let p_end = match stream.frames[fr.frame].faults.fail_stop {
+                Some(fs) if fs.proc == pid => (start + fs.at_s).min(end),
+                _ => end,
+            };
+            let mut cursor = start;
+            let mut gaps: Vec<f64> = Vec::new();
+            for (s, f) in intervals {
+                gaps.push(s - cursor);
+                cursor = cursor.max(f);
+            }
+            gaps.push(p_end - cursor);
+            for gap in gaps {
+                if gap <= 0.0 {
+                    continue;
+                }
+                if cfg.sleep.worth_sleeping(plan.idle_power, gap) {
+                    out.sleep_j += cfg.sleep.sleep_power * gap;
+                    out.transition_j += cfg.sleep.transition_energy;
+                    episodes += 1;
+                } else {
+                    out.idle_j += plan.idle_power * gap;
+                }
+            }
+        }
+    }
+    out.transition_j += report.dvs_switches as f64 * ocfg.switch.energy_j;
+    (out, episodes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -642,6 +1318,151 @@ mod tests {
             }],
         };
         let v = check_run(&g, &sol, &actual, &plan, &r, d, &cfg(), &sw);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, RunViolation::OutcomeMismatch { .. })),
+            "{v:?}"
+        );
+    }
+
+    fn pipeline_dag() -> lamps_kpn::PeriodicDag {
+        let mut s = lamps_kpn::PeriodicSet::new();
+        let ctl = s.add("ctl", 13_000_000, 31_000_000);
+        let est = s.add("est", 18_000_000, 62_000_000);
+        let log = s.add("log", 6_000_000, 62_000_000);
+        s.depends(ctl, est).unwrap();
+        s.depends(est, log).unwrap();
+        s.to_frame_dag()
+    }
+
+    #[test]
+    fn clean_online_traces_validate() {
+        use lamps_sim::{run_online, FaultIntensity, RecoveryPolicy};
+        let dag = pipeline_dag();
+        let cfg = cfg();
+        for intensity in [
+            None,
+            Some(FaultIntensity::mild()),
+            Some(FaultIntensity::severe()),
+        ] {
+            for policy in [RecoveryPolicy::Absorb, RecoveryPolicy::Boost] {
+                for reclaim in [false, true] {
+                    for (factor, backlog) in [(1.0, 2), (0.5, 1)] {
+                        let ocfg = OnlineConfig {
+                            policy,
+                            reclaim,
+                            max_backlog: backlog,
+                            switch: DvsSwitchCost::typical(),
+                            ..OnlineConfig::reclaiming()
+                        };
+                        let dv = lamps_core::multi::DeadlineVector::from_kpn(
+                            dag.deadlines.clone(),
+                            dag.hyperperiod_cycles,
+                        );
+                        let sol = lamps_core::multi::solve_with_deadlines(
+                            ocfg.strategy,
+                            &dag.graph,
+                            &dv,
+                            &cfg,
+                        )
+                        .unwrap();
+                        let stream = OnlineStream::synthesize(
+                            &dag,
+                            sol.n_procs,
+                            5,
+                            factor,
+                            0.5,
+                            0.9,
+                            intensity.as_ref(),
+                            cfg.max_frequency(),
+                            11,
+                        );
+                        let r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+                        let v = check_online(&dag, &stream, &ocfg, &cfg, &r);
+                        assert!(
+                            v.is_empty(),
+                            "{intensity:?} {policy:?} reclaim={reclaim} factor={factor}: {v:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_online_energy_detected() {
+        use lamps_sim::run_online;
+        let dag = pipeline_dag();
+        let cfg = cfg();
+        let ocfg = OnlineConfig::reclaiming();
+        let stream =
+            OnlineStream::synthesize(&dag, 1, 4, 1.0, 0.5, 0.9, None, cfg.max_frequency(), 5);
+        let mut r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        r.energy.active_j *= 1.001;
+        let v = check_online(&dag, &stream, &ocfg, &cfg, &r);
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, RunViolation::EnergyMismatch { .. })),
+            "{v:?}"
+        );
+
+        // A frame-level skim must break the per-frame sum consistency.
+        let mut r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        r.frames[1].energy_j *= 0.99;
+        let v = check_online(&dag, &stream, &ocfg, &cfg, &r);
+        assert!(
+            v.iter().any(|x| matches!(x, RunViolation::Online { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_online_admission_detected() {
+        use lamps_sim::run_online;
+        let dag = pipeline_dag();
+        let cfg = cfg();
+        let ocfg = OnlineConfig::static_plan();
+        let stream = OnlineStream::periodic(&dag, 3, 1.0, cfg.max_frequency());
+        let mut r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        if let AdmissionVerdict::Admitted { start_s } = &mut r.frames[1].verdict {
+            *start_s += 1e-3;
+        } else {
+            panic!("frame 1 must be admitted");
+        }
+        let v = check_online(&dag, &stream, &ocfg, &cfg, &r);
+        assert!(
+            v.iter().any(|x| matches!(x, RunViolation::Online { .. })),
+            "{v:?}"
+        );
+
+        // Pretending an executed frame was shed breaks emptiness and
+        // the counters.
+        let mut r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        r.frames[2].verdict = AdmissionVerdict::Shed { backlog: 9 };
+        let v = check_online(&dag, &stream, &ocfg, &cfg, &r);
+        assert!(
+            v.iter().any(|x| matches!(x, RunViolation::Online { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn tampered_online_outcome_detected() {
+        use lamps_sim::run_online;
+        let dag = pipeline_dag();
+        let cfg = cfg();
+        let ocfg = OnlineConfig::reclaiming();
+        let stream = OnlineStream::periodic(&dag, 3, 1.0, cfg.max_frequency());
+        let mut r = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        r.frames[0].outcome = Some(RunOutcome::DeadlineMiss {
+            lateness: vec![lamps_sim::TaskLateness {
+                task: TaskId(0),
+                lateness_s: 1.0,
+            }],
+        });
+        r.frame_misses += 1;
+        r.jobs_late += 1;
+        let v = check_online(&dag, &stream, &ocfg, &cfg, &r);
         assert!(
             v.iter()
                 .any(|x| matches!(x, RunViolation::OutcomeMismatch { .. })),
