@@ -30,9 +30,20 @@
 //! `throughput --metrics-out`); when the gate fails, one summary line of
 //! those metrics is printed so the CI log carries the context — solve
 //! rate, cache hit rate, and the hottest histogram bucket.
+//!
+//! A fourth section gates the observability surface itself:
+//! `--telemetry <file>` (a raw wire `telemetry` response line, as saved
+//! by `top --telemetry-out`) must parse, pass the `lamps_verify` wire
+//! checker, and show a nonzero request count; `--flight <file>` (a raw
+//! `flight` response line from `top --flight-out`) must parse and pass
+//! the same checker; `--flight-file <file>` (a `lamps-flight-v1` dump
+//! written by `serve --flight-dump`) must pass the structural dump
+//! checker, and — when `--telemetry` is also given — its per-kind event
+//! counts must not exceed the telemetry counters that mirror them.
 
 use lamps_bench::cli::Options;
 use lamps_obs::json::{parse, Value};
+use lamps_serve::Response;
 
 /// Extract the number following `"key":` after (optionally) the first
 /// occurrence of `"section"`. Whitespace-tolerant; returns `None` if the
@@ -449,6 +460,92 @@ fn check_online_bench(text: &str, path: &str) -> bool {
     failed
 }
 
+/// Gate a raw wire `telemetry` response line. Returns `(failed,
+/// counters)` — the counters feed the flight-dump cross-check.
+fn check_telemetry_line(text: &str, path: &str) -> (bool, Vec<(String, u64)>) {
+    let mut failed = false;
+    let fail = |why: String| eprintln!("gate FAILURE: {path}: {why}");
+    let line = text.trim();
+    let counters = match lamps_serve::parse_response(line) {
+        Ok(Response::Telemetry { body, .. }) => {
+            if body.counter("serve.requests").unwrap_or(0) == 0 {
+                failed = true;
+                fail("telemetry shows zero served requests — the probe ran before any load".into());
+            }
+            body.counters.clone()
+        }
+        Ok(other) => {
+            failed = true;
+            fail(format!("not a telemetry response: {other:?}"));
+            Vec::new()
+        }
+        Err(e) => {
+            failed = true;
+            fail(format!("unparseable telemetry line: {e}"));
+            Vec::new()
+        }
+    };
+    for v in lamps_verify::check_response_line(line) {
+        failed = true;
+        fail(format!("wire checker: {v}"));
+    }
+    (failed, counters)
+}
+
+/// Gate a raw wire `flight` response line.
+fn check_flight_line(text: &str, path: &str) -> bool {
+    let mut failed = false;
+    let fail = |why: String| eprintln!("gate FAILURE: {path}: {why}");
+    let line = text.trim();
+    match lamps_serve::parse_response(line) {
+        Ok(Response::Flight { events, .. }) => {
+            if events.is_empty() {
+                failed = true;
+                fail("flight journal is empty — the recorder never saw the load".into());
+            }
+        }
+        Ok(other) => {
+            failed = true;
+            fail(format!("not a flight response: {other:?}"));
+        }
+        Err(e) => {
+            failed = true;
+            fail(format!("unparseable flight line: {e}"));
+        }
+    }
+    for v in lamps_verify::check_response_line(line) {
+        failed = true;
+        fail(format!("wire checker: {v}"));
+    }
+    failed
+}
+
+/// Gate a `lamps-flight-v1` dump file against the structural checker
+/// and (when available) the telemetry counters.
+fn check_flight_dump_file(text: &str, path: &str, counters: &[(String, u64)]) -> bool {
+    let mut failed = false;
+    let fail = |why: String| eprintln!("gate FAILURE: {path}: {why}");
+    for v in lamps_verify::check_flight_dump(text) {
+        failed = true;
+        fail(v);
+    }
+    if !counters.is_empty() {
+        match lamps_verify::parse_flight_dump(text) {
+            Ok(dump) => {
+                for v in lamps_verify::check_flight_counts(&dump, counters) {
+                    failed = true;
+                    fail(v);
+                }
+            }
+            Err(e) => {
+                failed = true;
+                fail(e);
+            }
+        }
+    }
+    failed
+}
+
 fn read(path: &str) -> String {
     std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("error: cannot read {path}: {e}");
@@ -466,6 +563,9 @@ fn main() {
         "serve-baseline",
         "serve-current",
         "online-current",
+        "telemetry",
+        "flight",
+        "flight-file",
     ]);
     let baseline_path = opts.string("baseline", "BENCH_solver.json");
     let current_path = opts.string("current", "");
@@ -475,10 +575,20 @@ fn main() {
     let serve_baseline_path = opts.string("serve-baseline", "BENCH_serve.json");
     let serve_current_path = opts.string("serve-current", "");
     let online_current_path = opts.string("online-current", "");
+    let telemetry_path = opts.string("telemetry", "");
+    let flight_path = opts.string("flight", "");
+    let flight_file_path = opts.string("flight-file", "");
 
-    if current_path.is_empty() && serve_current_path.is_empty() && online_current_path.is_empty() {
+    if current_path.is_empty()
+        && serve_current_path.is_empty()
+        && online_current_path.is_empty()
+        && telemetry_path.is_empty()
+        && flight_path.is_empty()
+        && flight_file_path.is_empty()
+    {
         eprintln!(
-            "error: nothing to gate — give --current, --serve-current, and/or --online-current"
+            "error: nothing to gate — give --current, --serve-current, --online-current, \
+             and/or --telemetry/--flight/--flight-file"
         );
         std::process::exit(2);
     }
@@ -583,6 +693,34 @@ fn main() {
 
     if !online_current_path.is_empty() {
         failed |= check_online_bench(&read(&online_current_path), &online_current_path);
+    }
+
+    let mut telemetry_counters: Vec<(String, u64)> = Vec::new();
+    if !telemetry_path.is_empty() {
+        let (tf, counters) = check_telemetry_line(&read(&telemetry_path), &telemetry_path);
+        failed |= tf;
+        telemetry_counters = counters;
+        if !tf {
+            eprintln!("telemetry gate: {telemetry_path} parses and passes the wire checker");
+        }
+    }
+    if !flight_path.is_empty() {
+        let ff = check_flight_line(&read(&flight_path), &flight_path);
+        failed |= ff;
+        if !ff {
+            eprintln!("flight gate: {flight_path} parses and passes the wire checker");
+        }
+    }
+    if !flight_file_path.is_empty() {
+        let ff = check_flight_dump_file(
+            &read(&flight_file_path),
+            &flight_file_path,
+            &telemetry_counters,
+        );
+        failed |= ff;
+        if !ff {
+            eprintln!("flight gate: {flight_file_path} passes the structural dump checker");
+        }
     }
 
     if failed {
@@ -883,5 +1021,51 @@ mod tests {
             json_number(t, Some("after"), "solves_per_sec"),
             Some(2531.5)
         );
+    }
+
+    const TELEMETRY_SAMPLE: &str = r#"{"id":9,"status":"telemetry","counters":{"serve.ok":4,"serve.requests":5},"gauges":{"serve.queue_capacity":64,"serve.queue_depth":1},"histograms":{"serve.latency_us":{"count":5,"sum":900,"p50":120.0,"p90":300.0,"p99":410.0}}}"#;
+
+    const FLIGHT_WIRE_SAMPLE: &str = r#"{"id":10,"status":"flight","dropped":0,"events":[{"ts_us":5,"tid":0,"kind":"serve.admit","key":1,"a":1,"b":0},{"ts_us":9,"tid":1,"kind":"serve.reply","key":1,"a":0,"b":0}]}"#;
+
+    const FLIGHT_DUMP_SAMPLE: &str = "{\"schema\": \"lamps-flight-v1\", \"reason\": \"shutdown\", \"events\": 2, \"dropped\": 0}\n\
+        {\"ts_us\": 5, \"tid\": 0, \"kind\": \"serve.admit\", \"key\": 1, \"a\": 1, \"b\": 0}\n\
+        {\"ts_us\": 9, \"tid\": 1, \"kind\": \"serve.reply\", \"key\": 1, \"a\": 0, \"b\": 0}\n";
+
+    #[test]
+    fn telemetry_section_accepts_a_good_line_and_exports_counters() {
+        let (failed, counters) = check_telemetry_line(TELEMETRY_SAMPLE, "t.json");
+        assert!(!failed);
+        assert!(counters.contains(&("serve.requests".to_string(), 5)));
+        // Zero requests means the probe raced the load — a gate failure.
+        let idle = TELEMETRY_SAMPLE.replace("\"serve.requests\":5", "\"serve.requests\":0");
+        assert!(check_telemetry_line(&idle, "t.json").0);
+        assert!(check_telemetry_line("{\"id\":1,\"status\":\"pong\"}", "t.json").0);
+        assert!(check_telemetry_line("not json", "t.json").0);
+    }
+
+    #[test]
+    fn flight_section_accepts_wire_line_and_dump_file() {
+        assert!(!check_flight_line(FLIGHT_WIRE_SAMPLE, "f.json"));
+        let empty = r#"{"id":10,"status":"flight","dropped":0,"events":[]}"#;
+        assert!(check_flight_line(empty, "f.json"));
+
+        assert!(!check_flight_dump_file(FLIGHT_DUMP_SAMPLE, "f.jsonl", &[]));
+        let ok_counters = vec![("serve.requests".to_string(), 5u64)];
+        assert!(!check_flight_dump_file(
+            FLIGHT_DUMP_SAMPLE,
+            "f.jsonl",
+            &ok_counters
+        ));
+        // More admits than the counter ever saw → fabricated events.
+        let low_counters = vec![("serve.requests".to_string(), 0u64)];
+        assert!(check_flight_dump_file(
+            FLIGHT_DUMP_SAMPLE,
+            "f.jsonl",
+            &low_counters
+        ));
+        // Time travel inside the dump is caught even without counters.
+        let warped =
+            FLIGHT_DUMP_SAMPLE.replace("\"ts_us\": 9, \"tid\": 1", "\"ts_us\": 2, \"tid\": 0");
+        assert!(check_flight_dump_file(&warped, "f.jsonl", &[]));
     }
 }

@@ -134,9 +134,10 @@ fn receiver(stream: TcpStream, shared: Arc<SharedState>) {
                 log.error_kinds.push((id, kind));
             }
             Response::Pong { .. } => {}
-            Response::Stats { counters, .. } => {
-                *shared.stats.lock().expect("stats") = Some(counters);
+            Response::Stats { body, .. } => {
+                *shared.stats.lock().expect("stats") = Some(body.counters);
             }
+            Response::Telemetry { .. } | Response::Flight { .. } => {}
             Response::ShuttingDown { .. } => {
                 shared.shutdown_acked.store(true, Ordering::SeqCst);
             }

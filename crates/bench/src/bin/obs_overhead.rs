@@ -7,12 +7,17 @@
 //! * **baseline** — a reimplementation of the optimized search on the
 //!   public cache/energy APIs with no observability calls at the solve
 //!   layer (the same pattern `throughput` uses for its legacy engine);
-//! * **disabled** — the real [`solve_with_cache`] with metrics and
-//!   tracing off, i.e. the instrumentation compiled in but reduced to
-//!   relaxed atomic loads;
-//! * **enabled** — the real solver with metrics *and* tracing on.
+//! * **disabled** — the real [`solve_with_cache`] with metrics, tracing
+//!   and the flight recorder off, i.e. the instrumentation compiled in
+//!   but reduced to relaxed atomic loads;
+//! * **enabled** — the real solver under the daemon's *always-on*
+//!   observability (metrics + the flight recorder; tracing stays the
+//!   opt-in `--trace` flag it is in `serve`), each solve bracketed by
+//!   the same solve-start/solve-done journal events a serve worker
+//!   records.
 //!
-//! The gate is `disabled / baseline − 1 ≤ --max-overhead` (default 2%).
+//! Two gates: `disabled / baseline − 1 ≤ --max-overhead` (default 2%)
+//! and `enabled / baseline − 1 ≤ --max-enabled-overhead` (default 5%).
 //! Per-strategy energy totals of all three engines must agree
 //! bit-for-bit, proving the instrumentation never perturbs results.
 //! Results are written to `--out` and spliced into BENCH_solver.json as
@@ -117,6 +122,22 @@ fn instrumented_solve(
         .map(|s| s.energy.total())
 }
 
+/// The enabled engine: the real solver with a serve-style flight
+/// lifecycle journaled around every solve, so the 5% enabled gate pays
+/// for the recorder's ring writes exactly like a daemon worker does.
+fn instrumented_solve_flight(
+    strategy: Strategy,
+    graph: &TaskGraph,
+    deadline_s: f64,
+    cfg: &SchedulerConfig,
+    cache: &mut ScheduleCache<'_>,
+) -> Option<f64> {
+    lamps_obs::flight::record(lamps_obs::flight::SERVE_SOLVE_START, 0, 0, 0);
+    let r = instrumented_solve(strategy, graph, deadline_s, cfg, cache);
+    lamps_obs::flight::record(lamps_obs::flight::SERVE_SOLVE_DONE, 0, 0, 0);
+    r
+}
+
 /// Run the whole workload through one engine, accumulating per-strategy
 /// energy totals in the same order as `throughput` does.
 fn run<F>(graphs: &[TaskGraph], cfg: &SchedulerConfig, mut engine: F) -> [f64; 4]
@@ -167,6 +188,7 @@ fn run_trials(
     out: &str,
     bench_path: &str,
     max_overhead: f64,
+    max_enabled_overhead: f64,
     full: bool,
 ) {
     use lamps_obs::json::{parse, Value};
@@ -185,7 +207,8 @@ fn run_trials(
             .args(["--out", &trial_out])
             .args(["--bench", ""])
             // The child never gates; this parent decides.
-            .args(["--max-overhead", "1e18"]);
+            .args(["--max-overhead", "1e18"])
+            .args(["--max-enabled-overhead", "1e18"]);
         if full {
             cmd.arg("--full");
         }
@@ -218,7 +241,8 @@ fn run_trials(
     }
 
     let fast_enough = best_disabled <= max_overhead;
-    let pass = fast_enough && all_equal;
+    let enabled_fast_enough = best_enabled <= max_enabled_overhead;
+    let pass = fast_enough && enabled_fast_enough && all_equal;
     eprintln!(
         "over {trials} trials: disabled {:+.2}% (min), enabled {:+.2}% (min), bitwise_equal={all_equal}",
         100.0 * best_disabled,
@@ -232,6 +256,10 @@ fn run_trials(
     let _ = writeln!(section, "    \"disabled_overhead\": {best_disabled},");
     let _ = writeln!(section, "    \"enabled_overhead\": {best_enabled},");
     let _ = writeln!(section, "    \"max_disabled_overhead\": {max_overhead},");
+    let _ = writeln!(
+        section,
+        "    \"max_enabled_overhead\": {max_enabled_overhead},"
+    );
     let _ = writeln!(section, "    \"all_bitwise_equal\": {all_equal},");
     let _ = writeln!(section, "    \"pass\": {pass}");
     section.push_str("  }");
@@ -263,6 +291,14 @@ fn run_trials(
         );
         std::process::exit(1);
     }
+    if !enabled_fast_enough {
+        eprintln!(
+            "obs_overhead FAILURE: enabled-path overhead {:+.2}% exceeds the {:.0}% gate",
+            100.0 * best_enabled,
+            100.0 * max_enabled_overhead
+        );
+        std::process::exit(1);
+    }
     eprintln!("obs_overhead clean");
 }
 
@@ -275,6 +311,7 @@ fn main() {
         "out",
         "bench",
         "max-overhead",
+        "max-enabled-overhead",
         "full",
     ]);
     let reps = opts.usize("reps", 25);
@@ -286,6 +323,7 @@ fn main() {
     let out = opts.string("out", "target/obs_overhead.json");
     let bench_path = opts.string("bench", "BENCH_solver.json");
     let max_overhead = opts.f64("max-overhead", 0.02);
+    let max_enabled_overhead = opts.f64("max-enabled-overhead", 0.05);
 
     // Within one process the min-of-N samples are tight, but run-to-run
     // they shift by several percent either way (code placement / ASLR /
@@ -304,6 +342,7 @@ fn main() {
             &out,
             &bench_path,
             max_overhead,
+            max_enabled_overhead,
             opts.flag("full"),
         );
         return;
@@ -375,22 +414,22 @@ fn main() {
         t_baseline.record(rep_base);
         t_disabled.record(rep_dis);
 
+        // The always-on daemon configuration: metrics + flight. Tracing
+        // is per-run opt-in (`serve --trace`) and not part of what the
+        // enabled gate promises; the flight ring is bounded by design
+        // and just wraps, so nothing needs draining between passes.
         lamps_obs::enable_metrics();
-        lamps_obs::enable_tracing();
+        lamps_obs::enable_flight();
         let (rep_ena, ena) = sample_seconds(|| {
             let mut ena = [0.0; 4];
             for _ in 0..inner {
-                ena = run(&graphs, &cfg, instrumented_solve);
-                // Drain per pass so the trace buffer doesn't grow
-                // unbounded (draining is part of the enabled engine's
-                // cost).
-                let _ = lamps_obs::trace::take_events();
+                ena = run(&graphs, &cfg, instrumented_solve_flight);
             }
             ena
         });
         t_enabled.record(rep_ena);
         lamps_obs::disable_metrics();
-        lamps_obs::disable_tracing();
+        lamps_obs::disable_flight();
 
         totals.get_or_insert((base, dis, ena));
     }
@@ -423,7 +462,8 @@ fn main() {
 
     // NaN (zero-time runs) must fail, so test for the passing condition.
     let fast_enough = overhead_disabled <= max_overhead;
-    let pass = fast_enough && all_equal;
+    let enabled_fast_enough = overhead_enabled <= max_enabled_overhead;
+    let pass = fast_enough && enabled_fast_enough && all_equal;
 
     let mut section = String::from("{\n");
     let _ = writeln!(section, "    \"workload_cells\": {cells},");
@@ -434,6 +474,10 @@ fn main() {
     let _ = writeln!(section, "    \"disabled_overhead\": {overhead_disabled},");
     let _ = writeln!(section, "    \"enabled_overhead\": {overhead_enabled},");
     let _ = writeln!(section, "    \"max_disabled_overhead\": {max_overhead},");
+    let _ = writeln!(
+        section,
+        "    \"max_enabled_overhead\": {max_enabled_overhead},"
+    );
     let _ = writeln!(section, "    \"all_bitwise_equal\": {all_equal},");
     let _ = writeln!(section, "    \"pass\": {pass}");
     section.push_str("  }");
@@ -464,6 +508,14 @@ fn main() {
             "obs_overhead FAILURE: disabled-path overhead {:.2}% exceeds the {:.0}% gate",
             100.0 * overhead_disabled,
             100.0 * max_overhead
+        );
+        std::process::exit(1);
+    }
+    if !enabled_fast_enough {
+        eprintln!(
+            "obs_overhead FAILURE: enabled-path overhead {:.2}% exceeds the {:.0}% gate",
+            100.0 * overhead_enabled,
+            100.0 * max_enabled_overhead
         );
         std::process::exit(1);
     }

@@ -22,13 +22,28 @@
 //! * `--idle-ms` — per-connection read timeout (slow-loris bound).
 //! * `--metrics-out` / `--trace` — dump the `lamps-obs` registry /
 //!   Chrome trace to a file after shutdown.
+//! * `--metrics-interval-ms` — additionally flush `--metrics-out` (and
+//!   `--expo-out`) every N ms while serving, via an atomic temp-file
+//!   rename, so a scrape mid-run never reads a torn file.
+//! * `--expo-out` — write the registry in Prometheus text exposition
+//!   format (periodically with `--metrics-interval-ms`, and at exit).
+//! * `--flight-dump` — post-mortem path: the flight journal is dumped
+//!   here on a worker panic (last-gasp) and again at clean shutdown.
+//! * `--flight-capacity` — per-thread flight ring capacity in events.
+//!
+//! Observability is **always on** in the daemon: metrics and the flight
+//! recorder are enabled before the listener binds (the wire `telemetry`
+//! and `flight` ops must answer from request one). The flags above only
+//! control where snapshots land on disk.
 //!
 //! Bind failures (port in use, bad address) exit nonzero with a
 //! one-line error via [`lamps_bench::cli::or_die`].
 
 use lamps_bench::cli::{or_die, Options};
+use lamps_obs::expo::{FlushFormat, Flusher};
 use lamps_serve::{ServeConfig, Server};
 use std::io::Write as _;
+use std::path::PathBuf;
 use std::time::Duration;
 
 fn main() {
@@ -40,12 +55,28 @@ fn main() {
         "timeout-ms",
         "idle-ms",
         "metrics-out",
+        "metrics-interval-ms",
+        "expo-out",
         "trace",
+        "flight-dump",
+        "flight-capacity",
     ]);
     let metrics_out = opts.string("metrics-out", "");
+    let expo_out = opts.string("expo-out", "");
     let trace_out = opts.string("trace", "");
-    if !metrics_out.is_empty() {
-        lamps_obs::enable_metrics();
+    let flight_dump = opts.string("flight-dump", "");
+    let interval_ms = opts.u64("metrics-interval-ms", 0);
+
+    // The daemon is always observable: the telemetry/flight wire ops
+    // answer from the first request, no flag required.
+    lamps_obs::enable_metrics();
+    lamps_obs::enable_flight();
+    let flight_capacity = opts.usize("flight-capacity", 0);
+    if flight_capacity > 0 {
+        lamps_obs::flight::set_segment_capacity(flight_capacity);
+    }
+    if !flight_dump.is_empty() {
+        lamps_obs::flight::set_last_gasp_path(Some(PathBuf::from(&flight_dump)));
     }
     if !trace_out.is_empty() {
         lamps_obs::enable_tracing();
@@ -65,6 +96,27 @@ fn main() {
     }
     config.idle_timeout = Duration::from_millis(opts.u64("idle-ms", 30_000));
 
+    // Mid-run snapshot flushers: atomic-rename writers on their own
+    // thread, so a crash or a concurrent scrape sees whole files only.
+    let mut flushers: Vec<Flusher> = Vec::new();
+    if interval_ms > 0 {
+        let interval = Duration::from_millis(interval_ms);
+        if !metrics_out.is_empty() {
+            flushers.push(Flusher::start(
+                PathBuf::from(&metrics_out),
+                interval,
+                FlushFormat::Json,
+            ));
+        }
+        if !expo_out.is_empty() {
+            flushers.push(Flusher::start(
+                PathBuf::from(&expo_out),
+                interval,
+                FlushFormat::Prometheus,
+            ));
+        }
+    }
+
     let workers = config.workers;
     let server = or_die(Server::start(config));
     println!(
@@ -83,16 +135,31 @@ fn main() {
         stats.solve_errors,
         stats.panics
     );
+    for f in flushers {
+        f.stop(); // final flush before the one-shot writes below
+    }
     if !metrics_out.is_empty() {
-        or_die(std::fs::write(
-            &metrics_out,
-            lamps_obs::registry::snapshot().to_json(),
+        or_die(lamps_obs::expo::write_atomic(
+            std::path::Path::new(&metrics_out),
+            &lamps_obs::registry::snapshot().to_json(),
+        ));
+    }
+    if !expo_out.is_empty() {
+        or_die(lamps_obs::expo::write_atomic(
+            std::path::Path::new(&expo_out),
+            &lamps_obs::expo::render_prometheus(&lamps_obs::registry::snapshot()),
         ));
     }
     if !trace_out.is_empty() {
         or_die(std::fs::write(
             &trace_out,
             lamps_obs::trace::export_chrome_json(),
+        ));
+    }
+    if !flight_dump.is_empty() {
+        or_die(lamps_obs::flight::dump_to_file(
+            std::path::Path::new(&flight_dump),
+            "shutdown",
         ));
     }
     if stats.panics > 0 {

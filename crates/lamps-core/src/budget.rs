@@ -182,6 +182,14 @@ pub fn solve_with_budget_cache(
     let _span = lamps_obs::span("core", "solve_budget");
     let stats_before = cache.stats();
     let result = budget_search(strategy, deadline_s, cfg, cache, budget);
+    if let Err(SolveError::BudgetExhausted { explored, total }) = &result {
+        lamps_obs::flight::record(
+            lamps_obs::flight::CORE_BUDGET_EXPIRED,
+            budget.max_steps.unwrap_or(0),
+            *explored,
+            *total,
+        );
+    }
     if lamps_obs::metrics_enabled() {
         let delta = cache.stats().since(&stats_before);
         lamps_obs::counter("core.budget.calls").inc();

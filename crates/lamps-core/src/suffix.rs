@@ -188,6 +188,12 @@ impl SuffixSolver {
         }
         let (level, plan, feasible) = best?;
         self.resolves += 1;
+        lamps_obs::flight::record(
+            lamps_obs::flight::CORE_SUFFIX_RESOLVE,
+            self.resolves,
+            steps,
+            u64::from(feasible),
+        );
         Some(SuffixPlan {
             level,
             plan,

@@ -1,0 +1,254 @@
+//! Prometheus-style text exposition and torn-read-free snapshot files.
+//!
+//! [`render_prometheus`] turns a [`MetricsSnapshot`] into the
+//! Prometheus text exposition format (version 0.0.4): counters and
+//! gauges as plain samples, log₂ histograms as cumulative
+//! `_bucket{le="..."}` series plus `_sum`/`_count`. Metric names are
+//! sanitized ([`sanitize_metric_name`]) since the registry uses dotted
+//! names.
+//!
+//! [`write_atomic`] writes a file via a same-directory temp file and
+//! `rename`, so a concurrent reader sees either the previous snapshot
+//! or the new one, never a torn mix. [`Flusher`] runs that write on a
+//! fixed interval from a background thread — the serve daemon's
+//! `--metrics-interval-ms` flag — and flushes once more on stop so the
+//! final state always lands.
+
+use crate::registry::{snapshot, MetricsSnapshot};
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Map a registry metric name onto the Prometheus grammar
+/// (`[a-zA-Z_:][a-zA-Z0-9_:]*`): every other character becomes `_`,
+/// and a leading digit is prefixed with `_`.
+pub fn sanitize_metric_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 1);
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        if i == 0 && ch.is_ascii_digit() {
+            out.push('_');
+            out.push(ch);
+        } else if ok {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Render a snapshot in the Prometheus text exposition format.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let n = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} counter");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, v) in &snap.gauges {
+        let n = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} gauge");
+        let _ = writeln!(out, "{n} {v}");
+    }
+    for (name, count, sum, buckets) in &snap.histograms {
+        let n = sanitize_metric_name(name);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (lower, c) in buckets {
+            cum += c;
+            // `le` is the inclusive upper bound of the log₂ bucket:
+            // bucket 0 holds only zeros, bucket [2^(i-1), 2^i) has
+            // upper bound 2^i - 1 on integer samples.
+            let le = if *lower == 0 {
+                0u128
+            } else {
+                (*lower as u128) * 2 - 1
+            };
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_bucket{{le=\"+Inf\"}} {count}");
+        let _ = writeln!(out, "{n}_sum {sum}");
+        let _ = writeln!(out, "{n}_count {count}");
+    }
+    out
+}
+
+/// Write `contents` to `path` atomically: write a sibling temp file,
+/// flush it, then `rename` over the destination. Readers never observe
+/// a partially written file.
+pub fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, path)
+}
+
+/// Output format for a [`Flusher`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushFormat {
+    /// The registry's JSON snapshot document ([`MetricsSnapshot::to_json`]).
+    Json,
+    /// Prometheus text exposition ([`render_prometheus`]).
+    Prometheus,
+}
+
+fn render(format: FlushFormat) -> String {
+    let snap = snapshot();
+    match format {
+        FlushFormat::Json => snap.to_json(),
+        FlushFormat::Prometheus => render_prometheus(&snap),
+    }
+}
+
+/// A background thread that writes the current metrics snapshot to a
+/// file every `interval`, atomically. Dropping (or [`Flusher::stop`])
+/// wakes the thread, flushes a final snapshot, and joins.
+#[derive(Debug)]
+pub struct Flusher {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Flusher {
+    /// Start flushing `format` snapshots to `path` every `interval`.
+    /// The first write happens after one interval; write errors are
+    /// ignored (metrics must never take the process down).
+    pub fn start(path: PathBuf, interval: Duration, format: FlushFormat) -> Flusher {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let thread_state = Arc::clone(&state);
+        let handle = std::thread::Builder::new()
+            .name("metrics-flush".into())
+            .spawn(move || {
+                let (stop, cv) = &*thread_state;
+                let mut stopped = stop.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    let (guard, timeout) = cv
+                        .wait_timeout(stopped, interval)
+                        .unwrap_or_else(|e| e.into_inner());
+                    stopped = guard;
+                    let done = *stopped;
+                    if timeout.timed_out() || done {
+                        let _ = write_atomic(&path, &render(format));
+                    }
+                    if done {
+                        return;
+                    }
+                }
+            })
+            .expect("spawn metrics-flush thread");
+        Flusher {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stop the flusher: wake it, write one final snapshot, join.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let (stop, cv) = &*self.state;
+            *stop.lock().unwrap_or_else(|e| e.into_inner()) = true;
+            cv.notify_all();
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Flusher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::test_lock;
+    use crate::registry::{counter, disable_metrics, enable_metrics, gauge, histogram};
+
+    #[test]
+    fn sanitize_maps_dots_and_leading_digits() {
+        assert_eq!(sanitize_metric_name("serve.latency_us"), "serve_latency_us");
+        assert_eq!(sanitize_metric_name("9lives"), "_9lives");
+        assert_eq!(sanitize_metric_name("a-b c"), "a_b_c");
+        assert_eq!(sanitize_metric_name(""), "_");
+    }
+
+    #[test]
+    fn prometheus_text_has_types_samples_and_cumulative_buckets() {
+        let _g = test_lock();
+        enable_metrics();
+        counter("test.expo.c").add(5);
+        gauge("test.expo.g").set(11);
+        let h = histogram("test.expo.h");
+        for v in [0u64, 3, 3, 700] {
+            h.record(v);
+        }
+        disable_metrics();
+        let text = render_prometheus(&snapshot());
+        assert!(text.contains("# TYPE test_expo_c counter"));
+        assert!(text.contains("test_expo_c 5"));
+        assert!(text.contains("# TYPE test_expo_g gauge"));
+        assert!(text.contains("test_expo_g 11"));
+        assert!(text.contains("# TYPE test_expo_h histogram"));
+        // Buckets are cumulative: le="0" sees the zero, le="3" adds the
+        // two 3s, le="+Inf" equals the count.
+        assert!(text.contains("test_expo_h_bucket{le=\"0\"} 1"), "{text}");
+        assert!(text.contains("test_expo_h_bucket{le=\"3\"} 3"), "{text}");
+        assert!(text.contains("test_expo_h_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("test_expo_h_sum 706"));
+        assert!(text.contains("test_expo_h_count 4"));
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let path = std::env::temp_dir().join(format!("lamps-expo-{}.txt", std::process::id()));
+        write_atomic(&path, "first version, quite long indeed\n").unwrap();
+        write_atomic(&path, "second\n").unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "second\n");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn flusher_writes_parseable_midrun_snapshots() {
+        let _g = test_lock();
+        enable_metrics();
+        counter("test.expo.flush").add(2);
+        let path = std::env::temp_dir().join(format!("lamps-flush-{}.json", std::process::id()));
+        let flusher = Flusher::start(path.clone(), Duration::from_millis(5), FlushFormat::Json);
+        // Wait for at least one periodic (mid-run) flush.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            if path.exists() {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no flush within 5s");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let mid = std::fs::read_to_string(&path).unwrap();
+        let v = crate::json::parse(&mid).expect("mid-run snapshot parses");
+        assert!(v.get("counters").is_some());
+        flusher.stop();
+        disable_metrics();
+        // Final flush happened on stop and still parses.
+        let last = std::fs::read_to_string(&path).unwrap();
+        crate::json::parse(&last).expect("final snapshot parses");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,525 @@
+//! Flight recorder: a bounded, lock-light journal of runtime events.
+//!
+//! The recorder keeps one fixed-capacity ring segment per thread; a
+//! thread records into its own segment under a mutex nobody else
+//! touches except during [`snapshot`], so the hot path is one relaxed
+//! load of the enable flag, and — when enabled — one uncontended lock
+//! plus a ring write. With the recorder disabled (the default) a call
+//! to [`record`] returns after the flag load, the same discipline the
+//! metrics registry keeps for its 2% disabled-path budget.
+//!
+//! Events are fixed-size and allocation-free: a monotonic microsecond
+//! timestamp (shared origin across threads, from [`std::time::Instant`]
+//! so wall-clock steps cannot reorder them), a small per-process thread
+//! id, a `&'static` kind tag, a correlation `key` (request id, frame
+//! index), and two `u64` payload words whose meaning is per-kind. When
+//! a segment fills, the oldest events on that thread are overwritten
+//! and counted in `dropped` — the journal is a flight recorder, not a
+//! log: it answers "what was the system doing just before X", not
+//! "everything that ever happened".
+//!
+//! [`snapshot`] merges every segment oldest-first and stable-sorts by
+//! timestamp, so per-thread event order is preserved exactly and
+//! cross-thread order is as good as the clock. [`FlightSnapshot::to_jsonl`]
+//! renders the `lamps-flight-v1` dump format (one header line, then one
+//! JSON object per event) that the last-gasp hook writes and
+//! `lamps_verify` structurally checks.
+
+use crate::json;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+static FLIGHT: AtomicBool = AtomicBool::new(false);
+
+/// Turn flight recording on process-wide.
+pub fn enable_flight() {
+    FLIGHT.store(true, Ordering::Relaxed);
+}
+
+/// Turn flight recording off process-wide (already-recorded events are
+/// kept until [`clear`]).
+pub fn disable_flight() {
+    FLIGHT.store(false, Ordering::Relaxed);
+}
+
+/// Whether flight recording is currently enabled.
+#[inline]
+pub fn flight_enabled() -> bool {
+    FLIGHT.load(Ordering::Relaxed)
+}
+
+/// Default per-thread ring capacity, in events.
+pub const DEFAULT_SEGMENT_CAPACITY: usize = 4096;
+
+static SEGMENT_CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_SEGMENT_CAPACITY);
+
+/// Set the per-thread ring capacity for segments created *after* this
+/// call (existing segments keep their size). Clamped to at least 16 so
+/// a request lifecycle always fits.
+pub fn set_segment_capacity(events: usize) {
+    SEGMENT_CAPACITY.store(events.max(16), Ordering::Relaxed);
+}
+
+// --- Event kinds -----------------------------------------------------
+//
+// Kinds are `&'static str` tags, namespaced by the recording crate.
+// The constants live here so recorders and checkers agree on spelling.
+
+/// Connection accepted; `key` = connection ordinal.
+pub const SERVE_ACCEPT: &str = "serve.accept";
+/// Request admitted to the queue; `key` = request id, `a` = queue depth.
+pub const SERVE_ADMIT: &str = "serve.admit";
+/// Request rejected with `overloaded`; `key` = request id, `a` = depth.
+pub const SERVE_OVERLOAD: &str = "serve.overload";
+/// Worker began solving; `key` = request id.
+pub const SERVE_SOLVE_START: &str = "serve.solve.start";
+/// Worker finished; `key` = request id, `a` = steps explored,
+/// `b` = 0 ok / 1 degraded / 2 error.
+pub const SERVE_SOLVE_DONE: &str = "serve.solve.done";
+/// Reply handed to the connection writer; `key` = request id.
+pub const SERVE_REPLY: &str = "serve.reply";
+/// Queue-depth sample; `a` = depth, `b` = capacity.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue.depth";
+/// A worker panicked while solving; `key` = request id.
+pub const SERVE_PANIC: &str = "serve.panic";
+/// Online frame admitted; `key` = frame index, `a` = backlog.
+pub const ONLINE_ADMIT: &str = "online.admit";
+/// Online frame deferred; `key` = frame index, `a` = delay in µs.
+pub const ONLINE_DEFER: &str = "online.defer";
+/// Online frame shed; `key` = frame index, `a` = backlog.
+pub const ONLINE_SHED: &str = "online.shed";
+/// Slack reclamation lowered a frame's level; `key` = frame index,
+/// `a` = chosen level.
+pub const ONLINE_RECLAIM: &str = "online.reclaim";
+/// Incremental suffix re-solve ran for a frame; `key` = frame index.
+pub const ONLINE_RESOLVE: &str = "online.resolve";
+/// Fault-ladder transition; `key` = frame index, `a` = rung
+/// (0 absorbed / 1 boosted / 2 replanned), `b` = faults injected.
+pub const ONLINE_FAULT: &str = "online.fault";
+/// A frame missed its deadline; `key` = frame index, `a` = lateness µs.
+pub const ONLINE_MISS: &str = "online.miss";
+/// A solve budget expired; `a` = explored, `b` = total candidates.
+pub const CORE_BUDGET_EXPIRED: &str = "core.budget.expired";
+/// Suffix re-solve completed; `a` = steps, `b` = 1 if key-cache hit.
+pub const CORE_SUFFIX_RESOLVE: &str = "core.suffix.resolve";
+
+/// One recorded event. Fixed-size and `Copy`; payload words `a`/`b`
+/// are per-kind (see the kind constants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// Microseconds since the recorder's origin (monotonic clock).
+    pub ts_us: u64,
+    /// Small per-process thread id, assigned in first-record order.
+    pub tid: u64,
+    /// Event kind tag (one of the constants above, by convention).
+    pub kind: &'static str,
+    /// Correlation key: request id, frame index, or 0.
+    pub key: u64,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+struct Segment {
+    tid: u64,
+    buf: Vec<FlightEvent>,
+    capacity: usize,
+    /// Insertion index once the ring has wrapped.
+    next: usize,
+    dropped: u64,
+}
+
+impl Segment {
+    fn push(&mut self, ev: FlightEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.buf[self.next] = ev;
+            self.next = (self.next + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Events oldest-first.
+    fn ordered(&self) -> Vec<FlightEvent> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.next..]);
+        out.extend_from_slice(&self.buf[..self.next]);
+        out
+    }
+}
+
+struct Recorder {
+    origin: Instant,
+    segments: Mutex<Vec<Arc<Mutex<Segment>>>>,
+}
+
+fn recorder() -> &'static Recorder {
+    static RECORDER: OnceLock<Recorder> = OnceLock::new();
+    RECORDER.get_or_init(|| Recorder {
+        origin: Instant::now(),
+        segments: Mutex::new(Vec::new()),
+    })
+}
+
+fn lock<'a, T>(m: &'a Mutex<T>) -> std::sync::MutexGuard<'a, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+thread_local! {
+    static SEGMENT: std::cell::OnceCell<Arc<Mutex<Segment>>> =
+        const { std::cell::OnceCell::new() };
+}
+
+/// Record one event. One relaxed atomic load when disabled.
+#[inline]
+pub fn record(kind: &'static str, key: u64, a: u64, b: u64) {
+    if !flight_enabled() {
+        return;
+    }
+    let ts_us = now_us();
+    record_event(ts_us, kind, key, a, b);
+}
+
+/// The recorder's monotonic clock, in microseconds since its origin.
+/// Returns 0 without touching the clock when recording is disabled.
+///
+/// Use with [`record_at`] to stamp an event *before* the action it
+/// describes becomes visible to other threads — e.g. take the timestamp
+/// before pushing a job onto a shared queue, so a worker that dequeues
+/// it immediately cannot journal its own event with an earlier time.
+#[inline]
+pub fn now_us() -> u64 {
+    if !flight_enabled() {
+        return 0;
+    }
+    Instant::now().duration_since(recorder().origin).as_micros() as u64
+}
+
+/// Record one event with a timestamp captured earlier via [`now_us`].
+/// One relaxed atomic load when disabled.
+#[inline]
+pub fn record_at(ts_us: u64, kind: &'static str, key: u64, a: u64, b: u64) {
+    if !flight_enabled() {
+        return;
+    }
+    record_event(ts_us, kind, key, a, b);
+}
+
+#[cold]
+fn new_segment() -> Arc<Mutex<Segment>> {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+    let seg = Arc::new(Mutex::new(Segment {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        buf: Vec::new(),
+        capacity: SEGMENT_CAPACITY.load(Ordering::Relaxed),
+        next: 0,
+        dropped: 0,
+    }));
+    lock(&recorder().segments).push(Arc::clone(&seg));
+    seg
+}
+
+fn record_event(ts_us: u64, kind: &'static str, key: u64, a: u64, b: u64) {
+    SEGMENT.with(|cell| {
+        let seg = cell.get_or_init(new_segment);
+        let mut s = lock(seg);
+        let tid = s.tid;
+        s.push(FlightEvent {
+            ts_us,
+            tid,
+            kind,
+            key,
+            a,
+            b,
+        });
+    });
+}
+
+/// A merged point-in-time copy of every thread's segment.
+#[derive(Debug, Clone, Default)]
+pub struct FlightSnapshot {
+    /// Events stable-sorted by timestamp (per-thread order preserved).
+    pub events: Vec<FlightEvent>,
+    /// Events overwritten by ring wraparound, summed over threads.
+    pub dropped: u64,
+}
+
+impl FlightSnapshot {
+    /// The last `n` events (the freshest tail of the journal).
+    pub fn tail(&self, n: usize) -> &[FlightEvent] {
+        &self.events[self.events.len().saturating_sub(n)..]
+    }
+
+    /// Render the `lamps-flight-v1` dump: one JSON header line
+    /// (`schema`, `reason`, `events`, `dropped`), then one JSON object
+    /// per event.
+    pub fn to_jsonl(&self, reason: &str) -> String {
+        let mut out = String::new();
+        out.push_str("{\"schema\": \"lamps-flight-v1\", \"reason\": ");
+        json::write_string(&mut out, reason);
+        let _ = writeln!(
+            out,
+            ", \"events\": {}, \"dropped\": {}}}",
+            self.events.len(),
+            self.dropped
+        );
+        for ev in &self.events {
+            write_event_json(&mut out, ev);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Append one event as a single-line JSON object (no trailing newline).
+pub fn write_event_json(out: &mut String, ev: &FlightEvent) {
+    let _ = write!(
+        out,
+        "{{\"ts_us\": {}, \"tid\": {}, \"kind\": ",
+        ev.ts_us, ev.tid
+    );
+    json::write_string(out, ev.kind);
+    let _ = write!(
+        out,
+        ", \"key\": {}, \"a\": {}, \"b\": {}}}",
+        ev.key, ev.a, ev.b
+    );
+}
+
+/// Merge every segment into a timestamp-ordered snapshot. Segments are
+/// locked one at a time, so the snapshot is consistent per thread but
+/// only loosely ordered across threads (as good as the shared clock).
+pub fn snapshot() -> FlightSnapshot {
+    let segments = lock(&recorder().segments).clone();
+    let mut events = Vec::new();
+    let mut dropped = 0u64;
+    for seg in &segments {
+        let s = lock(seg);
+        events.extend(s.ordered());
+        dropped += s.dropped;
+    }
+    // Stable sort: events from one thread keep their recorded order.
+    events.sort_by_key(|e| e.ts_us);
+    FlightSnapshot { events, dropped }
+}
+
+/// Number of events currently buffered across all threads.
+pub fn event_count() -> usize {
+    let segments = lock(&recorder().segments).clone();
+    segments.iter().map(|s| lock(s).buf.len()).sum()
+}
+
+/// Empty every segment and zero the drop counters (segments stay
+/// registered to their threads). For tests and benchmarks.
+pub fn clear() {
+    let segments = lock(&recorder().segments).clone();
+    for seg in &segments {
+        let mut s = lock(seg);
+        s.buf.clear();
+        s.next = 0;
+        s.dropped = 0;
+    }
+}
+
+// --- Last gasp -------------------------------------------------------
+
+fn last_gasp_path() -> &'static Mutex<Option<std::path::PathBuf>> {
+    static PATH: OnceLock<Mutex<Option<std::path::PathBuf>>> = OnceLock::new();
+    PATH.get_or_init(|| Mutex::new(None))
+}
+
+/// Configure (or clear) the file the flight buffer is dumped to when
+/// [`last_gasp`] fires — on a serve worker panic or a structured
+/// deadline miss.
+pub fn set_last_gasp_path(path: Option<std::path::PathBuf>) {
+    *lock(last_gasp_path()) = path;
+}
+
+/// Dump the current flight buffer to the configured last-gasp file,
+/// tagged with `reason`. Returns the path written, or `None` when no
+/// path is configured or the write failed — a post-mortem hook must
+/// never take the process down with it.
+pub fn last_gasp(reason: &str) -> Option<std::path::PathBuf> {
+    let path = lock(last_gasp_path()).clone()?;
+    match dump_to_file(&path, reason) {
+        Ok(()) => Some(path),
+        Err(_) => None,
+    }
+}
+
+/// Write the current flight buffer to `path` as a `lamps-flight-v1`
+/// dump, atomically (temp file + rename) so readers never see a torn
+/// file.
+pub fn dump_to_file(path: &std::path::Path, reason: &str) -> std::io::Result<()> {
+    let text = snapshot().to_jsonl(reason);
+    crate::expo::write_atomic(path, &text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests::test_lock;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _g = test_lock();
+        disable_flight();
+        clear();
+        record("test.flight.off", 1, 2, 3);
+        assert!(!snapshot()
+            .events
+            .iter()
+            .any(|e| e.kind == "test.flight.off"));
+    }
+
+    #[test]
+    fn events_record_in_order_with_monotonic_timestamps() {
+        let _g = test_lock();
+        enable_flight();
+        clear();
+        for i in 0..10u64 {
+            record("test.flight.order", i, i * 2, 0);
+        }
+        disable_flight();
+        let snap = snapshot();
+        let ours: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == "test.flight.order")
+            .collect();
+        assert_eq!(ours.len(), 10);
+        for (i, ev) in ours.iter().enumerate() {
+            assert_eq!(ev.key, i as u64);
+            assert_eq!(ev.a, i as u64 * 2);
+            if i > 0 {
+                assert!(ev.ts_us >= ours[i - 1].ts_us);
+            }
+        }
+        clear();
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let _g = test_lock();
+        enable_flight();
+        clear();
+        // Record from a fresh thread with a tiny segment so this test
+        // controls its own ring.
+        set_segment_capacity(16);
+        let handle = std::thread::spawn(|| {
+            for i in 0..40u64 {
+                record("test.flight.ring", i, 0, 0);
+            }
+        });
+        handle.join().unwrap();
+        set_segment_capacity(DEFAULT_SEGMENT_CAPACITY);
+        disable_flight();
+        let snap = snapshot();
+        let ours: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == "test.flight.ring")
+            .collect();
+        assert_eq!(ours.len(), 16, "ring keeps exactly its capacity");
+        assert!(snap.dropped >= 24, "dropped {} < 24", snap.dropped);
+        // The survivors are the newest 24..40, oldest-first.
+        assert_eq!(ours.first().unwrap().key, 24);
+        assert_eq!(ours.last().unwrap().key, 39);
+        clear();
+    }
+
+    #[test]
+    fn threads_get_distinct_ids_and_merge_preserves_per_thread_order() {
+        let _g = test_lock();
+        enable_flight();
+        clear();
+        let handles: Vec<_> = (0..3)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    for i in 0..50u64 {
+                        record("test.flight.threads", t * 100 + i, 0, 0);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        disable_flight();
+        let snap = snapshot();
+        let ours: Vec<_> = snap
+            .events
+            .iter()
+            .filter(|e| e.kind == "test.flight.threads")
+            .collect();
+        assert_eq!(ours.len(), 150);
+        let mut tids: Vec<u64> = ours.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), 3, "three recording threads, three ids");
+        // Per-thread key order must survive the merge sort.
+        for tid in tids {
+            let keys: Vec<u64> = ours
+                .iter()
+                .filter(|e| e.tid == tid)
+                .map(|e| e.key % 100)
+                .collect();
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "tid {tid} reordered");
+        }
+        clear();
+    }
+
+    #[test]
+    fn jsonl_dump_round_trips_through_the_parser() {
+        let _g = test_lock();
+        enable_flight();
+        clear();
+        record(SERVE_ADMIT, 7, 3, 0);
+        record(SERVE_REPLY, 7, 0, 0);
+        disable_flight();
+        let text = snapshot().to_jsonl("test");
+        clear();
+        let mut lines = text.lines();
+        let header = crate::json::parse(lines.next().unwrap()).unwrap();
+        assert_eq!(
+            header.get("schema").unwrap().as_str(),
+            Some("lamps-flight-v1")
+        );
+        assert_eq!(header.get("reason").unwrap().as_str(), Some("test"));
+        let n = header.get("events").unwrap().as_number().unwrap() as usize;
+        let body: Vec<_> = lines.collect();
+        assert_eq!(body.len(), n);
+        for line in body {
+            let ev = crate::json::parse(line).unwrap();
+            for field in ["ts_us", "tid", "key", "a", "b"] {
+                assert!(ev.get(field).unwrap().as_number().is_some());
+            }
+            assert!(ev.get("kind").unwrap().as_str().is_some());
+        }
+    }
+
+    #[test]
+    fn last_gasp_writes_configured_file() {
+        let _g = test_lock();
+        enable_flight();
+        clear();
+        record(SERVE_PANIC, 9, 0, 0);
+        disable_flight();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("lamps-flight-gasp-{}.jsonl", std::process::id()));
+        set_last_gasp_path(Some(path.clone()));
+        let written = last_gasp("worker-panic").expect("dump written");
+        set_last_gasp_path(None);
+        assert_eq!(written, path);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let header = crate::json::parse(text.lines().next().unwrap()).unwrap();
+        assert_eq!(header.get("reason").unwrap().as_str(), Some("worker-panic"));
+        std::fs::remove_file(&path).ok();
+        assert!(last_gasp("no path").is_none());
+        clear();
+    }
+}

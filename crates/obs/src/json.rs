@@ -418,6 +418,54 @@ mod tests {
     }
 
     #[test]
+    fn every_control_char_escapes_and_round_trips() {
+        // These encoders feed the wire protocol: every C0 control
+        // character must come out as a valid escape, never raw.
+        for c in 0u32..0x20 {
+            let s = char::from_u32(c).unwrap().to_string();
+            let mut out = String::new();
+            write_string(&mut out, &s);
+            assert!(
+                out.bytes().all(|b| b >= 0x20),
+                "raw control byte in {out:?}"
+            );
+            assert_eq!(parse(&out).unwrap().as_str(), Some(s.as_str()), "c={c:#x}");
+        }
+    }
+
+    #[test]
+    fn astral_and_boundary_strings_round_trip() {
+        for s in [
+            "",
+            "\u{10348}𝄞",
+            "\u{7f}",
+            "ends with backslash\\",
+            "\"\"",
+            "a\u{0}b",
+        ] {
+            let mut out = String::new();
+            write_string(&mut out, s);
+            assert_eq!(parse(&out).unwrap().as_str(), Some(s), "s={s:?}");
+        }
+    }
+
+    #[test]
+    fn all_nonfinite_variants_encode_as_parseable_null() {
+        for v in [f64::NAN, -f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            assert_eq!(parse(&out).unwrap(), Value::Null, "v={v}");
+        }
+        // Finite extremes stay finite and re-parse to themselves.
+        for v in [f64::MAX, f64::MIN, f64::MIN_POSITIVE, -0.0, 0.0] {
+            let mut out = String::new();
+            write_f64(&mut out, v);
+            let back = parse(&out).unwrap().as_number().unwrap();
+            assert_eq!(back, v, "v={v:e} out={out}");
+        }
+    }
+
+    #[test]
     fn unicode_escapes_parse() {
         assert_eq!(parse(r#""Aé""#).unwrap().as_str(), Some("Aé"));
         assert!(parse(r#""\ud800""#).is_err(), "lone surrogate");

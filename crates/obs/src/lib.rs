@@ -20,6 +20,14 @@
 //! * [`json`] — the minimal JSON writer/parser the other two (and the
 //!   `lamps-verify` schema checks) share, so the workspace stays free of
 //!   external dependencies.
+//! * [`flight`] — a bounded per-thread ring-buffer flight recorder of
+//!   structured runtime events (request lifecycles, admission verdicts,
+//!   fault-ladder transitions), merged on [`flight::snapshot`] and
+//!   dumped post-mortem by [`flight::last_gasp`]. Same disabled-path
+//!   discipline: one relaxed load when off.
+//! * [`expo`] — Prometheus-style text exposition of the registry plus
+//!   atomic (temp-file + rename) snapshot files and a periodic
+//!   [`expo::Flusher`] for the serve daemon.
 //!
 //! # Conventions
 //!
@@ -53,13 +61,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod expo;
+pub mod flight;
 pub mod json;
 pub mod registry;
 pub mod trace;
 
+pub use flight::{
+    disable_flight, enable_flight, flight_enabled, record as flight_record, FlightEvent,
+    FlightSnapshot,
+};
 pub use registry::{
-    counter, disable_metrics, enable_metrics, gauge, histogram, metrics_enabled, Counter, Gauge,
-    Histogram, MetricsSnapshot,
+    counter, disable_metrics, enable_metrics, gauge, histogram, metrics_enabled,
+    quantile_from_buckets, Counter, Gauge, Histogram, MetricsSnapshot,
 };
 pub use trace::{
     disable_tracing, enable_tracing, instant, span, span_named, tracing_enabled, Span,

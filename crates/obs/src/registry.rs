@@ -281,6 +281,57 @@ pub fn reset() {
 /// (bucket_lower, count) pairs)`.
 pub type HistogramRow = (String, u64, u64, Vec<(u64, u64)>);
 
+/// Exclusive upper bound of the log₂ bucket whose lower bound is
+/// `lower`, as an `f64`. Bucket 0 holds only the value 0, so its upper
+/// bound is 0; the saturated top bucket (`lower == 2^63`) gets 2⁶⁴,
+/// which is exactly representable.
+fn bucket_upper(lower: u64) -> f64 {
+    if lower == 0 {
+        0.0
+    } else {
+        lower as f64 * 2.0
+    }
+}
+
+/// Estimate the `q`-quantile (`0.0 ..= 1.0`) of a log₂ histogram from
+/// its non-empty `(bucket_lower, count)` pairs, interpolating linearly
+/// within the bucket that contains the target rank — the same estimate
+/// Prometheus's `histogram_quantile` computes, specialized to power-of-
+/// two bounds. Returns `None` for an empty histogram or a `q` outside
+/// `[0, 1]`.
+///
+/// The estimate is exact for bucket 0 (only zeros land there) and
+/// otherwise off by at most the bucket width; on latency-shaped data
+/// the log₂ grid keeps the relative error under 2×, which is enough
+/// for dashboards and gating.
+pub fn quantile_from_buckets(buckets: &[(u64, u64)], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) {
+        return None;
+    }
+    let total: u64 = buckets.iter().map(|(_, c)| *c).sum();
+    if total == 0 {
+        return None;
+    }
+    // Target rank in (0, total]; the max() keeps q = 0 inside the
+    // first non-empty bucket instead of before it.
+    let rank = (q * total as f64).max(1e-12);
+    let mut cum = 0u64;
+    for (lower, c) in buckets {
+        let prev = cum as f64;
+        cum += c;
+        if cum as f64 >= rank {
+            if *lower == 0 {
+                return Some(0.0);
+            }
+            let lo = *lower as f64;
+            let hi = bucket_upper(*lower);
+            return Some(lo + (hi - lo) * ((rank - prev) / *c as f64));
+        }
+    }
+    // Unreachable when total > 0, but stay total-function anyway.
+    buckets.last().map(|(lower, _)| bucket_upper(*lower))
+}
+
 /// A point-in-time copy of every registered instrument.
 #[derive(Debug, Clone, Default)]
 pub struct MetricsSnapshot {
@@ -313,6 +364,14 @@ impl MetricsSnapshot {
             .iter()
             .find(|(n, ..)| n == name)
             .map(|(_, c, s, b)| (*c, *s, b.as_slice()))
+    }
+
+    /// Estimated `q`-quantile of the histogram `name`
+    /// ([`quantile_from_buckets`]); `None` when the histogram is
+    /// missing or empty.
+    pub fn quantile(&self, name: &str, q: f64) -> Option<f64> {
+        let (_, _, buckets) = self.histogram(name)?;
+        quantile_from_buckets(buckets, q)
     }
 
     /// Render as an aligned plain-text report.
@@ -473,6 +532,68 @@ pub(crate) mod tests {
         assert_eq!(Histogram::bucket_lower(0), 0);
         assert_eq!(Histogram::bucket_lower(1), 1);
         assert_eq!(Histogram::bucket_lower(10), 512);
+    }
+
+    #[test]
+    fn quantile_empty_histogram_is_none() {
+        assert_eq!(quantile_from_buckets(&[], 0.5), None);
+        assert_eq!(quantile_from_buckets(&[(1, 0), (512, 0)], 0.5), None);
+        // Out-of-range q never panics, even on data.
+        assert_eq!(quantile_from_buckets(&[(1, 3)], -0.1), None);
+        assert_eq!(quantile_from_buckets(&[(1, 3)], 1.5), None);
+        assert_eq!(quantile_from_buckets(&[(1, 3)], f64::NAN), None);
+    }
+
+    #[test]
+    fn quantile_single_bucket_interpolates_within_it() {
+        // All 10 samples in [512, 1024): quantiles walk the bucket
+        // linearly and stay inside its bounds.
+        let b = [(512u64, 10u64)];
+        let p50 = quantile_from_buckets(&b, 0.5).unwrap();
+        let p99 = quantile_from_buckets(&b, 0.99).unwrap();
+        assert!((512.0..1024.0).contains(&p50), "p50 {p50}");
+        assert!(p99 > p50 && p99 <= 1024.0, "p99 {p99}");
+        assert_eq!(quantile_from_buckets(&b, 1.0), Some(1024.0));
+        // q = 0 lands at the bucket's lower edge, not before it.
+        let p0 = quantile_from_buckets(&b, 0.0).unwrap();
+        assert!((p0 - 512.0).abs() < 1e-6, "p0 {p0}");
+        // The zero bucket is exact: only zeros live there.
+        assert_eq!(quantile_from_buckets(&[(0, 5)], 0.9), Some(0.0));
+    }
+
+    #[test]
+    fn quantile_saturated_top_bucket_stays_finite() {
+        // Samples in the top bucket [2^63, 2^64): the upper bound 2^64
+        // is representable, so no overflow and no infinity.
+        let top = 1u64 << 63;
+        let b = [(1u64, 1u64), (top, 9u64)];
+        let p99 = quantile_from_buckets(&b, 0.99).unwrap();
+        assert!(p99.is_finite());
+        assert!(p99 >= top as f64 && p99 <= 18446744073709551616.0);
+        let p50 = quantile_from_buckets(&b, 0.5).unwrap();
+        assert!(p50 >= top as f64, "p50 {p50} below top bucket");
+    }
+
+    #[test]
+    fn quantile_orders_and_brackets_known_data() {
+        let _g = test_lock();
+        enable_metrics();
+        let h = histogram("test.reg.quant");
+        // 100 samples 1..=100: p50 ≈ 50, p90 ≈ 90, p99 ≈ 99, within 2×
+        // (log₂ bucket resolution).
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let snap = snapshot();
+        let p50 = snap.quantile("test.reg.quant", 0.50).unwrap();
+        let p90 = snap.quantile("test.reg.quant", 0.90).unwrap();
+        let p99 = snap.quantile("test.reg.quant", 0.99).unwrap();
+        assert!(p50 <= p90 && p90 <= p99, "quantiles not monotone");
+        assert!((25.0..=100.0).contains(&p50), "p50 {p50}");
+        assert!((45.0..=180.0).contains(&p90), "p90 {p90}");
+        assert!((50.0..=200.0).contains(&p99), "p99 {p99}");
+        assert_eq!(snap.quantile("test.reg.quant.missing", 0.5), None);
+        disable_metrics();
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * `id` — caller-chosen correlation id (non-negative integer ≤ 2⁵³);
 //!   echoed verbatim on every response. Responses to pipelined requests
 //!   may come back out of order; the id is the correlation mechanism.
-//! * `op` — `solve` (default when absent), `ping`, `stats`, or
+//! * `op` — `solve` (default when absent), `ping`, `stats`,
+//!   `telemetry`, `flight` (observability snapshots; see below), or
 //!   `shutdown` (graceful drain; see [`crate::server`]).
 //! * `strategy` — `ss`, `lamps`, `ss_ps`, or `lamps_ps`.
 //! * `deadline_s` **or** `deadline_factor` — an absolute deadline in
@@ -27,11 +28,25 @@
 //! # Responses
 //!
 //! Every response carries `id` and a `status` of `ok`, `degraded`,
-//! `error`, `overloaded`, `pong`, `stats`, or `shutting_down`. Solved
-//! responses carry the energy-billed result; `energy_bits` and
-//! `freq_bits` are the exact IEEE-754 bit patterns as hex strings so
-//! clients can assert bitwise equality against a local solve (JSON
-//! numbers cannot round-trip all 64 bits).
+//! `error`, `overloaded`, `pong`, `stats`, `telemetry`, `flight`, or
+//! `shutting_down`. Solved responses carry the energy-billed result;
+//! `energy_bits` and `freq_bits` are the exact IEEE-754 bit patterns as
+//! hex strings so clients can assert bitwise equality against a local
+//! solve (JSON numbers cannot round-trip all 64 bits).
+//!
+//! # Observability ops
+//!
+//! `stats` and `telemetry` share one schema ([`TelemetryBody`], encoded
+//! by [`encode_telemetry_body`]): `counters` and `gauges` as name →
+//! integer maps, `histograms` as name → `{count, sum, p50, p90, p99}`
+//! with quantiles estimated by within-bucket interpolation over the
+//! registry's log₂ buckets (`null` while a histogram is empty). `stats`
+//! reports the server's own always-on counters; `telemetry` is the full
+//! process-wide metrics registry merged with them. `flight` returns the
+//! last `last` events (default 256) of the in-memory flight recorder:
+//! `{"id": ..., "status": "flight", "dropped": N, "events": [...]}`,
+//! each event carrying `ts_us`, `tid`, `kind`, `key`, `a`, `b` exactly
+//! as the `lamps-flight-v1` dump file renders them.
 //!
 //! The parser accepts exactly this schema; anything else comes back as a
 //! structured [`ProtoError`] naming what was wrong, with the request id
@@ -103,12 +118,29 @@ pub enum Request {
         /// Correlation id.
         id: u64,
     },
+    /// Full metrics snapshot: counters, gauges, histogram quantiles.
+    Telemetry {
+        /// Correlation id.
+        id: u64,
+    },
+    /// Tail of the flight-recorder event journal.
+    Flight {
+        /// Correlation id.
+        id: u64,
+        /// How many of the newest events to return.
+        last: usize,
+    },
     /// Graceful drain-and-exit.
     Shutdown {
         /// Correlation id.
         id: u64,
     },
 }
+
+/// Default event count for a `flight` request that omits `last`.
+pub const FLIGHT_DEFAULT_LAST: usize = 256;
+/// Ceiling on `last` so a flight reply stays a bounded line.
+pub const FLIGHT_MAX_LAST: usize = 65_536;
 
 /// A structured request rejection: what was wrong and, when it could be
 /// extracted, which request it concerned.
@@ -276,12 +308,32 @@ pub fn parse_request(line: &str, limits: &Limits) -> Result<Request, ProtoError>
     match op {
         "ping" => return Ok(Request::Ping { id }),
         "stats" => return Ok(Request::Stats { id }),
+        "telemetry" => return Ok(Request::Telemetry { id }),
+        "flight" => {
+            let last = match root.get("last") {
+                None => FLIGHT_DEFAULT_LAST,
+                Some(v) => match v.as_number() {
+                    Some(x) if (1.0..=FLIGHT_MAX_LAST as f64).contains(&x) && x.fract() == 0.0 => {
+                        x as usize
+                    }
+                    _ => {
+                        return Err(ProtoError::bad(
+                            Some(id),
+                            format!("last must be an integer in 1..={FLIGHT_MAX_LAST}"),
+                        ))
+                    }
+                },
+            };
+            return Ok(Request::Flight { id, last });
+        }
         "shutdown" => return Ok(Request::Shutdown { id }),
         "solve" => {}
         other => {
             return Err(ProtoError::bad(
                 Some(id),
-                format!("unknown op {other:?} (expected solve, ping, stats, or shutdown)"),
+                format!(
+                    "unknown op {other:?} (expected solve, ping, stats, telemetry, flight, or shutdown)"
+                ),
             ))
         }
     }
@@ -411,17 +463,144 @@ pub fn encode_shutdown_ack(id: u64) -> String {
     format!("{{\"id\":{id},\"status\":\"shutting_down\"}}\n")
 }
 
-/// Encode the reply to a `stats` request.
-pub fn encode_stats(id: u64, counters: &[(&str, u64)]) -> String {
-    let mut out = String::with_capacity(64 + counters.len() * 24);
-    let _ = write!(out, "{{\"id\":{id},\"status\":\"stats\",\"counters\":{{");
-    for (i, (name, value)) in counters.iter().enumerate() {
+/// Quantile summary of one histogram, as it crosses the wire.
+///
+/// Quantiles are estimated from the registry's log₂ buckets by
+/// within-bucket linear interpolation
+/// ([`lamps_obs::quantile_from_buckets`]); `None` (wire `null`) while
+/// the histogram is empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSummary {
+    /// Metric name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Estimated median.
+    pub p50: Option<f64>,
+    /// Estimated 90th percentile.
+    pub p90: Option<f64>,
+    /// Estimated 99th percentile.
+    pub p99: Option<f64>,
+}
+
+impl HistogramSummary {
+    /// Summarize a registry histogram row (name, count, sum, buckets).
+    pub fn from_buckets(name: String, count: u64, sum: u64, buckets: &[(u64, u64)]) -> Self {
+        HistogramSummary {
+            name,
+            count,
+            sum,
+            p50: lamps_obs::quantile_from_buckets(buckets, 0.50),
+            p90: lamps_obs::quantile_from_buckets(buckets, 0.90),
+            p99: lamps_obs::quantile_from_buckets(buckets, 0.99),
+        }
+    }
+}
+
+/// The shared payload of `stats` and `telemetry` responses.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryBody {
+    /// Monotonic counters, name → value.
+    pub counters: Vec<(String, u64)>,
+    /// Last-write-wins gauges, name → value.
+    pub gauges: Vec<(String, u64)>,
+    /// Histogram quantile summaries.
+    pub histograms: Vec<HistogramSummary>,
+}
+
+impl TelemetryBody {
+    /// Value of the counter `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Value of the gauge `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Summary of the histogram `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+}
+
+fn write_quantile(out: &mut String, key: &str, q: Option<f64>) {
+    let _ = write!(out, ",\"{key}\":");
+    match q {
+        // A quantile estimate is always finite, but route through the
+        // null-on-non-finite writer anyway: this feeds the wire.
+        Some(v) => lamps_obs::json::write_f64(out, v),
+        None => out.push_str("null"),
+    }
+}
+
+/// Encode a `stats`/`telemetry` reply — one schema for both, checked by
+/// `lamps_verify::serve::check_response_line`.
+pub fn encode_telemetry_body(id: u64, status: &str, body: &TelemetryBody) -> String {
+    let mut out = String::with_capacity(128 + (body.counters.len() + body.gauges.len()) * 32);
+    let _ = write!(out, "{{\"id\":{id},\"status\":\"{status}\",\"counters\":{{");
+    for (i, (name, value)) in body.counters.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\"{name}\":{value}");
+        write_string(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, value)) in body.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(&mut out, name);
+        let _ = write!(out, ":{value}");
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, h) in body.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(&mut out, &h.name);
+        let _ = write!(out, ":{{\"count\":{},\"sum\":{}", h.count, h.sum);
+        write_quantile(&mut out, "p50", h.p50);
+        write_quantile(&mut out, "p90", h.p90);
+        write_quantile(&mut out, "p99", h.p99);
+        out.push('}');
     }
     out.push_str("}}\n");
+    out
+}
+
+/// Encode the reply to a `stats` request.
+pub fn encode_stats(id: u64, body: &TelemetryBody) -> String {
+    encode_telemetry_body(id, "stats", body)
+}
+
+/// Encode the reply to a `telemetry` request.
+pub fn encode_telemetry(id: u64, body: &TelemetryBody) -> String {
+    encode_telemetry_body(id, "telemetry", body)
+}
+
+/// Encode the reply to a `flight` request: the newest `events` of the
+/// in-process journal, oldest first, in dump-file event schema.
+pub fn encode_flight(id: u64, events: &[lamps_obs::FlightEvent], dropped: u64) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    let _ = write!(
+        out,
+        "{{\"id\":{id},\"status\":\"flight\",\"dropped\":{dropped},\"events\":["
+    );
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        lamps_obs::flight::write_event_json(&mut out, ev);
+    }
+    out.push_str("]}\n");
     out
 }
 
@@ -451,18 +630,52 @@ pub enum Response {
         /// Echoed request id.
         id: u64,
     },
-    /// Reply to `stats` (counters as name → value).
+    /// Reply to `stats` (server's own counters, gauges, quantiles).
     Stats {
         /// Echoed request id.
         id: u64,
-        /// Server counters at snapshot time.
-        counters: Vec<(String, u64)>,
+        /// Snapshot payload.
+        body: TelemetryBody,
+    },
+    /// Reply to `telemetry` (full registry snapshot, same schema).
+    Telemetry {
+        /// Echoed request id.
+        id: u64,
+        /// Snapshot payload.
+        body: TelemetryBody,
+    },
+    /// Reply to `flight`: the journal tail.
+    Flight {
+        /// Echoed request id.
+        id: u64,
+        /// Ring-buffer overwrites since the journal started.
+        dropped: u64,
+        /// Events, oldest first.
+        events: Vec<WireFlightEvent>,
     },
     /// Reply to `shutdown`.
     ShuttingDown {
         /// Echoed request id.
         id: u64,
     },
+}
+
+/// A flight event as decoded from the wire (`kind` is owned here; the
+/// in-process recorder uses `&'static` tags).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireFlightEvent {
+    /// Microseconds since the recorder's origin.
+    pub ts_us: u64,
+    /// Per-process thread id.
+    pub tid: u64,
+    /// Event kind tag.
+    pub kind: String,
+    /// Correlation key (request id, frame index).
+    pub key: u64,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
 }
 
 /// The solved-response fields clients assert on.
@@ -499,6 +712,8 @@ impl Response {
             Response::Overloaded { id, .. }
             | Response::Pong { id }
             | Response::Stats { id, .. }
+            | Response::Telemetry { id, .. }
+            | Response::Flight { id, .. }
             | Response::ShuttingDown { id } => Some(*id),
         }
     }
@@ -574,21 +789,92 @@ pub fn parse_response(line: &str) -> Result<Response, String> {
         }),
         "pong" => Ok(Response::Pong { id: require_id()? }),
         "shutting_down" => Ok(Response::ShuttingDown { id: require_id()? }),
-        "stats" => {
-            let counters = root
-                .get("counters")
-                .and_then(Value::as_object)
-                .ok_or("stats response has no counters")?
+        "stats" => Ok(Response::Stats {
+            id: require_id()?,
+            body: parse_telemetry_body(&root)?,
+        }),
+        "telemetry" => Ok(Response::Telemetry {
+            id: require_id()?,
+            body: parse_telemetry_body(&root)?,
+        }),
+        "flight" => {
+            let events = root
+                .get("events")
+                .and_then(Value::as_array)
+                .ok_or("flight response has no events array")?
                 .iter()
-                .filter_map(|(k, v)| v.as_number().map(|n| (k.clone(), n as u64)))
-                .collect();
-            Ok(Response::Stats {
+                .map(|ev| {
+                    Ok(WireFlightEvent {
+                        ts_us: get_u64(ev, "ts_us")?,
+                        tid: get_u64(ev, "tid")?,
+                        kind: ev
+                            .get("kind")
+                            .and_then(Value::as_str)
+                            .ok_or_else(|| "flight event has no kind".to_string())?
+                            .to_string(),
+                        key: get_u64(ev, "key")?,
+                        a: get_u64(ev, "a")?,
+                        b: get_u64(ev, "b")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?;
+            Ok(Response::Flight {
                 id: require_id()?,
-                counters,
+                dropped: get_u64(&root, "dropped")?,
+                events,
             })
         }
         other => Err(format!("unknown response status {other:?}")),
     }
+}
+
+fn parse_name_u64_map(root: &Value, key: &str) -> Result<Vec<(String, u64)>, String> {
+    root.get(key)
+        .and_then(Value::as_object)
+        .ok_or_else(|| format!("stats/telemetry response has no {key} object"))?
+        .iter()
+        .map(|(k, v)| match v.as_number() {
+            Some(n) if (0.0..=MAX_ID).contains(&n) && n.fract() == 0.0 => Ok((k.clone(), n as u64)),
+            _ => Err(format!("{key}.{k} must be a non-negative integer")),
+        })
+        .collect()
+}
+
+fn get_quantile(h: &Value, name: &str, key: &str) -> Result<Option<f64>, String> {
+    match h.get(key) {
+        Some(Value::Null) => Ok(None),
+        Some(v) => match v.as_number() {
+            Some(x) if x.is_finite() && x >= 0.0 => Ok(Some(x)),
+            _ => Err(format!(
+                "histograms.{name}.{key} must be null or finite ≥ 0"
+            )),
+        },
+        None => Err(format!("histograms.{name} is missing {key}")),
+    }
+}
+
+fn parse_telemetry_body(root: &Value) -> Result<TelemetryBody, String> {
+    let histograms = root
+        .get("histograms")
+        .and_then(Value::as_object)
+        .ok_or("stats/telemetry response has no histograms object")?
+        .iter()
+        .map(|(name, h)| {
+            Ok(HistogramSummary {
+                name: name.clone(),
+                count: get_u64(h, "count").map_err(|e| format!("histograms.{name}: {e}"))?,
+                sum: get_u64(h, "sum").map_err(|e| format!("histograms.{name}: {e}"))?,
+                p50: get_quantile(h, name, "p50")?,
+                p90: get_quantile(h, name, "p90")?,
+                p99: get_quantile(h, name, "p99")?,
+            })
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(TelemetryBody {
+        counters: parse_name_u64_map(root, "counters")?,
+        gauges: parse_name_u64_map(root, "gauges")?,
+        histograms,
+    })
 }
 
 /// Render a solve request line — the client-side inverse of
@@ -685,14 +971,130 @@ mod tests {
             ("{\"id\":1,\"op\":\"ping\"}", 1u64),
             ("{\"id\":2,\"op\":\"stats\"}", 2),
             ("{\"id\":3,\"op\":\"shutdown\"}", 3),
+            ("{\"id\":4,\"op\":\"telemetry\"}", 4),
         ] {
             let req = parse_request(line, &limits).unwrap();
             let got = match req {
-                Request::Ping { id } | Request::Stats { id } | Request::Shutdown { id } => id,
+                Request::Ping { id }
+                | Request::Stats { id }
+                | Request::Telemetry { id }
+                | Request::Shutdown { id } => id,
                 other => panic!("{other:?}"),
             };
             assert_eq!(got, want);
         }
+    }
+
+    #[test]
+    fn flight_op_parses_with_default_and_explicit_last() {
+        let limits = Limits::default();
+        let req = parse_request("{\"id\":5,\"op\":\"flight\"}", &limits).unwrap();
+        assert!(
+            matches!(req, Request::Flight { id: 5, last } if last == FLIGHT_DEFAULT_LAST),
+            "{req:?}"
+        );
+        let req = parse_request("{\"id\":6,\"op\":\"flight\",\"last\":12}", &limits).unwrap();
+        assert!(
+            matches!(req, Request::Flight { id: 6, last: 12 }),
+            "{req:?}"
+        );
+        for bad in [
+            "{\"id\":7,\"op\":\"flight\",\"last\":0}",
+            "{\"id\":7,\"op\":\"flight\",\"last\":1.5}",
+            "{\"id\":7,\"op\":\"flight\",\"last\":\"many\"}",
+            "{\"id\":7,\"op\":\"flight\",\"last\":100000000}",
+        ] {
+            assert_eq!(parse_request(bad, &limits).unwrap_err().kind, "bad_request");
+        }
+    }
+
+    fn sample_body() -> TelemetryBody {
+        // Name-ordered, as the server encodes and the object parser
+        // (BTreeMap-backed) yields.
+        TelemetryBody {
+            counters: vec![("ok".into(), 11), ("requests".into(), 12)],
+            gauges: vec![("queue_depth".into(), 3)],
+            histograms: vec![
+                HistogramSummary::from_buckets("empty_h".into(), 0, 0, &[]),
+                HistogramSummary::from_buckets(
+                    "serve.latency_us".into(),
+                    4,
+                    706,
+                    &[(0, 1), (2, 2), (512, 1)],
+                ),
+            ],
+        }
+    }
+
+    #[test]
+    fn stats_and_telemetry_share_schema_and_round_trip() {
+        let body = sample_body();
+        type Encoder = fn(u64, &TelemetryBody) -> String;
+        let cases: [(Encoder, &str); 2] =
+            [(encode_stats, "stats"), (encode_telemetry, "telemetry")];
+        for (encode, want_status) in cases {
+            let line = encode(9, &body);
+            assert!(line.ends_with('\n'));
+            assert!(line.contains(&format!("\"status\":\"{want_status}\"")));
+            let parsed = parse_response(line.trim_end()).unwrap();
+            let (id, got) = match parsed {
+                Response::Stats { id, body } => (id, body),
+                Response::Telemetry { id, body } => (id, body),
+                other => panic!("{other:?}"),
+            };
+            assert_eq!(id, 9);
+            assert_eq!(got, body);
+        }
+        // Accessors and quantile behavior on the round-tripped body.
+        assert_eq!(body.counter("requests"), Some(12));
+        assert_eq!(body.gauge("queue_depth"), Some(3));
+        let h = body.histogram("serve.latency_us").unwrap();
+        assert_eq!(h.count, 4);
+        assert!(h.p50.unwrap() <= h.p90.unwrap() && h.p90.unwrap() <= h.p99.unwrap());
+        let empty = body.histogram("empty_h").unwrap();
+        assert_eq!((empty.p50, empty.p90, empty.p99), (None, None, None));
+    }
+
+    #[test]
+    fn flight_response_round_trips() {
+        let events = [
+            lamps_obs::FlightEvent {
+                ts_us: 10,
+                tid: 0,
+                kind: lamps_obs::flight::SERVE_ADMIT,
+                key: 7,
+                a: 2,
+                b: 0,
+            },
+            lamps_obs::FlightEvent {
+                ts_us: 15,
+                tid: 1,
+                kind: lamps_obs::flight::SERVE_REPLY,
+                key: 7,
+                a: 0,
+                b: 0,
+            },
+        ];
+        let line = encode_flight(3, &events, 5);
+        let Response::Flight {
+            id,
+            dropped,
+            events: got,
+        } = parse_response(line.trim_end()).unwrap()
+        else {
+            panic!("expected flight");
+        };
+        assert_eq!((id, dropped), (3, 5));
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].kind, "serve.admit");
+        assert_eq!(got[0].key, 7);
+        assert_eq!(got[1].ts_us, 15);
+        // Empty journal still encodes and parses.
+        let line = encode_flight(4, &[], 0);
+        assert!(matches!(
+            parse_response(line.trim_end()).unwrap(),
+            Response::Flight { id: 4, dropped: 0, events } if events.is_empty()
+        ));
     }
 
     #[test]

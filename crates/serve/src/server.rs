@@ -40,12 +40,14 @@
 //! zero.
 
 use crate::protocol::{
-    encode_error, encode_overloaded, encode_pong, encode_shutdown_ack, encode_solved, encode_stats,
-    parse_request, Limits, ProtoError, Request, SolveRequest,
+    encode_error, encode_flight, encode_overloaded, encode_pong, encode_shutdown_ack,
+    encode_solved, encode_stats, encode_telemetry, parse_request, HistogramSummary, Limits,
+    ProtoError, Request, SolveRequest, TelemetryBody,
 };
 use crate::queue::{Bounded, PushError};
 use lamps_core::cache::{CacheBuffers, ScheduleCache};
 use lamps_core::{SchedulerConfig, SolveBudget, SolveError};
+use lamps_obs::flight;
 use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -306,6 +308,12 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>, conns: &Mutex<Vec<Jo
         }
         let Ok(stream) = stream else { continue };
         bump(&shared.stats.connections, "serve.connections");
+        flight::record(
+            flight::SERVE_ACCEPT,
+            shared.stats.connections.load(Ordering::Relaxed),
+            0,
+            0,
+        );
         let _ = stream.set_nodelay(true);
         let _ = stream.set_read_timeout(Some(shared.config.idle_timeout));
         if let Ok(clone) = stream.try_clone() {
@@ -420,23 +428,14 @@ fn handle_line(shared: &Arc<Shared>, line: &str, tx: &mpsc::Sender<String>) {
             let _ = tx.send(encode_pong(id));
         }
         Ok(Request::Stats { id }) => {
-            let s = shared.stats.snapshot();
-            let _ = tx.send(encode_stats(
-                id,
-                &[
-                    ("connections", s.connections),
-                    ("requests", s.requests),
-                    ("ok", s.solved_ok),
-                    ("degraded", s.degraded),
-                    ("rejected", s.rejected),
-                    ("solve_errors", s.solve_errors),
-                    ("protocol_errors", s.protocol_errors),
-                    ("panics", s.panics),
-                    ("queue_depth", shared.queue.len() as u64),
-                    ("queue_capacity", shared.queue.capacity() as u64),
-                    ("workers", shared.config.workers as u64),
-                ],
-            ));
+            let _ = tx.send(encode_stats(id, &stats_body(shared)));
+        }
+        Ok(Request::Telemetry { id }) => {
+            let _ = tx.send(encode_telemetry(id, &telemetry_body(shared)));
+        }
+        Ok(Request::Flight { id, last }) => {
+            let snap = lamps_obs::flight::snapshot();
+            let _ = tx.send(encode_flight(id, snap.tail(last), snap.dropped));
         }
         Ok(Request::Shutdown { id }) => {
             let _ = tx.send(encode_shutdown_ack(id));
@@ -449,15 +448,21 @@ fn handle_line(shared: &Arc<Shared>, line: &str, tx: &mpsc::Sender<String>) {
                 admitted: Instant::now(),
                 reply: tx.clone(),
             };
+            // Stamp admission *before* the push: once the job is in the
+            // queue a worker may journal solve.start immediately, and
+            // the admit event must not post-date it.
+            let admit_ts = flight::now_us();
             match shared.queue.try_push(job) {
                 Ok(depth) => {
                     bump(&shared.stats.requests, "serve.requests");
+                    flight::record_at(admit_ts, flight::SERVE_ADMIT, id, depth as u64, 0);
                     if lamps_obs::metrics_enabled() {
                         lamps_obs::gauge("serve.queue_depth").set(depth as u64);
                     }
                 }
                 Err(PushError::Full(job)) => {
                     bump(&shared.stats.rejected, "serve.rejected");
+                    flight::record(flight::SERVE_OVERLOAD, id, shared.queue.len() as u64, 0);
                     let _ = job.reply.send(encode_overloaded(
                         id,
                         shared.queue.len(),
@@ -477,10 +482,107 @@ fn handle_line(shared: &Arc<Shared>, line: &str, tx: &mpsc::Sender<String>) {
     }
 }
 
+/// The `stats` payload: the server's always-on counters, queue/worker
+/// gauges, and the request-latency quantiles (when the obs registry has
+/// seen any samples).
+fn stats_body(shared: &Arc<Shared>) -> TelemetryBody {
+    let s = shared.stats.snapshot();
+    let mut body = TelemetryBody {
+        counters: [
+            ("connections", s.connections),
+            ("requests", s.requests),
+            ("ok", s.solved_ok),
+            ("degraded", s.degraded),
+            ("rejected", s.rejected),
+            ("solve_errors", s.solve_errors),
+            ("protocol_errors", s.protocol_errors),
+            ("panics", s.panics),
+        ]
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect(),
+        gauges: [
+            ("queue_depth", shared.queue.len() as u64),
+            ("queue_capacity", shared.queue.capacity() as u64),
+            ("workers", shared.config.workers as u64),
+        ]
+        .into_iter()
+        .map(|(n, v)| (n.to_string(), v))
+        .collect(),
+        histograms: Vec::new(),
+    };
+    let snap = lamps_obs::registry::snapshot();
+    if let Some((count, sum, buckets)) = snap.histogram("serve.latency_us") {
+        body.histograms.push(HistogramSummary::from_buckets(
+            "serve.latency_us".to_string(),
+            count,
+            sum,
+            buckets,
+        ));
+    }
+    body
+}
+
+/// The `telemetry` payload: the full process-wide metrics registry
+/// (every counter, gauge, and histogram-with-quantiles), overlaid with
+/// the server's always-on values so the serve counters are authoritative
+/// even when the registry is disabled.
+fn telemetry_body(shared: &Arc<Shared>) -> TelemetryBody {
+    let snap = lamps_obs::registry::snapshot();
+    let mut body = TelemetryBody {
+        counters: snap.counters.clone(),
+        gauges: snap.gauges.clone(),
+        histograms: snap
+            .histograms
+            .iter()
+            .map(|(name, count, sum, buckets)| {
+                HistogramSummary::from_buckets(name.clone(), *count, *sum, buckets)
+            })
+            .collect(),
+    };
+    let s = shared.stats.snapshot();
+    let overlay_counters = [
+        ("serve.connections", s.connections),
+        ("serve.requests", s.requests),
+        ("serve.ok", s.solved_ok),
+        ("serve.degraded", s.degraded),
+        ("serve.rejected", s.rejected),
+        ("serve.solve_errors", s.solve_errors),
+        ("serve.protocol_errors", s.protocol_errors),
+        ("serve.panics", s.panics),
+    ];
+    for (name, v) in overlay_counters {
+        match body.counters.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = v,
+            None => body.counters.push((name.to_string(), v)),
+        }
+    }
+    let overlay_gauges = [
+        ("serve.queue_depth", shared.queue.len() as u64),
+        ("serve.queue_capacity", shared.queue.capacity() as u64),
+        ("serve.workers", shared.config.workers as u64),
+    ];
+    for (name, v) in overlay_gauges {
+        match body.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some(slot) => slot.1 = v,
+            None => body.gauges.push((name.to_string(), v)),
+        }
+    }
+    body.counters.sort();
+    body.gauges.sort();
+    body
+}
+
 fn worker_loop(shared: &Arc<Shared>) {
     let mut bufs = CacheBuffers::default();
     while let Some(job) = shared.queue.pop() {
         let id = job.req.id;
+        flight::record(
+            flight::SERVE_QUEUE_DEPTH,
+            id,
+            shared.queue.len() as u64,
+            shared.queue.capacity() as u64,
+        );
         let reply = job.reply.clone();
         let warm = std::mem::take(&mut bufs);
         match catch_unwind(AssertUnwindSafe(|| handle_job(shared, job, warm))) {
@@ -489,6 +591,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                 // The warm buffers died with the panic; restart cold.
                 bufs = CacheBuffers::default();
                 bump(&shared.stats.panics, "serve.panics");
+                flight::record(flight::SERVE_PANIC, id, 0, 0);
+                // Post-mortem: the journal holds what led up to this.
+                flight::last_gasp("worker-panic");
                 let _ = reply.send(encode_error(
                     Some(id),
                     "internal",
@@ -520,19 +625,23 @@ fn handle_job(shared: &Arc<Shared>, job: Job, bufs: CacheBuffers) -> CacheBuffer
         budget = budget.with_deadline(job.admitted + t);
     }
     let mut cache = ScheduleCache::for_graph_recycled(&req.graph, bufs);
+    flight::record(flight::SERVE_SOLVE_START, req.id, 0, 0);
     let result =
         lamps_core::solve_with_budget_cache(req.strategy, deadline_s, cfg, &mut cache, &budget);
     let line = match &result {
         Ok(b) => {
             if b.completeness.is_complete() {
                 bump(&shared.stats.solved_ok, "serve.ok");
+                flight::record(flight::SERVE_SOLVE_DONE, req.id, b.steps, 0);
             } else {
                 bump(&shared.stats.degraded, "serve.degraded");
+                flight::record(flight::SERVE_SOLVE_DONE, req.id, b.steps, 1);
             }
             encode_solved(req.id, req.strategy, b)
         }
         Err(e) => {
             bump(&shared.stats.solve_errors, "serve.solve_errors");
+            flight::record(flight::SERVE_SOLVE_DONE, req.id, 0, 2);
             let kind = match e {
                 SolveError::Infeasible { .. } => "infeasible",
                 SolveError::BadDeadline(_) => "bad_deadline",
@@ -546,5 +655,6 @@ fn handle_job(shared: &Arc<Shared>, job: Job, bufs: CacheBuffers) -> CacheBuffer
         lamps_obs::histogram("serve.latency_us").record(job.admitted.elapsed().as_micros() as u64);
     }
     let _ = job.reply.send(line);
+    flight::record(flight::SERVE_REPLY, req.id, 0, 0);
     cache.into_buffers()
 }

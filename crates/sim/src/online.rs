@@ -63,6 +63,7 @@ use lamps_core::suffix::{SuffixContext, SuffixSolver};
 use lamps_core::{SchedulerConfig, SolveBudget, Strategy};
 use lamps_energy::EnergyBreakdown;
 use lamps_kpn::PeriodicDag;
+use lamps_obs::flight;
 use lamps_power::OperatingPoint;
 use lamps_sched::{ProcId, Schedule};
 use lamps_taskgraph::{TaskGraph, TaskId};
@@ -429,12 +430,25 @@ pub fn run_online(
         } else {
             AdmissionVerdict::Shed { backlog }
         };
+        match verdict {
+            AdmissionVerdict::Admitted { .. } => {
+                flight::record(flight::ONLINE_ADMIT, i as u64, backlog as u64, 0);
+            }
+            AdmissionVerdict::Deferred { delay_s, .. } => {
+                let delay_us = (delay_s.max(0.0) * 1e6) as u64;
+                flight::record(flight::ONLINE_DEFER, i as u64, backlog as u64, delay_us);
+            }
+            AdmissionVerdict::Shed { .. } => {
+                flight::record(flight::ONLINE_SHED, i as u64, backlog as u64, 0);
+            }
+        }
         let Some(start_s) = verdict.start_s() else {
             frames.push(shed_record(i, verdict, n));
             continue;
         };
 
         let run = run_frame(
+            i,
             graph,
             &sol.schedule,
             sol.level,
@@ -654,6 +668,7 @@ struct FrameRun {
 /// one hyperperiod, so the scalar horizon is `arrival_offset + span`.
 #[allow(clippy::too_many_arguments)]
 fn run_frame(
+    frame: usize,
     graph: &TaskGraph,
     schedule: &Schedule,
     plan_level: OperatingPoint,
@@ -805,6 +820,12 @@ fn run_frame(
             if let Some(sp) = solver.resolve(graph, &ctx, &candidates, steps_left) {
                 resolves += 1;
                 resolve_steps += sp.steps;
+                flight::record(
+                    flight::ONLINE_RECLAIM,
+                    frame as u64,
+                    sp.steps,
+                    u64::from(sp.feasible),
+                );
                 if let Some(left) = steps_left.as_mut() {
                     *left = left.saturating_sub(sp.steps);
                 }
@@ -878,6 +899,7 @@ fn run_frame(
                 if let Some(sp) = solver.resolve(graph, &ctx, &candidates, None) {
                     resolves += 1;
                     resolve_steps += sp.steps;
+                    flight::record(flight::ONLINE_RESOLVE, frame as u64, sp.steps, 1);
                     let migrated =
                         migrated_vs_static(graph, &sp.plan, schedule, &finished, &running_est);
                     adopt_plan(
@@ -1091,6 +1113,11 @@ fn run_frame(
         RunOutcome::MetDeadline
     } else {
         sort_lateness(&mut lateness);
+        // A structured miss is post-mortem material: journal it, then
+        // (if a dump path is configured) flush the flight buffer so the
+        // evidence survives even if the process dies right after.
+        flight::record(flight::ONLINE_MISS, frame as u64, lateness.len() as u64, 0);
+        flight::last_gasp("deadline-miss");
         RunOutcome::DeadlineMiss { lateness }
     };
 
@@ -1454,5 +1481,34 @@ mod tests {
             run_online(&dag, &bad_fault, &ocfg, &cfg),
             Err(SimError::BadFaultPlan(_))
         ));
+    }
+
+    /// The flight recorder is pure observation: a run with the journal
+    /// enabled must produce a bitwise-identical report (Debug output
+    /// round-trips every f64 to a unique shortest string, so string
+    /// equality here is bit equality), while actually journaling the
+    /// admission and reclamation events.
+    #[test]
+    fn flight_recorder_never_perturbs_the_report() {
+        let dag = demo_dag();
+        let cfg = cfg();
+        // Under-WCET actuals so the reclaim/re-solve paths really run.
+        let stream =
+            OnlineStream::synthesize(&dag, 1, 6, 1.0, 0.45, 0.7, None, cfg.max_frequency(), 17);
+        let ocfg = OnlineConfig::reclaiming();
+
+        lamps_obs::disable_flight();
+        let off = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        lamps_obs::enable_flight();
+        let on = run_online(&dag, &stream, &ocfg, &cfg).unwrap();
+        lamps_obs::disable_flight();
+
+        assert!(on.resolves > 0, "stream must exercise the re-solve path");
+        assert_eq!(format!("{off:?}"), format!("{on:?}"));
+
+        let snap = lamps_obs::flight::snapshot();
+        let has = |kind: &str| snap.events.iter().any(|e| e.kind == kind);
+        assert!(has(lamps_obs::flight::ONLINE_ADMIT));
+        assert!(has(lamps_obs::flight::ONLINE_RECLAIM));
     }
 }

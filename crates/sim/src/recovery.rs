@@ -42,6 +42,7 @@ use crate::runner::{account_idle, DvsSwitchCost};
 use lamps_core::suffix::{resolve_suffix_fresh, SuffixContext};
 use lamps_core::{SchedulerConfig, Solution};
 use lamps_energy::EnergyBreakdown;
+use lamps_obs::flight;
 use lamps_power::OperatingPoint;
 use lamps_sched::{ProcId, Schedule};
 use lamps_taskgraph::{TaskGraph, TaskId};
@@ -355,12 +356,21 @@ pub fn run_with_faults(
                     cfg,
                     &solution.schedule,
                 ) {
+                    // Ladder journal: a = rung (0 reschedule, 1 base
+                    // raise, 2 task boost), key = the proc/task involved.
+                    flight::record(
+                        flight::ONLINE_FAULT,
+                        fs.proc.index() as u64,
+                        0,
+                        rp.migrated as u64,
+                    );
                     recoveries.push(RecoveryAction::Rescheduled {
                         failed_proc: fs.proc,
                         at_s: fs.at_s,
                         migrated: rp.migrated,
                     });
                     if (rp.level.vdd - base_level.vdd).abs() > 1e-12 {
+                        flight::record(flight::ONLINE_FAULT, fs.proc.index() as u64, 1, 0);
                         recoveries.push(RecoveryAction::BaseLevelRaised {
                             from_vdd: base_level.vdd,
                             to_vdd: rp.level.vdd,
@@ -463,6 +473,7 @@ pub fn run_with_faults(
                     level
                 };
                 if level.freq > base_level.freq + 1e-6 {
+                    flight::record(flight::ONLINE_FAULT, t.index() as u64, 2, pi as u64);
                     recoveries.push(RecoveryAction::TaskBoosted {
                         task: t,
                         from_vdd: base_level.vdd,
@@ -578,6 +589,8 @@ pub fn run_with_faults(
         RunOutcome::MetDeadline
     } else {
         sort_lateness(&mut lateness);
+        flight::record(flight::ONLINE_MISS, 0, lateness.len() as u64, 0);
+        flight::last_gasp("deadline-miss");
         RunOutcome::DeadlineMiss { lateness }
     };
 

@@ -1,0 +1,323 @@
+//! Structural checks for `lamps-flight-v1` flight-recorder dumps.
+//!
+//! A dump is what [`lamps_obs::flight::dump_to_file`] (and the serve
+//! daemon's last-gasp hook) writes: one JSON header line (`schema`,
+//! `reason`, `events`, `dropped`), then one JSON object per event. The
+//! checker re-derives, from nothing but the text, the invariants the
+//! recorder guarantees:
+//!
+//! * the header declares the schema and the exact body line count;
+//! * per thread, timestamps never go backwards (each thread records
+//!   sequentially into its own segment, and the snapshot merge is a
+//!   stable sort);
+//! * serve request lifecycles are ordered — for one request id,
+//!   `serve.admit` ≤ `serve.solve.start` ≤ `serve.solve.done` ≤
+//!   `serve.reply` in time, with no stage duplicated;
+//! * ([`check_flight_counts`]) event counts never exceed the registry
+//!   counters that mirror them: the ring can *drop* events, never
+//!   invent them.
+
+use lamps_obs::json::{parse, Value};
+
+/// One event decoded from a dump body line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DumpEvent {
+    /// Microseconds since the recorder's origin.
+    pub ts_us: u64,
+    /// Per-process thread id.
+    pub tid: u64,
+    /// Event kind tag.
+    pub kind: String,
+    /// Correlation key (request id, frame index).
+    pub key: u64,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+}
+
+/// A parsed `lamps-flight-v1` dump.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightDump {
+    /// Why the dump was written (`"worker-panic"`, `"deadline-miss"`,
+    /// or a caller-chosen tag).
+    pub reason: String,
+    /// Ring overwrites the journal suffered before the dump.
+    pub dropped: u64,
+    /// Events, in snapshot (timestamp) order.
+    pub events: Vec<DumpEvent>,
+}
+
+fn field_u64(v: &Value, key: &str, what: &str) -> Result<u64, String> {
+    match v.get(key).and_then(Value::as_number) {
+        Some(x) if x >= 0.0 && x.fract() == 0.0 => Ok(x as u64),
+        _ => Err(format!("{what} is missing integer field {key}")),
+    }
+}
+
+/// Parse a dump, validating only shape (header schema, field types,
+/// declared event count). Invariants are [`check_flight_dump`]'s job.
+pub fn parse_flight_dump(text: &str) -> Result<FlightDump, String> {
+    let mut lines = text.lines();
+    let header_line = lines.next().ok_or("dump is empty")?;
+    let header = parse(header_line).map_err(|e| format!("header: {e}"))?;
+    match header.get("schema").and_then(Value::as_str) {
+        Some("lamps-flight-v1") => {}
+        Some(other) => return Err(format!("unknown schema {other:?}")),
+        None => return Err("header has no schema field".into()),
+    }
+    let reason = header
+        .get("reason")
+        .and_then(Value::as_str)
+        .ok_or("header has no reason string")?
+        .to_string();
+    let declared = field_u64(&header, "events", "header")?;
+    let dropped = field_u64(&header, "dropped", "header")?;
+    let mut events = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).map_err(|e| format!("event line {i}: {e}"))?;
+        let what = format!("event line {i}");
+        events.push(DumpEvent {
+            ts_us: field_u64(&v, "ts_us", &what)?,
+            tid: field_u64(&v, "tid", &what)?,
+            kind: v
+                .get("kind")
+                .and_then(Value::as_str)
+                .ok_or(format!("{what} has no kind string"))?
+                .to_string(),
+            key: field_u64(&v, "key", &what)?,
+            a: field_u64(&v, "a", &what)?,
+            b: field_u64(&v, "b", &what)?,
+        });
+    }
+    if declared as usize != events.len() {
+        return Err(format!(
+            "header declares {declared} events but the body has {}",
+            events.len()
+        ));
+    }
+    Ok(FlightDump {
+        reason,
+        dropped,
+        events,
+    })
+}
+
+/// Lifecycle stage index of a serve request event, if it is one.
+fn serve_stage(kind: &str) -> Option<usize> {
+    match kind {
+        "serve.admit" => Some(0),
+        "serve.solve.start" => Some(1),
+        "serve.solve.done" => Some(2),
+        "serve.reply" => Some(3),
+        _ => None,
+    }
+}
+
+const STAGE_NAMES: [&str; 4] = [
+    "serve.admit",
+    "serve.solve.start",
+    "serve.solve.done",
+    "serve.reply",
+];
+
+/// Check a dump's structural invariants. Returns one message per
+/// violation; empty means the dump is internally consistent.
+pub fn check_flight_dump(text: &str) -> Vec<String> {
+    let mut v = Vec::new();
+    let dump = match parse_flight_dump(text) {
+        Ok(d) => d,
+        Err(e) => return vec![e],
+    };
+    // Per-thread monotonicity.
+    let mut last_ts: Vec<(u64, u64)> = Vec::new();
+    for (i, ev) in dump.events.iter().enumerate() {
+        if ev.kind.is_empty() {
+            v.push(format!("event {i} has an empty kind"));
+        }
+        match last_ts.iter_mut().find(|(tid, _)| *tid == ev.tid) {
+            Some((_, ts)) => {
+                if ev.ts_us < *ts {
+                    v.push(format!(
+                        "event {i} (tid {}) goes back in time: {} < {}",
+                        ev.tid, ev.ts_us, ts
+                    ));
+                }
+                *ts = ev.ts_us;
+            }
+            None => last_ts.push((ev.tid, ev.ts_us)),
+        }
+    }
+    // Request lifecycle ordering, keyed by request id. A ring that
+    // dropped events may hold partial lifecycles (a reply whose admit
+    // was overwritten) — stages may be missing, but the ones present
+    // must be unique and time-ordered.
+    let mut lifecycles: Vec<(u64, [Option<u64>; 4])> = Vec::new();
+    for ev in &dump.events {
+        let Some(stage) = serve_stage(&ev.kind) else {
+            continue;
+        };
+        let slot = match lifecycles.iter_mut().find(|(key, _)| *key == ev.key) {
+            Some((_, stages)) => stages,
+            None => {
+                lifecycles.push((ev.key, [None; 4]));
+                &mut lifecycles.last_mut().expect("just pushed").1
+            }
+        };
+        if slot[stage].is_some() {
+            v.push(format!(
+                "request {} has a duplicate {} event",
+                ev.key, ev.kind
+            ));
+        }
+        slot[stage] = Some(ev.ts_us);
+    }
+    for (key, stages) in &lifecycles {
+        let mut prev: Option<(usize, u64)> = None;
+        for (stage, ts) in stages.iter().enumerate() {
+            let Some(ts) = ts else { continue };
+            if let Some((pstage, pts)) = prev {
+                if *ts < pts {
+                    v.push(format!(
+                        "request {key}: {} at {ts}µs precedes {} at {pts}µs",
+                        STAGE_NAMES[stage], STAGE_NAMES[pstage]
+                    ));
+                }
+            }
+            prev = Some((stage, *ts));
+        }
+    }
+    v
+}
+
+/// Cross-check a dump against registry counters (`(name, value)` pairs,
+/// e.g. a [`lamps_serve::TelemetryBody`]'s counters or a
+/// `MetricsSnapshot`). The ring may have dropped events, so the journal
+/// can only ever *undercount*: more events of a kind than its mirroring
+/// counter is a fabrication.
+pub fn check_flight_counts(dump: &FlightDump, counters: &[(String, u64)]) -> Vec<String> {
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, value)| *value)
+    };
+    // Event kind → the counter that must dominate it, under both the
+    // registry's `serve.`-prefixed names and the stats op's bare names.
+    let rules: [(&str, &[&str]); 4] = [
+        ("serve.admit", &["serve.requests", "requests"]),
+        ("serve.overload", &["serve.rejected", "rejected"]),
+        ("serve.panic", &["serve.panics", "panics"]),
+        ("serve.reply", &["serve.requests", "requests"]),
+    ];
+    let mut v = Vec::new();
+    for (kind, counter_names) in rules {
+        let events = dump.events.iter().filter(|e| e.kind == kind).count() as u64;
+        let Some(limit) = counter_names.iter().find_map(|n| counter(n)) else {
+            continue;
+        };
+        if events > limit {
+            v.push(format!(
+                "{events} {kind} events but the {} counter only reached {limit}",
+                counter_names[0]
+            ));
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dump(events: &[(u64, u64, &str, u64)]) -> String {
+        let mut out = format!(
+            "{{\"schema\": \"lamps-flight-v1\", \"reason\": \"test\", \"events\": {}, \"dropped\": 0}}\n",
+            events.len()
+        );
+        for (ts, tid, kind, key) in events {
+            out.push_str(&format!(
+                "{{\"ts_us\": {ts}, \"tid\": {tid}, \"kind\": \"{kind}\", \"key\": {key}, \"a\": 0, \"b\": 0}}\n"
+            ));
+        }
+        out
+    }
+
+    #[test]
+    fn clean_lifecycle_passes() {
+        let text = dump(&[
+            (10, 0, "serve.admit", 1),
+            (11, 0, "serve.admit", 2),
+            (12, 1, "serve.solve.start", 1),
+            (30, 1, "serve.solve.done", 1),
+            (30, 1, "serve.reply", 1),
+            (31, 2, "serve.solve.start", 2),
+            (45, 2, "serve.solve.done", 2),
+            (46, 2, "serve.reply", 2),
+        ]);
+        assert_eq!(check_flight_dump(&text), Vec::<String>::new());
+        let d = parse_flight_dump(&text).unwrap();
+        assert_eq!(d.reason, "test");
+        assert_eq!(d.events.len(), 8);
+    }
+
+    #[test]
+    fn partial_lifecycle_from_a_wrapped_ring_is_fine() {
+        // The admit was overwritten; solve/reply survive and are ordered.
+        let text = dump(&[(100, 1, "serve.solve.start", 9), (120, 1, "serve.reply", 9)]);
+        assert_eq!(check_flight_dump(&text), Vec::<String>::new());
+    }
+
+    #[test]
+    fn time_travel_and_stage_inversion_are_caught() {
+        let back = dump(&[(20, 0, "online.admit", 1), (10, 0, "online.shed", 2)]);
+        assert!(check_flight_dump(&back)
+            .iter()
+            .any(|m| m.contains("back in time")));
+        // Reply before its solve (different threads, so per-thread
+        // monotonicity alone cannot catch it).
+        let inverted = dump(&[(10, 0, "serve.reply", 5), (20, 1, "serve.solve.start", 5)]);
+        assert!(check_flight_dump(&inverted)
+            .iter()
+            .any(|m| m.contains("precedes")));
+        let dup = dump(&[(10, 0, "serve.admit", 5), (11, 0, "serve.admit", 5)]);
+        assert!(check_flight_dump(&dup)
+            .iter()
+            .any(|m| m.contains("duplicate")));
+    }
+
+    #[test]
+    fn malformed_dumps_are_rejected_with_reasons() {
+        assert!(parse_flight_dump("").is_err());
+        assert!(parse_flight_dump("{\"schema\": \"nope\"}").is_err());
+        let undeclared = "{\"schema\": \"lamps-flight-v1\", \"reason\": \"x\", \"events\": 2, \"dropped\": 0}\n\
+                          {\"ts_us\": 1, \"tid\": 0, \"kind\": \"k\", \"key\": 0, \"a\": 0, \"b\": 0}\n";
+        assert!(parse_flight_dump(undeclared)
+            .unwrap_err()
+            .contains("declares 2"));
+        let bad_event = "{\"schema\": \"lamps-flight-v1\", \"reason\": \"x\", \"events\": 1, \"dropped\": 0}\n\
+                         {\"ts_us\": -4, \"tid\": 0, \"kind\": \"k\", \"key\": 0, \"a\": 0, \"b\": 0}\n";
+        assert!(parse_flight_dump(bad_event).is_err());
+    }
+
+    #[test]
+    fn event_counts_must_not_exceed_counters() {
+        let text = dump(&[
+            (1, 0, "serve.admit", 1),
+            (2, 0, "serve.admit", 2),
+            (3, 0, "serve.reply", 1),
+        ]);
+        let d = parse_flight_dump(&text).unwrap();
+        let ok_counters = vec![("serve.requests".to_string(), 2u64)];
+        assert_eq!(check_flight_counts(&d, &ok_counters), Vec::<String>::new());
+        let low = vec![("serve.requests".to_string(), 1u64)];
+        assert!(check_flight_counts(&d, &low)
+            .iter()
+            .any(|m| m.contains("serve.admit")));
+        // Unmirrored counters are simply skipped.
+        assert_eq!(check_flight_counts(&d, &[]), Vec::<String>::new());
+    }
+}

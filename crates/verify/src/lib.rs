@@ -21,12 +21,16 @@
 //! * [`serve`] — wire-protocol checks for `lamps-serve`: internal
 //!   consistency of response lines and bitwise replay of
 //!   request/response exchanges against a local solve.
+//! * [`flight`] — structural checks for `lamps-flight-v1` flight-recorder
+//!   dumps: per-thread timestamp monotonicity, serve request lifecycle
+//!   ordering, and event-count consistency against registry counters.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod case;
 pub mod corpus;
+pub mod flight;
 pub mod fuzz;
 pub mod obs;
 pub mod oracle;
@@ -36,6 +40,9 @@ pub mod validator;
 
 pub use case::Case;
 pub use corpus::{corpus_file_name, run_corpus, CorpusResult};
+pub use flight::{
+    check_flight_counts, check_flight_dump, parse_flight_dump, DumpEvent, FlightDump,
+};
 pub use fuzz::{
     check_case, pruning_differential, run, CaseStats, FuzzConfig, FuzzFailure, FuzzOutcome,
 };

@@ -13,7 +13,74 @@
 use lamps_core::{solve_with_budget, Completeness, SchedulerConfig, SolveBudget, SolveError};
 use lamps_serve::protocol::{
     parse_request, parse_response, strategy_wire_name, DeadlineSpec, Limits, Request, Response,
+    TelemetryBody,
 };
+
+/// Internal-consistency rules for the shared `stats`/`telemetry`
+/// payload: quantiles present exactly when the histogram has samples,
+/// monotone across p50 ≤ p90 ≤ p99; answered-request accounting never
+/// exceeding admissions; queue depth within capacity.
+fn check_telemetry_body(body: &TelemetryBody, v: &mut Vec<ServeViolation>) {
+    let mut bad = |m: String| v.push(ServeViolation::BadSnapshot(m));
+    for h in &body.histograms {
+        let qs = [("p50", h.p50), ("p90", h.p90), ("p99", h.p99)];
+        if h.count == 0 {
+            if h.sum != 0 {
+                bad(format!(
+                    "histogram {} has count 0 but sum {}",
+                    h.name, h.sum
+                ));
+            }
+            for (name, q) in qs {
+                if q.is_some() {
+                    bad(format!("histogram {} is empty but reports {name}", h.name));
+                }
+            }
+        } else {
+            for (name, q) in qs {
+                match q {
+                    None => bad(format!(
+                        "histogram {} has {} samples but no {name}",
+                        h.name, h.count
+                    )),
+                    Some(x) if !(x.is_finite() && x >= 0.0) => {
+                        bad(format!("histogram {} {name} = {x} is invalid", h.name))
+                    }
+                    Some(_) => {}
+                }
+            }
+            if let (Some(p50), Some(p90), Some(p99)) = (h.p50, h.p90, h.p99) {
+                if !(p50 <= p90 && p90 <= p99) {
+                    bad(format!(
+                        "histogram {} quantiles not monotone: p50 {p50}, p90 {p90}, p99 {p99}",
+                        h.name
+                    ));
+                }
+            }
+        }
+    }
+    // The same accounting rules hold under both naming schemes: the
+    // `stats` op's bare names and the registry's `serve.`-prefixed ones.
+    for prefix in ["", "serve."] {
+        let c = |name: &str| body.counter(&format!("{prefix}{name}"));
+        if let (Some(req), Some(ok), Some(deg), Some(err)) =
+            (c("requests"), c("ok"), c("degraded"), c("solve_errors"))
+        {
+            if ok + deg + err > req {
+                bad(format!(
+                    "answered {} + {} + {} requests but only {} admitted",
+                    ok, deg, err, req
+                ));
+            }
+        }
+        let g = |name: &str| body.gauge(&format!("{prefix}{name}"));
+        if let (Some(depth), Some(cap)) = (g("queue_depth"), g("queue_capacity")) {
+            if depth > cap {
+                bad(format!("queue_depth {depth} exceeds queue_capacity {cap}"));
+            }
+        }
+    }
+}
 
 /// One protocol-level inconsistency found in a response (or an
 /// exchange). `Display` gives a one-line description.
@@ -23,6 +90,8 @@ pub enum ServeViolation {
     Unparseable(String),
     /// A solved response broke an internal invariant.
     BadSolved(String),
+    /// A stats/telemetry/flight snapshot broke an internal invariant.
+    BadSnapshot(String),
     /// The response does not answer the request it is paired with.
     WrongAnswer(String),
     /// The served result differs bitwise from the local solve.
@@ -34,6 +103,7 @@ impl std::fmt::Display for ServeViolation {
         match self {
             ServeViolation::Unparseable(m) => write!(f, "unparseable response: {m}"),
             ServeViolation::BadSolved(m) => write!(f, "bad solved response: {m}"),
+            ServeViolation::BadSnapshot(m) => write!(f, "bad snapshot response: {m}"),
             ServeViolation::WrongAnswer(m) => write!(f, "wrong answer: {m}"),
             ServeViolation::Mismatch(m) => write!(f, "bitwise mismatch: {m}"),
         }
@@ -54,6 +124,36 @@ pub fn check_response_line(line: &str) -> Vec<ServeViolation> {
             return v;
         }
     };
+    match &resp {
+        Response::Stats { body, .. } | Response::Telemetry { body, .. } => {
+            check_telemetry_body(body, &mut v);
+        }
+        Response::Flight { events, .. } => {
+            // Per-thread timestamps must be non-decreasing in event
+            // order — the journal is sequential on each thread.
+            let mut last_ts: Vec<(u64, u64)> = Vec::new();
+            for (i, ev) in events.iter().enumerate() {
+                if ev.kind.is_empty() {
+                    v.push(ServeViolation::BadSnapshot(format!(
+                        "flight event {i} has an empty kind"
+                    )));
+                }
+                match last_ts.iter_mut().find(|(tid, _)| *tid == ev.tid) {
+                    Some((_, ts)) => {
+                        if ev.ts_us < *ts {
+                            v.push(ServeViolation::BadSnapshot(format!(
+                                "flight event {i} (tid {}) goes back in time: {} < {}",
+                                ev.tid, ev.ts_us, ts
+                            )));
+                        }
+                        *ts = ev.ts_us;
+                    }
+                    None => last_ts.push((ev.tid, ev.ts_us)),
+                }
+            }
+        }
+        _ => {}
+    }
     if let Response::Solved(s) = resp {
         let mut bad = |m: String| v.push(ServeViolation::BadSolved(m));
         if s.n_procs == 0 {
@@ -128,7 +228,11 @@ pub fn check_exchange(
     };
     let solve = match req {
         Request::Solve(s) => s,
-        Request::Ping { id } | Request::Stats { id } | Request::Shutdown { id } => {
+        Request::Ping { id }
+        | Request::Stats { id }
+        | Request::Telemetry { id }
+        | Request::Flight { id, .. }
+        | Request::Shutdown { id } => {
             if resp.id() != Some(id) {
                 v.push(ServeViolation::WrongAnswer(format!(
                     "control op id {id} echoed as {:?}",
@@ -302,6 +406,57 @@ mod tests {
         );
         let wrong_kind = encode_error(Some(9), "bad_graph", "unknown strategy");
         assert!(!check_exchange(bad_req, &wrong_kind, &cfg, &limits).is_empty());
+    }
+
+    #[test]
+    fn clean_telemetry_and_flight_lines_pass() {
+        let line = "{\"id\":1,\"status\":\"telemetry\",\
+                    \"counters\":{\"serve.requests\":10,\"serve.ok\":8,\"serve.degraded\":1,\"serve.solve_errors\":1},\
+                    \"gauges\":{\"serve.queue_depth\":2,\"serve.queue_capacity\":32},\
+                    \"histograms\":{\"serve.latency_us\":{\"count\":9,\"sum\":900,\"p50\":80.5,\"p90\":200,\"p99\":300},\
+                                    \"empty\":{\"count\":0,\"sum\":0,\"p50\":null,\"p90\":null,\"p99\":null}}}";
+        assert_eq!(check_response_line(line), Vec::new());
+        let flight = "{\"id\":2,\"status\":\"flight\",\"dropped\":0,\"events\":[\
+                      {\"ts_us\":5,\"tid\":0,\"kind\":\"serve.admit\",\"key\":1,\"a\":0,\"b\":0},\
+                      {\"ts_us\":9,\"tid\":1,\"kind\":\"serve.solve.start\",\"key\":1,\"a\":0,\"b\":0},\
+                      {\"ts_us\":7,\"tid\":0,\"kind\":\"serve.admit\",\"key\":2,\"a\":1,\"b\":0}]}";
+        assert_eq!(check_response_line(flight), Vec::new());
+    }
+
+    #[test]
+    fn snapshot_inconsistencies_are_caught() {
+        // Empty histogram reporting a quantile.
+        let line = "{\"id\":1,\"status\":\"stats\",\"counters\":{},\"gauges\":{},\
+                    \"histograms\":{\"h\":{\"count\":0,\"sum\":0,\"p50\":3,\"p90\":null,\"p99\":null}}}";
+        assert!(check_response_line(line)
+            .iter()
+            .any(|v| matches!(v, ServeViolation::BadSnapshot(m) if m.contains("empty"))));
+        // Non-monotone quantiles.
+        let line = "{\"id\":1,\"status\":\"stats\",\"counters\":{},\"gauges\":{},\
+                    \"histograms\":{\"h\":{\"count\":5,\"sum\":50,\"p50\":90,\"p90\":40,\"p99\":100}}}";
+        assert!(check_response_line(line)
+            .iter()
+            .any(|v| matches!(v, ServeViolation::BadSnapshot(m) if m.contains("monotone"))));
+        // More answers than admissions.
+        let line = "{\"id\":1,\"status\":\"stats\",\
+                    \"counters\":{\"requests\":3,\"ok\":3,\"degraded\":1,\"solve_errors\":0},\
+                    \"gauges\":{},\"histograms\":{}}";
+        assert!(check_response_line(line)
+            .iter()
+            .any(|v| matches!(v, ServeViolation::BadSnapshot(m) if m.contains("admitted"))));
+        // Queue deeper than its capacity.
+        let line = "{\"id\":1,\"status\":\"stats\",\"counters\":{},\
+                    \"gauges\":{\"queue_depth\":40,\"queue_capacity\":32},\"histograms\":{}}";
+        assert!(check_response_line(line)
+            .iter()
+            .any(|v| matches!(v, ServeViolation::BadSnapshot(m) if m.contains("capacity"))));
+        // A thread's clock running backwards in a flight tail.
+        let line = "{\"id\":2,\"status\":\"flight\",\"dropped\":0,\"events\":[\
+                    {\"ts_us\":9,\"tid\":0,\"kind\":\"serve.admit\",\"key\":1,\"a\":0,\"b\":0},\
+                    {\"ts_us\":5,\"tid\":0,\"kind\":\"serve.reply\",\"key\":1,\"a\":0,\"b\":0}]}";
+        assert!(check_response_line(line)
+            .iter()
+            .any(|v| matches!(v, ServeViolation::BadSnapshot(m) if m.contains("back in time"))));
     }
 
     #[test]

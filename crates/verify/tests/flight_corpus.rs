@@ -1,0 +1,48 @@
+//! Every `.flight` dump under `tests/corpus-flight/` must parse as
+//! `lamps-flight-v1` and pass the structural checker, forever. These
+//! fixtures pin the dump format: if the recorder's writer drifts, the
+//! checker (which shares no code with it) starts rejecting real dumps,
+//! and these files catch checker-side drift symmetrically.
+
+use lamps_verify::{check_flight_dump, parse_flight_dump};
+use std::fs;
+use std::path::Path;
+
+#[test]
+fn flight_corpus_is_clean() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus-flight");
+    let mut checked = 0;
+    let mut dirty = Vec::new();
+    for entry in fs::read_dir(&dir).expect("corpus-flight directory exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("flight") {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("fixture is readable");
+        let violations = check_flight_dump(&text);
+        if !violations.is_empty() {
+            dirty.push(format!("{}: {:?}", path.display(), violations));
+        }
+        checked += 1;
+    }
+    assert!(
+        checked >= 2,
+        "expected at least 2 fixtures, found {checked}"
+    );
+    assert!(
+        dirty.is_empty(),
+        "flight corpus regressions:\n{}",
+        dirty.join("\n")
+    );
+}
+
+#[test]
+fn fixtures_carry_the_documented_reasons() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus-flight");
+    let serve = fs::read_to_string(dir.join("serve-lifecycle.flight")).unwrap();
+    let online = fs::read_to_string(dir.join("online-deadline-miss.flight")).unwrap();
+    assert_eq!(parse_flight_dump(&serve).unwrap().reason, "worker-panic");
+    let online = parse_flight_dump(&online).unwrap();
+    assert_eq!(online.reason, "deadline-miss");
+    assert_eq!(online.dropped, 5);
+}

@@ -1,0 +1,148 @@
+//! Differential and wire-level tests for the flight recorder against a
+//! live `lamps-serve` daemon.
+//!
+//! The recorder's contract is *pure observation*: serving the same
+//! solve stream with the journal enabled must produce byte-identical
+//! response lines (solve responses carry `*_bits` fields, so byte
+//! equality is bitwise equality of every float), while the journal
+//! itself captures the request lifecycle and passes the structural
+//! checker that shares no code with the recorder.
+
+use lamps_serve::{ServeConfig, Server};
+use lamps_verify::{check_flight_dump, check_response_line};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The flight enable flag is process-global; tests that toggle it must
+/// not interleave.
+static FLIGHT_LOCK: Mutex<()> = Mutex::new(());
+
+fn boot() -> Server {
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        idle_timeout: Duration::from_secs(5),
+        ..ServeConfig::default()
+    };
+    Server::start(config).expect("bind test server")
+}
+
+fn solve_line(id: u64, weight: u64) -> String {
+    format!(
+        "{{\"id\":{id},\"strategy\":\"lamps\",\"deadline_factor\":2.0,\
+         \"graph\":{{\"weights\":[{weight},6200000,1500000],\"edges\":[[0,1],[0,2]]}}}}"
+    )
+}
+
+/// One request per roundtrip, so response order is deterministic
+/// regardless of worker scheduling.
+fn roundtrip(stream: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    stream.write_all(line.as_bytes()).expect("write");
+    stream.write_all(b"\n").expect("write newline");
+    let mut buf = String::new();
+    reader.read_line(&mut buf).expect("read response");
+    buf.trim_end().to_string()
+}
+
+fn connect(server: &Server) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let reader = BufReader::new(stream.try_clone().expect("clone"));
+    (stream, reader)
+}
+
+/// Serve a fixed solve stream; return the raw response lines.
+fn exchange() -> Vec<String> {
+    let server = boot();
+    let (mut stream, mut reader) = connect(&server);
+    let lines: Vec<String> = (0..4)
+        .map(|i| {
+            roundtrip(
+                &mut stream,
+                &mut reader,
+                &solve_line(i, 3_100_000 + i * 777),
+            )
+        })
+        .collect();
+    drop(stream);
+    server.shutdown();
+    lines
+}
+
+#[test]
+fn served_solves_are_bitwise_identical_with_the_recorder_on() {
+    let _g = FLIGHT_LOCK.lock().unwrap();
+    lamps_obs::disable_flight();
+    lamps_obs::flight::clear();
+    let off = exchange();
+
+    lamps_obs::enable_flight();
+    let on = exchange();
+    lamps_obs::disable_flight();
+
+    assert_eq!(off, on, "recorder perturbed the served responses");
+
+    // The enabled run really journaled the request lifecycle …
+    let snap = lamps_obs::flight::snapshot();
+    for kind in [
+        "serve.admit",
+        "serve.solve.start",
+        "serve.solve.done",
+        "serve.reply",
+    ] {
+        assert!(
+            snap.events.iter().any(|e| e.kind == kind),
+            "journal has no {kind} event"
+        );
+    }
+    // … and its dump satisfies the independent structural checker.
+    let dump = snap.to_jsonl("test");
+    let violations = check_flight_dump(&dump);
+    assert!(violations.is_empty(), "{violations:?}");
+    lamps_obs::flight::clear();
+}
+
+#[test]
+fn telemetry_and_flight_ops_pass_the_wire_checker() {
+    let _g = FLIGHT_LOCK.lock().unwrap();
+    lamps_obs::enable_flight();
+    lamps_obs::flight::clear();
+    let server = boot();
+    let (mut stream, mut reader) = connect(&server);
+    let mut lines = Vec::new();
+    for i in 0..3 {
+        lines.push(roundtrip(
+            &mut stream,
+            &mut reader,
+            &solve_line(i, 4_000_000),
+        ));
+    }
+    lines.push(roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\":90,\"op\":\"stats\"}",
+    ));
+    lines.push(roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\":91,\"op\":\"telemetry\"}",
+    ));
+    lines.push(roundtrip(
+        &mut stream,
+        &mut reader,
+        "{\"id\":92,\"op\":\"flight\",\"last\":64}",
+    ));
+    drop(stream);
+    server.shutdown();
+    lamps_obs::disable_flight();
+
+    for line in &lines {
+        let violations = check_response_line(line);
+        assert!(violations.is_empty(), "{line}\n{violations:?}");
+    }
+    lamps_obs::flight::clear();
+}
